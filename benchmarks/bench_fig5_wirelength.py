@@ -1,0 +1,27 @@
+"""Fig 5: wire-length comparison between power states.
+
+The horizontal span shrinks from 10 mm to 5 mm when three quarters of
+the cluster is gated, while the vertical path stays ~80 um — the
+asymmetry that buys whole cycles of L2 latency.
+"""
+
+from repro.analysis.experiments import experiment_fig5
+
+from conftest import emit
+
+
+def test_fig5_wire_lengths(benchmark):
+    result = benchmark.pedantic(experiment_fig5, rounds=1, iterations=1)
+    emit("Fig 5 (wire lengths per power state)", result.render())
+
+    spans = result.spans_mm
+    full_h = spans["Full connection"][0]
+    small_h = spans["PC4-MB8"][0]
+    # Gating 3/4 of cores and banks halves the horizontal span.
+    assert small_h == 0.5 * full_h
+    # Vertical wiring is microscopic next to horizontal (x,y ~5 mm,
+    # z ~40 um per tier).
+    for name, (_h, v, _l) in spans.items():
+        assert v < 0.1, name
+    # Longest path shrinks monotonically with gating.
+    assert spans["PC4-MB8"][2] < spans["PC16-MB8"][2] < spans["Full connection"][2]

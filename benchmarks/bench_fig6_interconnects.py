@@ -1,0 +1,45 @@
+"""Fig 6: the four 3-D interconnects over SPLASH-2.
+
+(a) L2 cache access latency in cycles;
+(b) application execution time, DRAM 200 ns.
+
+Paper shape: the circuit-switched MoT wins everywhere (reductions of
+13.01% / 11.16% / 13.34% vs True Mesh / Bus-Mesh / Bus-Tree on
+average); Bus-Mesh beats True Mesh; Bus-Tree suffers on bus-heavy
+programs.
+"""
+
+import pytest
+
+from repro.analysis.experiments import experiment_fig6
+
+from conftest import emit
+
+
+@pytest.fixture(scope="module")
+def fig6(scale):
+    return experiment_fig6(scale=scale)
+
+
+def test_fig6_regenerate(benchmark, scale):
+    result = benchmark.pedantic(
+        experiment_fig6, kwargs={"scale": scale}, rounds=1, iterations=1
+    )
+    emit("Fig 6 (interconnect comparison)", result.render())
+
+    # Shape assertions (who wins, roughly by how much).
+    for bench, row in result.execution_cycles.items():
+        assert row["3-D MoT"] == min(row.values()), bench
+    for bench, row in result.latency_cycles.items():
+        assert row["3-D MoT"] == min(row.values()), bench
+
+    mesh_red = result.mot_reduction_vs("True 3-D Mesh")
+    busmesh_red = result.mot_reduction_vs("3-D Hybrid Bus-Mesh")
+    bustree_red = result.mot_reduction_vs("3-D Hybrid Bus-Tree")
+    # Paper: 13.01 / 11.16 / 13.34 — we accept the same order of
+    # magnitude (behavioral substrate, not the authors' RTL).
+    assert 5.0 < mesh_red < 35.0
+    assert 5.0 < busmesh_red < 35.0
+    assert 5.0 < bustree_red < 35.0
+    # Bus-Mesh is the closest baseline (the paper's smallest reduction).
+    assert busmesh_red < mesh_red

@@ -1,0 +1,81 @@
+"""Fig 7: the four power states over SPLASH-2, DRAM 200 ns.
+
+(a) energy-delay product, normalized to Full connection;
+(b) execution time, normalized to Full connection.
+
+Paper shape targets:
+  * PC4-MB32 cuts EDP for the limited-scalability programs (cholesky,
+    fft, volrend, raytrace): up to 66%, 44% on average;
+  * PC16-MB8 cuts EDP for the small-working-set programs: ~13% average;
+  * PC16-MB8 *hurts* the large-working-set programs (cholesky, radix,
+    ocean): up to +31% execution time;
+  * 4 -> 16 cores shrinks execution ~19% (limited group) vs ~64%
+    (scalable group);
+  * headline: best state per program cuts EDP up to 77% (48% avg).
+"""
+
+import statistics
+
+import pytest
+
+from repro.analysis.edp import best_state_stats
+from repro.analysis.experiments import experiment_fig7
+from repro.workloads.characteristics import (
+    GOOD_SCALABILITY,
+    LARGE_WORKING_SET,
+    LIMITED_SCALABILITY,
+    SMALL_WORKING_SET,
+)
+
+from conftest import emit
+
+
+def test_fig7_regenerate(benchmark, scale):
+    result = benchmark.pedantic(
+        experiment_fig7, kwargs={"scale": scale}, rounds=1, iterations=1
+    )
+    emit("Fig 7 (power states, DRAM 200 ns)", result.render())
+
+    edp = result.edp
+    times = result.execution_cycles
+
+    # (a) PC4-MB32 helps the limited-scalability group.
+    reductions = [
+        1 - edp[b]["PC4-MB32"] / edp[b]["Full connection"]
+        for b in LIMITED_SCALABILITY
+    ]
+    assert statistics.mean(reductions) > 0.25  # paper: 44% average
+    assert max(reductions) > 0.40              # paper: up to 66%
+
+    # (a) PC4 states hurt the scalable group's EDP.
+    for b in GOOD_SCALABILITY:
+        assert edp[b]["PC4-MB32"] > edp[b]["Full connection"], b
+
+    # (b) scalability split: 4 -> 16 core execution-time reduction.
+    limited = [
+        1 - times[b]["Full connection"] / times[b]["PC4-MB32"]
+        for b in LIMITED_SCALABILITY
+    ]
+    scalable = [
+        1 - times[b]["Full connection"] / times[b]["PC4-MB32"]
+        for b in GOOD_SCALABILITY
+    ]
+    assert statistics.mean(scalable) > 2 * statistics.mean(limited)
+    assert max(scalable) > 0.5   # paper: up to 69%
+    assert max(limited) < 0.45   # paper: up to 33%
+
+    # (b) MB8 hurts large working sets, tolerates small ones.
+    for b in LARGE_WORKING_SET:
+        assert times[b]["PC16-MB8"] > 1.05 * times[b]["Full connection"], b
+    for b in SMALL_WORKING_SET:
+        assert times[b]["PC16-MB8"] < 1.12 * times[b]["Full connection"], b
+
+    # Headline: "reduces EDP up to 77% (by 48% on average)".
+    best_max, best_avg = best_state_stats(result.comparisons())
+    emit(
+        "Headline EDP claim",
+        f"best-state EDP reduction: up to {best_max:.0f}% "
+        f"({best_avg:.0f}% average)   [paper: up to 77% (48% avg)]",
+    )
+    assert best_max > 40.0
+    assert best_avg > 15.0

@@ -1,0 +1,50 @@
+"""Fig 8: power-state EDP at faster (3-D stacked) DRAM.
+
+(a) DRAM 63 ns (JEDEC Wide I/O); (b) DRAM 42 ns (Weis et al.).
+
+Paper shape: "power efficiency resulting from power-gating of cache
+banks increases as the DRAM access latency decreases" — PC16-MB8's
+normalized EDP improves for more programs as the miss penalty of the
+smaller L2 shrinks.
+"""
+
+import statistics
+
+import pytest
+
+from repro.analysis.experiments import experiment_fig7, experiment_fig8
+from repro.mem.dram import DDR3_OFFCHIP
+from repro.workloads.characteristics import SPLASH2_NAMES
+
+from conftest import emit
+
+
+def test_fig8_regenerate(benchmark, scale):
+    part_a, part_b = benchmark.pedantic(
+        experiment_fig8, kwargs={"scale": scale}, rounds=1, iterations=1
+    )
+    emit("Fig 8a (power states, DRAM 63 ns)", part_a.render())
+    emit("Fig 8b (power states, DRAM 42 ns)", part_b.render())
+
+    baseline = experiment_fig7(scale=scale, dram=DDR3_OFFCHIP)
+
+    def mb8_ratio(sweep, bench):
+        return sweep.edp[bench]["PC16-MB8"] / sweep.edp[bench]["Full connection"]
+
+    # Mean normalized PC16-MB8 EDP must improve as DRAM gets faster.
+    mean_200 = statistics.mean(mb8_ratio(baseline, b) for b in SPLASH2_NAMES)
+    mean_63 = statistics.mean(mb8_ratio(part_a, b) for b in SPLASH2_NAMES)
+    mean_42 = statistics.mean(mb8_ratio(part_b, b) for b in SPLASH2_NAMES)
+    emit(
+        "Fig 8 trend",
+        f"mean normalized PC16-MB8 EDP: 200ns={mean_200:.3f}  "
+        f"63ns={mean_63:.3f}  42ns={mean_42:.3f} (must decrease)",
+    )
+    assert mean_63 < mean_200
+    assert mean_42 <= mean_63 * 1.02  # monotone within noise
+
+    # "PC16-MB8 reduces EDP for more benchmark programs when DRAM
+    # access latency is 63ns and 42ns."
+    wins_200 = sum(1 for b in SPLASH2_NAMES if mb8_ratio(baseline, b) < 1.0)
+    wins_42 = sum(1 for b in SPLASH2_NAMES if mb8_ratio(part_b, b) < 1.0)
+    assert wins_42 >= wins_200

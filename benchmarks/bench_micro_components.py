@@ -1,0 +1,79 @@
+"""Microbenchmarks of the core components (proper multi-round timing).
+
+These are conventional pytest-benchmark measurements: switch routing,
+fabric reconfiguration, cache access, arbitration and the simulation
+engine's event loop.  They track the *library's* performance so
+regressions in the substrate show up independently of the figure
+sweeps.
+"""
+
+import pytest
+
+from repro.mem.cache import SetAssociativeCache
+from repro.mot.fabric import FabricSimulator, MoTFabric
+from repro.mot.power_state import PC16_MB8, FULL_CONNECTION
+from repro.mot.reconfigurator import plan_reconfiguration
+from repro.mot.signals import Request
+from repro.sim.engine import SimulationEngine
+from repro.sim.trace import MemRef, TraceStep
+
+
+def test_switch_select_port(benchmark):
+    fabric = MoTFabric(16, 32)
+    switch = fabric.routing_trees[0].switch_at(0, 0)
+    req = Request(core_id=0, bank_index=21)
+    benchmark(switch.select_port, req)
+
+
+def test_fabric_resolve_bank(benchmark):
+    fabric = MoTFabric(16, 32)
+    fabric.apply_power_state(PC16_MB8)
+    benchmark(fabric.resolve_bank, 0, 7)
+
+
+def test_plan_reconfiguration(benchmark):
+    benchmark(plan_reconfiguration, PC16_MB8)
+
+
+def test_apply_power_state(benchmark):
+    fabric = MoTFabric(16, 32)
+
+    def flip():
+        fabric.apply_power_state(PC16_MB8)
+        fabric.apply_power_state(FULL_CONNECTION)
+
+    benchmark(flip)
+
+
+def test_cache_access_throughput(benchmark):
+    cache = SetAssociativeCache(64 * 1024, 32, 8, name="bank")
+    addrs = [(i * 1667) % (1 << 20) for i in range(512)]
+
+    def run():
+        for a in addrs:
+            cache.access(a)
+
+    benchmark(run)
+
+
+def test_fabric_simulator_step(benchmark):
+    fabric = MoTFabric(16, 32)
+    sim = FabricSimulator(fabric)
+    requests = {c: (c * 7) % 32 for c in range(16)}
+    benchmark(sim.step, requests)
+
+
+def test_engine_event_throughput(benchmark):
+    def traces():
+        return {
+            core: iter(
+                TraceStep(compute_cycles=3, ref=MemRef((i * 64) % 4096))
+                for i in range(500)
+            )
+            for core in range(4)
+        }
+
+    def run():
+        SimulationEngine(traces(), lambda c, r, t: 5).run()
+
+    benchmark(run)

@@ -1,0 +1,23 @@
+"""Table I: architecture configuration with derived L2 latencies.
+
+Regenerates the latency column (12 / 9 / 9 / 7 cycles) from the
+physical models and asserts it matches the paper exactly.
+"""
+
+from repro.analysis.experiments import experiment_table1
+from repro.config import DEFAULT_CONFIG
+
+from conftest import emit
+
+PAPER_LATENCIES = {
+    "Full connection": 12,
+    "PC16-MB8": 9,
+    "PC4-MB32": 9,
+    "PC4-MB8": 7,
+}
+
+
+def test_table1_latencies(benchmark):
+    result = benchmark.pedantic(experiment_table1, rounds=1, iterations=1)
+    emit("Table I (derived)", DEFAULT_CONFIG.describe() + "\n\n" + result.render())
+    assert result.latencies == PAPER_LATENCIES

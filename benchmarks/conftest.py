@@ -1,0 +1,36 @@
+"""Shared configuration for the figure-regeneration benchmarks.
+
+Each ``bench_*`` file regenerates one table/figure of the paper and
+prints the same rows/series the paper reports.  The heavy system-level
+sweeps run exactly once per session (``pedantic(rounds=1)``) — the
+"benchmark" is the experiment itself, and its printed output is the
+artifact.
+
+Environment:
+    REPRO_BENCH_SCALE   work multiplier (default 1.0 = reference runs;
+                        set 0.2 for a quick smoke pass).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def bench_scale() -> float:
+    """Work scale for the figure sweeps."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    """Session-wide work scale."""
+    return bench_scale()
+
+
+def emit(title: str, text: str) -> None:
+    """Print a figure artifact with a banner (visible with -s or in
+    captured output on failure; also teed by the final run)."""
+    banner = "#" * 72
+    print(f"\n{banner}\n# {title}\n{banner}\n{text}\n")

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Adaptive power-state selection: mechanizing the paper's conclusion.
+
+"This reconfigurability makes it possible to adjust power states of
+the interconnects to application's characteristics such as scalability
+for parallelism and L2 cache demand."
+
+The paper picks states by hand per benchmark (Fig 7).  This example
+runs the :class:`~repro.mot.governor.PowerStateGovernor` two ways:
+
+1. ahead-of-time, from each SPLASH-2 profile's parallel fraction and
+   working set;
+2. online, from the hardware counters of a short profiling epoch at
+   Full connection —
+
+and then verifies the chosen state actually beats Full connection on
+EDP for a couple of programs.
+
+Run:  python examples/adaptive_governor.py
+"""
+
+from repro.analysis import run_benchmark
+from repro.mot.governor import PowerStateGovernor
+from repro.workloads import SPLASH2_NAMES, SPLASH2_PROFILES
+
+
+def main() -> None:
+    governor = PowerStateGovernor()
+
+    print("Ahead-of-time selection (profile -> state):")
+    chosen = {}
+    for name in SPLASH2_NAMES:
+        profile = SPLASH2_PROFILES[name]
+        state = governor.select_for_profile(profile)
+        chosen[name] = state
+        print(f"  {name:18s} P={profile.parallel_fraction:.2f} "
+              f"WS={profile.working_set_bytes // 1024:>4d}KB "
+              f"-> {state.name}")
+
+    print("\nOnline selection (profiling epoch -> state):")
+    for name in ("volrend", "ocean_contiguous"):
+        epoch, _ = run_benchmark(name, scale=0.15)
+        state = governor.select_from_counters(epoch)
+        barrier_frac = sum(c.barrier_cycles for c in epoch.cores) / max(
+            1, sum(c.total_cycles for c in epoch.cores)
+        )
+        print(f"  {name:18s} barrier-frac {barrier_frac:.2f} "
+              f"l2mr {epoch.l2_miss_rate:.2f} -> {state.name}")
+
+    print("\nDoes the chosen state pay off? (EDP vs Full connection)")
+    for name in ("volrend", "fmm"):
+        _, e_full = run_benchmark(name, scale=0.4)
+        _, e_chosen = run_benchmark(
+            name, power_state=chosen[name], scale=0.4
+        )
+        gain = 100 * (1 - e_chosen.edp / e_full.edp)
+        print(f"  {name:18s} {chosen[name].name:10s} "
+              f"EDP {'-' if gain >= 0 else '+'}{abs(gain):.0f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""Compare the four 3-D interconnects on a SPLASH-2 subset (Fig 6).
+
+The paper's Section IV motivation: packet-switched 3-D NoCs pay
+hop-by-hop router latency on every L2 access, while the circuit-switched
+MoT sets up a combinational path.  This example runs a reduced sweep
+(three benchmarks, 40% work scale) and prints both the zero-load and
+the measured (loaded) L2 access latencies plus execution times.
+
+For the full-figure regeneration use:
+  pytest benchmarks/bench_fig6_interconnects.py --benchmark-only
+
+Run:  python examples/interconnect_comparison.py
+"""
+
+from repro.analysis import experiment_fig6
+from repro.noc import paper_interconnects
+
+
+def main() -> None:
+    # Zero-load latencies: topology-only comparison (no benchmark).
+    print("Zero-load L2 access latency (16 cores, 32 banks):")
+    for ic in paper_interconnects():
+        mean = ic.mean_zero_load_latency(16, 32)
+        print(f"  {ic.name:22s} {mean:6.1f} cycles "
+              f"(leakage {ic.leakage_w() * 1e3:6.1f} mW)")
+    print()
+
+    # Loaded comparison on a benchmark subset.
+    result = experiment_fig6(
+        scale=0.4, benchmarks=("fft", "volrend", "water-nsquared")
+    )
+    print(result.render())
+    print()
+    print("(Fig 6 full suite: pytest benchmarks/bench_fig6_interconnects.py)")
+
+
+if __name__ == "__main__":
+    main()

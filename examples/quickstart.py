@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Quickstart: build the cluster, reconfigure it, run a benchmark.
+
+Walks through the library's three layers in ~40 lines:
+
+1. the physical models behind Table I's latencies;
+2. the reconfigurable MoT fabric (the paper's contribution) — apply a
+   power state and watch the bank remapping emerge from the forced
+   routing switches;
+3. a full system simulation of one SPLASH-2 benchmark with energy/EDP.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    Cluster3D,
+    FULL_CONNECTION,
+    PC16_MB8,
+    MoTFabric,
+    build_traces,
+    experiment_table1,
+    run_benchmark,
+)
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. Table I latencies fall out of the Elmore/CACTI/TSV models.
+    # ------------------------------------------------------------------
+    print(experiment_table1().render())
+    print()
+
+    # ------------------------------------------------------------------
+    # 2. Reconfigure the fabric: gate 24 of 32 banks (PC16-MB8).
+    # ------------------------------------------------------------------
+    fabric = MoTFabric(n_cores=16, n_banks=32)
+    plan = fabric.apply_power_state(PC16_MB8)
+    print(f"Power state {plan.state.name}:")
+    print(f"  active banks : {sorted(plan.state.active_banks)}")
+    print(f"  fold factor  : {plan.fold_factor} logical banks per survivor")
+    print(f"  forced levels: {sorted(plan.user_defined_levels)} of the routing tree")
+    print(f"  bank 0 now served by physical bank {fabric.resolve_bank(0, 0)}")
+    on = fabric.active_routing_switches() + fabric.active_arbitration_switches()
+    total = fabric.total_routing_switches + fabric.total_arbitration_switches
+    print(f"  switches on  : {on}/{total} "
+          f"({100 * (1 - on / total):.0f}% power-gated)")
+    print()
+
+    # ------------------------------------------------------------------
+    # 3. Simulate one benchmark end to end (scaled down for a demo).
+    # ------------------------------------------------------------------
+    report, energy = run_benchmark("fft", power_state=FULL_CONNECTION, scale=0.3)
+    print(f"fft on {report.interconnect_name} @ {report.power_state_name}:")
+    print(f"  execution    : {report.execution_cycles} cycles")
+    print(f"  L1 miss rate : {report.l1_miss_rate:.1%}")
+    print(f"  L2 miss rate : {report.l2_miss_rate:.1%}")
+    print(f"  mean L2 lat  : {report.mean_l2_latency_cycles:.1f} cycles")
+    print(f"  cluster      : {energy.cluster_j * 1e6:.1f} uJ"
+          f"  ->  EDP {energy.edp:.3e} J*s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+"""repro — reproduction of "A Power-Efficient 3-D On-Chip Interconnect
+for Multi-Core Accelerators with Stacked L2 Cache" (Kang, Park, Lee,
+Benini, De Micheli — DATE 2016).
+
+Quick start::
+
+    from repro import MoTFabric, PC16_MB8, experiment_table1
+
+    fabric = MoTFabric(n_cores=16, n_banks=32)
+    plan = fabric.apply_power_state(PC16_MB8)   # gate 24 banks
+    print(plan.remap)                            # emergent bank folding
+    print(experiment_table1().render())          # Table I latencies
+
+Subpackages:
+
+* ``repro.mot``       — the contribution: reconfigurable circuit-switched
+  3-D Mesh-of-Tree fabric with power gating;
+* ``repro.noc``       — packet-switched 3-D baselines (True Mesh,
+  Hybrid Bus-Mesh, Hybrid Bus-Tree);
+* ``repro.mem``       — L1/L2/DRAM substrate;
+* ``repro.phys``      — Elmore/TSV/SRAM/power physical models;
+* ``repro.sim``       — transaction-level system simulator;
+* ``repro.workloads`` — synthetic SPLASH-2 suite;
+* ``repro.analysis``  — energy/EDP and per-figure experiment harness.
+"""
+
+from repro.config import ClusterConfig, DEFAULT_CONFIG
+from repro.mot import (
+    FULL_CONNECTION,
+    PC16_MB8,
+    PC4_MB32,
+    PC4_MB8,
+    PAPER_POWER_STATES,
+    MoTFabric,
+    MoTLatencyModel,
+    MoTPowerModel,
+    PowerGatingController,
+    PowerState,
+)
+from repro.noc import (
+    HybridBusMesh,
+    HybridBusTree,
+    MoTInterconnect,
+    True3DMesh,
+)
+from repro.sim import Cluster3D, SimReport
+from repro.workloads import SPLASH2_NAMES, SyntheticWorkload, build_traces
+from repro.analysis import (
+    EnergyModel,
+    experiment_fig5,
+    experiment_fig6,
+    experiment_fig7,
+    experiment_fig8,
+    experiment_table1,
+    headline_edp,
+    run_benchmark,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClusterConfig",
+    "DEFAULT_CONFIG",
+    "FULL_CONNECTION",
+    "PC16_MB8",
+    "PC4_MB32",
+    "PC4_MB8",
+    "PAPER_POWER_STATES",
+    "MoTFabric",
+    "MoTLatencyModel",
+    "MoTPowerModel",
+    "PowerGatingController",
+    "PowerState",
+    "HybridBusMesh",
+    "HybridBusTree",
+    "MoTInterconnect",
+    "True3DMesh",
+    "Cluster3D",
+    "SimReport",
+    "SPLASH2_NAMES",
+    "SyntheticWorkload",
+    "build_traces",
+    "EnergyModel",
+    "experiment_fig5",
+    "experiment_fig6",
+    "experiment_fig7",
+    "experiment_fig8",
+    "experiment_table1",
+    "headline_edp",
+    "run_benchmark",
+    "__version__",
+]

@@ -1,0 +1,64 @@
+"""Energy/EDP analysis and the per-figure experiment harness."""
+
+from repro.analysis.energy import EnergyBreakdown, EnergyModel
+from repro.analysis.edp import (
+    EDPComparison,
+    best_state_stats,
+    execution_time_reduction,
+    reduction_stats,
+)
+from repro.analysis.report import (
+    format_normalized_table,
+    format_table,
+    normalize_rows,
+)
+from repro.analysis.experiments import (
+    Fig5Result,
+    Fig6Result,
+    PowerStateSweepResult,
+    Table1Result,
+    experiment_fig5,
+    experiment_fig6,
+    experiment_fig7,
+    experiment_fig8,
+    experiment_table1,
+    headline_edp,
+    run_benchmark,
+)
+from repro.analysis.export import export_fig6, export_power_sweep, rows_to_csv
+from repro.analysis.sweeps import (
+    SeedStudyResult,
+    seed_study,
+    sweep_dram_latency,
+    sweep_power_states,
+)
+
+__all__ = [
+    "EnergyBreakdown",
+    "EnergyModel",
+    "EDPComparison",
+    "best_state_stats",
+    "execution_time_reduction",
+    "reduction_stats",
+    "format_normalized_table",
+    "format_table",
+    "normalize_rows",
+    "Fig5Result",
+    "Fig6Result",
+    "PowerStateSweepResult",
+    "Table1Result",
+    "experiment_fig5",
+    "experiment_fig6",
+    "experiment_fig7",
+    "experiment_fig8",
+    "experiment_table1",
+    "headline_edp",
+    "run_benchmark",
+    "export_fig6",
+    "export_power_sweep",
+    "rows_to_csv",
+    "SeedStudyResult",
+    "seed_study",
+    "sweep_dram_latency",
+    "sweep_power_states",
+]

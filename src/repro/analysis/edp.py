@@ -1,0 +1,71 @@
+"""Energy-delay-product comparisons (the paper's headline metric).
+
+The figures normalize per benchmark: Fig 7a/8 plot each power state's
+EDP relative to Full connection; the abstract's "up to 77% (by 48% on
+average)" is the reduction of the best non-Full state per benchmark.
+This module provides those reductions plus small helpers the harness
+and tests share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class EDPComparison:
+    """EDP of several configurations of one benchmark, normalized."""
+
+    benchmark: str
+    baseline_name: str
+    edp_by_config: Mapping[str, float]
+
+    def normalized(self) -> Dict[str, float]:
+        """EDP of each configuration / EDP of the baseline."""
+        base = self.edp_by_config[self.baseline_name]
+        if base <= 0.0:
+            raise ValueError(f"non-positive baseline EDP for {self.benchmark}")
+        return {name: edp / base for name, edp in self.edp_by_config.items()}
+
+    def reduction_percent(self, config: str) -> float:
+        """EDP reduction of ``config`` vs the baseline (positive = better)."""
+        return 100.0 * (1.0 - self.normalized()[config])
+
+    def best_config(self) -> Tuple[str, float]:
+        """(name, reduction%) of the lowest-EDP configuration."""
+        norm = self.normalized()
+        name = min(norm, key=norm.get)
+        return name, 100.0 * (1.0 - norm[name])
+
+
+def reduction_stats(
+    comparisons: Iterable[EDPComparison], config: str
+) -> Tuple[float, float]:
+    """(max, mean) EDP reduction of ``config`` across benchmarks."""
+    reductions = [c.reduction_percent(config) for c in comparisons]
+    if not reductions:
+        raise ValueError("no comparisons")
+    return max(reductions), sum(reductions) / len(reductions)
+
+
+def best_state_stats(
+    comparisons: Iterable[EDPComparison],
+) -> Tuple[float, float]:
+    """(max, mean) reduction achieved by the *best* state per benchmark.
+
+    This is the paper's headline: "reduces energy-delay product (EDP)
+    up to 77% (by 48% on average)" — each program picks the power state
+    that suits its scalability and L2 demand.
+    """
+    bests = [c.best_config()[1] for c in comparisons]
+    if not bests:
+        raise ValueError("no comparisons")
+    return max(bests), sum(bests) / len(bests)
+
+
+def execution_time_reduction(
+    times: Mapping[str, float], from_config: str, to_config: str
+) -> float:
+    """Percent execution-time reduction going from one config to another."""
+    return 100.0 * (1.0 - times[to_config] / times[from_config])

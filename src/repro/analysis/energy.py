@@ -1,0 +1,168 @@
+"""System energy integration (McPAT cores + CACTI banks + Liao-He
+interconnect + DRAM), following the paper's Section IV methodology:
+"To estimate power consumption of core, L2 cache, and interconnect, we
+used power models in [19], [13], and [20], respectively."
+
+:class:`EnergyModel` turns a :class:`~repro.sim.stats.SimReport` plus
+the interconnect's own accounting into a component-wise
+:class:`EnergyBreakdown`, from which EDP (the paper's figure of merit)
+falls out.  Power-gated components contribute nothing: the report's
+active core/bank counts set the leakage populations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mem.dram import DRAMTimings, DDR3_OFFCHIP
+from repro.phys.core_power import CorePowerModel, DEFAULT_CORE_POWER
+from repro.phys.sram import SRAMBankModel, DEFAULT_BANK
+from repro.sim.stats import SimReport
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Joules per component over one run, plus the derived EDP."""
+
+    core_j: float
+    l2_dynamic_j: float
+    l2_leakage_j: float
+    interconnect_dynamic_j: float
+    interconnect_leakage_j: float
+    dram_j: float
+    execution_s: float
+
+    @property
+    def interconnect_j(self) -> float:
+        """Total interconnect energy."""
+        return self.interconnect_dynamic_j + self.interconnect_leakage_j
+
+    @property
+    def l2_j(self) -> float:
+        """Total L2 energy."""
+        return self.l2_dynamic_j + self.l2_leakage_j
+
+    @property
+    def cluster_j(self) -> float:
+        """Cluster energy: cores + L2 + interconnect.
+
+        This is the population the paper models ("power consumption of
+        core, L2 cache, and interconnect ... [19], [13], [20]"); the
+        off-cluster DRAM is excluded from its EDP.
+        """
+        return self.core_j + self.l2_j + self.interconnect_j
+
+    @property
+    def total_j(self) -> float:
+        """Cluster + off-cluster DRAM energy."""
+        return self.cluster_j + self.dram_j
+
+    @property
+    def edp(self) -> float:
+        """Energy-delay product (J*s) — the paper's figure of merit
+        (cluster energy x execution time)."""
+        return self.cluster_j * self.execution_s
+
+    @property
+    def edp_with_dram(self) -> float:
+        """EDP including DRAM energy (ablation; not the paper's metric)."""
+        return self.total_j * self.execution_s
+
+    def as_dict(self) -> dict:
+        """Flat numeric view for tables."""
+        return {
+            "core_j": self.core_j,
+            "l2_j": self.l2_j,
+            "interconnect_j": self.interconnect_j,
+            "cluster_j": self.cluster_j,
+            "dram_j": self.dram_j,
+            "total_j": self.total_j,
+            "execution_s": self.execution_s,
+            "edp": self.edp,
+        }
+
+
+class EnergyModel:
+    """Integrates per-component power models over a simulation report.
+
+    Parameters
+    ----------
+    core_power:
+        Cortex-A5-class per-core model [19].
+    bank:
+        SRAM bank model [13] (dynamic + leakage per powered bank).
+    dram:
+        DRAM technology (energy/access + background power).
+    frequency_hz:
+        Cluster clock (converts cycles to seconds).
+    """
+
+    def __init__(
+        self,
+        core_power: CorePowerModel = DEFAULT_CORE_POWER,
+        bank: SRAMBankModel = DEFAULT_BANK,
+        dram: DRAMTimings = DDR3_OFFCHIP,
+        frequency_hz: float = 1e9,
+    ) -> None:
+        self.core_power = core_power
+        self.bank = bank
+        self.dram = dram
+        self.frequency_hz = frequency_hz
+
+    # ------------------------------------------------------------------
+    def core_energy_j(self, report: SimReport) -> float:
+        """Active cores: busy at full power, stalled/barrier at idle
+        power; gated cores contribute nothing."""
+        total = 0.0
+        for core in report.cores:
+            idle = (
+                core.stall_cycles
+                + core.barrier_cycles
+                # A finished core idles (clock-gated) until the slowest
+                # core completes the program.
+                + max(0, report.execution_cycles - core.total_cycles)
+            )
+            total += self.core_power.energy(
+                core.busy_cycles, idle, self.frequency_hz
+            )
+        return total
+
+    def l2_dynamic_j(self, report: SimReport) -> float:
+        """Bank array reads/writes (interconnect energy is separate)."""
+        reads = report.l2_accesses - report.l2_writebacks
+        return reads * self.bank.read_energy() + (
+            report.l2_writebacks * self.bank.write_energy()
+        )
+
+    def l2_leakage_j(self, report: SimReport) -> float:
+        """Leakage of the powered-on banks over the run."""
+        seconds = report.execution_cycles / self.frequency_hz
+        return report.n_active_banks * self.bank.leakage_power() * seconds
+
+    def dram_j(self, report: SimReport) -> float:
+        """Access energy + background power of the DRAM device."""
+        seconds = report.execution_cycles / self.frequency_hz
+        return (
+            report.dram_accesses * self.dram.energy_per_access_j
+            + self.dram.background_w * seconds
+        )
+
+    # ------------------------------------------------------------------
+    def breakdown(
+        self, report: SimReport, interconnect_leakage_w: float
+    ) -> EnergyBreakdown:
+        """Full energy decomposition of one run.
+
+        ``interconnect_leakage_w`` comes from the interconnect model
+        (it knows its powered-on switch/router/repeater population).
+        """
+        seconds = report.execution_cycles / self.frequency_hz
+        return EnergyBreakdown(
+            core_j=self.core_energy_j(report),
+            l2_dynamic_j=self.l2_dynamic_j(report),
+            l2_leakage_j=self.l2_leakage_j(report),
+            interconnect_dynamic_j=report.interconnect_energy_j,
+            interconnect_leakage_j=interconnect_leakage_w * seconds,
+            dram_j=self.dram_j(report),
+            execution_s=seconds,
+        )

@@ -1,0 +1,333 @@
+"""Experiment harness: one entry point per table/figure of the paper.
+
+Every function regenerates one artifact of Section IV:
+
+=================  =====================================================
+``experiment_table1``  Architecture configuration incl. derived per-state
+                       L2 latencies (12/9/9/7 cycles)
+``experiment_fig5``    Wire-length comparison between power states
+``experiment_fig6``    L2 access latency (a) and execution time (b) of the
+                       four interconnects over SPLASH-2
+``experiment_fig7``    EDP (a) and execution time (b) of the four power
+                       states, DRAM 200 ns
+``experiment_fig8``    EDP of the four power states at DRAM 63 ns (a) and
+                       42 ns (b)
+``headline_edp``       The abstract's "up to 77% (48% avg)" EDP claim
+=================  =====================================================
+
+All functions accept ``scale`` (work multiplier; 1.0 = reference run)
+and return structured results with a ``render()`` method that prints
+the same rows/series the paper plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro import units as u
+from repro.analysis.edp import EDPComparison, best_state_stats, reduction_stats
+from repro.analysis.energy import EnergyBreakdown, EnergyModel
+from repro.analysis.report import format_normalized_table, format_table
+from repro.mem.dram import (
+    DDR3_OFFCHIP,
+    DRAMTimings,
+    PAPER_DRAM_TIMINGS,
+    WEIS_3D,
+    WIDE_IO_3D,
+)
+from repro.mot.latency import MoTLatencyModel
+from repro.mot.power_state import PAPER_POWER_STATES, PowerState
+from repro.noc.base import Interconnect
+from repro.noc.bus_mesh import HybridBusMesh
+from repro.noc.bus_tree import HybridBusTree
+from repro.noc.mesh3d import True3DMesh
+from repro.noc.mot_adapter import MoTInterconnect
+from repro.phys.geometry import Floorplan3D
+from repro.sim.cluster import Cluster3D
+from repro.sim.stats import SimReport
+from repro.workloads import SPLASH2_NAMES, build_traces
+
+
+def run_benchmark(
+    name: str,
+    interconnect: Optional[Interconnect] = None,
+    power_state: Optional[PowerState] = None,
+    dram: DRAMTimings = DDR3_OFFCHIP,
+    scale: float = 1.0,
+    seed: int = 2016,
+) -> Tuple[SimReport, EnergyBreakdown]:
+    """Run one benchmark on one configuration; returns (report, energy)."""
+    if power_state is None:
+        power_state = PAPER_POWER_STATES[0]
+    cluster = Cluster3D(
+        interconnect=interconnect, power_state=power_state, dram=dram
+    )
+    traces = build_traces(
+        name, sorted(power_state.active_cores), scale=scale, seed=seed
+    )
+    report = cluster.run(traces, workload_name=name)
+    energy = EnergyModel(dram=dram).breakdown(
+        report, cluster.interconnect.leakage_w()
+    )
+    return report, energy
+
+
+# ---------------------------------------------------------------------------
+# Table I
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class Table1Result:
+    """Architecture configuration with the derived latency column."""
+
+    latencies: Dict[str, int]
+
+    def render(self) -> str:
+        model = MoTLatencyModel()
+        lines = [
+            "Table I: architecture configuration",
+            "===================================",
+            "Core        1 GHz, 4 - 16 cores, in-order execution",
+            "L1 I/D      private, 4 KB, 32 B line, 4-way, LRU, 1 cycle",
+            "L2          shared, 32 B line, 8-way, 64 KB per bank",
+            "DRAM        one controller, 2 Gb, 4 KB page;"
+            " 200 / 63 / 42 ns",
+            "",
+            "Power state        cores  banks  L2 latency (derived)",
+            "-----------------------------------------------------",
+        ]
+        for state in PAPER_POWER_STATES:
+            lines.append(
+                f"{state.name:18s} {state.n_active_cores:>5d} "
+                f"{state.n_active_banks:>6d} {self.latencies[state.name]:>8d} cycles"
+            )
+        lines.append("")
+        lines.append(
+            f"(wire: {model.wire_delay_ns_per_mm():.3f} ns/mm repeated; "
+            f"switch: {model.switch_delay_s / u.NS:.3f} ns; "
+            f"bank: {model.bank.access_time() / u.NS:.3f} ns)"
+        )
+        return "\n".join(lines)
+
+
+def experiment_table1() -> Table1Result:
+    """Derive the Table I latency column from the physical models."""
+    model = MoTLatencyModel()
+    return Table1Result(
+        latencies={
+            s.name: model.hit_latency_cycles(s) for s in PAPER_POWER_STATES
+        }
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fig 5
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class Fig5Result:
+    """Wire-length comparison between power states."""
+
+    spans_mm: Dict[str, Tuple[float, float, float]]
+
+    def render(self) -> str:
+        rows = {
+            name: list(values) for name, values in self.spans_mm.items()
+        }
+        return format_table(
+            "Fig 5: wire lengths per power state (mm)",
+            ["horizontal", "vertical", "longest path"],
+            rows,
+            row_header="power state",
+        )
+
+
+def experiment_fig5(floorplan: Optional[Floorplan3D] = None) -> Fig5Result:
+    """Horizontal/vertical wire spans of each power state (Fig 5)."""
+    fp = floorplan or Floorplan3D()
+    spans = {}
+    for state in PAPER_POWER_STATES:
+        horizontal = fp.horizontal_wire_span_m(
+            state.n_active_cores, state.n_active_banks
+        )
+        vertical = fp.vertical_wire_span_m(state.n_active_banks)
+        longest = fp.longest_path_m(state.n_active_cores, state.n_active_banks)
+        spans[state.name] = (
+            horizontal / u.MM,
+            vertical / u.MM,
+            longest / u.MM,
+        )
+    return Fig5Result(spans_mm=spans)
+
+
+# ---------------------------------------------------------------------------
+# Fig 6
+# ---------------------------------------------------------------------------
+INTERCONNECT_FACTORIES: Dict[str, Callable[[], Interconnect]] = {
+    "True 3-D Mesh": True3DMesh,
+    "3-D Hybrid Bus-Mesh": HybridBusMesh,
+    "3-D Hybrid Bus-Tree": HybridBusTree,
+    "3-D MoT": MoTInterconnect,
+}
+
+
+@dataclass(frozen=True)
+class Fig6Result:
+    """L2 access latency (a) and execution time (b) per interconnect."""
+
+    latency_cycles: Dict[str, Dict[str, float]]  # bench -> ic -> cycles
+    execution_cycles: Dict[str, Dict[str, int]]  # bench -> ic -> cycles
+
+    @property
+    def interconnects(self) -> List[str]:
+        """Column order (the paper's)."""
+        return list(INTERCONNECT_FACTORIES)
+
+    def mot_reduction_vs(self, baseline: str) -> float:
+        """Average execution-time reduction of the MoT vs ``baseline``."""
+        reductions = [
+            100.0 * (1.0 - row["3-D MoT"] / row[baseline])
+            for row in self.execution_cycles.values()
+        ]
+        return sum(reductions) / len(reductions)
+
+    def render(self) -> str:
+        cols = self.interconnects
+        part_a = format_table(
+            "Fig 6a: L2 cache access latency (cycles)",
+            cols,
+            {b: [self.latency_cycles[b][c] for c in cols]
+             for b in self.latency_cycles},
+            value_format="{:>12.1f}",
+        )
+        part_b = format_normalized_table(
+            "Fig 6b: execution time (normalized to True 3-D Mesh)",
+            cols,
+            {b: [float(self.execution_cycles[b][c]) for c in cols]
+             for b in self.execution_cycles},
+        )
+        summary = "\n".join(
+            f"3-D MoT reduces execution time vs {base} by "
+            f"{self.mot_reduction_vs(base):.2f}% on average "
+            f"(paper: {paper:.2f}%)"
+            for base, paper in [
+                ("True 3-D Mesh", 13.01),
+                ("3-D Hybrid Bus-Mesh", 11.16),
+                ("3-D Hybrid Bus-Tree", 13.34),
+            ]
+        )
+        return f"{part_a}\n\n{part_b}\n\n{summary}"
+
+
+def experiment_fig6(
+    scale: float = 1.0,
+    benchmarks: Sequence[str] = SPLASH2_NAMES,
+    dram: DRAMTimings = DDR3_OFFCHIP,
+) -> Fig6Result:
+    """Four interconnects x SPLASH-2 at Full connection (Fig 6)."""
+    latency: Dict[str, Dict[str, float]] = {}
+    execution: Dict[str, Dict[str, int]] = {}
+    for bench in benchmarks:
+        latency[bench] = {}
+        execution[bench] = {}
+        for ic_name, factory in INTERCONNECT_FACTORIES.items():
+            report, _energy = run_benchmark(
+                bench, interconnect=factory(), dram=dram, scale=scale
+            )
+            latency[bench][ic_name] = report.mean_l2_latency_cycles
+            execution[bench][ic_name] = report.execution_cycles
+    return Fig6Result(latency_cycles=latency, execution_cycles=execution)
+
+
+# ---------------------------------------------------------------------------
+# Fig 7 / Fig 8
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class PowerStateSweepResult:
+    """EDP + execution time of the four power states (Fig 7, Fig 8)."""
+
+    dram: DRAMTimings
+    edp: Dict[str, Dict[str, float]]  # bench -> state -> J*s
+    execution_cycles: Dict[str, Dict[str, int]]
+    energy: Dict[str, Dict[str, float]]  # bench -> state -> J
+
+    @property
+    def states(self) -> List[str]:
+        """Column order (the paper's)."""
+        return [s.name for s in PAPER_POWER_STATES]
+
+    def comparisons(self) -> List[EDPComparison]:
+        """Per-benchmark normalized EDP comparisons."""
+        return [
+            EDPComparison(
+                benchmark=bench,
+                baseline_name="Full connection",
+                edp_by_config=self.edp[bench],
+            )
+            for bench in self.edp
+        ]
+
+    def render(self) -> str:
+        cols = self.states
+        part_a = format_normalized_table(
+            f"EDP, normalized to Full connection (DRAM "
+            f"{self.dram.access_latency_ns:.0f} ns)",
+            cols,
+            {b: [self.edp[b][c] for c in cols] for b in self.edp},
+        )
+        part_b = format_normalized_table(
+            "Execution time, normalized to Full connection",
+            cols,
+            {b: [float(self.execution_cycles[b][c]) for c in cols]
+             for b in self.execution_cycles},
+        )
+        best_max, best_avg = best_state_stats(self.comparisons())
+        summary = (
+            f"Best-state EDP reduction: up to {best_max:.0f}% "
+            f"({best_avg:.0f}% on average)"
+        )
+        return f"{part_a}\n\n{part_b}\n\n{summary}"
+
+
+def experiment_fig7(
+    scale: float = 1.0,
+    benchmarks: Sequence[str] = SPLASH2_NAMES,
+    dram: DRAMTimings = DDR3_OFFCHIP,
+) -> PowerStateSweepResult:
+    """Four power states x SPLASH-2 on the MoT (Fig 7; DRAM 200 ns)."""
+    edp: Dict[str, Dict[str, float]] = {}
+    execution: Dict[str, Dict[str, int]] = {}
+    energy: Dict[str, Dict[str, float]] = {}
+    for bench in benchmarks:
+        edp[bench], execution[bench], energy[bench] = {}, {}, {}
+        for state in PAPER_POWER_STATES:
+            report, breakdown = run_benchmark(
+                bench, power_state=state, dram=dram, scale=scale
+            )
+            edp[bench][state.name] = breakdown.edp
+            execution[bench][state.name] = report.execution_cycles
+            energy[bench][state.name] = breakdown.total_j
+    return PowerStateSweepResult(
+        dram=dram, edp=edp, execution_cycles=execution, energy=energy
+    )
+
+
+def experiment_fig8(
+    scale: float = 1.0,
+    benchmarks: Sequence[str] = SPLASH2_NAMES,
+) -> Tuple[PowerStateSweepResult, PowerStateSweepResult]:
+    """Fig 8: the Fig 7a sweep at DRAM 63 ns (a) and 42 ns (b)."""
+    part_a = experiment_fig7(scale=scale, benchmarks=benchmarks, dram=WIDE_IO_3D)
+    part_b = experiment_fig7(scale=scale, benchmarks=benchmarks, dram=WEIS_3D)
+    return part_a, part_b
+
+
+def headline_edp(
+    scale: float = 1.0, benchmarks: Sequence[str] = SPLASH2_NAMES
+) -> Tuple[float, float]:
+    """The abstract's claim: best-state EDP reduction (max, mean).
+
+    Paper: "reduces energy-delay product (EDP) up to 77% (by 48% on
+    average)".
+    """
+    sweep = experiment_fig7(scale=scale, benchmarks=benchmarks)
+    return best_state_stats(sweep.comparisons())

@@ -1,0 +1,87 @@
+"""Export experiment results as machine-readable artifacts.
+
+A released reproduction should emit data files alongside the printed
+tables, so downstream users can re-plot the figures without re-running
+multi-minute sweeps.  :func:`rows_to_csv` serializes any figure's rows;
+the ``export_*`` helpers name the artifacts after the figures.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Dict, Mapping, Sequence, Union
+
+from repro.analysis.experiments import Fig6Result, PowerStateSweepResult
+
+PathLike = Union[str, Path]
+
+
+def rows_to_csv(
+    columns: Sequence[str],
+    rows: Mapping[str, Sequence[float]],
+    row_header: str = "benchmark",
+) -> str:
+    """Serialize a figure's rows as CSV text."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow([row_header, *columns])
+    for name, values in rows.items():
+        if len(values) != len(columns):
+            raise ValueError(
+                f"row {name!r} has {len(values)} values for "
+                f"{len(columns)} columns"
+            )
+        writer.writerow([name, *values])
+    return buffer.getvalue()
+
+
+def export_fig6(result: Fig6Result, directory: PathLike) -> Dict[str, Path]:
+    """Write fig6a (latency) and fig6b (execution) CSVs; returns paths."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    cols = result.interconnects
+    artifacts = {
+        "fig6a_latency_cycles.csv": {
+            b: [result.latency_cycles[b][c] for c in cols]
+            for b in result.latency_cycles
+        },
+        "fig6b_execution_cycles.csv": {
+            b: [float(result.execution_cycles[b][c]) for c in cols]
+            for b in result.execution_cycles
+        },
+    }
+    written = {}
+    for filename, rows in artifacts.items():
+        path = directory / filename
+        path.write_text(rows_to_csv(cols, rows))
+        written[filename] = path
+    return written
+
+
+def export_power_sweep(
+    result: PowerStateSweepResult, directory: PathLike, prefix: str = "fig7"
+) -> Dict[str, Path]:
+    """Write EDP/execution/energy CSVs of a power-state sweep."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    cols = result.states
+    artifacts = {
+        f"{prefix}_edp_js.csv": {
+            b: [result.edp[b][c] for c in cols] for b in result.edp
+        },
+        f"{prefix}_execution_cycles.csv": {
+            b: [float(result.execution_cycles[b][c]) for c in cols]
+            for b in result.execution_cycles
+        },
+        f"{prefix}_energy_j.csv": {
+            b: [result.energy[b][c] for c in cols] for b in result.energy
+        },
+    }
+    written = {}
+    for filename, rows in artifacts.items():
+        path = directory / filename
+        path.write_text(rows_to_csv(cols, rows))
+        written[filename] = path
+    return written

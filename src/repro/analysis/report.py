@@ -1,0 +1,67 @@
+"""Plain-text table rendering for the experiment harness.
+
+The paper's figures are bar charts; a terminal reproduction prints the
+same series as aligned tables (one row per benchmark, one column per
+configuration), plus normalized views where the figure is normalized.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+
+def format_table(
+    title: str,
+    columns: Sequence[str],
+    rows: Mapping[str, Sequence[float]],
+    value_format: str = "{:>12.4g}",
+    row_header: str = "benchmark",
+) -> str:
+    """Render ``rows`` (name -> values, one per column) as a table."""
+    widths = [max(12, len(c) + 2) for c in columns]
+    name_width = max(len(row_header), *(len(n) for n in rows)) + 2
+    lines = [title, "=" * len(title)]
+    header = row_header.ljust(name_width) + "".join(
+        c.rjust(w) for c, w in zip(columns, widths)
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name, values in rows.items():
+        if len(values) != len(columns):
+            raise ValueError(
+                f"row {name!r} has {len(values)} values for "
+                f"{len(columns)} columns"
+            )
+        cells = "".join(
+            value_format.format(v).rjust(w) for v, w in zip(values, widths)
+        )
+        lines.append(name.ljust(name_width) + cells)
+    return "\n".join(lines)
+
+
+def normalize_rows(
+    rows: Mapping[str, Sequence[float]], baseline_index: int = 0
+) -> Dict[str, List[float]]:
+    """Divide every row by its ``baseline_index`` entry (figure style)."""
+    out: Dict[str, List[float]] = {}
+    for name, values in rows.items():
+        base = values[baseline_index]
+        if base <= 0:
+            raise ValueError(f"non-positive baseline in row {name!r}")
+        out[name] = [v / base for v in values]
+    return out
+
+
+def format_normalized_table(
+    title: str,
+    columns: Sequence[str],
+    rows: Mapping[str, Sequence[float]],
+    baseline_index: int = 0,
+) -> str:
+    """Normalized variant (baseline column = 1.000)."""
+    return format_table(
+        title,
+        columns,
+        normalize_rows(rows, baseline_index),
+        value_format="{:>12.3f}",
+    )

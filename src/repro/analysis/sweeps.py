@@ -1,0 +1,133 @@
+"""Parameter-sweep and multi-seed statistics utilities.
+
+The paper reports single numbers per configuration; a reproduction
+should also quantify how stable those numbers are (trace randomness)
+and how they move with the architecture knobs (bank count, core count,
+DRAM latency).  This module provides:
+
+* :func:`seed_study` — run one configuration under several trace seeds
+  and summarize execution time / EDP with mean and spread;
+* :func:`sweep_power_states` — EDP over an arbitrary power-state list
+  (e.g. the PC8/MB16 interpolations of the ablation bench);
+* :func:`sweep_dram_latency` — one benchmark across DRAM technologies
+  (the Fig 8 axis, as a reusable primitive).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.experiments import run_benchmark
+from repro.mem.dram import DRAMTimings, PAPER_DRAM_TIMINGS
+from repro.mot.power_state import PowerState
+from repro.noc.base import Interconnect
+
+
+@dataclass(frozen=True)
+class SeedStudyResult:
+    """Spread of a configuration's results over trace seeds."""
+
+    benchmark: str
+    seeds: Tuple[int, ...]
+    execution_cycles: Tuple[int, ...]
+    edp: Tuple[float, ...]
+
+    @staticmethod
+    def _mean(values: Sequence[float]) -> float:
+        return sum(values) / len(values)
+
+    @staticmethod
+    def _stdev(values: Sequence[float]) -> float:
+        if len(values) < 2:
+            return 0.0
+        mean = sum(values) / len(values)
+        return math.sqrt(
+            sum((v - mean) ** 2 for v in values) / (len(values) - 1)
+        )
+
+    @property
+    def mean_execution(self) -> float:
+        """Mean execution time (cycles)."""
+        return self._mean(self.execution_cycles)
+
+    @property
+    def execution_cv(self) -> float:
+        """Coefficient of variation of execution time (spread/mean)."""
+        mean = self.mean_execution
+        return self._stdev(self.execution_cycles) / mean if mean else 0.0
+
+    @property
+    def mean_edp(self) -> float:
+        """Mean EDP (J*s)."""
+        return self._mean(self.edp)
+
+    @property
+    def edp_cv(self) -> float:
+        """Coefficient of variation of EDP."""
+        mean = self.mean_edp
+        return self._stdev(self.edp) / mean if mean else 0.0
+
+
+def seed_study(
+    benchmark: str,
+    seeds: Sequence[int] = (1, 2, 3, 4, 5),
+    power_state: Optional[PowerState] = None,
+    scale: float = 0.2,
+) -> SeedStudyResult:
+    """Run ``benchmark`` under several seeds; returns the spread."""
+    if not seeds:
+        raise ValueError("need at least one seed")
+    cycles: List[int] = []
+    edps: List[float] = []
+    for seed in seeds:
+        report, energy = run_benchmark(
+            benchmark, power_state=power_state, scale=scale, seed=seed
+        )
+        cycles.append(report.execution_cycles)
+        edps.append(energy.edp)
+    return SeedStudyResult(
+        benchmark=benchmark,
+        seeds=tuple(seeds),
+        execution_cycles=tuple(cycles),
+        edp=tuple(edps),
+    )
+
+
+def sweep_power_states(
+    benchmark: str,
+    states: Sequence[PowerState],
+    scale: float = 0.5,
+    seed: int = 2016,
+) -> Dict[str, Tuple[int, float]]:
+    """(execution cycles, EDP) of ``benchmark`` per power state."""
+    if not states:
+        raise ValueError("need at least one state")
+    out: Dict[str, Tuple[int, float]] = {}
+    for state in states:
+        report, energy = run_benchmark(
+            benchmark, power_state=state, scale=scale, seed=seed
+        )
+        out[state.name] = (report.execution_cycles, energy.edp)
+    return out
+
+
+def sweep_dram_latency(
+    benchmark: str,
+    power_state: Optional[PowerState] = None,
+    timings: Sequence[DRAMTimings] = PAPER_DRAM_TIMINGS,
+    scale: float = 0.5,
+    seed: int = 2016,
+) -> Dict[str, Tuple[int, float]]:
+    """(execution cycles, EDP) of ``benchmark`` per DRAM technology."""
+    if not timings:
+        raise ValueError("need at least one DRAM technology")
+    out: Dict[str, Tuple[int, float]] = {}
+    for dram in timings:
+        report, energy = run_benchmark(
+            benchmark, power_state=power_state, dram=dram, scale=scale,
+            seed=seed,
+        )
+        out[dram.name] = (report.execution_cycles, energy.edp)
+    return out

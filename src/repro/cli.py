@@ -1,0 +1,108 @@
+"""Command-line entry point: ``python -m repro <artifact>``.
+
+Regenerates any of the paper's artifacts from a terminal without
+writing code:
+
+    python -m repro table1
+    python -m repro fig5
+    python -m repro fig6 --scale 0.3 --benchmarks fft volrend
+    python -m repro fig7 --dram 63
+    python -m repro fig8 --scale 0.5
+    python -m repro config
+    python -m repro fabric --state PC16-MB8
+
+Scale 1.0 is the reference run (minutes for fig6-fig8); smaller scales
+trade fidelity of the capacity effects for speed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.experiments import (
+    experiment_fig5,
+    experiment_fig6,
+    experiment_fig7,
+    experiment_fig8,
+    experiment_table1,
+)
+from repro.config import DEFAULT_CONFIG
+from repro.mem.dram import DDR3_OFFCHIP, WEIS_3D, WIDE_IO_3D
+from repro.mot.fabric import MoTFabric
+from repro.mot.power_state import power_state_by_name
+from repro.mot.visualize import render_fabric
+from repro.workloads.characteristics import SPLASH2_NAMES
+
+_DRAM_BY_NS = {200: DDR3_OFFCHIP, 63: WIDE_IO_3D, 42: WEIS_3D}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument schema."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate artifacts of the DATE'16 3-D MoT paper.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="architecture config + derived latencies")
+    sub.add_parser("fig5", help="wire lengths per power state")
+    sub.add_parser("config", help="Table I configuration dump")
+
+    for name, help_text in (
+        ("fig6", "four interconnects over SPLASH-2"),
+        ("fig7", "four power states (EDP + execution time)"),
+        ("fig8", "power states at 63 ns and 42 ns DRAM"),
+    ):
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument("--scale", type=float, default=1.0,
+                       help="work multiplier (default 1.0)")
+        p.add_argument("--benchmarks", nargs="+", default=list(SPLASH2_NAMES),
+                       choices=list(SPLASH2_NAMES), metavar="BENCH",
+                       help="subset of the SPLASH-2 suite")
+        if name == "fig7":
+            p.add_argument("--dram", type=int, default=200,
+                           choices=sorted(_DRAM_BY_NS),
+                           help="DRAM access latency in ns")
+
+    p = sub.add_parser("fabric", help="Fig 4-style fabric rendering")
+    p.add_argument("--state", default="PC16-MB8",
+                   help="power state name (e.g. 'PC4-MB8')")
+    p.add_argument("--core", type=int, default=None,
+                   help="core whose routing tree to draw")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+
+    if args.command == "table1":
+        print(experiment_table1().render())
+    elif args.command == "config":
+        print(DEFAULT_CONFIG.describe())
+    elif args.command == "fig5":
+        print(experiment_fig5().render())
+    elif args.command == "fig6":
+        print(experiment_fig6(scale=args.scale,
+                              benchmarks=args.benchmarks).render())
+    elif args.command == "fig7":
+        print(experiment_fig7(scale=args.scale, benchmarks=args.benchmarks,
+                              dram=_DRAM_BY_NS[args.dram]).render())
+    elif args.command == "fig8":
+        part_a, part_b = experiment_fig8(scale=args.scale,
+                                         benchmarks=args.benchmarks)
+        print(part_a.render())
+        print()
+        print(part_b.render())
+    elif args.command == "fabric":
+        state = power_state_by_name(args.state)
+        fabric = MoTFabric(state.total_cores, state.total_banks)
+        fabric.apply_power_state(state)
+        print(render_fabric(fabric, core=args.core))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

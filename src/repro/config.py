@@ -1,0 +1,53 @@
+"""Top-level cluster configuration (paper Table I).
+
+:class:`ClusterConfig` bundles every architectural parameter in one
+place; the defaults are exactly Table I's target architecture.  The
+pieces (L1/L2 configs, floorplan, DRAM timings) are the same dataclasses
+the subsystems consume, so a config can be handed around wholesale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.mem.dram import DRAMTimings, DDR3_OFFCHIP
+from repro.mem.l1 import L1Config
+from repro.mem.l2 import L2Config
+from repro.phys.geometry import Floorplan3D
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """The paper's target architecture in one object (Table I)."""
+
+    n_cores: int = 16
+    frequency_hz: float = 1e9
+    l1: L1Config = field(default_factory=L1Config)
+    l2: L2Config = field(default_factory=L2Config)
+    dram: DRAMTimings = DDR3_OFFCHIP
+    floorplan: Floorplan3D = field(default_factory=Floorplan3D)
+
+    def describe(self) -> str:
+        """Human-readable configuration dump (Table I layout)."""
+        ghz = self.frequency_hz / 1e9
+        lines = [
+            "Architecture configuration (Table I)",
+            f"  Core   : {ghz:.1f} GHz, up to {self.n_cores} cores, in-order",
+            f"  L1 I/D : private, {self.l1.capacity_bytes // 1024} KB, "
+            f"{self.l1.line_bytes} B line, {self.l1.associativity}-way, "
+            f"{self.l1.policy.upper()}, {self.l1.hit_latency_cycles} cycle",
+            f"  L2     : shared, {self.l2.line_bytes} B line, "
+            f"{self.l2.associativity}-way, "
+            f"{self.l2.bank_capacity_bytes // 1024} KB x {self.l2.n_banks} banks "
+            f"on {self.floorplan.n_cache_tiers} tiers",
+            f"  DRAM   : one controller, 2 Gb, 4 KB page, "
+            f"{self.dram.access_latency_ns:.0f} ns ({self.dram.name})",
+            f"  Die    : {self.floorplan.die_width_m * 1e3:.1f} mm x "
+            f"{self.floorplan.die_height_m * 1e3:.1f} mm, "
+            f"tier pitch {self.floorplan.tier_pitch_m * 1e6:.0f} um",
+        ]
+        return "\n".join(lines)
+
+
+#: The default (paper) configuration.
+DEFAULT_CONFIG = ClusterConfig()

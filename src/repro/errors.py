@@ -1,0 +1,54 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An architecture configuration is inconsistent or unsupported.
+
+    Raised, for example, when the number of cache banks is not a power of
+    two, or when a power state references more cores than the cluster has.
+    """
+
+
+class TopologyError(ReproError):
+    """A network topology cannot be constructed as requested."""
+
+
+class RoutingError(ReproError):
+    """A packet cannot be routed to its destination.
+
+    This covers requests addressed to power-gated banks that have no
+    remap entry, out-of-range port indices on a switch, and user-defined
+    control words that would steer packets into a gated subtree.
+    """
+
+
+class ArbitrationError(ReproError):
+    """Arbitration state is invalid (e.g. grant to an idle requestor)."""
+
+
+class PowerStateError(ReproError):
+    """A power-state transition request is invalid.
+
+    Examples: gating banks while dirty lines have not been written back,
+    or defining a power state whose active-bank set cannot be expressed by
+    forcing routing-tree levels.
+    """
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class WorkloadError(ReproError):
+    """A workload generator was asked for an impossible trace."""

@@ -1,0 +1,61 @@
+"""Memory-hierarchy substrate: private L1s, the shared banked stacked
+L2 (remap-aware), the off-cluster DRAM and the round-robin Miss bus.
+"""
+
+from repro.mem.replacement import (
+    FIFOPolicy,
+    LRUPolicy,
+    RandomPolicy,
+    ReplacementPolicy,
+    TreePLRUPolicy,
+    make_policy,
+)
+from repro.mem.cache import (
+    AccessResult,
+    CacheLine,
+    CacheStats,
+    SetAssociativeCache,
+)
+from repro.mem.l1 import L1Cache, L1Config, make_l1_pair
+from repro.mem.mapping import BankInterleaver
+from repro.mem.l2 import BankedL2, L2AccessOutcome, L2Config
+from repro.mem.dram import (
+    DDR3_OFFCHIP,
+    DRAMModel,
+    DRAMStats,
+    DRAMTimings,
+    MissBus,
+    MissBusStats,
+    PAPER_DRAM_TIMINGS,
+    WEIS_3D,
+    WIDE_IO_3D,
+)
+
+__all__ = [
+    "FIFOPolicy",
+    "LRUPolicy",
+    "RandomPolicy",
+    "ReplacementPolicy",
+    "TreePLRUPolicy",
+    "make_policy",
+    "AccessResult",
+    "CacheLine",
+    "CacheStats",
+    "SetAssociativeCache",
+    "L1Cache",
+    "L1Config",
+    "make_l1_pair",
+    "BankInterleaver",
+    "BankedL2",
+    "L2AccessOutcome",
+    "L2Config",
+    "DDR3_OFFCHIP",
+    "DRAMModel",
+    "DRAMStats",
+    "DRAMTimings",
+    "MissBus",
+    "MissBusStats",
+    "PAPER_DRAM_TIMINGS",
+    "WEIS_3D",
+    "WIDE_IO_3D",
+]

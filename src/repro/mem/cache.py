@@ -1,0 +1,288 @@
+"""Functional set-associative cache model.
+
+Used for both the private L1s (4 KB, 4-way, 32 B lines, LRU — Table I)
+and each L2 bank (64 KB, 8-way, 32 B lines).  The model is functional —
+it tracks which lines are resident and dirty, not their data — because
+the evaluation needs hit/miss behaviour and write-back traffic, not
+values.  Latency and energy are accounted by the callers.
+
+Write policy is write-back / write-allocate (the paper's gating protocol
+explicitly writes back dirty blocks, so L2 must be write-back; we use
+the same policy for L1 toward L2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.mem.replacement import ReplacementPolicy, make_policy
+from repro.units import is_power_of_two
+
+
+@dataclass
+class CacheLine:
+    """One resident line: the full line-aligned address plus state."""
+
+    address: int
+    dirty: bool = False
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Outcome of one cache access.
+
+    Attributes
+    ----------
+    hit:
+        Whether the line was resident.
+    writeback:
+        Line-aligned address of a dirty line evicted by this access's
+        fill, or ``None``.  Clean evictions are silent.
+    evicted:
+        Address of any line evicted (dirty or clean), or ``None``.
+    """
+
+    hit: bool
+    writeback: Optional[int] = None
+    evicted: Optional[int] = None
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/traffic counters."""
+
+    reads: int = 0
+    writes: int = 0
+    read_hits: int = 0
+    write_hits: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total accesses."""
+        return self.reads + self.writes
+
+    @property
+    def hits(self) -> int:
+        """Total hits."""
+        return self.read_hits + self.write_hits
+
+    @property
+    def misses(self) -> int:
+        """Total misses."""
+        return self.accesses - self.hits
+
+    @property
+    def miss_rate(self) -> float:
+        """Miss ratio over all accesses (0 when idle)."""
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.reads = self.writes = 0
+        self.read_hits = self.write_hits = 0
+        self.evictions = self.writebacks = 0
+
+
+class SetAssociativeCache:
+    """Functional set-associative, write-back, write-allocate cache.
+
+    Parameters
+    ----------
+    capacity_bytes, line_bytes, associativity:
+        Geometry; all powers of two, capacity >= one set.
+    policy:
+        Replacement policy name (see :func:`repro.mem.replacement.make_policy`).
+    name:
+        Label used in error messages and reports.
+    index_stride_lines:
+        Line-number stride between consecutive sets.  The default (1)
+        is the usual modulo indexing.  L2 *banks* pass the cluster's
+        bank count here so the set index is taken from the address bits
+        *above* the bank-interleave field — with line interleaving, a
+        bank only ever sees line numbers congruent to its index, and
+        indexing those directly would use 1/``n_banks`` of the sets.
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        line_bytes: int = 32,
+        associativity: int = 4,
+        policy: str = "lru",
+        name: str = "cache",
+        seed: int = 0,
+        index_stride_lines: int = 1,
+    ) -> None:
+        for value, what in (
+            (capacity_bytes, "capacity"),
+            (line_bytes, "line size"),
+            (associativity, "associativity"),
+        ):
+            if not is_power_of_two(value):
+                raise ConfigurationError(f"{what} must be a power of two, got {value}")
+        if capacity_bytes < line_bytes * associativity:
+            raise ConfigurationError(
+                f"{name}: capacity {capacity_bytes} smaller than one set"
+            )
+        if index_stride_lines < 1:
+            raise ConfigurationError(
+                f"{name}: index stride must be >= 1, got {index_stride_lines}"
+            )
+        self.index_stride_lines = index_stride_lines
+        self.name = name
+        self.capacity_bytes = capacity_bytes
+        self.line_bytes = line_bytes
+        self.associativity = associativity
+        self.n_sets = capacity_bytes // (line_bytes * associativity)
+        self._policy_name = policy
+        self._seed = seed
+        # Per set: way -> CacheLine (ways not present are invalid).
+        self._sets: List[Dict[int, CacheLine]] = [dict() for _ in range(self.n_sets)]
+        self._policies: List[ReplacementPolicy] = [
+            make_policy(policy, associativity, seed=seed + i)
+            for i in range(self.n_sets)
+        ]
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    # Address helpers
+    # ------------------------------------------------------------------
+    def line_address(self, address: int) -> int:
+        """Line-aligned address."""
+        return address - (address % self.line_bytes)
+
+    def set_index(self, address: int) -> int:
+        """Set selected by ``address`` (see ``index_stride_lines``)."""
+        line_number = address // self.line_bytes
+        return (line_number // self.index_stride_lines) % self.n_sets
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def access(self, address: int, is_write: bool = False) -> AccessResult:
+        """Perform one access, filling on miss (write-allocate).
+
+        Returns the hit/miss outcome and any write-back generated by the
+        fill's eviction.
+        """
+        if address < 0:
+            raise ConfigurationError(f"{self.name}: negative address {address}")
+        line_addr = self.line_address(address)
+        index = self.set_index(address)
+        cache_set = self._sets[index]
+        policy = self._policies[index]
+
+        if is_write:
+            self.stats.writes += 1
+        else:
+            self.stats.reads += 1
+
+        for way, line in cache_set.items():
+            if line.address == line_addr:
+                policy.touch(way)
+                if is_write:
+                    line.dirty = True
+                    self.stats.write_hits += 1
+                else:
+                    self.stats.read_hits += 1
+                return AccessResult(hit=True)
+
+        # Miss: choose a way (an invalid one if available).
+        writeback = evicted = None
+        free_ways = [w for w in range(self.associativity) if w not in cache_set]
+        if free_ways:
+            way = free_ways[0]
+        else:
+            way = policy.victim([True] * self.associativity)
+            victim = cache_set[way]
+            evicted = victim.address
+            self.stats.evictions += 1
+            if victim.dirty:
+                writeback = victim.address
+                self.stats.writebacks += 1
+        cache_set[way] = CacheLine(address=line_addr, dirty=is_write)
+        policy.insert(way)
+        return AccessResult(hit=False, writeback=writeback, evicted=evicted)
+
+    def write_no_allocate(self, address: int) -> bool:
+        """Update-in-place write: dirty the line if resident, else miss.
+
+        Used for victim write-backs arriving from an upper level: if the
+        line is still here it absorbs the write; if it has been evicted
+        the write must be forwarded to the next level (no fetch).
+        Returns True on hit.
+        """
+        line_addr = self.line_address(address)
+        index = self.set_index(address)
+        self.stats.writes += 1
+        for way, line in self._sets[index].items():
+            if line.address == line_addr:
+                line.dirty = True
+                self._policies[index].touch(way)
+                self.stats.write_hits += 1
+                return True
+        return False
+
+    def probe(self, address: int) -> bool:
+        """Non-destructive residency check (no state change)."""
+        line_addr = self.line_address(address)
+        cache_set = self._sets[self.set_index(address)]
+        return any(line.address == line_addr for line in cache_set.values())
+
+    # ------------------------------------------------------------------
+    # Maintenance (used by the power-gating protocol)
+    # ------------------------------------------------------------------
+    def lines(self) -> Iterator[CacheLine]:
+        """All resident lines."""
+        for cache_set in self._sets:
+            yield from cache_set.values()
+
+    def dirty_lines(self) -> List[int]:
+        """Addresses of all dirty resident lines."""
+        return [line.address for line in self.lines() if line.dirty]
+
+    @property
+    def resident_lines(self) -> int:
+        """Number of valid lines."""
+        return sum(len(s) for s in self._sets)
+
+    def flush(
+        self, predicate: Optional[Callable[[int], bool]] = None
+    ) -> Tuple[int, int]:
+        """Write back and invalidate lines matching ``predicate``.
+
+        ``predicate`` takes the line address; ``None`` flushes everything.
+        Returns ``(lines_written_back, lines_invalidated)``.
+        """
+        written = invalidated = 0
+        for cache_set in self._sets:
+            doomed = [
+                way
+                for way, line in cache_set.items()
+                if predicate is None or predicate(line.address)
+            ]
+            for way in doomed:
+                line = cache_set.pop(way)
+                invalidated += 1
+                if line.dirty:
+                    written += 1
+        self.stats.writebacks += written
+        return written, invalidated
+
+    def invalidate_all(self) -> int:
+        """Drop every line without writing back (power-off semantics
+        *after* the controller has already flushed dirty data)."""
+        count = self.resident_lines
+        for cache_set in self._sets:
+            cache_set.clear()
+        return count
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<SetAssociativeCache {self.name} {self.capacity_bytes}B "
+            f"{self.associativity}-way {self.n_sets} sets>"
+        )

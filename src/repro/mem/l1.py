@@ -1,0 +1,69 @@
+"""Private per-core L1 caches (Table I).
+
+"L1 I/D cache: Private, 4KB capacity (per-core), 32B line, 4-way
+associative, LRU replacement, 1 cycle latency."
+
+(The prose of Section IV mentions 16KB/16KB Cortex-A5 caches; Table I —
+the configuration actually simulated — says 4 KB, so we default to the
+table and leave the capacity a parameter.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mem.cache import AccessResult, SetAssociativeCache
+
+
+@dataclass(frozen=True)
+class L1Config:
+    """L1 geometry and latency (defaults = Table I)."""
+
+    capacity_bytes: int = 4 * 1024
+    line_bytes: int = 32
+    associativity: int = 4
+    policy: str = "lru"
+    hit_latency_cycles: int = 1
+
+
+class L1Cache:
+    """One private L1 (instruction or data) cache.
+
+    A thin wrapper over :class:`SetAssociativeCache` that carries the
+    1-cycle hit latency and a role label for reports.
+    """
+
+    def __init__(self, core_id: int, role: str = "D", config: L1Config = L1Config()) -> None:
+        if role not in ("I", "D"):
+            raise ValueError(f"L1 role must be 'I' or 'D', got {role!r}")
+        self.core_id = core_id
+        self.role = role
+        self.config = config
+        self.cache = SetAssociativeCache(
+            capacity_bytes=config.capacity_bytes,
+            line_bytes=config.line_bytes,
+            associativity=config.associativity,
+            policy=config.policy,
+            name=f"L1{role}[core{core_id}]",
+        )
+
+    def access(self, address: int, is_write: bool = False) -> AccessResult:
+        """One L1 access; instruction caches reject writes."""
+        if self.role == "I" and is_write:
+            raise ValueError(f"core {self.core_id}: write to instruction cache")
+        return self.cache.access(address, is_write)
+
+    @property
+    def hit_latency_cycles(self) -> int:
+        """Hit latency (Table I: 1 cycle)."""
+        return self.config.hit_latency_cycles
+
+    @property
+    def stats(self):
+        """Underlying counters."""
+        return self.cache.stats
+
+
+def make_l1_pair(core_id: int, config: L1Config = L1Config()):
+    """Build the private (L1I, L1D) pair of one core."""
+    return L1Cache(core_id, "I", config), L1Cache(core_id, "D", config)

@@ -1,0 +1,79 @@
+"""Address-to-bank mapping for the multi-banked shared L2.
+
+The L2 is line-interleaved across banks: consecutive 32-byte lines live
+in consecutive banks, which spreads any sequential stream over the whole
+bank population (the property the paper's remapping preserves: ignoring
+one bank-index bit folds pairs of banks while keeping the interleave
+even).
+
+:class:`BankInterleaver` computes the *logical* bank index of an address
+— the value the MoT routing trees receive as the packet's address field;
+the *physical* bank is whatever the current reconfiguration plan folds
+it onto.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import is_power_of_two, log2_int
+
+
+@dataclass(frozen=True)
+class BankInterleaver:
+    """Line-interleaved bank mapping.
+
+    Parameters
+    ----------
+    n_banks:
+        Total (physical) bank population; power of two.
+    line_bytes:
+        Interleave granule = L2 line size (Table I: 32 B).
+    """
+
+    n_banks: int = 32
+    line_bytes: int = 32
+
+    def __post_init__(self) -> None:
+        if not is_power_of_two(self.n_banks):
+            raise ConfigurationError(f"bank count {self.n_banks} must be a power of two")
+        if not is_power_of_two(self.line_bytes):
+            raise ConfigurationError(f"line size {self.line_bytes} must be a power of two")
+
+    @property
+    def bank_bits(self) -> int:
+        """Bits of the bank index."""
+        return log2_int(self.n_banks)
+
+    def bank_index(self, address: int) -> int:
+        """Logical bank index of ``address`` (the packet address field)."""
+        if address < 0:
+            raise ConfigurationError(f"negative address {address}")
+        return (address // self.line_bytes) % self.n_banks
+
+    def bank_offset_bits(self) -> int:
+        """LSB position of the bank-index field in the address."""
+        return log2_int(self.line_bytes)
+
+    def strip_bank_bits(self, address: int) -> int:
+        """Address with the bank-index field removed.
+
+        This is the within-bank address: line offset bits stay, the bank
+        field is squeezed out, upper bits shift down.  Used by per-bank
+        caches so each bank indexes its sets independently of which bank
+        the line came from.
+        """
+        if address < 0:
+            raise ConfigurationError(f"negative address {address}")
+        offset = address % self.line_bytes
+        line_number = address // self.line_bytes
+        return (line_number // self.n_banks) * self.line_bytes + offset
+
+    def rebuild_address(self, within_bank: int, bank: int) -> int:
+        """Inverse of :meth:`strip_bank_bits` for a given bank index."""
+        if not 0 <= bank < self.n_banks:
+            raise ConfigurationError(f"bank {bank} out of range")
+        offset = within_bank % self.line_bytes
+        line_number = within_bank // self.line_bytes
+        return (line_number * self.n_banks + bank) * self.line_bytes + offset

@@ -1,0 +1,156 @@
+"""Cache replacement policies.
+
+Table I specifies LRU for both cache levels; FIFO, random and tree-based
+pseudo-LRU are provided as well so the cache model can be exercised and
+ablated independently of the paper's configuration.
+
+A policy instance manages *one set*: the cache keeps one per set.  Ways
+are referred to by index ``0 .. associativity-1``.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import List, Optional
+
+
+class ReplacementPolicy(ABC):
+    """Per-set replacement state machine."""
+
+    def __init__(self, associativity: int) -> None:
+        if associativity < 1:
+            raise ValueError("associativity must be >= 1")
+        self.associativity = associativity
+
+    @abstractmethod
+    def touch(self, way: int) -> None:
+        """Record a hit on ``way``."""
+
+    @abstractmethod
+    def insert(self, way: int) -> None:
+        """Record a fill into ``way``."""
+
+    @abstractmethod
+    def victim(self, valid_ways: List[bool]) -> int:
+        """Choose the way to evict; invalid ways are preferred by the
+        cache before this is consulted, so every entry of ``valid_ways``
+        is True when this is called."""
+
+    def _check_way(self, way: int) -> None:
+        if not 0 <= way < self.associativity:
+            raise ValueError(f"way {way} out of range 0..{self.associativity - 1}")
+
+
+class LRUPolicy(ReplacementPolicy):
+    """True least-recently-used: a recency stack per set (Table I)."""
+
+    def __init__(self, associativity: int) -> None:
+        super().__init__(associativity)
+        # Most recent at the end.
+        self._stack: List[int] = list(range(associativity))
+
+    def touch(self, way: int) -> None:
+        self._check_way(way)
+        self._stack.remove(way)
+        self._stack.append(way)
+
+    def insert(self, way: int) -> None:
+        self.touch(way)
+
+    def victim(self, valid_ways: List[bool]) -> int:
+        return self._stack[0]
+
+    @property
+    def recency_order(self) -> List[int]:
+        """Ways ordered least- to most-recently used (for tests)."""
+        return list(self._stack)
+
+
+class FIFOPolicy(ReplacementPolicy):
+    """First-in first-out: eviction order is fill order."""
+
+    def __init__(self, associativity: int) -> None:
+        super().__init__(associativity)
+        self._queue: List[int] = list(range(associativity))
+
+    def touch(self, way: int) -> None:
+        self._check_way(way)  # hits do not reorder a FIFO
+
+    def insert(self, way: int) -> None:
+        self._check_way(way)
+        self._queue.remove(way)
+        self._queue.append(way)
+
+    def victim(self, valid_ways: List[bool]) -> int:
+        return self._queue[0]
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Uniform random victim, deterministic via a seeded PRNG."""
+
+    def __init__(self, associativity: int, seed: int = 0) -> None:
+        super().__init__(associativity)
+        self._rng = random.Random(seed)
+
+    def touch(self, way: int) -> None:
+        self._check_way(way)
+
+    def insert(self, way: int) -> None:
+        self._check_way(way)
+
+    def victim(self, valid_ways: List[bool]) -> int:
+        return self._rng.randrange(self.associativity)
+
+
+class TreePLRUPolicy(ReplacementPolicy):
+    """Tree-based pseudo-LRU (the usual hardware approximation).
+
+    Associativity must be a power of two; internal nodes hold one bit
+    pointing *away* from the most recently used half.
+    """
+
+    def __init__(self, associativity: int) -> None:
+        super().__init__(associativity)
+        if associativity & (associativity - 1):
+            raise ValueError("tree PLRU needs power-of-two associativity")
+        self._bits = [False] * max(1, associativity - 1)
+
+    def touch(self, way: int) -> None:
+        self._check_way(way)
+        node, lo, hi = 0, 0, self.associativity
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            went_right = way >= mid
+            # Point away from the touched half.
+            self._bits[node] = not went_right
+            node = 2 * node + (2 if went_right else 1)
+            lo, hi = (mid, hi) if went_right else (lo, mid)
+
+    def insert(self, way: int) -> None:
+        self.touch(way)
+
+    def victim(self, valid_ways: List[bool]) -> int:
+        node, lo, hi = 0, 0, self.associativity
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            go_right = self._bits[node]
+            node = 2 * node + (2 if go_right else 1)
+            lo, hi = (mid, hi) if go_right else (lo, mid)
+        return lo
+
+
+def make_policy(name: str, associativity: int, seed: int = 0) -> ReplacementPolicy:
+    """Factory: ``lru`` (default in Table I), ``fifo``, ``random``, ``plru``."""
+    table = {
+        "lru": lambda: LRUPolicy(associativity),
+        "fifo": lambda: FIFOPolicy(associativity),
+        "random": lambda: RandomPolicy(associativity, seed),
+        "plru": lambda: TreePLRUPolicy(associativity),
+    }
+    try:
+        return table[name.lower()]()
+    except KeyError:
+        raise ValueError(
+            f"unknown replacement policy {name!r}; choose from {sorted(table)}"
+        ) from None

@@ -1,0 +1,84 @@
+"""The paper's contribution: a reconfigurable circuit-switched 3-D
+Mesh-of-Tree interconnect supporting power-gating of cores, cache banks
+and interconnect resources.
+
+Public surface:
+
+* switches — :class:`RoutingSwitch`, :class:`ReconfigurableRoutingSwitch`,
+  :class:`ArbitrationSwitch` (Figs 2b, 2c, 3);
+* fabric — :class:`MoTFabric`, :class:`FabricSimulator` (Fig 2a, Fig 4);
+* power states — :class:`PowerState` and the four Table I presets;
+* reconfiguration — :func:`plan_reconfiguration`,
+  :class:`ReconfigurationPlan`;
+* models — :class:`MoTLatencyModel` (Table I latencies),
+  :class:`MoTPowerModel` (energy/leakage);
+* runtime — :class:`PowerGatingController` (Section III protocol).
+"""
+
+from repro.mot.signals import Request, Response, RoutingMode
+from repro.mot.routing_switch import RoutingSwitch, ReconfigurableRoutingSwitch
+from repro.mot.arbitration_switch import ArbitrationSwitch
+from repro.mot.tree import ArbitrationTree, RoutingTree
+from repro.mot.fabric import FabricSimulator, GrantResult, MoTFabric
+from repro.mot.power_state import (
+    FULL_CONNECTION,
+    PC16_MB8,
+    PC4_MB32,
+    PC4_MB8,
+    PAPER_POWER_STATES,
+    PowerState,
+    centered_block,
+    power_state_by_name,
+)
+from repro.mot.reconfigurator import (
+    ReconfigurationPlan,
+    compute_remap_table,
+    compute_routing_modes,
+    plan_reconfiguration,
+    remap_bank,
+)
+from repro.mot.latency import LatencyBreakdown, MoTLatencyModel
+from repro.mot.power import MoTEnergyReport, MoTPowerModel
+from repro.mot.gating import PowerGatingController, TransitionReport
+from repro.mot.governor import GovernorPolicy, PowerStateGovernor
+from repro.mot.area import AreaReport, MoTAreaModel, NoCAreaModel
+from repro.mot.visualize import render_fabric
+
+__all__ = [
+    "Request",
+    "Response",
+    "RoutingMode",
+    "RoutingSwitch",
+    "ReconfigurableRoutingSwitch",
+    "ArbitrationSwitch",
+    "ArbitrationTree",
+    "RoutingTree",
+    "FabricSimulator",
+    "GrantResult",
+    "MoTFabric",
+    "FULL_CONNECTION",
+    "PC16_MB8",
+    "PC4_MB32",
+    "PC4_MB8",
+    "PAPER_POWER_STATES",
+    "PowerState",
+    "centered_block",
+    "power_state_by_name",
+    "ReconfigurationPlan",
+    "compute_remap_table",
+    "compute_routing_modes",
+    "plan_reconfiguration",
+    "remap_bank",
+    "LatencyBreakdown",
+    "MoTLatencyModel",
+    "MoTEnergyReport",
+    "MoTPowerModel",
+    "PowerGatingController",
+    "TransitionReport",
+    "GovernorPolicy",
+    "PowerStateGovernor",
+    "AreaReport",
+    "MoTAreaModel",
+    "NoCAreaModel",
+    "render_fabric",
+]

@@ -1,0 +1,121 @@
+"""Arbitration switch model (paper Fig 2c).
+
+An arbitration switch merges two processor-side request streams onto one
+memory-side port.  When both inputs raise a request in the same cycle, a
+round-robin policy picks the winner ("a round-robin algorithm is
+implemented for a starvation-free arbitration"); the loser stalls and is
+guaranteed the next grant.  Like the routing switch, the arbitration
+switch holds the circuit for the winning transaction until its response
+has passed back through.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.errors import ArbitrationError
+from repro.mot.signals import PortStats, Request
+
+
+class ArbitrationSwitch:
+    """Two-input round-robin arbitration switch.
+
+    Parameters
+    ----------
+    switch_id:
+        Unique identifier within the fabric.
+    """
+
+    N_INPUTS = 2
+
+    def __init__(self, switch_id: str) -> None:
+        self.switch_id = switch_id
+        self.stats = PortStats()
+        #: Input port with round-robin priority for the next conflict.
+        self._priority: int = 0
+        #: Input currently holding the circuit, if any.
+        self._granted: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Arbitration
+    # ------------------------------------------------------------------
+    def arbitrate(self, requests: Sequence[Optional[Request]]) -> Tuple[int, Request]:
+        """Grant one of up to two simultaneous requests.
+
+        ``requests`` is a length-2 sequence where ``None`` marks an idle
+        input.  Returns ``(winning_port, request)``.  The loser (if any)
+        is counted as a conflict; callers retry it next cycle.
+        """
+        if len(requests) != self.N_INPUTS:
+            raise ArbitrationError(
+                f"switch {self.switch_id}: expected {self.N_INPUTS} inputs, "
+                f"got {len(requests)}"
+            )
+        if self._granted is not None:
+            raise ArbitrationError(
+                f"switch {self.switch_id}: arbitrating while circuit held"
+            )
+        live = [port for port, req in enumerate(requests) if req is not None]
+        if not live:
+            raise ArbitrationError(f"switch {self.switch_id}: no requests")
+
+        if len(live) == 1:
+            winner = live[0]
+        else:
+            winner = self._priority
+            self.stats.conflicts += 1
+        request = requests[winner]
+        assert request is not None
+
+        self._granted = winner
+        self.stats.requests += 1
+        # Starvation freedom: after a grant, the *other* port has priority.
+        self._priority = 1 - winner
+        return winner, request
+
+    # ------------------------------------------------------------------
+    # Held circuit / response path
+    # ------------------------------------------------------------------
+    @property
+    def granted_port(self) -> Optional[int]:
+        """Input port currently holding the circuit."""
+        return self._granted
+
+    @property
+    def busy(self) -> bool:
+        """True while a transaction holds this switch."""
+        return self._granted is not None
+
+    def complete(self) -> None:
+        """Release the circuit after the response passes back."""
+        if self._granted is None:
+            raise ArbitrationError(
+                f"switch {self.switch_id}: completing an idle circuit"
+            )
+        self.stats.responses += 1
+        self._granted = None
+
+    @property
+    def priority_port(self) -> int:
+        """Input that wins the next simultaneous conflict."""
+        return self._priority
+
+    def grant_consumed(self, port: int, conflicted: bool) -> None:
+        """Account a grant that was consumed end to end.
+
+        In the tree fabric, a leaf-level winner only *really* wins when
+        every switch up to the bank grants too; round-robin pointers
+        rotate on consumed grants only (otherwise inner requestors can
+        starve).  The fabric simulator calls this for the switches on
+        the winning path instead of :meth:`arbitrate`.
+        """
+        if port not in (0, 1):
+            raise ArbitrationError(f"switch {self.switch_id}: bad port {port}")
+        self.stats.requests += 1
+        if conflicted:
+            self.stats.conflicts += 1
+        self.stats.responses += 1
+        self._priority = 1 - port
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<ArbitrationSwitch {self.switch_id} prio={self._priority}>"

@@ -1,0 +1,156 @@
+"""Runtime power-gating protocol (paper Section III).
+
+"If cache banks are turned off at runtime, dirty cache blocks in the
+power-off banks must be written back to the off-cluster memory for data
+coherency.  After turning on the cache banks again, the old cache data
+that does not belong to cache banks any more will be removed by the
+cache replacement policy."
+
+:class:`PowerGatingController` sequences a transition:
+
+1. **Drain** — the fabric must be idle (no held circuits); the cluster
+   stops issuing while reconfiguring.
+2. **Write-back** — dirty lines that would become unreachable under the
+   new mapping are written back to DRAM and invalidated.  This covers
+   (a) every line in a bank about to be gated, and (b) lines in
+   *surviving* banks whose logical home moves elsewhere when the remap
+   changes (a correctness corner the paper leaves implicit: when banks
+   are re-enabled, a dirty folded line would otherwise be stranded).
+3. **Reconfigure** — drive the new control words into every switch
+   (this is the cheap part: a handful of register writes).
+4. **Resume** — stale-but-clean lines left behind are simply evicted by
+   the replacement policy over time, as the paper describes.
+
+The controller charges cycles for the write-back traffic (line transfers
+through the miss bus to DRAM) and a fixed reconfiguration overhead, so
+experiments can quantify how often switching power states is worth it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Protocol, Tuple
+
+from repro.errors import PowerStateError
+from repro.mot.fabric import MoTFabric
+from repro.mot.power_state import PowerState
+from repro.mot.reconfigurator import ReconfigurationPlan, plan_reconfiguration
+
+
+class GatableL2(Protocol):
+    """What the controller needs from the L2 cache model."""
+
+    def prepare_power_state(self, plan: ReconfigurationPlan) -> Tuple[int, int]:
+        """Flush for ``plan``; returns (lines_written_back, lines_invalidated)."""
+
+
+@dataclass(frozen=True)
+class TransitionReport:
+    """Cost accounting of one power-state transition."""
+
+    from_state: str
+    to_state: str
+    banks_gated: int
+    banks_enabled: int
+    cores_gated: int
+    cores_enabled: int
+    lines_written_back: int
+    lines_invalidated: int
+    transition_cycles: int
+
+    def __str__(self) -> str:
+        return (
+            f"{self.from_state} -> {self.to_state}: "
+            f"{self.lines_written_back} write-backs, "
+            f"{self.lines_invalidated} invalidations, "
+            f"{self.transition_cycles} cycles"
+        )
+
+
+class PowerGatingController:
+    """Sequences safe power-state transitions on a :class:`MoTFabric`.
+
+    Parameters
+    ----------
+    fabric:
+        The switch fabric to reconfigure.
+    l2:
+        Optional L2 model implementing :class:`GatableL2`; without it the
+        controller still reconfigures but cannot account write-backs
+        (use only for interconnect-only experiments).
+    writeback_cycles_per_line:
+        Cycles to push one dirty line through the miss bus to DRAM
+        (dominated by DRAM write latency; default matches 200 ns DRAM).
+    reconfiguration_cycles:
+        Fixed cost of driving the new control words and letting the
+        power switches settle.
+    """
+
+    def __init__(
+        self,
+        fabric: MoTFabric,
+        l2: Optional[GatableL2] = None,
+        writeback_cycles_per_line: int = 200,
+        reconfiguration_cycles: int = 100,
+    ) -> None:
+        if writeback_cycles_per_line < 0 or reconfiguration_cycles < 0:
+            raise PowerStateError("transition costs must be non-negative")
+        self.fabric = fabric
+        self.l2 = l2
+        self.writeback_cycles_per_line = writeback_cycles_per_line
+        self.reconfiguration_cycles = reconfiguration_cycles
+        self.history: list[TransitionReport] = []
+
+    # ------------------------------------------------------------------
+    def transition(self, new_state: PowerState) -> TransitionReport:
+        """Move the cluster into ``new_state`` safely."""
+        old_state = self.fabric.power_state
+        self._check_drained()
+        plan = plan_reconfiguration(new_state)
+
+        written_back = invalidated = 0
+        if self.l2 is not None:
+            written_back, invalidated = self.l2.prepare_power_state(plan)
+
+        self.fabric.apply_plan(plan)
+
+        cycles = (
+            self.reconfiguration_cycles
+            + written_back * self.writeback_cycles_per_line
+        )
+        report = TransitionReport(
+            from_state=old_state.name,
+            to_state=new_state.name,
+            banks_gated=len(new_state.gated_banks - old_state.gated_banks),
+            banks_enabled=len(old_state.gated_banks - new_state.gated_banks),
+            cores_gated=len(new_state.gated_cores - old_state.gated_cores),
+            cores_enabled=len(old_state.gated_cores - new_state.gated_cores),
+            lines_written_back=written_back,
+            lines_invalidated=invalidated,
+            transition_cycles=cycles,
+        )
+        self.history.append(report)
+        return report
+
+    # ------------------------------------------------------------------
+    def _check_drained(self) -> None:
+        """Reject reconfiguration while any circuit is held."""
+        for tree in self.fabric.routing_trees:
+            for switch in tree.all_switches():
+                if switch.busy:
+                    raise PowerStateError(
+                        f"cannot reconfigure: switch {switch.switch_id} holds "
+                        f"a circuit (drain outstanding transactions first)"
+                    )
+        for tree in self.fabric.arbitration_trees:
+            for switch in tree.all_switches():
+                if switch.busy:
+                    raise PowerStateError(
+                        f"cannot reconfigure: switch {switch.switch_id} holds "
+                        f"a circuit (drain outstanding transactions first)"
+                    )
+
+    @property
+    def total_transition_cycles(self) -> int:
+        """Cycles spent in transitions so far."""
+        return sum(r.transition_cycles for r in self.history)

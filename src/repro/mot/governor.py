@@ -1,0 +1,197 @@
+"""Adaptive power-state governor.
+
+The paper's conclusion: "This reconfigurability makes it possible to
+adjust power states of the interconnects to application's
+characteristics such as scalability for parallelism and L2 cache
+demand."  The paper selects states by hand per benchmark; this module
+mechanizes the selection — the natural next step a deployment needs.
+
+Two selection paths are provided:
+
+* :meth:`PowerStateGovernor.select_for_profile` — ahead-of-time: pick a
+  state from a workload's known characteristics (parallel fraction vs
+  an Amdahl break-even, working set vs active L2 capacity), mirroring
+  how the paper reasons about Fig 7;
+* :meth:`PowerStateGovernor.select_from_counters` — online: pick a
+  state from observed hardware counters (barrier-idle fraction as a
+  scalability proxy, L2 miss rate as a capacity proxy), the way a
+  runtime governor would after a profiling epoch.
+
+The governor also quantifies *when switching pays*: a transition costs
+write-backs and reconfiguration cycles
+(:class:`~repro.mot.gating.TransitionReport`), so
+:meth:`worth_switching` demands the projected EDP gain amortize over
+the remaining epoch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.errors import PowerStateError
+from repro.mot.power_state import PAPER_POWER_STATES, PowerState
+
+if TYPE_CHECKING:  # avoid circular imports; both are duck-typed here
+    from repro.sim.stats import SimReport
+    from repro.workloads.characteristics import WorkloadProfile
+
+
+@dataclass(frozen=True)
+class GovernorPolicy:
+    """Thresholds steering the selection.
+
+    Attributes
+    ----------
+    parallel_fraction_cutoff:
+        Below this Amdahl fraction, the parallel section no longer
+        amortizes 16 cores; the governor drops to the small core count.
+        0.85 puts the paper's two groups on opposite sides.
+    working_set_headroom:
+        A working set fits a candidate when it is at most
+        ``headroom * active L2 capacity``.  Slightly above 1.0 because
+        soft (random/scatter) access patterns degrade gradually past
+        capacity, while the hard LRU streaming cliffs sit well above
+        the default margin.
+    idle_fraction_cutoff:
+        Online proxy for limited scalability: fraction of core cycles
+        spent *waiting at barriers* (serialization idle — memory stalls
+        do not count: a memory-bound program still scales) above which
+        cores are surrendered.
+    l2_miss_rate_cutoff:
+        Online proxy for L2 demand: observed miss rate above which the
+        governor refuses to shrink the cache.
+    """
+
+    parallel_fraction_cutoff: float = 0.85
+    working_set_headroom: float = 1.15
+    idle_fraction_cutoff: float = 0.30
+    l2_miss_rate_cutoff: float = 0.35
+
+    def __post_init__(self) -> None:
+        for value, name in (
+            (self.parallel_fraction_cutoff, "parallel fraction cutoff"),
+            (self.idle_fraction_cutoff, "idle fraction cutoff"),
+            (self.l2_miss_rate_cutoff, "L2 miss rate cutoff"),
+        ):
+            if not 0.0 < value <= 1.0:
+                raise PowerStateError(f"{name} must be in (0, 1]")
+        if not 0.0 < self.working_set_headroom <= 2.0:
+            raise PowerStateError("working set headroom must be in (0, 2]")
+
+
+class PowerStateGovernor:
+    """Chooses among candidate power states for a workload.
+
+    Parameters
+    ----------
+    candidates:
+        Power states to choose from (default: the paper's four).
+    bank_capacity_bytes:
+        Per-bank capacity for the working-set fit check.
+    policy:
+        Selection thresholds.
+    """
+
+    def __init__(
+        self,
+        candidates: Sequence[PowerState] = PAPER_POWER_STATES,
+        bank_capacity_bytes: int = 64 * 1024,
+        policy: GovernorPolicy = GovernorPolicy(),
+    ) -> None:
+        if not candidates:
+            raise PowerStateError("need at least one candidate state")
+        self.candidates = tuple(candidates)
+        self.bank_capacity_bytes = bank_capacity_bytes
+        self.policy = policy
+
+    # ------------------------------------------------------------------
+    # Ahead-of-time selection
+    # ------------------------------------------------------------------
+    def select_for_profile(self, profile: "WorkloadProfile") -> PowerState:
+        """Pick a state from known workload characteristics.
+
+        Fewest cores whose parallelism still pays, fewest banks that
+        still hold the working set — exactly the Fig 7 reasoning.
+        """
+        want_many_cores = (
+            profile.parallel_fraction >= self.policy.parallel_fraction_cutoff
+        )
+        return self._pick(want_many_cores, profile.working_set_bytes)
+
+    # ------------------------------------------------------------------
+    # Online selection
+    # ------------------------------------------------------------------
+    def select_from_counters(self, report: "SimReport") -> PowerState:
+        """Pick a state from a profiling epoch's hardware counters."""
+        total = sum(c.total_cycles for c in report.cores)
+        idle = sum(c.barrier_cycles for c in report.cores)
+        idle_fraction = idle / total if total else 0.0
+        want_many_cores = idle_fraction < self.policy.idle_fraction_cutoff
+
+        if report.l2_miss_rate > self.policy.l2_miss_rate_cutoff:
+            # Cache-starved already: never shrink, treat WS as infinite.
+            working_set = None
+        else:
+            # Touched-capacity estimate: resident footprint proxy from
+            # the miss volume (each L2 miss brought one 32 B line in).
+            working_set = report.l2_misses * 32
+        return self._pick(want_many_cores, working_set)
+
+    # ------------------------------------------------------------------
+    def _pick(
+        self, want_many_cores: bool, working_set_bytes: Optional[int]
+    ) -> PowerState:
+        """Smallest state satisfying both requirements."""
+
+        def fits(state: PowerState) -> bool:
+            if working_set_bytes is None:
+                return state.n_active_banks == max(
+                    c.n_active_banks for c in self.candidates
+                )
+            capacity = state.n_active_banks * self.bank_capacity_bytes
+            return working_set_bytes <= capacity * self.policy.working_set_headroom
+
+        core_counts = sorted({c.n_active_cores for c in self.candidates})
+        target_cores = core_counts[-1] if want_many_cores else core_counts[0]
+
+        viable = [
+            s
+            for s in self.candidates
+            if s.n_active_cores == target_cores and fits(s)
+        ]
+        if not viable:
+            # Fall back: most capacious state at the target core count,
+            # then the overall largest.
+            at_cores = [
+                s for s in self.candidates if s.n_active_cores == target_cores
+            ]
+            pool = at_cores or list(self.candidates)
+            return max(pool, key=lambda s: s.n_active_banks)
+        # Fewest banks that fit -> least leakage.
+        return min(viable, key=lambda s: s.n_active_banks)
+
+    # ------------------------------------------------------------------
+    # Switching economics
+    # ------------------------------------------------------------------
+    def worth_switching(
+        self,
+        current_edp_rate: float,
+        candidate_edp_rate: float,
+        transition_cycles: int,
+        epoch_cycles: int,
+    ) -> bool:
+        """Does a transition amortize over the remaining epoch?
+
+        ``*_edp_rate`` are EDP-per-cycle figures for running the epoch
+        in each state; the transition burns ``transition_cycles`` of
+        full-power time (write-backs through the Miss bus).
+        """
+        if epoch_cycles <= 0:
+            return False
+        stay = current_edp_rate * epoch_cycles
+        switch = (
+            candidate_edp_rate * epoch_cycles
+            + current_edp_rate * transition_cycles
+        )
+        return switch < stay

@@ -1,0 +1,150 @@
+"""Zero-load latency model of the 3-D MoT (paper Table I, Fig 5).
+
+The L2 hit latency of the circuit-switched MoT is the end-to-end Elmore
+delay of the longest core-to-bank path, pipelined at the cluster clock:
+
+``cycles = ceil( (t_switch_logic + t_wire + t_tsv + t_bank) * f_clk )``
+
+with
+
+* ``t_switch_logic`` — decision logic of the switches that actually make
+  a routing/arbitration decision in the current power state:
+  ``log2(active_banks) + log2(active_cores)`` stages of MUX/DEMUX +
+  control (5 FO4 each).  Switches in *user-defined* (forced) mode have a
+  statically driven select: their pass-gate datapath degenerates into
+  the wire and is absorbed by the repeated-wire term, which is why
+  gating banks/cores removes whole cycles (the paper's Fig 5 argument:
+  "a wide disparity of wire lengths between the two power states makes
+  a difference of several clock cycles in cache access latency").
+* ``t_wire`` — repeated-wire delay over the horizontal span of the
+  active region (core span + active-bank footprint span, Fig 5).
+* ``t_tsv`` — one micro-bump/TSV hop per cache tier crossed.
+* ``t_bank`` — SRAM bank I/O-to-cell delay (CACTI-style model).
+
+With the default 45 nm-class constants this reproduces Table I exactly:
+Full = 12, PC16-MB8 = 9, PC4-MB32 = 9, PC4-MB8 = 7 cycles.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro import units as u
+from repro.mot.power_state import PowerState
+from repro.phys import constants as k
+from repro.phys.elmore import (
+    WireTechnology,
+    DEFAULT_TECHNOLOGY,
+    repeated_wire_delay_per_m,
+)
+from repro.phys.geometry import Floorplan3D
+from repro.phys.sram import SRAMBankModel
+from repro.phys.tsv import TSVModel
+from repro.units import log2_int, seconds_to_cycles
+
+
+@dataclass(frozen=True)
+class LatencyBreakdown:
+    """Component-wise delay of one L2 access (seconds + final cycles)."""
+
+    bank_s: float
+    tsv_s: float
+    switch_s: float
+    wire_s: float
+    frequency_hz: float
+
+    @property
+    def total_s(self) -> float:
+        """End-to-end combinational delay."""
+        return self.bank_s + self.tsv_s + self.switch_s + self.wire_s
+
+    @property
+    def cycles(self) -> int:
+        """Pipelined latency in whole clock cycles."""
+        return seconds_to_cycles(self.total_s, self.frequency_hz)
+
+    def __str__(self) -> str:
+        parts = (
+            f"bank={self.bank_s / u.NS:.3f}ns",
+            f"tsv={self.tsv_s / u.NS:.3f}ns",
+            f"switch={self.switch_s / u.NS:.3f}ns",
+            f"wire={self.wire_s / u.NS:.3f}ns",
+        )
+        return f"{self.cycles} cycles ({', '.join(parts)})"
+
+
+class MoTLatencyModel:
+    """Computes per-power-state L2 access latency for a MoT cluster.
+
+    Parameters
+    ----------
+    floorplan:
+        Geometry of the stacked cluster (spans, tiers).
+    bank:
+        SRAM bank model (access time).
+    tsv:
+        Vertical-hop model.
+    tech:
+        Wire/device technology for the Elmore terms.
+    frequency_hz:
+        Cluster clock (Table I: 1 GHz).
+    """
+
+    def __init__(
+        self,
+        floorplan: Optional[Floorplan3D] = None,
+        bank: Optional[SRAMBankModel] = None,
+        tsv: Optional[TSVModel] = None,
+        tech: WireTechnology = DEFAULT_TECHNOLOGY,
+        frequency_hz: float = k.CLOCK_FREQUENCY_HZ,
+        repeater_size: float = k.REPEATER_SIZE,
+        repeater_spacing_m: float = k.REPEATER_SPACING_M,
+        switch_logic_depth_fo4: float = k.ROUTING_SWITCH_LOGIC_DEPTH_FO4,
+        fo4_s: float = k.FO4_DELAY_S,
+    ) -> None:
+        self.floorplan = floorplan or Floorplan3D()
+        self.bank = bank or SRAMBankModel()
+        self.tsv = tsv or TSVModel(tech=tech)
+        self.tech = tech
+        self.frequency_hz = frequency_hz
+        self.repeater_size = repeater_size
+        self.repeater_spacing_m = repeater_spacing_m
+        self.switch_delay_s = switch_logic_depth_fo4 * fo4_s
+        self._wire_delay_per_m = repeated_wire_delay_per_m(
+            repeater_size, repeater_spacing_m, tech=tech
+        )
+
+    # ------------------------------------------------------------------
+    def decision_levels(self, state: PowerState) -> int:
+        """Switch stages making an actual decision in ``state``.
+
+        Conventional-mode routing levels = ``log2(active banks)``;
+        arbitration levels that merge >= 2 active cores =
+        ``log2(active cores)``.  Forced/gated stages contribute no logic
+        delay (see module docstring).
+        """
+        return log2_int(state.n_active_banks) + log2_int(state.n_active_cores)
+
+    def breakdown(self, state: PowerState) -> LatencyBreakdown:
+        """Latency decomposition of the longest path in ``state``."""
+        span_m = self.floorplan.horizontal_wire_span_m(
+            state.n_active_cores, state.n_active_banks
+        )
+        hops = self.floorplan.vertical_hops(state.n_active_banks)
+        return LatencyBreakdown(
+            bank_s=self.bank.access_time(),
+            tsv_s=self.tsv.bus_delay(hops),
+            switch_s=self.decision_levels(state) * self.switch_delay_s,
+            wire_s=span_m * self._wire_delay_per_m,
+            frequency_hz=self.frequency_hz,
+        )
+
+    def hit_latency_cycles(self, state: PowerState) -> int:
+        """L2 hit latency in cycles (the Table I column)."""
+        return self.breakdown(state).cycles
+
+    def wire_delay_ns_per_mm(self) -> float:
+        """Repeated-wire figure of merit used by this model."""
+        return self._wire_delay_per_m / u.NS * u.MM

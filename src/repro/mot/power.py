@@ -1,0 +1,132 @@
+"""Energy and leakage model of the 3-D MoT fabric per power state.
+
+Dynamic energy of one L2 access = switch traversals (every switch on the
+physical path has datapath capacitance, whether it decides or is forced)
++ the repeated wire over the active spans + the TSV bus crossing.
+Static power = leakage of every powered-on routing switch, arbitration
+switch and wire repeater — exactly the populations the reconfiguration
+plan keeps on, so gating shrinks this term (the paper's Section III:
+power-gating of "routing switch, arbitration switch, inverters placed
+along the on-chip wires").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.mot.fabric import MoTFabric
+from repro.mot.power_state import PowerState
+from repro.phys.geometry import Floorplan3D
+from repro.phys.interconnect_power import (
+    InterconnectPowerModel,
+    DEFAULT_INTERCONNECT_POWER,
+)
+from repro.phys.tsv import TSVModel, DEFAULT_TSV
+from repro.units import log2_int
+
+
+@dataclass(frozen=True)
+class MoTEnergyReport:
+    """Per-state energy figures of merit."""
+
+    access_energy_j: float
+    leakage_w: float
+    active_routing_switches: int
+    active_arbitration_switches: int
+    active_link_length_m: float
+
+
+class MoTPowerModel:
+    """Energy/leakage of a MoT fabric under a given power state.
+
+    The model can work standalone (counting switches analytically from
+    the power state) or against a live :class:`MoTFabric` (counting the
+    actual powered-on switch population); the two agree by construction
+    and a test pins them together.
+    """
+
+    def __init__(
+        self,
+        n_cores: int = 16,
+        n_banks: int = 32,
+        link_width_bits: int = 96,
+        floorplan: Optional[Floorplan3D] = None,
+        power: InterconnectPowerModel = DEFAULT_INTERCONNECT_POWER,
+        tsv: TSVModel = DEFAULT_TSV,
+    ) -> None:
+        self.n_cores = n_cores
+        self.n_banks = n_banks
+        #: Link width: 32-bit address + 64-bit data beat (paper-scale).
+        self.link_width_bits = link_width_bits
+        self.floorplan = floorplan or Floorplan3D(n_cores=n_cores, n_banks=n_banks)
+        self.power = power
+        self.tsv = tsv
+
+    # ------------------------------------------------------------------
+    # Dynamic energy
+    # ------------------------------------------------------------------
+    def path_switch_count(self) -> int:
+        """Switches with datapath capacitance on any core->bank path.
+
+        The physical path always crosses the full tree depths — forced
+        switches still switch their pass gates — so this is
+        ``log2(total banks) + log2(total cores)``.
+        """
+        return log2_int(self.n_banks) + log2_int(self.n_cores)
+
+    def path_wire_length_m(self, state: PowerState) -> float:
+        """Average wire length charged per access in ``state``.
+
+        Half the worst-case span: accesses are uniformly spread over the
+        active banks, so the mean Manhattan run is ~half the footprint.
+        """
+        span = self.floorplan.horizontal_wire_span_m(
+            state.n_active_cores, state.n_active_banks
+        )
+        return span / 2.0
+
+    def access_energy_j(self, state: PowerState) -> float:
+        """Dynamic energy of one L2 access through the fabric (J)."""
+        switches = self.path_switch_count()
+        e_switch = switches * self.power.switch_energy(self.link_width_bits)
+        e_wire = self.power.link_energy(
+            self.path_wire_length_m(state), self.link_width_bits
+        )
+        hops = self.floorplan.vertical_hops(state.n_active_banks)
+        e_tsv = hops * self.tsv.hop_energy() * self.link_width_bits
+        return e_switch + e_wire + e_tsv
+
+    # ------------------------------------------------------------------
+    # Leakage
+    # ------------------------------------------------------------------
+    def leakage_w(self, state: PowerState, fabric: Optional[MoTFabric] = None) -> float:
+        """Static power of the powered-on fabric in ``state`` (W).
+
+        With a live ``fabric`` the actual switch population is counted;
+        otherwise an equivalent fabric is constructed.
+        """
+        if fabric is None:
+            fabric = MoTFabric(self.n_cores, self.n_banks, self.floorplan)
+            fabric.apply_power_state(state)
+        elif fabric.power_state != state:
+            fabric.apply_power_state(state)
+        return self.power.mot_leakage(
+            fabric.active_routing_switches(),
+            fabric.active_arbitration_switches(),
+            fabric.active_link_length_m(),
+            self.link_width_bits,
+        )
+
+    def report(self, state: PowerState, fabric: Optional[MoTFabric] = None) -> MoTEnergyReport:
+        """Bundle of the per-state figures used by the EDP analysis."""
+        if fabric is None:
+            fabric = MoTFabric(self.n_cores, self.n_banks, self.floorplan)
+        fabric.apply_power_state(state)
+        return MoTEnergyReport(
+            access_energy_j=self.access_energy_j(state),
+            leakage_w=self.leakage_w(state, fabric),
+            active_routing_switches=fabric.active_routing_switches(),
+            active_arbitration_switches=fabric.active_arbitration_switches(),
+            active_link_length_m=fabric.active_link_length_m(),
+        )

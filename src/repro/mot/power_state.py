@@ -1,0 +1,177 @@
+"""Power states of the cluster (paper Table I and Section III).
+
+A *power state* names the subset of cores and L2 banks that stay powered
+on; everything else — cores, banks, and the interconnect resources that
+serve only them (routing switches, arbitration switches, wire inverters)
+— is power-gated.  The paper evaluates four states on the 16-core /
+32-bank cluster:
+
+========== ============= ============= =====================
+State      Active cores  Active banks  L2 hit latency
+========== ============= ============= =====================
+Full       16            32            12 cycles
+PC16-MB8   16            8             9 cycles
+PC4-MB32   4             32            9 cycles
+PC4-MB8    4             8             7 cycles
+========== ============= ============= =====================
+
+(The latencies are *derived*, not stored: see :mod:`repro.mot.latency`.)
+
+Active sets default to the most-centered aligned blocks, matching Fig 5:
+the surviving tiles cluster around the die center where the MoT root
+sits, which is what shrinks the wire spans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, Tuple
+
+from repro.errors import PowerStateError
+from repro.units import is_power_of_two
+
+
+def centered_block(active: int, total: int) -> FrozenSet[int]:
+    """The most-centered contiguous block of ``active`` ids out of ``total``.
+
+    Blocks are aligned to the block size when possible; otherwise the
+    block is centered exactly (e.g. 8 of 32 -> ids 12..19).  Centered
+    placement keeps the active tiles around the MoT root, minimising the
+    wire span (Fig 5).
+    """
+    if not 0 < active <= total:
+        raise PowerStateError(f"active count {active} must be in 1..{total}")
+    start = (total - active) // 2
+    return frozenset(range(start, start + active))
+
+
+@dataclass(frozen=True)
+class PowerState:
+    """An operating point of the reconfigurable cluster.
+
+    Attributes
+    ----------
+    name:
+        Display name (e.g. ``"PC4-MB8"``).
+    total_cores, total_banks:
+        Cluster dimensions the state applies to.
+    active_cores, active_banks:
+        The powered-on subsets.  Sizes must be powers of two so that
+        whole routing/arbitration subtrees can be gated.
+    """
+
+    name: str
+    total_cores: int
+    total_banks: int
+    active_cores: FrozenSet[int]
+    active_banks: FrozenSet[int]
+
+    def __post_init__(self) -> None:
+        if not is_power_of_two(self.total_cores) or not is_power_of_two(
+            self.total_banks
+        ):
+            raise PowerStateError("cluster dimensions must be powers of two")
+        self._validate_subset(self.active_cores, self.total_cores, "core")
+        self._validate_subset(self.active_banks, self.total_banks, "bank")
+
+    @staticmethod
+    def _validate_subset(subset: FrozenSet[int], total: int, what: str) -> None:
+        if not subset:
+            raise PowerStateError(f"at least one {what} must stay active")
+        if not all(0 <= i < total for i in subset):
+            raise PowerStateError(f"{what} ids must be in 0..{total - 1}")
+        if not is_power_of_two(len(subset)):
+            raise PowerStateError(
+                f"active {what} count {len(subset)} must be a power of two "
+                f"so whole subtrees can be gated"
+            )
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_counts(
+        cls,
+        name: str,
+        active_cores: int,
+        active_banks: int,
+        total_cores: int = 16,
+        total_banks: int = 32,
+    ) -> "PowerState":
+        """Build a state with centered active blocks (the default layout)."""
+        return cls(
+            name=name,
+            total_cores=total_cores,
+            total_banks=total_banks,
+            active_cores=centered_block(active_cores, total_cores),
+            active_banks=centered_block(active_banks, total_banks),
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def n_active_cores(self) -> int:
+        """Number of powered-on cores."""
+        return len(self.active_cores)
+
+    @property
+    def n_active_banks(self) -> int:
+        """Number of powered-on banks."""
+        return len(self.active_banks)
+
+    @property
+    def gated_cores(self) -> FrozenSet[int]:
+        """Cores turned off in this state."""
+        return frozenset(range(self.total_cores)) - self.active_cores
+
+    @property
+    def gated_banks(self) -> FrozenSet[int]:
+        """Banks turned off in this state."""
+        return frozenset(range(self.total_banks)) - self.active_banks
+
+    @property
+    def is_full(self) -> bool:
+        """True when nothing is gated."""
+        return (
+            self.n_active_cores == self.total_cores
+            and self.n_active_banks == self.total_banks
+        )
+
+    def active_capacity_bytes(self, bank_capacity_bytes: int) -> int:
+        """Powered-on L2 capacity."""
+        return self.n_active_banks * bank_capacity_bytes
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name}(cores={self.n_active_cores}/{self.total_cores}, "
+            f"banks={self.n_active_banks}/{self.total_banks})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# The paper's four power states (Table I)
+# ---------------------------------------------------------------------------
+FULL_CONNECTION = PowerState.from_counts("Full connection", 16, 32)
+PC16_MB8 = PowerState.from_counts("PC16-MB8", 16, 8)
+PC4_MB32 = PowerState.from_counts("PC4-MB32", 4, 32)
+PC4_MB8 = PowerState.from_counts("PC4-MB8", 4, 8)
+
+#: Evaluation order used by the figures.
+PAPER_POWER_STATES: Tuple[PowerState, ...] = (
+    FULL_CONNECTION,
+    PC16_MB8,
+    PC4_MB32,
+    PC4_MB8,
+)
+
+
+def power_state_by_name(name: str) -> PowerState:
+    """Look up one of the paper's power states by (case-insensitive) name."""
+    for state in PAPER_POWER_STATES:
+        if state.name.lower() == name.lower():
+            return state
+    raise PowerStateError(
+        f"unknown power state {name!r}; choose from "
+        f"{[s.name for s in PAPER_POWER_STATES]}"
+    )

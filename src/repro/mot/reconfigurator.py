@@ -1,0 +1,211 @@
+"""Reconfiguration engine: power states -> switch control words.
+
+Given a :class:`~repro.mot.power_state.PowerState`, this module computes
+
+* the :class:`~repro.mot.signals.RoutingMode` of every routing switch in
+  every active core's routing tree (conventional / forced / gated);
+* which arbitration switches can be gated (those merging no active core,
+  and every switch of a gated bank's tree);
+* the **bank remap table**: the physical bank that actually serves each
+  logical bank index.  The remap is not a lookup table in hardware — it
+  *emerges* from the forced switches ignoring address bits (Section III:
+  "the routing switches in the user-defined mode at the second level of
+  routing tree make the second digit of cache bank index ignored") — but
+  we expose it as a table because the cache model needs it.
+
+The same walk that hardware performs defines the remap, so the table and
+the functional fabric can never disagree; a property test pins this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from repro.errors import PowerStateError
+from repro.mot.power_state import PowerState
+from repro.mot.signals import RoutingMode
+from repro.mot.tree import ArbitrationTree, RoutingTree
+from repro.units import log2_int
+
+
+def compute_routing_modes(
+    n_banks: int, active_banks: FrozenSet[int]
+) -> Dict[Tuple[int, int], RoutingMode]:
+    """Control word for every routing-tree switch (tree shape is shared
+    by all cores, so one table serves every active core's tree).
+
+    For the switch at ``(level, pos)`` covering bank range ``[lo, hi)``:
+
+    * both halves contain an active bank -> ``CONVENTIONAL``;
+    * only the lower half does           -> ``FORCE_0``;
+    * only the upper half does           -> ``FORCE_1``;
+    * neither does                       -> ``GATED``.
+    """
+    n_levels = log2_int(n_banks)
+    modes: Dict[Tuple[int, int], RoutingMode] = {}
+    for level in range(n_levels):
+        width = n_banks >> level
+        half = width // 2
+        for pos in range(2**level):
+            lo = pos * width
+            lower_active = any(b in active_banks for b in range(lo, lo + half))
+            upper_active = any(
+                b in active_banks for b in range(lo + half, lo + width)
+            )
+            if lower_active and upper_active:
+                modes[(level, pos)] = RoutingMode.CONVENTIONAL
+            elif lower_active:
+                modes[(level, pos)] = RoutingMode.FORCE_0
+            elif upper_active:
+                modes[(level, pos)] = RoutingMode.FORCE_1
+            else:
+                modes[(level, pos)] = RoutingMode.GATED
+    return modes
+
+
+def remap_bank(
+    logical_bank: int,
+    n_banks: int,
+    modes: Dict[Tuple[int, int], RoutingMode],
+) -> int:
+    """Physical bank reached by a packet addressed to ``logical_bank``.
+
+    Performs exactly the walk the routing tree performs: at each level
+    take the address bit unless the switch's mode forces a direction.
+    """
+    n_levels = log2_int(n_banks)
+    pos = 0
+    for level in range(n_levels):
+        mode = modes[(level, pos)]
+        if mode is RoutingMode.GATED:
+            raise PowerStateError(
+                f"packet for bank {logical_bank} reached gated switch "
+                f"({level}, {pos})"
+            )
+        if mode is RoutingMode.FORCE_0:
+            bit = 0
+        elif mode is RoutingMode.FORCE_1:
+            bit = 1
+        else:
+            bit = (logical_bank >> (n_levels - 1 - level)) & 1
+        pos = pos * 2 + bit
+    return pos
+
+
+def compute_remap_table(
+    n_banks: int, active_banks: FrozenSet[int]
+) -> List[int]:
+    """Remap of every logical bank index under the given active set."""
+    modes = compute_routing_modes(n_banks, active_banks)
+    return [remap_bank(b, n_banks, modes) for b in range(n_banks)]
+
+
+def gated_arbitration_switches(
+    tree: ArbitrationTree,
+    bank_active: bool,
+    active_cores: FrozenSet[int],
+) -> Set[Tuple[int, int]]:
+    """Arbitration switches of one bank's tree that can be power-gated.
+
+    Every switch of a gated bank's tree goes; in an active bank's tree,
+    a switch whose merged core range contains no active core carries no
+    traffic and goes too.
+    """
+    gated: Set[Tuple[int, int]] = set()
+    for level in range(tree.n_levels):
+        for pos in range(2**level):
+            if not bank_active:
+                gated.add((level, pos))
+                continue
+            lo, hi = tree.core_range(level, pos)
+            if not any(c in active_cores for c in range(lo, hi)):
+                gated.add((level, pos))
+    return gated
+
+
+@dataclass(frozen=True)
+class ReconfigurationPlan:
+    """Everything needed to move the fabric into a power state.
+
+    Attributes
+    ----------
+    state:
+        The target power state.
+    routing_modes:
+        Mode per routing-switch coordinate (shared by all active cores).
+    remap:
+        ``remap[logical_bank] -> physical_bank``.
+    gated_arb:
+        Per bank id, the set of gated arbitration-switch coordinates.
+    fold_factor:
+        How many logical banks fold onto each active bank.
+    """
+
+    state: PowerState
+    routing_modes: Dict[Tuple[int, int], RoutingMode]
+    remap: Tuple[int, ...]
+    gated_arb: Dict[int, FrozenSet[Tuple[int, int]]]
+    fold_factor: int
+
+    def remapped_bank(self, logical_bank: int) -> int:
+        """Physical bank serving ``logical_bank`` in this state."""
+        return self.remap[logical_bank]
+
+    @property
+    def user_defined_levels(self) -> FrozenSet[int]:
+        """Tree levels containing at least one forced switch.
+
+        In Fig 4 this is "the second level of the routing tree".
+        """
+        return frozenset(
+            level
+            for (level, _pos), mode in self.routing_modes.items()
+            if mode.is_user_defined
+        )
+
+
+def plan_reconfiguration(state: PowerState) -> ReconfigurationPlan:
+    """Compute the full reconfiguration plan for ``state``.
+
+    Raises :class:`PowerStateError` when the remap would distribute the
+    folded banks unevenly (which would skew cache pressure and violates
+    the paper's "evenly be distributed" property).
+    """
+    modes = compute_routing_modes(state.total_banks, state.active_banks)
+    remap = tuple(
+        remap_bank(b, state.total_banks, modes) for b in range(state.total_banks)
+    )
+
+    counts: Dict[int, int] = {}
+    for phys in remap:
+        counts[phys] = counts.get(phys, 0) + 1
+    if set(counts) != set(state.active_banks):
+        raise PowerStateError(
+            f"remap targets {sorted(counts)} != active banks "
+            f"{sorted(state.active_banks)}"
+        )
+    fold = state.total_banks // state.n_active_banks
+    if any(c != fold for c in counts.values()):
+        raise PowerStateError(
+            f"uneven bank folding {counts}; choose an active-bank set that "
+            f"folds each index bit completely"
+        )
+
+    # Arbitration gating (tree shape shared by all banks).
+    template = ArbitrationTree(bank_id=-1, n_cores=state.total_cores)
+    gated_arb: Dict[int, FrozenSet[Tuple[int, int]]] = {}
+    for bank in range(state.total_banks):
+        gated_arb[bank] = frozenset(
+            gated_arbitration_switches(
+                template, bank in state.active_banks, state.active_cores
+            )
+        )
+
+    return ReconfigurationPlan(
+        state=state,
+        routing_modes=modes,
+        remap=remap,
+        gated_arb=gated_arb,
+        fold_factor=fold,
+    )

@@ -1,0 +1,187 @@
+"""Routing switch models (paper Fig 2b and Fig 3).
+
+Two classes are provided:
+
+* :class:`RoutingSwitch` — the original circuit-switched MoT switch: a
+  1:2 DEMUX on the request path steered by one bit of the destination
+  bank index, and a 2:1 MUX on the response path that follows the same
+  selection (the path is held for the whole transaction).
+
+* :class:`ReconfigurableRoutingSwitch` — the paper's contribution: the
+  same datapath plus one extra multiplexer that can override the
+  address-based selection with the two control signals ``ctr_0`` /
+  ``ctr_1`` (Fig 3).  This enables the user-defined routing that folds
+  traffic away from power-gated subtrees, and allows gating the switch
+  itself.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import RoutingError
+from repro.mot.signals import PortStats, Request, RoutingMode
+
+
+class RoutingSwitch:
+    """Original (conventional-only) routing switch.
+
+    Parameters
+    ----------
+    switch_id:
+        Unique identifier within the fabric (used in error messages and
+        power bookkeeping).
+    level_bit:
+        Which bit of the destination bank index this switch examines.
+        Level 0 of the routing tree (nearest the core) looks at the most
+        significant bank-index bit, so ``level_bit`` decreases toward the
+        banks.
+    """
+
+    def __init__(self, switch_id: str, level_bit: int) -> None:
+        if level_bit < 0:
+            raise RoutingError(f"level bit must be non-negative, got {level_bit}")
+        self.switch_id = switch_id
+        self.level_bit = level_bit
+        self.stats = PortStats()
+        #: Port selected by the in-flight transaction (circuit held).
+        self._held_port: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Request path (processor -> memory): 1:2 DEMUX
+    # ------------------------------------------------------------------
+    def select_port(self, request: Request) -> int:
+        """Combinational port selection for ``request`` (0 or 1)."""
+        return request.address_bit(self.level_bit)
+
+    def route(self, request: Request) -> int:
+        """Route ``request``, holding the circuit for its response.
+
+        Returns the selected memory-side port.
+        """
+        port = self.select_port(request)
+        self._held_port = port
+        self.stats.requests += 1
+        return port
+
+    # ------------------------------------------------------------------
+    # Response path (memory -> processor): 2:1 MUX on the held circuit
+    # ------------------------------------------------------------------
+    def response_port(self) -> int:
+        """Memory-side port the response must arrive on."""
+        if self._held_port is None:
+            raise RoutingError(
+                f"switch {self.switch_id}: response with no held circuit"
+            )
+        return self._held_port
+
+    def complete(self) -> None:
+        """Release the held circuit after the response passes."""
+        if self._held_port is None:
+            raise RoutingError(
+                f"switch {self.switch_id}: completing an idle circuit"
+            )
+        self.stats.responses += 1
+        self._held_port = None
+
+    @property
+    def busy(self) -> bool:
+        """True while a transaction holds this switch."""
+        return self._held_port is not None
+
+    @property
+    def is_gated(self) -> bool:
+        """The original switch cannot be power-gated."""
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} {self.switch_id} bit={self.level_bit}>"
+
+
+class ReconfigurableRoutingSwitch(RoutingSwitch):
+    """The modified routing switch of Fig 3.
+
+    Adds the grey multiplexer: the DEMUX select is either the address
+    bit (conventional mode) or a constant chosen by ``ctr_0``/``ctr_1``
+    (user-defined mode).  Mode changes model the reconfiguration the
+    power-gating controller performs between workload phases.
+    """
+
+    def __init__(
+        self,
+        switch_id: str,
+        level_bit: int,
+        mode: RoutingMode = RoutingMode.CONVENTIONAL,
+    ) -> None:
+        super().__init__(switch_id, level_bit)
+        self._mode = mode
+
+    # ------------------------------------------------------------------
+    # Control plane
+    # ------------------------------------------------------------------
+    @property
+    def mode(self) -> RoutingMode:
+        """Current operating mode (decoded ctr signals)."""
+        return self._mode
+
+    def set_mode(self, mode: RoutingMode) -> None:
+        """Reconfigure the switch.
+
+        Reconfiguration while a transaction holds the switch would
+        corrupt the circuit, so it is rejected; the gating controller
+        drains traffic first (see :mod:`repro.mot.gating`).
+        """
+        if self.busy:
+            raise RoutingError(
+                f"switch {self.switch_id}: cannot reconfigure while busy"
+            )
+        self._mode = mode
+
+    def set_control_signals(self, ctr_0: bool, ctr_1: bool) -> None:
+        """Drive the raw control wires of Fig 3b."""
+        self.set_mode(RoutingMode.from_signals(ctr_0, ctr_1))
+
+    @property
+    def ctr_0(self) -> bool:
+        """Control signal enabling port 0."""
+        return self._mode.ctr_0
+
+    @property
+    def ctr_1(self) -> bool:
+        """Control signal enabling port 1."""
+        return self._mode.ctr_1
+
+    @property
+    def is_gated(self) -> bool:
+        """True when the switch is power-gated (both ports disabled)."""
+        return self._mode is RoutingMode.GATED
+
+    # ------------------------------------------------------------------
+    # Request path with the extra MUX
+    # ------------------------------------------------------------------
+    def select_port(self, request: Request) -> int:
+        """Port selection honouring the control signals (Fig 3b).
+
+        Conventional mode routes by the address bit; a forced mode
+        returns its constant; a gated switch must never see a packet.
+        """
+        if self._mode is RoutingMode.GATED:
+            raise RoutingError(
+                f"switch {self.switch_id}: packet arrived at a power-gated switch"
+            )
+        if self._mode is RoutingMode.FORCE_0:
+            return 0
+        if self._mode is RoutingMode.FORCE_1:
+            return 1
+        return request.address_bit(self.level_bit)
+
+    def ignored_bit(self) -> Optional[int]:
+        """The bank-index bit this switch ignores, if in user mode.
+
+        This is the paper's remapping mechanism: "the routing switches in
+        the user-defined mode ... make the second digit of cache bank
+        index ignored for packet routing".
+        """
+        if self._mode.is_user_defined:
+            return self.level_bit
+        return None

@@ -1,0 +1,117 @@
+"""Signal-level types shared by the MoT switch models.
+
+The paper's Fig 2b/2c and Fig 3 describe the switches at the port level:
+requests flow from the processor side to the memory side through routing
+switches (demultiplexing on an address bit) and arbitration switches
+(multiplexing with round-robin priority); responses flow back along the
+same circuit-switched path.  The types here model those ports and the
+control scheme of the modified routing switch.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import RoutingError
+
+
+class RoutingMode(enum.Enum):
+    """Operating mode of a (reconfigurable) routing switch.
+
+    Encodes the two control signals ``ctr_0`` / ``ctr_1`` of Fig 3: each
+    signal enables the corresponding memory-side output port.
+
+    * Both ports enabled  -> ``CONVENTIONAL``: the packet's destination
+      address bit selects the port, exactly like the original switch.
+    * One port enabled    -> ``FORCE_0`` / ``FORCE_1`` ("user-defined
+      way"): every packet goes to that port and the address bit at this
+      tree level is ignored — this is what folds gated banks onto their
+      powered-on siblings.
+    * Neither enabled     -> ``GATED``: the switch itself is power-gated
+      and must never see traffic.
+    """
+
+    CONVENTIONAL = (True, True)
+    FORCE_0 = (True, False)
+    FORCE_1 = (False, True)
+    GATED = (False, False)
+
+    @property
+    def ctr_0(self) -> bool:
+        """Control signal enabling memory-side port 0."""
+        return self.value[0]
+
+    @property
+    def ctr_1(self) -> bool:
+        """Control signal enabling memory-side port 1."""
+        return self.value[1]
+
+    @classmethod
+    def from_signals(cls, ctr_0: bool, ctr_1: bool) -> "RoutingMode":
+        """Decode the (ctr_0, ctr_1) pair of Fig 3b into a mode."""
+        return cls((bool(ctr_0), bool(ctr_1)))
+
+    @property
+    def is_user_defined(self) -> bool:
+        """True for the forced (user-defined) modes."""
+        return self in (RoutingMode.FORCE_0, RoutingMode.FORCE_1)
+
+
+@dataclass(frozen=True)
+class Request:
+    """One circuit-switched transaction request.
+
+    Attributes
+    ----------
+    core_id:
+        Issuing core (processor-side endpoint).
+    bank_index:
+        Destination L2 bank index — the packet's address field.  Note
+        that under power gating this is the *logical* index; the fabric
+        may deliver the packet to a different physical bank.
+    is_write:
+        Write transactions carry data toward the bank.
+    data:
+        Opaque payload for functional simulation.
+    tag:
+        Caller-chosen identifier, threaded through to the response.
+    """
+
+    core_id: int
+    bank_index: int
+    is_write: bool = False
+    data: Optional[int] = None
+    tag: int = 0
+
+    def address_bit(self, bit: int) -> int:
+        """Bit ``bit`` of the destination bank index (0 = LSB)."""
+        if bit < 0:
+            raise RoutingError(f"address bit {bit} out of range")
+        return (self.bank_index >> bit) & 1
+
+
+@dataclass(frozen=True)
+class Response:
+    """Response returned along the held circuit path."""
+
+    core_id: int
+    served_bank: int
+    data: Optional[int] = None
+    tag: int = 0
+
+
+@dataclass
+class PortStats:
+    """Traffic counters kept by every switch for power accounting."""
+
+    requests: int = 0
+    responses: int = 0
+    conflicts: int = 0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.requests = 0
+        self.responses = 0
+        self.conflicts = 0

@@ -1,0 +1,176 @@
+"""Binary-tree builders for the MoT fabric (paper Fig 2a).
+
+A Mesh-of-Trees connecting ``n`` cores to ``m`` banks is built from:
+
+* one *routing tree* per core — ``log2(m)`` levels of routing switches
+  fanning out from the core to all ``m`` banks (``m - 1`` switches); and
+* one *arbitration tree* per bank — ``log2(n)`` levels of arbitration
+  switches merging all ``n`` cores into the bank (``n - 1`` switches).
+
+Leaf ``j`` of core ``i``'s routing tree is wired to leaf ``i`` of bank
+``j``'s arbitration tree.  Trees are addressed by ``(level, position)``
+with level 0 at the root; a routing switch at level ``l`` examines bank-
+index bit ``L - 1 - l`` (MSB first), which is what makes forcing "the
+second level" fold the index's second digit, exactly as in Fig 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Tuple
+
+from repro.errors import TopologyError
+from repro.mot.arbitration_switch import ArbitrationSwitch
+from repro.mot.routing_switch import ReconfigurableRoutingSwitch
+from repro.units import is_power_of_two, log2_int
+
+
+@dataclass
+class RoutingTree:
+    """Routing tree of one core: ``log2(n_banks)`` levels of switches.
+
+    ``switches[(level, pos)]`` covers banks
+    ``[pos * n_banks / 2**level, (pos + 1) * n_banks / 2**level)``.
+    """
+
+    core_id: int
+    n_banks: int
+    switches: Dict[Tuple[int, int], ReconfigurableRoutingSwitch] = field(
+        default_factory=dict
+    )
+
+    def __post_init__(self) -> None:
+        if not is_power_of_two(self.n_banks) or self.n_banks < 2:
+            raise TopologyError(
+                f"routing tree needs a power-of-two bank count >= 2, "
+                f"got {self.n_banks}"
+            )
+        if not self.switches:
+            self._build()
+
+    @property
+    def n_levels(self) -> int:
+        """Tree depth: log2 of the bank count."""
+        return log2_int(self.n_banks)
+
+    def _build(self) -> None:
+        for level in range(self.n_levels):
+            bit = self.n_levels - 1 - level
+            for pos in range(2**level):
+                sid = f"rt[c{self.core_id}][L{level}.{pos}]"
+                self.switches[(level, pos)] = ReconfigurableRoutingSwitch(sid, bit)
+
+    def switch_at(self, level: int, pos: int) -> ReconfigurableRoutingSwitch:
+        """Switch at ``(level, pos)``; raises TopologyError if absent."""
+        try:
+            return self.switches[(level, pos)]
+        except KeyError:
+            raise TopologyError(
+                f"routing tree of core {self.core_id} has no switch "
+                f"({level}, {pos})"
+            ) from None
+
+    def bank_range(self, level: int, pos: int) -> Tuple[int, int]:
+        """Half-open bank range covered by the subtree at ``(level, pos)``."""
+        width = self.n_banks >> level
+        return pos * width, (pos + 1) * width
+
+    def path_to_bank(self, bank: int) -> List[Tuple[int, int]]:
+        """Conventional-mode path (ignoring modes) from root to ``bank``."""
+        if not 0 <= bank < self.n_banks:
+            raise TopologyError(f"bank {bank} out of range 0..{self.n_banks - 1}")
+        path = []
+        pos = 0
+        for level in range(self.n_levels):
+            path.append((level, pos))
+            bit = (bank >> (self.n_levels - 1 - level)) & 1
+            pos = pos * 2 + bit
+        return path
+
+    def all_switches(self) -> Iterator[ReconfigurableRoutingSwitch]:
+        """All switches, root first, position order within each level."""
+        for level in range(self.n_levels):
+            for pos in range(2**level):
+                yield self.switches[(level, pos)]
+
+    @property
+    def n_switches(self) -> int:
+        """Total switch count (``n_banks - 1``)."""
+        return self.n_banks - 1
+
+
+@dataclass
+class ArbitrationTree:
+    """Arbitration tree of one bank: ``log2(n_cores)`` switch levels.
+
+    Level 0 is the root (adjacent to the bank); the leaves at level
+    ``n_levels - 1`` each merge two cores.  Level ``l`` has ``2**l``
+    switches, and ``switches[(level, pos)]`` merges the core range
+    ``[pos * (n_cores >> level), (pos + 1) * (n_cores >> level))``.
+    """
+
+    bank_id: int
+    n_cores: int
+    switches: Dict[Tuple[int, int], ArbitrationSwitch] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not is_power_of_two(self.n_cores) or self.n_cores < 2:
+            raise TopologyError(
+                f"arbitration tree needs a power-of-two core count >= 2, "
+                f"got {self.n_cores}"
+            )
+        if not self.switches:
+            self._build()
+
+    @property
+    def n_levels(self) -> int:
+        """Tree depth: log2 of the core count."""
+        return log2_int(self.n_cores)
+
+    def _build(self) -> None:
+        for level in range(self.n_levels):
+            for pos in range(2**level):
+                sid = f"at[b{self.bank_id}][L{level}.{pos}]"
+                self.switches[(level, pos)] = ArbitrationSwitch(sid)
+
+    def switch_at(self, level: int, pos: int) -> ArbitrationSwitch:
+        """Switch at ``(level, pos)``; raises TopologyError if absent."""
+        try:
+            return self.switches[(level, pos)]
+        except KeyError:
+            raise TopologyError(
+                f"arbitration tree of bank {self.bank_id} has no switch "
+                f"({level}, {pos})"
+            ) from None
+
+    def core_range(self, level: int, pos: int) -> Tuple[int, int]:
+        """Half-open core range merged by the subtree at ``(level, pos)``."""
+        width = self.n_cores >> level
+        return pos * width, (pos + 1) * width
+
+    def path_from_core(self, core: int) -> List[Tuple[int, int]]:
+        """Switches a request from ``core`` traverses, leaf to root order."""
+        if not 0 <= core < self.n_cores:
+            raise TopologyError(f"core {core} out of range 0..{self.n_cores - 1}")
+        path = []
+        for level in range(self.n_levels - 1, -1, -1):
+            width = self.n_cores >> level
+            path.append((level, core // width))
+        return path
+
+    def input_port(self, core: int, level: int) -> int:
+        """Which input (0/1) of the level-``level`` switch ``core`` feeds."""
+        width = self.n_cores >> level
+        half = width // 2
+        return (core % width) // half
+
+    def all_switches(self) -> Iterator[ArbitrationSwitch]:
+        """All switches, root first."""
+        for level in range(self.n_levels):
+            for pos in range(2**level):
+                yield self.switches[(level, pos)]
+
+    @property
+    def n_switches(self) -> int:
+        """Total switch count (``n_cores - 1``)."""
+        return self.n_cores - 1

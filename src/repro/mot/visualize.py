@@ -1,0 +1,85 @@
+"""ASCII rendering of the fabric's power/configuration state (Fig 4).
+
+The paper's Fig 4 draws the 4x8 MoT with white circles (conventional
+switches), grey circles (user-defined switches) and greyed-out regions
+(power-gated circuits).  :func:`render_fabric` produces the terminal
+equivalent:
+
+* ``o``  routing switch in conventional mode
+* ``>``  routing switch forced toward port 1 (upper bank half)
+* ``<``  routing switch forced toward port 0 (lower bank half)
+* ``.``  power-gated switch
+* ``[n]`` / ``(n)`` powered / gated bank ``n``
+
+Useful in examples and debugging sessions; tested for structural
+properties (marker counts match the plan).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.mot.fabric import MoTFabric
+from repro.mot.signals import RoutingMode
+
+_MODE_MARK = {
+    RoutingMode.CONVENTIONAL: "o",
+    RoutingMode.FORCE_0: "<",
+    RoutingMode.FORCE_1: ">",
+    RoutingMode.GATED: ".",
+}
+
+
+def routing_tree_lines(fabric: MoTFabric, core: int) -> List[str]:
+    """One line per routing-tree level of ``core``, root first."""
+    tree = fabric.routing_trees[core]
+    lines = []
+    for level in range(tree.n_levels):
+        marks = [
+            _MODE_MARK[tree.switch_at(level, pos).mode]
+            for pos in range(2**level)
+        ]
+        span = 2 ** (tree.n_levels - level)
+        cell = max(2, span)
+        lines.append("".join(m.center(cell) for m in marks))
+    return lines
+
+
+def bank_line(fabric: MoTFabric) -> str:
+    """Bank row: ``[n]`` powered, ``(n)`` gated."""
+    state = fabric.power_state
+    cells = []
+    for bank in range(fabric.n_banks):
+        mark = f"[{bank}]" if bank in state.active_banks else f"({bank})"
+        cells.append(mark)
+    return " ".join(cells)
+
+
+def render_fabric(fabric: MoTFabric, core: int = None) -> str:
+    """Fig 4-style picture of one core's routing tree plus the banks.
+
+    ``core`` defaults to the lowest active core.
+    """
+    state = fabric.power_state
+    if core is None:
+        core = min(state.active_cores)
+    header = (
+        f"power state: {state.name}  "
+        f"(cores {state.n_active_cores}/{state.total_cores}, "
+        f"banks {state.n_active_banks}/{state.total_banks})"
+    )
+    legend = "o conventional   < force-0   > force-1   . gated"
+    body = routing_tree_lines(fabric, core)
+    remap = fabric.plan.remap
+    remap_line = "remap: " + " ".join(
+        f"{logical}->{physical}"
+        for logical, physical in enumerate(remap)
+        if logical != physical
+    )
+    if remap_line == "remap: ":
+        remap_line = "remap: identity"
+    return "\n".join(
+        [header, legend, f"core {core} routing tree:"]
+        + body
+        + [bank_line(fabric), remap_line]
+    )

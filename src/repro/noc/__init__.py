@@ -1,0 +1,41 @@
+"""Interconnect models: the MoT adapter and the three packet-switched
+3-D baselines the paper compares against (Section IV)."""
+
+from repro.noc.base import Interconnect, InterconnectStats, ReservationTable
+from repro.noc.packet import PacketFormat, DEFAULT_PACKET_FORMAT
+from repro.noc.router import RouterTiming, DEFAULT_ROUTER_TIMING
+from repro.noc.vertical_bus import BusStats, VerticalBus
+from repro.noc.mesh3d import MeshGeometry, True3DMesh
+from repro.noc.bus_mesh import HybridBusMesh
+from repro.noc.bus_tree import HybridBusTree
+from repro.noc.mot_adapter import MoTInterconnect
+
+__all__ = [
+    "Interconnect",
+    "InterconnectStats",
+    "ReservationTable",
+    "PacketFormat",
+    "DEFAULT_PACKET_FORMAT",
+    "RouterTiming",
+    "DEFAULT_ROUTER_TIMING",
+    "BusStats",
+    "VerticalBus",
+    "MeshGeometry",
+    "True3DMesh",
+    "HybridBusMesh",
+    "HybridBusTree",
+    "MoTInterconnect",
+]
+
+
+def paper_interconnects():
+    """The four fabrics of Fig 6, in the paper's order.
+
+    Fresh instances each call (they carry contention state).
+    """
+    return [
+        True3DMesh(),
+        HybridBusMesh(),
+        HybridBusTree(),
+        MoTInterconnect(),
+    ]

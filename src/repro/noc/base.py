@@ -1,0 +1,131 @@
+"""Common interface all interconnect models implement.
+
+The system-level simulator is interconnect-agnostic: it hands every L2
+access (after an L1 miss) to an :class:`Interconnect`, which accounts
+for topology, contention and serialization internally and returns the
+access's completion time.  Four implementations exist:
+
+* :class:`~repro.noc.mot_adapter.MoTInterconnect` — the paper's
+  circuit-switched 3-D MoT;
+* :class:`~repro.noc.mesh3d.True3DMesh` — packet routers on every tier;
+* :class:`~repro.noc.bus_mesh.HybridBusMesh` — 2-D mesh + TSV pillar
+  buses (Li et al. [2]);
+* :class:`~repro.noc.bus_tree.HybridBusTree` — reduction tree + shared
+  vertical buses (Madan et al. [21]).
+
+Contention modelling is transaction-level: every shared resource (link,
+bus, bank port) keeps a busy-until reservation; requests queue behind
+it.  This is the standard analytical wormhole approximation — accurate
+for the moderate loads of a 16-core cluster and orders of magnitude
+faster than flit-level simulation (see DESIGN.md, substitutions).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class InterconnectStats:
+    """Traffic/latency counters every interconnect keeps."""
+
+    accesses: int = 0
+    total_latency_cycles: int = 0
+    queueing_cycles: int = 0
+    #: Dynamic energy consumed by the interconnect so far (J).
+    energy_j: float = 0.0
+
+    @property
+    def mean_latency_cycles(self) -> float:
+        """Average end-to-end L2 access latency."""
+        if self.accesses == 0:
+            return 0.0
+        return self.total_latency_cycles / self.accesses
+
+    def record(self, latency: int, queueing: int, energy_j: float) -> None:
+        """Account one completed access."""
+        self.accesses += 1
+        self.total_latency_cycles += latency
+        self.queueing_cycles += queueing
+        self.energy_j += energy_j
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.accesses = 0
+        self.total_latency_cycles = 0
+        self.queueing_cycles = 0
+        self.energy_j = 0.0
+
+
+class Interconnect(ABC):
+    """One core-to-L2 interconnect fabric.
+
+    Subclasses model one *complete L2 access* per call: request
+    traversal, bank access, response traversal, with all queueing.
+    """
+
+    name: str = "interconnect"
+
+    def __init__(self) -> None:
+        self.stats = InterconnectStats()
+
+    @abstractmethod
+    def access(
+        self, core: int, bank: int, now_cycle: int, is_write: bool = False
+    ) -> int:
+        """Perform one L2 access; returns its total latency in cycles.
+
+        ``bank`` is the *physical* bank (the simulator resolves any
+        remapping first).  Implementations must record into ``stats``.
+        """
+
+    @abstractmethod
+    def zero_load_latency(self, core: int, bank: int) -> int:
+        """Uncontended L2 access latency between ``core`` and ``bank``."""
+
+    @abstractmethod
+    def leakage_w(self) -> float:
+        """Static power of the powered-on fabric (W)."""
+
+    def mean_zero_load_latency(self, n_cores: int, n_banks: int) -> float:
+        """Average zero-load latency over all core/bank pairs."""
+        total = sum(
+            self.zero_load_latency(c, b)
+            for c in range(n_cores)
+            for b in range(n_banks)
+        )
+        return total / (n_cores * n_banks)
+
+    def reset_stats(self) -> None:
+        """Zero the traffic counters (between experiment phases)."""
+        self.stats.reset()
+
+
+class ReservationTable:
+    """Busy-until bookkeeping for a family of shared resources.
+
+    ``claim(key, ready, hold)`` returns the cycle the resource becomes
+    available to this request (>= ready) and reserves it for ``hold``
+    cycles from that point.
+    """
+
+    def __init__(self) -> None:
+        self._busy_until: Dict[object, int] = {}
+
+    def claim(self, key: object, ready_cycle: int, hold_cycles: int) -> int:
+        """Acquire ``key`` at the earliest cycle >= ``ready_cycle``."""
+        if hold_cycles < 0:
+            raise ValueError("hold must be non-negative")
+        start = max(ready_cycle, self._busy_until.get(key, 0))
+        self._busy_until[key] = start + hold_cycles
+        return start
+
+    def peek(self, key: object) -> int:
+        """Cycle at which ``key`` frees, 0 if never claimed."""
+        return self._busy_until.get(key, 0)
+
+    def clear(self) -> None:
+        """Release everything (between experiment phases)."""
+        self._busy_until.clear()

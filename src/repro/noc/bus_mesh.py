@@ -1,0 +1,191 @@
+"""3-D Hybrid Bus-Mesh baseline (Li et al., ISCA 2006 [2]).
+
+Li et al.'s "network-in-memory": every tier (core and cache) carries a
+2-D packet mesh, and each tile location has a vertical dTDMA *pillar
+bus* connecting the tiers — vertical communication is a single bus
+arbitration instead of hop-by-hop routers.  This is the design that,
+per the paper, "may reduce the L2 cache access latency by exploiting
+the short vertical links, in conjunction with the reduction in the
+number of hop accesses".
+
+An access: XY-route on the core tier to the tile under the target
+bank, win that tile's pillar, cross up, access the bank; the response
+XY-routes *on the bank's tier* to the tile above the requesting core
+and descends that pillar — so request and response traffic load
+different tiers' meshes and different pillars, exactly like the
+original design's per-layer networks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.noc.base import Interconnect, ReservationTable
+from repro.noc.mesh3d import MeshGeometry, Node
+from repro.noc.packet import PacketFormat, DEFAULT_PACKET_FORMAT
+from repro.noc.router import RouterTiming, DEFAULT_ROUTER_TIMING
+from repro.noc.vertical_bus import VerticalBus
+from repro.phys.interconnect_power import (
+    InterconnectPowerModel,
+    DEFAULT_INTERCONNECT_POWER,
+)
+from repro.phys.tsv import TSVModel, DEFAULT_TSV
+
+
+class HybridBusMesh(Interconnect):
+    """2-D mesh + per-tile vertical pillar buses."""
+
+    name = "3-D Hybrid Bus-Mesh"
+
+    def __init__(
+        self,
+        geometry: MeshGeometry = MeshGeometry(),
+        timing: RouterTiming = DEFAULT_ROUTER_TIMING,
+        packet: PacketFormat = DEFAULT_PACKET_FORMAT,
+        power: InterconnectPowerModel = DEFAULT_INTERCONNECT_POWER,
+        tsv: TSVModel = DEFAULT_TSV,
+    ) -> None:
+        super().__init__()
+        self.geometry = geometry
+        self.timing = timing
+        self.packet = packet
+        self.power = power
+        self.tsv = tsv
+        self._links = ReservationTable()
+        self._bank_ports = ReservationTable()
+        #: One pillar per tile location.
+        self.pillars: Dict[Tuple[int, int], VerticalBus] = {
+            (x, y): VerticalBus(f"pillar({x},{y})")
+            for x in range(geometry.side)
+            for y in range(geometry.side)
+        }
+
+    # ------------------------------------------------------------------
+    def _pillar_of_bank(self, bank: int) -> Tuple[int, int]:
+        """Tile location whose pillar serves ``bank``."""
+        x, y, _tier = self.geometry.bank_node(bank)
+        return (x, y)
+
+    def _mesh_traverse(
+        self, src: Node, dst: Node, start_cycle: int, flits: int, contended: bool
+    ) -> Tuple[int, int, int]:
+        """XY wormhole walk within one tier; see True3DMesh._traverse."""
+        if src[2] != dst[2]:
+            raise ValueError("bus-mesh meshes are per-tier; use the pillar")
+        t = start_cycle + self.timing.pipeline_cycles
+        queued = 0
+        links = self.geometry.xyz_links(src, dst)
+        for link, _vertical in links:
+            if contended:
+                granted = self._links.claim(link, t, flits)
+                queued += granted - t
+                t = granted
+            t += self.timing.link_cycles + self.timing.pipeline_cycles
+        return t, queued, len(links)
+
+    def _bus_hops(self, bank: int) -> int:
+        """Tier crossings between the core tier and ``bank``."""
+        return self.geometry.bank_node(bank)[2]
+
+    def _access_cycles(
+        self, core: int, bank: int, now_cycle: int, is_write: bool, contended: bool
+    ) -> Tuple[int, int]:
+        """Round trip; returns (completion_cycle, queueing_cycles)."""
+        cx, cy, _ = self.geometry.core_node(core)
+        bx, by, btier = self.geometry.bank_node(bank)
+        req_flits = (
+            self.packet.write_request_flits()
+            if is_write
+            else self.packet.request_flits
+        )
+        resp_flits = self.packet.response_flits
+
+        # Request: XY on the core tier, then up the bank tile's pillar.
+        head, queued, _ = self._mesh_traverse(
+            (cx, cy, 0), (bx, by, 0), now_cycle, req_flits, contended
+        )
+        tail = head + self.packet.serialization_cycles(req_flits)
+        up_pillar = self.pillars[(bx, by)]
+        if contended:
+            start = up_pillar.transfer(core, tail, req_flits)
+            queued += start - tail
+            tail = start
+        t = tail + btier * self.timing.vertical_link_cycles
+
+        if contended:
+            granted = self._bank_ports.claim(bank, t, self.timing.bank_cycles)
+            queued += granted - t
+            t = granted
+        t += self.timing.bank_cycles
+
+        # Response: XY on the bank's tier, then down the core tile's
+        # pillar (per-layer meshes of the network-in-memory design).
+        back, q2, _ = self._mesh_traverse(
+            (bx, by, btier), (cx, cy, btier), t, resp_flits, contended
+        )
+        back_tail = back + self.packet.serialization_cycles(resp_flits)
+        down_pillar = self.pillars[(cx, cy)]
+        if contended:
+            start = down_pillar.transfer(core, back_tail, resp_flits)
+            q2 += start - back_tail
+            back_tail = start
+        completion = back_tail + btier * self.timing.vertical_link_cycles
+        return completion, queued + q2
+
+    # ------------------------------------------------------------------
+    # Interconnect interface
+    # ------------------------------------------------------------------
+    def access(
+        self, core: int, bank: int, now_cycle: int, is_write: bool = False
+    ) -> int:
+        completion, queued = self._access_cycles(
+            core, bank, now_cycle, is_write, contended=True
+        )
+        latency = completion - now_cycle
+        self.stats.record(latency, queued, self._access_energy(core, bank, is_write))
+        return latency
+
+    def zero_load_latency(self, core: int, bank: int) -> int:
+        completion, _ = self._access_cycles(
+            core, bank, 0, is_write=False, contended=False
+        )
+        return completion
+
+    # ------------------------------------------------------------------
+    def _access_energy(self, core: int, bank: int, is_write: bool) -> float:
+        """Dynamic energy of the round trip (J)."""
+        src = self.geometry.core_node(core)
+        px, py = self._pillar_of_bank(bank)
+        links = self.geometry.xyz_links(src, (px, py, 0))
+        req_flits = (
+            self.packet.write_request_flits()
+            if is_write
+            else self.packet.request_flits
+        )
+        flits = req_flits + self.packet.response_flits
+        bits_moved = flits * self.packet.flit_bits
+        routers = len(links) + 1
+
+        e = 2 * routers * self.power.router_energy_per_bit * bits_moved
+        e += 2 * len(links) * self.power.wire_energy_per_bit(
+            self.geometry.tile_pitch_m
+        ) * bits_moved
+        e += 2 * self._bus_hops(bank) * self.tsv.hop_energy() * bits_moved
+        return e
+
+    def leakage_w(self) -> float:
+        """Per-tier meshes (network-in-memory): routers on every tier;
+        the pillars themselves are passive TSV buses."""
+        n_tiers = 1 + self.geometry.n_cache_tiers
+        side = self.geometry.side
+        n_routers = side * side * n_tiers
+        links = 2 * side * (side - 1) * n_tiers
+        total_wire = links * self.geometry.tile_pitch_m
+        return self.power.noc_leakage(n_routers, total_wire, self.packet.flit_bits)
+
+    def reset_contention(self) -> None:
+        """Clear reservations (between experiment phases)."""
+        self._links = ReservationTable()
+        self._bank_ports = ReservationTable()
+        for pillar in self.pillars.values():
+            pillar.reset()

@@ -1,0 +1,68 @@
+"""Packet/flit accounting for the packet-switched baselines.
+
+The packet NoCs move wormhole packets: a *request* (address + command,
+one flit) and a *response* (a 32-byte cache line, several flits).  This
+module centralizes the flit arithmetic so every topology charges the
+same serialization and energy for the same payload.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class PacketFormat:
+    """Flit sizing shared by the packet-switched interconnects.
+
+    Parameters
+    ----------
+    flit_bits:
+        Link width (64 bits: a common DATE-era NoC datapath).
+    line_bytes:
+        Cache line carried by read responses / write requests.
+    header_bits:
+        Address + command overhead carried by every packet.
+    """
+
+    flit_bits: int = 64
+    line_bytes: int = 32
+    header_bits: int = 48
+
+    def __post_init__(self) -> None:
+        if self.flit_bits <= 0 or self.line_bytes <= 0 or self.header_bits < 0:
+            raise ConfigurationError("packet format fields must be positive")
+
+    @property
+    def request_flits(self) -> int:
+        """Flits of a read request (header only)."""
+        return max(1, math.ceil(self.header_bits / self.flit_bits))
+
+    @property
+    def data_flits(self) -> int:
+        """Flits of one cache line of payload."""
+        return math.ceil(self.line_bytes * 8 / self.flit_bits)
+
+    @property
+    def response_flits(self) -> int:
+        """Flits of a read response (header + line)."""
+        return max(
+            1, math.ceil((self.header_bits + self.line_bytes * 8) / self.flit_bits)
+        )
+
+    def write_request_flits(self) -> int:
+        """Flits of a write request (header + line toward the bank)."""
+        return self.response_flits
+
+    def serialization_cycles(self, flits: int) -> int:
+        """Extra cycles the tail flit trails the head by."""
+        if flits < 1:
+            raise ConfigurationError("packets have at least one flit")
+        return flits - 1
+
+
+#: Shared default format.
+DEFAULT_PACKET_FORMAT = PacketFormat()

@@ -1,0 +1,52 @@
+"""Pipelined packet-router timing/energy parameters.
+
+Every packet-switched baseline charges the same per-hop costs, so the
+comparison against the MoT isolates *topology*, not router quality:
+
+* 3 pipeline stages per router (route computation, VC/switch
+  allocation, switch traversal) — a standard aggressive wormhole router;
+* 1 cycle of link traversal per hop (the 1.25 mm tile-to-tile wire at
+  the low-power repeater spacing fits in a cycle);
+* 1 cycle per TSV hop for vertical links (driver + bump dominated).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class RouterTiming:
+    """Per-hop timing of the packet-switched baselines."""
+
+    pipeline_cycles: int = 3
+    link_cycles: int = 1
+    vertical_link_cycles: int = 1
+    #: Cycles a bank needs to turn a request into a response.
+    bank_cycles: int = 1
+
+    def __post_init__(self) -> None:
+        for value, what in (
+            (self.pipeline_cycles, "pipeline"),
+            (self.link_cycles, "link"),
+            (self.vertical_link_cycles, "vertical link"),
+            (self.bank_cycles, "bank"),
+        ):
+            if value < 1:
+                raise ConfigurationError(f"{what} cycles must be >= 1, got {value}")
+
+    @property
+    def hop_cycles(self) -> int:
+        """Head-flit latency of one horizontal hop (router + link)."""
+        return self.pipeline_cycles + self.link_cycles
+
+    @property
+    def vertical_hop_cycles(self) -> int:
+        """Head-flit latency of one vertical (TSV) hop through a router."""
+        return self.pipeline_cycles + self.vertical_link_cycles
+
+
+#: Shared default timing.
+DEFAULT_ROUTER_TIMING = RouterTiming()

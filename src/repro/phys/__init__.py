@@ -1,0 +1,61 @@
+"""Physical models: Elmore RC delay, TSVs, floorplan geometry, SRAM
+banks (CACTI-style), core power (McPAT-style), interconnect power
+(Liao-He style).
+
+These are the substrates the paper's evaluation leans on (references
+[13]-[20]); every module is analytical, deterministic and unit-tested
+against the operating points the paper reports.
+"""
+
+from repro.phys import constants
+from repro.phys.elmore import (
+    WireTechnology,
+    DEFAULT_TECHNOLOGY,
+    lumped_rc_delay,
+    distributed_rc_delay,
+    unrepeated_wire_delay,
+    segmented_wire_delay,
+    repeated_wire_delay_per_m,
+    optimal_repeater_spacing,
+    optimal_repeater_size,
+    optimal_repeated_wire_delay_per_m,
+    repeater_count,
+    wire_delay_ns_per_mm,
+)
+from repro.phys.tsv import TSVModel, DEFAULT_TSV, tsv_hop_delay_ns
+from repro.phys.geometry import Floorplan3D, TilePosition, DEFAULT_FLOORPLAN
+from repro.phys.sram import SRAMBankModel, DEFAULT_BANK, bank_access_cycles
+from repro.phys.core_power import CorePowerModel, DEFAULT_CORE_POWER
+from repro.phys.interconnect_power import (
+    InterconnectPowerModel,
+    DEFAULT_INTERCONNECT_POWER,
+)
+
+__all__ = [
+    "constants",
+    "WireTechnology",
+    "DEFAULT_TECHNOLOGY",
+    "lumped_rc_delay",
+    "distributed_rc_delay",
+    "unrepeated_wire_delay",
+    "segmented_wire_delay",
+    "repeated_wire_delay_per_m",
+    "optimal_repeater_spacing",
+    "optimal_repeater_size",
+    "optimal_repeated_wire_delay_per_m",
+    "repeater_count",
+    "wire_delay_ns_per_mm",
+    "TSVModel",
+    "DEFAULT_TSV",
+    "tsv_hop_delay_ns",
+    "Floorplan3D",
+    "TilePosition",
+    "DEFAULT_FLOORPLAN",
+    "SRAMBankModel",
+    "DEFAULT_BANK",
+    "bank_access_cycles",
+    "CorePowerModel",
+    "DEFAULT_CORE_POWER",
+    "InterconnectPowerModel",
+    "DEFAULT_INTERCONNECT_POWER",
+]

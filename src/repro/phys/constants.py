@@ -1,0 +1,122 @@
+"""Technology constants for the 45 nm-class process assumed by the paper.
+
+The paper evaluates a 16-core cluster at 1 GHz with a two-tier stacked L2
+built from 64 KB SRAM banks, TSV-bonded with 40 um x 50 um micro-bumps
+[14].  Neither the process node nor exact device parameters are given, so
+we adopt widely published 45 nm interconnect and device values; every
+derived quantity that enters the evaluation (switch delay, repeated-wire
+delay, SRAM access time, TSV delay) is checked by tests against the
+latencies the paper itself reports in Table I.
+
+All values are in SI units (see :mod:`repro.units`).
+"""
+
+from __future__ import annotations
+
+from repro import units as u
+
+# ---------------------------------------------------------------------------
+# Clock
+# ---------------------------------------------------------------------------
+#: Cluster clock frequency (Table I: "1GHz").
+CLOCK_FREQUENCY_HZ = 1.0 * u.GHZ
+
+#: Clock period, convenience constant.
+CLOCK_PERIOD_S = 1.0 / CLOCK_FREQUENCY_HZ
+
+# ---------------------------------------------------------------------------
+# Global wires (intermediate metal layer, 45 nm class)
+# ---------------------------------------------------------------------------
+#: Wire resistance per meter (2 ohm/um).
+WIRE_RESISTANCE_PER_M = 2.0e6 * u.OHM
+
+#: Wire capacitance per meter (0.2 fF/um).
+WIRE_CAPACITANCE_PER_M = 0.2e-9 * u.F
+
+# ---------------------------------------------------------------------------
+# Devices (unit inverter, 45 nm class)
+# ---------------------------------------------------------------------------
+#: Output resistance of a unit (1x) inverter.
+UNIT_INVERTER_RESISTANCE = 10.0 * u.KOHM
+
+#: Gate capacitance of a unit inverter.
+UNIT_INVERTER_CAPACITANCE = 1.0 * u.FF
+
+#: Diffusion (drain) capacitance of a unit inverter.
+UNIT_INVERTER_DIFFUSION_CAPACITANCE = 1.0 * u.FF
+
+#: Fanout-of-4 inverter delay at 45 nm (used for logic-depth estimates).
+FO4_DELAY_S = 125.0 * u.PS
+
+#: Supply voltage.
+VDD = 1.0
+
+# ---------------------------------------------------------------------------
+# Low-power repeater (inverter) insertion along MoT wires
+# ---------------------------------------------------------------------------
+# The paper power-gates "inverters placed along the on-chip wires", which
+# implies sparse, energy-conscious repeater insertion rather than
+# delay-optimal insertion.  The spacing/size below are an energy-delay
+# compromise yielding ~0.5 ns/mm (delay-optimal insertion at 45 nm would
+# be ~4x faster but ~3x more repeater energy/leakage).
+#: Repeater (inverter) size relative to a unit inverter.
+REPEATER_SIZE = 20.0
+
+#: Distance between consecutive repeaters.
+REPEATER_SPACING_M = 2.6 * u.MM
+
+# ---------------------------------------------------------------------------
+# TSV + micro-bump (Katti et al. [15], Marinissen et al. [14])
+# ---------------------------------------------------------------------------
+#: TSV series resistance (Katti: tens of milli-ohms).
+TSV_RESISTANCE = 0.05 * u.OHM
+
+#: TSV capacitance to substrate.
+TSV_CAPACITANCE = 40.0 * u.FF
+
+#: Micro-bump capacitance (40 um x 50 um pitch bumps).
+MICROBUMP_CAPACITANCE = 25.0 * u.FF
+
+#: TSV length = one tier crossing (die thinned to ~40 um).
+TSV_LENGTH_M = 40.0 * u.UM
+
+#: Minimum micro-bump pitch, x and y (Marinissen [14]).
+MICROBUMP_PITCH_X_M = 40.0 * u.UM
+MICROBUMP_PITCH_Y_M = 50.0 * u.UM
+
+#: Size (relative to unit inverter) of the driver in front of a TSV.
+TSV_DRIVER_SIZE = 20.0
+
+# ---------------------------------------------------------------------------
+# Switch logic depth (MoT routing / arbitration switches)
+# ---------------------------------------------------------------------------
+#: Logic depth of a routing switch stage: 2:1 MUX + 1:2 DEMUX + control
+#: decode along the packet critical path (Fig 2b / Fig 3a).
+ROUTING_SWITCH_LOGIC_DEPTH_FO4 = 5.0
+
+#: Logic depth of an arbitration switch stage: 2:1 MUX + grant logic
+#: (Fig 2c).  Same depth as a routing stage on the data path.
+ARBITRATION_SWITCH_LOGIC_DEPTH_FO4 = 5.0
+
+# ---------------------------------------------------------------------------
+# Energy bookkeeping
+# ---------------------------------------------------------------------------
+#: Switching activity factor assumed for data wires.
+WIRE_ACTIVITY_FACTOR = 0.5
+
+#: Energy per routing/arbitration switch traversal, per bit.
+SWITCH_ENERGY_PER_BIT_J = 5.0 * u.FJ
+
+#: Leakage power of one routing or arbitration switch (all bits).
+SWITCH_LEAKAGE_W = 15.0 * u.UW
+
+#: Leakage power of one repeater (inverter) on one bit of a link.
+REPEATER_LEAKAGE_W = 0.4 * u.UW
+
+#: Energy of one packet-switched router traversal, per bit (buffers +
+#: crossbar + allocators; an order of magnitude above a bare MoT switch,
+#: consistent with circuit- vs packet-switched comparisons in [1]).
+ROUTER_ENERGY_PER_BIT_J = 60.0 * u.FJ
+
+#: Leakage power of one packet-switched router (five-port, buffered).
+ROUTER_LEAKAGE_W = 1.2 * u.MW

@@ -1,0 +1,201 @@
+"""Elmore distributed-RC delay models.
+
+The paper estimates the delay of "the longest possible link between cores
+and cache banks ... by using Elmore distributed RC delay model [15]".
+This module implements the standard Elmore expressions for:
+
+* an unrepeated distributed RC wire driven by a finite-resistance driver
+  into a capacitive load;
+* a wire broken into ``n`` equal segments by repeaters (inverters), the
+  configuration the paper power-gates along with the switches;
+* closed-form delay-optimal repeater spacing/sizing (Bakoglu), used as a
+  reference point by tests and by the design-space exploration example.
+
+Delay convention: all expressions return the 50%-swing delay, using the
+usual 0.69*RC (lumped) and 0.38*RC (distributed) coefficients.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro import units as u
+from repro.phys import constants as k
+
+
+@dataclass(frozen=True)
+class WireTechnology:
+    """Electrical parameters of a wire plus the repeater device.
+
+    Attributes
+    ----------
+    resistance_per_m:
+        Wire sheet resistance scaled to ohm/meter.
+    capacitance_per_m:
+        Wire capacitance in farad/meter.
+    driver_resistance:
+        Output resistance of a *unit* driver; an ``s``-times driver has
+        ``driver_resistance / s``.
+    gate_capacitance:
+        Input capacitance of a unit driver.
+    diffusion_capacitance:
+        Output (drain) capacitance of a unit driver.
+    """
+
+    resistance_per_m: float = k.WIRE_RESISTANCE_PER_M
+    capacitance_per_m: float = k.WIRE_CAPACITANCE_PER_M
+    driver_resistance: float = k.UNIT_INVERTER_RESISTANCE
+    gate_capacitance: float = k.UNIT_INVERTER_CAPACITANCE
+    diffusion_capacitance: float = k.UNIT_INVERTER_DIFFUSION_CAPACITANCE
+
+    def wire_resistance(self, length_m: float) -> float:
+        """Total resistance of ``length_m`` of wire."""
+        return self.resistance_per_m * length_m
+
+    def wire_capacitance(self, length_m: float) -> float:
+        """Total capacitance of ``length_m`` of wire."""
+        return self.capacitance_per_m * length_m
+
+
+#: Default technology instance shared by the latency models.
+DEFAULT_TECHNOLOGY = WireTechnology()
+
+
+def lumped_rc_delay(resistance: float, capacitance: float) -> float:
+    """50% delay of a lumped RC stage: ``0.69 * R * C``."""
+    if resistance < 0.0 or capacitance < 0.0:
+        raise ValueError("resistance and capacitance must be non-negative")
+    return 0.69 * resistance * capacitance
+
+def distributed_rc_delay(resistance: float, capacitance: float) -> float:
+    """50% delay of a distributed RC line: ``0.38 * R * C``.
+
+    ``resistance`` and ``capacitance`` are the *totals* of the line.
+    """
+    if resistance < 0.0 or capacitance < 0.0:
+        raise ValueError("resistance and capacitance must be non-negative")
+    return 0.38 * resistance * capacitance
+
+
+def unrepeated_wire_delay(
+    length_m: float,
+    driver_size: float = 1.0,
+    load_capacitance: float = 0.0,
+    tech: WireTechnology = DEFAULT_TECHNOLOGY,
+) -> float:
+    """Elmore delay of a bare wire between a driver and a load.
+
+    The driver contributes ``0.69 * Rd * (Cdiff + Cwire + Cload)``; the
+    distributed wire contributes ``0.38 * Rwire * Cwire`` plus
+    ``0.69 * Rwire * Cload`` for the load hanging at the far end.
+    """
+    if length_m < 0.0:
+        raise ValueError("length must be non-negative")
+    if driver_size <= 0.0:
+        raise ValueError("driver size must be positive")
+    r_drv = tech.driver_resistance / driver_size
+    c_diff = tech.diffusion_capacitance * driver_size
+    r_wire = tech.wire_resistance(length_m)
+    c_wire = tech.wire_capacitance(length_m)
+    delay = 0.69 * r_drv * (c_diff + c_wire + load_capacitance)
+    delay += 0.38 * r_wire * c_wire
+    delay += 0.69 * r_wire * load_capacitance
+    return delay
+
+
+def segmented_wire_delay(
+    length_m: float,
+    n_segments: int,
+    repeater_size: float,
+    tech: WireTechnology = DEFAULT_TECHNOLOGY,
+) -> float:
+    """Delay of a wire split into ``n_segments`` by identical repeaters.
+
+    Each segment is an unrepeated wire whose load is the gate of the next
+    repeater.  The first segment's driver is also a repeater of the same
+    size, which matches how the MoT switch output stages are built.
+    """
+    if n_segments < 1:
+        raise ValueError("need at least one segment")
+    seg_len = length_m / n_segments
+    c_gate = tech.gate_capacitance * repeater_size
+    per_segment = unrepeated_wire_delay(
+        seg_len, driver_size=repeater_size, load_capacitance=c_gate, tech=tech
+    )
+    return per_segment * n_segments
+
+
+def repeated_wire_delay_per_m(
+    repeater_size: float = k.REPEATER_SIZE,
+    spacing_m: float = k.REPEATER_SPACING_M,
+    tech: WireTechnology = DEFAULT_TECHNOLOGY,
+) -> float:
+    """Per-meter delay of an infinitely long repeated wire.
+
+    This is the figure of merit used by the MoT latency model: with the
+    default low-power insertion (size 20, every 2.6 mm) it comes out to
+    ~0.50 ns/mm, versus ~0.06 ns/mm for delay-optimal insertion — the
+    paper's design spends wire delay to save repeater energy, recovering
+    performance through the short vertical 3-D hops.
+    """
+    return (
+        segmented_wire_delay(spacing_m, 1, repeater_size, tech=tech) / spacing_m
+    )
+
+
+def optimal_repeater_spacing(tech: WireTechnology = DEFAULT_TECHNOLOGY) -> float:
+    """Bakoglu delay-optimal repeater spacing.
+
+    ``h_opt = sqrt(2 * Rd * (Cdiff + Cg) / (r * c))`` for a unit driver;
+    the driver-size term cancels because R scales down and C scales up.
+    """
+    r_c = tech.resistance_per_m * tech.capacitance_per_m
+    rd_c = tech.driver_resistance * (
+        tech.diffusion_capacitance + tech.gate_capacitance
+    )
+    return math.sqrt(2.0 * rd_c / r_c)
+
+
+def optimal_repeater_size(tech: WireTechnology = DEFAULT_TECHNOLOGY) -> float:
+    """Bakoglu delay-optimal repeater size.
+
+    ``s_opt = sqrt(Rd * c / (r * Cg))``.
+    """
+    return math.sqrt(
+        (tech.driver_resistance * tech.capacitance_per_m)
+        / (tech.resistance_per_m * tech.gate_capacitance)
+    )
+
+
+def optimal_repeated_wire_delay_per_m(
+    tech: WireTechnology = DEFAULT_TECHNOLOGY,
+) -> float:
+    """Per-meter delay at delay-optimal spacing and sizing."""
+    spacing = optimal_repeater_spacing(tech)
+    size = optimal_repeater_size(tech)
+    return repeated_wire_delay_per_m(size, spacing, tech=tech)
+
+
+def repeater_count(length_m: float, spacing_m: float = k.REPEATER_SPACING_M) -> int:
+    """Number of repeaters inserted along ``length_m`` of wire.
+
+    One repeater drives each segment, so a wire shorter than the spacing
+    still has one (its driver).  Used for energy/leakage bookkeeping and
+    for deciding how many inverters a power-gating action turns off.
+    """
+    if length_m < 0.0:
+        raise ValueError("length must be non-negative")
+    if length_m == 0.0:
+        return 0
+    return max(1, math.ceil(length_m / spacing_m))
+
+
+def wire_delay_ns_per_mm(
+    repeater_size: float = k.REPEATER_SIZE,
+    spacing_m: float = k.REPEATER_SPACING_M,
+    tech: WireTechnology = DEFAULT_TECHNOLOGY,
+) -> float:
+    """Convenience: repeated-wire delay in ns/mm for reports."""
+    per_m = repeated_wire_delay_per_m(repeater_size, spacing_m, tech=tech)
+    return per_m / u.NS * u.MM

@@ -1,0 +1,204 @@
+"""3-D floorplan geometry of the multi-core cluster (paper Fig 1b, Fig 5).
+
+The cluster is a ~5 mm x ~5 mm multi-core die with the MoT interconnect
+placed in the middle of the core tier ("which makes it easier that memory
+access latency from each core is well balanced"), and one or two cache
+tiers stacked on top (z pitch ~40 um after thinning).  Fig 5 contrasts
+the wire lengths of the full configuration against a power-gated one
+where only a quadrant of cores/banks remains active — the horizontal
+span, and therefore the interconnect delay, shrinks with the active set.
+
+This module provides the placement and span calculations used by the MoT
+latency model and by the Fig 5 reproduction.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro import units as u
+from repro.errors import ConfigurationError
+from repro.units import is_power_of_two
+
+
+@dataclass(frozen=True)
+class TilePosition:
+    """Physical position of a core or bank tile: (x, y) in meters, tier index."""
+
+    x: float
+    y: float
+    tier: int
+
+    def horizontal_distance(self, other: "TilePosition") -> float:
+        """Manhattan distance in the die plane (meters)."""
+        return abs(self.x - other.x) + abs(self.y - other.y)
+
+
+@dataclass(frozen=True)
+class Floorplan3D:
+    """Geometry of the stacked cluster.
+
+    Parameters
+    ----------
+    die_width_m, die_height_m:
+        Core-die dimensions (paper: ~5 mm each).
+    tier_pitch_m:
+        Vertical distance between adjacent tiers (~40 um).
+    n_cores:
+        Cores on tier 0, arranged in a square grid.
+    n_banks:
+        Total SRAM banks across all cache tiers.
+    n_cache_tiers:
+        Cache tiers stacked above the core die (paper: 2 tiers x 16 banks).
+    """
+
+    die_width_m: float = 5.0 * u.MM
+    die_height_m: float = 5.0 * u.MM
+    tier_pitch_m: float = 40.0 * u.UM
+    n_cores: int = 16
+    n_banks: int = 32
+    n_cache_tiers: int = 2
+
+    def __post_init__(self) -> None:
+        if not is_power_of_two(self.n_cores):
+            raise ConfigurationError(f"core count {self.n_cores} must be a power of two")
+        if not is_power_of_two(self.n_banks):
+            raise ConfigurationError(f"bank count {self.n_banks} must be a power of two")
+        if self.n_cache_tiers < 1:
+            raise ConfigurationError("need at least one cache tier")
+        if self.n_banks % self.n_cache_tiers != 0:
+            raise ConfigurationError(
+                f"{self.n_banks} banks cannot be split evenly over "
+                f"{self.n_cache_tiers} cache tiers"
+            )
+        if self.die_width_m <= 0 or self.die_height_m <= 0:
+            raise ConfigurationError("die dimensions must be positive")
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+    @property
+    def banks_per_tier(self) -> int:
+        """Banks on each cache tier."""
+        return self.n_banks // self.n_cache_tiers
+
+    def _grid_shape(self, count: int) -> Tuple[int, int]:
+        """Near-square (cols, rows) grid for ``count`` tiles."""
+        cols = 2 ** math.ceil(math.log2(count) / 2)
+        rows = count // cols
+        return cols, rows
+
+    def core_position(self, core_id: int) -> TilePosition:
+        """Placement of ``core_id`` on tier 0, row-major square grid."""
+        if not 0 <= core_id < self.n_cores:
+            raise ConfigurationError(f"core id {core_id} out of range")
+        cols, rows = self._grid_shape(self.n_cores)
+        col, row = core_id % cols, core_id // cols
+        x = (col + 0.5) * self.die_width_m / cols
+        y = (row + 0.5) * self.die_height_m / rows
+        return TilePosition(x, y, tier=0)
+
+    def bank_position(self, bank_id: int) -> TilePosition:
+        """Placement of ``bank_id``; banks fill tier 1 first, then tier 2."""
+        if not 0 <= bank_id < self.n_banks:
+            raise ConfigurationError(f"bank id {bank_id} out of range")
+        tier = 1 + bank_id // self.banks_per_tier
+        local = bank_id % self.banks_per_tier
+        cols, rows = self._grid_shape(self.banks_per_tier)
+        col, row = local % cols, local // cols
+        x = (col + 0.5) * self.die_width_m / cols
+        y = (row + 0.5) * self.die_height_m / rows
+        return TilePosition(x, y, tier=tier)
+
+    @property
+    def mot_root_position(self) -> TilePosition:
+        """The MoT is placed in the middle of the core tier (Fig 1b)."""
+        return TilePosition(self.die_width_m / 2.0, self.die_height_m / 2.0, tier=0)
+
+    # ------------------------------------------------------------------
+    # Spans (Fig 5 quantities)
+    # ------------------------------------------------------------------
+    def core_span_m(self, n_active_cores: int) -> float:
+        """Horizontal span the interconnect must cover to reach cores.
+
+        Active cores are clustered into a contiguous region (that is the
+        point of power-gating whole subtrees), so the span scales with
+        the square root of the active-area fraction.
+        """
+        self._check_active(n_active_cores, self.n_cores, "cores")
+        fraction = n_active_cores / self.n_cores
+        return self.die_width_m * math.sqrt(fraction)
+
+    def bank_span_m(self, n_active_banks: int) -> float:
+        """Horizontal span of the active-bank footprint, projected onto
+        the core tier (the MoT routing trees fan out under it).
+
+        Per Fig 5, a power-gated configuration keeps a *quadrant* of each
+        cache tier active rather than packing one tier: vertical hops are
+        ~40 um while horizontal millimetres dominate delay, so the active
+        banks stay spread across all tiers and only their footprint
+        shrinks.  The span therefore scales with the square root of the
+        global active-bank fraction.
+        """
+        self._check_active(n_active_banks, self.n_banks, "banks")
+        fraction = n_active_banks / self.n_banks
+        return self.die_width_m * math.sqrt(fraction)
+
+    def cache_tiers_used(self, n_active_banks: int) -> int:
+        """Cache tiers hosting active banks.
+
+        Active banks are spread over all tiers (see :meth:`bank_span_m`),
+        so every tier is used unless fewer banks than tiers remain.
+        """
+        self._check_active(n_active_banks, self.n_banks, "banks")
+        return min(n_active_banks, self.n_cache_tiers)
+
+    def vertical_hops(self, n_active_banks: int) -> int:
+        """Worst-case tier crossings to reach the farthest active bank."""
+        return self.cache_tiers_used(n_active_banks)
+
+    def horizontal_wire_span_m(self, n_active_cores: int, n_active_banks: int) -> float:
+        """Total horizontal wire on the longest core->bank path.
+
+        The arbitration tree spans the active cores; the routing trees
+        span the active banks' footprint; the critical path traverses
+        both (the MoT sits between them in the middle of the die).
+        """
+        return self.core_span_m(n_active_cores) + self.bank_span_m(n_active_banks)
+
+    def vertical_wire_span_m(self, n_active_banks: int) -> float:
+        """Total vertical distance (meters) to the farthest active bank."""
+        return self.vertical_hops(n_active_banks) * self.tier_pitch_m
+
+    def longest_path_m(self, n_active_cores: int, n_active_banks: int) -> float:
+        """Longest possible core->bank link (horizontal + vertical)."""
+        return self.horizontal_wire_span_m(
+            n_active_cores, n_active_banks
+        ) + self.vertical_wire_span_m(n_active_banks)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _check_active(active: int, total: int, what: str) -> None:
+        if not 0 < active <= total:
+            raise ConfigurationError(
+                f"active {what} count {active} must be in 1..{total}"
+            )
+        if not is_power_of_two(active):
+            raise ConfigurationError(
+                f"active {what} count {active} must be a power of two so the "
+                f"MoT can gate whole subtrees"
+            )
+
+    def all_core_positions(self) -> List[TilePosition]:
+        """Positions of every core, id order."""
+        return [self.core_position(i) for i in range(self.n_cores)]
+
+    def all_bank_positions(self) -> List[TilePosition]:
+        """Positions of every bank, id order."""
+        return [self.bank_position(i) for i in range(self.n_banks)]
+
+
+#: Default floorplan matching the paper's target architecture.
+DEFAULT_FLOORPLAN = Floorplan3D()

@@ -1,0 +1,97 @@
+"""Interconnect power model (wires + repeaters + switches + routers).
+
+Follows the full-chip interconnect estimation approach of Liao & He [20]:
+dynamic energy is ``alpha * C * Vdd^2`` summed over the switched wire
+capacitance, repeater parasitics and switch/router internals; static
+power is the leakage of every powered-on repeater and switch.  The MoT's
+power-gating removes the leakage (and any idle clocking) of the gated
+routing switches, arbitration switches and wire inverters — exactly the
+terms this module makes explicit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.phys import constants as k
+from repro.phys.elmore import WireTechnology, DEFAULT_TECHNOLOGY, repeater_count
+
+
+@dataclass(frozen=True)
+class InterconnectPowerModel:
+    """Energy/leakage bookkeeping for on-chip links and switches.
+
+    All per-event energies are *per bit*; callers multiply by link width.
+    """
+
+    vdd: float = k.VDD
+    activity: float = k.WIRE_ACTIVITY_FACTOR
+    repeater_size: float = k.REPEATER_SIZE
+    repeater_spacing_m: float = k.REPEATER_SPACING_M
+    switch_energy_per_bit: float = k.SWITCH_ENERGY_PER_BIT_J
+    switch_leakage: float = k.SWITCH_LEAKAGE_W
+    repeater_leakage_per_bit: float = k.REPEATER_LEAKAGE_W
+    router_energy_per_bit: float = k.ROUTER_ENERGY_PER_BIT_J
+    router_leakage: float = k.ROUTER_LEAKAGE_W
+    tech: WireTechnology = DEFAULT_TECHNOLOGY
+
+    # ------------------------------------------------------------------
+    # Dynamic energy
+    # ------------------------------------------------------------------
+    def wire_energy_per_bit(self, length_m: float) -> float:
+        """Switching energy (J) of one bit traversing ``length_m`` of
+        repeated wire: wire capacitance plus repeater parasitics."""
+        if length_m < 0.0:
+            raise ValueError("length must be non-negative")
+        c_wire = self.tech.wire_capacitance(length_m)
+        n_rep = repeater_count(length_m, self.repeater_spacing_m)
+        c_rep = n_rep * self.repeater_size * (
+            self.tech.gate_capacitance + self.tech.diffusion_capacitance
+        )
+        return self.activity * (c_wire + c_rep) * self.vdd * self.vdd
+
+    def link_energy(self, length_m: float, width_bits: int) -> float:
+        """Energy of one word crossing a ``width_bits``-wide link."""
+        return self.wire_energy_per_bit(length_m) * width_bits
+
+    def switch_energy(self, width_bits: int) -> float:
+        """Energy of one MoT switch traversal (routing or arbitration)."""
+        return self.switch_energy_per_bit * width_bits
+
+    def router_energy(self, width_bits: int) -> float:
+        """Energy of one packet-router traversal (buffer+crossbar+alloc)."""
+        return self.router_energy_per_bit * width_bits
+
+    # ------------------------------------------------------------------
+    # Leakage
+    # ------------------------------------------------------------------
+    def link_leakage(self, length_m: float, width_bits: int) -> float:
+        """Leakage (W) of the repeaters along a powered-on link."""
+        n_rep = repeater_count(length_m, self.repeater_spacing_m)
+        return n_rep * width_bits * self.repeater_leakage_per_bit
+
+    def mot_leakage(
+        self,
+        n_routing_switches: int,
+        n_arbitration_switches: int,
+        total_link_length_m: float,
+        width_bits: int,
+    ) -> float:
+        """Total leakage (W) of a powered-on MoT region."""
+        switches = (n_routing_switches + n_arbitration_switches) * self.switch_leakage
+        return switches + self.link_leakage(total_link_length_m, width_bits)
+
+    def noc_leakage(
+        self,
+        n_routers: int,
+        total_link_length_m: float,
+        width_bits: int,
+    ) -> float:
+        """Total leakage (W) of a packet-switched NoC."""
+        return n_routers * self.router_leakage + self.link_leakage(
+            total_link_length_m, width_bits
+        )
+
+
+#: Shared default instance.
+DEFAULT_INTERCONNECT_POWER = InterconnectPowerModel()

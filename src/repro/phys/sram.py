@@ -1,0 +1,165 @@
+"""CACTI-style SRAM bank model (latency, energy, leakage, area).
+
+The paper estimates "the size of a cache bank and the propagation delay
+from bank I/Os to memory core cells within a SRAM cache bank ... from
+CACTI [13]".  CACTI itself is a large C++ tool; what the evaluation
+actually consumes is, per bank: access time, read/write energy, leakage
+power and footprint.  This module provides an analytical model with the
+same structure as CACTI's timing path (decoder -> wordline -> bitline ->
+sense amp -> output mux/driver) whose component constants are fitted so
+the paper's 64 KB / 8-way / 32 B-line bank lands on the published
+45 nm-class operating point (~0.7 ns access, ~50 pJ/read, ~3 mW leakage).
+Scaling with capacity/associativity follows the usual CACTI exponents so
+the model stays honest away from the fitted point.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro import units as u
+from repro.errors import ConfigurationError
+from repro.units import is_power_of_two
+
+
+# Fitted component delays for the reference geometry (64 KB, 8-way, 32 B
+# lines => 256 sets, 2048-bit rows folded into 4 subarrays of 128x512).
+_REF_CAPACITY_BYTES = 64 * 1024
+_REF_ASSOCIATIVITY = 8
+_REF_LINE_BYTES = 32
+
+_REF_DECODER_S = 0.18 * u.NS
+_REF_WORDLINE_S = 0.06 * u.NS
+_REF_BITLINE_S = 0.24 * u.NS
+_REF_SENSEAMP_S = 0.08 * u.NS
+_REF_OUTPUT_S = 0.14 * u.NS
+# Reference totals: 0.70 ns.
+
+_REF_READ_ENERGY_J = 50.0 * u.PJ
+_REF_WRITE_ENERGY_J = 55.0 * u.PJ
+_REF_LEAKAGE_W = 3.0 * u.MW
+_REF_AREA_M2 = 0.40 * u.MM * u.MM  # ~0.4 mm^2 per 64 KB bank at 45 nm
+
+
+@dataclass(frozen=True)
+class SRAMBankModel:
+    """Analytical latency/energy/leakage model of one SRAM cache bank.
+
+    Parameters mirror Table I: 64 KB capacity, 8-way associativity,
+    32-byte lines.  All outputs scale from the fitted reference point.
+    """
+
+    capacity_bytes: int = _REF_CAPACITY_BYTES
+    associativity: int = _REF_ASSOCIATIVITY
+    line_bytes: int = _REF_LINE_BYTES
+
+    def __post_init__(self) -> None:
+        if not is_power_of_two(self.capacity_bytes):
+            raise ConfigurationError("bank capacity must be a power of two")
+        if not is_power_of_two(self.associativity):
+            raise ConfigurationError("associativity must be a power of two")
+        if not is_power_of_two(self.line_bytes):
+            raise ConfigurationError("line size must be a power of two")
+        if self.capacity_bytes < self.line_bytes * self.associativity:
+            raise ConfigurationError("bank smaller than one set")
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+    @property
+    def n_sets(self) -> int:
+        """Number of sets in the bank."""
+        return self.capacity_bytes // (self.line_bytes * self.associativity)
+
+    @property
+    def n_rows(self) -> int:
+        """Physical rows of the (folded) data array."""
+        return self.n_sets
+
+    @property
+    def row_bits(self) -> int:
+        """Bits on one physical row (all ways of a set)."""
+        return self.line_bytes * 8 * self.associativity
+
+    # Scaling helpers relative to the reference geometry ----------------
+    @property
+    def _capacity_ratio(self) -> float:
+        return self.capacity_bytes / _REF_CAPACITY_BYTES
+
+    @property
+    def _row_ratio(self) -> float:
+        ref_sets = _REF_CAPACITY_BYTES // (_REF_LINE_BYTES * _REF_ASSOCIATIVITY)
+        return self.n_rows / ref_sets
+
+    # ------------------------------------------------------------------
+    # Timing path (CACTI structure)
+    # ------------------------------------------------------------------
+    def decoder_delay(self) -> float:
+        """Row-decoder delay: logarithmic in the row count."""
+        ref_levels = math.log2(256)
+        levels = max(1.0, math.log2(max(2, self.n_rows)))
+        return _REF_DECODER_S * levels / ref_levels
+
+    def wordline_delay(self) -> float:
+        """Wordline RC: linear in row width (bits per row)."""
+        ref_row_bits = _REF_LINE_BYTES * 8 * _REF_ASSOCIATIVITY
+        return _REF_WORDLINE_S * self.row_bits / ref_row_bits
+
+    def bitline_delay(self) -> float:
+        """Bitline discharge: linear in rows per subarray."""
+        return _REF_BITLINE_S * self._row_ratio
+
+    def senseamp_delay(self) -> float:
+        """Sense-amplifier resolution time (geometry independent)."""
+        return _REF_SENSEAMP_S
+
+    def output_delay(self) -> float:
+        """Way mux + output driver: logarithmic in associativity."""
+        ref = math.log2(_REF_ASSOCIATIVITY)
+        return _REF_OUTPUT_S * math.log2(max(2, self.associativity)) / ref
+
+    def access_time(self) -> float:
+        """Total I/O-to-cell propagation delay (seconds).
+
+        Reference geometry: 0.70 ns, the value consumed by the MoT
+        latency calibration (DESIGN.md section 5).
+        """
+        return (
+            self.decoder_delay()
+            + self.wordline_delay()
+            + self.bitline_delay()
+            + self.senseamp_delay()
+            + self.output_delay()
+        )
+
+    # ------------------------------------------------------------------
+    # Energy / power / area
+    # ------------------------------------------------------------------
+    def read_energy(self) -> float:
+        """Energy of one read access (J); scales ~sqrt(capacity)."""
+        return _REF_READ_ENERGY_J * math.sqrt(self._capacity_ratio)
+
+    def write_energy(self) -> float:
+        """Energy of one write access (J)."""
+        return _REF_WRITE_ENERGY_J * math.sqrt(self._capacity_ratio)
+
+    def leakage_power(self) -> float:
+        """Static leakage of the powered-on bank (W); linear in bits."""
+        return _REF_LEAKAGE_W * self._capacity_ratio
+
+    def area(self) -> float:
+        """Bank footprint (m^2); linear in capacity plus periphery."""
+        periphery = 0.15
+        return _REF_AREA_M2 * (periphery + (1.0 - periphery) * self._capacity_ratio)
+
+
+#: The Table I bank: 64 KB, 8-way, 32 B lines.
+DEFAULT_BANK = SRAMBankModel()
+
+
+def bank_access_cycles(
+    model: SRAMBankModel = DEFAULT_BANK, frequency_hz: float = 1e9
+) -> int:
+    """Bank access time in whole clock cycles at ``frequency_hz``."""
+    return u.seconds_to_cycles(model.access_time(), frequency_hz)

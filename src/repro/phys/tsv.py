@@ -1,0 +1,87 @@
+"""TSV (through-silicon via) electrical model.
+
+Follows the lumped-RC characterization of Katti et al. [15]: a TSV is a
+short, fat vertical conductor with tens of milli-ohms of resistance and a
+few tens of femto-farads of capacitance to the substrate, bonded to the
+next die through a micro-bump (Marinissen [14], 40 um x 50 um pitch).
+Delay through a TSV is dominated by the driver charging the TSV +
+micro-bump + receiver capacitance; the wire RC itself is negligible
+(length ~40 um after thinning).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import units as u
+from repro.phys import constants as k
+from repro.phys.elmore import WireTechnology, DEFAULT_TECHNOLOGY
+
+
+@dataclass(frozen=True)
+class TSVModel:
+    """Lumped model of one TSV + micro-bump vertical hop.
+
+    A *hop* is one tier crossing: driver -> TSV -> micro-bump -> receiver
+    gate on the die above (or below).  A bus to the second cache tier
+    crosses two hops.
+    """
+
+    resistance: float = k.TSV_RESISTANCE
+    capacitance: float = k.TSV_CAPACITANCE
+    microbump_capacitance: float = k.MICROBUMP_CAPACITANCE
+    driver_size: float = k.TSV_DRIVER_SIZE
+    length_m: float = k.TSV_LENGTH_M
+    tech: WireTechnology = DEFAULT_TECHNOLOGY
+
+    @property
+    def total_capacitance(self) -> float:
+        """TSV + micro-bump + receiver gate capacitance of one hop."""
+        receiver = self.tech.gate_capacitance * self.driver_size
+        return self.capacitance + self.microbump_capacitance + receiver
+
+    def hop_delay(self) -> float:
+        """Elmore delay of one tier crossing (seconds).
+
+        Driver term (0.69 * Rd * Ctotal) plus the tiny TSV RC term.
+        """
+        r_drv = self.tech.driver_resistance / self.driver_size
+        c_diff = self.tech.diffusion_capacitance * self.driver_size
+        delay = 0.69 * r_drv * (c_diff + self.total_capacitance)
+        delay += 0.69 * self.resistance * self.total_capacitance
+        return delay
+
+    def bus_delay(self, n_hops: int) -> float:
+        """Delay of a vertical bus crossing ``n_hops`` tiers."""
+        if n_hops < 0:
+            raise ValueError("hop count must be non-negative")
+        return self.hop_delay() * n_hops
+
+    def hop_energy(self, vdd: float = k.VDD) -> float:
+        """Switching energy of one bit crossing one hop (J).
+
+        ``E = alpha * C * Vdd^2`` with the library-wide activity factor.
+        """
+        c_total = self.total_capacitance + (
+            self.tech.diffusion_capacitance * self.driver_size
+        )
+        return k.WIRE_ACTIVITY_FACTOR * c_total * vdd * vdd
+
+    def area_per_bus(self, width_bits: int) -> float:
+        """Silicon area (m^2) of a TSV bus ``width_bits`` wide.
+
+        Uses the minimum micro-bump pitch of [14]; the bumps, not the
+        TSVs, set the footprint.
+        """
+        if width_bits <= 0:
+            raise ValueError("bus width must be positive")
+        return width_bits * k.MICROBUMP_PITCH_X_M * k.MICROBUMP_PITCH_Y_M
+
+
+#: Default TSV model shared by latency/energy calculations.
+DEFAULT_TSV = TSVModel()
+
+
+def tsv_hop_delay_ns() -> float:
+    """One tier-crossing delay in ns (convenience for reports)."""
+    return DEFAULT_TSV.hop_delay() / u.NS

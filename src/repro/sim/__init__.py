@@ -1,0 +1,19 @@
+"""Graphite-like transaction-level system simulator (DESIGN.md S16)."""
+
+from repro.sim.trace import CoreTrace, MemRef, TraceStep
+from repro.sim.stats import CoreStats, SimReport
+from repro.sim.engine import SimulationEngine
+from repro.sim.cluster import Cluster3D
+from repro.sim.tracefile import load_traces, save_traces
+
+__all__ = [
+    "CoreTrace",
+    "MemRef",
+    "TraceStep",
+    "CoreStats",
+    "SimReport",
+    "SimulationEngine",
+    "Cluster3D",
+    "load_traces",
+    "save_traces",
+]

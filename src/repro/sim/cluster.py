@@ -1,0 +1,187 @@
+"""The 3-D multi-core cluster: cores + L1s + interconnect + stacked L2
++ Miss bus + DRAM (paper Fig 1), assembled for one simulation run.
+
+:class:`Cluster3D` is the top-level object users build experiments
+from: pick an interconnect model, a power state, a DRAM technology and
+a workload, call :meth:`run`, get a :class:`~repro.sim.stats.SimReport`.
+
+Memory-reference flow (Section II):
+
+1. L1 access (1 cycle, private I or D cache).
+2. On L1 miss, the reference crosses the interconnect to its L2 bank —
+   the *logical* bank index is the packet's address field; the fabric
+   (or the remap table, equivalently) picks the physical bank.
+3. On L2 miss, the line refills from the single DRAM controller over
+   the round-robin Miss bus; dirty L2 victims write back to DRAM off
+   the critical path.
+4. Dirty L1 victims write back into L2 off the critical path (write
+   buffer), charging bank occupancy and energy but not stalling the
+   core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.mem.dram import DRAMModel, DRAMTimings, DDR3_OFFCHIP, MissBus
+from repro.mem.l1 import L1Cache, L1Config
+from repro.mem.l2 import BankedL2, L2Config
+from repro.mot.power_state import PowerState
+from repro.mot.reconfigurator import plan_reconfiguration
+from repro.noc.base import Interconnect
+from repro.noc.mot_adapter import MoTInterconnect
+from repro.sim.engine import SimulationEngine
+from repro.sim.stats import SimReport
+from repro.sim.trace import MemRef, TraceStep
+
+
+class Cluster3D:
+    """One simulatable instance of the paper's target architecture.
+
+    Parameters
+    ----------
+    interconnect:
+        Any :class:`~repro.noc.base.Interconnect`; defaults to the MoT.
+    power_state:
+        Which cores/banks are on.  Packet-switched baselines are only
+        evaluated at Full connection in the paper (power states are the
+        MoT's feature), but any combination is accepted.
+    dram:
+        DRAM technology (Table I: 200 / 63 / 42 ns).
+    """
+
+    def __init__(
+        self,
+        interconnect: Optional[Interconnect] = None,
+        power_state: Optional[PowerState] = None,
+        dram: DRAMTimings = DDR3_OFFCHIP,
+        l1_config: L1Config = L1Config(),
+        l2_config: L2Config = L2Config(),
+        frequency_hz: float = 1e9,
+        miss_bus_transfer_cycles: int = 4,
+    ) -> None:
+        if power_state is None:
+            power_state = PowerState.from_counts(
+                "Full connection", 16, l2_config.n_banks, 16, l2_config.n_banks
+            )
+        self.power_state = power_state
+        self.frequency_hz = frequency_hz
+        self.interconnect = interconnect or MoTInterconnect(state=power_state)
+        if isinstance(self.interconnect, MoTInterconnect):
+            self.interconnect.set_power_state(power_state)
+
+        plan = plan_reconfiguration(power_state)
+        self.l2 = BankedL2(config=l2_config, plan=plan)
+        self.l1i: Dict[int, L1Cache] = {}
+        self.l1d: Dict[int, L1Cache] = {}
+        for core in sorted(power_state.active_cores):
+            self.l1i[core] = L1Cache(core, "I", l1_config)
+            self.l1d[core] = L1Cache(core, "D", l1_config)
+
+        self.dram_timings = dram
+        self.dram = DRAMModel(dram, frequency_hz=frequency_hz)
+        self.miss_bus = MissBus(
+            n_cores=power_state.total_cores,
+            transfer_cycles=miss_bus_transfer_cycles,
+        )
+
+    # ------------------------------------------------------------------
+    # Memory system
+    # ------------------------------------------------------------------
+    def memory_access(self, core: int, ref: MemRef, now: int) -> int:
+        """Charge one reference; returns its total latency in cycles."""
+        l1 = self.l1i[core] if ref.is_instruction else self.l1d[core]
+        result = l1.access(ref.address, ref.is_write)
+        latency = l1.hit_latency_cycles
+        if result.writeback is not None:
+            # Dirty L1 victim drains to L2 through a write buffer: bank
+            # occupancy and energy are charged, the core is not stalled.
+            self._l1_victim_writeback(core, result.writeback, now)
+        if result.hit:
+            return latency
+        return latency + self._l2_demand(core, ref.address, now + latency)
+
+    def _l1_victim_writeback(self, core: int, address: int, now: int) -> None:
+        """Posted write of a dirty L1 victim into L2 (or through to DRAM).
+
+        Fills at L1 are reads from L2, so dirtiness lives in L1 until
+        eviction; the victim write updates the L2 copy in place.  If L2
+        has meanwhile evicted the line, the write is forwarded to DRAM
+        as a posted write — no refill, no Miss-bus slot, no core stall.
+        """
+        outcome = self.l2.writeback(address)
+        self.interconnect.access(core, outcome.physical_bank, now, is_write=True)
+        if not outcome.hit:
+            self.dram.access(address, now, is_write=True)
+
+    def _l2_demand(self, core: int, address: int, now: int) -> int:
+        """Blocking L2 read (line fill toward L1); DRAM refill on miss."""
+        outcome = self.l2.access(address, is_write=False)
+        latency = self.interconnect.access(
+            core, outcome.physical_bank, now, is_write=False
+        )
+        if not outcome.hit:
+            # Line refill: round-robin Miss bus, then the controller.
+            miss_at = now + latency
+            grant = self.miss_bus.request(core, miss_at)
+            dram_latency = self.dram.access(address, grant, is_write=False)
+            latency = (
+                (grant - now) + dram_latency + self.miss_bus.transfer_cycles
+            )
+        if outcome.writeback is not None:
+            # Dirty L2 victim: posted write to DRAM off the critical path.
+            self.dram.access(outcome.writeback, now, is_write=True)
+        return latency
+
+    # ------------------------------------------------------------------
+    # Running workloads
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        traces: Dict[int, Iterator[TraceStep]],
+        workload_name: str = "workload",
+        max_cycles: int = 2_000_000_000,
+    ) -> SimReport:
+        """Simulate ``traces`` (one per active core) to completion."""
+        expected = set(self.power_state.active_cores)
+        if set(traces) != expected:
+            raise ConfigurationError(
+                f"traces cover cores {sorted(traces)} but the power state "
+                f"activates {sorted(expected)}"
+            )
+        engine = SimulationEngine(traces, self.memory_access, max_cycles)
+        execution_cycles = engine.run()
+        return self._report(workload_name, execution_cycles, engine)
+
+    def _report(
+        self, workload_name: str, execution_cycles: int, engine: SimulationEngine
+    ) -> SimReport:
+        l1_acc = l1_miss = 0
+        for caches in (self.l1i, self.l1d):
+            for l1 in caches.values():
+                l1_acc += l1.stats.accesses
+                l1_miss += l1.stats.misses
+        l2_stats = self.l2.total_stats()
+        ic = self.interconnect.stats
+        return SimReport(
+            workload_name=workload_name,
+            interconnect_name=self.interconnect.name,
+            power_state_name=self.power_state.name,
+            n_active_cores=self.power_state.n_active_cores,
+            n_active_banks=self.power_state.n_active_banks,
+            dram_name=self.dram_timings.name,
+            execution_cycles=execution_cycles,
+            cores=[engine.core_stats[c] for c in sorted(engine.core_stats)],
+            l1_accesses=l1_acc,
+            l1_misses=l1_miss,
+            l2_accesses=l2_stats.accesses,
+            l2_hits=l2_stats.hits,
+            l2_misses=l2_stats.misses,
+            l2_writebacks=l2_stats.writebacks,
+            dram_accesses=self.dram.stats.accesses,
+            interconnect_energy_j=ic.energy_j,
+            mean_l2_latency_cycles=ic.mean_latency_cycles,
+            interconnect_queueing_cycles=ic.queueing_cycles,
+        )

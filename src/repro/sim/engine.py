@@ -1,0 +1,152 @@
+"""Conservative event-driven scheduler for the multi-core cluster.
+
+The simulator exploits the structure of the workload: every core is
+in-order and *blocking* (it stalls until each memory reference
+completes), so a core's timeline is a strictly increasing sequence of
+events.  Scheduling the core with the smallest local time next means
+every shared-resource reservation (bank port, NoC link, bus, DRAM
+controller) is claimed in global time order — the transaction-level
+contention model stays causally consistent without a general event
+calendar.  This is the standard conservative optimization Graphite-class
+simulators use for blocking cores.
+
+Barriers: a core reaching a barrier is parked; when the last active
+core arrives, all are released at the latest arrival time (the paper's
+SPLASH-2 phases synchronize this way, which is what exposes limited
+parallel scalability as idle barrier time).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.errors import SimulationError
+from repro.sim.stats import CoreStats
+from repro.sim.trace import MemRef, TraceStep
+
+#: Memory callback: (core_id, ref, now_cycle) -> total latency in cycles.
+MemoryAccessFn = Callable[[int, MemRef, int], int]
+
+
+class SimulationEngine:
+    """Runs a set of per-core traces against a memory system.
+
+    Parameters
+    ----------
+    traces:
+        ``{core_id: iterator of TraceStep}`` — one entry per *active*
+        core.
+    memory_access:
+        Callback charging one memory reference; returns its latency.
+    max_cycles:
+        Safety valve: a run exceeding this raises ``SimulationError``
+        (deadlocked barrier or runaway trace).
+    """
+
+    def __init__(
+        self,
+        traces: Dict[int, Iterator[TraceStep]],
+        memory_access: MemoryAccessFn,
+        max_cycles: int = 2_000_000_000,
+    ) -> None:
+        if not traces:
+            raise SimulationError("no active cores")
+        self.traces = traces
+        self.memory_access = memory_access
+        self.max_cycles = max_cycles
+        self.core_stats: Dict[int, CoreStats] = {
+            core: CoreStats(core_id=core) for core in traces
+        }
+        self._finished: Set[int] = set()
+        #: barrier id -> list of (arrival_time, core) already waiting.
+        self._barrier_wait: Dict[int, List[Tuple[int, int]]] = {}
+
+    # ------------------------------------------------------------------
+    def run(self) -> int:
+        """Execute to completion; returns the execution time in cycles
+        (the finish time of the last core)."""
+        actions = {
+            core: self._micro_actions(trace)
+            for core, trace in self.traces.items()
+        }
+        heap: List[Tuple[int, int]] = [(0, core) for core in sorted(actions)]
+        heapq.heapify(heap)
+        finish_time = 0
+
+        while heap:
+            now, core = heapq.heappop(heap)
+            if now > self.max_cycles:
+                raise SimulationError(
+                    f"core {core} passed {self.max_cycles} cycles; "
+                    f"runaway trace or deadlocked barrier"
+                )
+            action = next(actions[core], None)
+            if action is None:
+                stats = self.core_stats[core]
+                stats.finish_cycle = now
+                self._finished.add(core)
+                finish_time = max(finish_time, now)
+                continue
+
+            kind, payload = action
+            stats = self.core_stats[core]
+            if kind == "compute":
+                # Compute advances local time only; re-queue so the
+                # following memory access is issued in global time
+                # order (resource claims must be causally consistent).
+                stats.busy_cycles += payload
+                heapq.heappush(heap, (now + payload, core))
+            elif kind == "mem":
+                latency = self.memory_access(core, payload, now)
+                if latency < 1:
+                    raise SimulationError(
+                        f"memory access returned latency {latency} < 1"
+                    )
+                stats.memory_references += 1
+                # The first cycle is the L1 pipeline (busy); the rest
+                # is a stall.
+                stats.busy_cycles += 1
+                stats.stall_cycles += latency - 1
+                heapq.heappush(heap, (now + latency, core))
+            else:  # barrier
+                released = self._arrive_at_barrier(payload, core, now)
+                if released is None:
+                    continue  # parked; the releaser re-queues us
+                for release_core, release_time, waited in released:
+                    self.core_stats[release_core].barrier_cycles += waited
+                    heapq.heappush(heap, (release_time, release_core))
+
+        if self._barrier_wait and any(self._barrier_wait.values()):
+            pending = {
+                bid: cores for bid, cores in self._barrier_wait.items() if cores
+            }
+            raise SimulationError(f"deadlock: barriers never released: {pending}")
+        return finish_time
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _micro_actions(trace: Iterator[TraceStep]):
+        """Split each TraceStep into time-ordered micro actions."""
+        for step in trace:
+            if step.compute_cycles:
+                yield ("compute", step.compute_cycles)
+            if step.ref is not None:
+                yield ("mem", step.ref)
+            if step.barrier is not None:
+                yield ("barrier", step.barrier)
+
+    def _arrive_at_barrier(
+        self, barrier_id: int, core: int, now: int
+    ) -> Optional[List[Tuple[int, int, int]]]:
+        """Park ``core``; on last arrival return the release list
+        ``[(core, release_time, cycles_waited), ...]``."""
+        waiting = self._barrier_wait.setdefault(barrier_id, [])
+        waiting.append((now, core))
+        expected = len(self.traces) - len(self._finished)
+        if len(waiting) < expected:
+            return None
+        release_time = max(t for t, _c in waiting)
+        released = [(c, release_time, release_time - t) for t, c in waiting]
+        self._barrier_wait[barrier_id] = []
+        return released

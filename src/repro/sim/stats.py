@@ -1,0 +1,92 @@
+"""Result containers produced by a simulation run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class CoreStats:
+    """Per-core cycle accounting."""
+
+    core_id: int
+    busy_cycles: int = 0
+    stall_cycles: int = 0
+    barrier_cycles: int = 0
+    memory_references: int = 0
+    finish_cycle: int = 0
+
+    @property
+    def total_cycles(self) -> int:
+        """Busy + stalled + waiting at barriers."""
+        return self.busy_cycles + self.stall_cycles + self.barrier_cycles
+
+    @property
+    def memory_stall_fraction(self) -> float:
+        """Share of time spent stalled on memory."""
+        total = self.total_cycles
+        return self.stall_cycles / total if total else 0.0
+
+
+@dataclass
+class SimReport:
+    """Everything the analysis layer needs from one run.
+
+    Populated by :class:`repro.sim.cluster.Cluster3D.run`; consumed by
+    :class:`repro.analysis.energy.EnergyModel` and the experiment
+    harness.
+    """
+
+    workload_name: str
+    interconnect_name: str
+    power_state_name: str
+    n_active_cores: int
+    n_active_banks: int
+    dram_name: str
+
+    execution_cycles: int = 0
+    cores: List[CoreStats] = field(default_factory=list)
+
+    l1_accesses: int = 0
+    l1_misses: int = 0
+    l2_accesses: int = 0
+    l2_hits: int = 0
+    l2_misses: int = 0
+    l2_writebacks: int = 0
+    dram_accesses: int = 0
+
+    interconnect_energy_j: float = 0.0
+    mean_l2_latency_cycles: float = 0.0
+    interconnect_queueing_cycles: int = 0
+
+    @property
+    def l1_miss_rate(self) -> float:
+        """Aggregate private-cache miss ratio."""
+        return self.l1_misses / self.l1_accesses if self.l1_accesses else 0.0
+
+    @property
+    def l2_miss_rate(self) -> float:
+        """Shared-cache miss ratio (over L2 accesses)."""
+        return self.l2_misses / self.l2_accesses if self.l2_accesses else 0.0
+
+    @property
+    def total_busy_cycles(self) -> int:
+        """Sum of busy cycles over active cores."""
+        return sum(c.busy_cycles for c in self.cores)
+
+    @property
+    def total_stall_cycles(self) -> int:
+        """Sum of stall cycles over active cores (barriers included:
+        a core waiting at a barrier is clocked but idle)."""
+        return sum(c.stall_cycles + c.barrier_cycles for c in self.cores)
+
+    def summary(self) -> Dict[str, float]:
+        """Compact numeric summary for reports and tests."""
+        return {
+            "execution_cycles": float(self.execution_cycles),
+            "l1_miss_rate": self.l1_miss_rate,
+            "l2_miss_rate": self.l2_miss_rate,
+            "mean_l2_latency_cycles": self.mean_l2_latency_cycles,
+            "dram_accesses": float(self.dram_accesses),
+        }

@@ -1,0 +1,65 @@
+"""Trace vocabulary for the system-level simulator.
+
+A core's execution is a sequence of :class:`TraceStep`s: run ``compute``
+cycles of non-memory instructions, then (optionally) perform one memory
+reference, then (optionally) wait at a barrier.  Workload generators
+(:mod:`repro.workloads`) emit these steps; the simulator consumes them.
+This mirrors what the paper's Graphite setup extracts from SPLASH-2
+binaries: the interleaving of computation and shared-memory references.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class MemRef:
+    """One memory reference.
+
+    Attributes
+    ----------
+    address:
+        Byte address (non-negative).
+    is_write:
+        Store vs load.
+    is_instruction:
+        Instruction fetch miss path (L1I + the Miss bus) vs data.
+    """
+
+    address: int
+    is_write: bool = False
+    is_instruction: bool = False
+
+    def __post_init__(self) -> None:
+        if self.address < 0:
+            raise WorkloadError(f"negative address {self.address}")
+        if self.is_instruction and self.is_write:
+            raise WorkloadError("instruction references cannot be writes")
+
+
+@dataclass(frozen=True)
+class TraceStep:
+    """One step of a core's trace.
+
+    ``compute_cycles`` of busy work, then ``ref`` (if any), then
+    ``barrier`` (if any).  A barrier id must be globally unique per
+    synchronization point and hit by every active core exactly once.
+    """
+
+    compute_cycles: int = 0
+    ref: Optional[MemRef] = None
+    barrier: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.compute_cycles < 0:
+            raise WorkloadError("compute cycles must be non-negative")
+        if self.ref is None and self.barrier is None and self.compute_cycles == 0:
+            raise WorkloadError("empty trace step")
+
+
+#: A core's trace: an iterator of steps (may be lazily generated).
+CoreTrace = Iterator[TraceStep]

@@ -1,0 +1,113 @@
+"""Trace persistence: save/load per-core traces as ``.npz`` archives.
+
+Synthetic traces are cheap to regenerate, but persisted traces make
+runs bit-reproducible across library versions (a generator tweak would
+otherwise silently change every number) and allow externally captured
+traces — e.g. from a real Graphite run — to be fed into the simulator.
+
+Encoding: one record array per core with columns
+``(compute_cycles, address, flags, barrier)`` where ``flags`` packs
+``is_write`` (bit 0) and ``is_instruction`` (bit 1), and ``barrier`` is
+-1 for none.  Addresses are uint64; everything else fits int32.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterator, List, Union
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.sim.trace import MemRef, TraceStep
+
+PathLike = Union[str, Path]
+
+_WRITE_BIT = 1
+_INSTRUCTION_BIT = 2
+_NO_BARRIER = -1
+
+
+def steps_to_arrays(steps: List[TraceStep]) -> Dict[str, np.ndarray]:
+    """Columnar encoding of one core's steps."""
+    n = len(steps)
+    compute = np.zeros(n, dtype=np.int32)
+    address = np.zeros(n, dtype=np.uint64)
+    flags = np.zeros(n, dtype=np.int8)
+    barrier = np.full(n, _NO_BARRIER, dtype=np.int32)
+    for i, step in enumerate(steps):
+        compute[i] = step.compute_cycles
+        if step.ref is not None:
+            address[i] = step.ref.address
+            flags[i] = (
+                (_WRITE_BIT if step.ref.is_write else 0)
+                | (_INSTRUCTION_BIT if step.ref.is_instruction else 0)
+            ) | 4  # bit 2: ref present
+        if step.barrier is not None:
+            barrier[i] = step.barrier
+    return {
+        "compute": compute,
+        "address": address,
+        "flags": flags,
+        "barrier": barrier,
+    }
+
+
+def arrays_to_steps(arrays: Dict[str, np.ndarray]) -> Iterator[TraceStep]:
+    """Decode one core's columnar arrays back into steps (lazy)."""
+    compute = arrays["compute"]
+    address = arrays["address"]
+    flags = arrays["flags"]
+    barrier = arrays["barrier"]
+    for i in range(len(compute)):
+        ref = None
+        if flags[i] & 4:
+            ref = MemRef(
+                address=int(address[i]),
+                is_write=bool(flags[i] & _WRITE_BIT),
+                is_instruction=bool(flags[i] & _INSTRUCTION_BIT),
+            )
+        b = int(barrier[i])
+        yield TraceStep(
+            compute_cycles=int(compute[i]),
+            ref=ref,
+            barrier=None if b == _NO_BARRIER else b,
+        )
+
+
+def save_traces(
+    traces: Dict[int, Iterator[TraceStep]], path: PathLike
+) -> Dict[int, int]:
+    """Materialize and save traces; returns steps-per-core.
+
+    Note: this *consumes* the iterators; reload with
+    :func:`load_traces` to run them.
+    """
+    payload: Dict[str, np.ndarray] = {}
+    counts: Dict[int, int] = {}
+    for core, trace in traces.items():
+        steps = list(trace)
+        counts[core] = len(steps)
+        for column, array in steps_to_arrays(steps).items():
+            payload[f"core{core}_{column}"] = array
+    payload["cores"] = np.array(sorted(traces), dtype=np.int32)
+    np.savez_compressed(Path(path), **payload)
+    return counts
+
+
+def load_traces(path: PathLike) -> Dict[int, Iterator[TraceStep]]:
+    """Load traces saved by :func:`save_traces`."""
+    path = Path(path)
+    if not path.exists():
+        raise WorkloadError(f"trace file {path} does not exist")
+    archive = np.load(path)
+    if "cores" not in archive:
+        raise WorkloadError(f"{path} is not a repro trace archive")
+    out: Dict[int, Iterator[TraceStep]] = {}
+    for core in archive["cores"].tolist():
+        arrays = {
+            column: archive[f"core{core}_{column}"]
+            for column in ("compute", "address", "flags", "barrier")
+        }
+        out[core] = arrays_to_steps(arrays)
+    return out

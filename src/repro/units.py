@@ -1,0 +1,101 @@
+"""Unit helpers and conversions used across the physical models.
+
+All internal physical computations use SI base units (seconds, meters,
+ohms, farads, joules, watts).  The helpers below make call sites read
+naturally (``5 * MM``, ``0.7 * NS``) and provide the conversions the
+latency models need (seconds -> clock cycles at a given frequency).
+"""
+
+from __future__ import annotations
+
+import math
+
+# ---------------------------------------------------------------------------
+# Length
+# ---------------------------------------------------------------------------
+M = 1.0
+MM = 1e-3
+UM = 1e-6
+NM = 1e-9
+
+# ---------------------------------------------------------------------------
+# Time
+# ---------------------------------------------------------------------------
+S = 1.0
+MS = 1e-3
+US = 1e-6
+NS = 1e-9
+PS = 1e-12
+
+# ---------------------------------------------------------------------------
+# Electrical
+# ---------------------------------------------------------------------------
+OHM = 1.0
+KOHM = 1e3
+F = 1.0
+PF = 1e-12
+FF = 1e-15
+
+# ---------------------------------------------------------------------------
+# Energy / power
+# ---------------------------------------------------------------------------
+J = 1.0
+MJ = 1e-3
+UJ = 1e-6
+NJ = 1e-9
+PJ = 1e-12
+FJ = 1e-15
+W = 1.0
+MW = 1e-3
+UW = 1e-6
+
+# ---------------------------------------------------------------------------
+# Frequency
+# ---------------------------------------------------------------------------
+HZ = 1.0
+MHZ = 1e6
+GHZ = 1e9
+
+
+def seconds_to_cycles(delay_s: float, frequency_hz: float) -> int:
+    """Convert a delay in seconds to a whole number of clock cycles.
+
+    The result is the number of cycles a synchronous pipeline needs to
+    cover ``delay_s``: any fractional remainder costs one full extra
+    cycle, hence ``ceil``.  A zero or negative delay costs zero cycles.
+
+    >>> seconds_to_cycles(1.2e-9, 1e9)
+    2
+    >>> seconds_to_cycles(1.0e-9, 1e9)
+    1
+    """
+    if delay_s <= 0.0:
+        return 0
+    cycles = delay_s * frequency_hz
+    # Guard against float fuzz: 12.000000000000002 must stay 12 cycles.
+    nearest = round(cycles)
+    if abs(cycles - nearest) < 1e-9:
+        return int(nearest)
+    return int(math.ceil(cycles))
+
+
+def cycles_to_seconds(cycles: float, frequency_hz: float) -> float:
+    """Convert a cycle count at ``frequency_hz`` into seconds."""
+    return cycles / frequency_hz
+
+
+def ns_to_cycles(delay_ns: float, frequency_hz: float) -> int:
+    """Convenience wrapper: delay in nanoseconds to clock cycles."""
+    return seconds_to_cycles(delay_ns * NS, frequency_hz)
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return True when ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def log2_int(value: int) -> int:
+    """Exact integer log2; raises ``ValueError`` for non-powers-of-two."""
+    if not is_power_of_two(value):
+        raise ValueError(f"{value!r} is not a positive power of two")
+    return value.bit_length() - 1

@@ -1,0 +1,48 @@
+"""Synthetic SPLASH-2 workload suite (substitution for [12]; see
+DESIGN.md)."""
+
+from repro.workloads.characteristics import (
+    GOOD_SCALABILITY,
+    LARGE_WORKING_SET,
+    LIMITED_SCALABILITY,
+    SMALL_WORKING_SET,
+    SPLASH2_NAMES,
+    SPLASH2_PROFILES,
+    WorkloadProfile,
+    profile,
+)
+from repro.workloads.generators import (
+    AddressStream,
+    ClusterStream,
+    RandomStream,
+    SequentialStream,
+    StencilStream,
+    StridedStream,
+    make_stream,
+)
+from repro.workloads.base import (
+    SHARED_BASE,
+    SyntheticWorkload,
+    build_traces,
+)
+
+__all__ = [
+    "GOOD_SCALABILITY",
+    "LARGE_WORKING_SET",
+    "LIMITED_SCALABILITY",
+    "SMALL_WORKING_SET",
+    "SPLASH2_NAMES",
+    "SPLASH2_PROFILES",
+    "WorkloadProfile",
+    "profile",
+    "AddressStream",
+    "ClusterStream",
+    "RandomStream",
+    "SequentialStream",
+    "StencilStream",
+    "StridedStream",
+    "make_stream",
+    "SHARED_BASE",
+    "SyntheticWorkload",
+    "build_traces",
+]

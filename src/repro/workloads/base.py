@@ -1,0 +1,208 @@
+"""Synthetic workload -> per-core trace construction.
+
+:class:`SyntheticWorkload` turns a
+:class:`~repro.workloads.characteristics.WorkloadProfile` into the
+per-core :class:`~repro.sim.trace.TraceStep` iterators the simulator
+consumes, reproducing the structure Graphite sees when running the real
+program:
+
+* the program runs in ``n_phases`` barrier-delimited phases;
+* each phase has a *serial section* — ``(1-P)/n_phases`` of the work,
+  executed by the lowest-id active core while the others wait at the
+  barrier — followed by a *parallel section* where every core executes
+  ``P/(n_phases * p)`` of the work (Amdahl's law, which is what makes
+  the limited-scalability group flatten beyond 4 cores);
+* within a section, memory references are spaced by compute gaps drawn
+  to match the profile's ``mem_ratio``, and addresses come from the
+  profile's pattern kernel over the shared region, a per-core private
+  region, a temporal-reuse window, and occasional instruction fetches.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Sequence
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.sim.trace import MemRef, TraceStep
+from repro.workloads.characteristics import WorkloadProfile, profile as lookup_profile
+from repro.workloads.generators import AddressStream, RandomStream, make_stream
+
+#: Region layout (byte addresses).  Shared data lives low, code high,
+#: private regions are per-core slices above the code.
+SHARED_BASE = 0x1000_0000
+CODE_BASE = 0x4000_0000
+CODE_BYTES = 16 * 1024
+PRIVATE_BASE = 0x5000_0000
+PRIVATE_BYTES = 2 * 1024
+PRIVATE_STRIDE = 1 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class SectionPlan:
+    """One barrier-delimited section of the phase schedule."""
+
+    instructions: int
+    serial: bool
+    barrier_id: int
+
+
+class SyntheticWorkload:
+    """Reproducible trace factory for one benchmark run.
+
+    Parameters
+    ----------
+    profile:
+        Benchmark parameters (or a name, resolved via the registry).
+    scale:
+        Work multiplier: 1.0 is the reference input; tests use smaller
+        values.  Scales instruction counts only — the working set must
+        keep its capacity relationship with the L2, so it is *not*
+        scaled.
+    seed:
+        Base RNG seed; per-core seeds derive from it.
+    """
+
+    def __init__(
+        self,
+        profile: WorkloadProfile | str,
+        scale: float = 1.0,
+        seed: int = 2016,
+    ) -> None:
+        if isinstance(profile, str):
+            profile = lookup_profile(profile)
+        if scale <= 0.0:
+            raise WorkloadError("scale must be positive")
+        self.profile = profile
+        self.scale = scale
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    # Phase schedule
+    # ------------------------------------------------------------------
+    def total_instructions(self) -> int:
+        """Scaled work of the whole program."""
+        return max(1000, int(self.profile.total_instructions * self.scale))
+
+    def section_plans(self, n_cores: int) -> List[SectionPlan]:
+        """The barrier schedule shared by all cores."""
+        if n_cores < 1:
+            raise WorkloadError("need at least one core")
+        work = self.total_instructions()
+        p = self.profile.parallel_fraction
+        phases = self.profile.n_phases
+        serial_per_phase = int(work * (1.0 - p) / phases)
+        parallel_per_phase = int(work * p / (phases * n_cores))
+        plans: List[SectionPlan] = []
+        barrier = 0
+        for _ in range(phases):
+            plans.append(SectionPlan(serial_per_phase, True, barrier))
+            barrier += 1
+            plans.append(SectionPlan(parallel_per_phase, False, barrier))
+            barrier += 1
+        return plans
+
+    # ------------------------------------------------------------------
+    # Trace construction
+    # ------------------------------------------------------------------
+    def traces(self, active_cores: Sequence[int]) -> Dict[int, Iterator[TraceStep]]:
+        """Build one lazy trace per active core."""
+        cores = sorted(active_cores)
+        if not cores:
+            raise WorkloadError("no active cores")
+        plans = self.section_plans(len(cores))
+        serial_core = cores[0]
+        return {
+            core: self._core_trace(core, rank, len(cores), plans, serial_core)
+            for rank, core in enumerate(cores)
+        }
+
+    def _core_trace(
+        self,
+        core: int,
+        rank: int,
+        n_cores: int,
+        plans: List[SectionPlan],
+        serial_core: int,
+    ) -> Iterator[TraceStep]:
+        """Generator of this core's steps across all sections."""
+        prof = self.profile
+        rng = np.random.default_rng(
+            (self.seed * 1_000_003 + hash(prof.name) % 65_536) * 64 + core
+        )
+        shared = make_stream(
+            prof.pattern,
+            SHARED_BASE,
+            prof.working_set_bytes,
+            rng,
+            start_offset=(rank * prof.working_set_bytes) // max(1, n_cores),
+            touch_stride=prof.touch_stride,
+            burst=prof.spatial_burst,
+        )
+        # Private data (2 KB of hot stack/locals) fits the 4 KB L1.
+        private = RandomStream(
+            PRIVATE_BASE + core * PRIVATE_STRIDE, PRIVATE_BYTES, rng, burst=4
+        )
+        # A hot code footprint: mostly L1I hits with occasional misses.
+        code = RandomStream(CODE_BASE, CODE_BYTES, rng, burst=8)
+        reuse_window: List[int] = []
+
+        for plan in plans:
+            if not plan.serial or core == serial_core:
+                yield from self._section_steps(
+                    plan.instructions, rng, shared, private, code, reuse_window
+                )
+            yield TraceStep(barrier=plan.barrier_id)
+
+    def _section_steps(
+        self,
+        instructions: int,
+        rng: np.random.Generator,
+        shared: AddressStream,
+        private: AddressStream,
+        code: AddressStream,
+        reuse_window: List[int],
+    ) -> Iterator[TraceStep]:
+        """Steps of one section: compute gaps + memory references."""
+        prof = self.profile
+        n_refs = max(1, int(instructions * prof.mem_ratio))
+        # Compute cycles are the non-memory instructions, split evenly
+        # into gaps before each reference (in-order, 1 IPC).
+        gap = max(0, int(round(instructions / n_refs)) - 1)
+        # Pre-draw the per-reference choices in bulk (numpy is ~50x
+        # faster than per-item RNG calls at these volumes).
+        kind = rng.random(n_refs)
+        writes = rng.random(n_refs) < prof.write_fraction
+        for i in range(n_refs):
+            k = kind[i]
+            if k < prof.ifetch_fraction:
+                ref = MemRef(code.next_address(), is_instruction=True)
+            elif k < prof.ifetch_fraction + prof.private_fraction:
+                ref = MemRef(private.next_address(), is_write=bool(writes[i]))
+            elif (
+                reuse_window
+                and k
+                < prof.ifetch_fraction + prof.private_fraction + prof.temporal_reuse
+            ):
+                addr = reuse_window[int(rng.integers(0, len(reuse_window)))]
+                ref = MemRef(addr, is_write=bool(writes[i]))
+            else:
+                addr = shared.next_address()
+                reuse_window.append(addr)
+                if len(reuse_window) > 16:
+                    reuse_window.pop(0)
+                ref = MemRef(addr, is_write=bool(writes[i]))
+            yield TraceStep(compute_cycles=gap, ref=ref)
+
+
+def build_traces(
+    name: str,
+    active_cores: Sequence[int],
+    scale: float = 1.0,
+    seed: int = 2016,
+) -> Dict[int, Iterator[TraceStep]]:
+    """Convenience: traces of benchmark ``name`` for ``active_cores``."""
+    return SyntheticWorkload(name, scale=scale, seed=seed).traces(active_cores)

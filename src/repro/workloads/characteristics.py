@@ -1,0 +1,240 @@
+"""Per-benchmark characteristics of the SPLASH-2 suite (substitution S20).
+
+The paper runs the real SPLASH-2 binaries [12] under Graphite.  We
+substitute synthetic trace generators whose parameters reproduce the
+three properties the evaluation turns on:
+
+1. **Parallel scalability** (Fig 7b): cholesky, fft, volrend and
+   raytrace shrink only ~19% on average going 4 -> 16 cores (up to
+   33%), while fmm, radix, ocean_contiguous and water-nsquared shrink
+   ~64% on average (up to 69%).  The ``parallel_fraction`` values below
+   put each program's Amdahl ratio in the right group.
+2. **L2 demand** (Fig 7a): PC16-MB8 (512 KB of L2) hurts cholesky,
+   radix and ocean (large working sets, +24% execution time on
+   average) but barely affects the others (+4.7%).  ``working_set_bytes``
+   straddles the 512 KB active capacity accordingly (values follow the
+   relative ordering of the classic SPLASH-2 characterization).
+3. **Access pattern**: each program uses the address-stream flavour of
+   its real counterpart (strided butterflies for fft, scatter for
+   radix, stencil sweeps for ocean, ...), which drives L1 locality and
+   bank spread.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Synthetic-trace parameters of one SPLASH-2 program.
+
+    Attributes
+    ----------
+    name:
+        Benchmark name as the paper spells it.
+    parallel_fraction:
+        Amdahl parallel fraction P; (1-P) executes serially on one core.
+    working_set_bytes:
+        Shared-data footprint swept by the program.
+    total_instructions:
+        Work at the reference input scale (scale=1.0).
+    mem_ratio:
+        Memory references per instruction.
+    write_fraction:
+        Stores among data references.
+    private_fraction:
+        References to the core's private region (stack/locals; high L1
+        locality) rather than shared data.
+    pattern:
+        Shared-data address flavour: ``stream``, ``stride``, ``random``,
+        ``stencil`` or ``cluster``.
+    temporal_reuse:
+        Probability a shared reference re-touches a recently used line
+        (models register/L1-resident reuse windows).
+    ifetch_fraction:
+        Instruction-fetch references (exercise L1I and the Miss bus).
+    n_phases:
+        Barrier-delimited phases (serial + parallel each).
+    touch_stride:
+        Bytes between consecutive references of the streaming kernels
+        (stream / stride / stencil): 8 touches every word (4 refs per
+        32 B line, good L1 locality), 32 touches one word per line
+        (sweeps the working set fast, poor L1 locality — the large-grid
+        programs really do behave this way at 4 KB L1s).
+    spatial_burst:
+        Consecutive same-line references of the scatter kernels
+        (random / cluster) before jumping.
+    """
+
+    name: str
+    parallel_fraction: float
+    working_set_bytes: int
+    total_instructions: int
+    mem_ratio: float = 0.30
+    write_fraction: float = 0.25
+    private_fraction: float = 0.35
+    pattern: str = "stream"
+    temporal_reuse: float = 0.20
+    ifetch_fraction: float = 0.02
+    n_phases: int = 4
+    touch_stride: int = 8
+    spatial_burst: int = 4
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.parallel_fraction < 1.0:
+            raise WorkloadError("parallel fraction must be in (0, 1)")
+        if self.working_set_bytes <= 0 or self.total_instructions <= 0:
+            raise WorkloadError("sizes must be positive")
+        for frac, what in (
+            (self.mem_ratio, "mem ratio"),
+            (self.write_fraction, "write fraction"),
+            (self.private_fraction, "private fraction"),
+            (self.temporal_reuse, "temporal reuse"),
+            (self.ifetch_fraction, "ifetch fraction"),
+        ):
+            if not 0.0 <= frac <= 1.0:
+                raise WorkloadError(f"{what} must be in [0, 1]")
+        if self.pattern not in ("stream", "stride", "random", "stencil", "cluster"):
+            raise WorkloadError(f"unknown pattern {self.pattern!r}")
+        if self.n_phases < 1:
+            raise WorkloadError("need at least one phase")
+        if self.touch_stride <= 0 or self.spatial_burst <= 0:
+            raise WorkloadError("locality knobs must be positive")
+
+
+KB = 1024
+
+#: The eight programs of Figs 6-8, with the paper's groupings encoded.
+SPLASH2_PROFILES: Dict[str, WorkloadProfile] = {
+    # -- limited scalability (Fig 7b: -19% avg from 4 -> 16 cores) ------
+    "cholesky": WorkloadProfile(
+        name="cholesky",
+        parallel_fraction=0.62,
+        working_set_bytes=640 * KB,  # > 512 KB: hurt by MB8
+        total_instructions=1_200_000,
+        mem_ratio=0.33,
+        write_fraction=0.30,
+        private_fraction=0.40,
+        pattern="stream",
+        temporal_reuse=0.20,
+        touch_stride=16,
+    ),
+    "fft": WorkloadProfile(
+        name="fft",
+        parallel_fraction=0.65,
+        working_set_bytes=480 * KB,  # fits MB8 (snugly)
+        total_instructions=600_000,
+        mem_ratio=0.30,
+        write_fraction=0.35,
+        private_fraction=0.45,
+        pattern="stride",
+        temporal_reuse=0.20,
+        touch_stride=8,
+    ),
+    "volrend": WorkloadProfile(
+        name="volrend",
+        parallel_fraction=0.55,
+        working_set_bytes=512 * KB,  # borderline for MB8
+        total_instructions=500_000,
+        mem_ratio=0.28,
+        write_fraction=0.12,
+        private_fraction=0.45,
+        pattern="random",
+        temporal_reuse=0.30,
+        spatial_burst=4,
+    ),
+    "raytrace": WorkloadProfile(
+        name="raytrace",
+        parallel_fraction=0.72,
+        working_set_bytes=576 * KB,  # borderline for MB8 (soft, random)
+        total_instructions=600_000,
+        mem_ratio=0.30,
+        write_fraction=0.10,
+        private_fraction=0.45,
+        pattern="random",
+        temporal_reuse=0.35,
+        spatial_burst=4,
+    ),
+    # -- good scalability (Fig 7b: -64% avg from 4 -> 16 cores) ---------
+    "fmm": WorkloadProfile(
+        name="fmm",
+        parallel_fraction=0.96,
+        working_set_bytes=448 * KB,  # fits MB8
+        total_instructions=700_000,
+        mem_ratio=0.27,
+        write_fraction=0.20,
+        private_fraction=0.45,
+        pattern="cluster",
+        temporal_reuse=0.40,
+        spatial_burst=4,
+    ),
+    "radix": WorkloadProfile(
+        name="radix",
+        parallel_fraction=0.97,
+        working_set_bytes=640 * KB,  # > 512 KB: hurt by MB8
+        total_instructions=1_000_000,
+        mem_ratio=0.38,
+        write_fraction=0.45,
+        private_fraction=0.30,
+        pattern="random",
+        temporal_reuse=0.05,
+        spatial_burst=4,
+    ),
+    "ocean_contiguous": WorkloadProfile(
+        name="ocean_contiguous",
+        parallel_fraction=0.98,
+        working_set_bytes=704 * KB,  # > 512 KB: hurt by MB8
+        total_instructions=1_200_000,
+        mem_ratio=0.36,
+        write_fraction=0.35,
+        private_fraction=0.35,
+        pattern="stencil",
+        temporal_reuse=0.15,
+        touch_stride=16,
+    ),
+    "water-nsquared": WorkloadProfile(
+        name="water-nsquared",
+        parallel_fraction=0.96,
+        working_set_bytes=320 * KB,  # fits MB8
+        total_instructions=700_000,
+        mem_ratio=0.25,
+        write_fraction=0.22,
+        private_fraction=0.45,
+        pattern="stream",
+        temporal_reuse=0.45,
+        touch_stride=8,
+    ),
+}
+
+#: Paper-order tuple of benchmark names (Figs 6-8 x-axis order).
+SPLASH2_NAMES: Tuple[str, ...] = (
+    "cholesky",
+    "fft",
+    "fmm",
+    "radix",
+    "ocean_contiguous",
+    "volrend",
+    "raytrace",
+    "water-nsquared",
+)
+
+#: The paper's scalability groups (Section IV).
+LIMITED_SCALABILITY = ("cholesky", "fft", "volrend", "raytrace")
+GOOD_SCALABILITY = ("fmm", "radix", "ocean_contiguous", "water-nsquared")
+#: Programs whose working set fits the 8-bank (512 KB) configuration.
+SMALL_WORKING_SET = ("fft", "fmm", "volrend", "raytrace", "water-nsquared")
+LARGE_WORKING_SET = ("cholesky", "radix", "ocean_contiguous")
+
+
+def profile(name: str) -> WorkloadProfile:
+    """Look up a benchmark profile by name."""
+    try:
+        return SPLASH2_PROFILES[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown benchmark {name!r}; choose from {sorted(SPLASH2_PROFILES)}"
+        ) from None

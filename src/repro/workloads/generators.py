@@ -1,0 +1,257 @@
+"""Address-stream kernels for the synthetic SPLASH-2 generators.
+
+Each kernel produces an endless, deterministic stream of byte addresses
+within a region, with the spatial signature of one access flavour:
+
+* :class:`SequentialStream` — block-decomposed streaming sweeps
+  (cholesky panels, water's molecule array);
+* :class:`StridedStream` — power-of-two butterfly strides (fft);
+* :class:`RandomStream` — scatter with short same-line bursts (radix
+  histogramming, volrend/raytrace object lookups);
+* :class:`StencilStream` — row sweeps touching north/south neighbours
+  (ocean's grids);
+* :class:`ClusterStream` — random cluster choice, streaming inside the
+  cluster (fmm's tree cells).
+
+Two locality knobs (from the workload profile) control how hard a
+kernel hits the L1: ``touch_stride`` — bytes between consecutive
+streaming references; ``burst`` — same-line references per scatter
+jump.  All kernels use :class:`numpy.random.Generator` seeded from
+(workload, core), so traces are reproducible and different per core.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+
+class AddressStream(ABC):
+    """Endless deterministic address source over ``[base, base+size)``."""
+
+    def __init__(self, base: int, size: int, rng: np.random.Generator) -> None:
+        if base < 0 or size <= 0:
+            raise WorkloadError("bad region")
+        self.base = base
+        self.size = size
+        self.rng = rng
+
+    @abstractmethod
+    def next_address(self) -> int:
+        """Produce the next byte address."""
+
+    def _wrap(self, offset: int) -> int:
+        return self.base + offset % self.size
+
+
+class SequentialStream(AddressStream):
+    """Streaming sweep touching every ``touch_stride`` bytes.
+
+    ``start_offset`` block-decomposes the region among cores so their
+    sweeps cover it collectively.
+    """
+
+    def __init__(
+        self,
+        base: int,
+        size: int,
+        rng: np.random.Generator,
+        start_offset: int = 0,
+        touch_stride: int = 8,
+        burst: int = 1,
+    ) -> None:
+        super().__init__(base, size, rng)
+        if touch_stride <= 0:
+            raise WorkloadError("stride must be positive")
+        self.touch_stride = touch_stride
+        self._cursor = start_offset % size
+
+    def next_address(self) -> int:
+        addr = self._wrap(self._cursor)
+        self._cursor = (self._cursor + self.touch_stride) % self.size
+        return addr
+
+
+class StridedStream(AddressStream):
+    """FFT-style butterflies: pass ``k`` visits elements ``2**k`` apart.
+
+    Elements are 16 B (complex doubles); each visit issues ``burst``
+    word-consecutive references (real/imag parts).  When a pass
+    completes the stride doubles, wrapping back to unit stride —
+    the log-passes structure of an in-place FFT.
+    """
+
+    ELEMENT_BYTES = 16
+
+    def __init__(
+        self,
+        base: int,
+        size: int,
+        rng: np.random.Generator,
+        start_offset: int = 0,
+        touch_stride: int = 8,
+        burst: int = 2,
+    ) -> None:
+        super().__init__(base, size, rng)
+        self.burst = max(1, burst)
+        self._stride_elems = 1
+        self._cursor = start_offset % size
+        self._visited = 0
+        self._burst_left = 0
+        self._burst_addr = 0
+        self._max_stride = max(1, (size // self.ELEMENT_BYTES) // 8)
+
+    def next_address(self) -> int:
+        if self._burst_left > 0:
+            self._burst_left -= 1
+            self._burst_addr += 8
+            return self._wrap(self._burst_addr % self.size)
+        addr_off = self._cursor
+        self._burst_addr = addr_off
+        self._burst_left = self.burst - 1
+        step = self._stride_elems * self.ELEMENT_BYTES
+        self._cursor = (self._cursor + step) % self.size
+        self._visited += 1
+        if self._visited * self.ELEMENT_BYTES >= self.size:
+            self._visited = 0
+            self._stride_elems *= 2
+            if self._stride_elems > self._max_stride:
+                self._stride_elems = 1
+        return self._wrap(addr_off)
+
+
+class RandomStream(AddressStream):
+    """Scatter: jump to a random line, touch ``burst`` words in it."""
+
+    WORD_BYTES = 8
+
+    def __init__(
+        self,
+        base: int,
+        size: int,
+        rng: np.random.Generator,
+        start_offset: int = 0,
+        touch_stride: int = 8,
+        burst: int = 1,
+    ) -> None:
+        super().__init__(base, size, rng)
+        self.burst = max(1, burst)
+        self._burst_left = 0
+        self._addr = base
+
+    def next_address(self) -> int:
+        if self._burst_left > 0:
+            self._burst_left -= 1
+            self._addr += self.WORD_BYTES
+            return self._wrap(self._addr - self.base)
+        words = max(1, self.size // self.WORD_BYTES)
+        self._addr = self.base + int(self.rng.integers(0, words)) * self.WORD_BYTES
+        self._burst_left = self.burst - 1
+        return self._addr
+
+
+class StencilStream(AddressStream):
+    """Ocean-style 5-point stencil sweep over a square grid.
+
+    Walks the grid row-major at ``touch_stride`` bytes per step; every
+    center reference is followed by its north and south neighbours.
+    Because the sweep is sequential, the neighbour streams are
+    sequential too, so all three streams enjoy line locality — the
+    row-sized reuse distance is what defeats small caches.
+    """
+
+    CELL_BYTES = 8
+
+    def __init__(
+        self,
+        base: int,
+        size: int,
+        rng: np.random.Generator,
+        start_offset: int = 0,
+        touch_stride: int = 16,
+        burst: int = 1,
+    ) -> None:
+        super().__init__(base, size, rng)
+        cells = size // self.CELL_BYTES
+        self.row_bytes = max(64, int(np.sqrt(cells)) * self.CELL_BYTES)
+        self.touch_stride = touch_stride
+        self._cursor = start_offset % size
+        self._phase = 0
+
+    def next_address(self) -> int:
+        if self._phase == 0:
+            off = self._cursor
+        elif self._phase == 1:
+            off = self._cursor + self.row_bytes
+        else:
+            off = self._cursor - self.row_bytes
+            self._cursor = (self._cursor + self.touch_stride) % self.size
+        self._phase = (self._phase + 1) % 3
+        return self._wrap(off)
+
+
+class ClusterStream(AddressStream):
+    """FMM-style: pick a cell cluster at random, stream inside it.
+
+    High locality while inside a cluster (the particle list), random
+    jumps between clusters (tree traversal).
+    """
+
+    CLUSTER_BYTES = 2048
+
+    def __init__(
+        self,
+        base: int,
+        size: int,
+        rng: np.random.Generator,
+        start_offset: int = 0,
+        touch_stride: int = 8,
+        burst: int = 1,
+    ) -> None:
+        super().__init__(base, size, rng)
+        self.touch_stride = touch_stride
+        self._cluster = start_offset % max(1, size // self.CLUSTER_BYTES)
+        self._offset = 0
+
+    def next_address(self) -> int:
+        addr = self._wrap(self._cluster * self.CLUSTER_BYTES + self._offset)
+        self._offset += self.touch_stride
+        if self._offset >= self.CLUSTER_BYTES:
+            self._offset = 0
+            n_clusters = max(1, self.size // self.CLUSTER_BYTES)
+            self._cluster = int(self.rng.integers(0, n_clusters))
+        return addr
+
+
+def make_stream(
+    pattern: str,
+    base: int,
+    size: int,
+    rng: np.random.Generator,
+    start_offset: int = 0,
+    touch_stride: int = 8,
+    burst: int = 4,
+) -> AddressStream:
+    """Factory keyed by the profile's ``pattern`` field."""
+    table = {
+        "stream": SequentialStream,
+        "stride": StridedStream,
+        "random": RandomStream,
+        "stencil": StencilStream,
+        "cluster": ClusterStream,
+    }
+    try:
+        cls = table[pattern]
+    except KeyError:
+        raise WorkloadError(f"unknown pattern {pattern!r}") from None
+    return cls(
+        base,
+        size,
+        rng,
+        start_offset=start_offset,
+        touch_stride=touch_stride,
+        burst=burst,
+    )

@@ -1,0 +1,68 @@
+"""Tests of the EDP comparison helpers."""
+
+import pytest
+
+from repro.analysis.edp import (
+    EDPComparison,
+    best_state_stats,
+    execution_time_reduction,
+    reduction_stats,
+)
+
+
+def comparison(**edps) -> EDPComparison:
+    return EDPComparison(
+        benchmark="bench",
+        baseline_name="Full",
+        edp_by_config={"Full": 10.0, **edps},
+    )
+
+
+class TestNormalization:
+    def test_baseline_is_unity(self):
+        c = comparison(A=5.0)
+        assert c.normalized()["Full"] == 1.0
+        assert c.normalized()["A"] == 0.5
+
+    def test_reduction_percent(self):
+        c = comparison(A=5.0, B=12.0)
+        assert c.reduction_percent("A") == pytest.approx(50.0)
+        assert c.reduction_percent("B") == pytest.approx(-20.0)
+
+    def test_best_config(self):
+        c = comparison(A=5.0, B=2.3)
+        name, reduction = c.best_config()
+        assert name == "B"
+        assert reduction == pytest.approx(77.0)
+
+    def test_zero_baseline_rejected(self):
+        c = EDPComparison("b", "Full", {"Full": 0.0, "A": 1.0})
+        with pytest.raises(ValueError):
+            c.normalized()
+
+
+class TestAggregates:
+    def test_reduction_stats(self):
+        comps = [comparison(A=5.0), comparison(A=8.0)]
+        max_r, mean_r = reduction_stats(comps, "A")
+        assert max_r == pytest.approx(50.0)
+        assert mean_r == pytest.approx(35.0)
+
+    def test_best_state_stats_is_the_headline(self):
+        # Paper: "up to 77% (by 48% on average)".
+        comps = [comparison(A=2.3), comparison(A=8.1, B=7.9)]
+        max_r, mean_r = best_state_stats(comps)
+        assert max_r == pytest.approx(77.0)
+        assert mean_r == pytest.approx((77.0 + 21.0) / 2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            reduction_stats([], "A")
+        with pytest.raises(ValueError):
+            best_state_stats([])
+
+    def test_execution_time_reduction(self):
+        times = {"4 cores": 100.0, "16 cores": 69.0}
+        assert execution_time_reduction(times, "4 cores", "16 cores") == (
+            pytest.approx(31.0)
+        )

@@ -1,0 +1,109 @@
+"""Tests of the energy integration layer."""
+
+import pytest
+
+from repro.analysis.energy import EnergyBreakdown, EnergyModel
+from repro.mem.dram import DDR3_OFFCHIP, WIDE_IO_3D
+from repro.sim.stats import CoreStats, SimReport
+
+
+def make_report(**overrides) -> SimReport:
+    defaults = dict(
+        workload_name="synthetic",
+        interconnect_name="3-D MoT",
+        power_state_name="Full connection",
+        n_active_cores=2,
+        n_active_banks=32,
+        dram_name=DDR3_OFFCHIP.name,
+        execution_cycles=1_000_000,
+        cores=[
+            CoreStats(0, busy_cycles=600_000, stall_cycles=400_000),
+            CoreStats(1, busy_cycles=300_000, stall_cycles=200_000),
+        ],
+        l1_accesses=100_000,
+        l1_misses=5_000,
+        l2_accesses=5_000,
+        l2_hits=4_000,
+        l2_misses=1_000,
+        l2_writebacks=500,
+        dram_accesses=1_500,
+        interconnect_energy_j=1e-6,
+    )
+    defaults.update(overrides)
+    return SimReport(**defaults)
+
+
+@pytest.fixture
+def model() -> EnergyModel:
+    return EnergyModel()
+
+
+class TestComponents:
+    def test_core_energy_positive(self, model):
+        assert model.core_energy_j(make_report()) > 0
+
+    def test_busier_cores_burn_more(self, model):
+        light = make_report()
+        heavy = make_report(cores=[
+            CoreStats(0, busy_cycles=1_000_000, stall_cycles=0),
+            CoreStats(1, busy_cycles=1_000_000, stall_cycles=0),
+        ])
+        assert model.core_energy_j(heavy) > model.core_energy_j(light)
+
+    def test_finished_core_idles_until_program_end(self, model):
+        # Core 1 finishes at 500k of a 1M-cycle run: it still burns
+        # idle power for the remaining 500k cycles.
+        r = make_report()
+        partial = sum(
+            model.core_power.energy(c.busy_cycles, c.stall_cycles, 1e9)
+            for c in r.cores
+        )
+        assert model.core_energy_j(r) > partial
+
+    def test_l2_leakage_scales_with_active_banks(self, model):
+        full = make_report(n_active_banks=32)
+        gated = make_report(n_active_banks=8)
+        assert model.l2_leakage_j(gated) == pytest.approx(
+            model.l2_leakage_j(full) / 4
+        )
+
+    def test_l2_dynamic_counts_reads_and_writes(self, model):
+        r = make_report()
+        expected = (5_000 - 500) * model.bank.read_energy() + (
+            500 * model.bank.write_energy()
+        )
+        assert model.l2_dynamic_j(r) == pytest.approx(expected)
+
+    def test_dram_technology_changes_energy(self):
+        ddr = EnergyModel(dram=DDR3_OFFCHIP)
+        wio = EnergyModel(dram=WIDE_IO_3D)
+        r = make_report()
+        assert wio.dram_j(r) < ddr.dram_j(r)
+
+
+class TestBreakdown:
+    def test_totals_consistent(self, model):
+        b = model.breakdown(make_report(), interconnect_leakage_w=0.02)
+        assert b.cluster_j == pytest.approx(
+            b.core_j + b.l2_j + b.interconnect_j
+        )
+        assert b.total_j == pytest.approx(b.cluster_j + b.dram_j)
+
+    def test_edp_is_cluster_energy_times_delay(self, model):
+        b = model.breakdown(make_report(), interconnect_leakage_w=0.02)
+        assert b.edp == pytest.approx(b.cluster_j * b.execution_s)
+        assert b.edp_with_dram > b.edp
+
+    def test_interconnect_leakage_integrated_over_time(self, model):
+        r = make_report()
+        b1 = model.breakdown(r, interconnect_leakage_w=0.01)
+        b2 = model.breakdown(r, interconnect_leakage_w=0.02)
+        assert b2.interconnect_leakage_j == pytest.approx(
+            2 * b1.interconnect_leakage_j
+        )
+
+    def test_as_dict_round_trip(self, model):
+        b = model.breakdown(make_report(), 0.01)
+        d = b.as_dict()
+        assert d["edp"] == pytest.approx(b.edp)
+        assert d["cluster_j"] == pytest.approx(b.cluster_j)

@@ -1,0 +1,112 @@
+"""Tests of the experiment harness (fast, reduced-scale runs)."""
+
+import pytest
+
+from repro.analysis.experiments import (
+    experiment_fig5,
+    experiment_fig6,
+    experiment_fig7,
+    experiment_table1,
+    run_benchmark,
+)
+from repro.mem.dram import WIDE_IO_3D
+from repro.mot.power_state import PC16_MB8
+
+from tests.conftest import FAST_SCALE
+
+
+class TestTable1:
+    def test_latency_column(self):
+        result = experiment_table1()
+        assert result.latencies == {
+            "Full connection": 12,
+            "PC16-MB8": 9,
+            "PC4-MB32": 9,
+            "PC4-MB8": 7,
+        }
+
+    def test_render_contains_all_states(self):
+        text = experiment_table1().render()
+        for name in ("Full connection", "PC16-MB8", "PC4-MB32", "PC4-MB8"):
+            assert name in text
+
+
+class TestFig5:
+    def test_spans(self):
+        result = experiment_fig5()
+        horiz = {k: v[0] for k, v in result.spans_mm.items()}
+        assert horiz["Full connection"] == pytest.approx(10.0)
+        assert horiz["PC4-MB8"] == pytest.approx(5.0)
+        # ~40 um per tier: z is microscopic next to x/y (Fig 5's point).
+        assert result.spans_mm["Full connection"][1] < 0.1
+
+    def test_render(self):
+        assert "wire lengths" in experiment_fig5().render()
+
+
+class TestRunBenchmark:
+    def test_returns_report_and_energy(self):
+        report, energy = run_benchmark("volrend", scale=FAST_SCALE)
+        assert report.workload_name == "volrend"
+        assert energy.edp > 0
+
+    def test_power_state_applied(self):
+        report, _ = run_benchmark(
+            "volrend", power_state=PC16_MB8, scale=FAST_SCALE
+        )
+        assert report.power_state_name == "PC16-MB8"
+        assert report.n_active_banks == 8
+
+    def test_dram_technology_applied(self):
+        report, _ = run_benchmark("volrend", dram=WIDE_IO_3D, scale=FAST_SCALE)
+        assert "Wide I/O" in report.dram_name
+
+
+class TestFig6Small:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return experiment_fig6(scale=FAST_SCALE, benchmarks=("volrend",))
+
+    def test_all_four_interconnects(self, result):
+        assert set(result.latency_cycles["volrend"]) == {
+            "True 3-D Mesh",
+            "3-D Hybrid Bus-Mesh",
+            "3-D Hybrid Bus-Tree",
+            "3-D MoT",
+        }
+
+    def test_mot_lowest_latency(self, result):
+        row = result.latency_cycles["volrend"]
+        assert row["3-D MoT"] == min(row.values())
+
+    def test_mot_fastest_execution(self, result):
+        row = result.execution_cycles["volrend"]
+        assert row["3-D MoT"] == min(row.values())
+
+    def test_render(self, result):
+        text = result.render()
+        assert "Fig 6a" in text and "Fig 6b" in text
+
+
+class TestFig7Small:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return experiment_fig7(scale=FAST_SCALE, benchmarks=("volrend", "fft"))
+
+    def test_all_states_present(self, result):
+        assert set(result.edp["volrend"]) == {
+            "Full connection", "PC16-MB8", "PC4-MB32", "PC4-MB8",
+        }
+
+    def test_limited_scalability_prefers_gating(self, result):
+        """volrend: small WS + poor scaling -> some gated state beats
+        Full connection on EDP (the paper's core claim)."""
+        comparison = [
+            c for c in result.comparisons() if c.benchmark == "volrend"
+        ][0]
+        best, reduction = comparison.best_config()
+        assert best != "Full connection"
+        assert reduction > 0
+
+    def test_render(self, result):
+        assert "EDP" in result.render()

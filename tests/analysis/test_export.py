@@ -1,0 +1,78 @@
+"""Tests of the CSV export layer."""
+
+import csv
+
+import pytest
+
+from repro.analysis.experiments import Fig6Result, PowerStateSweepResult
+from repro.analysis.export import export_fig6, export_power_sweep, rows_to_csv
+from repro.mem.dram import DDR3_OFFCHIP
+
+
+class TestRowsToCsv:
+    def test_round_trip(self):
+        text = rows_to_csv(["a", "b"], {"r1": [1.5, 2.0], "r2": [3.0, 4.0]})
+        rows = list(csv.reader(text.splitlines()))
+        assert rows[0] == ["benchmark", "a", "b"]
+        assert rows[1] == ["r1", "1.5", "2.0"]
+
+    def test_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            rows_to_csv(["a"], {"r": [1.0, 2.0]})
+
+
+@pytest.fixture
+def fig6_result() -> Fig6Result:
+    ics = ["True 3-D Mesh", "3-D Hybrid Bus-Mesh", "3-D Hybrid Bus-Tree", "3-D MoT"]
+    return Fig6Result(
+        latency_cycles={"fft": {ic: 10.0 + i for i, ic in enumerate(ics)}},
+        execution_cycles={"fft": {ic: 1000 + i for i, ic in enumerate(ics)}},
+    )
+
+
+@pytest.fixture
+def sweep_result() -> PowerStateSweepResult:
+    states = ["Full connection", "PC16-MB8", "PC4-MB32", "PC4-MB8"]
+    return PowerStateSweepResult(
+        dram=DDR3_OFFCHIP,
+        edp={"fft": {s: 1.0 + i for i, s in enumerate(states)}},
+        execution_cycles={"fft": {s: 100 + i for i, s in enumerate(states)}},
+        energy={"fft": {s: 2.0 + i for i, s in enumerate(states)}},
+    )
+
+
+class TestExportFig6:
+    def test_writes_two_files(self, fig6_result, tmp_path):
+        written = export_fig6(fig6_result, tmp_path)
+        assert set(written) == {
+            "fig6a_latency_cycles.csv",
+            "fig6b_execution_cycles.csv",
+        }
+        for path in written.values():
+            assert path.exists()
+            header = path.read_text().splitlines()[0]
+            assert header.startswith("benchmark,")
+
+    def test_values_survive(self, fig6_result, tmp_path):
+        written = export_fig6(fig6_result, tmp_path)
+        text = written["fig6a_latency_cycles.csv"].read_text()
+        assert "fft" in text and "10.0" in text
+
+
+class TestExportPowerSweep:
+    def test_writes_three_files(self, sweep_result, tmp_path):
+        written = export_power_sweep(sweep_result, tmp_path, prefix="fig7")
+        assert set(written) == {
+            "fig7_edp_js.csv",
+            "fig7_execution_cycles.csv",
+            "fig7_energy_j.csv",
+        }
+
+    def test_prefix_respected(self, sweep_result, tmp_path):
+        written = export_power_sweep(sweep_result, tmp_path, prefix="fig8a")
+        assert all(name.startswith("fig8a") for name in written)
+
+    def test_creates_directory(self, sweep_result, tmp_path):
+        target = tmp_path / "nested" / "dir"
+        export_power_sweep(sweep_result, target)
+        assert target.exists()

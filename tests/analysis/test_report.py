@@ -1,0 +1,50 @@
+"""Tests of the plain-text table renderer."""
+
+import pytest
+
+from repro.analysis.report import (
+    format_normalized_table,
+    format_table,
+    normalize_rows,
+)
+
+
+class TestFormatTable:
+    def test_contains_all_cells(self):
+        text = format_table(
+            "T", ["a", "b"], {"row1": [1.0, 2.0], "row2": [3.25, 4.0]}
+        )
+        assert "T" in text
+        assert "row1" in text and "row2" in text
+        assert "3.25" in text
+
+    def test_mismatched_row_rejected(self):
+        with pytest.raises(ValueError):
+            format_table("T", ["a", "b"], {"r": [1.0]})
+
+    def test_alignment_consistent(self):
+        text = format_table("T", ["col"], {"x": [1.0], "longername": [2.0]})
+        lines = [l for l in text.splitlines() if l and not set(l) <= {"=", "-"}]
+        widths = {len(l) for l in lines[1:]}
+        assert len(widths) == 1  # header and rows same width
+
+
+class TestNormalization:
+    def test_normalize_rows(self):
+        rows = normalize_rows({"r": [4.0, 2.0, 8.0]})
+        assert rows["r"] == [1.0, 0.5, 2.0]
+
+    def test_custom_baseline_index(self):
+        rows = normalize_rows({"r": [4.0, 2.0]}, baseline_index=1)
+        assert rows["r"] == [2.0, 1.0]
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            normalize_rows({"r": [0.0, 1.0]})
+
+    def test_normalized_table_baseline_column(self):
+        text = format_normalized_table(
+            "T", ["base", "x"], {"r": [5.0, 10.0]}
+        )
+        assert "1.000" in text
+        assert "2.000" in text

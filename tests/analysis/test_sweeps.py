@@ -1,0 +1,69 @@
+"""Tests of the sweep/statistics utilities."""
+
+import pytest
+
+from repro.analysis.sweeps import (
+    SeedStudyResult,
+    seed_study,
+    sweep_dram_latency,
+    sweep_power_states,
+)
+from repro.mem.dram import DDR3_OFFCHIP, WEIS_3D
+from repro.mot.power_state import FULL_CONNECTION, PC16_MB8
+
+from tests.conftest import FAST_SCALE
+
+
+class TestSeedStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return seed_study("volrend", seeds=(1, 2, 3), scale=FAST_SCALE)
+
+    def test_one_result_per_seed(self, study):
+        assert len(study.execution_cycles) == 3
+        assert len(study.edp) == 3
+
+    def test_seeds_produce_different_times(self, study):
+        assert len(set(study.execution_cycles)) > 1
+
+    def test_spread_is_small(self, study):
+        """Trace randomness moves execution time by percents, not 2x —
+        otherwise every figure would be seed noise."""
+        assert study.execution_cv < 0.10
+        assert study.edp_cv < 0.20
+
+    def test_mean_between_min_max(self, study):
+        assert min(study.execution_cycles) <= study.mean_execution
+        assert study.mean_execution <= max(study.execution_cycles)
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            seed_study("volrend", seeds=())
+
+    def test_single_seed_zero_spread(self):
+        study = seed_study("volrend", seeds=(7,), scale=FAST_SCALE)
+        assert study.execution_cv == 0.0
+
+
+class TestSweeps:
+    def test_power_state_sweep(self):
+        out = sweep_power_states(
+            "volrend", [FULL_CONNECTION, PC16_MB8], scale=FAST_SCALE
+        )
+        assert set(out) == {"Full connection", "PC16-MB8"}
+        for cycles, edp in out.values():
+            assert cycles > 0 and edp > 0
+
+    def test_dram_sweep_latency_ordering(self):
+        out = sweep_dram_latency(
+            "volrend", timings=(DDR3_OFFCHIP, WEIS_3D), scale=FAST_SCALE
+        )
+        slow = out[DDR3_OFFCHIP.name][0]
+        fast = out[WEIS_3D.name][0]
+        assert fast < slow  # faster DRAM, faster program
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            sweep_power_states("volrend", [])
+        with pytest.raises(ValueError):
+            sweep_dram_latency("volrend", timings=())

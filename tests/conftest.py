@@ -1,0 +1,49 @@
+"""Shared fixtures for the test suite.
+
+Conventions: small fabrics (4x8) for functional switch-level tests,
+the paper's 16x32 for model-level assertions, and reduced workload
+scales for anything that runs the system simulator.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mot.fabric import MoTFabric
+from repro.mot.power_state import (
+    FULL_CONNECTION,
+    PC16_MB8,
+    PC4_MB32,
+    PC4_MB8,
+    PowerState,
+)
+
+
+@pytest.fixture
+def small_fabric() -> MoTFabric:
+    """The paper's Fig 2a/Fig 4 example: 4 cores x 8 banks."""
+    return MoTFabric(n_cores=4, n_banks=8)
+
+
+@pytest.fixture
+def paper_fabric() -> MoTFabric:
+    """The target architecture: 16 cores x 32 banks."""
+    return MoTFabric(n_cores=16, n_banks=32)
+
+
+@pytest.fixture
+def fig4_state() -> PowerState:
+    """Fig 4's example state: 4 cores on, banks M2..M5 on (M0, M1, M6,
+    M7 gated)."""
+    return PowerState.from_counts("Fig4", 4, 4, 4, 8)
+
+
+@pytest.fixture(params=[FULL_CONNECTION, PC16_MB8, PC4_MB32, PC4_MB8],
+                ids=lambda s: s.name)
+def paper_state(request) -> PowerState:
+    """Each of the paper's four power states in turn."""
+    return request.param
+
+
+#: Work scale used by simulator-driven tests (fast, still meaningful).
+FAST_SCALE = 0.08

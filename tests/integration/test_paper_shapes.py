@@ -1,0 +1,155 @@
+"""Integration tests: the paper's qualitative results at reduced scale.
+
+These runs use ~20-30% of the reference work so the whole file stays
+under a minute; the assertions target *shape* (orderings, signs of
+effects), which is stable across scales.  The full-scale numbers live
+in the benchmark harness and EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.analysis.experiments import run_benchmark
+from repro.mem.dram import DDR3_OFFCHIP, WEIS_3D
+from repro.mot.power_state import (
+    FULL_CONNECTION,
+    PC16_MB8,
+    PC4_MB32,
+    PC4_MB8,
+)
+from repro.noc.bus_mesh import HybridBusMesh
+from repro.noc.bus_tree import HybridBusTree
+from repro.noc.mesh3d import True3DMesh
+from repro.noc.mot_adapter import MoTInterconnect
+
+SCALE = 0.25
+
+
+@pytest.fixture(scope="module")
+def fig6_volrend():
+    """volrend on all four interconnects (Fig 6 sample)."""
+    out = {}
+    for factory in (True3DMesh, HybridBusMesh, HybridBusTree, MoTInterconnect):
+        ic = factory()
+        report, _ = run_benchmark("volrend", interconnect=ic, scale=SCALE)
+        out[ic.name] = report
+    return out
+
+
+@pytest.fixture(scope="module")
+def fig7_sweeps():
+    """Power-state sweeps for one benchmark per paper group."""
+    out = {}
+    for bench in ("volrend", "water-nsquared", "cholesky"):
+        out[bench] = {}
+        for state in (FULL_CONNECTION, PC16_MB8, PC4_MB32, PC4_MB8):
+            report, energy = run_benchmark(bench, power_state=state, scale=SCALE)
+            out[bench][state.name] = (report, energy)
+    return out
+
+
+class TestFig6Shape:
+    def test_mot_wins_execution_time(self, fig6_volrend):
+        times = {k: v.execution_cycles for k, v in fig6_volrend.items()}
+        assert times["3-D MoT"] == min(times.values())
+
+    def test_mot_wins_l2_latency(self, fig6_volrend):
+        lats = {k: v.mean_l2_latency_cycles for k, v in fig6_volrend.items()}
+        assert lats["3-D MoT"] == min(lats.values())
+
+    def test_bus_mesh_beats_true_mesh(self, fig6_volrend):
+        """"3-D Hybrid Bus-Mesh shows better performance (i.e., lower
+        L2 cache access latency) than True 3-D Mesh.""" """"""
+        assert (
+            fig6_volrend["3-D Hybrid Bus-Mesh"].mean_l2_latency_cycles
+            < fig6_volrend["True 3-D Mesh"].mean_l2_latency_cycles
+        )
+
+    def test_mot_reduction_in_paper_ballpark(self, fig6_volrend):
+        """MoT's execution-time win is double-digit-percent-ish, not 2x."""
+        t_mot = fig6_volrend["3-D MoT"].execution_cycles
+        t_mesh = fig6_volrend["True 3-D Mesh"].execution_cycles
+        reduction = 1 - t_mot / t_mesh
+        assert 0.05 < reduction < 0.40  # paper: 13.01% on average
+
+
+class TestFig7Shape:
+    def test_limited_scalability_small_ws_loves_pc4_mb8(self, fig7_sweeps):
+        """volrend (poor scaling, small WS): PC4-MB8 cuts EDP hard."""
+        edp = {k: e.edp for k, (r, e) in fig7_sweeps["volrend"].items()}
+        assert edp["PC4-MB8"] < edp["Full connection"]
+        assert edp["PC4-MB32"] < edp["Full connection"]
+
+    def test_scalable_app_wants_all_cores(self, fig7_sweeps):
+        """water-nsquared scales: dropping to 4 cores balloons time and
+        EDP (Fig 7b's 2.4x-ish slowdown)."""
+        runs = fig7_sweeps["water-nsquared"]
+        t_full = runs["Full connection"][0].execution_cycles
+        t_pc4 = runs["PC4-MB32"][0].execution_cycles
+        assert t_pc4 > 1.8 * t_full
+        assert runs["PC4-MB32"][1].edp > runs["Full connection"][1].edp
+
+    def test_large_ws_app_hurt_by_mb8(self):
+        """cholesky's working set exceeds the 8-bank capacity.
+
+        Capacity thrash needs the working set actually swept, so this
+        one runs at a larger scale than the module default.
+        """
+        _r_full, _ = run_benchmark(
+            "cholesky", power_state=FULL_CONNECTION, scale=0.6
+        )
+        _r_mb8, _ = run_benchmark("cholesky", power_state=PC16_MB8, scale=0.6)
+        # Paper: up to +31% (we measure ~+33% at full scale; the 0.6x
+        # run sweeps the working set fewer times, so the bar is lower).
+        assert _r_mb8.execution_cycles > 1.05 * _r_full.execution_cycles
+
+    def test_small_ws_app_tolerates_mb8(self, fig7_sweeps):
+        runs = fig7_sweeps["volrend"]
+        t_full = runs["Full connection"][0].execution_cycles
+        t_mb8 = runs["PC16-MB8"][0].execution_cycles
+        assert t_mb8 < 1.10 * t_full  # paper: +4.7% avg for this group
+
+    def test_gating_reduces_energy_even_when_slower(self, fig7_sweeps):
+        """PC4 states always burn less energy; EDP decides the winner."""
+        for bench, runs in fig7_sweeps.items():
+            e_full = runs["Full connection"][1].cluster_j
+            e_pc4 = runs["PC4-MB32"][1].cluster_j
+            assert e_pc4 < e_full, bench
+
+
+class TestFig8Shape:
+    def test_faster_dram_softens_mb8_penalty(self):
+        """Fig 8: "power efficiency resulting from power-gating of cache
+        banks increases as the DRAM access latency decreases"."""
+        ratios = {}
+        for dram in (DDR3_OFFCHIP, WEIS_3D):
+            _r_full, e_full = run_benchmark(
+                "cholesky", power_state=FULL_CONNECTION, dram=dram, scale=SCALE
+            )
+            _r_mb8, e_mb8 = run_benchmark(
+                "cholesky", power_state=PC16_MB8, dram=dram, scale=SCALE
+            )
+            ratios[dram.name] = e_mb8.edp / e_full.edp
+        assert ratios[WEIS_3D.name] < ratios[DDR3_OFFCHIP.name]
+
+
+class TestTransitionOverheadEndToEnd:
+    def test_runtime_gating_round_trip_preserves_data(self):
+        """Write, gate, read through the fold, ungate, read again."""
+        from repro.mem.l2 import BankedL2, L2Config
+        from repro.mot.fabric import MoTFabric
+        from repro.mot.gating import PowerGatingController
+
+        fabric = MoTFabric(16, 32)
+        l2 = BankedL2(L2Config())
+        ctl = PowerGatingController(fabric, l2)
+        addrs = [0x3000_0000 + i * 32 for i in range(512)]
+        for a in addrs:
+            l2.access(a, is_write=True)
+        ctl.transition(PC16_MB8)
+        for a in addrs[:64]:
+            out = l2.access(a)  # refill into folded banks
+            assert out.physical_bank in PC16_MB8.active_banks
+        ctl.transition(FULL_CONNECTION)
+        for a in addrs[:64]:
+            out = l2.access(a)
+            assert out.physical_bank == l2.logical_bank(a)

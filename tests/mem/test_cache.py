@@ -1,0 +1,153 @@
+"""Tests of the functional set-associative cache."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mem.cache import SetAssociativeCache
+
+
+def make(capacity=4 * 1024, line=32, assoc=4, **kw) -> SetAssociativeCache:
+    return SetAssociativeCache(capacity, line, assoc, **kw)
+
+
+class TestGeometry:
+    def test_table1_l1_geometry(self):
+        c = make()
+        assert c.n_sets == 32
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ConfigurationError):
+            make(capacity=5000)
+        with pytest.raises(ConfigurationError):
+            make(assoc=3)
+        with pytest.raises(ConfigurationError):
+            make(capacity=64, line=32, assoc=4)
+
+    def test_line_address(self):
+        c = make()
+        assert c.line_address(0x1005) == 0x1000
+        assert c.line_address(0x101F) == 0x1000
+        assert c.line_address(0x1020) == 0x1020
+
+    def test_index_stride(self):
+        # With stride 32 (bank count), consecutive same-bank lines map
+        # to consecutive sets instead of colliding.
+        c = make(capacity=1024, line=32, assoc=2, index_stride_lines=32)
+        a = c.set_index(0)
+        b = c.set_index(32 * 32)  # next line of the same bank
+        assert b == (a + 1) % c.n_sets
+
+
+class TestHitMiss:
+    def test_cold_miss_then_hit(self):
+        c = make()
+        assert not c.access(0x1000).hit
+        assert c.access(0x1000).hit
+        assert c.access(0x101F).hit  # same line
+
+    def test_distinct_lines_miss(self):
+        c = make()
+        c.access(0x1000)
+        assert not c.access(0x1020).hit
+
+    def test_stats(self):
+        c = make()
+        c.access(0x0)
+        c.access(0x0)
+        c.access(0x4, is_write=True)
+        s = c.stats
+        assert s.reads == 2
+        assert s.writes == 1
+        assert s.hits == 2
+        assert s.misses == 1
+        assert s.miss_rate == pytest.approx(1 / 3)
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make().access(-4)
+
+
+class TestEvictionAndWriteback:
+    def test_lru_eviction_within_set(self):
+        c = make(capacity=256, line=32, assoc=2)  # 4 sets
+        step = 32 * c.n_sets  # same-set stride
+        c.access(0 * step)
+        c.access(1 * step)
+        c.access(2 * step)  # evicts way with address 0
+        assert not c.probe(0)
+        assert c.probe(step)
+
+    def test_dirty_eviction_reports_writeback(self):
+        c = make(capacity=256, line=32, assoc=2)
+        step = 32 * c.n_sets
+        c.access(0, is_write=True)
+        c.access(step)
+        result = c.access(2 * step)
+        assert result.writeback == 0
+        assert result.evicted == 0
+        assert c.stats.writebacks == 1
+
+    def test_clean_eviction_is_silent(self):
+        c = make(capacity=256, line=32, assoc=2)
+        step = 32 * c.n_sets
+        c.access(0)
+        c.access(step)
+        result = c.access(2 * step)
+        assert result.writeback is None
+        assert result.evicted == 0
+
+    def test_capacity_never_exceeded(self):
+        c = make(capacity=1024, line=32, assoc=4)
+        for i in range(500):
+            c.access(i * 32)
+        assert c.resident_lines <= 1024 // 32
+
+
+class TestWriteNoAllocate:
+    def test_hit_dirties_in_place(self):
+        c = make()
+        c.access(0x40)  # clean fill
+        assert c.write_no_allocate(0x40)
+        assert 0x40 in c.dirty_lines()
+
+    def test_miss_does_not_allocate(self):
+        c = make()
+        assert not c.write_no_allocate(0x40)
+        assert not c.probe(0x40)
+
+
+class TestFlush:
+    def test_full_flush(self):
+        c = make()
+        c.access(0x0, is_write=True)
+        c.access(0x40)
+        written, invalidated = c.flush()
+        assert written == 1
+        assert invalidated == 2
+        assert c.resident_lines == 0
+
+    def test_predicate_flush(self):
+        c = make()
+        c.access(0x0, is_write=True)
+        c.access(0x1000, is_write=True)
+        written, invalidated = c.flush(lambda addr: addr < 0x100)
+        assert (written, invalidated) == (1, 1)
+        assert not c.probe(0x0)
+        assert c.probe(0x1000)
+
+    def test_invalidate_all_drops_dirty_silently(self):
+        c = make()
+        c.access(0x0, is_write=True)
+        count = c.invalidate_all()
+        assert count == 1
+        assert c.resident_lines == 0
+        # invalidate_all is the post-flush power-off step: no writeback
+        # counted here.
+        assert c.stats.writebacks == 0
+
+    def test_probe_is_non_destructive(self):
+        c = make()
+        c.access(0x0)
+        before = c.stats.accesses
+        assert c.probe(0x0)
+        assert c.stats.accesses == before

@@ -1,0 +1,122 @@
+"""Tests of the DRAM model and the round-robin Miss bus."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mem.dram import (
+    DDR3_OFFCHIP,
+    DRAMModel,
+    DRAMTimings,
+    MissBus,
+    PAPER_DRAM_TIMINGS,
+    WEIS_3D,
+    WIDE_IO_3D,
+)
+
+
+class TestTimings:
+    def test_paper_presets(self):
+        assert DDR3_OFFCHIP.access_latency_ns == 200.0
+        assert WIDE_IO_3D.access_latency_ns == 63.0
+        assert WEIS_3D.access_latency_ns == 42.0
+        assert len(PAPER_DRAM_TIMINGS) == 3
+
+    def test_latency_cycles_at_1ghz(self):
+        assert DDR3_OFFCHIP.latency_cycles(1e9) == 200
+        assert WIDE_IO_3D.latency_cycles(1e9) == 63
+        assert WEIS_3D.latency_cycles(1e9) == 42
+
+    def test_onchip_cheaper_per_access(self):
+        assert WIDE_IO_3D.energy_per_access_j < DDR3_OFFCHIP.energy_per_access_j
+
+
+class TestDRAMModel:
+    def test_closed_page_flat_latency(self):
+        d = DRAMModel(DDR3_OFFCHIP, page_policy="closed")
+        assert d.access(0x0, 0) == 200
+        # Same page, still full latency under closed-page policy; only
+        # controller occupancy (4 cycles) separates them.
+        assert d.access(0x8, 100) == 200
+
+    def test_open_page_rewards_locality(self):
+        d = DRAMModel(DDR3_OFFCHIP, page_policy="open")
+        first = d.access(0x0, 0)
+        second = d.access(0x8, 1000)  # same 4 KB page
+        assert second < first
+        assert d.stats.page_hits == 1
+
+    def test_open_page_miss_on_new_page(self):
+        d = DRAMModel(DDR3_OFFCHIP, page_policy="open")
+        d.access(0x0, 0)
+        d.access(8192, 1000)  # different page
+        assert d.stats.page_misses == 2
+
+    def test_controller_queueing(self):
+        d = DRAMModel(DDR3_OFFCHIP, service_cycles=4)
+        d.access(0x0, 0)
+        # Second request at the same instant queues behind the burst.
+        latency = d.access(0x1000, 0)
+        assert latency == 4 + 200
+
+    def test_stats_distinguish_reads_writes(self):
+        d = DRAMModel()
+        d.access(0, 0)
+        d.access(0, 10, is_write=True)
+        assert d.stats.reads == 1
+        assert d.stats.writes == 1
+
+    def test_page_of(self):
+        d = DRAMModel()
+        assert d.page_of(0) == 0
+        assert d.page_of(4096) == 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DRAMModel(page_policy="lazy")
+        with pytest.raises(ConfigurationError):
+            DRAMModel(service_cycles=0)
+        with pytest.raises(ConfigurationError):
+            DRAMModel().access(-1, 0)
+
+
+class TestMissBus:
+    def test_idle_bus_grants_immediately(self):
+        bus = MissBus(n_cores=16, transfer_cycles=4)
+        assert bus.request(0, 100) == 100
+        assert bus.busy_until == 104
+
+    def test_fifo_queueing(self):
+        bus = MissBus(transfer_cycles=4)
+        bus.request(0, 0)
+        assert bus.request(1, 1) == 4  # waits for the first transfer
+
+    def test_round_robin_batch_order(self):
+        """The paper's round-robin refill order among simultaneous
+        instruction misses."""
+        bus = MissBus(n_cores=4, transfer_cycles=4)
+        bus.request(1, 0)  # last granted = 1
+        grants = bus.request_batch([0, 2, 3], now_cycle=10)
+        # Rotation after core 1: 2, then 3, then 0.
+        assert grants[2] < grants[3] < grants[0]
+
+    def test_batch_rejects_duplicates(self):
+        bus = MissBus(n_cores=4)
+        with pytest.raises(ConfigurationError):
+            bus.request_batch([1, 1], 0)
+
+    def test_conflicts_counted(self):
+        bus = MissBus(transfer_cycles=4)
+        bus.request(0, 0)
+        bus.request(1, 0)
+        assert bus.stats.conflicts == 1
+        assert bus.stats.queued_cycles == 4
+
+    def test_core_range_checked(self):
+        with pytest.raises(ConfigurationError):
+            MissBus(n_cores=4).request(4, 0)
+
+    def test_stats_track_transfers(self):
+        bus = MissBus()
+        bus.request(0, 0)
+        bus.request(1, 50)
+        assert bus.stats.transfers == 2

@@ -1,0 +1,47 @@
+"""Tests of the private L1 caches (Table I)."""
+
+import pytest
+
+from repro.mem.l1 import L1Cache, L1Config, make_l1_pair
+
+
+class TestConfiguration:
+    def test_table1_defaults(self):
+        cfg = L1Config()
+        assert cfg.capacity_bytes == 4 * 1024
+        assert cfg.line_bytes == 32
+        assert cfg.associativity == 4
+        assert cfg.policy == "lru"
+        assert cfg.hit_latency_cycles == 1
+
+    def test_pair_factory(self):
+        l1i, l1d = make_l1_pair(3)
+        assert l1i.role == "I"
+        assert l1d.role == "D"
+        assert l1i.core_id == l1d.core_id == 3
+
+    def test_bad_role(self):
+        with pytest.raises(ValueError):
+            L1Cache(0, role="X")
+
+
+class TestBehaviour:
+    def test_icache_rejects_writes(self):
+        l1i = L1Cache(0, "I")
+        with pytest.raises(ValueError):
+            l1i.access(0x1000, is_write=True)
+
+    def test_dcache_accepts_writes(self):
+        l1d = L1Cache(0, "D")
+        result = l1d.access(0x1000, is_write=True)
+        assert not result.hit
+
+    def test_one_cycle_hits(self):
+        assert L1Cache(0, "D").hit_latency_cycles == 1
+
+    def test_stats_exposed(self):
+        l1d = L1Cache(0, "D")
+        l1d.access(0)
+        l1d.access(0)
+        assert l1d.stats.accesses == 2
+        assert l1d.stats.hits == 1

@@ -1,0 +1,130 @@
+"""Tests of the shared banked L2 with remap-aware power gating."""
+
+import pytest
+
+from repro.errors import ConfigurationError, PowerStateError
+from repro.mem.l2 import BankedL2, L2Config
+from repro.mot.power_state import PC16_MB8, PowerState
+from repro.mot.reconfigurator import plan_reconfiguration
+
+
+@pytest.fixture
+def l2() -> BankedL2:
+    return BankedL2(L2Config())
+
+
+def plan_for(state):
+    return plan_reconfiguration(state)
+
+
+class TestConfiguration:
+    def test_table1_geometry(self, l2):
+        assert l2.config.n_banks == 32
+        assert l2.config.bank_capacity_bytes == 64 * 1024
+        assert l2.config.total_capacity_bytes == 2 * 1024 * 1024
+        assert len(l2.banks) == 32
+
+    def test_bank_set_indexing_uses_upper_bits(self, l2):
+        # Consecutive lines of one bank use consecutive sets.
+        bank = l2.banks[0]
+        assert bank.set_index(0) != bank.set_index(32 * 32) or bank.n_sets == 1
+        sets = {bank.set_index(i * 32 * 32) for i in range(bank.n_sets)}
+        assert len(sets) == bank.n_sets  # full utilization
+
+
+class TestAccessMapping:
+    def test_full_connection_identity(self, l2):
+        out = l2.access(7 * 32)
+        assert out.logical_bank == 7
+        assert out.physical_bank == 7
+
+    def test_interleaving_spreads_banks(self, l2):
+        for i in range(32):
+            l2.access(i * 32)
+        assert all(n == 1 for n in l2.bank_accesses)
+
+    def test_folding_under_pc16_mb8(self, l2):
+        l2.prepare_power_state(plan_for(PC16_MB8))
+        out = l2.access(0)  # logical bank 0, gated
+        assert out.logical_bank == 0
+        assert out.physical_bank in PC16_MB8.active_banks
+
+    def test_folded_lines_coexist(self, l2):
+        l2.prepare_power_state(plan_for(PC16_MB8))
+        # Logical banks 0 and 12 fold onto the same physical bank but
+        # must keep distinct lines.
+        a, b = 0 * 32, 12 * 32
+        assert l2.physical_bank(a) == l2.physical_bank(b)
+        l2.access(a)
+        l2.access(b)
+        assert l2.probe(a) and l2.probe(b)
+
+    def test_hit_after_fill(self, l2):
+        assert not l2.access(0x1000).hit
+        assert l2.access(0x1000).hit
+
+
+class TestWriteback:
+    def test_resident_line_dirtied_in_place(self, l2):
+        l2.access(0x40)
+        out = l2.writeback(0x40)
+        assert out.hit
+        assert 0x40 in l2.banks[out.physical_bank].dirty_lines()
+
+    def test_absent_line_not_allocated(self, l2):
+        out = l2.writeback(0x40)
+        assert not out.hit
+        assert not l2.probe(0x40)
+
+
+class TestPowerGating:
+    def test_prepare_flushes_gated_banks(self, l2):
+        for i in range(128):
+            l2.access(i * 32, is_write=True)  # all 32 banks dirty
+        written, invalidated = l2.prepare_power_state(plan_for(PC16_MB8))
+        assert written > 0
+        assert invalidated >= written
+        for bank_id in PC16_MB8.gated_banks:
+            assert l2.banks[bank_id].resident_lines == 0
+
+    def test_surviving_banks_keep_their_own_lines(self, l2):
+        addr = 12 * 32  # logical bank 12, active and self-mapped
+        l2.access(addr, is_write=True)
+        l2.prepare_power_state(plan_for(PC16_MB8))
+        assert l2.probe(addr)
+
+    def test_apply_plan_rejects_stranded_dirty(self, l2):
+        l2.access(0, is_write=True)  # dirty in bank 0 (gated by MB8)
+        with pytest.raises(PowerStateError):
+            l2.apply_plan(plan_for(PC16_MB8))
+
+    def test_apply_plan_force_overrides(self, l2):
+        l2.access(0, is_write=True)
+        l2.apply_plan(plan_for(PC16_MB8), force=True)
+        assert l2.plan.state == PC16_MB8
+
+    def test_apply_plan_clean_lines_ok(self, l2):
+        l2.access(0)  # clean
+        l2.apply_plan(plan_for(PC16_MB8))  # stale-clean is legal
+        assert l2.plan.state == PC16_MB8
+
+    def test_active_capacity(self, l2):
+        assert l2.active_capacity_bytes == 2 * 1024 * 1024
+        l2.prepare_power_state(plan_for(PC16_MB8))
+        assert l2.active_capacity_bytes == 512 * 1024
+
+    def test_mismatched_plan_rejected(self):
+        small = BankedL2(L2Config(n_banks=8))
+        with pytest.raises(ConfigurationError):
+            small.prepare_power_state(plan_for(PC16_MB8))
+
+
+class TestStats:
+    def test_total_stats_aggregates(self, l2):
+        l2.access(0)
+        l2.access(0)
+        l2.access(32)
+        stats = l2.total_stats()
+        assert stats.accesses == 3
+        assert stats.hits == 1
+        assert l2.resident_lines() == 2

@@ -1,0 +1,54 @@
+"""Tests of the bank interleaver."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mem.mapping import BankInterleaver
+
+
+@pytest.fixture
+def il() -> BankInterleaver:
+    return BankInterleaver(n_banks=32, line_bytes=32)
+
+
+class TestBankIndex:
+    def test_consecutive_lines_interleave(self, il):
+        assert il.bank_index(0) == 0
+        assert il.bank_index(32) == 1
+        assert il.bank_index(31 * 32) == 31
+        assert il.bank_index(32 * 32) == 0  # wraps
+
+    def test_within_line_constant(self, il):
+        assert il.bank_index(0x40) == il.bank_index(0x5F)
+
+    def test_negative_rejected(self, il):
+        with pytest.raises(ConfigurationError):
+            il.bank_index(-1)
+
+    def test_bank_bits(self, il):
+        assert il.bank_bits == 5
+        assert il.bank_offset_bits() == 5
+
+
+class TestStripRebuild:
+    def test_round_trip(self, il):
+        for addr in (0, 32, 0x1234, 0xDEADBEE0, 7 * 32 + 13):
+            bank = il.bank_index(addr)
+            within = il.strip_bank_bits(addr)
+            assert il.rebuild_address(within, bank) == addr
+
+    def test_same_bank_lines_become_consecutive(self, il):
+        # Lines 0 and 32 are consecutive lines of bank 0.
+        w0 = il.strip_bank_bits(0)
+        w1 = il.strip_bank_bits(32 * 32)
+        assert w1 - w0 == 32
+
+    def test_rebuild_validates_bank(self, il):
+        with pytest.raises(ConfigurationError):
+            il.rebuild_address(0, 32)
+
+    def test_bad_geometry(self):
+        with pytest.raises(ConfigurationError):
+            BankInterleaver(n_banks=12)
+        with pytest.raises(ConfigurationError):
+            BankInterleaver(line_bytes=24)

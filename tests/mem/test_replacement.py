@@ -1,0 +1,106 @@
+"""Tests of the replacement policies."""
+
+import pytest
+
+from repro.mem.replacement import (
+    FIFOPolicy,
+    LRUPolicy,
+    RandomPolicy,
+    TreePLRUPolicy,
+    make_policy,
+)
+
+
+class TestLRU:
+    def test_initial_order(self):
+        p = LRUPolicy(4)
+        assert p.victim([True] * 4) == 0
+
+    def test_touch_moves_to_mru(self):
+        p = LRUPolicy(4)
+        p.touch(0)
+        assert p.victim([True] * 4) == 1
+
+    def test_classic_sequence(self):
+        p = LRUPolicy(4)
+        for way in (2, 0, 3, 1):
+            p.touch(way)
+        # LRU order is now 2, 0, 3, 1.
+        assert p.recency_order == [2, 0, 3, 1]
+        assert p.victim([True] * 4) == 2
+
+    def test_insert_counts_as_use(self):
+        p = LRUPolicy(2)
+        p.insert(0)
+        assert p.victim([True] * 2) == 1
+
+    def test_way_out_of_range(self):
+        with pytest.raises(ValueError):
+            LRUPolicy(4).touch(4)
+
+
+class TestFIFO:
+    def test_hits_do_not_reorder(self):
+        p = FIFOPolicy(4)
+        p.touch(0)  # a hit
+        assert p.victim([True] * 4) == 0
+
+    def test_insert_moves_to_back(self):
+        p = FIFOPolicy(2)
+        p.insert(0)
+        assert p.victim([True] * 2) == 1
+
+
+class TestRandom:
+    def test_deterministic_with_seed(self):
+        a = RandomPolicy(8, seed=42)
+        b = RandomPolicy(8, seed=42)
+        seq_a = [a.victim([True] * 8) for _ in range(20)]
+        seq_b = [b.victim([True] * 8) for _ in range(20)]
+        assert seq_a == seq_b
+
+    def test_victims_in_range(self):
+        p = RandomPolicy(4, seed=1)
+        assert all(0 <= p.victim([True] * 4) < 4 for _ in range(50))
+
+
+class TestTreePLRU:
+    def test_untouched_tree_picks_way0(self):
+        assert TreePLRUPolicy(4).victim([True] * 4) == 0
+
+    def test_points_away_from_recent(self):
+        p = TreePLRUPolicy(4)
+        p.touch(0)
+        v = p.victim([True] * 4)
+        assert v >= 2  # other half of the tree
+
+    def test_full_rotation(self):
+        p = TreePLRUPolicy(4)
+        seen = set()
+        for _ in range(4):
+            v = p.victim([True] * 4)
+            seen.add(v)
+            p.touch(v)
+        assert seen == {0, 1, 2, 3}
+
+    def test_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            TreePLRUPolicy(6)
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name,cls", [
+        ("lru", LRUPolicy),
+        ("fifo", FIFOPolicy),
+        ("random", RandomPolicy),
+        ("plru", TreePLRUPolicy),
+    ])
+    def test_known_names(self, name, cls):
+        assert isinstance(make_policy(name, 4), cls)
+
+    def test_case_insensitive(self):
+        assert isinstance(make_policy("LRU", 4), LRUPolicy)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            make_policy("mru", 4)

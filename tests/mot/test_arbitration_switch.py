@@ -1,0 +1,85 @@
+"""Tests of the round-robin arbitration switch (paper Fig 2c)."""
+
+import pytest
+
+from repro.errors import ArbitrationError
+from repro.mot.arbitration_switch import ArbitrationSwitch
+from repro.mot.signals import Request
+
+
+def req(core: int) -> Request:
+    return Request(core_id=core, bank_index=0)
+
+
+class TestSingleRequest:
+    def test_lone_request_wins(self):
+        sw = ArbitrationSwitch("a")
+        port, granted = sw.arbitrate([req(0), None])
+        assert port == 0
+        assert granted.core_id == 0
+
+    def test_lone_request_on_port1(self):
+        sw = ArbitrationSwitch("a")
+        port, _ = sw.arbitrate([None, req(1)])
+        assert port == 1
+
+    def test_no_requests_rejected(self):
+        sw = ArbitrationSwitch("a")
+        with pytest.raises(ArbitrationError):
+            sw.arbitrate([None, None])
+
+    def test_wrong_arity_rejected(self):
+        sw = ArbitrationSwitch("a")
+        with pytest.raises(ArbitrationError):
+            sw.arbitrate([req(0)])
+
+
+class TestRoundRobin:
+    def test_priority_alternates_under_conflict(self):
+        """Starvation-free: the loser of a conflict wins the next one."""
+        sw = ArbitrationSwitch("a")
+        winners = []
+        for _ in range(6):
+            port, _ = sw.arbitrate([req(0), req(1)])
+            winners.append(port)
+            sw.complete()
+        assert winners == [0, 1, 0, 1, 0, 1]
+
+    def test_lone_grant_also_rotates_priority(self):
+        # After port 0 is served, port 1 has priority on the next clash.
+        sw = ArbitrationSwitch("a")
+        sw.arbitrate([req(0), None])
+        sw.complete()
+        port, _ = sw.arbitrate([req(0), req(1)])
+        assert port == 1
+        sw.complete()
+
+    def test_conflicts_counted(self):
+        sw = ArbitrationSwitch("a")
+        sw.arbitrate([req(0), req(1)])
+        sw.complete()
+        sw.arbitrate([req(0), None])
+        sw.complete()
+        assert sw.stats.conflicts == 1
+        assert sw.stats.requests == 2
+
+
+class TestCircuitHolding:
+    def test_busy_until_completion(self):
+        sw = ArbitrationSwitch("a")
+        sw.arbitrate([req(0), None])
+        assert sw.busy
+        assert sw.granted_port == 0
+        sw.complete()
+        assert not sw.busy
+        assert sw.granted_port is None
+
+    def test_arbitrating_while_held_rejected(self):
+        sw = ArbitrationSwitch("a")
+        sw.arbitrate([req(0), None])
+        with pytest.raises(ArbitrationError):
+            sw.arbitrate([None, req(1)])
+
+    def test_completing_idle_circuit_rejected(self):
+        with pytest.raises(ArbitrationError):
+            ArbitrationSwitch("a").complete()

@@ -1,0 +1,76 @@
+"""Tests of the area models."""
+
+import pytest
+
+from repro.mot.area import (
+    MoTAreaModel,
+    NoCAreaModel,
+    compare_fabric_areas,
+)
+from repro.mot.power_state import FULL_CONNECTION, PC16_MB8, PC4_MB8
+
+
+class TestMoTArea:
+    def test_components_positive(self):
+        report = MoTAreaModel().total_area()
+        assert report.switches_m2 > 0
+        assert report.repeaters_m2 > 0
+        assert report.tsv_m2 > 0
+        assert report.total_m2 == pytest.approx(
+            report.switches_m2 + report.repeaters_m2 + report.tsv_m2
+        )
+
+    def test_switch_population(self):
+        model = MoTAreaModel(16, 32)
+        assert model.n_switches == 16 * 31 + 32 * 15
+
+    def test_area_is_state_independent(self):
+        # Gating reclaims power, not silicon.
+        model = MoTAreaModel()
+        assert model.total_area().total_m2 == model.total_area().total_m2
+
+    def test_powered_fraction_shrinks_with_gating(self):
+        model = MoTAreaModel()
+        assert model.powered_fraction(FULL_CONNECTION) == pytest.approx(1.0)
+        frac_mb8 = model.powered_fraction(PC16_MB8)
+        frac_small = model.powered_fraction(PC4_MB8)
+        assert frac_small < frac_mb8 < 1.0
+
+    def test_fabric_fits_on_die(self):
+        # MoT logic + repeaters + TSV bumps stay well under the
+        # 25 mm^2 die (the TSV bumps dominate: 32 buses x 96 bits at
+        # the 40x50 um pitch of [14]).
+        report = MoTAreaModel().total_area()
+        assert report.total_mm2 < 0.4 * 25.0
+        assert report.tsv_m2 > report.switches_m2  # bump-pitch limited
+
+
+class TestComparison:
+    def test_mot_logic_far_below_routered_nocs(self):
+        """A router bit-slice is ~50x a MUX/DEMUX bit-slice; even with
+        20x more switches than routers, the MoT's logic stays under the
+        routered fabrics' totals."""
+        areas = compare_fabric_areas()
+        mot_logic = areas["3-D MoT"].switches_m2 + areas["3-D MoT"].repeaters_m2
+        assert mot_logic < areas["True 3-D Mesh"].switches_m2
+        assert mot_logic < areas["3-D Hybrid Bus-Mesh"].switches_m2
+
+    def test_mot_spends_more_tsv_area(self):
+        """Per-bank TSV buses vs shared pillars: the MoT's trade."""
+        areas = compare_fabric_areas()
+        assert areas["3-D MoT"].tsv_m2 > areas["3-D Hybrid Bus-Mesh"].tsv_m2
+
+    def test_bus_tree_smallest_noc(self):
+        areas = compare_fabric_areas()
+        assert (
+            areas["3-D Hybrid Bus-Tree"].total_m2
+            < areas["True 3-D Mesh"].total_m2
+        )
+
+    def test_noc_area_includes_vertical_buses(self):
+        bare = NoCAreaModel(n_routers=48).total_area()
+        with_buses = NoCAreaModel(
+            n_routers=48, n_vertical_buses=16
+        ).total_area()
+        assert bare.tsv_m2 == 0.0
+        assert with_buses.tsv_m2 > 0.0

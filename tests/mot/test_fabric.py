@@ -1,0 +1,127 @@
+"""Tests of the full MoT fabric and its cycle-stepped simulator."""
+
+import pytest
+
+from repro.errors import PowerStateError, RoutingError
+from repro.mot.fabric import FabricSimulator, MoTFabric
+from repro.mot.power_state import FULL_CONNECTION, PC16_MB8, PowerState
+
+
+class TestConstruction:
+    def test_switch_population(self, paper_fabric):
+        # n*(m-1) routing and m*(n-1) arbitration switches.
+        assert paper_fabric.total_routing_switches == 16 * 31
+        assert paper_fabric.total_arbitration_switches == 32 * 15
+
+    def test_starts_at_full_connection(self, paper_fabric):
+        assert paper_fabric.power_state.is_full
+        assert paper_fabric.active_routing_switches() == 496
+        assert paper_fabric.active_arbitration_switches() == 480
+
+    def test_path_switch_count(self, paper_fabric, small_fabric):
+        assert paper_fabric.path_switch_count() == 5 + 4
+        assert small_fabric.path_switch_count() == 3 + 2
+
+
+class TestFunctionalRouting:
+    def test_identity_at_full_connection(self, paper_fabric):
+        for core in (0, 7, 15):
+            for bank in (0, 13, 31):
+                assert paper_fabric.resolve_bank(core, bank) == bank
+
+    def test_fig4_folding(self, small_fabric, fig4_state):
+        small_fabric.apply_power_state(fig4_state)
+        assert small_fabric.resolve_bank(0, 0) == 2
+        assert small_fabric.resolve_bank(1, 1) == 3
+        assert small_fabric.resolve_bank(2, 6) == 4
+        assert small_fabric.resolve_bank(3, 7) == 5
+
+    def test_walk_agrees_with_plan_remap(self, paper_fabric):
+        plan = paper_fabric.apply_power_state(PC16_MB8)
+        for core in PC16_MB8.active_cores:
+            for bank in range(32):
+                assert paper_fabric.resolve_bank(core, bank) == plan.remap[bank]
+
+    def test_gated_core_cannot_issue(self, paper_fabric):
+        state = PowerState.from_counts("PC4-MB32", 4, 32)
+        paper_fabric.apply_power_state(state)
+        gated_core = next(iter(state.gated_cores))
+        with pytest.raises(RoutingError):
+            paper_fabric.resolve_bank(gated_core, 0)
+
+    def test_routing_path_has_tree_depth(self, paper_fabric):
+        path = paper_fabric.routing_path(0, 21)
+        assert len(path) == 5
+        assert all(not sw.is_gated for sw in path)
+
+    def test_arbitration_path_has_tree_depth(self, paper_fabric):
+        path = paper_fabric.arbitration_path(3, 17)
+        assert len(path) == 4
+
+    def test_arbitration_path_through_gated_switch_rejected(self, paper_fabric):
+        paper_fabric.apply_power_state(PC16_MB8)
+        gated_bank = next(iter(PC16_MB8.gated_banks))
+        with pytest.raises(RoutingError):
+            paper_fabric.arbitration_path(0, gated_bank)
+
+
+class TestPowerAccounting:
+    def test_gating_shrinks_populations(self, paper_fabric):
+        full_rs = paper_fabric.active_routing_switches()
+        full_as = paper_fabric.active_arbitration_switches()
+        full_wire = paper_fabric.active_link_length_m()
+        paper_fabric.apply_power_state(PC16_MB8)
+        assert paper_fabric.active_routing_switches() < full_rs
+        assert paper_fabric.active_arbitration_switches() < full_as
+        assert paper_fabric.active_link_length_m() < full_wire
+
+    def test_full_wire_matches_total(self, paper_fabric):
+        assert paper_fabric.active_link_length_m() == pytest.approx(
+            paper_fabric.total_link_length_m()
+        )
+
+    def test_tsv_buses_track_active_banks(self, paper_fabric):
+        assert paper_fabric.active_tsv_buses() == 32
+        paper_fabric.apply_power_state(PC16_MB8)
+        assert paper_fabric.active_tsv_buses() == 8
+
+    def test_mismatched_state_rejected(self, small_fabric):
+        with pytest.raises(PowerStateError):
+            small_fabric.apply_power_state(FULL_CONNECTION)  # 16x32 state
+
+
+class TestFabricSimulator:
+    def test_disjoint_banks_all_granted(self, small_fabric):
+        sim = FabricSimulator(small_fabric)
+        results = sim.step({0: 0, 1: 1, 2: 2, 3: 3})
+        assert all(r.granted for r in results)
+        assert sim.total_grants == 4
+
+    def test_same_bank_conflict_grants_one(self, small_fabric):
+        sim = FabricSimulator(small_fabric)
+        results = sim.step({0: 5, 1: 5, 2: 5, 3: 5})
+        granted = [r for r in results if r.granted]
+        assert len(granted) == 1
+        assert sim.total_stalls == 3
+
+    def test_round_robin_rotates_winner(self, small_fabric):
+        sim = FabricSimulator(small_fabric)
+        winners = []
+        for _ in range(4):
+            results = sim.step({0: 5, 1: 5})
+            winners.append(next(r.core for r in results if r.granted))
+        assert winners == [0, 1, 0, 1]
+
+    def test_requests_fold_under_power_gating(self, small_fabric, fig4_state):
+        small_fabric.apply_power_state(fig4_state)
+        sim = FabricSimulator(small_fabric)
+        # Logical banks 0 and 2 both fold onto physical bank 2: conflict.
+        results = sim.step({0: 0, 1: 2})
+        assert {r.physical_bank for r in results} == {2}
+        assert sum(r.granted for r in results) == 1
+
+    def test_cycle_counter_advances(self, small_fabric):
+        sim = FabricSimulator(small_fabric)
+        sim.step({0: 0})
+        sim.step({0: 1})
+        assert sim.cycle == 2

@@ -1,0 +1,119 @@
+"""Tests of the runtime power-gating protocol (Section III)."""
+
+import pytest
+
+from repro.errors import PowerStateError
+from repro.mem.l2 import BankedL2, L2Config
+from repro.mot.fabric import MoTFabric
+from repro.mot.gating import PowerGatingController
+from repro.mot.power_state import FULL_CONNECTION, PC16_MB8, PC4_MB8
+from repro.mot.signals import Request
+
+
+@pytest.fixture
+def system():
+    fabric = MoTFabric(16, 32)
+    l2 = BankedL2(L2Config())
+    controller = PowerGatingController(fabric, l2)
+    return fabric, l2, controller
+
+
+def warm(l2: BankedL2, lines: int = 2048, dirty: bool = True) -> None:
+    for i in range(lines):
+        l2.access(0x2000_0000 + i * 32, is_write=dirty)
+
+
+class TestTransitions:
+    def test_gating_writes_back_dirty_lines(self, system):
+        fabric, l2, controller = system
+        warm(l2, dirty=True)
+        report = controller.transition(PC16_MB8)
+        # 24 of 32 banks gated; lines were spread over all banks.
+        assert report.lines_written_back > 0
+        assert report.banks_gated == 24
+        assert report.cores_gated == 0
+        assert fabric.power_state == PC16_MB8
+
+    def test_clean_lines_invalidated_not_written(self, system):
+        _fabric, l2, controller = system
+        warm(l2, dirty=False)
+        report = controller.transition(PC16_MB8)
+        assert report.lines_written_back == 0
+        assert report.lines_invalidated > 0
+
+    def test_transition_cycles_charged(self, system):
+        _fabric, l2, controller = system
+        warm(l2, dirty=True)
+        report = controller.transition(PC16_MB8)
+        expected = (
+            controller.reconfiguration_cycles
+            + report.lines_written_back * controller.writeback_cycles_per_line
+        )
+        assert report.transition_cycles == expected
+
+    def test_no_l2_still_reconfigures(self):
+        fabric = MoTFabric(16, 32)
+        controller = PowerGatingController(fabric, l2=None)
+        report = controller.transition(PC4_MB8)
+        assert report.lines_written_back == 0
+        assert fabric.power_state == PC4_MB8
+
+    def test_round_trip_restores_full(self, system):
+        fabric, l2, controller = system
+        warm(l2, dirty=True)
+        controller.transition(PC16_MB8)
+        warm(l2, dirty=True)  # dirty data in the folded configuration
+        report = controller.transition(FULL_CONNECTION)
+        # Folded lines whose home moves back must be written out.
+        assert report.lines_written_back > 0
+        assert report.banks_enabled == 24
+        assert fabric.power_state.is_full
+
+    def test_history_accumulates(self, system):
+        _fabric, l2, controller = system
+        controller.transition(PC16_MB8)
+        controller.transition(FULL_CONNECTION)
+        assert len(controller.history) == 2
+        assert controller.total_transition_cycles >= 2 * 100
+
+
+class TestSafety:
+    def test_refuses_while_circuit_held(self, system):
+        fabric, _l2, controller = system
+        # Hold a circuit on one routing switch.
+        switch = fabric.routing_trees[0].switch_at(0, 0)
+        switch.route(Request(core_id=0, bank_index=0))
+        with pytest.raises(PowerStateError):
+            controller.transition(PC16_MB8)
+        switch.complete()
+        controller.transition(PC16_MB8)  # drained -> fine
+
+    def test_negative_costs_rejected(self):
+        fabric = MoTFabric(4, 8)
+        with pytest.raises(PowerStateError):
+            PowerGatingController(fabric, writeback_cycles_per_line=-1)
+
+
+class TestCorrectnessAcrossTransitions:
+    def test_no_dirty_line_stranded(self, system):
+        """After any transition, every dirty line is reachable."""
+        fabric, l2, controller = system
+        warm(l2, dirty=True)
+        for state in (PC16_MB8, PC4_MB8, FULL_CONNECTION):
+            controller.transition(state)
+            for bank_id, bank in enumerate(l2.banks):
+                for addr in bank.dirty_lines():
+                    assert l2.physical_bank(addr) == bank_id, (
+                        f"dirty line {addr:#x} stranded in bank {bank_id} "
+                        f"after {state.name}"
+                    )
+
+    def test_data_refills_into_remapped_bank(self, system):
+        fabric, l2, controller = system
+        addr = 0x2000_0000  # logical bank 0
+        l2.access(addr, is_write=True)
+        controller.transition(PC16_MB8)
+        outcome = l2.access(addr)
+        assert not outcome.hit  # was flushed with its gated bank
+        assert outcome.physical_bank in PC16_MB8.active_banks
+        assert l2.probe(addr)  # now resident in the folded bank

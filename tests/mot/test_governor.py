@@ -1,0 +1,124 @@
+"""Tests of the adaptive power-state governor."""
+
+import pytest
+
+from repro.errors import PowerStateError
+from repro.mot.governor import GovernorPolicy, PowerStateGovernor
+from repro.mot.power_state import (
+    FULL_CONNECTION,
+    PC16_MB8,
+    PC4_MB32,
+    PC4_MB8,
+)
+from repro.sim.stats import CoreStats, SimReport
+from repro.workloads.characteristics import (
+    GOOD_SCALABILITY,
+    LARGE_WORKING_SET,
+    SMALL_WORKING_SET,
+    LIMITED_SCALABILITY,
+    SPLASH2_PROFILES,
+)
+
+
+@pytest.fixture
+def governor() -> PowerStateGovernor:
+    return PowerStateGovernor()
+
+
+def report_with(idle_fraction: float, l2_miss_rate: float, l2_misses: int) -> SimReport:
+    total = 1_000_000
+    idle = int(total * idle_fraction)
+    return SimReport(
+        workload_name="w",
+        interconnect_name="3-D MoT",
+        power_state_name="Full connection",
+        n_active_cores=16,
+        n_active_banks=32,
+        dram_name="d",
+        execution_cycles=total,
+        cores=[CoreStats(0, busy_cycles=total - idle, barrier_cycles=idle)],
+        l2_accesses=int(l2_misses / max(l2_miss_rate, 1e-9)),
+        l2_misses=l2_misses,
+    )
+
+
+class TestProfileSelection:
+    def test_scalable_small_ws_gets_pc16_mb8(self, governor):
+        # fmm / water: scale well, fit 512 KB.
+        for name in set(GOOD_SCALABILITY) & set(SMALL_WORKING_SET):
+            state = governor.select_for_profile(SPLASH2_PROFILES[name])
+            assert state == PC16_MB8, name
+
+    def test_scalable_large_ws_gets_full(self, governor):
+        # radix / ocean: need all cores AND all banks.
+        for name in set(GOOD_SCALABILITY) & set(LARGE_WORKING_SET):
+            state = governor.select_for_profile(SPLASH2_PROFILES[name])
+            assert state == FULL_CONNECTION, name
+
+    def test_limited_small_ws_gets_pc4_mb8(self, governor):
+        for name in set(LIMITED_SCALABILITY) & set(SMALL_WORKING_SET):
+            state = governor.select_for_profile(SPLASH2_PROFILES[name])
+            assert state == PC4_MB8, name
+
+    def test_limited_large_ws_gets_pc4_mb32(self, governor):
+        # cholesky: poor scaling, big working set.
+        state = governor.select_for_profile(SPLASH2_PROFILES["cholesky"])
+        assert state == PC4_MB32
+
+
+class TestCounterSelection:
+    def test_busy_cache_hungry_epoch_keeps_everything(self, governor):
+        report = report_with(idle_fraction=0.2, l2_miss_rate=0.5, l2_misses=50_000)
+        assert governor.select_from_counters(report) == FULL_CONNECTION
+
+    def test_busy_small_footprint_gates_banks(self, governor):
+        report = report_with(idle_fraction=0.2, l2_miss_rate=0.05, l2_misses=4_000)
+        assert governor.select_from_counters(report) == PC16_MB8
+
+    def test_idle_small_footprint_gates_both(self, governor):
+        report = report_with(idle_fraction=0.9, l2_miss_rate=0.05, l2_misses=4_000)
+        assert governor.select_from_counters(report) == PC4_MB8
+
+    def test_idle_cache_hungry_gates_cores_only(self, governor):
+        report = report_with(idle_fraction=0.9, l2_miss_rate=0.5, l2_misses=50_000)
+        assert governor.select_from_counters(report) == PC4_MB32
+
+
+class TestSwitchingEconomics:
+    def test_clear_win_switches(self, governor):
+        assert governor.worth_switching(
+            current_edp_rate=2.0,
+            candidate_edp_rate=1.0,
+            transition_cycles=1_000,
+            epoch_cycles=1_000_000,
+        )
+
+    def test_short_epoch_does_not_amortize(self, governor):
+        assert not governor.worth_switching(
+            current_edp_rate=2.0,
+            candidate_edp_rate=1.9,
+            transition_cycles=100_000,
+            epoch_cycles=1_000,
+        )
+
+    def test_zero_epoch_never_switches(self, governor):
+        assert not governor.worth_switching(1.0, 0.1, 0, 0)
+
+
+class TestValidation:
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(PowerStateError):
+            PowerStateGovernor(candidates=())
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(PowerStateError):
+            GovernorPolicy(parallel_fraction_cutoff=1.5)
+
+    def test_fallback_when_nothing_fits(self):
+        # Only tiny-bank candidates but an enormous working set: the
+        # governor still returns the most capacious option.
+        gov = PowerStateGovernor(candidates=(PC4_MB8, PC16_MB8))
+        profile = SPLASH2_PROFILES["ocean_contiguous"]
+        state = gov.select_for_profile(profile)
+        assert state in (PC4_MB8, PC16_MB8)
+        assert state.n_active_banks == 8

@@ -1,0 +1,87 @@
+"""Tests of the MoT latency model — the Table I reproduction.
+
+These are the tightest numbers in the whole reproduction: the derived
+L2 hit latencies must equal the paper's 12 / 9 / 9 / 7 cycles exactly.
+"""
+
+import pytest
+
+from repro import units as u
+from repro.mot.latency import MoTLatencyModel
+from repro.mot.power_state import (
+    FULL_CONNECTION,
+    PC16_MB8,
+    PC4_MB32,
+    PC4_MB8,
+)
+
+
+@pytest.fixture
+def model() -> MoTLatencyModel:
+    return MoTLatencyModel()
+
+
+class TestTableI:
+    """The paper's Table I latency column."""
+
+    def test_full_connection_12_cycles(self, model):
+        assert model.hit_latency_cycles(FULL_CONNECTION) == 12
+
+    def test_pc16_mb8_9_cycles(self, model):
+        assert model.hit_latency_cycles(PC16_MB8) == 9
+
+    def test_pc4_mb32_9_cycles(self, model):
+        assert model.hit_latency_cycles(PC4_MB32) == 9
+
+    def test_pc4_mb8_7_cycles(self, model):
+        assert model.hit_latency_cycles(PC4_MB8) == 7
+
+
+class TestBreakdown:
+    def test_components_sum(self, model):
+        b = model.breakdown(FULL_CONNECTION)
+        assert b.total_s == pytest.approx(
+            b.bank_s + b.tsv_s + b.switch_s + b.wire_s
+        )
+
+    def test_bank_component_is_cacti_point(self, model):
+        b = model.breakdown(FULL_CONNECTION)
+        assert b.bank_s == pytest.approx(0.70 * u.NS, rel=1e-6)
+
+    def test_wire_shrinks_with_gating(self, model):
+        full = model.breakdown(FULL_CONNECTION)
+        small = model.breakdown(PC4_MB8)
+        # Fig 5: "a wide disparity of wire lengths between the two
+        # power states".
+        assert small.wire_s < full.wire_s
+        assert small.switch_s < full.switch_s
+
+    def test_decision_levels(self, model):
+        assert model.decision_levels(FULL_CONNECTION) == 9
+        assert model.decision_levels(PC16_MB8) == 7
+        assert model.decision_levels(PC4_MB32) == 7
+        assert model.decision_levels(PC4_MB8) == 5
+
+    def test_str_renders_cycles(self, model):
+        text = str(model.breakdown(FULL_CONNECTION))
+        assert text.startswith("12 cycles")
+
+
+class TestMonotonicity:
+    def test_latency_never_increases_with_gating(self, model):
+        full = model.hit_latency_cycles(FULL_CONNECTION)
+        for state in (PC16_MB8, PC4_MB32, PC4_MB8):
+            assert model.hit_latency_cycles(state) < full
+
+    def test_combined_gating_fastest(self, model):
+        assert model.hit_latency_cycles(PC4_MB8) < model.hit_latency_cycles(
+            PC16_MB8
+        )
+
+    def test_wire_figure_of_merit(self, model):
+        # Low-power insertion lands near 0.5 ns/mm (DESIGN.md sec. 5).
+        assert model.wire_delay_ns_per_mm() == pytest.approx(0.497, abs=0.01)
+
+    def test_faster_clock_needs_more_cycles(self):
+        fast = MoTLatencyModel(frequency_hz=2e9)
+        assert fast.hit_latency_cycles(FULL_CONNECTION) > 12

@@ -1,0 +1,63 @@
+"""Tests of the MoT energy/leakage model."""
+
+import pytest
+
+from repro.mot.fabric import MoTFabric
+from repro.mot.power import MoTPowerModel
+from repro.mot.power_state import (
+    FULL_CONNECTION,
+    PC16_MB8,
+    PC4_MB32,
+    PC4_MB8,
+)
+
+
+@pytest.fixture
+def model() -> MoTPowerModel:
+    return MoTPowerModel()
+
+
+class TestAccessEnergy:
+    def test_positive(self, model, paper_state):
+        assert model.access_energy_j(paper_state) > 0
+
+    def test_gating_reduces_access_energy(self, model):
+        # Shorter wires -> less switched capacitance per access.
+        full = model.access_energy_j(FULL_CONNECTION)
+        assert model.access_energy_j(PC4_MB8) < full
+        assert model.access_energy_j(PC16_MB8) < full
+
+    def test_path_switch_count_constant(self, model):
+        # The physical path always crosses all tree levels.
+        assert model.path_switch_count() == 9
+
+    def test_wire_length_halved_span(self, model):
+        assert model.path_wire_length_m(FULL_CONNECTION) == pytest.approx(
+            5e-3, rel=1e-6
+        )
+
+
+class TestLeakage:
+    def test_gating_reduces_leakage(self, model):
+        full = model.leakage_w(FULL_CONNECTION)
+        for state in (PC16_MB8, PC4_MB32, PC4_MB8):
+            assert model.leakage_w(state) < full
+
+    def test_pc4_mb8_leaks_least(self, model):
+        states = (FULL_CONNECTION, PC16_MB8, PC4_MB32, PC4_MB8)
+        leaks = {s.name: model.leakage_w(s) for s in states}
+        assert min(leaks, key=leaks.get) == "PC4-MB8"
+
+    def test_live_fabric_agrees_with_fresh_fabric(self, model, paper_fabric):
+        paper_fabric.apply_power_state(PC16_MB8)
+        live = model.leakage_w(PC16_MB8, paper_fabric)
+        fresh = model.leakage_w(PC16_MB8)
+        assert live == pytest.approx(fresh)
+
+    def test_report_bundles_populations(self, model):
+        report = model.report(PC16_MB8)
+        assert report.active_routing_switches == 176
+        assert report.active_arbitration_switches == 120
+        assert report.leakage_w > 0
+        assert report.access_energy_j > 0
+        assert report.active_link_length_m > 0

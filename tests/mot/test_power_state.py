@@ -1,0 +1,94 @@
+"""Tests of power-state definitions (Table I, Section III)."""
+
+import pytest
+
+from repro.errors import PowerStateError
+from repro.mot.power_state import (
+    FULL_CONNECTION,
+    PAPER_POWER_STATES,
+    PC16_MB8,
+    PC4_MB32,
+    PC4_MB8,
+    PowerState,
+    centered_block,
+    power_state_by_name,
+)
+
+
+class TestPaperStates:
+    def test_four_states(self):
+        assert len(PAPER_POWER_STATES) == 4
+
+    def test_dimensions(self):
+        assert (FULL_CONNECTION.n_active_cores, FULL_CONNECTION.n_active_banks) == (16, 32)
+        assert (PC16_MB8.n_active_cores, PC16_MB8.n_active_banks) == (16, 8)
+        assert (PC4_MB32.n_active_cores, PC4_MB32.n_active_banks) == (4, 32)
+        assert (PC4_MB8.n_active_cores, PC4_MB8.n_active_banks) == (4, 8)
+
+    def test_full_is_full(self):
+        assert FULL_CONNECTION.is_full
+        assert not PC16_MB8.is_full
+
+    def test_gated_sets_complement_active(self):
+        for state in PAPER_POWER_STATES:
+            assert state.active_banks | state.gated_banks == set(range(32))
+            assert not state.active_banks & state.gated_banks
+
+    def test_active_capacity(self):
+        assert PC16_MB8.active_capacity_bytes(64 * 1024) == 512 * 1024
+        assert FULL_CONNECTION.active_capacity_bytes(64 * 1024) == 2 * 1024 * 1024
+
+    def test_lookup_by_name(self):
+        assert power_state_by_name("pc4-mb8") is PC4_MB8
+        with pytest.raises(PowerStateError):
+            power_state_by_name("PC2-MB1")
+
+
+class TestCenteredBlock:
+    def test_full_block(self):
+        assert centered_block(32, 32) == frozenset(range(32))
+
+    def test_quarter_is_centered(self):
+        # 8 of 32: ids 12..19, hugging the die center.
+        assert centered_block(8, 32) == frozenset(range(12, 20))
+
+    def test_fig4_banks(self):
+        # Fig 4: M0, M1, M6, M7 off -> M2..M5 on.
+        assert centered_block(4, 8) == frozenset({2, 3, 4, 5})
+
+    def test_bad_counts(self):
+        with pytest.raises(PowerStateError):
+            centered_block(0, 8)
+        with pytest.raises(PowerStateError):
+            centered_block(9, 8)
+
+
+class TestValidation:
+    def test_non_power_of_two_active_rejected(self):
+        with pytest.raises(PowerStateError):
+            PowerState(
+                "bad", 16, 32,
+                active_cores=frozenset({0, 1, 2}),
+                active_banks=frozenset(range(32)),
+            )
+
+    def test_out_of_range_ids_rejected(self):
+        with pytest.raises(PowerStateError):
+            PowerState(
+                "bad", 16, 32,
+                active_cores=frozenset({99}),
+                active_banks=frozenset(range(32)),
+            )
+
+    def test_empty_active_rejected(self):
+        with pytest.raises(PowerStateError):
+            PowerState(
+                "bad", 16, 32,
+                active_cores=frozenset(),
+                active_banks=frozenset(range(32)),
+            )
+
+    def test_str_is_informative(self):
+        text = str(PC16_MB8)
+        assert "PC16-MB8" in text
+        assert "8/32" in text

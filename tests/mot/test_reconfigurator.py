@@ -1,0 +1,152 @@
+"""Tests of reconfiguration planning: modes, remapping, arbitration
+gating (paper Section III, Fig 4)."""
+
+import pytest
+
+from repro.errors import PowerStateError
+from repro.mot.power_state import PC16_MB8, PowerState
+from repro.mot.reconfigurator import (
+    compute_remap_table,
+    compute_routing_modes,
+    plan_reconfiguration,
+    remap_bank,
+)
+from repro.mot.signals import RoutingMode
+
+
+class TestFig4Example:
+    """The paper's worked example: 8 banks, M0/M1/M6/M7 gated."""
+
+    ACTIVE = frozenset({2, 3, 4, 5})
+
+    def test_modes(self):
+        modes = compute_routing_modes(8, self.ACTIVE)
+        # Root sees active banks on both sides: conventional.
+        assert modes[(0, 0)] is RoutingMode.CONVENTIONAL
+        # "The routing switches at the second level of the routing tree
+        # run on the user-defined mode."
+        assert modes[(1, 0)] is RoutingMode.FORCE_1
+        assert modes[(1, 1)] is RoutingMode.FORCE_0
+        # Third level: subtrees over M2..M5 conventional, others gated.
+        assert modes[(2, 1)] is RoutingMode.CONVENTIONAL
+        assert modes[(2, 2)] is RoutingMode.CONVENTIONAL
+        assert modes[(2, 0)] is RoutingMode.GATED
+        assert modes[(2, 3)] is RoutingMode.GATED
+
+    def test_remap_matches_paper(self):
+        # "The cache data for M0 ... will be stored at M2 ... M1 at M3
+        # ... M6 at M4 and M7 at M5."
+        remap = compute_remap_table(8, self.ACTIVE)
+        assert remap[0] == 2
+        assert remap[1] == 3
+        assert remap[6] == 4
+        assert remap[7] == 5
+        # Active banks keep serving themselves.
+        for bank in self.ACTIVE:
+            assert remap[bank] == bank
+
+    def test_even_distribution(self):
+        remap = compute_remap_table(8, self.ACTIVE)
+        counts = {b: remap.count(b) for b in set(remap)}
+        assert set(counts) == self.ACTIVE
+        assert all(c == 2 for c in counts.values())
+
+    def test_user_defined_levels(self):
+        state = PowerState.from_counts("Fig4", 4, 4, 4, 8)
+        plan = plan_reconfiguration(state)
+        assert plan.user_defined_levels == {1}
+        assert plan.fold_factor == 2
+
+
+class TestPaperScaleRemap:
+    def test_pc16_mb8_folds_four_to_one(self):
+        plan = plan_reconfiguration(PC16_MB8)
+        assert plan.fold_factor == 4
+        counts = {}
+        for phys in plan.remap:
+            counts[phys] = counts.get(phys, 0) + 1
+        assert set(counts) == set(PC16_MB8.active_banks)
+        assert all(c == 4 for c in counts.values())
+
+    def test_remap_targets_only_active_banks(self):
+        plan = plan_reconfiguration(PC16_MB8)
+        assert set(plan.remap) <= set(PC16_MB8.active_banks)
+
+    def test_full_connection_is_identity(self):
+        state = PowerState.from_counts("Full", 16, 32)
+        plan = plan_reconfiguration(state)
+        assert list(plan.remap) == list(range(32))
+        assert plan.user_defined_levels == frozenset()
+        assert plan.fold_factor == 1
+
+    def test_remapped_bank_accessor(self):
+        plan = plan_reconfiguration(PC16_MB8)
+        for logical in range(32):
+            assert plan.remapped_bank(logical) == plan.remap[logical]
+
+
+class TestModeComputation:
+    def test_gated_subtree_never_reached(self):
+        modes = compute_routing_modes(8, frozenset({2, 3, 4, 5}))
+        for bank in range(8):
+            # Walking any logical bank must never hit a gated switch.
+            assert remap_bank(bank, 8, modes) in {2, 3, 4, 5}
+
+    def test_single_active_bank(self):
+        modes = compute_routing_modes(8, frozenset({5}))
+        assert all(
+            remap_bank(b, 8, modes) == 5 for b in range(8)
+        )
+
+    def test_all_gated_root_raises_on_walk(self):
+        modes = compute_routing_modes(8, frozenset())
+        assert modes[(0, 0)] is RoutingMode.GATED
+        with pytest.raises(PowerStateError):
+            remap_bank(0, 8, modes)
+
+
+class TestArbitrationGating:
+    def test_gated_bank_loses_whole_tree(self):
+        plan = plan_reconfiguration(PC16_MB8)
+        gated_bank = next(iter(PC16_MB8.gated_banks))
+        assert len(plan.gated_arb[gated_bank]) == 15  # all n_cores - 1
+
+    def test_active_bank_with_all_cores_keeps_tree(self):
+        plan = plan_reconfiguration(PC16_MB8)
+        active_bank = next(iter(PC16_MB8.active_banks))
+        assert len(plan.gated_arb[active_bank]) == 0
+
+    def test_pc4_prunes_core_subtrees(self):
+        state = PowerState.from_counts("PC4-MB32", 4, 32)
+        plan = plan_reconfiguration(state)
+        active_bank = next(iter(state.active_banks))
+        gated = plan.gated_arb[active_bank]
+        # Active cores {6..9} span two leaf pairs and their ancestors;
+        # everything merging only cores outside 6..9 is gated.
+        assert len(gated) > 0
+        for level, pos in gated:
+            width = 16 >> level
+            lo = pos * width
+            assert not (set(range(lo, lo + width)) & state.active_cores)
+
+
+class TestUnevenFoldingRejected:
+    def test_non_foldable_active_set(self):
+        # {0, 1, 2, 5} cannot fold index bits evenly.
+        state = PowerState(
+            "odd", 4, 8,
+            active_cores=frozenset(range(4)),
+            active_banks=frozenset({0, 1, 2, 5}),
+        )
+        with pytest.raises(PowerStateError):
+            plan_reconfiguration(state)
+
+    def test_aligned_non_centered_block_accepted(self):
+        state = PowerState(
+            "low-half", 4, 8,
+            active_cores=frozenset(range(4)),
+            active_banks=frozenset({0, 1, 2, 3}),
+        )
+        plan = plan_reconfiguration(state)
+        assert plan.fold_factor == 2
+        assert set(plan.remap) == {0, 1, 2, 3}

@@ -1,0 +1,139 @@
+"""Tests of the conventional and reconfigurable routing switches
+(paper Fig 2b, Fig 3)."""
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.mot.routing_switch import ReconfigurableRoutingSwitch, RoutingSwitch
+from repro.mot.signals import Request, RoutingMode
+
+
+def req(bank: int) -> Request:
+    return Request(core_id=0, bank_index=bank)
+
+
+class TestConventionalSwitch:
+    def test_routes_by_address_bit(self):
+        sw = RoutingSwitch("s", level_bit=2)
+        assert sw.select_port(req(0b000)) == 0
+        assert sw.select_port(req(0b100)) == 1
+        assert sw.select_port(req(0b011)) == 0
+
+    def test_lsb_switch(self):
+        sw = RoutingSwitch("s", level_bit=0)
+        assert sw.select_port(req(0b110)) == 0
+        assert sw.select_port(req(0b111)) == 1
+
+    def test_circuit_held_for_response(self):
+        sw = RoutingSwitch("s", level_bit=1)
+        port = sw.route(req(0b10))
+        assert port == 1
+        assert sw.busy
+        assert sw.response_port() == 1
+        sw.complete()
+        assert not sw.busy
+
+    def test_response_without_request_rejected(self):
+        sw = RoutingSwitch("s", level_bit=0)
+        with pytest.raises(RoutingError):
+            sw.response_port()
+        with pytest.raises(RoutingError):
+            sw.complete()
+
+    def test_stats_count_traffic(self):
+        sw = RoutingSwitch("s", level_bit=0)
+        sw.route(req(1))
+        sw.complete()
+        sw.route(req(0))
+        sw.complete()
+        assert sw.stats.requests == 2
+        assert sw.stats.responses == 2
+
+    def test_cannot_be_gated(self):
+        assert not RoutingSwitch("s", 0).is_gated
+
+    def test_negative_level_bit_rejected(self):
+        with pytest.raises(RoutingError):
+            RoutingSwitch("s", -1)
+
+
+class TestReconfigurableSwitch:
+    """The paper's contribution: the extra MUX + ctr_0/ctr_1 (Fig 3)."""
+
+    def test_defaults_to_conventional(self):
+        sw = ReconfigurableRoutingSwitch("s", level_bit=1)
+        assert sw.mode is RoutingMode.CONVENTIONAL
+        assert sw.select_port(req(0b10)) == 1
+
+    def test_conventional_mode_matches_original_switch(self):
+        new = ReconfigurableRoutingSwitch("new", level_bit=2)
+        old = RoutingSwitch("old", level_bit=2)
+        for bank in range(8):
+            assert new.select_port(req(bank)) == old.select_port(req(bank))
+
+    def test_forced_modes_ignore_address(self):
+        sw = ReconfigurableRoutingSwitch("s", level_bit=1)
+        sw.set_mode(RoutingMode.FORCE_1)
+        # Paper: "packet direction is determined based on the two
+        # control signals ... not related to the destination address".
+        assert all(sw.select_port(req(b)) == 1 for b in range(8))
+        sw.set_mode(RoutingMode.FORCE_0)
+        assert all(sw.select_port(req(b)) == 0 for b in range(8))
+
+    def test_gated_switch_rejects_traffic(self):
+        sw = ReconfigurableRoutingSwitch("s", level_bit=0)
+        sw.set_mode(RoutingMode.GATED)
+        assert sw.is_gated
+        with pytest.raises(RoutingError):
+            sw.select_port(req(0))
+
+    def test_control_signal_decoding(self):
+        """Fig 3b: the (ctr_0, ctr_1) -> behaviour table."""
+        sw = ReconfigurableRoutingSwitch("s", level_bit=0)
+        sw.set_control_signals(True, True)
+        assert sw.mode is RoutingMode.CONVENTIONAL
+        sw.set_control_signals(True, False)
+        assert sw.mode is RoutingMode.FORCE_0
+        sw.set_control_signals(False, True)
+        assert sw.mode is RoutingMode.FORCE_1
+        sw.set_control_signals(False, False)
+        assert sw.mode is RoutingMode.GATED
+
+    def test_ctr_properties_round_trip(self):
+        sw = ReconfigurableRoutingSwitch("s", 0, RoutingMode.FORCE_1)
+        assert (sw.ctr_0, sw.ctr_1) == (False, True)
+
+    def test_ignored_bit_reported_in_user_mode(self):
+        # "make the second digit of cache bank index ignored".
+        sw = ReconfigurableRoutingSwitch("s", level_bit=1)
+        assert sw.ignored_bit() is None
+        sw.set_mode(RoutingMode.FORCE_0)
+        assert sw.ignored_bit() == 1
+
+    def test_reconfiguration_while_busy_rejected(self):
+        sw = ReconfigurableRoutingSwitch("s", level_bit=0)
+        sw.route(req(1))
+        with pytest.raises(RoutingError):
+            sw.set_mode(RoutingMode.FORCE_0)
+        sw.complete()
+        sw.set_mode(RoutingMode.FORCE_0)  # fine once drained
+
+    def test_forced_circuit_response_follows_forced_port(self):
+        sw = ReconfigurableRoutingSwitch("s", level_bit=2)
+        sw.set_mode(RoutingMode.FORCE_1)
+        port = sw.route(req(0b000))  # address says 0, control says 1
+        assert port == 1
+        assert sw.response_port() == 1
+        sw.complete()
+
+
+class TestRoutingModeEnum:
+    def test_from_signals(self):
+        assert RoutingMode.from_signals(1, 1) is RoutingMode.CONVENTIONAL
+        assert RoutingMode.from_signals(0, 0) is RoutingMode.GATED
+
+    def test_user_defined_flag(self):
+        assert RoutingMode.FORCE_0.is_user_defined
+        assert RoutingMode.FORCE_1.is_user_defined
+        assert not RoutingMode.CONVENTIONAL.is_user_defined
+        assert not RoutingMode.GATED.is_user_defined

@@ -1,0 +1,58 @@
+"""Tests of the signal-level types."""
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.mot.signals import PortStats, Request, Response, RoutingMode
+
+
+class TestRequest:
+    def test_address_bits(self):
+        r = Request(core_id=0, bank_index=0b10110)
+        assert r.address_bit(0) == 0
+        assert r.address_bit(1) == 1
+        assert r.address_bit(4) == 1
+        assert r.address_bit(5) == 0
+
+    def test_negative_bit_rejected(self):
+        with pytest.raises(RoutingError):
+            Request(0, 3).address_bit(-1)
+
+    def test_frozen(self):
+        r = Request(core_id=1, bank_index=2)
+        with pytest.raises(AttributeError):
+            r.bank_index = 5
+
+    def test_defaults(self):
+        r = Request(core_id=0, bank_index=0)
+        assert not r.is_write
+        assert r.data is None
+
+
+class TestResponse:
+    def test_fields(self):
+        resp = Response(core_id=3, served_bank=12, data=42, tag=7)
+        assert resp.served_bank == 12
+        assert resp.tag == 7
+
+
+class TestPortStats:
+    def test_reset(self):
+        s = PortStats(requests=5, responses=4, conflicts=1)
+        s.reset()
+        assert (s.requests, s.responses, s.conflicts) == (0, 0, 0)
+
+
+class TestRoutingModeEncoding:
+    @pytest.mark.parametrize(
+        "mode,signals",
+        [
+            (RoutingMode.CONVENTIONAL, (True, True)),
+            (RoutingMode.FORCE_0, (True, False)),
+            (RoutingMode.FORCE_1, (False, True)),
+            (RoutingMode.GATED, (False, False)),
+        ],
+    )
+    def test_signal_round_trip(self, mode, signals):
+        assert (mode.ctr_0, mode.ctr_1) == signals
+        assert RoutingMode.from_signals(*signals) is mode

@@ -1,0 +1,105 @@
+"""Tests of the routing/arbitration tree builders (Fig 2a)."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.mot.tree import ArbitrationTree, RoutingTree
+
+
+class TestRoutingTree:
+    def test_switch_count(self):
+        # m banks -> m - 1 routing switches per core.
+        assert RoutingTree(core_id=0, n_banks=8).n_switches == 7
+        assert RoutingTree(core_id=0, n_banks=32).n_switches == 31
+
+    def test_levels(self):
+        assert RoutingTree(0, 8).n_levels == 3
+        assert RoutingTree(0, 32).n_levels == 5
+
+    def test_level_population(self):
+        tree = RoutingTree(0, 8)
+        assert len(tree.switches) == 7
+        for level in range(3):
+            count = sum(1 for (lv, _p) in tree.switches if lv == level)
+            assert count == 2**level
+
+    def test_level_bits_msb_first(self):
+        # Root looks at the MSB of the bank index.
+        tree = RoutingTree(0, 8)
+        assert tree.switch_at(0, 0).level_bit == 2
+        assert tree.switch_at(1, 0).level_bit == 1
+        assert tree.switch_at(2, 0).level_bit == 0
+
+    def test_bank_range(self):
+        tree = RoutingTree(0, 8)
+        assert tree.bank_range(0, 0) == (0, 8)
+        assert tree.bank_range(1, 1) == (4, 8)
+        assert tree.bank_range(2, 3) == (6, 8)
+
+    def test_path_to_bank(self):
+        tree = RoutingTree(0, 8)
+        # Bank 5 = 0b101: right, left, right.
+        assert tree.path_to_bank(5) == [(0, 0), (1, 1), (2, 2)]
+        assert tree.path_to_bank(0) == [(0, 0), (1, 0), (2, 0)]
+
+    def test_path_length_is_depth(self):
+        tree = RoutingTree(0, 32)
+        for bank in (0, 13, 31):
+            assert len(tree.path_to_bank(bank)) == 5
+
+    def test_out_of_range_bank(self):
+        with pytest.raises(TopologyError):
+            RoutingTree(0, 8).path_to_bank(8)
+
+    def test_missing_switch(self):
+        with pytest.raises(TopologyError):
+            RoutingTree(0, 8).switch_at(3, 0)
+
+    def test_bad_bank_count(self):
+        with pytest.raises(TopologyError):
+            RoutingTree(0, 12)
+        with pytest.raises(TopologyError):
+            RoutingTree(0, 1)
+
+    def test_switch_ids_unique(self):
+        ids = [s.switch_id for s in RoutingTree(3, 16).all_switches()]
+        assert len(set(ids)) == len(ids)
+
+
+class TestArbitrationTree:
+    def test_switch_count(self):
+        # n cores -> n - 1 arbitration switches per bank.
+        assert ArbitrationTree(bank_id=0, n_cores=4).n_switches == 3
+        assert ArbitrationTree(bank_id=0, n_cores=16).n_switches == 15
+
+    def test_core_range(self):
+        tree = ArbitrationTree(0, 16)
+        assert tree.core_range(0, 0) == (0, 16)
+        assert tree.core_range(3, 5) == (10, 12)
+
+    def test_path_from_core_leaf_to_root(self):
+        tree = ArbitrationTree(0, 4)
+        # Core 2: leaf level 1 pos 1, then root.
+        assert tree.path_from_core(2) == [(1, 1), (0, 0)]
+
+    def test_path_length_is_depth(self):
+        tree = ArbitrationTree(0, 16)
+        for core in (0, 7, 15):
+            assert len(tree.path_from_core(core)) == 4
+
+    def test_input_port(self):
+        tree = ArbitrationTree(0, 4)
+        # Leaf level: cores 0/1 are ports 0/1 of switch (1, 0).
+        assert tree.input_port(0, 1) == 0
+        assert tree.input_port(1, 1) == 1
+        # Root level: cores 0-1 arrive on port 0, 2-3 on port 1.
+        assert tree.input_port(1, 0) == 0
+        assert tree.input_port(2, 0) == 1
+
+    def test_out_of_range_core(self):
+        with pytest.raises(TopologyError):
+            ArbitrationTree(0, 4).path_from_core(4)
+
+    def test_bad_core_count(self):
+        with pytest.raises(TopologyError):
+            ArbitrationTree(0, 6)

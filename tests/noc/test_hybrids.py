@@ -1,0 +1,99 @@
+"""Tests of the two hybrid bus baselines (Bus-Mesh [2], Bus-Tree [21])."""
+
+import pytest
+
+from repro.noc.bus_mesh import HybridBusMesh
+from repro.noc.bus_tree import HybridBusTree
+from repro.noc.mesh3d import True3DMesh
+
+
+@pytest.fixture
+def bus_mesh() -> HybridBusMesh:
+    return HybridBusMesh()
+
+
+@pytest.fixture
+def bus_tree() -> HybridBusTree:
+    return HybridBusTree()
+
+
+class TestBusMesh:
+    def test_zero_load_beats_true_mesh_on_average(self, bus_mesh):
+        """The paper: "3-D Hybrid Bus-Mesh shows better performance than
+        True 3-D Mesh" — replacing vertical routers with a bus pays."""
+        mesh = True3DMesh()
+        assert bus_mesh.mean_zero_load_latency(16, 32) < (
+            mesh.mean_zero_load_latency(16, 32)
+        )
+
+    def test_sixteen_pillars(self, bus_mesh):
+        assert len(bus_mesh.pillars) == 16
+
+    def test_pillar_shared_by_stacked_banks(self, bus_mesh):
+        # Banks 0 and 16 stack over tile (0, 0): same pillar.
+        assert bus_mesh._pillar_of_bank(0) == bus_mesh._pillar_of_bank(16)
+
+    def test_pillar_contention_serializes(self, bus_mesh):
+        a = bus_mesh.access(0, 0, 0)
+        b = bus_mesh.access(0, 0, 0)  # same links AND same pillar
+        assert b > a
+
+    def test_deeper_tier_costs_more(self, bus_mesh):
+        assert bus_mesh.zero_load_latency(0, 16) > bus_mesh.zero_load_latency(0, 0)
+
+    def test_access_records_stats(self, bus_mesh):
+        bus_mesh.access(2, 9, 0)
+        assert bus_mesh.stats.accesses == 1
+        assert bus_mesh.stats.energy_j > 0
+
+    def test_reset_contention(self, bus_mesh):
+        a = bus_mesh.access(0, 5, 0)
+        bus_mesh.reset_contention()
+        assert bus_mesh.access(0, 5, 0) == a
+
+
+class TestBusTree:
+    def test_four_shared_buses(self, bus_tree):
+        assert len(bus_tree.buses) == 4
+
+    def test_quadrant_assignment(self, bus_tree):
+        assert bus_tree.core_quadrant(0) == 0
+        assert bus_tree.core_quadrant(3) == 1
+        assert bus_tree.core_quadrant(12) == 2
+        assert bus_tree.core_quadrant(15) == 3
+        assert bus_tree.bank_quadrant(0) == 0
+        assert bus_tree.bank_quadrant(31) == 3
+
+    def test_zero_load_low_hop_count(self, bus_tree):
+        """Fewer hops than the mesh at zero load (the tree's selling
+        point before contention)."""
+        mesh = True3DMesh()
+        assert bus_tree.mean_zero_load_latency(16, 32) < (
+            mesh.mean_zero_load_latency(16, 32)
+        )
+
+    def test_shared_bus_is_the_bottleneck(self, bus_tree):
+        """Concurrent accesses to different banks of one quadrant still
+        serialize on the quadrant bus — the paper's "increased vertical
+        bus accesses"."""
+        lat_first = bus_tree.access(0, 0, 0)
+        lat_second = bus_tree.access(5, 1, 0)  # different core and bank,
+        assert lat_second > bus_tree.zero_load_latency(5, 1)
+
+    def test_different_quadrants_do_not_interfere_on_bus(self, bus_tree):
+        bus_tree.access(0, 0, 0)          # quadrant 0 bus
+        # Quadrant-3 access from a quadrant-3 core shares no tree link
+        # or bus with the first one.
+        lat = bus_tree.access(15, 31, 0)
+        assert lat == bus_tree.zero_load_latency(15, 31)
+
+    def test_root_is_shared(self, bus_tree):
+        # Cores in different quadrants share the hub->root links only if
+        # in the same quadrant; the root-outward links are shared by all.
+        bus_tree.access(0, 16, 0)
+        lat = bus_tree.access(1, 17, 0)  # same quadrant: queues at links
+        assert lat >= bus_tree.zero_load_latency(1, 17)
+
+    def test_leakage_below_mesh(self, bus_tree):
+        # Far fewer routers than 48.
+        assert bus_tree.leakage_w() < True3DMesh().leakage_w()

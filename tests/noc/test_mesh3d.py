@@ -1,0 +1,96 @@
+"""Tests of the True 3-D Mesh baseline."""
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.noc.mesh3d import MeshGeometry, True3DMesh
+
+
+@pytest.fixture
+def geo() -> MeshGeometry:
+    return MeshGeometry()
+
+
+@pytest.fixture
+def mesh() -> True3DMesh:
+    return True3DMesh()
+
+
+class TestGeometry:
+    def test_grid_shape(self, geo):
+        assert geo.side == 4
+        assert geo.banks_per_tier == 16
+        assert geo.tile_pitch_m == pytest.approx(1.25e-3)
+
+    def test_core_nodes_on_tier0(self, geo):
+        assert geo.core_node(0) == (0, 0, 0)
+        assert geo.core_node(5) == (1, 1, 0)
+        assert geo.core_node(15) == (3, 3, 0)
+
+    def test_bank_nodes_on_cache_tiers(self, geo):
+        assert geo.bank_node(0) == (0, 0, 1)
+        assert geo.bank_node(16) == (0, 0, 2)
+        assert geo.bank_node(31) == (3, 3, 2)
+
+    def test_out_of_range(self, geo):
+        with pytest.raises(RoutingError):
+            geo.core_node(16)
+        with pytest.raises(RoutingError):
+            geo.bank_node(32)
+
+    def test_xyz_route_order(self, geo):
+        links = geo.xyz_links((0, 0, 0), (2, 1, 1))
+        # X moves first, then Y, then Z.
+        kinds = [vertical for _l, vertical in links]
+        assert kinds == [False, False, False, True]
+        assert links[-1][0] == (((2, 1, 0), (2, 1, 1)))
+
+    def test_route_hop_count_is_manhattan(self, geo):
+        links = geo.xyz_links((0, 0, 0), (3, 3, 2))
+        assert len(links) == 3 + 3 + 2
+
+    def test_same_node_empty_route(self, geo):
+        assert geo.xyz_links((1, 1, 1), (1, 1, 1)) == []
+
+
+class TestLatency:
+    def test_zero_load_deterministic(self, mesh):
+        assert mesh.zero_load_latency(0, 0) == mesh.zero_load_latency(0, 0)
+
+    def test_farther_banks_cost_more(self, mesh):
+        near = mesh.zero_load_latency(0, 0)    # same tile, one tier up
+        far = mesh.zero_load_latency(0, 31)    # opposite corner, tier 2
+        assert far > near
+
+    def test_access_at_least_zero_load(self, mesh):
+        zl = mesh.zero_load_latency(3, 17)
+        assert mesh.access(3, 17, now_cycle=0) >= zl
+
+    def test_contention_on_shared_link(self, mesh):
+        # Two accesses from the same core to the same bank share every
+        # link: the second queues.
+        first = mesh.access(0, 31, 0)
+        second = mesh.access(0, 31, 0)
+        assert second > first
+
+    def test_stats_recorded(self, mesh):
+        mesh.access(0, 5, 0)
+        assert mesh.stats.accesses == 1
+        assert mesh.stats.energy_j > 0
+
+    def test_reset_contention(self, mesh):
+        a = mesh.access(0, 31, 0)
+        mesh.reset_contention()
+        b = mesh.access(0, 31, 0)
+        assert b == a
+
+
+class TestEnergyLeakage:
+    def test_leakage_counts_all_tiers(self, mesh):
+        # 48 routers leak more than any link term: sanity bound.
+        assert mesh.leakage_w() > 48 * 1e-3
+
+    def test_write_moves_more_bits(self, mesh):
+        read_e = mesh._access_energy(0, 31, is_write=False)
+        write_e = mesh._access_energy(0, 31, is_write=True)
+        assert write_e > read_e

@@ -1,0 +1,75 @@
+"""Tests of the MoT interconnect adapter."""
+
+import pytest
+
+from repro.mot.power_state import (
+    FULL_CONNECTION,
+    PC16_MB8,
+    PC4_MB8,
+)
+from repro.noc.mot_adapter import MoTInterconnect
+from repro.noc.mesh3d import True3DMesh
+
+
+@pytest.fixture
+def mot() -> MoTInterconnect:
+    return MoTInterconnect()
+
+
+class TestLatency:
+    def test_zero_load_is_table1(self, mot):
+        assert mot.zero_load_latency(0, 0) == 12
+        mot.set_power_state(PC16_MB8)
+        assert mot.zero_load_latency(0, 12) == 9
+        mot.set_power_state(PC4_MB8)
+        assert mot.zero_load_latency(6, 12) == 7
+
+    def test_uniform_across_pairs(self, mot):
+        # "Memory access latency from each core is well balanced."
+        lats = {mot.zero_load_latency(c, b) for c in range(16) for b in range(32)}
+        assert lats == {12}
+
+    def test_bank_conflicts_serialize(self, mot):
+        first = mot.access(0, 5, 0)
+        second = mot.access(1, 5, 0)  # same bank, same cycle
+        assert second == first + mot.bank_occupancy_cycles
+
+    def test_disjoint_banks_non_blocking(self, mot):
+        # The MoT's defining property: non-blocking for disjoint banks.
+        a = mot.access(0, 3, 0)
+        b = mot.access(1, 4, 0)
+        assert a == b == 12
+
+    def test_much_faster_than_packet_mesh(self, mot):
+        mesh = True3DMesh()
+        assert mot.mean_zero_load_latency(16, 32) < 0.5 * (
+            mesh.mean_zero_load_latency(16, 32)
+        )
+
+
+class TestPowerStateControl:
+    def test_reconfiguration_updates_everything(self, mot):
+        full_leak = mot.leakage_w()
+        mot.set_power_state(PC4_MB8)
+        assert mot.power_state == PC4_MB8
+        assert mot.leakage_w() < full_leak
+        assert mot.zero_load_latency(6, 12) == 7
+
+    def test_fabric_follows(self, mot):
+        mot.set_power_state(PC16_MB8)
+        assert mot.fabric.power_state == PC16_MB8
+        # The live fabric resolves with the new remap.
+        assert mot.fabric.resolve_bank(0, 0) in PC16_MB8.active_banks
+
+    def test_access_energy_tracks_state(self, mot):
+        mot.access(0, 0, 0)
+        e_full = mot.stats.energy_j
+        mot.reset_stats()
+        mot.set_power_state(PC4_MB8)
+        mot.access(6, 12, 0)
+        assert mot.stats.energy_j < e_full
+
+    def test_reset_contention(self, mot):
+        mot.access(0, 5, 0)
+        mot.reset_contention()
+        assert mot.access(1, 5, 0) == 12

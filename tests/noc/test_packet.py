@@ -1,0 +1,39 @@
+"""Tests of the packet/flit arithmetic."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.noc.packet import PacketFormat, DEFAULT_PACKET_FORMAT
+
+
+class TestFlitCounts:
+    def test_default_request_is_one_flit(self):
+        assert DEFAULT_PACKET_FORMAT.request_flits == 1
+
+    def test_default_response_carries_line(self):
+        # 48 header + 256 data bits over 64-bit flits -> 5 flits.
+        assert DEFAULT_PACKET_FORMAT.response_flits == 5
+
+    def test_data_flits(self):
+        assert DEFAULT_PACKET_FORMAT.data_flits == 4
+
+    def test_write_request_same_as_response(self):
+        f = DEFAULT_PACKET_FORMAT
+        assert f.write_request_flits() == f.response_flits
+
+    def test_wide_link_shrinks_packets(self):
+        wide = PacketFormat(flit_bits=256)
+        assert wide.response_flits < DEFAULT_PACKET_FORMAT.response_flits
+
+    def test_serialization_cycles(self):
+        f = DEFAULT_PACKET_FORMAT
+        assert f.serialization_cycles(1) == 0
+        assert f.serialization_cycles(5) == 4
+
+    def test_serialization_validates(self):
+        with pytest.raises(ConfigurationError):
+            DEFAULT_PACKET_FORMAT.serialization_cycles(0)
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PacketFormat(flit_bits=0)

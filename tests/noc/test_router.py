@@ -1,0 +1,34 @@
+"""Tests of the router timing parameters."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.noc.router import RouterTiming, DEFAULT_ROUTER_TIMING
+
+
+class TestRouterTiming:
+    def test_default_pipeline(self):
+        t = DEFAULT_ROUTER_TIMING
+        assert t.pipeline_cycles == 3
+        assert t.link_cycles == 1
+        assert t.vertical_link_cycles == 1
+        assert t.bank_cycles == 1
+
+    def test_hop_cycles(self):
+        t = RouterTiming(pipeline_cycles=2, link_cycles=1)
+        assert t.hop_cycles == 3
+        assert t.vertical_hop_cycles == 3
+
+    def test_all_fields_validated(self):
+        with pytest.raises(ConfigurationError):
+            RouterTiming(pipeline_cycles=0)
+        with pytest.raises(ConfigurationError):
+            RouterTiming(link_cycles=0)
+        with pytest.raises(ConfigurationError):
+            RouterTiming(vertical_link_cycles=0)
+        with pytest.raises(ConfigurationError):
+            RouterTiming(bank_cycles=0)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            DEFAULT_ROUTER_TIMING.pipeline_cycles = 5

@@ -1,0 +1,60 @@
+"""Tests of the shared vertical TSV bus."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.noc.vertical_bus import VerticalBus
+
+
+class TestTransfer:
+    def test_idle_bus_starts_immediately(self):
+        bus = VerticalBus("p")
+        assert bus.transfer(0, 100, hold_cycles=5) == 100
+        assert bus.busy_until == 105
+
+    def test_busy_bus_queues(self):
+        bus = VerticalBus("p")
+        bus.transfer(0, 0, 5)
+        assert bus.transfer(1, 2, 5) == 5
+
+    def test_turnaround_adds_dead_time(self):
+        bus = VerticalBus("p", turnaround_cycles=2)
+        bus.transfer(0, 0, 5)
+        assert bus.transfer(1, 0, 5) == 7  # 5 hold + 2 turnaround
+
+    def test_stats(self):
+        bus = VerticalBus("p")
+        bus.transfer(0, 0, 4)
+        bus.transfer(1, 0, 4)
+        assert bus.stats.transfers == 2
+        assert bus.stats.queued_cycles == 4
+        assert bus.stats.mean_wait_cycles == 2.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            VerticalBus("p", hop_cycles=0)
+        with pytest.raises(ConfigurationError):
+            VerticalBus("p", turnaround_cycles=-1)
+        with pytest.raises(ConfigurationError):
+            VerticalBus("p").transfer(0, -1, 1)
+        with pytest.raises(ConfigurationError):
+            VerticalBus("p").transfer(0, 0, 0)
+
+    def test_reset(self):
+        bus = VerticalBus("p")
+        bus.transfer(0, 0, 100)
+        bus.reset()
+        assert bus.transfer(1, 0, 1) == 0
+        assert bus.stats.transfers == 1
+
+
+class TestRoundRobinBatch:
+    def test_batch_order_rotates(self):
+        bus = VerticalBus("p")
+        bus.transfer(1, 0, 1)  # last granted = 1
+        grants = bus.transfer_batch([0, 2, 3], now_cycle=10, hold_cycles=4)
+        assert grants[2] < grants[3] < grants[0]
+
+    def test_batch_rejects_duplicates(self):
+        with pytest.raises(ConfigurationError):
+            VerticalBus("p").transfer_batch([1, 1], 0, 1)

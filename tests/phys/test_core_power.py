@@ -1,0 +1,48 @@
+"""Tests of the McPAT-style core power model."""
+
+import pytest
+
+from repro.phys.core_power import CorePowerModel, DEFAULT_CORE_POWER
+
+
+class TestPowerLevels:
+    def test_active_exceeds_stalled(self):
+        m = DEFAULT_CORE_POWER
+        assert m.active_power(1e9) > m.stalled_power(1e9)
+
+    def test_stalled_exceeds_gated(self):
+        m = DEFAULT_CORE_POWER
+        assert m.stalled_power(1e9) > m.gated_power()
+
+    def test_gated_is_zero(self):
+        assert DEFAULT_CORE_POWER.gated_power() == 0.0
+
+    def test_cortex_a5_class_magnitude(self):
+        # ~0.1 mW/MHz + leakage: at 1 GHz, order 100 mW.
+        p = DEFAULT_CORE_POWER.active_power(1e9)
+        assert 0.05 < p < 0.25
+
+    def test_leakage_included_when_stalled(self):
+        m = CorePowerModel(idle_fraction=0.0, leakage_power=0.01)
+        assert m.stalled_power(1e9) == pytest.approx(0.01)
+
+
+class TestEnergy:
+    def test_energy_accumulates_linearly(self):
+        m = DEFAULT_CORE_POWER
+        e1 = m.energy(1000, 0, 1e9)
+        e2 = m.energy(2000, 0, 1e9)
+        assert e2 == pytest.approx(2 * e1)
+
+    def test_busy_cycles_cost_more_than_stall_cycles(self):
+        m = DEFAULT_CORE_POWER
+        assert m.energy(1000, 0, 1e9) > m.energy(0, 1000, 1e9)
+
+    def test_zero_cycles_zero_energy(self):
+        assert DEFAULT_CORE_POWER.energy(0, 0, 1e9) == 0.0
+
+    def test_negative_cycles_rejected(self):
+        with pytest.raises(ValueError):
+            DEFAULT_CORE_POWER.energy(-1, 0, 1e9)
+        with pytest.raises(ValueError):
+            DEFAULT_CORE_POWER.energy(0, -1, 1e9)

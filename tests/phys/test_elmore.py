@@ -1,0 +1,131 @@
+"""Tests of the Elmore distributed-RC delay models."""
+
+import math
+
+import pytest
+
+from repro import units as u
+from repro.phys import constants as k
+from repro.phys.elmore import (
+    WireTechnology,
+    distributed_rc_delay,
+    lumped_rc_delay,
+    optimal_repeated_wire_delay_per_m,
+    optimal_repeater_size,
+    optimal_repeater_spacing,
+    repeated_wire_delay_per_m,
+    repeater_count,
+    segmented_wire_delay,
+    unrepeated_wire_delay,
+    wire_delay_ns_per_mm,
+)
+
+
+class TestBasicDelays:
+    def test_lumped_coefficient(self):
+        assert lumped_rc_delay(1e3, 1e-12) == pytest.approx(0.69e-9)
+
+    def test_distributed_coefficient(self):
+        assert distributed_rc_delay(1e3, 1e-12) == pytest.approx(0.38e-9)
+
+    def test_distributed_below_lumped(self):
+        # A distributed line is faster than the same RC lumped.
+        assert distributed_rc_delay(2e3, 3e-12) < lumped_rc_delay(2e3, 3e-12)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            lumped_rc_delay(-1.0, 1e-12)
+        with pytest.raises(ValueError):
+            distributed_rc_delay(1.0, -1e-12)
+
+
+class TestUnrepeatedWire:
+    def test_grows_quadratically(self):
+        # Doubling an unrepeated wire more than doubles its delay.
+        d1 = unrepeated_wire_delay(1 * u.MM, driver_size=10)
+        d2 = unrepeated_wire_delay(2 * u.MM, driver_size=10)
+        assert d2 > 2.0 * d1
+
+    def test_zero_length_is_driver_only(self):
+        d = unrepeated_wire_delay(0.0, driver_size=10, load_capacitance=10 * u.FF)
+        tech = WireTechnology()
+        expected = 0.69 * (tech.driver_resistance / 10) * (
+            tech.diffusion_capacitance * 10 + 10 * u.FF
+        )
+        assert d == pytest.approx(expected)
+
+    def test_stronger_driver_is_faster(self):
+        weak = unrepeated_wire_delay(2 * u.MM, driver_size=5)
+        strong = unrepeated_wire_delay(2 * u.MM, driver_size=50)
+        assert strong < weak
+
+    def test_bad_inputs(self):
+        with pytest.raises(ValueError):
+            unrepeated_wire_delay(-1.0)
+        with pytest.raises(ValueError):
+            unrepeated_wire_delay(1 * u.MM, driver_size=0)
+
+
+class TestRepeatedWire:
+    def test_repeaters_linearize_delay(self):
+        # With repeaters every segment, total delay is linear in length:
+        # 10 mm costs ~10x of 1 mm (same per-segment geometry).
+        one = segmented_wire_delay(1 * u.MM, 1, repeater_size=20)
+        ten = segmented_wire_delay(10 * u.MM, 10, repeater_size=20)
+        assert ten == pytest.approx(10 * one, rel=1e-9)
+
+    def test_segmentation_beats_unrepeated_on_long_wire(self):
+        long_wire = 10 * u.MM
+        bare = unrepeated_wire_delay(long_wire, driver_size=20)
+        repeated = segmented_wire_delay(long_wire, 4, repeater_size=20)
+        assert repeated < bare
+
+    def test_calibrated_low_power_point(self):
+        # DESIGN.md section 5: ~0.50 ns/mm at the default insertion.
+        assert wire_delay_ns_per_mm() == pytest.approx(0.497, abs=0.01)
+
+    def test_within_table1_window(self):
+        # The Table I reproduction needs the repeated-wire delay inside
+        # (0.4575, 0.523] ns/mm (see the latency model derivation).
+        w = wire_delay_ns_per_mm()
+        assert 0.4575 < w <= 0.523
+
+    def test_needs_at_least_one_segment(self):
+        with pytest.raises(ValueError):
+            segmented_wire_delay(1 * u.MM, 0, repeater_size=20)
+
+
+class TestOptimalInsertion:
+    def test_optimal_faster_than_low_power(self):
+        assert optimal_repeated_wire_delay_per_m() < repeated_wire_delay_per_m()
+
+    def test_optimal_spacing_is_sub_mm_scale(self):
+        # 45 nm-class global wires: optimal spacing is O(100 um).
+        spacing = optimal_repeater_spacing()
+        assert 10 * u.UM < spacing < 1 * u.MM
+
+    def test_optimal_size_is_large(self):
+        assert optimal_repeater_size() > 10
+
+    def test_optimum_is_a_minimum(self):
+        # Perturbing spacing around the optimum cannot reduce delay.
+        h = optimal_repeater_spacing()
+        s = optimal_repeater_size()
+        best = repeated_wire_delay_per_m(s, h)
+        assert repeated_wire_delay_per_m(s, h * 1.5) >= best
+        assert repeated_wire_delay_per_m(s, h / 1.5) >= best
+
+
+class TestRepeaterCount:
+    def test_zero_length(self):
+        assert repeater_count(0.0) == 0
+
+    def test_short_wire_has_driver(self):
+        assert repeater_count(0.1 * u.MM) == 1
+
+    def test_long_wire(self):
+        assert repeater_count(5.3 * u.MM, spacing_m=2.6 * u.MM) == 3
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            repeater_count(-1.0)

@@ -1,0 +1,115 @@
+"""Tests of the 3-D floorplan geometry (Fig 1b, Fig 5)."""
+
+import pytest
+
+from repro import units as u
+from repro.errors import ConfigurationError
+from repro.phys.geometry import Floorplan3D, TilePosition
+
+
+@pytest.fixture
+def fp() -> Floorplan3D:
+    return Floorplan3D()
+
+
+class TestConstruction:
+    def test_defaults_match_paper(self, fp):
+        assert fp.n_cores == 16
+        assert fp.n_banks == 32
+        assert fp.n_cache_tiers == 2
+        assert fp.die_width_m == pytest.approx(5 * u.MM)
+        assert fp.tier_pitch_m == pytest.approx(40 * u.UM)
+
+    def test_banks_per_tier(self, fp):
+        assert fp.banks_per_tier == 16
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Floorplan3D(n_cores=12)
+        with pytest.raises(ConfigurationError):
+            Floorplan3D(n_banks=24)
+
+    def test_uneven_tier_split_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Floorplan3D(n_banks=32, n_cache_tiers=3)
+
+
+class TestPlacement:
+    def test_cores_on_tier_zero(self, fp):
+        assert all(fp.core_position(c).tier == 0 for c in range(16))
+
+    def test_banks_fill_tier1_then_tier2(self, fp):
+        assert fp.bank_position(0).tier == 1
+        assert fp.bank_position(15).tier == 1
+        assert fp.bank_position(16).tier == 2
+        assert fp.bank_position(31).tier == 2
+
+    def test_positions_inside_die(self, fp):
+        for pos in fp.all_core_positions() + fp.all_bank_positions():
+            assert 0 < pos.x < fp.die_width_m
+            assert 0 < pos.y < fp.die_height_m
+
+    def test_all_core_positions_distinct(self, fp):
+        seen = {(p.x, p.y) for p in fp.all_core_positions()}
+        assert len(seen) == 16
+
+    def test_mot_root_is_center(self, fp):
+        root = fp.mot_root_position
+        assert root.x == pytest.approx(2.5 * u.MM)
+        assert root.y == pytest.approx(2.5 * u.MM)
+        assert root.tier == 0
+
+    def test_out_of_range(self, fp):
+        with pytest.raises(ConfigurationError):
+            fp.core_position(16)
+        with pytest.raises(ConfigurationError):
+            fp.bank_position(32)
+
+    def test_manhattan_distance(self):
+        a = TilePosition(1 * u.MM, 2 * u.MM, 0)
+        b = TilePosition(4 * u.MM, 1 * u.MM, 1)
+        assert a.horizontal_distance(b) == pytest.approx(4 * u.MM)
+
+
+class TestSpans:
+    """Fig 5: spans shrink with the square root of the active fraction."""
+
+    def test_full_spans(self, fp):
+        assert fp.core_span_m(16) == pytest.approx(5 * u.MM)
+        assert fp.bank_span_m(32) == pytest.approx(5 * u.MM)
+
+    def test_quarter_spans(self, fp):
+        assert fp.core_span_m(4) == pytest.approx(2.5 * u.MM)
+        assert fp.bank_span_m(8) == pytest.approx(2.5 * u.MM)
+
+    def test_paper_power_state_spans(self, fp):
+        # These feed the Table I latency calibration directly.
+        assert fp.horizontal_wire_span_m(16, 32) == pytest.approx(10 * u.MM)
+        assert fp.horizontal_wire_span_m(16, 8) == pytest.approx(7.5 * u.MM)
+        assert fp.horizontal_wire_span_m(4, 32) == pytest.approx(7.5 * u.MM)
+        assert fp.horizontal_wire_span_m(4, 8) == pytest.approx(5 * u.MM)
+
+    def test_vertical_hops_use_all_tiers(self, fp):
+        # Fig 5: active banks stay spread over both cache tiers.
+        assert fp.vertical_hops(32) == 2
+        assert fp.vertical_hops(8) == 2
+        assert fp.vertical_hops(1) == 1
+
+    def test_vertical_span(self, fp):
+        assert fp.vertical_wire_span_m(32) == pytest.approx(80 * u.UM)
+
+    def test_longest_path_combines_both(self, fp):
+        total = fp.longest_path_m(16, 32)
+        assert total == pytest.approx(10 * u.MM + 80 * u.UM)
+
+    def test_active_count_validation(self, fp):
+        with pytest.raises(ConfigurationError):
+            fp.core_span_m(0)
+        with pytest.raises(ConfigurationError):
+            fp.core_span_m(17)
+        with pytest.raises(ConfigurationError):
+            fp.bank_span_m(12)  # not a power of two
+
+    def test_span_monotone_in_active_count(self, fp):
+        spans = [fp.bank_span_m(n) for n in (1, 2, 4, 8, 16, 32)]
+        assert spans == sorted(spans)

@@ -1,0 +1,63 @@
+"""Tests of the interconnect power model (Liao-He style)."""
+
+import pytest
+
+from repro import units as u
+from repro.phys.interconnect_power import (
+    InterconnectPowerModel,
+    DEFAULT_INTERCONNECT_POWER,
+)
+
+
+@pytest.fixture
+def m() -> InterconnectPowerModel:
+    return DEFAULT_INTERCONNECT_POWER
+
+
+class TestDynamicEnergy:
+    def test_wire_energy_increases_with_length(self, m):
+        assert m.wire_energy_per_bit(5 * u.MM) > m.wire_energy_per_bit(1 * u.MM)
+
+    def test_zero_length_wire_free(self, m):
+        assert m.wire_energy_per_bit(0.0) == 0.0
+
+    def test_negative_length_rejected(self, m):
+        with pytest.raises(ValueError):
+            m.wire_energy_per_bit(-1.0)
+
+    def test_link_energy_scales_with_width(self, m):
+        e32 = m.link_energy(1 * u.MM, 32)
+        e64 = m.link_energy(1 * u.MM, 64)
+        assert e64 == pytest.approx(2 * e32)
+
+    def test_router_much_costlier_than_switch(self, m):
+        # Packet routers burn buffers/allocators the MoT doesn't have.
+        assert m.router_energy(64) > 5 * m.switch_energy(64)
+
+    def test_switch_energy_magnitude(self, m):
+        # A 96-bit MoT switch traversal: sub-pJ scale.
+        assert 0.1 * u.PJ < m.switch_energy(96) < 10 * u.PJ
+
+
+class TestLeakage:
+    def test_mot_leakage_counts_all_populations(self, m):
+        only_switches = m.mot_leakage(10, 10, 0.0, 96)
+        with_wire = m.mot_leakage(10, 10, 10 * u.MM, 96)
+        assert with_wire > only_switches
+
+    def test_leakage_linear_in_switch_count(self, m):
+        l1 = m.mot_leakage(100, 0, 0.0, 96)
+        l2 = m.mot_leakage(200, 0, 0.0, 96)
+        assert l2 == pytest.approx(2 * l1)
+
+    def test_noc_leakage_dominated_by_routers(self, m):
+        # One buffered router leaks more than a long repeated link.
+        router_only = m.noc_leakage(1, 0.0, 64)
+        link_only = m.noc_leakage(0, 5 * u.MM, 64)
+        assert router_only > link_only
+
+    def test_gating_reduces_leakage(self, m):
+        # The power-gating premise: fewer powered switches, less leakage.
+        full = m.mot_leakage(496, 480, 520 * u.MM, 96)
+        gated = m.mot_leakage(176, 120, 140 * u.MM, 96)
+        assert gated < 0.5 * full

@@ -1,0 +1,76 @@
+"""Tests of the CACTI-style SRAM bank model."""
+
+import pytest
+
+from repro import units as u
+from repro.errors import ConfigurationError
+from repro.phys.sram import SRAMBankModel, DEFAULT_BANK, bank_access_cycles
+
+
+class TestGeometry:
+    def test_table1_bank_geometry(self):
+        b = DEFAULT_BANK
+        assert b.capacity_bytes == 64 * 1024
+        assert b.associativity == 8
+        assert b.line_bytes == 32
+        assert b.n_sets == 256
+        assert b.row_bits == 32 * 8 * 8
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SRAMBankModel(capacity_bytes=60 * 1024)
+        with pytest.raises(ConfigurationError):
+            SRAMBankModel(associativity=3)
+        with pytest.raises(ConfigurationError):
+            SRAMBankModel(capacity_bytes=128, line_bytes=32, associativity=8)
+
+
+class TestTiming:
+    def test_reference_access_time(self):
+        # The calibration point consumed by the Table I latency model.
+        assert DEFAULT_BANK.access_time() == pytest.approx(0.70 * u.NS, rel=1e-6)
+
+    def test_access_time_is_sum_of_components(self):
+        b = DEFAULT_BANK
+        total = (
+            b.decoder_delay()
+            + b.wordline_delay()
+            + b.bitline_delay()
+            + b.senseamp_delay()
+            + b.output_delay()
+        )
+        assert b.access_time() == pytest.approx(total)
+
+    def test_bigger_bank_is_slower(self):
+        small = SRAMBankModel(capacity_bytes=64 * 1024)
+        big = SRAMBankModel(capacity_bytes=256 * 1024)
+        assert big.access_time() > small.access_time()
+
+    def test_one_cycle_at_1ghz(self):
+        assert bank_access_cycles() == 1
+
+
+class TestEnergyPower:
+    def test_reference_energies(self):
+        assert DEFAULT_BANK.read_energy() == pytest.approx(50 * u.PJ)
+        assert DEFAULT_BANK.write_energy() == pytest.approx(55 * u.PJ)
+        assert DEFAULT_BANK.leakage_power() == pytest.approx(3 * u.MW)
+
+    def test_write_costs_more_than_read(self):
+        assert DEFAULT_BANK.write_energy() > DEFAULT_BANK.read_energy()
+
+    def test_leakage_linear_in_capacity(self):
+        double = SRAMBankModel(capacity_bytes=128 * 1024)
+        assert double.leakage_power() == pytest.approx(
+            2 * DEFAULT_BANK.leakage_power()
+        )
+
+    def test_energy_sublinear_in_capacity(self):
+        # CACTI-style sqrt scaling: 4x capacity -> 2x energy.
+        quad = SRAMBankModel(capacity_bytes=256 * 1024)
+        assert quad.read_energy() == pytest.approx(
+            2 * DEFAULT_BANK.read_energy(), rel=0.01
+        )
+
+    def test_area_positive(self):
+        assert DEFAULT_BANK.area() > 0

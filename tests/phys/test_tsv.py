@@ -1,0 +1,59 @@
+"""Tests of the TSV/micro-bump electrical model (Katti [15])."""
+
+import pytest
+
+from repro import units as u
+from repro.phys.tsv import TSVModel, DEFAULT_TSV, tsv_hop_delay_ns
+
+
+class TestDelay:
+    def test_hop_delay_is_tens_of_ps(self):
+        # A TSV hop is driver-limited: tens of ps, far below a cycle.
+        delay = DEFAULT_TSV.hop_delay()
+        assert 10 * u.PS < delay < 100 * u.PS
+
+    def test_bus_delay_linear_in_hops(self):
+        one = DEFAULT_TSV.bus_delay(1)
+        two = DEFAULT_TSV.bus_delay(2)
+        assert two == pytest.approx(2 * one)
+
+    def test_zero_hops_free(self):
+        assert DEFAULT_TSV.bus_delay(0) == 0.0
+
+    def test_negative_hops_rejected(self):
+        with pytest.raises(ValueError):
+            DEFAULT_TSV.bus_delay(-1)
+
+    def test_bigger_driver_is_faster(self):
+        small = TSVModel(driver_size=5).hop_delay()
+        large = TSVModel(driver_size=50).hop_delay()
+        assert large < small
+
+    def test_convenience_ns(self):
+        assert tsv_hop_delay_ns() == pytest.approx(
+            DEFAULT_TSV.hop_delay() / u.NS
+        )
+
+
+class TestEnergyAndArea:
+    def test_hop_energy_positive_and_small(self):
+        e = DEFAULT_TSV.hop_energy()
+        assert 0 < e < 1 * u.PJ  # per bit per hop
+
+    def test_energy_scales_with_vdd_squared(self):
+        e1 = DEFAULT_TSV.hop_energy(vdd=1.0)
+        e2 = DEFAULT_TSV.hop_energy(vdd=2.0)
+        assert e2 == pytest.approx(4 * e1)
+
+    def test_bus_area_uses_microbump_pitch(self):
+        # 64 bumps at 40 um x 50 um.
+        area = DEFAULT_TSV.area_per_bus(64)
+        assert area == pytest.approx(64 * 40 * u.UM * 50 * u.UM)
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(ValueError):
+            DEFAULT_TSV.area_per_bus(0)
+
+    def test_total_capacitance_includes_receiver(self):
+        m = TSVModel()
+        assert m.total_capacitance > m.capacitance + m.microbump_capacitance

@@ -1,0 +1,104 @@
+"""Property-based tests of the shared-medium models (Miss bus,
+vertical buses, reservation tables): grants never overlap, time never
+runs backwards, fairness bounds hold."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.mem.dram import MissBus
+from repro.noc.base import ReservationTable
+from repro.noc.vertical_bus import VerticalBus
+
+arrival_seqs = st.lists(
+    st.tuples(st.integers(0, 15), st.integers(0, 30)), min_size=1, max_size=60
+)
+
+
+def monotone_arrivals(seq):
+    """Turn (core, gap) pairs into (core, arrival_time) with
+    non-decreasing times (how the conservative engine presents them)."""
+    t = 0
+    out = []
+    for core, gap in seq:
+        t += gap
+        out.append((core, t))
+    return out
+
+
+class TestMissBusProperties:
+    @given(arrival_seqs)
+    @settings(max_examples=60, deadline=None)
+    def test_grants_never_overlap(self, seq):
+        bus = MissBus(n_cores=16, transfer_cycles=4)
+        intervals = []
+        for core, now in monotone_arrivals(seq):
+            grant = bus.request(core, now)
+            intervals.append((grant, grant + 4))
+        intervals.sort()
+        for (s1, e1), (s2, _e2) in zip(intervals, intervals[1:]):
+            assert s2 >= e1
+
+    @given(arrival_seqs)
+    @settings(max_examples=60, deadline=None)
+    def test_grant_never_before_request(self, seq):
+        bus = MissBus(n_cores=16, transfer_cycles=4)
+        for core, now in monotone_arrivals(seq):
+            assert bus.request(core, now) >= now
+
+    @given(st.lists(st.integers(0, 15), min_size=2, max_size=16, unique=True),
+           st.integers(0, 1000))
+    @settings(max_examples=60, deadline=None)
+    def test_batch_serves_everyone_exactly_once(self, cores, now):
+        bus = MissBus(n_cores=16, transfer_cycles=4)
+        grants = bus.request_batch(cores, now)
+        assert set(grants) == set(cores)
+        starts = sorted(grants.values())
+        for a, b in zip(starts, starts[1:]):
+            assert b - a >= 4  # serialized
+
+    @given(st.integers(0, 15), st.lists(st.integers(0, 15), min_size=2,
+                                        max_size=16, unique=True))
+    @settings(max_examples=60, deadline=None)
+    def test_round_robin_starts_after_last_granted(self, last, cores):
+        bus = MissBus(n_cores=16, transfer_cycles=1)
+        bus.request(last, 0)
+        grants = bus.request_batch(cores, 100)
+        order = sorted(cores, key=lambda c: grants[c])
+        distances = [(c - last - 1) % 16 for c in order]
+        assert distances == sorted(distances)
+
+
+class TestVerticalBusProperties:
+    @given(st.lists(st.tuples(st.integers(0, 30), st.integers(1, 8)),
+                    min_size=1, max_size=60))
+    @settings(max_examples=60, deadline=None)
+    def test_transfers_never_overlap(self, seq):
+        bus = VerticalBus("p", turnaround_cycles=1)
+        t = 0
+        busy = []
+        for gap, hold in seq:
+            t += gap
+            start = bus.transfer(0, t, hold)
+            busy.append((start, start + hold))
+        busy.sort()
+        for (s1, e1), (s2, _e2) in zip(busy, busy[1:]):
+            assert s2 >= e1  # turnaround only adds slack
+
+
+class TestReservationTableProperties:
+    @given(st.lists(st.tuples(st.sampled_from(["a", "b", "c"]),
+                              st.integers(0, 20), st.integers(0, 10)),
+                    min_size=1, max_size=80))
+    @settings(max_examples=60, deadline=None)
+    def test_per_key_intervals_disjoint(self, seq):
+        table = ReservationTable()
+        t = 0
+        by_key = {}
+        for key, gap, hold in seq:
+            t += gap
+            start = table.claim(key, t, hold)
+            assert start >= t
+            by_key.setdefault(key, []).append((start, start + hold))
+        for intervals in by_key.values():
+            intervals.sort()
+            for (s1, e1), (s2, _e2) in zip(intervals, intervals[1:]):
+                assert s2 >= e1

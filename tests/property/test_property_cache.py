@@ -1,0 +1,132 @@
+"""Property-based tests of the cache substrate."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.mem.cache import SetAssociativeCache
+from repro.mem.l2 import BankedL2, L2Config
+from repro.mem.mapping import BankInterleaver
+
+addresses = st.integers(min_value=0, max_value=0x3F_FFFF)
+access_sequences = st.lists(
+    st.tuples(addresses, st.booleans()), min_size=1, max_size=300
+)
+
+
+class TestCacheInvariants:
+    @given(access_sequences)
+    @settings(max_examples=50, deadline=None)
+    def test_capacity_never_exceeded(self, seq):
+        c = SetAssociativeCache(1024, 32, 2, name="t")
+        for addr, is_write in seq:
+            c.access(addr, is_write)
+        assert c.resident_lines <= 1024 // 32
+        for s in c._sets:
+            assert len(s) <= 2
+
+    @given(access_sequences)
+    @settings(max_examples=50, deadline=None)
+    def test_immediate_rereference_always_hits(self, seq):
+        c = SetAssociativeCache(1024, 32, 2, name="t")
+        for addr, is_write in seq:
+            c.access(addr, is_write)
+            assert c.access(addr, False).hit
+
+    @given(access_sequences)
+    @settings(max_examples=50, deadline=None)
+    def test_stats_balance(self, seq):
+        c = SetAssociativeCache(512, 32, 2, name="t")
+        for addr, is_write in seq:
+            c.access(addr, is_write)
+        s = c.stats
+        assert s.hits + s.misses == s.accesses
+        assert s.writebacks <= s.evictions
+        # Every line is resident or was evicted (or replaced invalid).
+        assert c.resident_lines + s.evictions <= s.misses
+
+    @given(access_sequences)
+    @settings(max_examples=50, deadline=None)
+    def test_dirty_lines_only_from_writes(self, seq):
+        c = SetAssociativeCache(2048, 32, 4, name="t")
+        written = set()
+        for addr, is_write in seq:
+            c.access(addr, is_write)
+            if is_write:
+                written.add(c.line_address(addr))
+        assert set(c.dirty_lines()) <= written
+
+    @given(access_sequences)
+    @settings(max_examples=30, deadline=None)
+    def test_flush_leaves_nothing(self, seq):
+        c = SetAssociativeCache(1024, 32, 4, name="t")
+        for addr, is_write in seq:
+            c.access(addr, is_write)
+        written, invalidated = c.flush()
+        assert c.resident_lines == 0
+        assert written <= invalidated
+
+    @given(access_sequences, st.integers(0, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_policies_agree_on_hits(self, seq, seed):
+        """Hit/miss of the *same* reference stream may differ between
+        policies, but a just-filled line is a hit under any policy."""
+        for policy in ("lru", "fifo", "random", "plru"):
+            c = SetAssociativeCache(512, 32, 2, policy=policy, seed=seed, name="t")
+            for addr, is_write in seq:
+                c.access(addr, is_write)
+                assert c.probe(addr)
+
+
+class TestInterleaverProperties:
+    @given(addresses)
+    @settings(max_examples=200, deadline=None)
+    def test_strip_rebuild_round_trip(self, addr):
+        il = BankInterleaver(32, 32)
+        bank = il.bank_index(addr)
+        assert il.rebuild_address(il.strip_bank_bits(addr), bank) == addr
+
+    @given(addresses, addresses)
+    @settings(max_examples=100, deadline=None)
+    def test_distinct_addresses_distinct_keys(self, a, b):
+        """(bank, stripped) is injective: no two addresses alias."""
+        il = BankInterleaver(32, 32)
+        if a // 32 != b // 32:  # different lines
+            key_a = (il.bank_index(a), il.strip_bank_bits(a) // 32)
+            key_b = (il.bank_index(b), il.strip_bank_bits(b) // 32)
+            assert key_a != key_b
+
+
+class TestL2FoldingProperties:
+    @given(st.lists(addresses, min_size=1, max_size=150))
+    @settings(max_examples=25, deadline=None)
+    def test_folded_l2_still_coherent(self, addrs):
+        """Under PC16-MB8 folding, a just-accessed address is always
+        resident and always found in its remapped bank."""
+        from repro.mot.power_state import PC16_MB8
+        from repro.mot.reconfigurator import plan_reconfiguration
+
+        l2 = BankedL2(L2Config())
+        l2.prepare_power_state(plan_reconfiguration(PC16_MB8))
+        for addr in addrs:
+            out = l2.access(addr)
+            assert out.physical_bank in PC16_MB8.active_banks
+            assert l2.probe(addr)
+
+    @given(st.lists(st.tuples(addresses, st.booleans()), min_size=1, max_size=150))
+    @settings(max_examples=25, deadline=None)
+    def test_gating_transition_never_strands_dirty_data(self, seq):
+        from repro.mot.power_state import PC16_MB8, FULL_CONNECTION
+        from repro.mot.reconfigurator import plan_reconfiguration
+
+        l2 = BankedL2(L2Config())
+        for addr, is_write in seq:
+            l2.access(addr, is_write)
+        l2.prepare_power_state(plan_reconfiguration(PC16_MB8))
+        # Invariant: every dirty line is reachable under the new map.
+        for bank_id, bank in enumerate(l2.banks):
+            for addr in bank.dirty_lines():
+                assert l2.physical_bank(addr) == bank_id
+        # And going back is equally safe.
+        l2.prepare_power_state(plan_reconfiguration(FULL_CONNECTION))
+        for bank_id, bank in enumerate(l2.banks):
+            for addr in bank.dirty_lines():
+                assert l2.physical_bank(addr) == bank_id

@@ -1,0 +1,65 @@
+"""Property-based tests of the simulation engine."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.engine import SimulationEngine
+from repro.sim.trace import MemRef, TraceStep
+
+step_lists = st.lists(
+    st.tuples(st.integers(0, 50), st.integers(0, 0xFFFF)), min_size=1, max_size=40
+)
+
+
+def trace_from(spec):
+    return iter(
+        TraceStep(compute_cycles=gap, ref=MemRef(addr * 8))
+        for gap, addr in spec
+    )
+
+
+class TestEngineProperties:
+    @given(step_lists, st.integers(1, 20))
+    @settings(max_examples=50, deadline=None)
+    def test_finish_time_accounts_all_cycles(self, spec, latency):
+        eng = SimulationEngine({0: trace_from(spec)}, lambda c, r, t: latency)
+        finish = eng.run()
+        stats = eng.core_stats[0]
+        assert finish == stats.busy_cycles + stats.stall_cycles
+        assert stats.memory_references == len(spec)
+
+    @given(st.dictionaries(st.integers(0, 7), step_lists, min_size=1, max_size=8),
+           st.integers(1, 10))
+    @settings(max_examples=30, deadline=None)
+    def test_finish_is_max_over_cores(self, specs, latency):
+        eng = SimulationEngine(
+            {c: trace_from(s) for c, s in specs.items()},
+            lambda c, r, t: latency,
+        )
+        finish = eng.run()
+        assert finish == max(s.finish_cycle for s in eng.core_stats.values())
+
+    @given(st.dictionaries(st.integers(0, 7), step_lists, min_size=2, max_size=8))
+    @settings(max_examples=30, deadline=None)
+    def test_memory_claims_in_time_order(self, specs):
+        """The conservative scheduler's key invariant: the memory system
+        sees requests at non-decreasing timestamps."""
+        times = []
+
+        def access(core, ref, now):
+            times.append(now)
+            return 3
+
+        eng = SimulationEngine(
+            {c: trace_from(s) for c, s in specs.items()}, access
+        )
+        eng.run()
+        assert times == sorted(times)
+
+    @given(step_lists)
+    @settings(max_examples=30, deadline=None)
+    def test_determinism(self, spec):
+        def run_once():
+            eng = SimulationEngine({0: trace_from(spec)}, lambda c, r, t: 7)
+            return eng.run()
+
+        assert run_once() == run_once()

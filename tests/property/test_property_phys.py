@@ -1,0 +1,74 @@
+"""Property-based tests of the physical models."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import units as u
+from repro.mot.latency import MoTLatencyModel
+from repro.mot.power_state import PowerState
+from repro.phys.elmore import (
+    repeated_wire_delay_per_m,
+    segmented_wire_delay,
+    unrepeated_wire_delay,
+)
+from repro.phys.geometry import Floorplan3D
+
+lengths = st.floats(min_value=1e-5, max_value=2e-2, allow_nan=False)
+sizes = st.floats(min_value=1.0, max_value=200.0, allow_nan=False)
+
+
+class TestElmoreProperties:
+    @given(lengths, lengths, sizes)
+    @settings(max_examples=100, deadline=None)
+    def test_delay_monotone_in_length(self, a, b, size):
+        lo, hi = min(a, b), max(a, b)
+        assert unrepeated_wire_delay(lo, size) <= unrepeated_wire_delay(hi, size)
+
+    @given(lengths, sizes, st.integers(1, 20))
+    @settings(max_examples=100, deadline=None)
+    def test_segmented_delay_positive(self, length, size, segments):
+        assert segmented_wire_delay(length, segments, size) > 0
+
+    @given(sizes, st.floats(min_value=1e-4, max_value=1e-2))
+    @settings(max_examples=100, deadline=None)
+    def test_per_meter_delay_independent_of_total_length(self, size, spacing):
+        # Per-meter figure only depends on the insertion, by definition.
+        d = repeated_wire_delay_per_m(size, spacing)
+        assert d > 0
+
+
+class TestGeometryProperties:
+    @given(st.integers(0, 4), st.integers(0, 5))
+    @settings(max_examples=60, deadline=None)
+    def test_span_bounded_by_die(self, core_exp, bank_exp):
+        fp = Floorplan3D()
+        span = fp.horizontal_wire_span_m(2**core_exp, 2**bank_exp)
+        assert 0 < span <= fp.die_width_m + fp.die_height_m
+
+    @given(st.integers(0, 5))
+    @settings(max_examples=30, deadline=None)
+    def test_area_fraction_consistency(self, bank_exp):
+        fp = Floorplan3D()
+        n = 2**bank_exp
+        span = fp.bank_span_m(n)
+        # span^2 / die^2 == active fraction (sqrt model).
+        assert (span / fp.die_width_m) ** 2 == pytest.approx(n / 32)
+
+
+class TestLatencyModelProperties:
+    @given(st.integers(0, 4), st.integers(0, 5))
+    @settings(max_examples=60, deadline=None)
+    def test_latency_monotone_in_active_resources(self, core_exp, bank_exp):
+        """More active cores/banks can never *reduce* the latency."""
+        model = MoTLatencyModel()
+        state = PowerState.from_counts("s", 2**core_exp, 2**bank_exp)
+        bigger = PowerState.from_counts("b", 16, 32)
+        assert model.hit_latency_cycles(state) <= model.hit_latency_cycles(bigger)
+
+    @given(st.integers(0, 4), st.integers(0, 5))
+    @settings(max_examples=60, deadline=None)
+    def test_latency_at_least_bank_access(self, core_exp, bank_exp):
+        model = MoTLatencyModel()
+        state = PowerState.from_counts("s", 2**core_exp, 2**bank_exp)
+        assert model.hit_latency_cycles(state) >= 1
+        assert model.breakdown(state).total_s >= model.bank.access_time()

@@ -1,0 +1,124 @@
+"""Property-based tests of the reconfiguration engine.
+
+The remapping is the heart of the paper's contribution; these
+properties must hold for *every* legal fabric size and active set, not
+just the paper's examples.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.mot.fabric import MoTFabric
+from repro.mot.power_state import PowerState
+from repro.mot.reconfigurator import (
+    compute_remap_table,
+    compute_routing_modes,
+    plan_reconfiguration,
+    remap_bank,
+)
+from repro.mot.signals import RoutingMode
+
+
+@st.composite
+def fabric_and_state(draw):
+    """A random (n_cores, n_banks, aligned active sets) configuration.
+
+    Active sets are unions of aligned power-of-two blocks — the shapes
+    the hardware can express by forcing subtree levels.
+    """
+    core_exp = draw(st.integers(1, 4))
+    bank_exp = draw(st.integers(1, 5))
+    n_cores, n_banks = 2**core_exp, 2**bank_exp
+    active_core_exp = draw(st.integers(0, core_exp))
+    active_bank_exp = draw(st.integers(0, bank_exp))
+    n_active_cores = 2**active_core_exp
+    n_active_banks = 2**active_bank_exp
+    core_block = draw(st.integers(0, n_cores // n_active_cores - 1))
+    bank_block = draw(st.integers(0, n_banks // n_active_banks - 1))
+    state = PowerState(
+        name="random",
+        total_cores=n_cores,
+        total_banks=n_banks,
+        active_cores=frozenset(
+            range(core_block * n_active_cores, (core_block + 1) * n_active_cores)
+        ),
+        active_banks=frozenset(
+            range(bank_block * n_active_banks, (bank_block + 1) * n_active_banks)
+        ),
+    )
+    return n_cores, n_banks, state
+
+
+class TestRemapProperties:
+    @given(fabric_and_state())
+    @settings(max_examples=60, deadline=None)
+    def test_remap_targets_active_banks_only(self, cfg):
+        _n_cores, n_banks, state = cfg
+        remap = compute_remap_table(n_banks, state.active_banks)
+        assert set(remap) <= set(state.active_banks)
+
+    @given(fabric_and_state())
+    @settings(max_examples=60, deadline=None)
+    def test_active_banks_map_to_themselves(self, cfg):
+        _n_cores, n_banks, state = cfg
+        remap = compute_remap_table(n_banks, state.active_banks)
+        for bank in state.active_banks:
+            assert remap[bank] == bank
+
+    @given(fabric_and_state())
+    @settings(max_examples=60, deadline=None)
+    def test_folding_is_even(self, cfg):
+        """Section III: folded data is "evenly distributed" over the
+        surviving banks."""
+        _n_cores, n_banks, state = cfg
+        remap = compute_remap_table(n_banks, state.active_banks)
+        fold = n_banks // state.n_active_banks
+        for bank in state.active_banks:
+            assert remap.count(bank) == fold
+
+    @given(fabric_and_state())
+    @settings(max_examples=40, deadline=None)
+    def test_fabric_walk_agrees_with_remap_table(self, cfg):
+        """The table is a *prediction* of what the switches do; the
+        switches are ground truth."""
+        n_cores, n_banks, state = cfg
+        fabric = MoTFabric(n_cores, n_banks)
+        plan = fabric.apply_power_state(state)
+        core = min(state.active_cores)
+        for bank in range(n_banks):
+            assert fabric.resolve_bank(core, bank) == plan.remap[bank]
+
+    @given(fabric_and_state())
+    @settings(max_examples=60, deadline=None)
+    def test_no_walk_reaches_a_gated_switch(self, cfg):
+        _n_cores, n_banks, state = cfg
+        modes = compute_routing_modes(n_banks, state.active_banks)
+        for bank in range(n_banks):
+            remap_bank(bank, n_banks, modes)  # raises on gated contact
+
+    @given(fabric_and_state())
+    @settings(max_examples=60, deadline=None)
+    def test_gated_switch_count_consistent(self, cfg):
+        """Every switch is gated iff its subtree holds no active bank."""
+        _n_cores, n_banks, state = cfg
+        modes = compute_routing_modes(n_banks, state.active_banks)
+        import math
+
+        levels = int(math.log2(n_banks))
+        for (level, pos), mode in modes.items():
+            width = n_banks >> level
+            lo = pos * width
+            has_active = any(
+                b in state.active_banks for b in range(lo, lo + width)
+            )
+            assert (mode is RoutingMode.GATED) == (not has_active)
+
+    @given(fabric_and_state())
+    @settings(max_examples=40, deadline=None)
+    def test_full_state_plans_identity(self, cfg):
+        n_cores, n_banks, _state = cfg
+        full = PowerState.from_counts("full", n_cores, n_banks, n_cores, n_banks)
+        plan = plan_reconfiguration(full)
+        assert list(plan.remap) == list(range(n_banks))
+        assert all(
+            m is RoutingMode.CONVENTIONAL for m in plan.routing_modes.values()
+        )

@@ -1,0 +1,77 @@
+"""Property-based tests of workload address streams and traces."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads.base import SyntheticWorkload
+from repro.workloads.characteristics import SPLASH2_NAMES
+from repro.workloads.generators import make_stream
+
+patterns = st.sampled_from(["stream", "stride", "random", "stencil", "cluster"])
+region_sizes = st.integers(min_value=4096, max_value=512 * 1024).map(
+    lambda x: (x // 2048) * 2048
+)
+
+
+class TestStreamProperties:
+    @given(patterns, region_sizes, st.integers(0, 2**31), st.integers(1, 64),
+           st.integers(1, 8))
+    @settings(max_examples=80, deadline=None)
+    def test_addresses_always_in_region(self, pattern, size, seed, stride, burst):
+        rng = np.random.default_rng(seed)
+        s = make_stream(pattern, 0x1000, size, rng,
+                        touch_stride=stride, burst=burst)
+        for _ in range(300):
+            addr = s.next_address()
+            assert 0x1000 <= addr < 0x1000 + size
+
+    @given(patterns, st.integers(0, 2**31))
+    @settings(max_examples=40, deadline=None)
+    def test_streams_deterministic_per_seed(self, pattern, seed):
+        def take(n):
+            rng = np.random.default_rng(seed)
+            s = make_stream(pattern, 0, 64 * 1024, rng)
+            return [s.next_address() for _ in range(n)]
+
+        assert take(100) == take(100)
+
+
+class TestTraceProperties:
+    @given(st.sampled_from(SPLASH2_NAMES), st.integers(1, 4),
+           st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_traces_are_well_formed(self, name, core_exp_half, seed):
+        """Every step has non-negative compute and valid refs; every
+        active core sees the same barrier sequence."""
+        n_cores = 2 ** (core_exp_half)
+        w = SyntheticWorkload(name, scale=0.02, seed=seed)
+        traces = w.traces(range(n_cores))
+        barrier_seqs = {}
+        for core, trace in traces.items():
+            barriers = []
+            for step in trace:
+                assert step.compute_cycles >= 0
+                if step.ref is not None:
+                    assert step.ref.address >= 0
+                if step.barrier is not None:
+                    barriers.append(step.barrier)
+            barrier_seqs[core] = barriers
+        seqs = set(map(tuple, barrier_seqs.values()))
+        assert len(seqs) == 1  # identical barrier schedule on all cores
+
+    @given(st.sampled_from(SPLASH2_NAMES))
+    @settings(max_examples=8, deadline=None)
+    def test_work_conservation_across_core_counts(self, name):
+        """Total instructions are (approximately) independent of the
+        core count — parallelism redistributes, not shrinks, work."""
+        def total_work(n_cores):
+            w = SyntheticWorkload(name, scale=0.05)
+            plans = w.section_plans(n_cores)
+            serial = sum(p.instructions for p in plans if p.serial)
+            parallel = sum(
+                p.instructions for p in plans if not p.serial
+            ) * n_cores
+            return serial + parallel
+
+        w4, w16 = total_work(4), total_work(16)
+        assert abs(w4 - w16) / w4 < 0.02

@@ -1,0 +1,149 @@
+"""Tests of the conservative event-driven scheduler."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import SimulationEngine
+from repro.sim.trace import MemRef, TraceStep
+
+
+def flat_memory(latency: int):
+    """Memory callback with a constant latency."""
+
+    def access(core, ref, now):
+        return latency
+
+    return access
+
+
+def steps(*items):
+    return iter(items)
+
+
+class TestBasicExecution:
+    def test_compute_only_trace(self):
+        eng = SimulationEngine(
+            {0: steps(TraceStep(compute_cycles=100))}, flat_memory(1)
+        )
+        assert eng.run() == 100
+        assert eng.core_stats[0].busy_cycles == 100
+
+    def test_memory_latency_charged(self):
+        eng = SimulationEngine(
+            {0: steps(TraceStep(compute_cycles=10, ref=MemRef(0)))},
+            flat_memory(5),
+        )
+        assert eng.run() == 15
+        stats = eng.core_stats[0]
+        assert stats.busy_cycles == 11  # compute + the L1 cycle
+        assert stats.stall_cycles == 4
+
+    def test_two_cores_run_concurrently(self):
+        eng = SimulationEngine(
+            {
+                0: steps(TraceStep(compute_cycles=100)),
+                1: steps(TraceStep(compute_cycles=60)),
+            },
+            flat_memory(1),
+        )
+        assert eng.run() == 100  # max, not sum
+        assert eng.core_stats[1].finish_cycle == 60
+
+    def test_memory_accesses_counted(self):
+        eng = SimulationEngine(
+            {0: steps(
+                TraceStep(compute_cycles=1, ref=MemRef(0)),
+                TraceStep(compute_cycles=1, ref=MemRef(32)),
+            )},
+            flat_memory(2),
+        )
+        eng.run()
+        assert eng.core_stats[0].memory_references == 2
+
+    def test_causal_resource_ordering(self):
+        """Shared-resource claims happen in global time order."""
+        claimed = []
+
+        def access(core, ref, now):
+            claimed.append((now, core))
+            return 1
+
+        eng = SimulationEngine(
+            {
+                0: steps(TraceStep(compute_cycles=5, ref=MemRef(0))),
+                1: steps(TraceStep(compute_cycles=3, ref=MemRef(0))),
+            },
+            access,
+        )
+        eng.run()
+        assert claimed == sorted(claimed)
+
+    def test_zero_latency_memory_rejected(self):
+        eng = SimulationEngine(
+            {0: steps(TraceStep(ref=MemRef(0)))}, flat_memory(0)
+        )
+        with pytest.raises(SimulationError):
+            eng.run()
+
+    def test_no_cores_rejected(self):
+        with pytest.raises(SimulationError):
+            SimulationEngine({}, flat_memory(1))
+
+    def test_runaway_guard(self):
+        eng = SimulationEngine(
+            {0: steps(TraceStep(compute_cycles=10_000),
+                      TraceStep(compute_cycles=10_000))},
+            flat_memory(1),
+            max_cycles=5_000,
+        )
+        with pytest.raises(SimulationError):
+            eng.run()
+
+
+class TestBarriers:
+    def test_barrier_synchronizes(self):
+        eng = SimulationEngine(
+            {
+                0: steps(TraceStep(compute_cycles=100, barrier=0),
+                         TraceStep(compute_cycles=10)),
+                1: steps(TraceStep(compute_cycles=20, barrier=0),
+                         TraceStep(compute_cycles=10)),
+            },
+            flat_memory(1),
+        )
+        assert eng.run() == 110  # both resume at t=100
+        assert eng.core_stats[1].barrier_cycles == 80
+        assert eng.core_stats[0].barrier_cycles == 0
+
+    def test_multiple_barriers(self):
+        eng = SimulationEngine(
+            {
+                0: steps(TraceStep(compute_cycles=10, barrier=0),
+                         TraceStep(compute_cycles=10, barrier=1)),
+                1: steps(TraceStep(compute_cycles=30, barrier=0),
+                         TraceStep(compute_cycles=5, barrier=1)),
+            },
+            flat_memory(1),
+        )
+        assert eng.run() == 40
+        assert eng.core_stats[0].barrier_cycles == 20 + 0
+        assert eng.core_stats[1].barrier_cycles == 5
+
+    def test_unreleased_barrier_detected(self):
+        eng = SimulationEngine(
+            {
+                0: steps(TraceStep(compute_cycles=10, barrier=0)),
+                1: steps(TraceStep(compute_cycles=10)),  # never arrives
+            },
+            flat_memory(1),
+        )
+        with pytest.raises(SimulationError):
+            eng.run()
+
+    def test_single_core_barrier_passes_through(self):
+        eng = SimulationEngine(
+            {0: steps(TraceStep(compute_cycles=10, barrier=0),
+                      TraceStep(compute_cycles=5))},
+            flat_memory(1),
+        )
+        assert eng.run() == 15

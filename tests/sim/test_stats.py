@@ -1,0 +1,55 @@
+"""Tests of the result containers."""
+
+import pytest
+
+from repro.sim.stats import CoreStats, SimReport
+
+
+class TestCoreStats:
+    def test_total_cycles(self):
+        c = CoreStats(0, busy_cycles=10, stall_cycles=5, barrier_cycles=3)
+        assert c.total_cycles == 18
+
+    def test_memory_stall_fraction(self):
+        c = CoreStats(0, busy_cycles=75, stall_cycles=25)
+        assert c.memory_stall_fraction == pytest.approx(0.25)
+
+    def test_idle_core_fraction_zero(self):
+        assert CoreStats(0).memory_stall_fraction == 0.0
+
+
+class TestSimReport:
+    def make(self, **kw):
+        defaults = dict(
+            workload_name="w", interconnect_name="ic",
+            power_state_name="Full connection", n_active_cores=2,
+            n_active_banks=32, dram_name="d",
+            execution_cycles=1000,
+            cores=[CoreStats(0, busy_cycles=600, stall_cycles=400),
+                   CoreStats(1, busy_cycles=500, stall_cycles=100,
+                             barrier_cycles=200)],
+            l1_accesses=100, l1_misses=10,
+            l2_accesses=10, l2_hits=8, l2_misses=2,
+        )
+        defaults.update(kw)
+        return SimReport(**defaults)
+
+    def test_miss_rates(self):
+        r = self.make()
+        assert r.l1_miss_rate == pytest.approx(0.1)
+        assert r.l2_miss_rate == pytest.approx(0.2)
+
+    def test_zero_access_rates(self):
+        r = self.make(l1_accesses=0, l1_misses=0, l2_accesses=0, l2_misses=0)
+        assert r.l1_miss_rate == 0.0
+        assert r.l2_miss_rate == 0.0
+
+    def test_cycle_aggregates(self):
+        r = self.make()
+        assert r.total_busy_cycles == 1100
+        assert r.total_stall_cycles == 400 + 100 + 200
+
+    def test_summary_complete(self):
+        s = self.make().summary()
+        assert s["execution_cycles"] == 1000.0
+        assert s["l1_miss_rate"] == pytest.approx(0.1)

@@ -1,0 +1,39 @@
+"""Tests of the trace vocabulary."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.sim.trace import MemRef, TraceStep
+
+
+class TestMemRef:
+    def test_fields(self):
+        ref = MemRef(0x1000, is_write=True)
+        assert ref.address == 0x1000
+        assert ref.is_write
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(WorkloadError):
+            MemRef(-1)
+
+    def test_instruction_writes_rejected(self):
+        with pytest.raises(WorkloadError):
+            MemRef(0x1000, is_write=True, is_instruction=True)
+
+
+class TestTraceStep:
+    def test_compute_only(self):
+        step = TraceStep(compute_cycles=10)
+        assert step.ref is None and step.barrier is None
+
+    def test_barrier_only(self):
+        step = TraceStep(barrier=3)
+        assert step.barrier == 3
+
+    def test_empty_step_rejected(self):
+        with pytest.raises(WorkloadError):
+            TraceStep()
+
+    def test_negative_compute_rejected(self):
+        with pytest.raises(WorkloadError):
+            TraceStep(compute_cycles=-1, ref=MemRef(0))

@@ -1,0 +1,76 @@
+"""Tests of trace persistence (.npz round trip)."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.sim.cluster import Cluster3D
+from repro.sim.trace import MemRef, TraceStep
+from repro.sim.tracefile import (
+    arrays_to_steps,
+    load_traces,
+    save_traces,
+    steps_to_arrays,
+)
+from repro.mot.power_state import FULL_CONNECTION
+from repro.workloads import build_traces
+
+from tests.conftest import FAST_SCALE
+
+
+SAMPLE = [
+    TraceStep(compute_cycles=5, ref=MemRef(0x1000)),
+    TraceStep(compute_cycles=0, ref=MemRef(0x2000, is_write=True)),
+    TraceStep(compute_cycles=3, ref=MemRef(0x4000, is_instruction=True)),
+    TraceStep(barrier=7),
+    TraceStep(compute_cycles=2, ref=MemRef(0x1008), barrier=8),
+]
+
+
+class TestColumnarEncoding:
+    def test_round_trip_preserves_everything(self):
+        arrays = steps_to_arrays(SAMPLE)
+        decoded = list(arrays_to_steps(arrays))
+        assert decoded == SAMPLE
+
+    def test_large_addresses_survive(self):
+        steps = [TraceStep(ref=MemRef(2**40 + 64))]
+        decoded = list(arrays_to_steps(steps_to_arrays(steps)))
+        assert decoded[0].ref.address == 2**40 + 64
+
+
+class TestFileRoundTrip:
+    def test_save_load(self, tmp_path):
+        path = tmp_path / "traces.npz"
+        counts = save_traces({0: iter(SAMPLE), 3: iter(SAMPLE[:2])}, path)
+        assert counts == {0: 5, 3: 2}
+        loaded = load_traces(path)
+        assert set(loaded) == {0, 3}
+        assert list(loaded[0]) == SAMPLE
+        assert list(loaded[3]) == SAMPLE[:2]
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(WorkloadError):
+            load_traces(tmp_path / "nope.npz")
+
+    def test_not_a_trace_archive(self, tmp_path):
+        import numpy as np
+
+        path = tmp_path / "other.npz"
+        np.savez(path, something=np.arange(3))
+        with pytest.raises(WorkloadError):
+            load_traces(path)
+
+    def test_simulation_from_loaded_traces_matches_generated(self, tmp_path):
+        """Running persisted traces reproduces the live-generated run."""
+        path = tmp_path / "fft.npz"
+        cores = sorted(FULL_CONNECTION.active_cores)
+        save_traces(build_traces("fft", cores, scale=FAST_SCALE), path)
+
+        live = Cluster3D(power_state=FULL_CONNECTION).run(
+            build_traces("fft", cores, scale=FAST_SCALE), "fft"
+        )
+        replayed = Cluster3D(power_state=FULL_CONNECTION).run(
+            load_traces(path), "fft"
+        )
+        assert replayed.execution_cycles == live.execution_cycles
+        assert replayed.l2_accesses == live.l2_accesses

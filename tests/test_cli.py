@@ -1,0 +1,62 @@
+"""Tests of the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_fig7_dram_choices(self):
+        args = build_parser().parse_args(["fig7", "--dram", "63"])
+        assert args.dram == 63
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig7", "--dram", "100"])
+
+    def test_benchmark_whitelist(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig6", "--benchmarks", "linpack"])
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "12 cycles" in out and "PC4-MB8" in out
+
+    def test_config(self, capsys):
+        assert main(["config"]) == 0
+        assert "64 KB x 32 banks" in capsys.readouterr().out
+
+    def test_fig5(self, capsys):
+        assert main(["fig5"]) == 0
+        assert "wire lengths" in capsys.readouterr().out
+
+    def test_fabric_rendering(self, capsys):
+        assert main(["fabric", "--state", "PC4-MB8", "--core", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "PC4-MB8" in out
+        assert "core 6 routing tree" in out
+
+    def test_fabric_unknown_state(self):
+        from repro.errors import PowerStateError
+
+        with pytest.raises(PowerStateError):
+            main(["fabric", "--state", "PC2-MB1"])
+
+    def test_fig6_small_run(self, capsys):
+        assert main(
+            ["fig6", "--scale", "0.05", "--benchmarks", "volrend"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Fig 6a" in out and "3-D MoT" in out
+
+    def test_fig7_small_run(self, capsys):
+        assert main(
+            ["fig7", "--scale", "0.05", "--benchmarks", "volrend",
+             "--dram", "42"]
+        ) == 0
+        assert "EDP" in capsys.readouterr().out

@@ -1,0 +1,32 @@
+"""Tests of the top-level cluster configuration."""
+
+import pytest
+
+from repro.config import ClusterConfig, DEFAULT_CONFIG
+from repro.mem.dram import WIDE_IO_3D
+
+
+class TestDefaults:
+    def test_table1_values(self):
+        c = DEFAULT_CONFIG
+        assert c.n_cores == 16
+        assert c.frequency_hz == 1e9
+        assert c.l1.capacity_bytes == 4 * 1024
+        assert c.l2.n_banks == 32
+        assert c.l2.bank_capacity_bytes == 64 * 1024
+        assert c.dram.access_latency_ns == 200.0
+        assert c.floorplan.n_cache_tiers == 2
+
+    def test_describe_mentions_everything(self):
+        text = DEFAULT_CONFIG.describe()
+        for fragment in ("1.0 GHz", "4 KB", "64 KB x 32 banks", "200 ns",
+                         "5.0 mm", "40 um"):
+            assert fragment in text
+
+    def test_custom_dram(self):
+        c = ClusterConfig(dram=WIDE_IO_3D)
+        assert "63 ns" in c.describe()
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            DEFAULT_CONFIG.n_cores = 8

@@ -1,0 +1,52 @@
+"""Tests of unit helpers and conversions."""
+
+import pytest
+
+from repro import units as u
+
+
+class TestCycleConversion:
+    def test_exact_boundary_not_rounded_up(self):
+        # 1.0 ns at 1 GHz is exactly one cycle, not two.
+        assert u.seconds_to_cycles(1.0 * u.NS, 1 * u.GHZ) == 1
+
+    def test_fraction_rounds_up(self):
+        assert u.seconds_to_cycles(1.2 * u.NS, 1 * u.GHZ) == 2
+
+    def test_float_fuzz_tolerated(self):
+        # 12 cycles computed as 3 * 4.000000000000001 ns must stay 12.
+        assert u.seconds_to_cycles(12.000000000000002 * u.NS, 1 * u.GHZ) == 12
+
+    def test_zero_and_negative(self):
+        assert u.seconds_to_cycles(0.0, 1e9) == 0
+        assert u.seconds_to_cycles(-1.0, 1e9) == 0
+
+    def test_round_trip(self):
+        assert u.cycles_to_seconds(12, 1 * u.GHZ) == pytest.approx(12 * u.NS)
+
+    def test_ns_helper(self):
+        assert u.ns_to_cycles(200.0, 1e9) == 200
+
+
+class TestPowersOfTwo:
+    @pytest.mark.parametrize("value", [1, 2, 4, 1024, 2**30])
+    def test_powers_accepted(self, value):
+        assert u.is_power_of_two(value)
+
+    @pytest.mark.parametrize("value", [0, -2, 3, 12, 1023])
+    def test_non_powers_rejected(self, value):
+        assert not u.is_power_of_two(value)
+
+    def test_log2_int(self):
+        assert u.log2_int(32) == 5
+        assert u.log2_int(1) == 0
+
+    def test_log2_int_rejects_non_powers(self):
+        with pytest.raises(ValueError):
+            u.log2_int(12)
+
+    def test_unit_magnitudes(self):
+        assert u.MM == 1e-3
+        assert u.NS == 1e-9
+        assert u.FF == 1e-15
+        assert u.GHZ == 1e9

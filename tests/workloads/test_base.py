@@ -1,0 +1,115 @@
+"""Tests of the trace-building layer (phases, barriers, Amdahl split)."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.sim.trace import TraceStep
+from repro.workloads.base import SyntheticWorkload, build_traces
+from repro.workloads.characteristics import profile
+
+
+@pytest.fixture
+def fft() -> SyntheticWorkload:
+    return SyntheticWorkload("fft", scale=0.05)
+
+
+def drain(trace):
+    return list(trace)
+
+
+class TestSectionPlans:
+    def test_phase_structure(self, fft):
+        plans = fft.section_plans(n_cores=4)
+        # n_phases x (serial + parallel).
+        assert len(plans) == 2 * fft.profile.n_phases
+        assert [p.serial for p in plans[:2]] == [True, False]
+
+    def test_barrier_ids_unique(self, fft):
+        plans = fft.section_plans(4)
+        ids = [p.barrier_id for p in plans]
+        assert len(set(ids)) == len(ids)
+
+    def test_amdahl_split(self, fft):
+        work = fft.total_instructions()
+        p = fft.profile.parallel_fraction
+        plans16 = fft.section_plans(16)
+        serial = sum(pl.instructions for pl in plans16 if pl.serial)
+        parallel_per_core = sum(
+            pl.instructions for pl in plans16 if not pl.serial
+        )
+        assert serial == pytest.approx(work * (1 - p), rel=0.01)
+        assert parallel_per_core == pytest.approx(work * p / 16, rel=0.01)
+
+    def test_more_cores_less_parallel_work_each(self, fft):
+        p4 = sum(p.instructions for p in fft.section_plans(4) if not p.serial)
+        p16 = sum(p.instructions for p in fft.section_plans(16) if not p.serial)
+        assert p16 < p4
+
+    def test_zero_cores_rejected(self, fft):
+        with pytest.raises(WorkloadError):
+            fft.section_plans(0)
+
+
+class TestTraces:
+    def test_one_trace_per_core(self, fft):
+        traces = fft.traces(range(16))
+        assert set(traces) == set(range(16))
+
+    def test_every_core_hits_every_barrier(self, fft):
+        traces = fft.traces([0, 1, 2, 3])
+        expected = {p.barrier_id for p in fft.section_plans(4)}
+        for core, trace in traces.items():
+            seen = {s.barrier for s in drain(trace) if s.barrier is not None}
+            assert seen == expected, f"core {core} missed barriers"
+
+    def test_serial_work_only_on_first_core(self, fft):
+        traces = fft.traces([0, 1])
+        steps0 = drain(traces[0])
+        steps1 = drain(traces[1])
+        refs0 = sum(1 for s in steps0 if s.ref is not None)
+        refs1 = sum(1 for s in steps1 if s.ref is not None)
+        # Core 0 carries serial + parallel; core 1 only parallel.
+        assert refs0 > refs1
+
+    def test_deterministic_per_seed(self):
+        w = SyntheticWorkload("volrend", scale=0.05, seed=11)
+        a = [(s.compute_cycles, s.ref.address if s.ref else None)
+             for s in w.traces([0])[0]]
+        w2 = SyntheticWorkload("volrend", scale=0.05, seed=11)
+        b = [(s.compute_cycles, s.ref.address if s.ref else None)
+             for s in w2.traces([0])[0]]
+        assert a == b
+
+    def test_cores_get_different_streams(self, fft):
+        traces = fft.traces([0, 1])
+        a = [s.ref.address for s in drain(traces[0]) if s.ref]
+        b = [s.ref.address for s in drain(traces[1]) if s.ref]
+        assert a[:50] != b[:50]
+
+    def test_mem_ratio_respected(self, fft):
+        steps = drain(fft.traces([0])[0])
+        refs = sum(1 for s in steps if s.ref is not None)
+        instructions = sum(s.compute_cycles for s in steps) + refs
+        ratio = refs / instructions
+        assert ratio == pytest.approx(fft.profile.mem_ratio, rel=0.2)
+
+    def test_write_fraction_respected(self, fft):
+        steps = drain(fft.traces([0])[0])
+        data_refs = [s.ref for s in steps if s.ref and not s.ref.is_instruction]
+        writes = sum(1 for r in data_refs if r.is_write)
+        assert writes / len(data_refs) == pytest.approx(
+            fft.profile.write_fraction, abs=0.08
+        )
+
+    def test_scale_shrinks_work(self):
+        small = SyntheticWorkload("fft", scale=0.05).total_instructions()
+        big = SyntheticWorkload("fft", scale=0.5).total_instructions()
+        assert big == 10 * small
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(WorkloadError):
+            SyntheticWorkload("fft", scale=0.0)
+
+    def test_build_traces_helper(self):
+        traces = build_traces("water-nsquared", [3, 5], scale=0.05)
+        assert set(traces) == {3, 5}

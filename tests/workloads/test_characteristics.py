@@ -1,0 +1,69 @@
+"""Tests of the SPLASH-2 profile table."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.characteristics import (
+    GOOD_SCALABILITY,
+    LARGE_WORKING_SET,
+    LIMITED_SCALABILITY,
+    SMALL_WORKING_SET,
+    SPLASH2_NAMES,
+    SPLASH2_PROFILES,
+    WorkloadProfile,
+    profile,
+)
+
+
+class TestSuite:
+    def test_eight_programs(self):
+        assert len(SPLASH2_NAMES) == 8
+        assert set(SPLASH2_NAMES) == set(SPLASH2_PROFILES)
+
+    def test_groups_partition_the_suite(self):
+        assert set(LIMITED_SCALABILITY) | set(GOOD_SCALABILITY) == set(SPLASH2_NAMES)
+        assert not set(LIMITED_SCALABILITY) & set(GOOD_SCALABILITY)
+        assert set(SMALL_WORKING_SET) | set(LARGE_WORKING_SET) == set(SPLASH2_NAMES)
+        assert not set(SMALL_WORKING_SET) & set(LARGE_WORKING_SET)
+
+    def test_scalability_encoded_in_parallel_fraction(self):
+        worst_good = min(
+            SPLASH2_PROFILES[n].parallel_fraction for n in GOOD_SCALABILITY
+        )
+        best_limited = max(
+            SPLASH2_PROFILES[n].parallel_fraction for n in LIMITED_SCALABILITY
+        )
+        # The groups must be separable, as in Fig 7b.
+        assert worst_good > best_limited
+
+    def test_l2_demand_encoded_in_working_set(self):
+        """MB8 leaves 512 KB: large-WS programs must exceed it."""
+        mb8_capacity = 8 * 64 * 1024
+        for name in LARGE_WORKING_SET:
+            assert SPLASH2_PROFILES[name].working_set_bytes > mb8_capacity
+        for name in SMALL_WORKING_SET:
+            # At most marginally above (raytrace's soft random set).
+            assert SPLASH2_PROFILES[name].working_set_bytes <= mb8_capacity * 1.2
+
+    def test_lookup(self):
+        assert profile("fft").name == "fft"
+        with pytest.raises(WorkloadError):
+            profile("linpack")
+
+
+class TestProfileValidation:
+    def test_fraction_bounds(self):
+        with pytest.raises(WorkloadError):
+            WorkloadProfile("x", 1.5, 1024, 1000)
+        with pytest.raises(WorkloadError):
+            WorkloadProfile("x", 0.5, 1024, 1000, mem_ratio=2.0)
+
+    def test_pattern_whitelist(self):
+        with pytest.raises(WorkloadError):
+            WorkloadProfile("x", 0.5, 1024, 1000, pattern="zigzag")
+
+    def test_positive_sizes(self):
+        with pytest.raises(WorkloadError):
+            WorkloadProfile("x", 0.5, 0, 1000)
+        with pytest.raises(WorkloadError):
+            WorkloadProfile("x", 0.5, 1024, 1000, touch_stride=0)

@@ -1,0 +1,134 @@
+"""Tests of the address-stream kernels."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.generators import (
+    ClusterStream,
+    RandomStream,
+    SequentialStream,
+    StencilStream,
+    StridedStream,
+    make_stream,
+)
+
+
+def rng():
+    return np.random.default_rng(42)
+
+
+BASE, SIZE = 0x1000, 64 * 1024
+
+
+class TestInRange:
+    @pytest.mark.parametrize("pattern", ["stream", "stride", "random", "stencil", "cluster"])
+    def test_all_kernels_stay_in_region(self, pattern):
+        s = make_stream(pattern, BASE, SIZE, rng())
+        for _ in range(2000):
+            addr = s.next_address()
+            assert BASE <= addr < BASE + SIZE
+
+
+class TestSequential:
+    def test_stride_progression(self):
+        s = SequentialStream(BASE, SIZE, rng(), touch_stride=16)
+        addrs = [s.next_address() for _ in range(4)]
+        assert addrs == [BASE, BASE + 16, BASE + 32, BASE + 48]
+
+    def test_wraps_at_region_end(self):
+        s = SequentialStream(BASE, 64, rng(), touch_stride=32)
+        addrs = [s.next_address() for _ in range(3)]
+        assert addrs == [BASE, BASE + 32, BASE]
+
+    def test_start_offset_decomposes(self):
+        a = SequentialStream(BASE, SIZE, rng(), start_offset=0)
+        b = SequentialStream(BASE, SIZE, rng(), start_offset=SIZE // 2)
+        assert b.next_address() - a.next_address() == SIZE // 2
+
+
+class TestStrided:
+    def test_first_pass_unit_stride(self):
+        s = StridedStream(BASE, SIZE, rng(), burst=1)
+        a0, a1 = s.next_address(), s.next_address()
+        assert a1 - a0 == StridedStream.ELEMENT_BYTES
+
+    def test_stride_doubles_between_passes(self):
+        small = 256  # 16 elements: passes end quickly
+        s = StridedStream(BASE, small, rng(), burst=1)
+        first_pass = [s.next_address() for _ in range(16)]
+        second_pass = [s.next_address() for _ in range(2)]
+        assert first_pass[1] - first_pass[0] == 16
+        assert (second_pass[1] - second_pass[0]) % 32 == 0
+
+    def test_burst_touches_same_line(self):
+        s = StridedStream(BASE, SIZE, rng(), burst=2)
+        a0, a1 = s.next_address(), s.next_address()
+        assert a1 - a0 == 8  # second word of the element
+
+
+class TestRandom:
+    def test_word_aligned(self):
+        s = RandomStream(BASE, SIZE, rng(), burst=1)
+        assert all((s.next_address() - BASE) % 8 == 0 for _ in range(100))
+
+    def test_burst_is_consecutive(self):
+        s = RandomStream(BASE, SIZE, rng(), burst=4)
+        a = [s.next_address() for _ in range(4)]
+        assert a[1] == a[0] + 8
+        assert a[3] == a[0] + 24
+
+    def test_deterministic(self):
+        a = RandomStream(BASE, SIZE, np.random.default_rng(7))
+        b = RandomStream(BASE, SIZE, np.random.default_rng(7))
+        assert [a.next_address() for _ in range(50)] == [
+            b.next_address() for _ in range(50)
+        ]
+
+
+class TestStencil:
+    def test_three_phase_pattern(self):
+        # Start mid-region so north/south neighbours don't wrap.
+        s = StencilStream(BASE, SIZE, rng(), start_offset=SIZE // 2,
+                          touch_stride=16)
+        center = s.next_address()
+        north = s.next_address()
+        south = s.next_address()
+        assert north - center == s.row_bytes
+        assert center - south == s.row_bytes
+
+    def test_sweep_advances(self):
+        s = StencilStream(BASE, SIZE, rng(), start_offset=SIZE // 2,
+                          touch_stride=16)
+        c1 = s.next_address(); s.next_address(); s.next_address()
+        c2 = s.next_address()
+        assert c2 - c1 == 16
+
+
+class TestCluster:
+    def test_streams_within_cluster(self):
+        s = ClusterStream(BASE, SIZE, rng(), touch_stride=8)
+        a = [s.next_address() for _ in range(4)]
+        assert a[1] - a[0] == 8
+
+    def test_jumps_between_clusters(self):
+        s = ClusterStream(BASE, SIZE, rng(), touch_stride=8)
+        refs_per_cluster = ClusterStream.CLUSTER_BYTES // 8
+        first_cluster = s.next_address() // ClusterStream.CLUSTER_BYTES
+        for _ in range(refs_per_cluster):
+            s.next_address()
+        later_cluster = s.next_address() // ClusterStream.CLUSTER_BYTES
+        # Deterministic under this seed: the jump changes clusters.
+        assert later_cluster != first_cluster
+
+
+class TestFactory:
+    def test_unknown_pattern(self):
+        with pytest.raises(WorkloadError):
+            make_stream("spiral", BASE, SIZE, rng())
+
+    def test_bad_region(self):
+        with pytest.raises(WorkloadError):
+            RandomStream(-1, SIZE, rng())
+        with pytest.raises(WorkloadError):
+            RandomStream(BASE, 0, rng())
