@@ -1,0 +1,105 @@
+"""Wall-clock benchmark of the reference sweeps -> BENCH_speed.json.
+
+Times the paper's figure sweeps through the fast-path pipeline and
+records the numbers at the repo root, starting the perf trajectory
+every PR is measured against:
+
+    python benchmarks/bench_speed.py                  # reference run
+    REPRO_BENCH_SCALE=0.05 python benchmarks/bench_speed.py   # smoke
+    python benchmarks/bench_speed.py --jobs 4         # parallel sweep
+
+Environment / flags:
+
+``REPRO_BENCH_SCALE``
+    Work multiplier for the timed sweeps (default 1.0 = the reference
+    runs the acceptance criteria are defined on; 0.05 is a seconds-long
+    smoke pass).
+``--jobs N``
+    Worker processes for the sweep cells (default: single-process,
+    which is what the recorded ``fig7_seconds`` headline number means).
+``--out PATH``
+    Output path (default ``BENCH_speed.json`` at the repo root).
+
+The JSON keeps the seed baseline (measured before the fast path
+landed) so any run can report its speedup; subsequent PRs append their
+own measurements by re-running this script.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+#: Wall-clock of the seed's experiment_fig7(scale=1.0), single-process,
+#: measured on the PR-1 container before the fast path landed.
+SEED_FIG7_SCALE1_SECONDS = 98.71
+
+
+def bench_scale() -> float:
+    """Work scale for the timed sweeps."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def run(scale: float, jobs: int | None) -> dict:
+    """Time the sweeps; returns the results payload."""
+    from repro.analysis.experiments import experiment_fig6, experiment_fig7
+
+    results: dict = {}
+
+    t0 = time.perf_counter()
+    experiment_fig7(scale=scale, jobs=jobs)
+    fig7_s = time.perf_counter() - t0
+    results["fig7_seconds"] = round(fig7_s, 3)
+
+    t0 = time.perf_counter()
+    experiment_fig6(scale=scale, jobs=jobs)
+    results["fig6_seconds"] = round(time.perf_counter() - t0, 3)
+
+    if scale == 1.0 and (jobs is None or jobs <= 1):
+        results["fig7_speedup_vs_seed"] = round(
+            SEED_FIG7_SCALE1_SECONDS / fig7_s, 2
+        )
+    return results
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes (default: single-process)")
+    parser.add_argument("--out", type=Path,
+                        default=REPO_ROOT / "BENCH_speed.json",
+                        help="output JSON path")
+    args = parser.parse_args(argv)
+
+    scale = bench_scale()
+    print(f"bench_speed: scale={scale} jobs={args.jobs or 1} ...", flush=True)
+    results = run(scale, args.jobs)
+
+    payload = {
+        "schema": "repro-bench-speed/1",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": platform.python_version(),
+        "scale": scale,
+        "jobs": args.jobs or 1,
+        "seed_baseline": {
+            "fig7_scale1_seconds": SEED_FIG7_SCALE1_SECONDS,
+            "note": "seed repo, single-process, same container class",
+        },
+        "results": results,
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(payload, indent=2))
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

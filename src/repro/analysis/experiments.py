@@ -45,8 +45,23 @@ from repro.noc.mesh3d import True3DMesh
 from repro.noc.mot_adapter import MoTInterconnect
 from repro.phys.geometry import Floorplan3D
 from repro.sim.cluster import Cluster3D
+from repro.sim.parallel import SweepCell, run_cells
 from repro.sim.stats import SimReport
 from repro.workloads import SPLASH2_NAMES, build_traces
+
+from repro.errors import ConfigurationError
+
+
+def _dram_tag(dram: DRAMTimings) -> int:
+    """Picklable tag of a Table I DRAM preset (for worker processes)."""
+    tag = int(dram.access_latency_ns)
+    if tag not in (200, 63, 42):
+        raise ConfigurationError(
+            "parallel sweeps support the Table I DRAM presets "
+            f"(200/63/42 ns); got {dram.access_latency_ns} ns — "
+            "run with jobs=None for custom timings"
+        )
+    return tag
 
 
 def run_benchmark(
@@ -56,21 +71,56 @@ def run_benchmark(
     dram: DRAMTimings = DDR3_OFFCHIP,
     scale: float = 1.0,
     seed: int = 2016,
+    traces: Optional[Dict[int, object]] = None,
 ) -> Tuple[SimReport, EnergyBreakdown]:
-    """Run one benchmark on one configuration; returns (report, energy)."""
+    """Run one benchmark on one configuration; returns (report, energy).
+
+    ``traces`` optionally supplies pre-built per-core trace iterators
+    (they must match the power state's active cores); sweeps use this
+    to generate a benchmark's traces once and replay them across
+    configurations that share the same core set.
+    """
     if power_state is None:
         power_state = PAPER_POWER_STATES[0]
     cluster = Cluster3D(
         interconnect=interconnect, power_state=power_state, dram=dram
     )
-    traces = build_traces(
-        name, sorted(power_state.active_cores), scale=scale, seed=seed
-    )
+    if traces is None:
+        traces = build_traces(
+            name, sorted(power_state.active_cores), scale=scale, seed=seed
+        )
     report = cluster.run(traces, workload_name=name)
     energy = EnergyModel(dram=dram).breakdown(
         report, cluster.interconnect.leakage_w()
     )
     return report, energy
+
+
+class _TraceCache:
+    """Materialized trace blocks of one benchmark, replayable per core
+    set.  Generation is deterministic, so replaying the same blocks is
+    exactly equivalent to regenerating them — each sweep cell still
+    sees a fresh iterator."""
+
+    def __init__(self, name: str, scale: float, seed: int) -> None:
+        self.name = name
+        self.scale = scale
+        self.seed = seed
+        self._blocks: Dict[Tuple[int, ...], Dict[int, list]] = {}
+
+    def traces(self, active_cores) -> Dict[int, object]:
+        key = tuple(sorted(active_cores))
+        blocks = self._blocks.get(key)
+        if blocks is None:
+            from repro.workloads.base import SyntheticWorkload
+
+            lazy = SyntheticWorkload(
+                self.name, scale=self.scale, seed=self.seed
+            ).trace_blocks(key)
+            blocks = self._blocks[key] = {
+                core: list(trace) for core, trace in lazy.items()
+            }
+        return {core: iter(items) for core, items in blocks.items()}
 
 
 # ---------------------------------------------------------------------------
@@ -222,16 +272,49 @@ def experiment_fig6(
     scale: float = 1.0,
     benchmarks: Sequence[str] = SPLASH2_NAMES,
     dram: DRAMTimings = DDR3_OFFCHIP,
+    jobs: Optional[int] = None,
 ) -> Fig6Result:
-    """Four interconnects x SPLASH-2 at Full connection (Fig 6)."""
+    """Four interconnects x SPLASH-2 at Full connection (Fig 6).
+
+    ``jobs``: worker processes for the (benchmark x interconnect)
+    cells; ``None``/``1`` runs serially in-process (each benchmark's
+    traces are then generated once and replayed per interconnect).
+    """
     latency: Dict[str, Dict[str, float]] = {}
     execution: Dict[str, Dict[str, int]] = {}
+    ic_names = list(INTERCONNECT_FACTORIES)
+    if jobs is not None and jobs > 1:
+        cells = [
+            SweepCell(
+                benchmark=bench,
+                interconnect=ic_name,
+                dram_ns=_dram_tag(dram),
+                scale=scale,
+            )
+            for bench in benchmarks
+            for ic_name in ic_names
+        ]
+        results = iter(run_cells(cells, jobs=jobs))
+        for bench in benchmarks:
+            latency[bench] = {}
+            execution[bench] = {}
+            for ic_name in ic_names:
+                report, _energy = next(results)
+                latency[bench][ic_name] = report.mean_l2_latency_cycles
+                execution[bench][ic_name] = report.execution_cycles
+        return Fig6Result(latency_cycles=latency, execution_cycles=execution)
     for bench in benchmarks:
         latency[bench] = {}
         execution[bench] = {}
+        cache = _TraceCache(bench, scale, seed=2016)
         for ic_name, factory in INTERCONNECT_FACTORIES.items():
+            state = PAPER_POWER_STATES[0]
             report, _energy = run_benchmark(
-                bench, interconnect=factory(), dram=dram, scale=scale
+                bench,
+                interconnect=factory(),
+                dram=dram,
+                scale=scale,
+                traces=cache.traces(sorted(state.active_cores)),
             )
             latency[bench][ic_name] = report.mean_l2_latency_cycles
             execution[bench][ic_name] = report.execution_cycles
@@ -292,16 +375,49 @@ def experiment_fig7(
     scale: float = 1.0,
     benchmarks: Sequence[str] = SPLASH2_NAMES,
     dram: DRAMTimings = DDR3_OFFCHIP,
+    jobs: Optional[int] = None,
 ) -> PowerStateSweepResult:
-    """Four power states x SPLASH-2 on the MoT (Fig 7; DRAM 200 ns)."""
+    """Four power states x SPLASH-2 on the MoT (Fig 7; DRAM 200 ns).
+
+    ``jobs``: worker processes for the (benchmark x state) cells;
+    ``None``/``1`` runs serially in-process (a benchmark's traces are
+    then generated once per distinct active-core set and replayed).
+    """
     edp: Dict[str, Dict[str, float]] = {}
     execution: Dict[str, Dict[str, int]] = {}
     energy: Dict[str, Dict[str, float]] = {}
+    if jobs is not None and jobs > 1:
+        cells = [
+            SweepCell(
+                benchmark=bench,
+                power_state=state.name,
+                dram_ns=_dram_tag(dram),
+                scale=scale,
+            )
+            for bench in benchmarks
+            for state in PAPER_POWER_STATES
+        ]
+        results = iter(run_cells(cells, jobs=jobs))
+        for bench in benchmarks:
+            edp[bench], execution[bench], energy[bench] = {}, {}, {}
+            for state in PAPER_POWER_STATES:
+                report, breakdown = next(results)
+                edp[bench][state.name] = breakdown.edp
+                execution[bench][state.name] = report.execution_cycles
+                energy[bench][state.name] = breakdown.total_j
+        return PowerStateSweepResult(
+            dram=dram, edp=edp, execution_cycles=execution, energy=energy
+        )
     for bench in benchmarks:
         edp[bench], execution[bench], energy[bench] = {}, {}, {}
+        cache = _TraceCache(bench, scale, seed=2016)
         for state in PAPER_POWER_STATES:
             report, breakdown = run_benchmark(
-                bench, power_state=state, dram=dram, scale=scale
+                bench,
+                power_state=state,
+                dram=dram,
+                scale=scale,
+                traces=cache.traces(sorted(state.active_cores)),
             )
             edp[bench][state.name] = breakdown.edp
             execution[bench][state.name] = report.execution_cycles
@@ -314,10 +430,15 @@ def experiment_fig7(
 def experiment_fig8(
     scale: float = 1.0,
     benchmarks: Sequence[str] = SPLASH2_NAMES,
+    jobs: Optional[int] = None,
 ) -> Tuple[PowerStateSweepResult, PowerStateSweepResult]:
     """Fig 8: the Fig 7a sweep at DRAM 63 ns (a) and 42 ns (b)."""
-    part_a = experiment_fig7(scale=scale, benchmarks=benchmarks, dram=WIDE_IO_3D)
-    part_b = experiment_fig7(scale=scale, benchmarks=benchmarks, dram=WEIS_3D)
+    part_a = experiment_fig7(
+        scale=scale, benchmarks=benchmarks, dram=WIDE_IO_3D, jobs=jobs
+    )
+    part_b = experiment_fig7(
+        scale=scale, benchmarks=benchmarks, dram=WEIS_3D, jobs=jobs
+    )
     return part_a, part_b
 
 

@@ -61,6 +61,9 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--benchmarks", nargs="+", default=list(SPLASH2_NAMES),
                        choices=list(SPLASH2_NAMES), metavar="BENCH",
                        help="subset of the SPLASH-2 suite")
+        p.add_argument("--jobs", type=int, default=None,
+                       help="worker processes for the sweep cells "
+                            "(default: serial in-process; -1 = one per CPU)")
         if name == "fig7":
             p.add_argument("--dram", type=int, default=200,
                            choices=sorted(_DRAM_BY_NS),
@@ -85,14 +88,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     elif args.command == "fig5":
         print(experiment_fig5().render())
     elif args.command == "fig6":
-        print(experiment_fig6(scale=args.scale,
-                              benchmarks=args.benchmarks).render())
+        print(experiment_fig6(scale=args.scale, benchmarks=args.benchmarks,
+                              jobs=args.jobs).render())
     elif args.command == "fig7":
         print(experiment_fig7(scale=args.scale, benchmarks=args.benchmarks,
-                              dram=_DRAM_BY_NS[args.dram]).render())
+                              dram=_DRAM_BY_NS[args.dram],
+                              jobs=args.jobs).render())
     elif args.command == "fig8":
         part_a, part_b = experiment_fig8(scale=args.scale,
-                                         benchmarks=args.benchmarks)
+                                         benchmarks=args.benchmarks,
+                                         jobs=args.jobs)
         print(part_a.render())
         print()
         print(part_b.render())

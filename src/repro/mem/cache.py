@@ -17,11 +17,11 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.errors import ConfigurationError
-from repro.mem.replacement import ReplacementPolicy, make_policy
+from repro.mem.replacement import LRUPolicy, ReplacementPolicy, make_policy
 from repro.units import is_power_of_two
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheLine:
     """One resident line: the full line-aligned address plus state."""
 
@@ -29,7 +29,7 @@ class CacheLine:
     dirty: bool = False
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AccessResult:
     """Outcome of one cache access.
 
@@ -49,7 +49,12 @@ class AccessResult:
     evicted: Optional[int] = None
 
 
-@dataclass
+#: Shared hit outcome: hits carry no eviction payload, so one frozen
+#: instance serves every hit (saves an allocation on the hottest path).
+HIT = AccessResult(hit=True)
+
+
+@dataclass(slots=True)
 class CacheStats:
     """Hit/miss/traffic counters."""
 
@@ -138,15 +143,57 @@ class SetAssociativeCache:
         self.line_bytes = line_bytes
         self.associativity = associativity
         self.n_sets = capacity_bytes // (line_bytes * associativity)
+        # Geometry is all powers of two (a non-power-of-two index
+        # stride falls back to the div/mod path): the hot path indexes
+        # with shifts/masks instead of div/mod chains.
+        self._line_mask = ~(line_bytes - 1)
+        self._pow2_stride = is_power_of_two(index_stride_lines)
+        self._set_shift = (line_bytes * index_stride_lines).bit_length() - 1
+        self._set_mask = self.n_sets - 1
+        # One-entry MRU filter: the last line touched.  A repeat access
+        # to it is a guaranteed hit on a way that is already MRU of its
+        # set, so the whole lookup/recency update collapses to the stat
+        # counts.  Any event that could break the invariant (fill,
+        # flush, invalidation, out-of-band recency change) resets it.
+        self._last_line: Optional[int] = None
+        self._last_obj: Optional[CacheLine] = None
         self._policy_name = policy
         self._seed = seed
         # Per set: way -> CacheLine (ways not present are invalid).
         self._sets: List[Dict[int, CacheLine]] = [dict() for _ in range(self.n_sets)]
-        self._policies: List[ReplacementPolicy] = [
-            make_policy(policy, associativity, seed=seed + i)
-            for i in range(self.n_sets)
-        ]
+        # Per set: line address -> way, the O(1) lookup the access fast
+        # path uses instead of scanning the ways.  Kept in lockstep with
+        # ``_sets`` by every mutating method.
+        self._tags: List[Dict[int, int]] = [dict() for _ in range(self.n_sets)]
+        # For the default (Table I) LRU policy the cache manipulates
+        # bare recency stacks directly (no policy objects on the hot
+        # path); `_policies` materializes LRUPolicy views sharing the
+        # same lists on first external use.  Other policies keep the
+        # policy-object protocol.
+        if policy.lower() == "lru":
+            self._lru_stacks: Optional[List[List[int]]] = [
+                list(range(associativity)) for _ in range(self.n_sets)
+            ]
+            self._policies_list: Optional[List[ReplacementPolicy]] = None
+        else:
+            self._lru_stacks = None
+            self._policies_list = [
+                make_policy(policy, associativity, seed=seed + i)
+                for i in range(self.n_sets)
+            ]
         self.stats = CacheStats()
+
+    @property
+    def _policies(self) -> List[ReplacementPolicy]:
+        """Per-set policy objects (lazy LRU views over the stacks)."""
+        if self._policies_list is None:
+            policies = []
+            for stack in self._lru_stacks:
+                p = LRUPolicy(self.associativity)
+                p._stack = stack  # share state with the hot path
+                policies.append(p)
+            self._policies_list = policies
+        return self._policies_list
 
     # ------------------------------------------------------------------
     # Address helpers
@@ -171,41 +218,86 @@ class SetAssociativeCache:
         """
         if address < 0:
             raise ConfigurationError(f"{self.name}: negative address {address}")
-        line_addr = self.line_address(address)
-        index = self.set_index(address)
-        cache_set = self._sets[index]
-        policy = self._policies[index]
+        stats = self.stats
+        line_addr = address & self._line_mask
+        if line_addr == self._last_line:
+            # MRU filter: same line as the previous access — resident,
+            # and its way already heads the set's recency order.
+            if is_write:
+                stats.writes += 1
+                stats.write_hits += 1
+                self._last_obj.dirty = True
+            else:
+                stats.reads += 1
+                stats.read_hits += 1
+            return HIT
+        if self._pow2_stride:
+            index = (address >> self._set_shift) & self._set_mask
+        else:
+            index = (
+                (address // self.line_bytes) // self.index_stride_lines
+            ) % self.n_sets
+        tags = self._tags[index]
 
         if is_write:
-            self.stats.writes += 1
+            stats.writes += 1
         else:
-            self.stats.reads += 1
+            stats.reads += 1
 
-        for way, line in cache_set.items():
-            if line.address == line_addr:
-                policy.touch(way)
-                if is_write:
-                    line.dirty = True
-                    self.stats.write_hits += 1
-                else:
-                    self.stats.read_hits += 1
-                return AccessResult(hit=True)
+        way = tags.get(line_addr)
+        stacks = self._lru_stacks
+        if way is not None:
+            line = self._sets[index][way]
+            if stacks is not None:
+                stack = stacks[index]
+                if stack[-1] != way:  # touching the MRU way is a no-op
+                    stack.remove(way)
+                    stack.append(way)
+            else:
+                self._policies[index].touch(way)
+            if is_write:
+                line.dirty = True
+                stats.write_hits += 1
+            else:
+                stats.read_hits += 1
+            self._last_line = line_addr
+            self._last_obj = line
+            return HIT
 
         # Miss: choose a way (an invalid one if available).
+        cache_set = self._sets[index]
         writeback = evicted = None
-        free_ways = [w for w in range(self.associativity) if w not in cache_set]
-        if free_ways:
-            way = free_ways[0]
+        if len(cache_set) < self.associativity:
+            way = next(
+                w for w in range(self.associativity) if w not in cache_set
+            )
+            line = CacheLine(address=line_addr, dirty=is_write)
+            cache_set[way] = line
         else:
-            way = policy.victim([True] * self.associativity)
+            if stacks is not None:
+                way = stacks[index][0]
+            else:
+                way = self._policies[index].victim([True] * self.associativity)
             victim = cache_set[way]
             evicted = victim.address
-            self.stats.evictions += 1
+            del tags[victim.address]
+            stats.evictions += 1
             if victim.dirty:
                 writeback = victim.address
-                self.stats.writebacks += 1
-        cache_set[way] = CacheLine(address=line_addr, dirty=is_write)
-        policy.insert(way)
+                stats.writebacks += 1
+            # Recycle the evicted line object for the fill (no alloc).
+            victim.address = line_addr
+            victim.dirty = is_write
+            line = victim
+        tags[line_addr] = way
+        if stacks is not None:
+            stack = stacks[index]
+            stack.remove(way)
+            stack.append(way)
+        else:
+            self._policies[index].insert(way)
+        self._last_line = line_addr
+        self._last_obj = line
         return AccessResult(hit=False, writeback=writeback, evicted=evicted)
 
     def write_no_allocate(self, address: int) -> bool:
@@ -216,22 +308,35 @@ class SetAssociativeCache:
         the write must be forwarded to the next level (no fetch).
         Returns True on hit.
         """
-        line_addr = self.line_address(address)
-        index = self.set_index(address)
+        line_addr = address & self._line_mask
+        if self._pow2_stride:
+            index = (address >> self._set_shift) & self._set_mask
+        else:
+            index = self.set_index(address)
         self.stats.writes += 1
-        for way, line in self._sets[index].items():
-            if line.address == line_addr:
-                line.dirty = True
+        way = self._tags[index].get(line_addr)
+        if way is not None:
+            line = self._sets[index][way]
+            line.dirty = True
+            stacks = self._lru_stacks
+            if stacks is not None:
+                stack = stacks[index]
+                if stack[-1] != way:
+                    stack.remove(way)
+                    stack.append(way)
+            else:
                 self._policies[index].touch(way)
-                self.stats.write_hits += 1
-                return True
+            # This line is now the MRU of its set: move the filter here.
+            self._last_line = line_addr
+            self._last_obj = line
+            self.stats.write_hits += 1
+            return True
         return False
 
     def probe(self, address: int) -> bool:
         """Non-destructive residency check (no state change)."""
         line_addr = self.line_address(address)
-        cache_set = self._sets[self.set_index(address)]
-        return any(line.address == line_addr for line in cache_set.values())
+        return line_addr in self._tags[self.set_index(address)]
 
     # ------------------------------------------------------------------
     # Maintenance (used by the power-gating protocol)
@@ -259,7 +364,9 @@ class SetAssociativeCache:
         Returns ``(lines_written_back, lines_invalidated)``.
         """
         written = invalidated = 0
-        for cache_set in self._sets:
+        self._last_line = None
+        self._last_obj = None
+        for index, cache_set in enumerate(self._sets):
             doomed = [
                 way
                 for way, line in cache_set.items()
@@ -267,6 +374,7 @@ class SetAssociativeCache:
             ]
             for way in doomed:
                 line = cache_set.pop(way)
+                del self._tags[index][line.address]
                 invalidated += 1
                 if line.dirty:
                     written += 1
@@ -277,8 +385,12 @@ class SetAssociativeCache:
         """Drop every line without writing back (power-off semantics
         *after* the controller has already flushed dirty data)."""
         count = self.resident_lines
+        self._last_line = None
+        self._last_obj = None
         for cache_set in self._sets:
             cache_set.clear()
+        for tags in self._tags:
+            tags.clear()
         return count
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

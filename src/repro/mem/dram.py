@@ -70,7 +70,7 @@ WEIS_3D = DRAMTimings(
 PAPER_DRAM_TIMINGS: Tuple[DRAMTimings, ...] = (DDR3_OFFCHIP, WIDE_IO_3D, WEIS_3D)
 
 
-@dataclass
+@dataclass(slots=True)
 class DRAMStats:
     """Controller traffic counters."""
 
@@ -126,6 +126,8 @@ class DRAMModel:
         self.stats = DRAMStats()
         self._open_page: Optional[int] = None
         self._busy_until: int = 0
+        # Device latency is fixed per technology/clock: convert once.
+        self._device_cycles = timings.latency_cycles(frequency_hz)
 
     # ------------------------------------------------------------------
     def page_of(self, address: int) -> int:
@@ -152,7 +154,7 @@ class DRAMModel:
         start = max(now_cycle, self._busy_until)
         queue_wait = start - now_cycle
 
-        device = self.timings.latency_cycles(self.frequency_hz)
+        device = self._device_cycles
         if self.page_policy == "open":
             page = self.page_of(address)
             if page == self._open_page:

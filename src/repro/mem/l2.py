@@ -45,7 +45,7 @@ class L2Config:
         return self.n_banks * self.bank_capacity_bytes
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class L2AccessOutcome:
     """Result of one shared-L2 access."""
 
@@ -95,6 +95,21 @@ class BankedL2:
         self._plan = plan
         #: Per-bank access counts (for contention/energy accounting).
         self.bank_accesses: List[int] = [0] * config.n_banks
+        # Hot-path tables: logical bank = (address >> shift) & mask
+        # (line interleave), and the flat logical -> physical fold of
+        # the active plan.  Rebuilt whenever the plan changes.
+        self._bank_shift = config.line_bytes.bit_length() - 1
+        self._bank_mask = config.n_banks - 1
+        self._bank_access_fns = [bank.access for bank in self.banks]
+        self._bank_writeback_fns = [bank.write_no_allocate for bank in self.banks]
+        self._remap_flat: List[int] = []
+        self._rebuild_remap()
+
+    def _rebuild_remap(self) -> None:
+        """Flatten the active plan's logical -> physical bank fold."""
+        self._remap_flat = [
+            self._plan.remapped_bank(b) for b in range(self.config.n_banks)
+        ]
 
     # ------------------------------------------------------------------
     # Mapping
@@ -117,16 +132,31 @@ class BankedL2:
     # ------------------------------------------------------------------
     def access(self, address: int, is_write: bool = False) -> L2AccessOutcome:
         """One shared-L2 access (after an L1 miss)."""
-        logical = self.logical_bank(address)
-        physical = self._plan.remapped_bank(logical)
+        if address < 0:
+            raise ConfigurationError(f"negative address {address}")
+        logical = (address >> self._bank_shift) & self._bank_mask
+        physical = self._remap_flat[logical]
         self.bank_accesses[physical] += 1
-        result: AccessResult = self.banks[physical].access(address, is_write)
+        result: AccessResult = self._bank_access_fns[physical](address, is_write)
         return L2AccessOutcome(
             hit=result.hit,
             logical_bank=logical,
             physical_bank=physical,
             writeback=result.writeback,
         )
+
+    def demand_read(self, address: int):
+        """Blocking-read fast path: ``(AccessResult, physical_bank)``.
+
+        Same state transitions as ``access(address, is_write=False)``
+        without building an :class:`L2AccessOutcome`; the simulator's
+        miss path calls this once per L1 demand miss.
+        """
+        if address < 0:
+            raise ConfigurationError(f"negative address {address}")
+        physical = self._remap_flat[(address >> self._bank_shift) & self._bank_mask]
+        self.bank_accesses[physical] += 1
+        return self._bank_access_fns[physical](address, False), physical
 
     def writeback(self, address: int) -> L2AccessOutcome:
         """Absorb an L1 victim write-back (no allocate on miss).
@@ -136,11 +166,22 @@ class BankedL2:
         caller (``hit=False``) — fetching a line just to overwrite it
         would waste a DRAM round trip and a refill-bus slot.
         """
-        logical = self.logical_bank(address)
-        physical = self._plan.remapped_bank(logical)
+        if address < 0:
+            raise ConfigurationError(f"negative address {address}")
+        logical = (address >> self._bank_shift) & self._bank_mask
+        physical = self._remap_flat[logical]
         self.bank_accesses[physical] += 1
-        hit = self.banks[physical].write_no_allocate(address)
+        hit = self._bank_writeback_fns[physical](address)
         return L2AccessOutcome(hit=hit, logical_bank=logical, physical_bank=physical)
+
+    def absorb_writeback(self, address: int):
+        """Write-back fast path: ``(hit, physical_bank)`` (no outcome
+        object); the simulator's victim-drain path calls this."""
+        if address < 0:
+            raise ConfigurationError(f"negative address {address}")
+        physical = self._remap_flat[(address >> self._bank_shift) & self._bank_mask]
+        self.bank_accesses[physical] += 1
+        return self._bank_writeback_fns[physical](address), physical
 
     def probe(self, address: int) -> bool:
         """Residency check under the active mapping (no state change)."""
@@ -171,6 +212,7 @@ class BankedL2:
             written += w
             invalidated += i
         self._plan = plan
+        self._rebuild_remap()
         return written, invalidated
 
     def apply_plan(self, plan: ReconfigurationPlan, force: bool = False) -> None:
@@ -195,6 +237,7 @@ class BankedL2:
                             f"prepare_power_state() instead"
                         )
         self._plan = plan
+        self._rebuild_remap()
 
     def _new_home(self, address: int, plan: ReconfigurationPlan) -> int:
         """Physical home of ``address`` under ``plan``."""

@@ -51,9 +51,13 @@ class LRUPolicy(ReplacementPolicy):
         self._stack: List[int] = list(range(associativity))
 
     def touch(self, way: int) -> None:
-        self._check_way(way)
-        self._stack.remove(way)
-        self._stack.append(way)
+        # The remove doubles as the bounds check (the stack always
+        # holds exactly the ways 0..associativity-1): an unknown way
+        # raises ValueError without a separate validation call on the
+        # hottest path of the whole simulator.
+        stack = self._stack
+        stack.remove(way)
+        stack.append(way)
 
     def insert(self, way: int) -> None:
         self.touch(way)

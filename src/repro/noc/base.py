@@ -18,16 +18,23 @@ bus, bank port) keeps a busy-until reservation; requests queue behind
 it.  This is the standard analytical wormhole approximation — accurate
 for the moderate loads of a 16-core cluster and orders of magnitude
 faster than flit-level simulation (see DESIGN.md, substitutions).
+
+Topology is static between reconfigurations, so everything an access
+needs that does *not* depend on traffic — routes, per-hop delays,
+zero-load latencies, per-access energies — is precomputed into a
+``(core, bank)`` table the first time a pair is used and reused until
+:meth:`Interconnect.invalidate_tables` (called on power-state changes).
+Only the contention reservations stay dynamic on top of the tables.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Tuple
 
 
-@dataclass
+@dataclass(slots=True)
 class InterconnectStats:
     """Traffic/latency counters every interconnect keeps."""
 
@@ -70,6 +77,58 @@ class Interconnect(ABC):
 
     def __init__(self) -> None:
         self.stats = InterconnectStats()
+        #: (core, bank) -> precomputed static route data (class-specific
+        #: payload built by :meth:`_build_route_entry`).
+        self._route_table: Dict[Tuple[int, int], tuple] = {}
+
+    def _build_route_entry(self, core: int, bank: int) -> tuple:
+        """Compute the static (traffic-independent) data of one pair.
+
+        Subclasses override; the default carries ``(zero_load_latency,)``
+        so :meth:`latency_energy_table` works for any implementation.
+        """
+        return (self.zero_load_latency(core, bank),)
+
+    def _route_entry(self, core: int, bank: int) -> tuple:
+        """Cached :meth:`_build_route_entry` (built on first use)."""
+        key = (core, bank)
+        entry = self._route_table.get(key)
+        if entry is None:
+            entry = self._route_table[key] = self._build_route_entry(core, bank)
+        return entry
+
+    def invalidate_tables(self) -> None:
+        """Drop the precomputed route tables.
+
+        Must be called whenever the static topology changes (power
+        state applied, plan reconfigured); the tables rebuild lazily.
+        """
+        self._route_table.clear()
+
+    def latency_energy_table(
+        self, n_cores: int, n_banks: int
+    ) -> Dict[Tuple[int, int], Tuple[int, float]]:
+        """``(core, bank) -> (base_latency_cycles, access_energy_j)``.
+
+        The uncontended latency and per-access (read) energy of every
+        pair — the precomputed surface the fast path runs on, exposed
+        for inspection and benchmarks.  Building it warms the route
+        cache for every listed pair.
+        """
+        out = {}
+        for c in range(n_cores):
+            for b in range(n_banks):
+                self._route_entry(c, b)  # warm the cache
+                out[(c, b)] = (
+                    self.zero_load_latency(c, b),
+                    self.access_energy_j(c, b),
+                )
+        return out
+
+    def access_energy_j(self, core: int, bank: int, is_write: bool = False) -> float:
+        """Dynamic energy of one (uncontended) access.  Subclasses with
+        per-route energies override; the default reports 0."""
+        return 0.0
 
     @abstractmethod
     def access(
@@ -108,11 +167,19 @@ class ReservationTable:
 
     ``claim(key, ready, hold)`` returns the cycle the resource becomes
     available to this request (>= ready) and reserves it for ``hold``
-    cycles from that point.
+    cycles from that point.  ``busy_map`` exposes the underlying dict
+    for hot loops that inline the claim.
     """
+
+    __slots__ = ("_busy_until",)
 
     def __init__(self) -> None:
         self._busy_until: Dict[object, int] = {}
+
+    @property
+    def busy_map(self) -> Dict[object, int]:
+        """The key -> busy-until dict (for inlined claims)."""
+        return self._busy_until
 
     def claim(self, key: object, ready_cycle: int, hold_cycles: int) -> int:
         """Acquire ``key`` at the earliest cycle >= ``ready_cycle``."""

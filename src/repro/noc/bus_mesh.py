@@ -18,6 +18,7 @@ original design's per-layer networks.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from repro.noc.base import Interconnect, ReservationTable
@@ -30,6 +31,27 @@ from repro.phys.interconnect_power import (
     DEFAULT_INTERCONNECT_POWER,
 )
 from repro.phys.tsv import TSVModel, DEFAULT_TSV
+
+
+@dataclass(frozen=True, slots=True)
+class _BusMeshRoute:
+    """Precomputed static data of one (core, bank) pair: in-tier
+    routes with per-hop delays, the two pillars, and energies.  Only
+    link/bank/pillar reservations stay dynamic."""
+
+    req_hops: Tuple[Tuple[object, int], ...]
+    resp_hops: Tuple[Tuple[object, int], ...]
+    up_pillar: VerticalBus
+    down_pillar: VerticalBus
+    vert_cycles: int
+    read_flits: int
+    write_flits: int
+    read_ser: int
+    write_ser: int
+    resp_flits: int
+    resp_ser: int
+    read_energy: float
+    write_energy: float
 
 
 class HybridBusMesh(Interconnect):
@@ -53,6 +75,8 @@ class HybridBusMesh(Interconnect):
         self.tsv = tsv
         self._links = ReservationTable()
         self._bank_ports = ReservationTable()
+        self._links_busy = self._links.busy_map
+        self._ports_busy = self._bank_ports.busy_map
         #: One pillar per tile location.
         self.pillars: Dict[Tuple[int, int], VerticalBus] = {
             (x, y): VerticalBus(f"pillar({x},{y})")
@@ -133,16 +157,97 @@ class HybridBusMesh(Interconnect):
         return completion, queued + q2
 
     # ------------------------------------------------------------------
+    # Precomputed route table
+    # ------------------------------------------------------------------
+    def _hop_delays(self, src: Node, dst: Node) -> Tuple[Tuple[object, int], ...]:
+        """In-tier route links paired with their post-grant delay."""
+        delay = self.timing.link_cycles + self.timing.pipeline_cycles
+        return tuple(
+            (link, delay) for link, _v in self.geometry.xyz_links(src, dst)
+        )
+
+    def _build_route_entry(self, core: int, bank: int) -> _BusMeshRoute:
+        cx, cy, _ = self.geometry.core_node(core)
+        bx, by, btier = self.geometry.bank_node(bank)
+        packet = self.packet
+        read_flits = packet.request_flits
+        write_flits = packet.write_request_flits()
+        resp_flits = packet.response_flits
+        return _BusMeshRoute(
+            req_hops=self._hop_delays((cx, cy, 0), (bx, by, 0)),
+            resp_hops=self._hop_delays((bx, by, btier), (cx, cy, btier)),
+            up_pillar=self.pillars[(bx, by)],
+            down_pillar=self.pillars[(cx, cy)],
+            vert_cycles=btier * self.timing.vertical_link_cycles,
+            read_flits=read_flits,
+            write_flits=write_flits,
+            read_ser=packet.serialization_cycles(read_flits),
+            write_ser=packet.serialization_cycles(write_flits),
+            resp_flits=resp_flits,
+            resp_ser=packet.serialization_cycles(resp_flits),
+            read_energy=self._access_energy(core, bank, is_write=False),
+            write_energy=self._access_energy(core, bank, is_write=True),
+        )
+
+    # ------------------------------------------------------------------
     # Interconnect interface
     # ------------------------------------------------------------------
     def access(
         self, core: int, bank: int, now_cycle: int, is_write: bool = False
     ) -> int:
-        completion, queued = self._access_cycles(
-            core, bank, now_cycle, is_write, contended=True
-        )
+        route = self._route_entry(core, bank)
+        if is_write:
+            flits, ser = route.write_flits, route.write_ser
+        else:
+            flits, ser = route.read_flits, route.read_ser
+        pipeline = self.timing.pipeline_cycles
+        busy = self._links_busy
+        queued = 0
+
+        # Request: XY on the core tier, then up the bank tile's pillar.
+        t = now_cycle + pipeline
+        for link, delay in route.req_hops:
+            start = busy.get(link, 0)
+            if start < t:
+                start = t
+            busy[link] = start + flits
+            queued += start - t
+            t = start + delay
+        tail = t + ser
+        start = route.up_pillar.transfer(core, tail, flits)
+        queued += start - tail
+        t = start + route.vert_cycles
+
+        ports = self._ports_busy
+        start = ports.get(bank, 0)
+        if start < t:
+            start = t
+        ports[bank] = start + self.timing.bank_cycles
+        queued += start - t
+        t = start + self.timing.bank_cycles
+
+        # Response: XY on the bank's tier, then down the core tile's
+        # pillar (per-layer meshes of the network-in-memory design).
+        resp_flits = route.resp_flits
+        t += pipeline
+        for link, delay in route.resp_hops:
+            start = busy.get(link, 0)
+            if start < t:
+                start = t
+            busy[link] = start + resp_flits
+            queued += start - t
+            t = start + delay
+        back_tail = t + route.resp_ser
+        start = route.down_pillar.transfer(core, back_tail, resp_flits)
+        queued += start - back_tail
+        completion = start + route.vert_cycles
+
         latency = completion - now_cycle
-        self.stats.record(latency, queued, self._access_energy(core, bank, is_write))
+        stats = self.stats
+        stats.accesses += 1
+        stats.total_latency_cycles += latency
+        stats.queueing_cycles += queued
+        stats.energy_j += route.write_energy if is_write else route.read_energy
         return latency
 
     def zero_load_latency(self, core: int, bank: int) -> int:
@@ -150,6 +255,11 @@ class HybridBusMesh(Interconnect):
             core, bank, 0, is_write=False, contended=False
         )
         return completion
+
+    def access_energy_j(self, core: int, bank: int, is_write: bool = False) -> float:
+        """Per-route dynamic energy (precomputed surface)."""
+        route = self._route_entry(core, bank)
+        return route.write_energy if is_write else route.read_energy
 
     # ------------------------------------------------------------------
     def _access_energy(self, core: int, bank: int, is_write: bool) -> float:
@@ -187,5 +297,7 @@ class HybridBusMesh(Interconnect):
         """Clear reservations (between experiment phases)."""
         self._links = ReservationTable()
         self._bank_ports = ReservationTable()
+        self._links_busy = self._links.busy_map
+        self._ports_busy = self._bank_ports.busy_map
         for pillar in self.pillars.values():
             pillar.reset()

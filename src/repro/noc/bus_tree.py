@@ -14,6 +14,7 @@ reduction or make the performance even worse."
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, Tuple
 
 from repro.noc.base import Interconnect, ReservationTable
@@ -26,6 +27,26 @@ from repro.phys.interconnect_power import (
     DEFAULT_INTERCONNECT_POWER,
 )
 from repro.phys.tsv import TSVModel, DEFAULT_TSV
+
+
+@dataclass(frozen=True, slots=True)
+class _BusTreeRoute:
+    """Precomputed static data of one (core, bank) pair: tree link
+    keys, the quadrant bus, vertical crossing time and energies.  Only
+    link/bank/bus reservations stay dynamic."""
+
+    up_links: Tuple[tuple, ...]
+    down_links: Tuple[tuple, ...]
+    bus: VerticalBus
+    vert_cycles: int
+    read_flits: int
+    write_flits: int
+    read_ser: int
+    write_ser: int
+    resp_flits: int
+    resp_ser: int
+    read_energy: float
+    write_energy: float
 
 
 class HybridBusTree(Interconnect):
@@ -52,6 +73,8 @@ class HybridBusTree(Interconnect):
         self.tsv = tsv
         self._tree_links = ReservationTable()
         self._bank_ports = ReservationTable()
+        self._links_busy = self._tree_links.busy_map
+        self._ports_busy = self._bank_ports.busy_map
         # Multi-drop buses (8 banks x 2 tiers each) pay turnaround.
         self.buses: Dict[int, VerticalBus] = {
             q: VerticalBus(f"quadrant-bus{q}", turnaround_cycles=2)
@@ -148,16 +171,92 @@ class HybridBusTree(Interconnect):
         return completion, queued + q2
 
     # ------------------------------------------------------------------
+    # Precomputed route table
+    # ------------------------------------------------------------------
+    def _build_route_entry(self, core: int, bank: int) -> _BusTreeRoute:
+        quadrant = self.core_quadrant(core)
+        packet = self.packet
+        read_flits = packet.request_flits
+        write_flits = packet.write_request_flits()
+        resp_flits = packet.response_flits
+        return _BusTreeRoute(
+            up_links=(
+                ("core", core, "hub", quadrant),
+                ("hub", quadrant, "root"),
+            ),
+            down_links=(
+                ("root", "hub", quadrant),
+                ("hub", quadrant, "core", core),
+            ),
+            bus=self.buses[self.bank_quadrant(bank)],
+            vert_cycles=self._bus_hops(bank) * self.timing.vertical_link_cycles,
+            read_flits=read_flits,
+            write_flits=write_flits,
+            read_ser=packet.serialization_cycles(read_flits),
+            write_ser=packet.serialization_cycles(write_flits),
+            resp_flits=resp_flits,
+            resp_ser=packet.serialization_cycles(resp_flits),
+            read_energy=self._access_energy(core, bank, is_write=False),
+            write_energy=self._access_energy(core, bank, is_write=True),
+        )
+
+    # ------------------------------------------------------------------
     # Interconnect interface
     # ------------------------------------------------------------------
     def access(
         self, core: int, bank: int, now_cycle: int, is_write: bool = False
     ) -> int:
-        completion, queued = self._access_cycles(
-            core, bank, now_cycle, is_write, contended=True
-        )
+        route = self._route_entry(core, bank)
+        if is_write:
+            flits, ser = route.write_flits, route.write_ser
+        else:
+            flits, ser = route.read_flits, route.read_ser
+        hop_delay = self.timing.link_cycles + self.timing.pipeline_cycles
+        busy = self._links_busy
+        queued = 0
+
+        # Up the tree: NI/injection stage, core -> hub -> root.
+        t = now_cycle + self.timing.pipeline_cycles
+        for link in route.up_links:
+            start = busy.get(link, 0)
+            if start < t:
+                start = t
+            busy[link] = start + flits
+            queued += start - t
+            t = start + hop_delay
+        tail = t + ser
+        start = route.bus.transfer(core, tail, flits)
+        queued += start - tail
+        t = start + route.vert_cycles + flits
+
+        ports = self._ports_busy
+        start = ports.get(bank, 0)
+        if start < t:
+            start = t
+        ports[bank] = start + self.timing.bank_cycles
+        queued += start - t
+        t = start + self.timing.bank_cycles
+
+        # Back down: bus, then root -> hub -> core.
+        resp_flits = route.resp_flits
+        start = route.bus.transfer(core, t, resp_flits)
+        queued += start - t
+        t = start + route.vert_cycles + resp_flits
+        for link in route.down_links:
+            start = busy.get(link, 0)
+            if start < t:
+                start = t
+            busy[link] = start + resp_flits
+            queued += start - t
+            t = start + hop_delay
+        completion = t + route.resp_ser
+
         latency = completion - now_cycle
-        self.stats.record(latency, queued, self._access_energy(core, bank, is_write))
+        stats = self.stats
+        stats.accesses += 1
+        stats.total_latency_cycles += latency
+        stats.queueing_cycles += queued
+        stats.energy_j += route.write_energy if is_write else route.read_energy
         return latency
 
     def zero_load_latency(self, core: int, bank: int) -> int:
@@ -165,6 +264,11 @@ class HybridBusTree(Interconnect):
             core, bank, 0, is_write=False, contended=False
         )
         return completion
+
+    def access_energy_j(self, core: int, bank: int, is_write: bool = False) -> float:
+        """Per-route dynamic energy (precomputed surface)."""
+        route = self._route_entry(core, bank)
+        return route.write_energy if is_write else route.read_energy
 
     # ------------------------------------------------------------------
     def _access_energy(self, core: int, bank: int, is_write: bool) -> float:
@@ -201,5 +305,7 @@ class HybridBusTree(Interconnect):
         """Clear reservations (between experiment phases)."""
         self._tree_links = ReservationTable()
         self._bank_ports = ReservationTable()
+        self._links_busy = self._tree_links.busy_map
+        self._ports_busy = self._bank_ports.busy_map
         for bus in self.buses.values():
             bus.reset()

@@ -107,6 +107,28 @@ class MeshGeometry:
         return links
 
 
+@dataclass(frozen=True, slots=True)
+class _MeshRoute:
+    """Precomputed static data of one (core, bank) pair.
+
+    Routes and per-hop delays never change (the mesh has no power
+    states), so they are computed once and reused by every access;
+    only the wormhole link/bank reservations stay dynamic.
+    """
+
+    req_hops: Tuple[Tuple[Link, int], ...]  # (link, delay after grant)
+    resp_hops: Tuple[Tuple[Link, int], ...]
+    read_flits: int
+    write_flits: int
+    read_ser: int
+    write_ser: int
+    resp_flits: int
+    resp_ser: int
+    read_energy: float
+    write_energy: float
+    zero_load: int
+
+
 class True3DMesh(Interconnect):
     """Packet-switched 3-D mesh with routers on all tiers."""
 
@@ -128,6 +150,8 @@ class True3DMesh(Interconnect):
         self.tsv = tsv
         self._links = ReservationTable()
         self._bank_ports = ReservationTable()
+        self._links_busy = self._links.busy_map
+        self._ports_busy = self._bank_ports.busy_map
 
     # ------------------------------------------------------------------
     # Timing
@@ -184,16 +208,99 @@ class True3DMesh(Interconnect):
         return completion, q1 + q2, hops
 
     # ------------------------------------------------------------------
+    # Precomputed route table
+    # ------------------------------------------------------------------
+    def _hop_delays(self, links) -> Tuple[Tuple[Link, int], ...]:
+        """Pair each route link with its post-grant delay."""
+        return tuple(
+            (
+                link,
+                (
+                    self.timing.vertical_link_cycles
+                    if vertical
+                    else self.timing.link_cycles
+                )
+                + self.timing.pipeline_cycles,
+            )
+            for link, vertical in links
+        )
+
+    def _build_route_entry(self, core: int, bank: int) -> _MeshRoute:
+        src = self.geometry.core_node(core)
+        dst = self.geometry.bank_node(bank)
+        packet = self.packet
+        read_flits = packet.request_flits
+        write_flits = packet.write_request_flits()
+        resp_flits = packet.response_flits
+        return _MeshRoute(
+            req_hops=self._hop_delays(self.geometry.xyz_links(src, dst)),
+            resp_hops=self._hop_delays(self.geometry.xyz_links(dst, src)),
+            read_flits=read_flits,
+            write_flits=write_flits,
+            read_ser=packet.serialization_cycles(read_flits),
+            write_ser=packet.serialization_cycles(write_flits),
+            resp_flits=resp_flits,
+            resp_ser=packet.serialization_cycles(resp_flits),
+            read_energy=self._access_energy(core, bank, is_write=False),
+            write_energy=self._access_energy(core, bank, is_write=True),
+            zero_load=self._access_cycles(
+                core, bank, 0, is_write=False, contended=False
+            )[0],
+        )
+
+    # ------------------------------------------------------------------
     # Interconnect interface
     # ------------------------------------------------------------------
     def access(
         self, core: int, bank: int, now_cycle: int, is_write: bool = False
     ) -> int:
-        completion, queued, hops = self._access_cycles(
-            core, bank, now_cycle, is_write, contended=True
-        )
+        route = self._route_entry(core, bank)
+        if is_write:
+            flits, ser = route.write_flits, route.write_ser
+        else:
+            flits, ser = route.read_flits, route.read_ser
+        pipeline = self.timing.pipeline_cycles
+        busy = self._links_busy
+        queued = 0
+
+        # Request: source router, then per hop a wormhole link claim
+        # (held for the serialization time) and the downstream router.
+        t = now_cycle + pipeline
+        for link, delay in route.req_hops:
+            start = busy.get(link, 0)
+            if start < t:
+                start = t
+            busy[link] = start + flits
+            queued += start - t
+            t = start + delay
+        # Tail of the request must arrive before the bank can respond.
+        arrived = t + ser
+        ports = self._ports_busy
+        start = ports.get(bank, 0)
+        if start < arrived:
+            start = arrived
+        ports[bank] = start + self.timing.bank_cycles
+        queued += start - arrived
+        t = start + self.timing.bank_cycles
+
+        # Response traversal back to the core.
+        resp_flits = route.resp_flits
+        t += pipeline
+        for link, delay in route.resp_hops:
+            start = busy.get(link, 0)
+            if start < t:
+                start = t
+            busy[link] = start + resp_flits
+            queued += start - t
+            t = start + delay
+        completion = t + route.resp_ser
+
         latency = completion - now_cycle
-        self.stats.record(latency, queued, self._access_energy(core, bank, is_write))
+        stats = self.stats
+        stats.accesses += 1
+        stats.total_latency_cycles += latency
+        stats.queueing_cycles += queued
+        stats.energy_j += route.write_energy if is_write else route.read_energy
         return latency
 
     def zero_load_latency(self, core: int, bank: int) -> int:
@@ -201,6 +308,11 @@ class True3DMesh(Interconnect):
             core, bank, 0, is_write=False, contended=False
         )
         return completion
+
+    def access_energy_j(self, core: int, bank: int, is_write: bool = False) -> float:
+        """Per-route dynamic energy (precomputed surface)."""
+        route = self._route_entry(core, bank)
+        return route.write_energy if is_write else route.read_energy
 
     # ------------------------------------------------------------------
     # Energy
@@ -244,3 +356,5 @@ class True3DMesh(Interconnect):
         """Clear reservations (between experiment phases)."""
         self._links = ReservationTable()
         self._bank_ports = ReservationTable()
+        self._links_busy = self._links.busy_map
+        self._ports_busy = self._bank_ports.busy_map

@@ -52,6 +52,7 @@ class MoTInterconnect(Interconnect):
         )
         self.bank_occupancy_cycles = bank_occupancy_cycles
         self._bank_ports = ReservationTable()
+        self._bank_busy = self._bank_ports.busy_map
         self._fabric = MoTFabric(
             state.total_cores, state.total_banks, self.floorplan
         )
@@ -73,9 +74,13 @@ class MoTInterconnect(Interconnect):
     def _apply(self, state: PowerState) -> None:
         self._fabric.apply_power_state(state)
         self._state = state
+        # The per-state latency/energy surface: uniform across
+        # (core, bank) pairs for the MoT, so the "table" is two scalars
+        # recomputed once per reconfiguration (never per access).
         self._hit_latency = self.latency_model.hit_latency_cycles(state)
         self._access_energy = self.power_model.access_energy_j(state)
         self._leakage = self.power_model.leakage_w(state, self._fabric)
+        self.invalidate_tables()
 
     # ------------------------------------------------------------------
     # Interconnect interface
@@ -83,15 +88,29 @@ class MoTInterconnect(Interconnect):
     def access(
         self, core: int, bank: int, now_cycle: int, is_write: bool = False
     ) -> int:
-        granted = self._bank_ports.claim(bank, now_cycle, self.bank_occupancy_cycles)
-        queued = granted - now_cycle
+        # Bank-port claim and stats inlined: this runs once per L2
+        # access of every MoT simulation (the Fig 7/8 hot path).
+        busy = self._bank_busy
+        start = busy.get(bank, 0)
+        if start < now_cycle:
+            start = now_cycle
+        busy[bank] = start + self.bank_occupancy_cycles
+        queued = start - now_cycle
         latency = queued + self._hit_latency
-        self.stats.record(latency, queued, self._access_energy)
+        stats = self.stats
+        stats.accesses += 1
+        stats.total_latency_cycles += latency
+        stats.queueing_cycles += queued
+        stats.energy_j += self._access_energy
         return latency
 
     def zero_load_latency(self, core: int, bank: int) -> int:
         """Uniform across pairs (balanced placement, Fig 1b)."""
         return self._hit_latency
+
+    def access_energy_j(self, core: int, bank: int, is_write: bool = False) -> float:
+        """Uniform per-access energy of the current power state."""
+        return self._access_energy
 
     def leakage_w(self) -> float:
         """Leakage of the powered-on switch/wire population."""
@@ -100,6 +119,7 @@ class MoTInterconnect(Interconnect):
     def reset_contention(self) -> None:
         """Clear bank-port reservations (between experiment phases)."""
         self._bank_ports = ReservationTable()
+        self._bank_busy = self._bank_ports.busy_map
 
     @property
     def fabric(self) -> MoTFabric:

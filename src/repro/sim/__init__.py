@@ -1,19 +1,32 @@
 """Graphite-like transaction-level system simulator (DESIGN.md S16)."""
 
-from repro.sim.trace import CoreTrace, MemRef, TraceStep
+from repro.sim.trace import (
+    CoreTrace,
+    MemRef,
+    TraceBlock,
+    TraceStep,
+    expand_steps,
+)
 from repro.sim.stats import CoreStats, SimReport
-from repro.sim.engine import SimulationEngine
+from repro.sim.engine import FastMemorySystem, SimulationEngine
 from repro.sim.cluster import Cluster3D
+from repro.sim.parallel import SweepCell, run_cell, run_cells
 from repro.sim.tracefile import load_traces, save_traces
 
 __all__ = [
     "CoreTrace",
     "MemRef",
+    "TraceBlock",
     "TraceStep",
+    "expand_steps",
     "CoreStats",
     "SimReport",
+    "FastMemorySystem",
     "SimulationEngine",
     "Cluster3D",
+    "SweepCell",
+    "run_cell",
+    "run_cells",
     "load_traces",
     "save_traces",
 ]

@@ -22,7 +22,7 @@ Memory-reference flow (Section II):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, Optional
+from typing import Dict, Optional
 
 from repro.errors import ConfigurationError, SimulationError
 from repro.mem.dram import DRAMModel, DRAMTimings, DDR3_OFFCHIP, MissBus
@@ -34,7 +34,7 @@ from repro.noc.base import Interconnect
 from repro.noc.mot_adapter import MoTInterconnect
 from repro.sim.engine import SimulationEngine
 from repro.sim.stats import SimReport
-from repro.sim.trace import MemRef, TraceStep
+from repro.sim.trace import CoreTrace, MemRef
 
 
 class Cluster3D:
@@ -86,22 +86,82 @@ class Cluster3D:
             n_cores=power_state.total_cores,
             transfer_cycles=miss_bus_transfer_cycles,
         )
+        #: Split-protocol invariant the fast scheduler relies on: every
+        #: L1 is built from the same config, so hits have one latency.
+        self.l1_hit_latency_cycles = l1_config.hit_latency_cycles
+        # Bound (icache, dcache) access functions per core: the fast
+        # scheduler calls these once per reference, skipping the
+        # L1Cache wrapper (trace validation already rejects writes to
+        # instruction references, the only thing the wrapper checks).
+        self._l1_access_pairs = {
+            core: (self.l1i[core].cache.access, self.l1d[core].cache.access)
+            for core in self.l1i
+        }
+        # Prebound miss-path callables (one lookup at init, not per miss).
+        self._l2_demand_read = self.l2.demand_read
+        self._l2_absorb_writeback = self.l2.absorb_writeback
+        self._ic_access = self.interconnect.access
+        self._dram_access = self.dram.access
+        self._miss_bus_request = self.miss_bus.request
 
     # ------------------------------------------------------------------
     # Memory system
     # ------------------------------------------------------------------
     def memory_access(self, core: int, ref: MemRef, now: int) -> int:
-        """Charge one reference; returns its total latency in cycles."""
+        """Charge one reference; returns its total latency in cycles.
+
+        The legacy single-callback form:
+        :meth:`l1_access` + :meth:`finish_miss` composed at one time.
+        """
         l1 = self.l1i[core] if ref.is_instruction else self.l1d[core]
         result = l1.access(ref.address, ref.is_write)
-        latency = l1.hit_latency_cycles
-        if result.writeback is not None:
+        if result.hit:
+            return l1.hit_latency_cycles
+        return self.finish_miss(core, ref.address, result, now)
+
+    def l1_access_functions(self, core: int):
+        """Bound ``(icache.access, dcache.access)`` pair for ``core``
+        (fast-path protocol; one call per reference).
+
+        These touch only the core's own L1 — legal to execute ahead of
+        global time.  A hit completes the reference
+        (``l1_hit_latency_cycles``); a miss must be finished with
+        :meth:`finish_miss` at its global issue time.
+        """
+        return self._l1_access_pairs[core]
+
+    def finish_miss(self, core: int, address: int, result, now: int) -> int:
+        """Shared half of a missing reference, charged at ``now``.
+
+        One flattened pass over the victim write-back and the blocking
+        L2 demand (the bodies of :meth:`_l1_victim_writeback` and
+        :meth:`_l2_demand`, which remain the documented reference
+        implementations) — this runs once per L1 miss of every
+        simulation.
+        """
+        ic_access = self._ic_access
+        dram_access = self._dram_access
+        victim = result.writeback
+        if victim is not None:
             # Dirty L1 victim drains to L2 through a write buffer: bank
             # occupancy and energy are charged, the core is not stalled.
-            self._l1_victim_writeback(core, result.writeback, now)
-        if result.hit:
-            return latency
-        return latency + self._l2_demand(core, ref.address, now + latency)
+            hit, physical_bank = self._l2_absorb_writeback(victim)
+            ic_access(core, physical_bank, now, True)
+            if not hit:
+                dram_access(victim, now, True)
+        l1_latency = self.l1_hit_latency_cycles
+        t = now + l1_latency
+        demand, physical_bank = self._l2_demand_read(address)
+        latency = ic_access(core, physical_bank, t, False)
+        if not demand.hit:
+            # Line refill: round-robin Miss bus, then the controller.
+            grant = self._miss_bus_request(core, t + latency)
+            dram_latency = dram_access(address, grant, False)
+            latency = (grant - t) + dram_latency + self.miss_bus.transfer_cycles
+        if demand.writeback is not None:
+            # Dirty L2 victim: posted write to DRAM off the critical path.
+            dram_access(demand.writeback, t, True)
+        return l1_latency + latency
 
     def _l1_victim_writeback(self, core: int, address: int, now: int) -> None:
         """Posted write of a dirty L1 victim into L2 (or through to DRAM).
@@ -111,18 +171,18 @@ class Cluster3D:
         has meanwhile evicted the line, the write is forwarded to DRAM
         as a posted write — no refill, no Miss-bus slot, no core stall.
         """
-        outcome = self.l2.writeback(address)
-        self.interconnect.access(core, outcome.physical_bank, now, is_write=True)
-        if not outcome.hit:
+        hit, physical_bank = self.l2.absorb_writeback(address)
+        self.interconnect.access(core, physical_bank, now, is_write=True)
+        if not hit:
             self.dram.access(address, now, is_write=True)
 
     def _l2_demand(self, core: int, address: int, now: int) -> int:
         """Blocking L2 read (line fill toward L1); DRAM refill on miss."""
-        outcome = self.l2.access(address, is_write=False)
+        result, physical_bank = self.l2.demand_read(address)
         latency = self.interconnect.access(
-            core, outcome.physical_bank, now, is_write=False
+            core, physical_bank, now, is_write=False
         )
-        if not outcome.hit:
+        if not result.hit:
             # Line refill: round-robin Miss bus, then the controller.
             miss_at = now + latency
             grant = self.miss_bus.request(core, miss_at)
@@ -130,9 +190,9 @@ class Cluster3D:
             latency = (
                 (grant - now) + dram_latency + self.miss_bus.transfer_cycles
             )
-        if outcome.writeback is not None:
+        if result.writeback is not None:
             # Dirty L2 victim: posted write to DRAM off the critical path.
-            self.dram.access(outcome.writeback, now, is_write=True)
+            self.dram.access(result.writeback, now, is_write=True)
         return latency
 
     # ------------------------------------------------------------------
@@ -140,18 +200,32 @@ class Cluster3D:
     # ------------------------------------------------------------------
     def run(
         self,
-        traces: Dict[int, Iterator[TraceStep]],
+        traces: Dict[int, CoreTrace],
         workload_name: str = "workload",
         max_cycles: int = 2_000_000_000,
+        engine_mode: str = "auto",
     ) -> SimReport:
-        """Simulate ``traces`` (one per active core) to completion."""
+        """Simulate ``traces`` (one per active core) to completion.
+
+        ``traces`` may hold per-reference steps or array-backed blocks.
+        ``engine_mode`` selects the scheduler: ``"auto"`` (the fast
+        run-ahead path), or ``"legacy"`` for the one-heap-event-per-
+        action loop — both produce identical reports (the differential
+        suite enforces it).
+        """
         expected = set(self.power_state.active_cores)
         if set(traces) != expected:
             raise ConfigurationError(
                 f"traces cover cores {sorted(traces)} but the power state "
                 f"activates {sorted(expected)}"
             )
-        engine = SimulationEngine(traces, self.memory_access, max_cycles)
+        engine = SimulationEngine(
+            traces,
+            self.memory_access,
+            max_cycles,
+            memory_system=self,
+            mode=engine_mode,
+        )
         execution_cycles = engine.run()
         return self._report(workload_name, execution_cycles, engine)
 

@@ -14,19 +14,150 @@ Barriers: a core reaching a barrier is parked; when the last active
 core arrives, all are released at the latest arrival time (the paper's
 SPLASH-2 phases synchronize this way, which is what exposes limited
 parallel scalability as idle barrier time).
+
+Two schedulers share the barrier machinery:
+
+* **legacy** — the original loop: every micro action (compute, memory
+  reference, barrier) is one heap event.  Needed only when the memory
+  system is an opaque callback.
+* **fast** — run-ahead batching.  L1 hits touch nothing shared (the
+  L1s are private), so a core's consecutive hits are retired in a tight
+  local loop with no heap traffic; the core re-enters the global heap
+  only at *shared* events: L1 misses, barrier arrivals, and trace
+  exhaustion.  Those events are pushed at their simulated time and
+  processed at pop, so every shared-state transition (interconnect /
+  bank / DRAM reservation, barrier arrival, core retirement) happens in
+  exactly the (time, core) order the legacy scheduler would use —
+  cycle-exact equivalence is the correctness contract, enforced by
+  ``tests/sim/test_differential.py``.
+
+The fast path needs the memory system split into a private probe and a
+shared completion (see :class:`FastMemorySystem`);
+:class:`~repro.sim.cluster.Cluster3D` implements it.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Callable, Dict, Iterator, List, Optional, Set, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.errors import SimulationError
+from repro.mem.cache import HIT
 from repro.sim.stats import CoreStats
-from repro.sim.trace import MemRef, TraceStep
+from repro.sim.trace import CoreTrace, MemRef, TraceBlock, TraceStep
 
 #: Memory callback: (core_id, ref, now_cycle) -> total latency in cycles.
 MemoryAccessFn = Callable[[int, MemRef, int], int]
+
+
+class FastMemorySystem:
+    """Protocol the fast scheduler requires of a memory system.
+
+    Splits one reference into the part that is private to the core and
+    the part that claims shared resources:
+
+    ``l1_access_functions(core)``
+        Return the core's bound ``(icache_access, dcache_access)``
+        callables; each maps ``(address, is_write)`` to an
+        :class:`~repro.mem.cache.AccessResult`.  Private to the core
+        (no simulated-time argument: nothing shared is touched), so
+        the scheduler may execute them ahead of global time.
+
+    ``finish_miss(core, address, result, now_cycle)``
+        Charge the shared remainder of a missing reference (L1 victim
+        write-back, interconnect, L2, Miss bus, DRAM) at global time
+        ``now_cycle``; returns the reference's *total* latency.
+
+    ``l1_hit_latency_cycles``
+        Latency of a pure L1 hit (uniform across cores and I/D — the
+        cluster builds every L1 from one config).
+
+    ``l1_hit_result``
+        The singleton object the access functions return for every hit
+        (:data:`repro.mem.cache.HIT` by default) — lets the scheduler
+        detect hits by identity; results that are not the singleton are
+        still classified via their ``.hit`` attribute.
+    """
+
+    l1_hit_latency_cycles: int = 1
+    l1_hit_result: object = HIT
+
+    def l1_access_functions(self, core: int):
+        raise NotImplementedError
+
+    def finish_miss(self, core: int, address: int, result, now_cycle: int) -> int:
+        raise NotImplementedError
+
+
+class _CoreRun:
+    """Per-core cursor over its trace, normalized to segments.
+
+    A segment is ``(gap, addrs, writes, instrs, barrier)``: ``gap``
+    busy cycles before *each* of the references, then the barrier (if
+    any).  A compute-only step becomes a segment with no references.
+
+    ``event_kind``/``event_a``/``event_b`` carry the core's deferred
+    shared event between its heap push and the pop that processes it
+    (0 = none, 1 = miss, 2 = barrier, 3 = finished) — per-core slots
+    instead of per-event tuples.
+    """
+
+    __slots__ = (
+        "segments",
+        "gap",
+        "addrs",
+        "writes",
+        "instrs",
+        "idx",
+        "barrier",
+        "event_kind",
+        "event_a",
+        "event_b",
+    )
+
+    def __init__(self, trace: CoreTrace) -> None:
+        self.segments = self._segment_iter(trace)
+        self.gap = 0
+        self.addrs: Sequence[int] = ()
+        self.writes: Sequence[bool] = ()
+        self.instrs: Sequence[bool] = ()
+        self.idx = 0
+        self.barrier: Optional[int] = None
+        self.event_kind = 0
+        self.event_a: object = None
+        self.event_b: object = None
+
+    @staticmethod
+    def _segment_iter(trace: CoreTrace):
+        for item in trace:
+            if isinstance(item, TraceBlock):
+                yield (
+                    item.compute_gap,
+                    item.addresses.tolist(),
+                    item.is_write.tolist(),
+                    item.is_instruction.tolist(),
+                    item.barrier,
+                )
+            elif item.ref is None:
+                yield (item.compute_cycles, (), (), (), item.barrier)
+            else:
+                ref = item.ref
+                yield (
+                    item.compute_cycles,
+                    (ref.address,),
+                    (ref.is_write,),
+                    (ref.is_instruction,),
+                    item.barrier,
+                )
 
 
 class SimulationEngine:
@@ -35,25 +166,42 @@ class SimulationEngine:
     Parameters
     ----------
     traces:
-        ``{core_id: iterator of TraceStep}`` — one entry per *active*
-        core.
+        ``{core_id: iterator of TraceStep/TraceBlock}`` — one entry per
+        *active* core.
     memory_access:
         Callback charging one memory reference; returns its latency.
     max_cycles:
         Safety valve: a run exceeding this raises ``SimulationError``
         (deadlocked barrier or runaway trace).
+    memory_system:
+        Optional split-protocol memory system (see
+        :class:`FastMemorySystem`); enables the fast scheduler.
+    mode:
+        ``"auto"`` (fast when ``memory_system`` is given, else legacy),
+        ``"fast"``, or ``"legacy"``.  Both schedulers produce identical
+        cycle counts and statistics.
     """
 
     def __init__(
         self,
-        traces: Dict[int, Iterator[TraceStep]],
+        traces: Dict[int, CoreTrace],
         memory_access: MemoryAccessFn,
         max_cycles: int = 2_000_000_000,
+        memory_system: Optional[FastMemorySystem] = None,
+        mode: str = "auto",
     ) -> None:
         if not traces:
             raise SimulationError("no active cores")
+        if mode not in ("auto", "fast", "legacy"):
+            raise SimulationError(f"unknown engine mode {mode!r}")
+        if mode == "auto":
+            mode = "fast" if memory_system is not None else "legacy"
+        if mode == "fast" and memory_system is None:
+            raise SimulationError("fast mode needs a split memory system")
         self.traces = traces
         self.memory_access = memory_access
+        self.memory_system = memory_system
+        self.mode = mode
         self.max_cycles = max_cycles
         self.core_stats: Dict[int, CoreStats] = {
             core: CoreStats(core_id=core) for core in traces
@@ -66,6 +214,21 @@ class SimulationEngine:
     def run(self) -> int:
         """Execute to completion; returns the execution time in cycles
         (the finish time of the last core)."""
+        if self.mode == "fast":
+            finish_time = self._run_fast()
+        else:
+            finish_time = self._run_legacy()
+        if self._barrier_wait and any(self._barrier_wait.values()):
+            pending = {
+                bid: cores for bid, cores in self._barrier_wait.items() if cores
+            }
+            raise SimulationError(f"deadlock: barriers never released: {pending}")
+        return finish_time
+
+    # ------------------------------------------------------------------
+    # Legacy scheduler: one heap event per micro action
+    # ------------------------------------------------------------------
+    def _run_legacy(self) -> int:
         actions = {
             core: self._micro_actions(trace)
             for core, trace in self.traces.items()
@@ -115,20 +278,210 @@ class SimulationEngine:
                     continue  # parked; the releaser re-queues us
                 for release_core, release_time, waited in released:
                     self.core_stats[release_core].barrier_cycles += waited
+                    if release_time > self.max_cycles:
+                        raise SimulationError(
+                            f"barrier released at {release_time}, past "
+                            f"the {self.max_cycles}-cycle safety valve"
+                        )
                     heapq.heappush(heap, (release_time, release_core))
+        return finish_time
 
-        if self._barrier_wait and any(self._barrier_wait.values()):
-            pending = {
-                bid: cores for bid, cores in self._barrier_wait.items() if cores
-            }
-            raise SimulationError(f"deadlock: barriers never released: {pending}")
+    # ------------------------------------------------------------------
+    # Fast scheduler: run-ahead batching of private L1 hits
+    # ------------------------------------------------------------------
+    def _run_fast(self) -> int:
+        memory = self.memory_system
+        hit_latency = memory.l1_hit_latency_cycles
+        if hit_latency < 1:
+            raise SimulationError(
+                f"memory access returned latency {hit_latency} < 1"
+            )
+        finish_miss = memory.finish_miss
+        hit_result = getattr(memory, "l1_hit_result", HIT)
+        hit_stall = hit_latency - 1
+        max_cycles = self.max_cycles
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        runs = {core: _CoreRun(trace) for core, trace in self.traces.items()}
+        # Indexed by the reference's is_instruction flag: [0] = data
+        # cache, [1] = instruction cache.
+        l1_fns = {}
+        for core in self.traces:
+            icache_access, dcache_access = memory.l1_access_functions(core)
+            l1_fns[core] = (dcache_access, icache_access)
+        core_stats = self.core_stats
+        heap: List[Tuple[int, int]] = [(0, core) for core in sorted(runs)]
+        heapq.heapify(heap)
+        finish_time = 0
+
+        while heap:
+            now, core = heappop(heap)
+            if now > max_cycles:
+                raise SimulationError(
+                    f"core {core} passed {max_cycles} cycles; "
+                    f"runaway trace or deadlocked barrier"
+                )
+            stats = core_stats[core]
+            run = runs[core]
+            kind = run.event_kind
+            if kind:
+                run.event_kind = 0
+                if kind == 1:  # miss
+                    latency = finish_miss(core, run.event_a, run.event_b, now)
+                    if latency < 1:
+                        raise SimulationError(
+                            f"memory access returned latency {latency} < 1"
+                        )
+                    stats.memory_references += 1
+                    stats.busy_cycles += 1
+                    stats.stall_cycles += latency - 1
+                    now += latency
+                elif kind == 2:  # barrier arrival
+                    released = self._arrive_at_barrier(run.event_a, core, now)
+                    if released is None:
+                        continue  # parked; the releaser re-queues us
+                    for release_core, release_time, waited in released:
+                        core_stats[release_core].barrier_cycles += waited
+                        if release_time > max_cycles:
+                            raise SimulationError(
+                                f"barrier released at {release_time}, past "
+                                f"the {max_cycles}-cycle safety valve"
+                            )
+                        heappush(heap, (release_time, release_core))
+                    continue
+                else:  # finished
+                    stats.finish_cycle = now
+                    self._finished.add(core)
+                    if now > finish_time:
+                        finish_time = now
+                    continue
+
+            # ----------------------------------------------------------
+            # Run-ahead: retire private work (L1 hits, compute gaps)
+            # in a local loop until the next *shared* event — an L1
+            # miss (charged at pop so reservations stay in global time
+            # order), a barrier arrival, or the end of the trace.
+            # ----------------------------------------------------------
+            fns = l1_fns[core]
+            busy = 0
+            stall = 0
+            refs = 0
+            event_time = now
+            while run.event_kind == 0:
+                idx = run.idx
+                addrs = run.addrs
+                n = len(addrs)
+                if idx < n:
+                    gap = run.gap
+                    writes = run.writes
+                    instrs = run.instrs
+                    step = gap + hit_latency
+                    busy_inc = gap + 1
+                    if now + (n - idx) * step <= max_cycles:
+                        # Common case: even all-hits run-ahead cannot
+                        # cross the safety valve — no per-reference
+                        # check needed.  (An instruction reference is
+                        # never a write — trace validation — so the
+                        # write flag passes through either function.)
+                        while idx < n:
+                            result = fns[instrs[idx]](addrs[idx], writes[idx])
+                            idx += 1
+                            if result is not hit_result and not result.hit:
+                                busy += gap
+                                run.idx = idx
+                                run.event_kind = 1
+                                run.event_a = addrs[idx - 1]
+                                run.event_b = result
+                                event_time = now + gap
+                                break
+                            refs += 1
+                            busy += busy_inc
+                            stall += hit_stall
+                            now += step
+                        else:
+                            run.idx = idx
+                    else:
+                        while idx < n:
+                            t = now + gap
+                            if t > max_cycles:
+                                stats.busy_cycles += busy
+                                stats.stall_cycles += stall
+                                stats.memory_references += refs
+                                raise SimulationError(
+                                    f"core {core} passed {max_cycles} "
+                                    f"cycles; runaway trace or deadlocked "
+                                    f"barrier"
+                                )
+                            result = fns[instrs[idx]](addrs[idx], writes[idx])
+                            idx += 1
+                            if result is not hit_result and not result.hit:
+                                busy += gap
+                                run.idx = idx
+                                run.event_kind = 1
+                                run.event_a = addrs[idx - 1]
+                                run.event_b = result
+                                event_time = t
+                                break
+                            refs += 1
+                            busy += busy_inc
+                            stall += hit_stall
+                            now = t + hit_latency
+                        else:
+                            run.idx = idx
+                    if run.event_kind:
+                        break
+                if run.barrier is not None:
+                    run.event_kind = 2
+                    run.event_a = run.barrier
+                    event_time = now
+                    run.barrier = None
+                    break
+                segment = next(run.segments, None)
+                if segment is None:
+                    run.event_kind = 3
+                    event_time = now
+                    break
+                gap, run.addrs, run.writes, run.instrs, run.barrier = segment
+                run.gap = gap
+                run.idx = 0
+                if gap and not run.addrs:
+                    # Compute-only step: advances local time, claims
+                    # nothing shared.
+                    busy += gap
+                    now += gap
+                    if now > max_cycles:
+                        stats.busy_cycles += busy
+                        stats.stall_cycles += stall
+                        stats.memory_references += refs
+                        raise SimulationError(
+                            f"core {core} passed {max_cycles} cycles; "
+                            f"runaway trace or deadlocked barrier"
+                        )
+            stats.busy_cycles += busy
+            stats.stall_cycles += stall
+            stats.memory_references += refs
+            heappush(heap, (event_time, core))
         return finish_time
 
     # ------------------------------------------------------------------
     @staticmethod
-    def _micro_actions(trace: Iterator[TraceStep]):
-        """Split each TraceStep into time-ordered micro actions."""
+    def _micro_actions(trace: CoreTrace):
+        """Split each step into time-ordered micro actions (blocks are
+        expanded to their exact per-reference equivalent)."""
         for step in trace:
+            if isinstance(step, TraceBlock):
+                gap = step.compute_gap
+                for addr, is_write, is_instr in zip(
+                    step.addresses.tolist(),
+                    step.is_write.tolist(),
+                    step.is_instruction.tolist(),
+                ):
+                    if gap:
+                        yield ("compute", gap)
+                    yield ("mem", MemRef(addr, is_write, is_instr))
+                if step.barrier is not None:
+                    yield ("barrier", step.barrier)
+                continue
             if step.compute_cycles:
                 yield ("compute", step.compute_cycles)
             if step.ref is not None:

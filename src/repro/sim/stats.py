@@ -6,7 +6,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List
 
 
-@dataclass
+@dataclass(slots=True)
 class CoreStats:
     """Per-core cycle accounting."""
 

@@ -19,7 +19,7 @@ from typing import Dict, Iterator, List, Union
 import numpy as np
 
 from repro.errors import WorkloadError
-from repro.sim.trace import MemRef, TraceStep
+from repro.sim.trace import CoreTrace, MemRef, TraceStep, expand_steps
 
 PathLike = Union[str, Path]
 
@@ -76,17 +76,18 @@ def arrays_to_steps(arrays: Dict[str, np.ndarray]) -> Iterator[TraceStep]:
 
 
 def save_traces(
-    traces: Dict[int, Iterator[TraceStep]], path: PathLike
+    traces: Dict[int, CoreTrace], path: PathLike
 ) -> Dict[int, int]:
     """Materialize and save traces; returns steps-per-core.
 
-    Note: this *consumes* the iterators; reload with
-    :func:`load_traces` to run them.
+    Accepts step or array-backed block traces (blocks are expanded to
+    their equivalent steps).  Note: this *consumes* the iterators;
+    reload with :func:`load_traces` to run them.
     """
     payload: Dict[str, np.ndarray] = {}
     counts: Dict[int, int] = {}
     for core, trace in traces.items():
-        steps = list(trace)
+        steps = list(expand_steps(trace))
         counts[core] = len(steps)
         for column, array in steps_to_arrays(steps).items():
             payload[f"core{core}_{column}"] = array

@@ -18,6 +18,15 @@ kernel hits the L1: ``touch_stride`` — bytes between consecutive
 streaming references; ``burst`` — same-line references per scatter
 jump.  All kernels use :class:`numpy.random.Generator` seeded from
 (workload, core), so traces are reproducible and different per core.
+
+Every kernel offers two equivalent APIs: :meth:`~AddressStream.next_address`
+(one address per call) and :meth:`~AddressStream.next_block` (``n``
+addresses as one ``int64`` array).  The block path is the fast one —
+each kernel vectorizes its arithmetic with numpy — and is exactly
+sequence- and RNG-state-compatible with the scalar path: interleaving
+the two APIs produces the same address stream as either alone (numpy's
+``Generator`` draws batches element-identically to repeated scalar
+draws, which the property suite checks).
 """
 
 from __future__ import annotations
@@ -42,6 +51,18 @@ class AddressStream(ABC):
     @abstractmethod
     def next_address(self) -> int:
         """Produce the next byte address."""
+
+    def next_block(self, n: int) -> np.ndarray:
+        """Produce the next ``n`` addresses as one ``int64`` array.
+
+        Equivalent to ``n`` calls of :meth:`next_address` (subclasses
+        override with vectorized implementations; this fallback loops).
+        """
+        if n < 0:
+            raise WorkloadError("block size must be non-negative")
+        return np.fromiter(
+            (self.next_address() for _ in range(n)), dtype=np.int64, count=n
+        )
 
     def _wrap(self, offset: int) -> int:
         return self.base + offset % self.size
@@ -73,6 +94,15 @@ class SequentialStream(AddressStream):
         addr = self._wrap(self._cursor)
         self._cursor = (self._cursor + self.touch_stride) % self.size
         return addr
+
+    def next_block(self, n: int) -> np.ndarray:
+        if n < 0:
+            raise WorkloadError("block size must be non-negative")
+        offs = (
+            self._cursor + self.touch_stride * np.arange(n, dtype=np.int64)
+        ) % self.size
+        self._cursor = (self._cursor + self.touch_stride * n) % self.size
+        return self.base + offs
 
 
 class StridedStream(AddressStream):
@@ -122,6 +152,62 @@ class StridedStream(AddressStream):
                 self._stride_elems = 1
         return self._wrap(addr_off)
 
+    def next_block(self, n: int) -> np.ndarray:
+        if n < 0:
+            raise WorkloadError("block size must be non-negative")
+        out = np.empty(n, dtype=np.int64)
+        filled = 0
+        size = self.size
+        # Drain a burst left over from the scalar path / previous block.
+        while filled < n and self._burst_left > 0:
+            take = min(self._burst_left, n - filled)
+            out[filled : filled + take] = (
+                self._burst_addr + 8 * np.arange(1, take + 1, dtype=np.int64)
+            ) % size + self.base
+            self._burst_addr += 8 * take
+            self._burst_left -= take
+            filled += take
+        visits_per_pass = -(-size // self.ELEMENT_BYTES)  # ceil
+        while filled < n:
+            # One pass segment: visits advance arithmetically until the
+            # stride doubles at the pass boundary.
+            pass_left = visits_per_pass - self._visited
+            step = self._stride_elems * self.ELEMENT_BYTES
+            # Whole visits that fit in the remaining output (+1 partial).
+            room = n - filled
+            whole = room // self.burst
+            k = min(pass_left, whole + (1 if room % self.burst else 0))
+            if k == 0:
+                k = 1  # a partial visit still starts here
+            heads = (
+                self._cursor + step * np.arange(k, dtype=np.int64)
+            ) % size
+            refs = (
+                heads[:, None] + 8 * np.arange(self.burst, dtype=np.int64)
+            ) % size
+            flat = refs.ravel()[:room]
+            take = flat.shape[0]
+            out[filled : filled + take] = flat + self.base
+            filled += take
+            # Advance visit state for the visits actually *started*.
+            started = -(-take // self.burst)  # ceil
+            self._cursor = (self._cursor + step * started) % size
+            self._visited += started
+            # Partial final burst: record where the scalar path resumes.
+            tail = take % self.burst
+            if tail:
+                head = int(heads[started - 1])
+                self._burst_addr = head + 8 * (tail - 1)
+                self._burst_left = self.burst - tail
+            else:
+                self._burst_left = 0
+            if self._visited >= visits_per_pass:
+                self._visited = 0
+                self._stride_elems *= 2
+                if self._stride_elems > self._max_stride:
+                    self._stride_elems = 1
+        return out
+
 
 class RandomStream(AddressStream):
     """Scatter: jump to a random line, touch ``burst`` words in it."""
@@ -151,6 +237,45 @@ class RandomStream(AddressStream):
         self._addr = self.base + int(self.rng.integers(0, words)) * self.WORD_BYTES
         self._burst_left = self.burst - 1
         return self._addr
+
+    def next_block(self, n: int) -> np.ndarray:
+        if n < 0:
+            raise WorkloadError("block size must be non-negative")
+        out = np.empty(n, dtype=np.int64)
+        filled = 0
+        size = self.size
+        wb = self.WORD_BYTES
+        # Drain a burst in progress.
+        if filled < n and self._burst_left > 0:
+            take = min(self._burst_left, n)
+            rel = self._addr - self.base
+            out[:take] = (
+                rel + wb * np.arange(1, take + 1, dtype=np.int64)
+            ) % size + self.base
+            self._addr += wb * take
+            self._burst_left -= take
+            filled = take
+        if filled == n:
+            return out
+        # Whole/partial new visits: batch the jump draws (element-wise
+        # identical to repeated scalar draws), expand bursts by arange.
+        room = n - filled
+        k = room // self.burst + (1 if room % self.burst else 0)
+        words = max(1, size // wb)
+        heads = self.rng.integers(0, words, size=k) * wb
+        refs = (
+            heads[:, None] + wb * np.arange(self.burst, dtype=np.int64)
+        ) % size
+        flat = refs.ravel()[:room]
+        out[filled:] = flat + self.base
+        tail = room % self.burst
+        if tail:
+            self._addr = self.base + int(heads[-1]) + wb * (tail - 1)
+            self._burst_left = self.burst - tail
+        else:
+            self._addr = self.base + int(heads[-1]) + wb * (self.burst - 1)
+            self._burst_left = 0
+        return out
 
 
 class StencilStream(AddressStream):
@@ -192,6 +317,25 @@ class StencilStream(AddressStream):
         self._phase = (self._phase + 1) % 3
         return self._wrap(off)
 
+    def next_block(self, n: int) -> np.ndarray:
+        if n < 0:
+            raise WorkloadError("block size must be non-negative")
+        phases = (self._phase + np.arange(n, dtype=np.int64)) % 3
+        south = phases == 2
+        # Cursor advances after each south (phase-2) reference.
+        advances = np.cumsum(south) - south  # souths strictly before i
+        cursors = (
+            self._cursor + self.touch_stride * advances
+        ) % self.size
+        offs = cursors + np.where(
+            phases == 1, self.row_bytes, np.where(south, -self.row_bytes, 0)
+        )
+        self._cursor = (
+            self._cursor + self.touch_stride * int(south.sum())
+        ) % self.size
+        self._phase = int((self._phase + n) % 3)
+        return self.base + offs % self.size
+
 
 class ClusterStream(AddressStream):
     """FMM-style: pick a cell cluster at random, stream inside it.
@@ -224,6 +368,30 @@ class ClusterStream(AddressStream):
             n_clusters = max(1, self.size // self.CLUSTER_BYTES)
             self._cluster = int(self.rng.integers(0, n_clusters))
         return addr
+
+    def next_block(self, n: int) -> np.ndarray:
+        if n < 0:
+            raise WorkloadError("block size must be non-negative")
+        out = np.empty(n, dtype=np.int64)
+        filled = 0
+        cb = self.CLUSTER_BYTES
+        stride = self.touch_stride
+        n_clusters = max(1, self.size // cb)
+        while filled < n:
+            # Stream inside the current cluster until its end (or the
+            # block is full), then draw the next cluster.
+            left_here = -(-(cb - self._offset) // stride)  # ceil
+            take = min(left_here, n - filled)
+            offs = self._offset + stride * np.arange(take, dtype=np.int64)
+            out[filled : filled + take] = (
+                self._cluster * cb + offs
+            ) % self.size + self.base
+            filled += take
+            self._offset += stride * take
+            if self._offset >= cb:
+                self._offset = 0
+                self._cluster = int(self.rng.integers(0, n_clusters))
+        return out
 
 
 def make_stream(

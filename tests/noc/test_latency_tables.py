@@ -1,0 +1,61 @@
+"""Tests of the precomputed interconnect latency/energy tables."""
+
+import pytest
+
+from repro.mot.power_state import FULL_CONNECTION, PC4_MB8
+from repro.noc.bus_mesh import HybridBusMesh
+from repro.noc.bus_tree import HybridBusTree
+from repro.noc.mesh3d import True3DMesh
+from repro.noc.mot_adapter import MoTInterconnect
+
+PACKET_CLASSES = [True3DMesh, HybridBusMesh, HybridBusTree]
+
+
+class TestLatencyEnergyTable:
+    @pytest.mark.parametrize("factory", PACKET_CLASSES,
+                             ids=lambda f: f.__name__)
+    def test_table_matches_analytical_model(self, factory):
+        ic = factory()
+        table = ic.latency_energy_table(4, 8)
+        for (core, bank), (latency, energy) in table.items():
+            assert latency == ic.zero_load_latency(core, bank)
+            assert energy == ic.access_energy_j(core, bank)
+            assert latency > 0 and energy > 0
+
+    @pytest.mark.parametrize("factory", PACKET_CLASSES,
+                             ids=lambda f: f.__name__)
+    def test_access_uses_cached_routes(self, factory):
+        """First access builds the pair's entry; the table then serves
+        every later access of the pair."""
+        ic = factory()
+        assert not ic._route_table
+        ic.access(0, 5, 0)
+        assert (0, 5) in ic._route_table
+        entry = ic._route_table[(0, 5)]
+        ic.access(0, 5, 100)
+        assert ic._route_table[(0, 5)] is entry  # reused, not rebuilt
+
+    def test_contention_stays_dynamic(self):
+        """Tables carry only static data: back-to-back same-bank
+        accesses still queue at the bank port."""
+        ic = True3DMesh()
+        first = ic.access(0, 0, 0)
+        second = ic.access(0, 0, 0)
+        assert second > first
+
+    def test_mot_table_uniform(self):
+        ic = MoTInterconnect(state=FULL_CONNECTION)
+        table = ic.latency_energy_table(4, 8)
+        assert len({v for v in table.values()}) == 1  # balanced placement
+
+    def test_mot_invalidated_on_power_state(self):
+        """Reconfiguration recomputes the latency surface (Table I:
+        12 cycles at Full connection vs 7 at PC4-MB8)."""
+        ic = MoTInterconnect(state=FULL_CONNECTION)
+        full = ic.latency_energy_table(4, 8)[(0, 0)]
+        assert ic._route_table  # populated by the table build
+        ic.set_power_state(PC4_MB8)
+        assert not ic._route_table  # dropped on reconfiguration
+        gated = ic.latency_energy_table(4, 8)[(0, 0)]
+        assert gated[0] < full[0]
+        assert gated[1] < full[1]

@@ -1,0 +1,83 @@
+"""Differential regression: the fast run-ahead scheduler must be
+cycle-exact against the legacy per-reference scheduler.
+
+This is the correctness contract of the fast-path pipeline (ISSUE 1):
+identical ``SimReport`` cycle counts, per-core statistics, cache/DRAM
+counters and interconnect energy, to full precision, on the same
+traces.
+"""
+
+from dataclasses import asdict
+
+import pytest
+
+from repro.analysis.energy import EnergyModel
+from repro.mem.dram import DDR3_OFFCHIP
+from repro.mot.power_state import PC4_MB8, FULL_CONNECTION
+from repro.noc.bus_mesh import HybridBusMesh
+from repro.noc.bus_tree import HybridBusTree
+from repro.noc.mesh3d import True3DMesh
+from repro.sim.cluster import Cluster3D
+from repro.workloads.base import SyntheticWorkload
+
+
+def run_once(bench, power_state, engine_mode, interconnect=None, scale=0.08):
+    """One full simulation; returns (report, energy breakdown)."""
+    cluster = Cluster3D(interconnect=interconnect, power_state=power_state)
+    traces = SyntheticWorkload(bench, scale=scale).trace_blocks(
+        sorted(power_state.active_cores)
+    )
+    report = cluster.run(traces, workload_name=bench, engine_mode=engine_mode)
+    energy = EnergyModel(dram=DDR3_OFFCHIP).breakdown(
+        report, cluster.interconnect.leakage_w()
+    )
+    return report, energy
+
+
+class TestFastLegacyEquivalence:
+    """ISSUE 1 satellite: small cluster (4 cores, 8 banks), two
+    workloads, both paths, full-precision equality."""
+
+    @pytest.mark.parametrize("bench", ["volrend", "radix"])
+    def test_small_cluster_reports_identical(self, bench):
+        legacy, e_legacy = run_once(bench, PC4_MB8, "legacy")
+        fast, e_fast = run_once(bench, PC4_MB8, "auto")
+        assert asdict(legacy) == asdict(fast)
+        assert e_legacy == e_fast  # energy to full precision
+
+    @pytest.mark.parametrize("bench", ["fft", "ocean_contiguous"])
+    def test_full_connection_reports_identical(self, bench):
+        legacy, e_legacy = run_once(bench, FULL_CONNECTION, "legacy")
+        fast, e_fast = run_once(bench, FULL_CONNECTION, "auto")
+        assert asdict(legacy) == asdict(fast)
+        assert e_legacy == e_fast
+
+    @pytest.mark.parametrize(
+        "factory", [True3DMesh, HybridBusMesh, HybridBusTree],
+        ids=lambda f: f.__name__,
+    )
+    def test_packet_interconnects_identical(self, factory):
+        """The precomputed route tables + fast scheduler match the
+        legacy path on every packet-switched baseline too."""
+        legacy, e_legacy = run_once(
+            "cholesky", FULL_CONNECTION, "legacy",
+            interconnect=factory(), scale=0.05,
+        )
+        fast, e_fast = run_once(
+            "cholesky", FULL_CONNECTION, "auto",
+            interconnect=factory(), scale=0.05,
+        )
+        assert asdict(legacy) == asdict(fast)
+        assert e_legacy == e_fast
+
+    def test_barrier_cycles_match(self):
+        """Barrier accounting (idle time at phase boundaries) is part
+        of the contract, not just end-to-end cycles."""
+        legacy, _ = run_once("water-nsquared", PC4_MB8, "legacy")
+        fast, _ = run_once("water-nsquared", PC4_MB8, "auto")
+        assert [c.barrier_cycles for c in legacy.cores] == [
+            c.barrier_cycles for c in fast.cores
+        ]
+        assert [c.finish_cycle for c in legacy.cores] == [
+            c.finish_cycle for c in fast.cores
+        ]

@@ -147,3 +147,42 @@ class TestBarriers:
             flat_memory(1),
         )
         assert eng.run() == 15
+
+
+class TestEngineModes:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(SimulationError):
+            SimulationEngine(
+                {0: steps(TraceStep(compute_cycles=1))}, flat_memory(1),
+                mode="warp",
+            )
+
+    def test_fast_mode_requires_split_memory(self):
+        with pytest.raises(SimulationError):
+            SimulationEngine(
+                {0: steps(TraceStep(compute_cycles=1))}, flat_memory(1),
+                mode="fast",
+            )
+
+    def test_auto_defaults_to_legacy_for_plain_callbacks(self):
+        eng = SimulationEngine(
+            {0: steps(TraceStep(compute_cycles=1))}, flat_memory(1)
+        )
+        assert eng.mode == "legacy"
+
+    def test_legacy_engine_consumes_trace_blocks(self):
+        """Array-backed blocks expand to the exact per-step actions."""
+        import numpy as np
+
+        from repro.sim.trace import TraceBlock
+
+        block = TraceBlock(
+            compute_gap=2,
+            addresses=np.array([0, 32, 64], dtype=np.int64),
+        )
+        eng = SimulationEngine({0: steps(block)}, flat_memory(3))
+        # Per reference: 2 compute + 3 latency = 5 cycles.
+        assert eng.run() == 15
+        assert eng.core_stats[0].memory_references == 3
+        assert eng.core_stats[0].busy_cycles == 3 * 3  # gap + L1 cycle
+        assert eng.core_stats[0].stall_cycles == 3 * 2

@@ -1,0 +1,49 @@
+"""Tests of the parallel sweep executor."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.parallel import SweepCell, run_cell, run_cells
+
+
+class TestSweepCell:
+    def test_defaults(self):
+        cell = SweepCell(benchmark="volrend")
+        assert cell.dram_ns == 200 and cell.interconnect is None
+
+    def test_bad_dram_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SweepCell(benchmark="volrend", dram_ns=100)
+
+    def test_unknown_interconnect_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_cell(SweepCell(benchmark="volrend", interconnect="warp drive",
+                               scale=0.02))
+
+
+class TestRunCells:
+    CELLS = [
+        SweepCell(benchmark="volrend", scale=0.03),
+        SweepCell(benchmark="volrend", power_state="PC4-MB8", scale=0.03),
+        SweepCell(benchmark="fft", dram_ns=63, scale=0.03),
+    ]
+
+    def test_empty(self):
+        assert run_cells([]) == []
+
+    def test_serial_results_in_order(self):
+        results = run_cells(self.CELLS)
+        assert [r.workload_name for r, _e in results] == [
+            "volrend", "volrend", "fft"
+        ]
+        assert results[1][0].power_state_name == "PC4-MB8"
+        assert "Wide I/O" in results[2][0].dram_name
+
+    def test_parallel_matches_serial_exactly(self):
+        """Worker processes rebuild each cell from its spec: results
+        must be bit-identical to the in-process run."""
+        serial = run_cells(self.CELLS, jobs=None)
+        parallel = run_cells(self.CELLS, jobs=2)
+        for (rs, es), (rp, ep) in zip(serial, parallel):
+            assert rs == rp
+            assert es == ep
