@@ -77,11 +77,16 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--out", type=Path,
                         default=REPO_ROOT / "BENCH_speed.json",
                         help="output JSON path")
+    parser.add_argument("--note", default=None,
+                        help="free-form context recorded with the run "
+                             "(e.g. container drift vs prior PRs)")
     args = parser.parse_args(argv)
 
     scale = bench_scale()
     print(f"bench_speed: scale={scale} jobs={args.jobs or 1} ...", flush=True)
     results = run(scale, args.jobs)
+    if args.note:
+        results["note"] = args.note
 
     payload = {
         "schema": "repro-bench-speed/1",

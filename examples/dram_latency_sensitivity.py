@@ -14,27 +14,28 @@ the PC16-MB8 EDP penalty/benefit shrinking/growing as DRAM gets faster.
 Run:  python examples/dram_latency_sensitivity.py
 """
 
-from repro.analysis import run_benchmark
+from repro import Scenario, SweepGrid, run_sweep
 from repro.mem.dram import PAPER_DRAM_TIMINGS
-from repro.mot.power_state import FULL_CONNECTION, PC16_MB8
 
 
 def main() -> None:
     bench, scale = "radix", 0.5
+    # One declarative grid: (DRAM technology x power state).  The same
+    # sweep runs from the CLI as
+    #   repro sweep --workloads radix --state "Full connection" PC16-MB8 \
+    #       --dram-ns 200 63 42 --scale 0.5
+    grid = SweepGrid.over(
+        Scenario(workload=bench, scale=scale),
+        dram=list(PAPER_DRAM_TIMINGS),
+        power_state=["Full connection", "PC16-MB8"],
+    )
+    results = iter(run_sweep(grid))
     print(f"{bench}: PC16-MB8 vs Full connection across DRAM technologies\n")
     print(f"{'DRAM':38s} {'exec ratio':>11s} {'EDP ratio':>10s}")
     for dram in PAPER_DRAM_TIMINGS:
-        _, e_full = run_benchmark(
-            bench, power_state=FULL_CONNECTION, dram=dram, scale=scale
-        )
-        r_mb8, e_mb8 = run_benchmark(
-            bench, power_state=PC16_MB8, dram=dram, scale=scale
-        )
-        r_full, _ = run_benchmark(
-            bench, power_state=FULL_CONNECTION, dram=dram, scale=scale
-        )
-        exec_ratio = r_mb8.execution_cycles / r_full.execution_cycles
-        edp_ratio = e_mb8.edp / e_full.edp
+        full, mb8 = next(results), next(results)
+        exec_ratio = mb8.execution_cycles / full.execution_cycles
+        edp_ratio = mb8.edp / full.edp
         print(f"{dram.name:38s} {exec_ratio:>10.3f}x {edp_ratio:>9.3f}x")
     print("\nFaster DRAM shrinks the miss penalty of the gated (smaller) L2,"
           "\nso bank gating pays off for more programs — the Fig 8 effect.")

@@ -26,7 +26,9 @@ def main() -> None:
               f"(leakage {ic.leakage_w() * 1e3:6.1f} mW)")
     print()
 
-    # Loaded comparison on a benchmark subset.
+    # Loaded comparison on a benchmark subset.  experiment_fig6 is a
+    # thin preset over the scenario API; the equivalent free-form sweep
+    # is `repro sweep --workloads fft volrend --interconnect mesh mot`.
     result = experiment_fig6(
         scale=0.4, benchmarks=("fft", "volrend", "water-nsquared")
     )

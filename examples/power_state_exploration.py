@@ -14,7 +14,7 @@ then names each program's best state.
 Run:  python examples/power_state_exploration.py
 """
 
-from repro.analysis import run_benchmark
+from repro import Scenario, SweepGrid, run_sweep
 from repro.mot.power_state import PAPER_POWER_STATES
 
 
@@ -22,16 +22,20 @@ def sweep(bench: str, scale: float) -> None:
     print(f"\n{bench}")
     print(f"{'state':18s} {'exec (cyc)':>12s} {'cluster uJ':>12s} "
           f"{'EDP (J*s)':>12s} {'vs Full':>9s}")
+    grid = SweepGrid.over(
+        Scenario(workload=bench, scale=scale),
+        power_state=list(PAPER_POWER_STATES),
+    )
     base_edp = None
     best = (None, float("inf"))
-    for state in PAPER_POWER_STATES:
-        report, energy = run_benchmark(bench, power_state=state, scale=scale)
+    for cell in run_sweep(grid):
+        report, energy = cell.report, cell.energy
         if base_edp is None:
             base_edp = energy.edp
         rel = energy.edp / base_edp
         if energy.edp < best[1]:
-            best = (state.name, energy.edp)
-        print(f"{state.name:18s} {report.execution_cycles:>12d} "
+            best = (report.power_state_name, energy.edp)
+        print(f"{report.power_state_name:18s} {report.execution_cycles:>12d} "
               f"{energy.cluster_j * 1e6:>12.1f} {energy.edp:>12.3e} "
               f"{rel:>8.2f}x")
     print(f"  -> best state: {best[0]} "

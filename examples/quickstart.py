@@ -7,19 +7,17 @@ Walks through the library's three layers in ~40 lines:
 2. the reconfigurable MoT fabric (the paper's contribution) — apply a
    power state and watch the bank remapping emerge from the forced
    routing switches;
-3. a full system simulation of one SPLASH-2 benchmark with energy/EDP.
+3. a full system simulation of one SPLASH-2 benchmark, declared as a
+   :class:`repro.Scenario` (the same spec `repro run` executes).
 
 Run:  python examples/quickstart.py
 """
 
 from repro import (
-    Cluster3D,
-    FULL_CONNECTION,
     PC16_MB8,
     MoTFabric,
-    build_traces,
+    Scenario,
     experiment_table1,
-    run_benchmark,
 )
 
 def main() -> None:
@@ -47,8 +45,12 @@ def main() -> None:
 
     # ------------------------------------------------------------------
     # 3. Simulate one benchmark end to end (scaled down for a demo).
+    #    The Scenario is declarative and picklable — the identical spec
+    #    runs from the CLI (`repro run fft --scale 0.3`) or ships to
+    #    worker processes in a sweep.
     # ------------------------------------------------------------------
-    report, energy = run_benchmark("fft", power_state=FULL_CONNECTION, scale=0.3)
+    result = Scenario(workload="fft", scale=0.3).run()
+    report, energy = result.report, result.energy
     print(f"fft on {report.interconnect_name} @ {report.power_state_name}:")
     print(f"  execution    : {report.execution_cycles} cycles")
     print(f"  L1 miss rate : {report.l1_miss_rate:.1%}")

@@ -4,12 +4,18 @@ Benini, De Micheli — DATE 2016).
 
 Quick start::
 
-    from repro import MoTFabric, PC16_MB8, experiment_table1
+    from repro import Scenario, SweepGrid, run_sweep
 
-    fabric = MoTFabric(n_cores=16, n_banks=32)
-    plan = fabric.apply_power_state(PC16_MB8)   # gate 24 banks
-    print(plan.remap)                            # emergent bank folding
-    print(experiment_table1().render())          # Table I latencies
+    result = Scenario(workload="fft", power_state="PC16-MB8").run()
+    print(result.report.execution_cycles, result.energy.edp)
+
+    grid = SweepGrid.over(                       # Fig 7-style sweep
+        Scenario(workload="fft", scale=0.2),
+        workload=["fft", "volrend"],
+        power_state=["Full connection", "PC4-MB8"],
+    )
+    for cell in run_sweep(grid, jobs=2):         # bit-identical to serial
+        print(cell.scenario.label(), cell.energy.edp)
 
 Subpackages:
 
@@ -25,6 +31,15 @@ Subpackages:
 """
 
 from repro.config import ClusterConfig, DEFAULT_CONFIG
+from repro.scenario import (
+    Scenario,
+    SweepGrid,
+    register_dram_preset,
+    register_interconnect,
+    register_workload,
+    resolve_dram,
+    resolve_power_state,
+)
 from repro.mot import (
     FULL_CONNECTION,
     PC16_MB8,
@@ -43,7 +58,13 @@ from repro.noc import (
     MoTInterconnect,
     True3DMesh,
 )
-from repro.sim import Cluster3D, SimReport
+from repro.sim import (
+    Cluster3D,
+    ScenarioResult,
+    SimReport,
+    run_scenario,
+    run_sweep,
+)
 from repro.workloads import SPLASH2_NAMES, SyntheticWorkload, build_traces
 from repro.analysis import (
     EnergyModel,
@@ -61,6 +82,16 @@ __version__ = "1.0.0"
 __all__ = [
     "ClusterConfig",
     "DEFAULT_CONFIG",
+    "Scenario",
+    "SweepGrid",
+    "ScenarioResult",
+    "run_scenario",
+    "run_sweep",
+    "register_dram_preset",
+    "register_interconnect",
+    "register_workload",
+    "resolve_dram",
+    "resolve_power_state",
     "FULL_CONNECTION",
     "PC16_MB8",
     "PC4_MB32",

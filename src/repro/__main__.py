@@ -1,4 +1,5 @@
-"""``python -m repro`` dispatches to the CLI."""
+"""``python -m repro`` dispatches to the CLI (``run``, ``sweep``,
+``table1``, ``fig5``-``fig8``, ``config``, ``fabric``)."""
 
 import sys
 

@@ -15,6 +15,13 @@ Every function regenerates one artifact of Section IV:
 ``headline_edp``       The abstract's "up to 77% (48% avg)" EDP claim
 =================  =====================================================
 
+The simulation figures are thin presets over the scenario API: each
+builds a :class:`~repro.scenario.SweepGrid` (benchmark x interconnect,
+or benchmark x power state) and delegates to
+:func:`~repro.sim.session.run_sweep` — ``jobs`` parallelizes the cells
+across worker processes with bit-identical results, and ``seed``
+selects the trace RNG seed (2016 = the reference outputs).
+
 All functions accept ``scale`` (work multiplier; 1.0 = reference run)
 and return structured results with a ``render()`` method that prints
 the same rows/series the paper plots.
@@ -22,13 +29,14 @@ the same rows/series the paper plots.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro import units as u
 from repro.analysis.edp import EDPComparison, best_state_stats, reduction_stats
 from repro.analysis.energy import EnergyBreakdown, EnergyModel
 from repro.analysis.report import format_normalized_table, format_table
+from repro.config import ClusterConfig, DEFAULT_CONFIG
 from repro.mem.dram import (
     DDR3_OFFCHIP,
     DRAMTimings,
@@ -39,29 +47,24 @@ from repro.mem.dram import (
 from repro.mot.latency import MoTLatencyModel
 from repro.mot.power_state import PAPER_POWER_STATES, PowerState
 from repro.noc.base import Interconnect
-from repro.noc.bus_mesh import HybridBusMesh
-from repro.noc.bus_tree import HybridBusTree
-from repro.noc.mesh3d import True3DMesh
-from repro.noc.mot_adapter import MoTInterconnect
 from repro.phys.geometry import Floorplan3D
+from repro.scenario import INTERCONNECTS, Scenario, SweepGrid, resolve_dram
 from repro.sim.cluster import Cluster3D
-from repro.sim.parallel import SweepCell, run_cells
+from repro.sim.session import run_sweep
 from repro.sim.stats import SimReport
 from repro.workloads import SPLASH2_NAMES, build_traces
 
-from repro.errors import ConfigurationError
 
-
-def _dram_tag(dram: DRAMTimings) -> int:
-    """Picklable tag of a Table I DRAM preset (for worker processes)."""
-    tag = int(dram.access_latency_ns)
-    if tag not in (200, 63, 42):
-        raise ConfigurationError(
-            "parallel sweeps support the Table I DRAM presets "
-            f"(200/63/42 ns); got {dram.access_latency_ns} ns — "
-            "run with jobs=None for custom timings"
-        )
-    return tag
+#: Deprecated alias kept for pre-scenario callers: paper display name
+#: -> zero-argument factory.  The scenario registry
+#: (:data:`repro.scenario.INTERCONNECTS`) is the source of truth; the
+#: keys double as Fig 6's column order.
+INTERCONNECT_FACTORIES: Dict[str, Callable[[], Interconnect]] = {
+    "True 3-D Mesh": INTERCONNECTS["mesh"],
+    "3-D Hybrid Bus-Mesh": INTERCONNECTS["bus-mesh"],
+    "3-D Hybrid Bus-Tree": INTERCONNECTS["bus-tree"],
+    "3-D MoT": INTERCONNECTS["mot"],
+}
 
 
 def run_benchmark(
@@ -72,6 +75,7 @@ def run_benchmark(
     scale: float = 1.0,
     seed: int = 2016,
     traces: Optional[Dict[int, object]] = None,
+    config: ClusterConfig = DEFAULT_CONFIG,
 ) -> Tuple[SimReport, EnergyBreakdown]:
     """Run one benchmark on one configuration; returns (report, energy).
 
@@ -82,45 +86,18 @@ def run_benchmark(
     """
     if power_state is None:
         power_state = PAPER_POWER_STATES[0]
-    cluster = Cluster3D(
-        interconnect=interconnect, power_state=power_state, dram=dram
+    cluster = Cluster3D.from_config(
+        config, interconnect=interconnect, power_state=power_state, dram=dram
     )
     if traces is None:
         traces = build_traces(
             name, sorted(power_state.active_cores), scale=scale, seed=seed
         )
     report = cluster.run(traces, workload_name=name)
-    energy = EnergyModel(dram=dram).breakdown(
-        report, cluster.interconnect.leakage_w()
-    )
+    energy = EnergyModel(
+        dram=dram, frequency_hz=config.frequency_hz
+    ).breakdown(report, cluster.interconnect.leakage_w())
     return report, energy
-
-
-class _TraceCache:
-    """Materialized trace blocks of one benchmark, replayable per core
-    set.  Generation is deterministic, so replaying the same blocks is
-    exactly equivalent to regenerating them — each sweep cell still
-    sees a fresh iterator."""
-
-    def __init__(self, name: str, scale: float, seed: int) -> None:
-        self.name = name
-        self.scale = scale
-        self.seed = seed
-        self._blocks: Dict[Tuple[int, ...], Dict[int, list]] = {}
-
-    def traces(self, active_cores) -> Dict[int, object]:
-        key = tuple(sorted(active_cores))
-        blocks = self._blocks.get(key)
-        if blocks is None:
-            from repro.workloads.base import SyntheticWorkload
-
-            lazy = SyntheticWorkload(
-                self.name, scale=self.scale, seed=self.seed
-            ).trace_blocks(key)
-            blocks = self._blocks[key] = {
-                core: list(trace) for core, trace in lazy.items()
-            }
-        return {core: iter(items) for core, items in blocks.items()}
 
 
 # ---------------------------------------------------------------------------
@@ -212,14 +189,6 @@ def experiment_fig5(floorplan: Optional[Floorplan3D] = None) -> Fig5Result:
 # ---------------------------------------------------------------------------
 # Fig 6
 # ---------------------------------------------------------------------------
-INTERCONNECT_FACTORIES: Dict[str, Callable[[], Interconnect]] = {
-    "True 3-D Mesh": True3DMesh,
-    "3-D Hybrid Bus-Mesh": HybridBusMesh,
-    "3-D Hybrid Bus-Tree": HybridBusTree,
-    "3-D MoT": MoTInterconnect,
-}
-
-
 @dataclass(frozen=True)
 class Fig6Result:
     """L2 access latency (a) and execution time (b) per interconnect."""
@@ -273,51 +242,37 @@ def experiment_fig6(
     benchmarks: Sequence[str] = SPLASH2_NAMES,
     dram: DRAMTimings = DDR3_OFFCHIP,
     jobs: Optional[int] = None,
+    seed: int = 2016,
 ) -> Fig6Result:
     """Four interconnects x SPLASH-2 at Full connection (Fig 6).
 
-    ``jobs``: worker processes for the (benchmark x interconnect)
-    cells; ``None``/``1`` runs serially in-process (each benchmark's
-    traces are then generated once and replayed per interconnect).
+    A (benchmark x interconnect) :class:`SweepGrid` over
+    :func:`run_sweep`.  ``jobs``: worker processes for the cells;
+    ``None``/``1`` runs serially in-process (each benchmark's traces
+    are then generated once and replayed per interconnect).
     """
+    if not benchmarks:
+        return Fig6Result(latency_cycles={}, execution_cycles={})
+    grid = SweepGrid.over(
+        Scenario(
+            workload=benchmarks[0],
+            dram=resolve_dram(dram),
+            scale=scale,
+            seed=seed,
+        ),
+        workload=list(benchmarks),
+        interconnect=list(INTERCONNECT_FACTORIES),
+    )
+    results = iter(run_sweep(grid, jobs=jobs))
     latency: Dict[str, Dict[str, float]] = {}
     execution: Dict[str, Dict[str, int]] = {}
-    ic_names = list(INTERCONNECT_FACTORIES)
-    if jobs is not None and jobs > 1:
-        cells = [
-            SweepCell(
-                benchmark=bench,
-                interconnect=ic_name,
-                dram_ns=_dram_tag(dram),
-                scale=scale,
-            )
-            for bench in benchmarks
-            for ic_name in ic_names
-        ]
-        results = iter(run_cells(cells, jobs=jobs))
-        for bench in benchmarks:
-            latency[bench] = {}
-            execution[bench] = {}
-            for ic_name in ic_names:
-                report, _energy = next(results)
-                latency[bench][ic_name] = report.mean_l2_latency_cycles
-                execution[bench][ic_name] = report.execution_cycles
-        return Fig6Result(latency_cycles=latency, execution_cycles=execution)
     for bench in benchmarks:
         latency[bench] = {}
         execution[bench] = {}
-        cache = _TraceCache(bench, scale, seed=2016)
-        for ic_name, factory in INTERCONNECT_FACTORIES.items():
-            state = PAPER_POWER_STATES[0]
-            report, _energy = run_benchmark(
-                bench,
-                interconnect=factory(),
-                dram=dram,
-                scale=scale,
-                traces=cache.traces(sorted(state.active_cores)),
-            )
-            latency[bench][ic_name] = report.mean_l2_latency_cycles
-            execution[bench][ic_name] = report.execution_cycles
+        for ic_name in INTERCONNECT_FACTORIES:
+            cell = next(results)
+            latency[bench][ic_name] = cell.report.mean_l2_latency_cycles
+            execution[bench][ic_name] = cell.report.execution_cycles
     return Fig6Result(latency_cycles=latency, execution_cycles=execution)
 
 
@@ -376,52 +331,40 @@ def experiment_fig7(
     benchmarks: Sequence[str] = SPLASH2_NAMES,
     dram: DRAMTimings = DDR3_OFFCHIP,
     jobs: Optional[int] = None,
+    seed: int = 2016,
 ) -> PowerStateSweepResult:
     """Four power states x SPLASH-2 on the MoT (Fig 7; DRAM 200 ns).
 
-    ``jobs``: worker processes for the (benchmark x state) cells;
+    A (benchmark x power state) :class:`SweepGrid` over
+    :func:`run_sweep`.  ``jobs``: worker processes for the cells;
     ``None``/``1`` runs serially in-process (a benchmark's traces are
     then generated once per distinct active-core set and replayed).
     """
+    if not benchmarks:
+        return PowerStateSweepResult(
+            dram=dram, edp={}, execution_cycles={}, energy={}
+        )
+    grid = SweepGrid.over(
+        Scenario(
+            workload=benchmarks[0],
+            dram=resolve_dram(dram),
+            scale=scale,
+            seed=seed,
+        ),
+        workload=list(benchmarks),
+        power_state=[state.name for state in PAPER_POWER_STATES],
+    )
+    results = iter(run_sweep(grid, jobs=jobs))
     edp: Dict[str, Dict[str, float]] = {}
     execution: Dict[str, Dict[str, int]] = {}
     energy: Dict[str, Dict[str, float]] = {}
-    if jobs is not None and jobs > 1:
-        cells = [
-            SweepCell(
-                benchmark=bench,
-                power_state=state.name,
-                dram_ns=_dram_tag(dram),
-                scale=scale,
-            )
-            for bench in benchmarks
-            for state in PAPER_POWER_STATES
-        ]
-        results = iter(run_cells(cells, jobs=jobs))
-        for bench in benchmarks:
-            edp[bench], execution[bench], energy[bench] = {}, {}, {}
-            for state in PAPER_POWER_STATES:
-                report, breakdown = next(results)
-                edp[bench][state.name] = breakdown.edp
-                execution[bench][state.name] = report.execution_cycles
-                energy[bench][state.name] = breakdown.total_j
-        return PowerStateSweepResult(
-            dram=dram, edp=edp, execution_cycles=execution, energy=energy
-        )
     for bench in benchmarks:
         edp[bench], execution[bench], energy[bench] = {}, {}, {}
-        cache = _TraceCache(bench, scale, seed=2016)
         for state in PAPER_POWER_STATES:
-            report, breakdown = run_benchmark(
-                bench,
-                power_state=state,
-                dram=dram,
-                scale=scale,
-                traces=cache.traces(sorted(state.active_cores)),
-            )
-            edp[bench][state.name] = breakdown.edp
-            execution[bench][state.name] = report.execution_cycles
-            energy[bench][state.name] = breakdown.total_j
+            cell = next(results)
+            edp[bench][state.name] = cell.energy.edp
+            execution[bench][state.name] = cell.report.execution_cycles
+            energy[bench][state.name] = cell.energy.total_j
     return PowerStateSweepResult(
         dram=dram, edp=edp, execution_cycles=execution, energy=energy
     )
@@ -431,13 +374,16 @@ def experiment_fig8(
     scale: float = 1.0,
     benchmarks: Sequence[str] = SPLASH2_NAMES,
     jobs: Optional[int] = None,
+    seed: int = 2016,
 ) -> Tuple[PowerStateSweepResult, PowerStateSweepResult]:
     """Fig 8: the Fig 7a sweep at DRAM 63 ns (a) and 42 ns (b)."""
     part_a = experiment_fig7(
-        scale=scale, benchmarks=benchmarks, dram=WIDE_IO_3D, jobs=jobs
+        scale=scale, benchmarks=benchmarks, dram=WIDE_IO_3D, jobs=jobs,
+        seed=seed,
     )
     part_b = experiment_fig7(
-        scale=scale, benchmarks=benchmarks, dram=WEIS_3D, jobs=jobs
+        scale=scale, benchmarks=benchmarks, dram=WEIS_3D, jobs=jobs,
+        seed=seed,
     )
     return part_a, part_b
 

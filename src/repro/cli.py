@@ -1,15 +1,24 @@
-"""Command-line entry point: ``python -m repro <artifact>``.
+"""Command-line entry point: ``python -m repro <command>``.
 
-Regenerates any of the paper's artifacts from a terminal without
-writing code:
+Runs any scenario — or regenerates any of the paper's artifacts — from
+a terminal without writing code:
 
+    python -m repro run fft --state PC16-MB8 --dram-ns 63
+    python -m repro sweep --workloads fft volrend --state PC4-MB8 \\
+        --dram-ns 200 63 42 --jobs 4 --json sweep.json
     python -m repro table1
     python -m repro fig5
     python -m repro fig6 --scale 0.3 --benchmarks fft volrend
-    python -m repro fig7 --dram 63
+    python -m repro fig7 --dram 63 --seed 7
     python -m repro fig8 --scale 0.5
     python -m repro config
     python -m repro fabric --state PC16-MB8
+
+``run`` executes one declarative :class:`~repro.scenario.Scenario`;
+``sweep`` expands axis lists (workloads x interconnects x states x
+DRAM) into a :class:`~repro.scenario.SweepGrid` and executes every
+cell, optionally across worker processes (``--jobs``).  Both accept
+``--json OUT`` to write machine-readable results.
 
 Scale 1.0 is the reference run (minutes for fig6-fig8); smaller scales
 trade fidelity of the capacity effects for speed.
@@ -18,7 +27,9 @@ trade fidelity of the capacity effects for speed.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro.analysis.experiments import (
@@ -29,22 +40,68 @@ from repro.analysis.experiments import (
     experiment_table1,
 )
 from repro.config import DEFAULT_CONFIG
-from repro.mem.dram import DDR3_OFFCHIP, WEIS_3D, WIDE_IO_3D
 from repro.mot.fabric import MoTFabric
 from repro.mot.power_state import power_state_by_name
 from repro.mot.visualize import render_fabric
+from repro.scenario import Scenario, SweepGrid, resolve_dram
+from repro.sim.session import ScenarioResult, run_scenario, run_sweep
 from repro.workloads.characteristics import SPLASH2_NAMES
 
-_DRAM_BY_NS = {200: DDR3_OFFCHIP, 63: WIDE_IO_3D, 42: WEIS_3D}
+#: Table I latencies exposed as fig7's --dram choices (resolution goes
+#: through the scenario DRAM registry, the single source of truth).
+_TABLE1_DRAM_NS = (42, 63, 200)
+
+
+def _add_scenario_arguments(p: argparse.ArgumentParser) -> None:
+    """Flags shared by ``run`` and ``sweep`` (single-valued ones)."""
+    p.add_argument("--scale", type=float, default=1.0,
+                   help="work multiplier (default 1.0)")
+    p.add_argument("--seed", type=int, default=2016,
+                   help="trace RNG seed (default 2016)")
+    p.add_argument("--engine-mode", default="auto",
+                   choices=("auto", "fast", "legacy"),
+                   help="scheduler (default: auto)")
+    p.add_argument("--json", type=Path, default=None, metavar="OUT",
+                   help="also write results as JSON to OUT")
 
 
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument schema."""
     parser = argparse.ArgumentParser(
         prog="repro",
-        description="Regenerate artifacts of the DATE'16 3-D MoT paper.",
+        description="Run scenarios and regenerate artifacts of the "
+                    "DATE'16 3-D MoT paper.",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("run", help="run one declarative scenario")
+    p.add_argument("workload", help="workload name (e.g. 'fft')")
+    p.add_argument("--interconnect", default="mot",
+                   help="interconnect key or alias (default: mot)")
+    p.add_argument("--state", default="Full connection",
+                   help="power state: a paper name or 'PC<cores>-MB<banks>'")
+    p.add_argument("--dram-ns", type=float, default=None,
+                   help="DRAM access latency in ns (any positive value; "
+                        "default: the config's 200 ns DDR3)")
+    _add_scenario_arguments(p)
+
+    p = sub.add_parser("sweep", help="run a declarative scenario grid")
+    p.add_argument("--workloads", nargs="+", default=list(SPLASH2_NAMES),
+                   metavar="WORKLOAD",
+                   help="workload axis (default: the SPLASH-2 suite)")
+    p.add_argument("--interconnect", nargs="+", default=["mot"],
+                   metavar="IC", dest="interconnects",
+                   help="interconnect axis (default: mot)")
+    p.add_argument("--state", nargs="+", default=["Full connection"],
+                   metavar="STATE", dest="states",
+                   help="power-state axis (default: Full connection)")
+    p.add_argument("--dram-ns", nargs="+", type=float, default=None,
+                   metavar="NS", dest="dram_ns",
+                   help="DRAM latency axis in ns (default: config DRAM)")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker processes for the sweep cells "
+                        "(default: serial in-process; -1 = one per CPU)")
+    _add_scenario_arguments(p)
 
     sub.add_parser("table1", help="architecture config + derived latencies")
     sub.add_parser("fig5", help="wire lengths per power state")
@@ -64,9 +121,12 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--jobs", type=int, default=None,
                        help="worker processes for the sweep cells "
                             "(default: serial in-process; -1 = one per CPU)")
+        p.add_argument("--seed", type=int, default=2016,
+                       help="trace RNG seed (default 2016 = the "
+                            "reference outputs)")
         if name == "fig7":
             p.add_argument("--dram", type=int, default=200,
-                           choices=sorted(_DRAM_BY_NS),
+                           choices=_TABLE1_DRAM_NS,
                            help="DRAM access latency in ns")
 
     p = sub.add_parser("fabric", help="Fig 4-style fabric rendering")
@@ -77,11 +137,91 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _render_result(result: ScenarioResult) -> str:
+    """Human-readable summary of one executed scenario."""
+    report, energy = result.report, result.energy
+    return "\n".join([
+        f"{report.workload_name} on {report.interconnect_name} "
+        f"@ {report.power_state_name} ({report.dram_name})",
+        f"  execution    : {report.execution_cycles} cycles",
+        f"  L1 miss rate : {report.l1_miss_rate:.2%}",
+        f"  L2 miss rate : {report.l2_miss_rate:.2%}",
+        f"  mean L2 lat  : {report.mean_l2_latency_cycles:.1f} cycles",
+        f"  cluster      : {energy.cluster_j * 1e6:.1f} uJ"
+        f"  ->  EDP {energy.edp:.3e} J*s",
+    ])
+
+
+def _render_sweep_table(results: List[ScenarioResult]) -> str:
+    """One row per executed cell."""
+    header = (
+        f"{'workload':16s} {'interconnect':14s} {'state':16s} "
+        f"{'DRAM ns':>8s} {'seed':>6s} {'exec (cyc)':>12s} {'EDP (J*s)':>12s}"
+    )
+    lines = [header, "-" * len(header)]
+    for r in results:
+        s = r.scenario
+        lines.append(
+            f"{s.workload:16s} {s.interconnect:14s} {s.power_state_name:16s} "
+            f"{s.resolved_dram().access_latency_ns:>8g} {s.seed:>6d} "
+            f"{r.report.execution_cycles:>12d} {r.energy.edp:>12.3e}"
+        )
+    return "\n".join(lines)
+
+
+def _write_json(path: Path, payload: object) -> None:
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {path}")
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    scenario = Scenario(
+        workload=args.workload,
+        interconnect=args.interconnect,
+        power_state=args.state,
+        dram=resolve_dram(args.dram_ns),
+        scale=args.scale,
+        seed=args.seed,
+        engine_mode=args.engine_mode,
+    )
+    result = run_scenario(scenario)
+    print(_render_result(result))
+    if args.json is not None:
+        _write_json(args.json, result.to_dict())
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    grid = SweepGrid.over(
+        Scenario(
+            workload=args.workloads[0],
+            scale=args.scale,
+            seed=args.seed,
+            engine_mode=args.engine_mode,
+        ),
+        workload=args.workloads,
+        interconnect=args.interconnects,
+        power_state=args.states,
+        **({"dram": args.dram_ns} if args.dram_ns else {}),
+    )
+    print(f"sweep: {len(grid)} cells "
+          f"({' x '.join(map(str, grid.shape))} over {grid.axis_names})")
+    results = run_sweep(grid, jobs=args.jobs)
+    print(_render_sweep_table(results))
+    if args.json is not None:
+        _write_json(args.json, [r.to_dict() for r in results])
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
 
-    if args.command == "table1":
+    if args.command == "run":
+        return _cmd_run(args)
+    elif args.command == "sweep":
+        return _cmd_sweep(args)
+    elif args.command == "table1":
         print(experiment_table1().render())
     elif args.command == "config":
         print(DEFAULT_CONFIG.describe())
@@ -89,15 +229,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(experiment_fig5().render())
     elif args.command == "fig6":
         print(experiment_fig6(scale=args.scale, benchmarks=args.benchmarks,
-                              jobs=args.jobs).render())
+                              jobs=args.jobs, seed=args.seed).render())
     elif args.command == "fig7":
         print(experiment_fig7(scale=args.scale, benchmarks=args.benchmarks,
-                              dram=_DRAM_BY_NS[args.dram],
-                              jobs=args.jobs).render())
+                              dram=resolve_dram(args.dram),
+                              jobs=args.jobs, seed=args.seed).render())
     elif args.command == "fig8":
         part_a, part_b = experiment_fig8(scale=args.scale,
                                          benchmarks=args.benchmarks,
-                                         jobs=args.jobs)
+                                         jobs=args.jobs, seed=args.seed)
         print(part_a.render())
         print()
         print(part_b.render())

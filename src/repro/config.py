@@ -8,8 +8,10 @@ the subsystems consume, so a config can be handed around wholesale.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
+from typing import Dict, Mapping
 
+from repro.errors import ConfigurationError
 from repro.mem.dram import DRAMTimings, DDR3_OFFCHIP
 from repro.mem.l1 import L1Config
 from repro.mem.l2 import L2Config
@@ -47,6 +49,45 @@ class ClusterConfig:
             f"tier pitch {self.floorplan.tier_pitch_m * 1e6:.0f} um",
         ]
         return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Serialization (scenario specs carry a whole config across JSON
+    # files and worker-process boundaries)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-able representation; inverse of :meth:`from_dict`."""
+        return {
+            "n_cores": self.n_cores,
+            "frequency_hz": self.frequency_hz,
+            "l1": asdict(self.l1),
+            "l2": asdict(self.l2),
+            "dram": self.dram.to_dict(),
+            "floorplan": asdict(self.floorplan),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "ClusterConfig":
+        """Rebuild a config from :meth:`to_dict` output."""
+        payload = dict(data)
+        unknown = set(payload) - {
+            "n_cores", "frequency_hz", "l1", "l2", "dram", "floorplan",
+        }
+        if unknown:
+            raise ConfigurationError(
+                f"unknown ClusterConfig keys {sorted(unknown)}"
+            )
+        try:
+            if "l1" in payload:
+                payload["l1"] = L1Config(**payload["l1"])
+            if "l2" in payload:
+                payload["l2"] = L2Config(**payload["l2"])
+            if "dram" in payload and not isinstance(payload["dram"], DRAMTimings):
+                payload["dram"] = DRAMTimings.from_dict(payload["dram"])
+            if "floorplan" in payload:
+                payload["floorplan"] = Floorplan3D(**payload["floorplan"])
+        except TypeError as exc:
+            raise ConfigurationError(f"bad ClusterConfig payload: {exc}") from exc
+        return cls(**payload)
 
 
 #: The default (paper) configuration.

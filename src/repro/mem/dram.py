@@ -20,7 +20,7 @@ models that shared refill bus with round-robin fairness among cores.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields as dataclass_fields
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ConfigurationError
@@ -50,6 +50,28 @@ class DRAMTimings:
         from repro.units import ns_to_cycles
 
         return ns_to_cycles(self.access_latency_ns, frequency_hz)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-able representation; inverse of :meth:`from_dict`.
+
+        Scenario specs (:mod:`repro.scenario`) serialize timings in
+        full, so *any* operating point — not just the Table I presets —
+        survives CLI/JSON/worker-process round trips.
+        """
+        from dataclasses import asdict
+
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "DRAMTimings":
+        """Rebuild timings from :meth:`to_dict` output."""
+        allowed = {f.name for f in dataclass_fields(cls)}
+        unknown = set(data) - allowed
+        if unknown:
+            raise ConfigurationError(
+                f"unknown DRAMTimings keys {sorted(unknown)}"
+            )
+        return cls(**data)
 
 
 #: Off-chip DDR3 (Micron datasheet class) [18].

@@ -1,0 +1,593 @@
+"""Declarative scenario layer: one picklable spec from CLI to worker.
+
+A :class:`Scenario` names *everything* one simulation cell depends on —
+workload + seed + scale, interconnect kind (+ params), power state,
+DRAM timings, the :class:`~repro.config.ClusterConfig`, and the engine
+mode — as plain data.  The spec is frozen, fully picklable, and
+round-trips through :meth:`Scenario.to_dict` / :meth:`Scenario.from_dict`,
+so the same object drives the CLI (``repro run`` / ``repro sweep``),
+the experiment harness (``experiment_fig6/7/8`` are thin presets over
+it), and the parallel executor (:mod:`repro.sim.parallel` ships whole
+serialized scenarios to worker processes — arbitrary DRAM timings and
+custom configs parallelize, not just the Table I presets).
+
+String-keyed registries make the spec open for extension:
+
+* :func:`register_interconnect` — fabric factories (``"mot"``,
+  ``"mesh"``, ``"bus-mesh"``, ``"bus-tree"`` plus the paper's display
+  names are built in);
+* :func:`register_workload` — trace factories (the synthetic SPLASH-2
+  suite is built in; anything with a ``trace_blocks(active_cores)``
+  method qualifies);
+* :func:`register_dram_preset` — named DRAM operating points
+  (``"ddr3"``/``"wide-io"``/``"weis"`` = Table I's 200/63/42 ns).
+
+:class:`SweepGrid` expands axis lists (workloads x interconnects x
+power states x DRAM x seeds) into the scenario cells of a sweep;
+:func:`repro.sim.session.run_sweep` executes them, serially or across
+worker processes, with bit-identical results either way.
+
+Custom registry entries used with ``jobs > 1`` must be registered at
+import time of a module the worker processes also import (the standard
+multiprocessing caveat); the built-ins always are.
+"""
+
+from __future__ import annotations
+
+import itertools
+import re
+from dataclasses import dataclass, field, fields, replace
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.config import ClusterConfig, DEFAULT_CONFIG
+from repro.errors import ConfigurationError, PowerStateError
+from repro.mem.dram import DDR3_OFFCHIP, DRAMTimings, WEIS_3D, WIDE_IO_3D
+from repro.mot.power_state import PowerState, power_state_by_name
+from repro.noc.base import Interconnect
+from repro.noc.bus_mesh import HybridBusMesh
+from repro.noc.bus_tree import HybridBusTree
+from repro.noc.mesh3d import True3DMesh
+from repro.noc.mot_adapter import MoTInterconnect
+from repro.workloads.base import SyntheticWorkload
+from repro.workloads.characteristics import SPLASH2_NAMES
+
+# ---------------------------------------------------------------------------
+# Interconnect registry
+# ---------------------------------------------------------------------------
+#: canonical key -> factory(power_state=None, config=None, **params).
+INTERCONNECTS: Dict[str, Callable[..., Interconnect]] = {}
+#: lowercase alias -> canonical key.
+_INTERCONNECT_ALIASES: Dict[str, str] = {}
+
+
+def register_interconnect(
+    name: str, *, aliases: Sequence[str] = ()
+) -> Callable[[Callable[..., Interconnect]], Callable[..., Interconnect]]:
+    """Register an interconnect factory under ``name`` (plus aliases).
+
+    The factory is called as ``factory(power_state=..., config=...,
+    **params)`` and may ignore any of those; it must return a fresh
+    :class:`~repro.noc.base.Interconnect`.  Use as a decorator::
+
+        @register_interconnect("mot")
+        def build_mot(power_state=None, config=None, **params):
+            return MoTInterconnect(state=power_state, **params)
+    """
+
+    def decorator(factory: Callable[..., Interconnect]) -> Callable[..., Interconnect]:
+        # Validate every key before inserting any, so a collision
+        # cannot leave a half-registered factory behind.
+        keys = [name.lower()] + [alias.lower() for alias in aliases]
+        for key in keys:
+            if key in _INTERCONNECT_ALIASES:
+                raise ConfigurationError(
+                    f"interconnect name {key!r} is already registered"
+                )
+        if len(set(keys)) != len(keys):
+            raise ConfigurationError(
+                f"duplicate names in registration of {name!r}"
+            )
+        INTERCONNECTS[name] = factory
+        for key in keys:
+            _INTERCONNECT_ALIASES[key] = name
+        return factory
+
+    return decorator
+
+
+def interconnect_names() -> List[str]:
+    """Canonical registry keys, in registration order."""
+    return list(INTERCONNECTS)
+
+
+def _interconnect_key(name: str) -> str:
+    try:
+        return _INTERCONNECT_ALIASES[name.lower()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown interconnect {name!r}; choose from "
+            f"{sorted(INTERCONNECTS)}"
+        ) from None
+
+
+def build_interconnect(
+    name: str,
+    power_state: Optional[PowerState] = None,
+    config: Optional[ClusterConfig] = None,
+    params: Optional[Mapping[str, object]] = None,
+) -> Interconnect:
+    """Instantiate the registered interconnect ``name`` (or an alias)."""
+    factory = INTERCONNECTS[_interconnect_key(name)]
+    return factory(power_state=power_state, config=config, **dict(params or {}))
+
+
+@register_interconnect("mesh", aliases=("True 3-D Mesh", "true-3d-mesh"))
+def _build_mesh(power_state=None, config=None, **params) -> Interconnect:
+    return True3DMesh(**params)
+
+
+@register_interconnect("bus-mesh", aliases=("3-D Hybrid Bus-Mesh", "hybrid-bus-mesh"))
+def _build_bus_mesh(power_state=None, config=None, **params) -> Interconnect:
+    return HybridBusMesh(**params)
+
+
+@register_interconnect("bus-tree", aliases=("3-D Hybrid Bus-Tree", "hybrid-bus-tree"))
+def _build_bus_tree(power_state=None, config=None, **params) -> Interconnect:
+    return HybridBusTree(**params)
+
+
+@register_interconnect("mot", aliases=("3-D MoT", "mot3d"))
+def _build_mot(power_state=None, config=None, **params) -> Interconnect:
+    return MoTInterconnect(
+        state=power_state,
+        floorplan=config.floorplan if config is not None else None,
+        **params,
+    )
+
+
+#: Canonical keys of Fig 6's four fabrics, in the paper's column order.
+PAPER_INTERCONNECT_KEYS: Tuple[str, ...] = ("mesh", "bus-mesh", "bus-tree", "mot")
+
+
+# ---------------------------------------------------------------------------
+# Workload registry
+# ---------------------------------------------------------------------------
+#: name -> factory(scale=..., seed=...) returning an object with a
+#: ``trace_blocks(active_cores)`` method (SyntheticWorkload-shaped).
+WORKLOADS: Dict[str, Callable[..., object]] = {}
+
+
+def register_workload(
+    name: str,
+) -> Callable[[Callable[..., object]], Callable[..., object]]:
+    """Register a workload factory under ``name``.
+
+    The factory is called as ``factory(scale=..., seed=...)`` and must
+    return an object exposing ``trace_blocks(active_cores)`` (one lazy
+    per-core trace each — see
+    :meth:`repro.workloads.base.SyntheticWorkload.trace_blocks`).
+    """
+
+    def decorator(factory: Callable[..., object]) -> Callable[..., object]:
+        if name in WORKLOADS:
+            raise ConfigurationError(f"workload {name!r} is already registered")
+        WORKLOADS[name] = factory
+        return factory
+
+    return decorator
+
+
+def workload_names() -> List[str]:
+    """Registered workload names, in registration order."""
+    return list(WORKLOADS)
+
+
+def build_workload(name: str, scale: float = 1.0, seed: int = 2016) -> object:
+    """Instantiate the registered workload ``name``."""
+    try:
+        factory = WORKLOADS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown workload {name!r}; choose from {sorted(WORKLOADS)}"
+        ) from None
+    return factory(scale=scale, seed=seed)
+
+
+def _synthetic_factory(name: str) -> Callable[..., SyntheticWorkload]:
+    def factory(scale: float = 1.0, seed: int = 2016) -> SyntheticWorkload:
+        return SyntheticWorkload(name, scale=scale, seed=seed)
+
+    return factory
+
+
+for _name in SPLASH2_NAMES:
+    WORKLOADS[_name] = _synthetic_factory(_name)
+del _name
+
+
+# ---------------------------------------------------------------------------
+# DRAM presets
+# ---------------------------------------------------------------------------
+#: preset name -> timings (Table I's three technologies built in).
+DRAM_PRESETS: Dict[str, DRAMTimings] = {
+    "ddr3": DDR3_OFFCHIP,
+    "wide-io": WIDE_IO_3D,
+    "weis": WEIS_3D,
+}
+
+
+def register_dram_preset(name: str, timings: DRAMTimings) -> DRAMTimings:
+    """Register a named DRAM operating point."""
+    key = name.lower()
+    if key in DRAM_PRESETS:
+        raise ConfigurationError(f"DRAM preset {name!r} is already registered")
+    DRAM_PRESETS[key] = timings
+    return timings
+
+
+def resolve_dram(
+    spec: Union[DRAMTimings, str, int, float, None]
+) -> Optional[DRAMTimings]:
+    """Normalize a DRAM spec to :class:`DRAMTimings`.
+
+    Accepts a timings object (returned as-is), a preset name
+    (``"ddr3"``/``"wide-io"``/``"weis"`` or anything registered), a
+    latency in ns (matched against the presets, else a custom flat
+    operating point with DDR3-class energy figures), or ``None``
+    (meaning "use the config's DRAM").
+    """
+    if spec is None or isinstance(spec, DRAMTimings):
+        return spec
+    if isinstance(spec, str):
+        try:
+            return DRAM_PRESETS[spec.lower()]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown DRAM preset {spec!r}; choose from "
+                f"{sorted(DRAM_PRESETS)}"
+            ) from None
+    ns = float(spec)
+    if ns <= 0:
+        raise ConfigurationError(f"DRAM latency must be positive, got {ns} ns")
+    for preset in DRAM_PRESETS.values():
+        if preset.access_latency_ns == ns:
+            return preset
+    return DRAMTimings(name=f"custom DRAM ({ns:g} ns)", access_latency_ns=ns)
+
+
+# ---------------------------------------------------------------------------
+# Power states
+# ---------------------------------------------------------------------------
+_STATE_PATTERN = re.compile(r"^pc(\d+)-mb(\d+)$", re.IGNORECASE)
+
+
+def resolve_power_state(
+    spec: Union[PowerState, str],
+    total_cores: int = 16,
+    total_banks: int = 32,
+) -> PowerState:
+    """Normalize a power-state spec to :class:`PowerState`.
+
+    Accepts a state object (returned as-is), ``"Full connection"``
+    (everything on), or any ``"PC<cores>-MB<banks>"`` string (e.g.
+    ``"PC8-MB16"``), which is expanded to centered active blocks on the
+    ``total_cores`` x ``total_banks`` cluster (the paper's 16x32 by
+    default — scenario resolution threads the config's dimensions
+    through).  The paper's remaining names resolve on the 16x32
+    cluster.
+    """
+    if isinstance(spec, PowerState):
+        return spec
+    name = spec.strip()
+    match = _STATE_PATTERN.match(name)
+    if match is not None:
+        cores, banks = int(match.group(1)), int(match.group(2))
+        return PowerState.from_counts(
+            f"PC{cores}-MB{banks}", cores, banks, total_cores, total_banks
+        )
+    if name.lower() == "full connection":
+        return PowerState.from_counts(
+            "Full connection", total_cores, total_banks,
+            total_cores, total_banks,
+        )
+    return power_state_by_name(name)
+
+
+# ---------------------------------------------------------------------------
+# Scenario
+# ---------------------------------------------------------------------------
+_SCENARIO_SCHEMA = "repro-scenario/1"
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One fully-specified simulation cell, as plain data.
+
+    Attributes
+    ----------
+    workload:
+        Registered workload name (:data:`WORKLOADS`).
+    interconnect:
+        Registered interconnect key or alias (:data:`INTERCONNECTS`).
+    interconnect_params:
+        Extra keyword arguments for the interconnect factory
+        (normalized to a sorted item tuple so the frozen spec stays
+        hashable; values must be picklable, and JSON-able if the spec
+        is exported).
+    power_state:
+        ``"Full connection"``, a paper state name,
+        ``"PC<cores>-MB<banks>"`` (resolved on the config's
+        dimensions), or an explicit :class:`PowerState`.
+    dram:
+        DRAM timings; ``None`` uses ``config.dram``.
+    config:
+        The architectural parameters (Table I by default).
+    scale:
+        Work multiplier (1.0 = reference input).
+    seed:
+        Trace RNG seed.
+    engine_mode:
+        Scheduler: ``"auto"``, ``"fast"`` or ``"legacy"``.
+    max_cycles:
+        Simulation safety valve.
+    """
+
+    workload: str
+    interconnect: str = "mot"
+    interconnect_params: Tuple[Tuple[str, object], ...] = ()
+    power_state: Union[str, PowerState] = "Full connection"
+    dram: Optional[DRAMTimings] = None
+    config: ClusterConfig = DEFAULT_CONFIG
+    scale: float = 1.0
+    seed: int = 2016
+    engine_mode: str = "auto"
+    max_cycles: int = 2_000_000_000
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise ConfigurationError(f"scale must be positive, got {self.scale}")
+        if self.max_cycles <= 0:
+            raise ConfigurationError("max_cycles must be positive")
+        # Normalize params (a mapping or item iterable) to a sorted
+        # item tuple so frozen specs stay hashable (result-store keys).
+        params = self.interconnect_params
+        items = params.items() if isinstance(params, Mapping) else params
+        object.__setattr__(
+            self, "interconnect_params", tuple(sorted(items))
+        )
+
+    # ------------------------------------------------------------------
+    # Resolution (registry lookups happen here, not at construction,
+    # so specs can be built before user registrations are imported)
+    # ------------------------------------------------------------------
+    @property
+    def power_state_name(self) -> str:
+        """Display name of the power state (spec string or object)."""
+        if isinstance(self.power_state, PowerState):
+            return self.power_state.name
+        return self.power_state
+
+    def resolved_power_state(self) -> PowerState:
+        """The :class:`PowerState` this scenario runs in (name specs
+        resolve on the config's dimensions)."""
+        return resolve_power_state(
+            self.power_state,
+            total_cores=self.config.n_cores,
+            total_banks=self.config.l2.n_banks,
+        )
+
+    def resolved_dram(self) -> DRAMTimings:
+        """The effective DRAM timings (field or config default)."""
+        return self.dram if self.dram is not None else self.config.dram
+
+    def active_cores(self) -> Tuple[int, ...]:
+        """Sorted active-core ids of the power state."""
+        return tuple(sorted(self.resolved_power_state().active_cores))
+
+    # ------------------------------------------------------------------
+    # Builders
+    # ------------------------------------------------------------------
+    def build_interconnect(self, power_state: Optional[PowerState] = None) -> Interconnect:
+        """A fresh interconnect instance for this scenario."""
+        return build_interconnect(
+            self.interconnect,
+            power_state=power_state or self.resolved_power_state(),
+            config=self.config,
+            params=self.interconnect_params,
+        )
+
+    def build_workload(self) -> object:
+        """A fresh workload instance (``trace_blocks`` capable)."""
+        return build_workload(self.workload, scale=self.scale, seed=self.seed)
+
+    def build_traces(self) -> Dict[int, object]:
+        """Per-core trace iterators for the active cores."""
+        return self.build_workload().trace_blocks(self.active_cores())
+
+    def build_cluster(self):
+        """A fresh :class:`~repro.sim.cluster.Cluster3D` for this spec."""
+        from repro.sim.cluster import Cluster3D
+
+        power_state = self.resolved_power_state()
+        return Cluster3D.from_config(
+            self.config,
+            interconnect=self.build_interconnect(power_state),
+            power_state=power_state,
+            dram=self.resolved_dram(),
+        )
+
+    def run(self):
+        """Execute this scenario; returns a
+        :class:`~repro.sim.session.ScenarioResult`."""
+        from repro.sim.session import run_scenario
+
+        return run_scenario(self)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-able representation; inverse of :meth:`from_dict`."""
+        state = self.power_state
+        if isinstance(state, PowerState):
+            state = {
+                "name": state.name,
+                "total_cores": state.total_cores,
+                "total_banks": state.total_banks,
+                "active_cores": sorted(state.active_cores),
+                "active_banks": sorted(state.active_banks),
+            }
+        return {
+            "schema": _SCENARIO_SCHEMA,
+            "workload": self.workload,
+            "interconnect": self.interconnect,
+            "interconnect_params": dict(self.interconnect_params),
+            "power_state": state,
+            "dram": None if self.dram is None else self.dram.to_dict(),
+            "config": self.config.to_dict(),
+            "scale": self.scale,
+            "seed": self.seed,
+            "engine_mode": self.engine_mode,
+            "max_cycles": self.max_cycles,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "Scenario":
+        """Rebuild a scenario from :meth:`to_dict` output."""
+        payload = dict(data)
+        schema = payload.pop("schema", _SCENARIO_SCHEMA)
+        if schema != _SCENARIO_SCHEMA:
+            raise ConfigurationError(
+                f"unsupported scenario schema {schema!r} "
+                f"(expected {_SCENARIO_SCHEMA!r})"
+            )
+        known = {f.name for f in fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown scenario keys {sorted(unknown)}; "
+                f"expected a subset of {sorted(known)}"
+            )
+        dram = payload.get("dram")
+        if dram is not None and not isinstance(dram, DRAMTimings):
+            payload["dram"] = DRAMTimings.from_dict(dram)
+        config = payload.get("config")
+        if config is not None and not isinstance(config, ClusterConfig):
+            payload["config"] = ClusterConfig.from_dict(config)
+        state = payload.get("power_state")
+        if isinstance(state, Mapping):
+            try:
+                payload["power_state"] = PowerState(
+                    name=state["name"],
+                    total_cores=state["total_cores"],
+                    total_banks=state["total_banks"],
+                    active_cores=frozenset(state["active_cores"]),
+                    active_banks=frozenset(state["active_banks"]),
+                )
+            except KeyError as exc:
+                raise ConfigurationError(
+                    f"bad power_state payload: missing {exc}"
+                ) from exc
+        return cls(**payload)
+
+    def label(self) -> str:
+        """Compact one-line description (sweep tables, logs)."""
+        dram = self.resolved_dram()
+        return (
+            f"{self.workload} | {self.interconnect} | "
+            f"{self.power_state_name} | "
+            f"{dram.access_latency_ns:g} ns | seed {self.seed}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# SweepGrid
+# ---------------------------------------------------------------------------
+#: Scenario fields a sweep axis may vary.
+_SWEEPABLE_FIELDS = (
+    "workload",
+    "interconnect",
+    "power_state",
+    "dram",
+    "scale",
+    "seed",
+    "engine_mode",
+)
+
+
+@dataclass(frozen=True)
+class SweepGrid:
+    """Axis lists expanded into scenario cells (row-major).
+
+    ``axes`` is an ordered tuple of ``(field, values)`` pairs; the
+    first axis varies slowest.  Build one with :meth:`over`::
+
+        grid = SweepGrid.over(
+            Scenario(workload="fft"),
+            workload=["fft", "radix"],
+            power_state=["Full connection", "PC4-MB8"],
+        )
+        cells = grid.scenarios()   # 4 scenarios, fft outermost
+    """
+
+    base: Scenario
+    axes: Tuple[Tuple[str, Tuple[object, ...]], ...] = ()
+
+    @classmethod
+    def over(cls, base: Scenario, **axes: Sequence[object]) -> "SweepGrid":
+        """Build a grid varying the given scenario fields over lists.
+
+        DRAM axis values may be timings, preset names or latencies in
+        ns (normalized via :func:`resolve_dram`); power-state values may
+        be names or explicit :class:`PowerState` objects (kept as-is —
+        custom active sets are honored, not rebuilt from the name).
+        """
+        normalized: List[Tuple[str, Tuple[object, ...]]] = []
+        for name, values in axes.items():
+            if name not in _SWEEPABLE_FIELDS:
+                raise ConfigurationError(
+                    f"cannot sweep over {name!r}; sweepable fields: "
+                    f"{_SWEEPABLE_FIELDS}"
+                )
+            values = list(values)
+            if not values:
+                raise ConfigurationError(f"axis {name!r} has no values")
+            if name == "dram":
+                values = [resolve_dram(v) for v in values]
+            normalized.append((name, tuple(values)))
+        return cls(base=base, axes=tuple(normalized))
+
+    @property
+    def axis_names(self) -> Tuple[str, ...]:
+        """The varied fields, outermost first."""
+        return tuple(name for name, _values in self.axes)
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        """Cell counts per axis."""
+        return tuple(len(values) for _name, values in self.axes)
+
+    def __len__(self) -> int:
+        n = 1
+        for size in self.shape:
+            n *= size
+        return n
+
+    def scenarios(self) -> Iterator[Scenario]:
+        """Yield every cell, first axis outermost (row-major)."""
+        if not self.axes:
+            yield self.base
+            return
+        names = self.axis_names
+        for combo in itertools.product(*(values for _name, values in self.axes)):
+            yield replace(self.base, **dict(zip(names, combo)))

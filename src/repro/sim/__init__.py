@@ -10,6 +10,12 @@ from repro.sim.trace import (
 from repro.sim.stats import CoreStats, SimReport
 from repro.sim.engine import FastMemorySystem, SimulationEngine
 from repro.sim.cluster import Cluster3D
+from repro.sim.session import (
+    ScenarioResult,
+    SweepTraceCache,
+    run_scenario,
+    run_sweep,
+)
 from repro.sim.parallel import SweepCell, run_cell, run_cells
 from repro.sim.tracefile import load_traces, save_traces
 
@@ -24,6 +30,10 @@ __all__ = [
     "FastMemorySystem",
     "SimulationEngine",
     "Cluster3D",
+    "ScenarioResult",
+    "SweepTraceCache",
+    "run_scenario",
+    "run_sweep",
     "SweepCell",
     "run_cell",
     "run_cells",

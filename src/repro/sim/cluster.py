@@ -103,6 +103,60 @@ class Cluster3D:
         self._ic_access = self.interconnect.access
         self._dram_access = self.dram.access
         self._miss_bus_request = self.miss_bus.request
+        #: The ClusterConfig this instance was built from (set by
+        #: :meth:`from_config`; ``None`` for loose-pieces construction).
+        self.config = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_config(
+        cls,
+        config: Optional["ClusterConfig"] = None,
+        *,
+        interconnect: Optional[Interconnect] = None,
+        power_state: Optional[PowerState] = None,
+        dram: Optional[DRAMTimings] = None,
+        miss_bus_transfer_cycles: int = 4,
+    ) -> "Cluster3D":
+        """Build a cluster from a :class:`~repro.config.ClusterConfig`.
+
+        This is the canonical construction path (the scenario layer and
+        the experiment harness both use it): the config supplies the L1/
+        L2 geometries, clock, floorplan and default DRAM; ``dram``
+        overrides the config's DRAM technology, ``power_state`` defaults
+        to Full connection on the config's dimensions, and
+        ``interconnect`` defaults to the MoT built on the config's
+        floorplan.
+        """
+        from repro.config import DEFAULT_CONFIG
+
+        if config is None:
+            config = DEFAULT_CONFIG
+        if power_state is None:
+            power_state = PowerState.from_counts(
+                "Full connection",
+                config.n_cores,
+                config.l2.n_banks,
+                config.n_cores,
+                config.l2.n_banks,
+            )
+        if interconnect is None:
+            interconnect = MoTInterconnect(
+                state=power_state, floorplan=config.floorplan
+            )
+        cluster = cls(
+            interconnect=interconnect,
+            power_state=power_state,
+            dram=dram if dram is not None else config.dram,
+            l1_config=config.l1,
+            l2_config=config.l2,
+            frequency_hz=config.frequency_hz,
+            miss_bus_transfer_cycles=miss_bus_transfer_cycles,
+        )
+        cluster.config = config
+        return cluster
 
     # ------------------------------------------------------------------
     # Memory system

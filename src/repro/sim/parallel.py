@@ -1,67 +1,62 @@
-"""Parallel sweep executor: farm independent simulation cells out to
-worker processes.
+"""Parallel sweep compatibility layer: sweep cells as scenarios.
 
 Every figure of the paper is a sweep over independent *cells* — one
 ``(benchmark, configuration)`` simulation each (Fig 6: benchmark x
 interconnect; Fig 7/8: benchmark x power state).  Cells share no
-mutable state (each builds its own :class:`~repro.sim.cluster.Cluster3D`,
-caches, DRAM and interconnect), so they parallelize embarrassingly:
-:func:`run_cells` maps them over a :class:`concurrent.futures.
-ProcessPoolExecutor` and returns results in submission order.  With
-``jobs=None``/``0``/``1`` it degrades to a serial loop in-process —
-results are bit-identical either way, because a cell is deterministic
-given its spec.
+mutable state, so they parallelize embarrassingly.
 
-Cells are described by :class:`SweepCell` — plain strings/numbers (a
-benchmark name, a factory key from ``INTERCONNECT_FACTORIES``, a power
-state name, a DRAM latency tag) rather than live objects, so specs
-pickle cheaply and each worker constructs its own simulator.
+Since the scenario API landed, the canonical cell spec is a whole
+:class:`~repro.scenario.Scenario` — frozen, fully picklable, carrying
+arbitrary DRAM timings and cluster configs — executed by
+:func:`repro.sim.session.run_scenario` / :func:`~repro.sim.session.
+run_sweep` (which owns the ``ProcessPoolExecutor``).  Worker processes
+unpickle the spec and rebuild their own simulator; results are
+bit-identical to the serial run because a cell is deterministic given
+its spec (ROADMAP Performance invariant 4).
 
-Fast-path invariants (what keeps the parallel + fast results exact):
-
-* a cell's simulation uses the run-ahead scheduler
-  (:mod:`repro.sim.engine`), which is cycle-exact equivalent to the
-  legacy per-reference scheduler — enforced by
-  ``tests/sim/test_differential.py``;
-* trace generation is vectorized but RNG-compatible with the scalar
-  kernels, so a cell's trace depends only on ``(benchmark, seed,
-  scale, active cores)``, never on which process runs it;
-* interconnect latency/energy tables are precomputed per power state
-  inside each worker's own instance (see :mod:`repro.noc.base`).
+:class:`SweepCell`, :func:`run_cell` and :func:`run_cells` are kept as
+thin deprecation shims over that path for pre-scenario callers.  The
+old restriction to the Table I DRAM tags (200/63/42 ns) is gone:
+``dram_ns`` accepts any positive latency, which resolves to a Table I
+preset when it matches one and to a custom flat operating point
+otherwise — either way the timings survive the worker round trip in
+full.
 
 Benchmarking: ``benchmarks/bench_speed.py`` times the reference sweeps
-through this executor and writes ``BENCH_speed.json`` at the repo root
-(the perf trajectory every PR appends to).  ``REPRO_BENCH_SCALE``
-scales the benchmarked work (1.0 = reference; 0.05 = smoke), and the
-CLI exposes ``--jobs`` on ``fig6``/``fig7``/``fig8``.
+through this path and writes ``BENCH_speed.json`` at the repo root.
+``REPRO_BENCH_SCALE`` scales the benchmarked work (1.0 = reference;
+0.05 = smoke), and the CLI exposes ``--jobs`` on ``fig6``/``fig7``/
+``fig8``/``sweep``.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 
-#: DRAM latency tag (ns) -> timings preset; resolved inside workers.
-_DRAM_TAGS = (200, 63, 42)
-
 
 @dataclass(frozen=True)
 class SweepCell:
-    """One independent simulation of a figure sweep.
+    """One independent simulation of a figure sweep (legacy spec).
+
+    Deprecated in favour of :class:`~repro.scenario.Scenario` (use
+    :meth:`to_scenario` to convert); kept so pre-scenario call sites
+    keep working.
 
     Attributes
     ----------
     benchmark:
-        SPLASH-2 benchmark name.
+        Workload name (registry key).
     interconnect:
-        Key into ``INTERCONNECT_FACTORIES`` (``None`` = default MoT).
+        Interconnect key or alias (``None`` = default MoT).
     power_state:
         Power state name (``None`` = Full connection).
     dram_ns:
-        DRAM latency tag: 200, 63 or 42 (Table I technologies).
+        DRAM access latency in ns.  Table I values (200/63/42) resolve
+        to the corresponding presets; any other positive latency
+        becomes a custom operating point.
     scale:
         Work multiplier.
     seed:
@@ -71,51 +66,39 @@ class SweepCell:
     benchmark: str
     interconnect: Optional[str] = None
     power_state: Optional[str] = None
-    dram_ns: int = 200
+    dram_ns: float = 200
     scale: float = 1.0
     seed: int = 2016
 
     def __post_init__(self) -> None:
-        if self.dram_ns not in _DRAM_TAGS:
+        if self.dram_ns <= 0:
             raise ConfigurationError(
-                f"dram_ns must be one of {_DRAM_TAGS}, got {self.dram_ns}"
+                f"dram_ns must be positive, got {self.dram_ns}"
             )
 
+    def to_scenario(self):
+        """The equivalent :class:`~repro.scenario.Scenario`."""
+        from repro.scenario import Scenario, resolve_dram
 
-def run_cell(cell: SweepCell):
+        return Scenario(
+            workload=self.benchmark,
+            interconnect=self.interconnect or "mot",
+            power_state=self.power_state or "Full connection",
+            dram=resolve_dram(self.dram_ns),
+            scale=self.scale,
+            seed=self.seed,
+        )
+
+
+def run_cell(cell: SweepCell) -> Tuple[object, object]:
     """Run one cell; returns ``(SimReport, EnergyBreakdown)``.
 
-    Constructs the simulator from the cell's spec — safe to call in any
-    process.  (Imports are deferred: this module is imported by the
-    experiment harness, and workers only pay for what they run.)
+    Deprecated shim over :func:`repro.sim.session.run_scenario`.
     """
-    from repro.analysis.experiments import INTERCONNECT_FACTORIES, run_benchmark
-    from repro.mem.dram import DDR3_OFFCHIP, WEIS_3D, WIDE_IO_3D
-    from repro.mot.power_state import power_state_by_name
+    from repro.sim.session import run_scenario
 
-    dram = {200: DDR3_OFFCHIP, 63: WIDE_IO_3D, 42: WEIS_3D}[cell.dram_ns]
-    interconnect = None
-    if cell.interconnect is not None:
-        try:
-            interconnect = INTERCONNECT_FACTORIES[cell.interconnect]()
-        except KeyError:
-            raise ConfigurationError(
-                f"unknown interconnect {cell.interconnect!r}; choose from "
-                f"{sorted(INTERCONNECT_FACTORIES)}"
-            ) from None
-    power_state = (
-        power_state_by_name(cell.power_state)
-        if cell.power_state is not None
-        else None
-    )
-    return run_benchmark(
-        cell.benchmark,
-        interconnect=interconnect,
-        power_state=power_state,
-        dram=dram,
-        scale=cell.scale,
-        seed=cell.seed,
-    )
+    result = run_scenario(cell.to_scenario())
+    return result.report, result.energy
 
 
 def run_cells(
@@ -123,16 +106,11 @@ def run_cells(
 ) -> List[Tuple[object, object]]:
     """Run every cell; returns results in the order of ``cells``.
 
-    ``jobs=None``/``0``/``1`` runs serially in-process; ``jobs=N``
-    uses N worker processes; ``jobs<0`` uses one worker per CPU.
+    Deprecated shim over :func:`repro.sim.session.run_sweep` (same
+    ``jobs`` semantics: ``None``/``0``/``1`` serial in-process, ``N``
+    worker processes, ``<0`` one worker per CPU).
     """
-    if jobs is not None and jobs < 0:
-        import os
+    from repro.sim.session import run_sweep
 
-        jobs = os.cpu_count() or 1
-    if not cells:
-        return []
-    if jobs is None or jobs <= 1:
-        return [run_cell(cell) for cell in cells]
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
-        return list(pool.map(run_cell, cells))
+    results = run_sweep([cell.to_scenario() for cell in cells], jobs=jobs)
+    return [(r.report, r.energy) for r in results]

@@ -1,0 +1,164 @@
+"""Scenario execution: one generic path from spec to result.
+
+:func:`run_scenario` turns one :class:`~repro.scenario.Scenario` into a
+:class:`ScenarioResult` (simulation report + energy breakdown);
+:func:`run_sweep` executes a :class:`~repro.scenario.SweepGrid` (or any
+scenario sequence) serially or across worker processes.  Every public
+surface — the ``experiment_fig6/7/8`` presets, the ``repro run`` /
+``repro sweep`` CLI, and user code — funnels through these two
+functions, so one improvement here (caching, sharding, a result store)
+reaches everything.
+
+Determinism contract: a scenario's result depends only on its spec
+(replay determinism, ROADMAP Performance invariant 4), so the serial
+and parallel paths are bit-identical.  The serial path additionally
+reuses each workload's materialized trace blocks across cells that
+share ``(workload, scale, seed, active cores)`` — replaying blocks is
+exactly equivalent to regenerating them, it just skips the RNG work.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.sim.stats import SimReport
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guards (scenario
+    # pulls in the workloads package, which imports repro.sim; the
+    # analysis package imports experiments, which imports this module)
+    from repro.analysis.energy import EnergyBreakdown
+    from repro.scenario import Scenario, SweepGrid
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """Everything one executed scenario produced."""
+
+    scenario: "Scenario"
+    report: SimReport
+    energy: "EnergyBreakdown"
+
+    @property
+    def execution_cycles(self) -> int:
+        """Wall-clock of the simulated program (cycles)."""
+        return self.report.execution_cycles
+
+    @property
+    def edp(self) -> float:
+        """Cluster energy-delay product (J*s)."""
+        return self.energy.edp
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-able result payload (spec + report + energy)."""
+        return {
+            "scenario": self.scenario.to_dict(),
+            "report": asdict(self.report),
+            "energy": {
+                **asdict(self.energy),
+                "cluster_j": self.energy.cluster_j,
+                "total_j": self.energy.total_j,
+                "edp": self.energy.edp,
+            },
+        }
+
+
+def run_scenario(
+    scenario: "Scenario", traces: Optional[Dict[int, object]] = None
+) -> ScenarioResult:
+    """Execute one scenario; safe to call in any process.
+
+    ``traces`` optionally supplies pre-built per-core trace iterators
+    (they must match the scenario's active cores); sweeps use this to
+    generate a workload's traces once and replay them across cells that
+    share the same core set.
+    """
+    from repro.analysis.energy import EnergyModel
+
+    cluster = scenario.build_cluster()
+    if traces is None:
+        traces = scenario.build_traces()
+    report = cluster.run(
+        traces,
+        workload_name=scenario.workload,
+        max_cycles=scenario.max_cycles,
+        engine_mode=scenario.engine_mode,
+    )
+    energy = EnergyModel(
+        dram=scenario.resolved_dram(),
+        frequency_hz=scenario.config.frequency_hz,
+    ).breakdown(report, cluster.interconnect.leakage_w())
+    return ScenarioResult(scenario=scenario, report=report, energy=energy)
+
+
+class SweepTraceCache:
+    """Materialized trace blocks, replayable across sweep cells.
+
+    Keyed by ``(workload, scale, seed, active cores)`` — the exact
+    tuple trace generation depends on.  Generation is deterministic, so
+    replaying the same blocks is equivalent to regenerating them; each
+    cell still sees a fresh iterator.
+
+    Peak memory is bounded: blocks are kept for at most
+    ``keep_workloads`` distinct workloads (LRU), matching the
+    per-benchmark cache lifetime of the pre-scenario harness — grids
+    iterate workload-outermost, so completed workloads' arrays are
+    never needed again.
+    """
+
+    def __init__(self, keep_workloads: int = 2) -> None:
+        if keep_workloads < 1:
+            raise ValueError("keep_workloads must be >= 1")
+        self._keep_workloads = keep_workloads
+        self._blocks: Dict[Tuple[str, float, int, Tuple[int, ...]], Dict[int, list]] = {}
+        self._workload_order: List[str] = []  # LRU, most recent last
+
+    def _touch(self, workload: str) -> None:
+        order = self._workload_order
+        if workload in order:
+            order.remove(workload)
+        order.append(workload)
+        while len(order) > self._keep_workloads:
+            evicted = order.pop(0)
+            for key in [k for k in self._blocks if k[0] == evicted]:
+                del self._blocks[key]
+
+    def traces(self, scenario: "Scenario") -> Dict[int, object]:
+        """Fresh per-core iterators over the cached blocks."""
+        cores = scenario.active_cores()
+        key = (scenario.workload, scenario.scale, scenario.seed, cores)
+        self._touch(scenario.workload)
+        blocks = self._blocks.get(key)
+        if blocks is None:
+            lazy = scenario.build_workload().trace_blocks(cores)
+            blocks = self._blocks[key] = {
+                core: list(trace) for core, trace in lazy.items()
+            }
+        return {core: iter(items) for core, items in blocks.items()}
+
+
+def run_sweep(
+    sweep: Union["SweepGrid", Iterable["Scenario"]],
+    jobs: Optional[int] = None,
+) -> List[ScenarioResult]:
+    """Execute every cell of a sweep; results in cell order.
+
+    ``jobs=None``/``0``/``1`` runs serially in-process (with trace-block
+    reuse across cells sharing a workload); ``jobs=N`` ships pickled
+    scenarios to N worker processes; ``jobs<0`` uses one worker per
+    CPU.  Results are bit-identical across all modes.
+    """
+    from repro.scenario import SweepGrid
+
+    scenarios = list(sweep.scenarios() if isinstance(sweep, SweepGrid) else sweep)
+    if not scenarios:
+        return []
+    if jobs is not None and jobs < 0:
+        jobs = os.cpu_count() or 1
+    if jobs is None or jobs <= 1:
+        cache = SweepTraceCache()
+        return [run_scenario(s, traces=cache.traces(s)) for s in scenarios]
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        return list(pool.map(run_scenario, scenarios))

@@ -1,0 +1,154 @@
+"""Differential tests: the scenario-backed experiment harness must be
+bit-identical to the pre-refactor per-figure loops.
+
+The reference implementation below reconstructs the seed's execution
+path cell by cell — loose-pieces ``Cluster3D`` construction, fresh
+traces per cell, ``EnergyModel`` applied the same way — so any drift
+introduced by the Scenario/SweepGrid/run_sweep rebuild (or a later
+change to it) fails these tests at full float precision.
+"""
+
+import pytest
+
+from repro.analysis.energy import EnergyModel
+from repro.analysis.experiments import (
+    INTERCONNECT_FACTORIES,
+    experiment_fig6,
+    experiment_fig7,
+)
+from repro.mem.dram import DDR3_OFFCHIP, WEIS_3D
+from repro.mot.power_state import PAPER_POWER_STATES
+from repro.sim.cluster import Cluster3D
+from repro.workloads import build_traces
+
+SCALE = 0.04
+BENCHMARKS = ("volrend", "fft")
+
+
+def _reference_cell(bench, interconnect, state, dram, seed=2016):
+    """One cell exactly as the pre-refactor harness ran it."""
+    cluster = Cluster3D(
+        interconnect=interconnect, power_state=state, dram=dram
+    )
+    traces = build_traces(
+        bench, sorted(state.active_cores), scale=SCALE, seed=seed
+    )
+    report = cluster.run(traces, workload_name=bench)
+    energy = EnergyModel(dram=dram).breakdown(
+        report, cluster.interconnect.leakage_w()
+    )
+    return report, energy
+
+
+@pytest.fixture(scope="module")
+def reference_fig6():
+    latency, execution = {}, {}
+    for bench in BENCHMARKS:
+        latency[bench], execution[bench] = {}, {}
+        for ic_name, factory in INTERCONNECT_FACTORIES.items():
+            report, _energy = _reference_cell(
+                bench, factory(), PAPER_POWER_STATES[0], DDR3_OFFCHIP
+            )
+            latency[bench][ic_name] = report.mean_l2_latency_cycles
+            execution[bench][ic_name] = report.execution_cycles
+    return latency, execution
+
+
+@pytest.fixture(scope="module")
+def reference_fig7():
+    edp, execution, energy = {}, {}, {}
+    for bench in BENCHMARKS:
+        edp[bench], execution[bench], energy[bench] = {}, {}, {}
+        for state in PAPER_POWER_STATES:
+            report, breakdown = _reference_cell(
+                bench, None, state, DDR3_OFFCHIP
+            )
+            edp[bench][state.name] = breakdown.edp
+            execution[bench][state.name] = report.execution_cycles
+            energy[bench][state.name] = breakdown.total_j
+    return edp, execution, energy
+
+
+@pytest.mark.parametrize("jobs", [None, 2], ids=["serial", "jobs2"])
+class TestFig6Differential:
+    def test_bit_identical(self, reference_fig6, jobs):
+        latency, execution = reference_fig6
+        result = experiment_fig6(scale=SCALE, benchmarks=BENCHMARKS, jobs=jobs)
+        assert result.latency_cycles == latency
+        assert result.execution_cycles == execution
+
+    def test_rendered_table(self, reference_fig6, jobs):
+        latency, execution = reference_fig6
+        from repro.analysis.experiments import Fig6Result
+
+        expected = Fig6Result(
+            latency_cycles=latency, execution_cycles=execution
+        ).render()
+        got = experiment_fig6(
+            scale=SCALE, benchmarks=BENCHMARKS, jobs=jobs
+        ).render()
+        assert got == expected
+
+
+@pytest.mark.parametrize("jobs", [None, 2], ids=["serial", "jobs2"])
+class TestFig7Differential:
+    def test_bit_identical(self, reference_fig7, jobs):
+        edp, execution, energy = reference_fig7
+        result = experiment_fig7(scale=SCALE, benchmarks=BENCHMARKS, jobs=jobs)
+        assert result.edp == edp
+        assert result.execution_cycles == execution
+        assert result.energy == energy
+
+    def test_rendered_table(self, reference_fig7, jobs):
+        edp, execution, energy = reference_fig7
+        from repro.analysis.experiments import PowerStateSweepResult
+
+        expected = PowerStateSweepResult(
+            dram=DDR3_OFFCHIP, edp=edp, execution_cycles=execution,
+            energy=energy,
+        ).render()
+        got = experiment_fig7(
+            scale=SCALE, benchmarks=BENCHMARKS, jobs=jobs
+        ).render()
+        assert got == expected
+
+
+class TestFig8Differential:
+    def test_42ns_bit_identical(self):
+        """Fig 8 = Fig 7 at the stacked-DRAM operating points; spot-
+        check the 42 ns panel against the reference loop."""
+        bench = "volrend"
+        expected = {}
+        for state in PAPER_POWER_STATES:
+            report, breakdown = _reference_cell(bench, None, state, WEIS_3D)
+            expected[state.name] = (report.execution_cycles, breakdown.edp)
+        result = experiment_fig7(
+            scale=SCALE, benchmarks=(bench,), dram=WEIS_3D
+        )
+        got = {
+            name: (result.execution_cycles[bench][name],
+                   result.edp[bench][name])
+            for name in result.states
+        }
+        assert got == expected
+
+
+class TestSeedThreading:
+    def test_default_seed_unchanged(self):
+        """``seed=2016`` (the new explicit default) reproduces the
+        hard-wired pre-refactor outputs."""
+        a = experiment_fig6(scale=SCALE, benchmarks=("volrend",))
+        b = experiment_fig6(scale=SCALE, benchmarks=("volrend",), seed=2016)
+        assert a == b
+
+    def test_custom_seed_changes_results(self):
+        a = experiment_fig7(scale=SCALE, benchmarks=("volrend",))
+        b = experiment_fig7(scale=SCALE, benchmarks=("volrend",), seed=7)
+        assert a.execution_cycles != b.execution_cycles
+
+    def test_custom_seed_parallel_matches_serial(self):
+        serial = experiment_fig7(scale=SCALE, benchmarks=("volrend",), seed=7)
+        parallel = experiment_fig7(
+            scale=SCALE, benchmarks=("volrend",), seed=7, jobs=2
+        )
+        assert serial == parallel

@@ -1,4 +1,4 @@
-"""Tests of the parallel sweep executor."""
+"""Tests of the parallel sweep compatibility layer."""
 
 import pytest
 
@@ -11,14 +11,24 @@ class TestSweepCell:
         cell = SweepCell(benchmark="volrend")
         assert cell.dram_ns == 200 and cell.interconnect is None
 
-    def test_bad_dram_rejected(self):
+    def test_nonpositive_dram_rejected(self):
         with pytest.raises(ConfigurationError):
-            SweepCell(benchmark="volrend", dram_ns=100)
+            SweepCell(benchmark="volrend", dram_ns=0)
 
     def test_unknown_interconnect_rejected(self):
         with pytest.raises(ConfigurationError):
             run_cell(SweepCell(benchmark="volrend", interconnect="warp drive",
                                scale=0.02))
+
+    def test_to_scenario_resolves_presets(self):
+        scenario = SweepCell(benchmark="fft", dram_ns=63).to_scenario()
+        assert "Wide I/O" in scenario.dram.name
+
+    def test_to_scenario_custom_dram(self):
+        """Non-Table-I latencies are specs, not errors (the old
+        ``_dram_tag`` restriction is gone)."""
+        scenario = SweepCell(benchmark="fft", dram_ns=150).to_scenario()
+        assert scenario.dram.access_latency_ns == 150.0
 
 
 class TestRunCells:
@@ -47,3 +57,13 @@ class TestRunCells:
         for (rs, es), (rp, ep) in zip(serial, parallel):
             assert rs == rp
             assert es == ep
+
+    def test_custom_dram_survives_worker_round_trip(self):
+        """Regression: a non-Table-I latency parallelizes, and the
+        worker's rebuilt timings match the serial run exactly."""
+        cells = [SweepCell(benchmark="volrend", dram_ns=150, scale=0.03)]
+        (rs, es), = run_cells(cells, jobs=None)
+        (rp, ep), = run_cells(cells, jobs=2)
+        assert "150" in rs.dram_name
+        assert rs == rp
+        assert es == ep

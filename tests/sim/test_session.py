@@ -1,0 +1,119 @@
+"""Tests of scenario execution (run_scenario / run_sweep)."""
+
+import pytest
+
+from repro.mem.dram import DRAMTimings
+from repro.scenario import Scenario, SweepGrid
+from repro.sim.session import (
+    ScenarioResult,
+    SweepTraceCache,
+    run_scenario,
+    run_sweep,
+)
+
+SCALE = 0.03
+
+
+class TestRunScenario:
+    def test_returns_result(self):
+        result = run_scenario(Scenario(workload="volrend", scale=SCALE))
+        assert isinstance(result, ScenarioResult)
+        assert result.report.workload_name == "volrend"
+        assert result.execution_cycles > 0
+        assert result.edp > 0
+
+    def test_spec_is_applied(self):
+        result = run_scenario(
+            Scenario(
+                workload="fft",
+                interconnect="bus-tree",
+                power_state="PC4-MB8",
+                dram=DRAMTimings("custom", 150.0),
+                scale=SCALE,
+            )
+        )
+        assert result.report.interconnect_name == "3-D Hybrid Bus-Tree"
+        assert result.report.power_state_name == "PC4-MB8"
+        assert result.report.dram_name == "custom"
+
+    def test_engine_modes_agree(self):
+        fast = run_scenario(Scenario(workload="volrend", scale=SCALE))
+        legacy = run_scenario(
+            Scenario(workload="volrend", scale=SCALE, engine_mode="legacy")
+        )
+        assert fast.report == legacy.report
+
+    def test_to_dict_round_trips_scenario(self):
+        result = run_scenario(Scenario(workload="volrend", scale=SCALE))
+        payload = result.to_dict()
+        assert Scenario.from_dict(payload["scenario"]) == result.scenario
+        assert payload["report"]["execution_cycles"] == result.execution_cycles
+        assert payload["energy"]["edp"] == result.edp
+
+
+class TestRunSweep:
+    def test_empty(self):
+        assert run_sweep([]) == []
+
+    def test_grid_order(self):
+        grid = SweepGrid.over(
+            Scenario(workload="volrend", scale=SCALE),
+            workload=["volrend", "fft"],
+            power_state=["Full connection", "PC4-MB8"],
+        )
+        results = run_sweep(grid)
+        assert [r.report.workload_name for r in results] == [
+            "volrend", "volrend", "fft", "fft"
+        ]
+        assert [r.report.power_state_name for r in results] == [
+            "Full connection", "PC4-MB8"
+        ] * 2
+
+    def test_trace_cache_replay_is_equivalent(self):
+        """Cached-block replay (the sweep path) == fresh generation."""
+        scenario = Scenario(workload="volrend", scale=SCALE)
+        cache = SweepTraceCache()
+        cached = run_scenario(scenario, traces=cache.traces(scenario))
+        again = run_scenario(scenario, traces=cache.traces(scenario))
+        fresh = run_scenario(scenario)
+        assert cached.report == fresh.report == again.report
+
+    def test_trace_cache_bounds_memory(self):
+        """Completed workloads' blocks are evicted (LRU by workload),
+        and eviction never changes results (regeneration is
+        deterministic)."""
+        cache = SweepTraceCache(keep_workloads=1)
+        a = Scenario(workload="volrend", scale=SCALE)
+        b = Scenario(workload="fft", scale=SCALE)
+        first = run_scenario(a, traces=cache.traces(a))
+        run_scenario(b, traces=cache.traces(b))  # evicts volrend
+        assert len(cache._blocks) == 1
+        evicted_rerun = run_scenario(a, traces=cache.traces(a))
+        assert evicted_rerun.report == first.report
+
+    def test_custom_scenario_parallel_matches_serial(self):
+        """Acceptance: a non-Table-I scenario (custom DRAM latency,
+        custom seed) through jobs=2 is bit-identical to its serial
+        run."""
+        scenarios = [
+            Scenario(
+                workload="volrend",
+                dram=DRAMTimings("custom", 150.0),
+                seed=7,
+                scale=SCALE,
+            ),
+            Scenario(
+                workload="fft",
+                power_state="PC8-MB16",
+                dram=DRAMTimings("custom", 99.0, energy_per_access_j=5e-9),
+                seed=31,
+                scale=SCALE,
+            ),
+        ]
+        serial = run_sweep(scenarios, jobs=None)
+        parallel = run_sweep(scenarios, jobs=2)
+        for s, p in zip(serial, parallel):
+            assert s.report == p.report
+            assert s.energy == p.energy
+        assert serial[0].scenario.dram.access_latency_ns == 150.0
+        assert serial[1].report.power_state_name == "PC8-MB16"

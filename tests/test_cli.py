@@ -20,6 +20,38 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["fig6", "--benchmarks", "linpack"])
 
+    def test_fig_commands_take_seed(self):
+        for fig in ("fig6", "fig7", "fig8"):
+            args = build_parser().parse_args([fig, "--seed", "7"])
+            assert args.seed == 7
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "fft"])
+        assert args.workload == "fft"
+        assert args.interconnect == "mot"
+        assert args.state == "Full connection"
+        assert args.dram_ns is None and args.seed == 2016
+
+    def test_run_flags(self):
+        args = build_parser().parse_args(
+            ["run", "fft", "--interconnect", "mesh", "--state", "PC4-MB8",
+             "--dram-ns", "150", "--seed", "7", "--json", "out.json"]
+        )
+        assert args.interconnect == "mesh" and args.state == "PC4-MB8"
+        assert args.dram_ns == 150.0 and args.seed == 7
+        assert str(args.json) == "out.json"
+
+    def test_sweep_axes(self):
+        args = build_parser().parse_args(
+            ["sweep", "--workloads", "fft", "volrend",
+             "--state", "Full connection", "PC4-MB8",
+             "--dram-ns", "200", "63", "--jobs", "2"]
+        )
+        assert args.workloads == ["fft", "volrend"]
+        assert args.states == ["Full connection", "PC4-MB8"]
+        assert args.dram_ns == [200.0, 63.0]
+        assert args.jobs == 2
+
 
 class TestCommands:
     def test_table1(self, capsys):
@@ -60,3 +92,42 @@ class TestCommands:
              "--dram", "42"]
         ) == 0
         assert "EDP" in capsys.readouterr().out
+
+    def test_run_smoke(self, capsys):
+        assert main(
+            ["run", "volrend", "--state", "PC4-MB8", "--dram-ns", "150",
+             "--scale", "0.03"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "PC4-MB8" in out and "150 ns" in out and "EDP" in out
+
+    def test_run_json(self, capsys, tmp_path):
+        out_path = tmp_path / "run.json"
+        assert main(
+            ["run", "volrend", "--scale", "0.03", "--json", str(out_path)]
+        ) == 0
+        import json
+
+        payload = json.loads(out_path.read_text())
+        assert payload["scenario"]["workload"] == "volrend"
+        assert payload["report"]["execution_cycles"] > 0
+
+    def test_run_unknown_workload(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            main(["run", "linpack", "--scale", "0.03"])
+
+    def test_sweep_smoke(self, capsys, tmp_path):
+        out_path = tmp_path / "sweep.json"
+        assert main(
+            ["sweep", "--workloads", "volrend", "--state",
+             "Full connection", "PC4-MB8", "--scale", "0.03",
+             "--json", str(out_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "2 cells" in out and "PC4-MB8" in out
+        import json
+
+        payload = json.loads(out_path.read_text())
+        assert len(payload) == 2

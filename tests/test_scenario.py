@@ -1,0 +1,324 @@
+"""Tests of the declarative scenario layer (specs, registries, grids)."""
+
+import pickle
+
+import pytest
+
+from repro.config import ClusterConfig, DEFAULT_CONFIG
+from repro.errors import ConfigurationError, PowerStateError
+from repro.mem.dram import DDR3_OFFCHIP, DRAMTimings, WIDE_IO_3D
+from repro.mot.power_state import PC4_MB8, PowerState
+from repro.noc.mot_adapter import MoTInterconnect
+from repro.noc.mesh3d import True3DMesh
+from repro.scenario import (
+    DRAM_PRESETS,
+    INTERCONNECTS,
+    WORKLOADS,
+    Scenario,
+    SweepGrid,
+    build_interconnect,
+    build_workload,
+    register_dram_preset,
+    register_interconnect,
+    register_workload,
+    resolve_dram,
+    resolve_power_state,
+)
+from repro.workloads.base import SyntheticWorkload
+from repro.workloads.characteristics import SPLASH2_NAMES
+
+
+class TestRegistries:
+    def test_builtin_interconnects(self):
+        assert set(INTERCONNECTS) == {"mesh", "bus-mesh", "bus-tree", "mot"}
+
+    def test_interconnect_aliases(self):
+        assert isinstance(build_interconnect("3-D MoT"), MoTInterconnect)
+        assert isinstance(build_interconnect("True 3-D Mesh"), True3DMesh)
+        assert isinstance(build_interconnect("MESH"), True3DMesh)
+
+    def test_unknown_interconnect(self):
+        with pytest.raises(ConfigurationError, match="unknown interconnect"):
+            build_interconnect("warp drive")
+
+    def test_duplicate_interconnect_rejected(self):
+        with pytest.raises(ConfigurationError, match="already registered"):
+            register_interconnect("mot")(lambda **kw: None)
+
+    def test_alias_collision_leaves_no_partial_registration(self):
+        """Regression: a failed registration must not leave the
+        canonical key behind."""
+        with pytest.raises(ConfigurationError, match="already registered"):
+            register_interconnect("myfab", aliases=("mot3d",))(
+                lambda **kw: None
+            )
+        assert "myfab" not in INTERCONNECTS
+        with pytest.raises(ConfigurationError, match="unknown interconnect"):
+            build_interconnect("myfab")
+
+    def test_builtin_workloads(self):
+        assert set(SPLASH2_NAMES) <= set(WORKLOADS)
+        wl = build_workload("fft", scale=0.5, seed=7)
+        assert isinstance(wl, SyntheticWorkload)
+        assert wl.scale == 0.5 and wl.seed == 7
+
+    def test_unknown_workload(self):
+        with pytest.raises(ConfigurationError, match="unknown workload"):
+            build_workload("linpack")
+
+    def test_register_workload(self):
+        @register_workload("test-workload-registry")
+        def factory(scale=1.0, seed=2016):
+            return SyntheticWorkload("fft", scale=scale, seed=seed)
+
+        try:
+            assert isinstance(
+                build_workload("test-workload-registry"), SyntheticWorkload
+            )
+            with pytest.raises(ConfigurationError, match="already registered"):
+                register_workload("test-workload-registry")(factory)
+        finally:
+            del WORKLOADS["test-workload-registry"]
+
+    def test_dram_presets(self):
+        assert resolve_dram("ddr3") is DDR3_OFFCHIP
+        assert resolve_dram("WIDE-IO") is WIDE_IO_3D
+        assert resolve_dram(63) is WIDE_IO_3D
+        assert resolve_dram(WIDE_IO_3D) is WIDE_IO_3D
+        assert resolve_dram(None) is None
+
+    def test_dram_custom_latency(self):
+        custom = resolve_dram(150)
+        assert custom.access_latency_ns == 150.0
+        assert "150" in custom.name
+
+    def test_unknown_dram_preset(self):
+        with pytest.raises(ConfigurationError, match="unknown DRAM preset"):
+            resolve_dram("hbm17")
+
+    def test_nonpositive_dram_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolve_dram(0)
+
+    def test_register_dram_preset(self):
+        timings = DRAMTimings("test preset", 99.0)
+        register_dram_preset("test-preset", timings)
+        try:
+            assert resolve_dram("test-preset") is timings
+            with pytest.raises(ConfigurationError, match="already registered"):
+                register_dram_preset("test-preset", timings)
+        finally:
+            del DRAM_PRESETS["test-preset"]
+
+
+class TestResolvePowerState:
+    def test_paper_names(self):
+        assert resolve_power_state("PC4-MB8") == PC4_MB8
+        assert resolve_power_state("full connection").is_full
+
+    def test_passthrough(self):
+        assert resolve_power_state(PC4_MB8) is PC4_MB8
+
+    def test_parsed_counts(self):
+        state = resolve_power_state("PC8-MB16")
+        assert state.n_active_cores == 8 and state.n_active_banks == 16
+        assert state.name == "PC8-MB16"
+
+    def test_custom_dimensions(self):
+        state = resolve_power_state("PC32-MB64", total_cores=32,
+                                    total_banks=64)
+        assert state.n_active_cores == 32 and state.total_cores == 32
+        full = resolve_power_state("Full connection", total_cores=32,
+                                   total_banks=64)
+        assert full.is_full and full.total_cores == 32
+
+    def test_unknown(self):
+        with pytest.raises(PowerStateError):
+            resolve_power_state("hyperthreading")
+
+
+class TestScenario:
+    def test_defaults(self):
+        s = Scenario(workload="fft")
+        assert s.interconnect == "mot"
+        assert s.resolved_dram() is DEFAULT_CONFIG.dram
+        assert s.resolved_power_state().is_full
+        assert s.active_cores() == tuple(range(16))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Scenario(workload="fft", scale=0)
+        with pytest.raises(ConfigurationError):
+            Scenario(workload="fft", max_cycles=0)
+
+    def test_dram_override(self):
+        s = Scenario(workload="fft", dram=WIDE_IO_3D)
+        assert s.resolved_dram() is WIDE_IO_3D
+
+    def test_round_trip_equality(self):
+        s = Scenario(
+            workload="radix",
+            interconnect="bus-tree",
+            power_state="PC8-MB16",
+            dram=DRAMTimings("custom", 150.0, energy_per_access_j=5e-9),
+            scale=0.25,
+            seed=7,
+            engine_mode="legacy",
+        )
+        assert Scenario.from_dict(s.to_dict()) == s
+
+    def test_round_trip_default_config(self):
+        s = Scenario(workload="fft")
+        restored = Scenario.from_dict(s.to_dict())
+        assert restored == s
+        assert restored.config == DEFAULT_CONFIG
+
+    def test_to_dict_is_json_able(self):
+        import json
+
+        s = Scenario(workload="fft", dram=WIDE_IO_3D)
+        assert Scenario.from_dict(json.loads(json.dumps(s.to_dict()))) == s
+
+    def test_from_dict_rejects_unknown_keys(self):
+        payload = Scenario(workload="fft").to_dict()
+        payload["warp"] = 9
+        with pytest.raises(ConfigurationError, match="unknown scenario keys"):
+            Scenario.from_dict(payload)
+
+    def test_from_dict_rejects_bad_schema(self):
+        payload = Scenario(workload="fft").to_dict()
+        payload["schema"] = "repro-scenario/999"
+        with pytest.raises(ConfigurationError, match="schema"):
+            Scenario.from_dict(payload)
+
+    def test_pickle_round_trip(self):
+        s = Scenario(workload="fft", dram=DRAMTimings("custom", 150.0))
+        assert pickle.loads(pickle.dumps(s)) == s
+
+    def test_hashable(self):
+        """Frozen specs key result stores; params must not break hash."""
+        a = Scenario(workload="fft",
+                     interconnect_params={"bank_occupancy_cycles": 2})
+        b = Scenario(workload="fft",
+                     interconnect_params={"bank_occupancy_cycles": 2})
+        assert hash(a) == hash(b) and a == b
+        assert len({a, b, Scenario(workload="fft")}) == 2
+
+    def test_power_state_object_round_trip(self):
+        corner = PowerState(
+            name="corner-4",
+            total_cores=16,
+            total_banks=32,
+            active_cores=frozenset({0, 1, 2, 3}),
+            active_banks=frozenset(range(8)),
+        )
+        s = Scenario(workload="fft", power_state=corner)
+        restored = Scenario.from_dict(s.to_dict())
+        assert restored == s
+        assert restored.resolved_power_state().active_cores == corner.active_cores
+
+    def test_config_dimensions_drive_default_state(self):
+        """Regression: a larger config activates all its cores, not
+        the paper's 16."""
+        from repro.mem.l2 import L2Config
+
+        config = ClusterConfig(n_cores=32, l2=L2Config(n_banks=64))
+        s = Scenario(workload="fft", config=config)
+        state = s.resolved_power_state()
+        assert state.total_cores == 32 and state.n_active_cores == 32
+        assert s.active_cores() == tuple(range(32))
+
+    def test_build_cluster_wires_config(self):
+        config = ClusterConfig(dram=WIDE_IO_3D)
+        s = Scenario(workload="fft", power_state="PC4-MB8", config=config)
+        cluster = s.build_cluster()
+        assert cluster.config is config
+        assert cluster.dram_timings is WIDE_IO_3D
+        assert cluster.power_state.name == "PC4-MB8"
+
+    def test_label(self):
+        label = Scenario(workload="fft", seed=7).label()
+        assert "fft" in label and "seed 7" in label
+
+
+class TestClusterConfigSerialization:
+    def test_round_trip(self):
+        config = ClusterConfig(dram=WIDE_IO_3D)
+        assert ClusterConfig.from_dict(config.to_dict()) == config
+
+    def test_unknown_keys_rejected(self):
+        payload = DEFAULT_CONFIG.to_dict()
+        payload["cores"] = 8
+        with pytest.raises(ConfigurationError):
+            ClusterConfig.from_dict(payload)
+
+    def test_dram_timings_round_trip(self):
+        timings = DRAMTimings("custom", 150.0, background_w=0.2)
+        assert DRAMTimings.from_dict(timings.to_dict()) == timings
+        with pytest.raises(ConfigurationError):
+            DRAMTimings.from_dict({"name": "x", "latency": 1})
+
+
+class TestSweepGrid:
+    BASE = Scenario(workload="fft", scale=0.1)
+
+    def test_no_axes_yields_base(self):
+        grid = SweepGrid.over(self.BASE)
+        assert list(grid.scenarios()) == [self.BASE]
+        assert len(grid) == 1
+
+    def test_row_major_expansion(self):
+        grid = SweepGrid.over(
+            self.BASE,
+            workload=["fft", "radix"],
+            power_state=["Full connection", "PC4-MB8"],
+        )
+        cells = list(grid.scenarios())
+        assert len(cells) == len(grid) == 4
+        assert [(c.workload, c.power_state) for c in cells] == [
+            ("fft", "Full connection"),
+            ("fft", "PC4-MB8"),
+            ("radix", "Full connection"),
+            ("radix", "PC4-MB8"),
+        ]
+
+    def test_axis_normalization(self):
+        grid = SweepGrid.over(
+            self.BASE,
+            dram=[200, "wide-io", DRAMTimings("custom", 150.0)],
+            power_state=[PC4_MB8],
+        )
+        drams = [c.dram for c in grid.scenarios()]
+        assert drams[0] is DDR3_OFFCHIP and drams[1] is WIDE_IO_3D
+        assert drams[2].access_latency_ns == 150.0
+        assert all(c.power_state is PC4_MB8 for c in grid.scenarios())
+
+    def test_custom_power_state_object_is_honored(self):
+        """Regression: a PowerState with a non-centered active set must
+        run those exact cores, not a rebuilt centered block."""
+        corner = PowerState(
+            name="corner-4",
+            total_cores=16,
+            total_banks=32,
+            active_cores=frozenset({0, 1, 2, 3}),
+            active_banks=frozenset(range(8)),
+        )
+        grid = SweepGrid.over(self.BASE, power_state=[corner])
+        (cell,) = grid.scenarios()
+        assert cell.resolved_power_state() is corner
+        assert cell.active_cores() == (0, 1, 2, 3)
+
+    def test_unsweepable_field_rejected(self):
+        with pytest.raises(ConfigurationError, match="cannot sweep"):
+            SweepGrid.over(self.BASE, config=[DEFAULT_CONFIG])
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ConfigurationError, match="no values"):
+            SweepGrid.over(self.BASE, workload=[])
+
+    def test_shape_and_names(self):
+        grid = SweepGrid.over(
+            self.BASE, workload=["fft"], seed=[1, 2, 3]
+        )
+        assert grid.shape == (1, 3)
+        assert grid.axis_names == ("workload", "seed")
