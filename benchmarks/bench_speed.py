@@ -23,6 +23,11 @@ Environment / flags:
 The JSON keeps the seed baseline (measured before the fast path
 landed) so any run can report its speedup; subsequent PRs append their
 own measurements by re-running this script.
+
+Besides the raw sweep times, the run records the result-store scaling
+numbers: ``fig7_cold_store_seconds`` (simulate + persist into a fresh
+SQLite store) and ``fig7_warm_store_seconds`` (re-render the same
+figure entirely from the store — zero simulation).
 """
 
 from __future__ import annotations
@@ -32,6 +37,7 @@ import json
 import os
 import platform
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -51,6 +57,7 @@ def bench_scale() -> float:
 def run(scale: float, jobs: int | None) -> dict:
     """Time the sweeps; returns the results payload."""
     from repro.analysis.experiments import experiment_fig6, experiment_fig7
+    from repro.store import SqliteStore
 
     results: dict = {}
 
@@ -67,6 +74,22 @@ def run(scale: float, jobs: int | None) -> dict:
         results["fig7_speedup_vs_seed"] = round(
             SEED_FIG7_SCALE1_SECONDS / fig7_s, 2
         )
+
+    # Result-store scaling: fig7 once against a cold persistent store
+    # (simulates + persists), then again against the warm store — the
+    # warm pass re-renders the whole figure from stored payloads with
+    # zero simulation.
+    with tempfile.TemporaryDirectory(prefix="repro-bench-store-") as tmp:
+        with SqliteStore(os.path.join(tmp, "bench.sqlite")) as store:
+            t0 = time.perf_counter()
+            experiment_fig7(scale=scale, jobs=jobs, store=store)
+            cold_s = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            experiment_fig7(scale=scale, jobs=jobs, store=store)
+            warm_s = time.perf_counter() - t0
+    results["fig7_cold_store_seconds"] = round(cold_s, 3)
+    results["fig7_warm_store_seconds"] = round(warm_s, 4)
+    results["fig7_warm_store_speedup"] = round(cold_s / warm_s, 1)
     return results
 
 

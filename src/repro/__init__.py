@@ -26,6 +26,8 @@ Subpackages:
 * ``repro.mem``       — L1/L2/DRAM substrate;
 * ``repro.phys``      — Elmore/TSV/SRAM/power physical models;
 * ``repro.sim``       — transaction-level system simulator;
+* ``repro.store``     — persistent content-addressed result cache
+  (fingerprint-keyed; memory / JSONL / SQLite backends);
 * ``repro.workloads`` — synthetic SPLASH-2 suite;
 * ``repro.analysis``  — energy/EDP and per-figure experiment harness.
 """
@@ -39,6 +41,7 @@ from repro.scenario import (
     register_workload,
     resolve_dram,
     resolve_power_state,
+    scenario_fingerprint,
 )
 from repro.mot import (
     FULL_CONNECTION,
@@ -65,6 +68,13 @@ from repro.sim import (
     run_scenario,
     run_sweep,
 )
+from repro.store import (
+    JsonlStore,
+    MemoryStore,
+    ResultStore,
+    SqliteStore,
+    open_store,
+)
 from repro.workloads import SPLASH2_NAMES, SyntheticWorkload, build_traces
 from repro.analysis import (
     EnergyModel,
@@ -87,6 +97,12 @@ __all__ = [
     "ScenarioResult",
     "run_scenario",
     "run_sweep",
+    "scenario_fingerprint",
+    "ResultStore",
+    "MemoryStore",
+    "JsonlStore",
+    "SqliteStore",
+    "open_store",
     "register_dram_preset",
     "register_interconnect",
     "register_workload",

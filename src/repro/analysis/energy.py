@@ -12,8 +12,10 @@ active core/bank counts set the leakage populations.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
+from typing import Mapping
 
+from repro.errors import ConfigurationError
 from repro.mem.dram import DRAMTimings, DDR3_OFFCHIP
 from repro.phys.core_power import CorePowerModel, DEFAULT_CORE_POWER
 from repro.phys.sram import SRAMBankModel, DEFAULT_BANK
@@ -67,6 +69,24 @@ class EnergyBreakdown:
     def edp_with_dram(self) -> float:
         """EDP including DRAM energy (ablation; not the paper's metric)."""
         return self.total_j * self.execution_s
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "EnergyBreakdown":
+        """Rebuild a breakdown from its serialized field values.
+
+        Derived keys a serializer may have added alongside the fields
+        (``cluster_j``/``total_j``/``edp`` — see
+        :meth:`repro.sim.session.ScenarioResult.to_dict`) are ignored:
+        they are properties, recomputed from the raw components.
+        """
+        known = {f.name for f in fields(cls)}
+        payload = {k: v for k, v in data.items() if k in known}
+        missing = known - set(payload)
+        if missing:
+            raise ConfigurationError(
+                f"EnergyBreakdown payload missing {sorted(missing)}"
+            )
+        return cls(**payload)
 
     def as_dict(self) -> dict:
         """Flat numeric view for tables."""

@@ -30,7 +30,7 @@ the same rows/series the paper plots.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro import units as u
 from repro.analysis.edp import EDPComparison, best_state_stats, reduction_stats
@@ -53,6 +53,9 @@ from repro.sim.cluster import Cluster3D
 from repro.sim.session import run_sweep
 from repro.sim.stats import SimReport
 from repro.workloads import SPLASH2_NAMES, build_traces
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from repro.store.base import ResultStore
 
 
 #: Deprecated alias kept for pre-scenario callers: paper display name
@@ -243,6 +246,7 @@ def experiment_fig6(
     dram: DRAMTimings = DDR3_OFFCHIP,
     jobs: Optional[int] = None,
     seed: int = 2016,
+    store: Optional["ResultStore"] = None,
 ) -> Fig6Result:
     """Four interconnects x SPLASH-2 at Full connection (Fig 6).
 
@@ -250,6 +254,8 @@ def experiment_fig6(
     :func:`run_sweep`.  ``jobs``: worker processes for the cells;
     ``None``/``1`` runs serially in-process (each benchmark's traces
     are then generated once and replayed per interconnect).
+    ``store``: result store memoizing the cells — re-rendering the
+    figure from a warm store does zero simulation.
     """
     if not benchmarks:
         return Fig6Result(latency_cycles={}, execution_cycles={})
@@ -263,7 +269,7 @@ def experiment_fig6(
         workload=list(benchmarks),
         interconnect=list(INTERCONNECT_FACTORIES),
     )
-    results = iter(run_sweep(grid, jobs=jobs))
+    results = iter(run_sweep(grid, jobs=jobs, store=store))
     latency: Dict[str, Dict[str, float]] = {}
     execution: Dict[str, Dict[str, int]] = {}
     for bench in benchmarks:
@@ -332,6 +338,7 @@ def experiment_fig7(
     dram: DRAMTimings = DDR3_OFFCHIP,
     jobs: Optional[int] = None,
     seed: int = 2016,
+    store: Optional["ResultStore"] = None,
 ) -> PowerStateSweepResult:
     """Four power states x SPLASH-2 on the MoT (Fig 7; DRAM 200 ns).
 
@@ -339,6 +346,8 @@ def experiment_fig7(
     :func:`run_sweep`.  ``jobs``: worker processes for the cells;
     ``None``/``1`` runs serially in-process (a benchmark's traces are
     then generated once per distinct active-core set and replayed).
+    ``store``: result store memoizing the cells — re-rendering the
+    figure from a warm store does zero simulation.
     """
     if not benchmarks:
         return PowerStateSweepResult(
@@ -354,7 +363,7 @@ def experiment_fig7(
         workload=list(benchmarks),
         power_state=[state.name for state in PAPER_POWER_STATES],
     )
-    results = iter(run_sweep(grid, jobs=jobs))
+    results = iter(run_sweep(grid, jobs=jobs, store=store))
     edp: Dict[str, Dict[str, float]] = {}
     execution: Dict[str, Dict[str, int]] = {}
     energy: Dict[str, Dict[str, float]] = {}
@@ -375,15 +384,16 @@ def experiment_fig8(
     benchmarks: Sequence[str] = SPLASH2_NAMES,
     jobs: Optional[int] = None,
     seed: int = 2016,
+    store: Optional["ResultStore"] = None,
 ) -> Tuple[PowerStateSweepResult, PowerStateSweepResult]:
     """Fig 8: the Fig 7a sweep at DRAM 63 ns (a) and 42 ns (b)."""
     part_a = experiment_fig7(
         scale=scale, benchmarks=benchmarks, dram=WIDE_IO_3D, jobs=jobs,
-        seed=seed,
+        seed=seed, store=store,
     )
     part_b = experiment_fig7(
         scale=scale, benchmarks=benchmarks, dram=WEIS_3D, jobs=jobs,
-        seed=seed,
+        seed=seed, store=store,
     )
     return part_a, part_b
 

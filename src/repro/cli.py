@@ -20,6 +20,18 @@ DRAM) into a :class:`~repro.scenario.SweepGrid` and executes every
 cell, optionally across worker processes (``--jobs``).  Both accept
 ``--json OUT`` to write machine-readable results.
 
+``--store PATH`` (on ``run``, ``sweep`` and the fig commands) wires in
+a persistent content-addressed result store: cells already stored are
+served without simulating, fresh cells are persisted.  ``repro
+results`` inspects such a store:
+
+    python -m repro sweep --workloads fft --store results.sqlite
+    python -m repro fig7 --store results.sqlite     # warm: zero simulation
+    python -m repro results list results.sqlite --workload fft
+    python -m repro results show results.sqlite <fingerprint-prefix>
+    python -m repro results export results.sqlite --out results.json
+    python -m repro results gc results.sqlite
+
 Scale 1.0 is the reference run (minutes for fig6-fig8); smaller scales
 trade fidelity of the capacity effects for speed.
 """
@@ -43,13 +55,24 @@ from repro.config import DEFAULT_CONFIG
 from repro.mot.fabric import MoTFabric
 from repro.mot.power_state import power_state_by_name
 from repro.mot.visualize import render_fabric
+from repro.errors import ConfigurationError
 from repro.scenario import Scenario, SweepGrid, resolve_dram
 from repro.sim.session import ScenarioResult, run_scenario, run_sweep
+from repro.store import ResultStore, open_store
 from repro.workloads.characteristics import SPLASH2_NAMES
 
 #: Table I latencies exposed as fig7's --dram choices (resolution goes
 #: through the scenario DRAM registry, the single source of truth).
 _TABLE1_DRAM_NS = (42, 63, 200)
+
+
+def _add_store_argument(p: argparse.ArgumentParser) -> None:
+    """The ``--store`` flag (memoized execution)."""
+    p.add_argument("--store", default=None, metavar="PATH",
+                   help="persist results in a content-addressed store "
+                        "('.jsonl' = append-only JSON lines, ':memory:' "
+                        "= in-process, else SQLite); stored cells are "
+                        "served without simulating")
 
 
 def _add_scenario_arguments(p: argparse.ArgumentParser) -> None:
@@ -63,6 +86,7 @@ def _add_scenario_arguments(p: argparse.ArgumentParser) -> None:
                    help="scheduler (default: auto)")
     p.add_argument("--json", type=Path, default=None, metavar="OUT",
                    help="also write results as JSON to OUT")
+    _add_store_argument(p)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -124,6 +148,7 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--seed", type=int, default=2016,
                        help="trace RNG seed (default 2016 = the "
                             "reference outputs)")
+        _add_store_argument(p)
         if name == "fig7":
             p.add_argument("--dram", type=int, default=200,
                            choices=_TABLE1_DRAM_NS,
@@ -134,6 +159,42 @@ def build_parser() -> argparse.ArgumentParser:
                    help="power state name (e.g. 'PC4-MB8')")
     p.add_argument("--core", type=int, default=None,
                    help="core whose routing tree to draw")
+
+    p = sub.add_parser("results", help="inspect a persistent result store")
+    rsub = p.add_subparsers(dest="results_command", required=True)
+
+    def _add_filter_arguments(rp: argparse.ArgumentParser) -> None:
+        rp.add_argument("--workload", default=None,
+                        help="only records of this workload")
+        rp.add_argument("--interconnect", default=None,
+                        help="only records of this interconnect key")
+        rp.add_argument("--state", default=None,
+                        help="only records of this power state")
+        rp.add_argument("--dram-ns", type=float, default=None,
+                        help="only records at this DRAM latency")
+        rp.add_argument("--seed", type=int, default=None,
+                        help="only records with this trace seed")
+        rp.add_argument("--scale", type=float, default=None,
+                        help="only records at this work scale")
+
+    rp = rsub.add_parser("list", help="one row per stored result")
+    rp.add_argument("store", help="store path")
+    _add_filter_arguments(rp)
+
+    rp = rsub.add_parser("show", help="render one stored result")
+    rp.add_argument("store", help="store path")
+    rp.add_argument("fingerprint",
+                    help="full fingerprint or a unique prefix")
+
+    rp = rsub.add_parser("export", help="dump stored payloads as JSON")
+    rp.add_argument("store", help="store path")
+    rp.add_argument("--out", type=Path, default=None, metavar="OUT",
+                    help="output file (default: stdout)")
+    _add_filter_arguments(rp)
+
+    rp = rsub.add_parser("gc", help="drop stale-schema records and "
+                                    "compact the store")
+    rp.add_argument("store", help="store path")
     return parser
 
 
@@ -174,6 +235,19 @@ def _write_json(path: Path, payload: object) -> None:
     print(f"wrote {path}")
 
 
+def _open_store(args: argparse.Namespace) -> Optional[ResultStore]:
+    """The ``--store`` backend, if the command was given one."""
+    spec = getattr(args, "store", None)
+    return None if spec is None else open_store(spec)
+
+
+def _store_summary(store: Optional[ResultStore]) -> None:
+    """One line of cache accounting (CI smoke greps for it)."""
+    if store is not None:
+        print(f"store: hits: {store.hits}, misses: {store.misses}")
+        store.close()
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     scenario = Scenario(
         workload=args.workload,
@@ -184,8 +258,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         seed=args.seed,
         engine_mode=args.engine_mode,
     )
-    result = run_scenario(scenario)
+    store = _open_store(args)
+    result = run_scenario(scenario, store=store)
     print(_render_result(result))
+    _store_summary(store)
     if args.json is not None:
         _write_json(args.json, result.to_dict())
     return 0
@@ -206,10 +282,93 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     )
     print(f"sweep: {len(grid)} cells "
           f"({' x '.join(map(str, grid.shape))} over {grid.axis_names})")
-    results = run_sweep(grid, jobs=args.jobs)
+    store = _open_store(args)
+    results = run_sweep(grid, jobs=args.jobs, store=store)
     print(_render_sweep_table(results))
+    _store_summary(store)
     if args.json is not None:
         _write_json(args.json, [r.to_dict() for r in results])
+    return 0
+
+
+def _results_filters(args: argparse.Namespace) -> dict:
+    """Column filters of a ``results list``/``export`` invocation."""
+    filters = {
+        "workload": args.workload,
+        "interconnect": args.interconnect,
+        "power_state": args.state,
+        "dram_ns": args.dram_ns,
+        "seed": args.seed,
+        "scale": args.scale,
+    }
+    return {key: value for key, value in filters.items() if value is not None}
+
+
+def _match_fingerprint(store: ResultStore, prefix: str) -> str:
+    """Resolve a full fingerprint or a unique prefix."""
+    matches = [fp for fp in store.fingerprints() if fp.startswith(prefix)]
+    if not matches:
+        raise ConfigurationError(
+            f"no stored result matches fingerprint {prefix!r}"
+        )
+    if len(matches) > 1:
+        raise ConfigurationError(
+            f"fingerprint prefix {prefix!r} is ambiguous "
+            f"({len(matches)} matches); give more characters"
+        )
+    return matches[0]
+
+
+def _render_results_table(records: List[dict]) -> str:
+    """One row per stored record (``repro results list``)."""
+    header = (
+        f"{'fingerprint':14s} {'workload':16s} {'interconnect':14s} "
+        f"{'state':16s} {'DRAM ns':>8s} {'seed':>6s} {'scale':>7s}"
+    )
+    lines = [header, "-" * len(header)]
+    for record in records:
+        lines.append(
+            f"{record['fingerprint'][:12]:14s} {record['workload']:16s} "
+            f"{record['interconnect']:14s} {record['power_state']:16s} "
+            f"{record['dram_ns']:>8g} {record['seed']:>6d} "
+            f"{record['scale']:>7g}"
+        )
+    return "\n".join(lines)
+
+
+def _cmd_results(args: argparse.Namespace) -> int:
+    # Inspection must not fabricate an empty store from a typo'd path
+    # (opening a backend creates its file and parent directories).
+    if args.store != ":memory:" and not Path(args.store).exists():
+        raise ConfigurationError(f"no result store at {args.store!r}")
+    with open_store(args.store) as store:
+        if args.results_command == "list":
+            records = store.query(**_results_filters(args))
+            print(_render_results_table(records))
+            print(f"{len(records)} result(s) in {args.store}")
+        elif args.results_command == "show":
+            fingerprint = _match_fingerprint(store, args.fingerprint)
+            payload = store.get(fingerprint)
+            if payload is None:
+                raise ConfigurationError(
+                    f"record {fingerprint} has a stale schema; rerun the "
+                    f"scenario or `repro results gc` the store"
+                )
+            print(f"fingerprint: {fingerprint}")
+            print(_render_result(ScenarioResult.from_dict(payload)))
+        elif args.results_command == "export":
+            records = store.query(**_results_filters(args))
+            payloads = [store.get(r["fingerprint"]) for r in records]
+            payloads = [p for p in payloads if p is not None]
+            if args.out is not None:
+                _write_json(args.out, payloads)
+            else:
+                print(json.dumps(payloads, indent=2))
+        elif args.results_command == "gc":
+            before = len(store)
+            removed = store.gc()
+            print(f"removed {removed} stale record(s); "
+                  f"{before - removed} live in {args.store}")
     return 0
 
 
@@ -221,6 +380,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_run(args)
     elif args.command == "sweep":
         return _cmd_sweep(args)
+    elif args.command == "results":
+        return _cmd_results(args)
     elif args.command == "table1":
         print(experiment_table1().render())
     elif args.command == "config":
@@ -228,19 +389,28 @@ def main(argv: Optional[List[str]] = None) -> int:
     elif args.command == "fig5":
         print(experiment_fig5().render())
     elif args.command == "fig6":
+        store = _open_store(args)
         print(experiment_fig6(scale=args.scale, benchmarks=args.benchmarks,
-                              jobs=args.jobs, seed=args.seed).render())
+                              jobs=args.jobs, seed=args.seed,
+                              store=store).render())
+        _store_summary(store)
     elif args.command == "fig7":
+        store = _open_store(args)
         print(experiment_fig7(scale=args.scale, benchmarks=args.benchmarks,
                               dram=resolve_dram(args.dram),
-                              jobs=args.jobs, seed=args.seed).render())
+                              jobs=args.jobs, seed=args.seed,
+                              store=store).render())
+        _store_summary(store)
     elif args.command == "fig8":
+        store = _open_store(args)
         part_a, part_b = experiment_fig8(scale=args.scale,
                                          benchmarks=args.benchmarks,
-                                         jobs=args.jobs, seed=args.seed)
+                                         jobs=args.jobs, seed=args.seed,
+                                         store=store)
         print(part_a.render())
         print()
         print(part_b.render())
+        _store_summary(store)
     elif args.command == "fabric":
         state = power_state_by_name(args.state)
         fabric = MoTFabric(state.total_cores, state.total_banks)

@@ -34,7 +34,9 @@ multiprocessing caveat); the built-ins always are.
 
 from __future__ import annotations
 
+import hashlib
 import itertools
+import json
 import re
 from dataclasses import dataclass, field, fields, replace
 from typing import (
@@ -508,6 +510,46 @@ class Scenario:
             f"{self.power_state_name} | "
             f"{dram.access_latency_ns:g} ns | seed {self.seed}"
         )
+
+
+# ---------------------------------------------------------------------------
+# Fingerprinting (content-addressed result-store keys)
+# ---------------------------------------------------------------------------
+#: Version tag mixed into every fingerprint.  Bump it whenever an
+#: engine/model change alters what a scenario's result *is* — every
+#: previously stored result then misses cleanly instead of serving
+#: stale numbers.
+FINGERPRINT_SCHEMA = "repro-fingerprint/1"
+
+
+def canonical_json(payload: object) -> str:
+    """Deterministic JSON: sorted keys, no whitespace.
+
+    The one serialization fingerprints are computed over — two
+    processes producing the same payload always produce the same
+    string (Python's float formatting is shortest-round-trip, so
+    floats are stable too).
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def scenario_fingerprint(scenario: "Scenario") -> str:
+    """Content address of a scenario: SHA-256 over its canonical spec.
+
+    The digest covers the full :meth:`Scenario.to_dict` payload (spec
+    schema included) plus :data:`FINGERPRINT_SCHEMA`, so any change to
+    the spec — or a schema-tag bump after an engine change — yields a
+    different key.  Replay determinism (ROADMAP Performance invariant
+    4) makes the result a pure function of this digest, which is what
+    lets :mod:`repro.store` serve cache hits without simulating.
+    """
+    blob = canonical_json(
+        {
+            "fingerprint_schema": FINGERPRINT_SCHEMA,
+            "scenario": scenario.to_dict(),
+        }
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
 # ---------------------------------------------------------------------------

@@ -31,6 +31,7 @@ through this path and writes ``BENCH_speed.json`` at the repo root.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
@@ -71,6 +72,13 @@ class SweepCell:
     seed: int = 2016
 
     def __post_init__(self) -> None:
+        warnings.warn(
+            "SweepCell is deprecated: build a repro.scenario.Scenario "
+            "(SweepCell.to_scenario() converts) and execute it with "
+            "repro.sim.session.run_sweep / run_scenario instead",
+            DeprecationWarning,
+            stacklevel=3,  # past the dataclass-generated __init__
+        )
         if self.dram_ns <= 0:
             raise ConfigurationError(
                 f"dram_ns must be positive, got {self.dram_ns}"

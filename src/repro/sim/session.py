@@ -15,6 +15,13 @@ and parallel paths are bit-identical.  The serial path additionally
 reuses each workload's materialized trace blocks across cells that
 share ``(workload, scale, seed, active cores)`` — replaying blocks is
 exactly equivalent to regenerating them, it just skips the RNG work.
+
+The same determinism makes results perfectly cacheable: both functions
+accept ``store=`` (any :class:`repro.store.ResultStore`), serve
+previously computed cells straight from the store without simulating,
+and persist fresh misses.  Worker processes never touch the store —
+the parent writes every miss exactly once after collecting it, so no
+backend needs cross-process locking.
 """
 
 from __future__ import annotations
@@ -22,15 +29,23 @@ from __future__ import annotations
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import asdict, dataclass
-from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
+from repro.errors import ConfigurationError
 from repro.sim.stats import SimReport
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guards (scenario
     # pulls in the workloads package, which imports repro.sim; the
-    # analysis package imports experiments, which imports this module)
+    # analysis package imports experiments, which imports this module;
+    # repro.store imports this module for ScenarioResult)
     from repro.analysis.energy import EnergyBreakdown
     from repro.scenario import Scenario, SweepGrid
+    from repro.store.base import ResultStore
+
+#: Schema tag stamped into every serialized result.  Bump together
+#: with :data:`repro.scenario.FINGERPRINT_SCHEMA` when the payload
+#: layout changes; stores treat any other tag as a miss.
+RESULT_SCHEMA = "repro-result/1"
 
 
 @dataclass(frozen=True)
@@ -52,10 +67,12 @@ class ScenarioResult:
         return self.energy.edp
 
     def to_dict(self) -> Dict[str, object]:
-        """JSON-able result payload (spec + report + energy)."""
+        """JSON-able result payload (spec + report + energy);
+        inverse of :meth:`from_dict`."""
         return {
+            "schema": RESULT_SCHEMA,
             "scenario": self.scenario.to_dict(),
-            "report": asdict(self.report),
+            "report": self.report.to_dict(),
             "energy": {
                 **asdict(self.energy),
                 "cluster_j": self.energy.cluster_j,
@@ -64,9 +81,43 @@ class ScenarioResult:
             },
         }
 
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "ScenarioResult":
+        """Rehydrate a stored payload into a full result.
+
+        The nested pieces come back as the real objects —
+        :class:`~repro.scenario.Scenario`, :class:`SimReport` (with
+        :class:`~repro.sim.stats.CoreStats` entries) and
+        :class:`~repro.analysis.energy.EnergyBreakdown` — so a
+        rehydrated result compares equal to the originally computed
+        one and every derived property (``edp``, miss rates, ...)
+        keeps working.
+        """
+        from repro.analysis.energy import EnergyBreakdown
+        from repro.scenario import Scenario
+
+        schema = data.get("schema", RESULT_SCHEMA)
+        if schema != RESULT_SCHEMA:
+            raise ConfigurationError(
+                f"unsupported result schema {schema!r} "
+                f"(expected {RESULT_SCHEMA!r})"
+            )
+        missing = {"scenario", "report", "energy"} - set(data)
+        if missing:
+            raise ConfigurationError(
+                f"result payload missing {sorted(missing)}"
+            )
+        return cls(
+            scenario=Scenario.from_dict(data["scenario"]),
+            report=SimReport.from_dict(data["report"]),
+            energy=EnergyBreakdown.from_dict(data["energy"]),
+        )
+
 
 def run_scenario(
-    scenario: "Scenario", traces: Optional[Dict[int, object]] = None
+    scenario: "Scenario",
+    traces: Optional[Dict[int, object]] = None,
+    store: Optional["ResultStore"] = None,
 ) -> ScenarioResult:
     """Execute one scenario; safe to call in any process.
 
@@ -74,8 +125,18 @@ def run_scenario(
     (they must match the scenario's active cores); sweeps use this to
     generate a workload's traces once and replay them across cells that
     share the same core set.
+
+    ``store`` memoizes the call: a stored result for this scenario's
+    fingerprint is rehydrated and returned without simulating (replay
+    determinism makes the two indistinguishable), and a fresh result
+    is persisted before returning.
     """
     from repro.analysis.energy import EnergyModel
+
+    if store is not None:
+        cached = store.load(scenario)
+        if cached is not None:
+            return cached
 
     cluster = scenario.build_cluster()
     if traces is None:
@@ -90,7 +151,10 @@ def run_scenario(
         dram=scenario.resolved_dram(),
         frequency_hz=scenario.config.frequency_hz,
     ).breakdown(report, cluster.interconnect.leakage_w())
-    return ScenarioResult(scenario=scenario, report=report, energy=energy)
+    result = ScenarioResult(scenario=scenario, report=report, energy=energy)
+    if store is not None:
+        store.save(result)
+    return result
 
 
 class SweepTraceCache:
@@ -142,6 +206,7 @@ class SweepTraceCache:
 def run_sweep(
     sweep: Union["SweepGrid", Iterable["Scenario"]],
     jobs: Optional[int] = None,
+    store: Optional["ResultStore"] = None,
 ) -> List[ScenarioResult]:
     """Execute every cell of a sweep; results in cell order.
 
@@ -149,6 +214,13 @@ def run_sweep(
     reuse across cells sharing a workload); ``jobs=N`` ships pickled
     scenarios to N worker processes; ``jobs<0`` uses one worker per
     CPU.  Results are bit-identical across all modes.
+
+    ``store`` memoizes the sweep: cells already present are rehydrated
+    without simulating, only the misses run (serially or in workers),
+    and every miss is persisted.  Workers compute, the parent writes —
+    each miss is stored exactly once from this process, so the store
+    needs no cross-process locking.  A sweep run against a cold store,
+    a warm store, or no store at all returns bit-identical results.
     """
     from repro.scenario import SweepGrid
 
@@ -157,8 +229,28 @@ def run_sweep(
         return []
     if jobs is not None and jobs < 0:
         jobs = os.cpu_count() or 1
-    if jobs is None or jobs <= 1:
-        cache = SweepTraceCache()
-        return [run_scenario(s, traces=cache.traces(s)) for s in scenarios]
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
-        return list(pool.map(run_scenario, scenarios))
+    serial = jobs is None or jobs <= 1
+
+    if store is None:
+        if serial:
+            cache = SweepTraceCache()
+            return [run_scenario(s, traces=cache.traces(s)) for s in scenarios]
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            return list(pool.map(run_scenario, scenarios))
+
+    results: List[Optional[ScenarioResult]] = [
+        store.load(s) for s in scenarios
+    ]
+    miss_indices = [i for i, r in enumerate(results) if r is None]
+    misses = [scenarios[i] for i in miss_indices]
+    if misses:
+        if serial:
+            cache = SweepTraceCache()
+            computed = [run_scenario(s, traces=cache.traces(s)) for s in misses]
+        else:
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                computed = list(pool.map(run_scenario, misses))
+        for index, result in zip(miss_indices, computed):
+            store.save(result)
+            results[index] = result
+    return results

@@ -2,8 +2,10 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List
+from dataclasses import asdict, dataclass, field, fields
+from typing import Dict, List, Mapping
+
+from repro.errors import ConfigurationError
 
 
 @dataclass(slots=True)
@@ -90,3 +92,31 @@ class SimReport:
             "mean_l2_latency_cycles": self.mean_l2_latency_cycles,
             "dram_accesses": float(self.dram_accesses),
         }
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-able representation; inverse of :meth:`from_dict`."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "SimReport":
+        """Rebuild a report from :meth:`to_dict` output.
+
+        The per-core entries come back as real :class:`CoreStats`
+        objects (``asdict`` flattens them to dicts), so a rehydrated
+        report equals the original to full precision and its derived
+        properties keep working.
+        """
+        payload = dict(data)
+        unknown = set(payload) - {f.name for f in fields(cls)}
+        if unknown:
+            raise ConfigurationError(
+                f"unknown SimReport keys {sorted(unknown)}"
+            )
+        try:
+            payload["cores"] = [
+                core if isinstance(core, CoreStats) else CoreStats(**core)
+                for core in payload.get("cores", ())
+            ]
+            return cls(**payload)
+        except TypeError as exc:
+            raise ConfigurationError(f"bad SimReport payload: {exc}") from exc

@@ -1,0 +1,58 @@
+"""repro.store — persistent, content-addressed scenario result cache.
+
+Every simulation cell is a pure function of its
+:class:`~repro.scenario.Scenario` (replay determinism), so results are
+perfectly cacheable: this package keys ``ScenarioResult.to_dict()``
+payloads by :func:`repro.scenario.scenario_fingerprint` and serves
+repeat cells without simulating.  Three backends share one contract
+(:class:`ResultStore`):
+
+* :class:`MemoryStore` — in-process dict; per-run memoization.
+* :class:`JsonlStore` — append-only JSON lines; crash-safe, greppable.
+* :class:`SqliteStore` — indexed by fingerprint plus queryable columns
+  (workload, interconnect, power state, DRAM latency, seed, scale).
+
+Wire a store into the executor with ``run_scenario(s, store=...)`` /
+``run_sweep(grid, store=...)``, the experiment presets
+(``experiment_fig6/7/8(..., store=...)``), or the CLI
+(``--store PATH`` on ``run``/``sweep``/``fig6``/``fig7``/``fig8``);
+inspect one with ``repro results list|show|export|gc``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+from repro.store.base import RECORD_COLUMNS, ResultStore, record_columns
+from repro.store.jsonl import JsonlStore
+from repro.store.memory import MemoryStore
+from repro.store.sqlite import SqliteStore
+
+__all__ = [
+    "RECORD_COLUMNS",
+    "ResultStore",
+    "record_columns",
+    "JsonlStore",
+    "MemoryStore",
+    "SqliteStore",
+    "open_store",
+]
+
+
+def open_store(spec: Union[str, Path, ResultStore]) -> ResultStore:
+    """Open a result store from a path-like spec.
+
+    ``":memory:"`` gives a :class:`MemoryStore`; a ``.jsonl`` /
+    ``.ndjson`` path gives a :class:`JsonlStore`; anything else is a
+    :class:`SqliteStore` database file.  An existing store instance
+    passes through unchanged, so APIs can accept either form.
+    """
+    if isinstance(spec, ResultStore):
+        return spec
+    text = str(spec)
+    if text == ":memory:":
+        return MemoryStore()
+    if text.endswith((".jsonl", ".ndjson")):
+        return JsonlStore(text)
+    return SqliteStore(text)

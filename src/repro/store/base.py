@@ -1,0 +1,249 @@
+"""Result-store contract: content-addressed archive of executed cells.
+
+A :class:`ResultStore` maps :func:`repro.scenario.scenario_fingerprint`
+digests to ``ScenarioResult.to_dict()`` payloads.  Replay determinism
+(ROADMAP Performance invariant 4) makes a result a pure function of
+its fingerprint, so a hit is indistinguishable from re-simulating —
+:func:`repro.sim.session.run_scenario` / ``run_sweep`` use that to
+serve cached cells without running the engine.
+
+Alongside the payload every backend records the queryable columns of
+the spec (:data:`RECORD_COLUMNS`: workload, interconnect, power state,
+DRAM latency, seed, scale), which drive :meth:`ResultStore.query` and
+the ``repro results`` CLI.
+
+Safety properties shared by all backends:
+
+* *Schema-tagged.*  :meth:`get` refuses any payload whose tag differs
+  from :data:`repro.sim.session.RESULT_SCHEMA` — a stale record after
+  an engine change is a miss, never a wrong answer; :meth:`gc` drops
+  such records for good.
+* *Single-writer discipline.*  The executor writes results only from
+  the parent process (workers just compute), so backends need no
+  cross-process write locking; concurrent *readers* are always fine.
+* *Hit/miss accounting.*  ``hits``/``misses`` count every lookup
+  through :meth:`get`, so callers (CLI, CI smoke) can assert a warm
+  run did zero simulation.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.scenario import Scenario, scenario_fingerprint
+from repro.sim.session import RESULT_SCHEMA, ScenarioResult
+
+#: Queryable columns every backend records alongside the payload.
+RECORD_COLUMNS = (
+    "workload",
+    "interconnect",
+    "power_state",
+    "dram_ns",
+    "seed",
+    "scale",
+)
+
+
+def record_columns(scenario: Scenario) -> Dict[str, object]:
+    """The :data:`RECORD_COLUMNS` values of one scenario."""
+    return {
+        "workload": scenario.workload,
+        "interconnect": scenario.interconnect,
+        "power_state": scenario.power_state_name,
+        "dram_ns": scenario.resolved_dram().access_latency_ns,
+        "seed": scenario.seed,
+        "scale": scenario.scale,
+    }
+
+
+class ResultStore(ABC):
+    """Fingerprint-keyed archive of ``ScenarioResult`` payloads.
+
+    Subclasses implement the raw primitives (``_get``/``_put``/
+    ``_delete``/``fingerprints``/``__len__``); this base class layers
+    schema checking, hit/miss accounting, scenario-level
+    :meth:`load`/:meth:`save`, column queries and garbage collection
+    on top.  Stores are context managers (``with open_store(p) as s:``).
+    """
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    # Backend primitives
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def _get(self, fingerprint: str) -> Optional[Dict[str, object]]:
+        """Raw payload for ``fingerprint``, or ``None``."""
+
+    @abstractmethod
+    def _put(
+        self,
+        fingerprint: str,
+        payload: Dict[str, object],
+        columns: Dict[str, object],
+    ) -> None:
+        """Insert or replace one record."""
+
+    @abstractmethod
+    def _delete(self, fingerprint: str) -> bool:
+        """Remove one record; ``True`` if it existed."""
+
+    @abstractmethod
+    def fingerprints(self) -> List[str]:
+        """Every stored fingerprint, in insertion order where the
+        backend has one."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of stored records."""
+
+    def close(self) -> None:
+        """Release backend resources (file handles, connections)."""
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Payload API
+    # ------------------------------------------------------------------
+    def get(self, fingerprint: str) -> Optional[Dict[str, object]]:
+        """The stored payload, or ``None`` (counted as hit/miss).
+
+        A record whose schema tag is not the current
+        :data:`~repro.sim.session.RESULT_SCHEMA` is treated as a miss:
+        after an engine change bumps the tag, stale results are
+        recomputed, never served.
+        """
+        payload = self._get(fingerprint)
+        if payload is not None and payload.get("schema") != RESULT_SCHEMA:
+            payload = None
+        if payload is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return payload
+
+    def put(
+        self,
+        fingerprint: str,
+        payload: Dict[str, object],
+        scenario: Optional[Scenario] = None,
+    ) -> None:
+        """Persist one payload under ``fingerprint``.
+
+        ``scenario`` supplies the queryable columns; when omitted it is
+        rebuilt from the payload's own spec.
+        """
+        if scenario is None:
+            try:
+                scenario = Scenario.from_dict(payload["scenario"])
+            except (KeyError, TypeError) as exc:
+                raise ConfigurationError(
+                    f"payload carries no rebuildable scenario: {exc}"
+                ) from exc
+        self._put(fingerprint, payload, record_columns(scenario))
+
+    def delete(self, fingerprint: str) -> bool:
+        """Remove one record; ``True`` if it existed."""
+        return self._delete(fingerprint)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        """Whether :meth:`get` would serve this fingerprint.
+
+        Applies the same schema-tag check as :meth:`get` (a stale
+        record is not "in" the store — it would read as a miss), but
+        without touching the hit/miss counters.
+        """
+        payload = self._get(fingerprint)
+        return payload is not None and payload.get("schema") == RESULT_SCHEMA
+
+    # ------------------------------------------------------------------
+    # Scenario-level API (what the executor calls)
+    # ------------------------------------------------------------------
+    def load(self, scenario: Scenario) -> Optional[ScenarioResult]:
+        """The rehydrated result of ``scenario``, or ``None``."""
+        payload = self.get(scenario_fingerprint(scenario))
+        if payload is None:
+            return None
+        return ScenarioResult.from_dict(payload)
+
+    def save(self, result: ScenarioResult) -> str:
+        """Persist one executed result; returns its fingerprint."""
+        fingerprint = scenario_fingerprint(result.scenario)
+        self.put(fingerprint, result.to_dict(), scenario=result.scenario)
+        return fingerprint
+
+    # ------------------------------------------------------------------
+    # Queries / maintenance
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _check_filters(filters: Dict[str, object]) -> None:
+        unknown = set(filters) - set(RECORD_COLUMNS)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown query columns {sorted(unknown)}; "
+                f"queryable: {RECORD_COLUMNS}"
+            )
+
+    def _record_meta(
+        self, fingerprint: str
+    ) -> Optional[Tuple[Optional[str], Dict[str, object]]]:
+        """``(schema tag, columns)`` of one record, or ``None``.
+
+        The default derives both from the stored payload (full parse +
+        scenario rebuild); backends that keep a column index override
+        this so listing a store never deserializes whole results.
+        Stale-schema records return their tag with empty columns — the
+        caller skips them on the tag alone.
+        """
+        payload = self._get(fingerprint)
+        if payload is None:
+            return None
+        schema = payload.get("schema")
+        if schema != RESULT_SCHEMA:
+            return schema, {}
+        return schema, record_columns(Scenario.from_dict(payload["scenario"]))
+
+    def query(self, **filters: object) -> List[Dict[str, object]]:
+        """Records matching the given column equalities.
+
+        Returns one ``{"fingerprint": ..., <RECORD_COLUMNS>...}`` dict
+        per live (current-schema) record; stale-schema records are
+        excluded, exactly as :meth:`get` would refuse them.  Backends
+        with real indexes (:class:`~repro.store.sqlite.SqliteStore`)
+        override this with a server-side query; the default scans the
+        column metadata.
+        """
+        self._check_filters(filters)
+        records: List[Dict[str, object]] = []
+        for fingerprint in self.fingerprints():
+            meta = self._record_meta(fingerprint)
+            if meta is None:
+                continue
+            schema, columns = meta
+            if schema != RESULT_SCHEMA:
+                continue
+            if all(columns.get(key) == value for key, value in filters.items()):
+                records.append({"fingerprint": fingerprint, **columns})
+        return records
+
+    def gc(self) -> int:
+        """Drop records the current schema can no longer serve.
+
+        Returns the number of stale records removed.  Backends extend
+        this with physical compaction (JSONL rewrite, SQLite VACUUM).
+        """
+        removed = 0
+        for fingerprint in list(self.fingerprints()):
+            payload = self._get(fingerprint)
+            if payload is None or payload.get("schema") != RESULT_SCHEMA:
+                if self._delete(fingerprint):
+                    removed += 1
+        return removed

@@ -1,0 +1,157 @@
+"""Append-only JSON-lines result store.
+
+One record per line; a write is a single appended line, so the file is
+crash-safe by construction: the only damage an interrupted writer can
+do is a torn *final* line, which recovery drops (and truncates away)
+while every complete record stays intact.  Deletions append tombstone
+lines; :meth:`JsonlStore.gc` compacts the file by rewriting only the
+live records (atomically, via a temp file + rename).
+
+The format is deliberately tool-friendly — each line is
+``{"fingerprint": ..., <columns>..., "result": <ScenarioResult payload>}``
+so ``jq``/``grep`` work directly on the store.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.scenario import canonical_json
+from repro.store.base import RECORD_COLUMNS, ResultStore
+
+
+class JsonlStore(ResultStore):
+    """Append-only ``.jsonl`` backend.
+
+    The full index (fingerprint -> serialized record) is held in
+    memory; the file is the durable log.  Follows the single-writer
+    discipline of :class:`~repro.store.base.ResultStore` — open one
+    writing instance per file.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        super().__init__()
+        self.path = Path(path)
+        self._index: Dict[str, str] = {}  # fingerprint -> raw record line
+        #: fingerprint -> (schema tag, columns); built alongside the
+        #: index so query() never re-parses full result payloads.
+        self._meta: Dict[str, Tuple[Optional[str], Dict[str, object]]] = {}
+        self._recover()
+        self._file = open(self.path, "ab")
+
+    @staticmethod
+    def _meta_of(record: Dict[str, object]) -> Tuple[Optional[str], Dict[str, object]]:
+        result = record.get("result")
+        schema = result.get("schema") if isinstance(result, dict) else None
+        columns = {
+            key: record[key] for key in RECORD_COLUMNS if key in record
+        }
+        return schema, columns
+
+    # ------------------------------------------------------------------
+    def _recover(self) -> None:
+        """Rebuild the index from the log, dropping a torn tail.
+
+        Bytes after the last newline are a record that never finished
+        writing (crash mid-append); they are truncated away so the next
+        append starts on a clean line boundary.  Unparseable *interior*
+        lines are skipped rather than fatal — one bad record must not
+        take the archive down.
+        """
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if not self.path.exists():
+            self.path.touch()
+            return
+        raw = self.path.read_bytes()
+        valid = raw.rfind(b"\n") + 1
+        for line in raw[:valid].splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            fingerprint = record.get("fingerprint")
+            if not isinstance(fingerprint, str):
+                continue
+            if record.get("deleted"):
+                self._index.pop(fingerprint, None)
+                self._meta.pop(fingerprint, None)
+            else:
+                self._index[fingerprint] = line.decode("utf-8")
+                self._meta[fingerprint] = self._meta_of(record)
+        if valid < len(raw):
+            with open(self.path, "r+b") as handle:
+                handle.truncate(valid)
+
+    def _append(self, record: Dict[str, object]) -> str:
+        line = canonical_json(record)
+        self._file.write(line.encode("utf-8") + b"\n")
+        self._file.flush()
+        return line
+
+    # ------------------------------------------------------------------
+    def _get(self, fingerprint: str) -> Optional[Dict[str, object]]:
+        raw = self._index.get(fingerprint)
+        if raw is None:
+            return None
+        return json.loads(raw)["result"]
+
+    def _put(
+        self,
+        fingerprint: str,
+        payload: Dict[str, object],
+        columns: Dict[str, object],
+    ) -> None:
+        line = self._append(
+            {"fingerprint": fingerprint, **columns, "result": payload}
+        )
+        self._index[fingerprint] = line
+        self._meta[fingerprint] = (payload.get("schema"), dict(columns))
+
+    def _delete(self, fingerprint: str) -> bool:
+        if fingerprint not in self._index:
+            return False
+        del self._index[fingerprint]
+        self._meta.pop(fingerprint, None)
+        self._append({"fingerprint": fingerprint, "deleted": True})
+        return True
+
+    def fingerprints(self) -> List[str]:
+        return list(self._index)
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def _record_meta(
+        self, fingerprint: str
+    ) -> Optional[Tuple[Optional[str], Dict[str, object]]]:
+        return self._meta.get(fingerprint)
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.close()
+
+    # ------------------------------------------------------------------
+    def compact(self) -> None:
+        """Rewrite the log with only the live records (atomic)."""
+        tmp = self.path.with_suffix(self.path.suffix + ".compact")
+        with open(tmp, "wb") as handle:
+            for raw in self._index.values():
+                handle.write(raw.encode("utf-8") + b"\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._file.close()
+        os.replace(tmp, self.path)
+        self._file = open(self.path, "ab")
+
+    def gc(self) -> int:
+        """Drop stale-schema records, then compact away tombstones and
+        superseded duplicates."""
+        removed = super().gc()
+        self.compact()
+        return removed

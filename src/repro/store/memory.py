@@ -1,0 +1,54 @@
+"""In-process result store (per-run memoization, tests, benchmarks)."""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Tuple
+
+from repro.scenario import canonical_json
+from repro.store.base import ResultStore
+
+
+class MemoryStore(ResultStore):
+    """Dict-backed store; nothing survives the process.
+
+    Payloads round-trip through canonical JSON on the way in and are
+    re-parsed on every ``get``, so the backend behaves exactly like the
+    persistent ones: callers always receive a fresh, serialization-
+    faithful payload, never a shared mutable reference.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._records: Dict[str, str] = {}  # fingerprint -> canonical JSON
+        #: fingerprint -> (schema tag, columns); lets query() skip
+        #: payload parsing entirely.
+        self._meta: Dict[str, Tuple[Optional[str], Dict[str, object]]] = {}
+
+    def _get(self, fingerprint: str) -> Optional[Dict[str, object]]:
+        raw = self._records.get(fingerprint)
+        return None if raw is None else json.loads(raw)
+
+    def _put(
+        self,
+        fingerprint: str,
+        payload: Dict[str, object],
+        columns: Dict[str, object],
+    ) -> None:
+        self._records[fingerprint] = canonical_json(payload)
+        self._meta[fingerprint] = (payload.get("schema"), dict(columns))
+
+    def _delete(self, fingerprint: str) -> bool:
+        self._meta.pop(fingerprint, None)
+        return self._records.pop(fingerprint, None) is not None
+
+    def _record_meta(
+        self, fingerprint: str
+    ) -> Optional[Tuple[Optional[str], Dict[str, object]]]:
+        return self._meta.get(fingerprint)
+
+    def fingerprints(self) -> List[str]:
+        return list(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)

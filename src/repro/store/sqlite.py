@@ -1,0 +1,149 @@
+"""SQLite result store: the indexed, queryable backend.
+
+One ``results`` table, keyed by fingerprint, with the spec's queryable
+columns (workload, interconnect, power state, DRAM latency, seed,
+scale) indexed so ``repro results list --workload fft`` and service
+frontends can filter server-side instead of scanning payloads.
+
+WAL journaling is enabled, so any number of concurrent reader
+connections (other processes included) proceed while the single writer
+appends — which is exactly the executor's discipline: workers compute,
+the parent writes.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.scenario import canonical_json
+from repro.store.base import RECORD_COLUMNS, ResultStore
+
+_SCHEMA_SQL = """
+CREATE TABLE IF NOT EXISTS results (
+    fingerprint  TEXT PRIMARY KEY,
+    schema       TEXT,
+    workload     TEXT NOT NULL,
+    interconnect TEXT NOT NULL,
+    power_state  TEXT NOT NULL,
+    dram_ns      REAL NOT NULL,
+    seed         INTEGER NOT NULL,
+    scale        REAL NOT NULL,
+    payload      TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_results_workload ON results (workload);
+CREATE INDEX IF NOT EXISTS idx_results_interconnect ON results (interconnect);
+CREATE INDEX IF NOT EXISTS idx_results_power_state ON results (power_state);
+CREATE INDEX IF NOT EXISTS idx_results_dram_ns ON results (dram_ns);
+CREATE INDEX IF NOT EXISTS idx_results_seed ON results (seed);
+CREATE INDEX IF NOT EXISTS idx_results_scale ON results (scale);
+"""
+
+
+class SqliteStore(ResultStore):
+    """Indexed ``.sqlite`` backend (the default persistent store)."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        super().__init__()
+        self.path = str(path)
+        Path(self.path).parent.mkdir(parents=True, exist_ok=True)
+        self._conn = sqlite3.connect(self.path)
+        with self._conn:
+            self._conn.executescript(_SCHEMA_SQL)
+        self._conn.execute("PRAGMA journal_mode=WAL")
+
+    # ------------------------------------------------------------------
+    def _get(self, fingerprint: str) -> Optional[Dict[str, object]]:
+        row = self._conn.execute(
+            "SELECT payload FROM results WHERE fingerprint = ?",
+            (fingerprint,),
+        ).fetchone()
+        return None if row is None else json.loads(row[0])
+
+    def _put(
+        self,
+        fingerprint: str,
+        payload: Dict[str, object],
+        columns: Dict[str, object],
+    ) -> None:
+        with self._conn:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO results "
+                "(fingerprint, schema, workload, interconnect, power_state, "
+                " dram_ns, seed, scale, payload) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    fingerprint,
+                    payload.get("schema"),
+                    columns["workload"],
+                    columns["interconnect"],
+                    columns["power_state"],
+                    columns["dram_ns"],
+                    columns["seed"],
+                    columns["scale"],
+                    canonical_json(payload),
+                ),
+            )
+
+    def _delete(self, fingerprint: str) -> bool:
+        with self._conn:
+            cursor = self._conn.execute(
+                "DELETE FROM results WHERE fingerprint = ?", (fingerprint,)
+            )
+        return cursor.rowcount > 0
+
+    def fingerprints(self) -> List[str]:
+        return [
+            row[0]
+            for row in self._conn.execute(
+                "SELECT fingerprint FROM results ORDER BY rowid"
+            )
+        ]
+
+    def __len__(self) -> int:
+        return self._conn.execute("SELECT COUNT(*) FROM results").fetchone()[0]
+
+    def close(self) -> None:
+        self._conn.close()
+
+    # ------------------------------------------------------------------
+    def query(self, **filters: object) -> List[Dict[str, object]]:
+        """Column-filtered listing, evaluated by SQLite on the indexes.
+
+        Like the base implementation, only live (current-schema)
+        records are listed — stale rows wait for :meth:`gc`.
+        """
+        from repro.sim.session import RESULT_SCHEMA
+
+        self._check_filters(filters)
+        sql = (
+            "SELECT fingerprint, " + ", ".join(RECORD_COLUMNS)
+            + " FROM results WHERE schema = ?"
+        )
+        values: List[object] = [RESULT_SCHEMA]
+        for column, value in filters.items():
+            sql += f" AND {column} = ?"
+            values.append(value)
+        sql += " ORDER BY rowid"
+        return [
+            dict(zip(("fingerprint",) + RECORD_COLUMNS, row))
+            for row in self._conn.execute(sql, values)
+        ]
+
+    def gc(self) -> int:
+        """Drop stale-schema records, then reclaim the file space.
+
+        One indexed DELETE on the schema column (``IS NOT`` also
+        catches NULL tags) instead of the base class's per-payload
+        scan.
+        """
+        from repro.sim.session import RESULT_SCHEMA
+
+        with self._conn:
+            cursor = self._conn.execute(
+                "DELETE FROM results WHERE schema IS NOT ?", (RESULT_SCHEMA,)
+            )
+        self._conn.execute("VACUUM")
+        return cursor.rowcount

@@ -1,9 +1,22 @@
-"""Tests of the parallel sweep compatibility layer."""
+"""Tests of the parallel sweep compatibility layer (deprecation shim)."""
+
+import warnings
 
 import pytest
 
 from repro.errors import ConfigurationError
 from repro.sim.parallel import SweepCell, run_cell, run_cells
+
+# The shim is deprecated by design; silence the expected warnings in
+# the tests that exercise it (TestDeprecation asserts them explicitly).
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
+
+def _cell(**kwargs) -> SweepCell:
+    """A SweepCell without the (expected) deprecation noise."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        return SweepCell(**kwargs)
 
 
 class TestSweepCell:
@@ -31,11 +44,31 @@ class TestSweepCell:
         assert scenario.dram.access_latency_ns == 150.0
 
 
+class TestDeprecation:
+    def test_sweepcell_warns_and_points_at_run_sweep(self):
+        with pytest.warns(DeprecationWarning, match="run_sweep"):
+            SweepCell(benchmark="volrend")
+
+    def test_shim_is_bit_identical_to_the_scenario_path(self):
+        """Deprecated != degraded: the shim must keep producing exactly
+        what the scenario executor produces."""
+        from repro.sim.session import run_scenario
+
+        cell = _cell(
+            benchmark="volrend", power_state="PC4-MB8", dram_ns=63,
+            scale=0.03, seed=7,
+        )
+        report, energy = run_cell(cell)
+        direct = run_scenario(cell.to_scenario())
+        assert report == direct.report
+        assert energy == direct.energy
+
+
 class TestRunCells:
     CELLS = [
-        SweepCell(benchmark="volrend", scale=0.03),
-        SweepCell(benchmark="volrend", power_state="PC4-MB8", scale=0.03),
-        SweepCell(benchmark="fft", dram_ns=63, scale=0.03),
+        _cell(benchmark="volrend", scale=0.03),
+        _cell(benchmark="volrend", power_state="PC4-MB8", scale=0.03),
+        _cell(benchmark="fft", dram_ns=63, scale=0.03),
     ]
 
     def test_empty(self):

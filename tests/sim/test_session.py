@@ -51,6 +51,60 @@ class TestRunScenario:
         assert payload["energy"]["edp"] == result.edp
 
 
+class TestScenarioResultRoundTrip:
+    """from_dict is the exact inverse of to_dict (store rehydration)."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_scenario(
+            Scenario(workload="volrend", power_state="PC4-MB8", scale=SCALE)
+        )
+
+    def test_json_round_trip_is_bit_identical(self, result):
+        import json
+
+        payload = json.loads(json.dumps(result.to_dict()))
+        rebuilt = ScenarioResult.from_dict(payload)
+        assert rebuilt == result
+        assert rebuilt.report == result.report
+        assert rebuilt.energy == result.energy
+
+    def test_nested_dataclasses_rehydrate_as_objects(self, result):
+        """asdict flattens CoreStats / EnergyBreakdown to dicts; the
+        inverse must hand back the real objects with working derived
+        properties."""
+        from repro.analysis.energy import EnergyBreakdown
+        from repro.sim.stats import CoreStats, SimReport
+
+        rebuilt = ScenarioResult.from_dict(result.to_dict())
+        assert isinstance(rebuilt.report, SimReport)
+        assert rebuilt.report.cores and all(
+            isinstance(core, CoreStats) for core in rebuilt.report.cores
+        )
+        assert isinstance(rebuilt.energy, EnergyBreakdown)
+        assert rebuilt.edp == result.edp
+        assert rebuilt.report.l2_miss_rate == result.report.l2_miss_rate
+        assert rebuilt.report.cores[0].total_cycles == (
+            result.report.cores[0].total_cycles
+        )
+
+    def test_unknown_schema_rejected(self, result):
+        from repro.errors import ConfigurationError
+
+        payload = result.to_dict()
+        payload["schema"] = "repro-result/999"
+        with pytest.raises(ConfigurationError):
+            ScenarioResult.from_dict(payload)
+
+    def test_missing_section_rejected(self, result):
+        from repro.errors import ConfigurationError
+
+        payload = result.to_dict()
+        del payload["energy"]
+        with pytest.raises(ConfigurationError):
+            ScenarioResult.from_dict(payload)
+
+
 class TestRunSweep:
     def test_empty(self):
         assert run_sweep([]) == []

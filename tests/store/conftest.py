@@ -1,0 +1,25 @@
+"""Shared fixtures: executed results the store tests archive.
+
+Simulation is the expensive part, so the two reference results are
+computed once per test session and reused; stores only ever see their
+serialized payloads, so sharing the objects is safe.
+"""
+
+import pytest
+
+from repro.scenario import Scenario
+from repro.sim.session import run_scenario
+
+SCALE = 0.02
+
+
+@pytest.fixture(scope="session")
+def volrend_result():
+    return run_scenario(Scenario(workload="volrend", scale=SCALE))
+
+
+@pytest.fixture(scope="session")
+def fft_result():
+    return run_scenario(
+        Scenario(workload="fft", power_state="PC4-MB8", seed=7, scale=SCALE)
+    )

@@ -1,0 +1,68 @@
+"""Tests of scenario fingerprinting (the content-address of a cell)."""
+
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.scenario import Scenario, resolve_dram, scenario_fingerprint
+
+
+def _fingerprint_in_worker(scenario):
+    """Top-level so a worker process can unpickle and call it."""
+    return scenario_fingerprint(scenario)
+
+
+class TestFingerprint:
+    def test_is_hex_sha256(self):
+        fp = scenario_fingerprint(Scenario(workload="fft"))
+        assert len(fp) == 64
+        assert int(fp, 16) >= 0
+
+    def test_equal_specs_equal_fingerprints(self):
+        a = Scenario(workload="fft", power_state="PC4-MB8", seed=7)
+        b = Scenario(workload="fft", power_state="PC4-MB8", seed=7)
+        assert scenario_fingerprint(a) == scenario_fingerprint(b)
+
+    def test_every_spec_field_is_covered(self):
+        base = Scenario(workload="fft")
+        variants = [
+            Scenario(workload="volrend"),
+            Scenario(workload="fft", interconnect="mesh"),
+            Scenario(workload="fft", power_state="PC4-MB8"),
+            Scenario(workload="fft", dram=resolve_dram(63)),
+            Scenario(workload="fft", scale=0.5),
+            Scenario(workload="fft", seed=7),
+            Scenario(workload="fft", engine_mode="legacy"),
+        ]
+        fingerprints = {scenario_fingerprint(s) for s in variants}
+        assert scenario_fingerprint(base) not in fingerprints
+        assert len(fingerprints) == len(variants)
+
+    def test_stable_across_pickle_round_trip(self):
+        scenario = Scenario(
+            workload="fft", power_state="PC8-MB16", dram=resolve_dram(63),
+            seed=7, scale=0.5,
+        )
+        clone = pickle.loads(pickle.dumps(scenario))
+        assert scenario_fingerprint(clone) == scenario_fingerprint(scenario)
+
+    def test_stable_parent_vs_worker_process(self):
+        """The store is written by the parent for results computed in
+        workers: both sides must derive the same key from the same
+        (pickled) spec."""
+        scenario = Scenario(
+            workload="volrend", power_state="PC4-MB8",
+            dram=resolve_dram(42), seed=31,
+        )
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            worker_fp = pool.submit(_fingerprint_in_worker, scenario).result()
+        assert worker_fp == scenario_fingerprint(scenario)
+
+    def test_schema_tag_bump_invalidates(self, monkeypatch):
+        """Bumping FINGERPRINT_SCHEMA (the engine-change escape hatch)
+        re-keys every scenario, so old stored results miss cleanly."""
+        scenario = Scenario(workload="fft")
+        before = scenario_fingerprint(scenario)
+        monkeypatch.setattr(
+            "repro.scenario.FINGERPRINT_SCHEMA", "repro-fingerprint/999"
+        )
+        assert scenario_fingerprint(scenario) != before

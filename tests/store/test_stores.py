@@ -1,0 +1,218 @@
+"""Tests of the result-store backends (contract + backend edge cases)."""
+
+import json
+import threading
+
+import pytest
+
+from repro.analysis.energy import EnergyBreakdown
+from repro.errors import ConfigurationError
+from repro.scenario import Scenario, scenario_fingerprint
+from repro.sim.stats import CoreStats, SimReport
+from repro.store import JsonlStore, MemoryStore, SqliteStore, open_store
+
+
+@pytest.fixture(params=["memory", "jsonl", "sqlite"])
+def store(request, tmp_path):
+    if request.param == "memory":
+        backend = MemoryStore()
+    elif request.param == "jsonl":
+        backend = JsonlStore(tmp_path / "store.jsonl")
+    else:
+        backend = SqliteStore(tmp_path / "store.sqlite")
+    yield backend
+    backend.close()
+
+
+class TestResultStoreContract:
+    """Behaviour every backend must share."""
+
+    def test_save_load_rehydrates_full_result(self, store, volrend_result):
+        fingerprint = store.save(volrend_result)
+        assert fingerprint == scenario_fingerprint(volrend_result.scenario)
+        loaded = store.load(volrend_result.scenario)
+        assert loaded == volrend_result
+        # Real objects, not dicts: derived properties must keep working.
+        assert isinstance(loaded.scenario, Scenario)
+        assert isinstance(loaded.report, SimReport)
+        assert all(isinstance(c, CoreStats) for c in loaded.report.cores)
+        assert isinstance(loaded.energy, EnergyBreakdown)
+        assert loaded.edp == volrend_result.edp
+        assert loaded.report.l1_miss_rate == volrend_result.report.l1_miss_rate
+
+    def test_unknown_scenario_misses(self, store):
+        assert store.load(Scenario(workload="fft", seed=12345)) is None
+        assert (store.hits, store.misses) == (0, 1)
+
+    def test_hit_and_miss_accounting(self, store, volrend_result):
+        store.save(volrend_result)
+        store.load(volrend_result.scenario)
+        store.load(Scenario(workload="fft", seed=999))
+        assert (store.hits, store.misses) == (1, 1)
+
+    def test_contains_len_delete(self, store, volrend_result):
+        fingerprint = store.save(volrend_result)
+        assert fingerprint in store and len(store) == 1
+        assert store.delete(fingerprint) is True
+        assert fingerprint not in store and len(store) == 0
+        assert store.delete(fingerprint) is False
+
+    def test_overwrite_keeps_one_record(self, store, volrend_result):
+        store.save(volrend_result)
+        store.save(volrend_result)
+        assert len(store) == 1
+
+    def test_query_filters(self, store, volrend_result, fft_result):
+        store.save(volrend_result)
+        store.save(fft_result)
+        assert len(store.query()) == 2
+        records = store.query(workload="fft", power_state="PC4-MB8")
+        assert [r["workload"] for r in records] == ["fft"]
+        assert records[0]["seed"] == 7
+        assert store.query(workload="radix") == []
+
+    def test_query_rejects_unknown_column(self, store):
+        with pytest.raises(ConfigurationError):
+            store.query(nonsense=1)
+
+    def test_schema_tag_mismatch_forces_miss(self, store, volrend_result):
+        """A stored payload from an older engine (different schema tag)
+        must never be served — it reads as a miss and gc drops it."""
+        payload = volrend_result.to_dict()
+        payload["schema"] = "repro-result/0"
+        fingerprint = scenario_fingerprint(volrend_result.scenario)
+        store.put(fingerprint, payload, scenario=volrend_result.scenario)
+        assert store.get(fingerprint) is None
+        assert store.load(volrend_result.scenario) is None
+        assert store.misses == 2 and store.hits == 0
+        # Consistency with get(): not "in" the store, not listed.
+        assert fingerprint not in store
+        assert store.query() == []
+        assert store.gc() == 1
+        assert len(store) == 0
+
+    def test_payloads_are_isolated(self, store, volrend_result):
+        """Mutating a returned payload must not corrupt the store."""
+        fingerprint = store.save(volrend_result)
+        first = store.get(fingerprint)
+        first["report"]["execution_cycles"] = -1
+        assert store.get(fingerprint)["report"]["execution_cycles"] == (
+            volrend_result.report.execution_cycles
+        )
+
+
+class TestOpenStore:
+    def test_dispatch_by_suffix(self, tmp_path):
+        assert isinstance(open_store(":memory:"), MemoryStore)
+        jsonl = open_store(tmp_path / "a.jsonl")
+        assert isinstance(jsonl, JsonlStore)
+        jsonl.close()
+        sqlite = open_store(tmp_path / "a.sqlite")
+        assert isinstance(sqlite, SqliteStore)
+        sqlite.close()
+
+    def test_store_instance_passes_through(self):
+        backend = MemoryStore()
+        assert open_store(backend) is backend
+
+    def test_creates_missing_parent_directories(self, tmp_path):
+        for name in ("deep/dirs/a.sqlite", "deep/dirs/b.jsonl"):
+            store = open_store(tmp_path / name)
+            store.close()
+            assert (tmp_path / name).exists()
+
+
+class TestJsonlStore:
+    def test_persists_across_reopen(self, tmp_path, volrend_result):
+        path = tmp_path / "store.jsonl"
+        with JsonlStore(path) as store:
+            store.save(volrend_result)
+        with JsonlStore(path) as reopened:
+            assert reopened.load(volrend_result.scenario) == volrend_result
+
+    def test_recovers_from_truncated_final_line(
+        self, tmp_path, volrend_result, fft_result
+    ):
+        """A crash mid-append tears the last line; recovery must keep
+        every complete record and accept new appends cleanly."""
+        path = tmp_path / "store.jsonl"
+        with JsonlStore(path) as store:
+            store.save(volrend_result)
+            store.save(fft_result)
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-7])  # tear the fft record's tail
+        with JsonlStore(path) as recovered:
+            assert len(recovered) == 1
+            assert recovered.load(volrend_result.scenario) == volrend_result
+            assert recovered.load(fft_result.scenario) is None
+            recovered.save(fft_result)  # append lands on a clean boundary
+        with JsonlStore(path) as again:
+            assert len(again) == 2
+            assert again.load(fft_result.scenario) == fft_result
+
+    def test_delete_survives_reopen(self, tmp_path, volrend_result):
+        path = tmp_path / "store.jsonl"
+        with JsonlStore(path) as store:
+            fingerprint = store.save(volrend_result)
+            store.delete(fingerprint)
+        with JsonlStore(path) as reopened:
+            assert len(reopened) == 0
+
+    def test_gc_compacts_superseded_lines(self, tmp_path, volrend_result):
+        path = tmp_path / "store.jsonl"
+        with JsonlStore(path) as store:
+            store.save(volrend_result)
+            store.save(volrend_result)  # supersedes the first line
+            assert len(path.read_text().splitlines()) == 2
+            assert store.gc() == 0  # nothing stale ...
+            assert len(path.read_text().splitlines()) == 1  # ... but compacted
+            assert store.load(volrend_result.scenario) == volrend_result
+
+    def test_lines_are_plain_json(self, tmp_path, volrend_result):
+        path = tmp_path / "store.jsonl"
+        with JsonlStore(path) as store:
+            store.save(volrend_result)
+        record = json.loads(path.read_text().splitlines()[0])
+        assert record["workload"] == "volrend"
+        assert record["result"]["schema"] == "repro-result/1"
+
+
+class TestSqliteStore:
+    def test_persists_across_reopen(self, tmp_path, volrend_result):
+        path = tmp_path / "store.sqlite"
+        with SqliteStore(path) as store:
+            store.save(volrend_result)
+        with SqliteStore(path) as reopened:
+            assert reopened.load(volrend_result.scenario) == volrend_result
+
+    def test_concurrent_readers(self, tmp_path, volrend_result, fft_result):
+        """Reader connections (as a service frontend would hold) keep
+        serving while the single writer appends."""
+        path = tmp_path / "store.sqlite"
+        writer = SqliteStore(path)
+        writer.save(volrend_result)
+
+        errors = []
+
+        def read_loop():
+            reader = SqliteStore(path)
+            try:
+                for _ in range(50):
+                    loaded = reader.load(volrend_result.scenario)
+                    if loaded != volrend_result:
+                        errors.append("reader saw a wrong/missing record")
+                        return
+            finally:
+                reader.close()
+
+        threads = [threading.Thread(target=read_loop) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        writer.save(fft_result)  # concurrent append
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        late_reader = SqliteStore(path)
+        assert late_reader.load(fft_result.scenario) == fft_result
+        late_reader.close()
+        writer.close()

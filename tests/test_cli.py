@@ -131,3 +131,85 @@ class TestCommands:
 
         payload = json.loads(out_path.read_text())
         assert len(payload) == 2
+
+
+class TestStoreCLI:
+    SWEEP = ["sweep", "--workloads", "volrend", "--state",
+             "Full connection", "PC4-MB8", "--scale", "0.03"]
+
+    def test_parser_accepts_store(self):
+        for argv in (["run", "fft", "--store", "s.sqlite"],
+                     self.SWEEP + ["--store", "s.jsonl"],
+                     ["fig7", "--store", "s.sqlite"]):
+            assert build_parser().parse_args(argv).store is not None
+
+    def test_sweep_cold_then_warm_identical_json(self, capsys, tmp_path):
+        store = str(tmp_path / "store.sqlite")
+        cold_json = tmp_path / "cold.json"
+        warm_json = tmp_path / "warm.json"
+        assert main(
+            self.SWEEP + ["--store", store, "--json", str(cold_json)]
+        ) == 0
+        cold_out = capsys.readouterr().out
+        assert "hits: 0, misses: 2" in cold_out
+        assert main(
+            self.SWEEP + ["--store", store, "--json", str(warm_json)]
+        ) == 0
+        warm_out = capsys.readouterr().out
+        assert "hits: 2, misses: 0" in warm_out
+        assert cold_json.read_text() == warm_json.read_text()
+
+    def test_run_store_hit(self, capsys, tmp_path):
+        argv = ["run", "volrend", "--scale", "0.03",
+                "--store", str(tmp_path / "store.jsonl")]
+        assert main(argv) == 0
+        assert "misses: 1" in capsys.readouterr().out
+        assert main(argv) == 0
+        assert "hits: 1, misses: 0" in capsys.readouterr().out
+
+    def test_results_list_show_export_gc(self, capsys, tmp_path):
+        store = str(tmp_path / "store.sqlite")
+        assert main(self.SWEEP + ["--store", store]) == 0
+        capsys.readouterr()
+
+        assert main(["results", "list", store, "--state", "PC4-MB8"]) == 0
+        out = capsys.readouterr().out
+        assert "1 result(s)" in out and "PC4-MB8" in out
+
+        import json
+
+        assert main(["results", "export", store]) == 0
+        payloads = json.loads(capsys.readouterr().out)
+        assert len(payloads) == 2
+        assert {p["scenario"]["power_state"] for p in payloads} == {
+            "Full connection", "PC4-MB8"
+        }
+
+        from repro.scenario import Scenario, scenario_fingerprint
+
+        prefix = scenario_fingerprint(
+            Scenario.from_dict(payloads[0]["scenario"])
+        )[:12]
+        assert main(["results", "show", store, prefix]) == 0
+        out = capsys.readouterr().out
+        assert "fingerprint:" in out and "EDP" in out
+
+        assert main(["results", "gc", store]) == 0
+        assert "removed 0 stale record(s); 2 live" in capsys.readouterr().out
+
+    def test_results_show_unknown_fingerprint(self, tmp_path):
+        from repro.errors import ConfigurationError
+
+        store = str(tmp_path / "store.sqlite")
+        assert main(self.SWEEP + ["--store", store]) == 0
+        with pytest.raises(ConfigurationError):
+            main(["results", "show", store, "ffffffffffff"])
+
+    def test_results_refuses_missing_store_path(self, tmp_path):
+        """A typo'd path must error, not fabricate an empty store."""
+        from repro.errors import ConfigurationError
+
+        missing = tmp_path / "nope.sqlite"
+        with pytest.raises(ConfigurationError):
+            main(["results", "list", str(missing)])
+        assert not missing.exists()
