@@ -27,7 +27,12 @@ own measurements by re-running this script.
 Besides the raw sweep times, the run records the result-store scaling
 numbers: ``fig7_cold_store_seconds`` (simulate + persist into a fresh
 SQLite store) and ``fig7_warm_store_seconds`` (re-render the same
-figure entirely from the store — zero simulation).
+figure entirely from the store — zero simulation), plus the service
+frontend's serving-path numbers: ``service_warm_hit_ms`` (median
+warm ``POST /scenario`` latency over HTTP) and ``service_warm_hit_rps``
+(aggregate warm-request throughput from concurrent clients) — every
+timed service request is a store hit, so these measure the HTTP + store
+path, not the engine.
 """
 
 from __future__ import annotations
@@ -90,7 +95,53 @@ def run(scale: float, jobs: int | None) -> dict:
     results["fig7_cold_store_seconds"] = round(cold_s, 3)
     results["fig7_warm_store_seconds"] = round(warm_s, 4)
     results["fig7_warm_store_speedup"] = round(cold_s / warm_s, 1)
+    results.update(bench_service())
     return results
+
+
+def bench_service(
+    latency_requests: int = 200, clients: int = 8, per_client: int = 50
+) -> dict:
+    """Time the HTTP serving path: warm-hit latency and throughput.
+
+    Every timed request is a store hit (the store is populated by one
+    tiny scenario up front), so the numbers measure request parsing +
+    store lookup + JSON response over a real socket — the hot path of
+    a warm service — independent of ``REPRO_BENCH_SCALE``.
+    """
+    import statistics
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.service import ScenarioServer, ServiceClient
+
+    spec = {"workload": "fft", "scale": 0.05}
+    with tempfile.TemporaryDirectory(prefix="repro-bench-service-") as tmp:
+        with ScenarioServer(os.path.join(tmp, "svc.sqlite"), port=0) as server:
+            server.start()
+            client = ServiceClient(server.url)
+            assert client.post_scenario(spec)["cached"] is False  # populate
+
+            latencies = []
+            for _ in range(latency_requests):
+                t0 = time.perf_counter()
+                envelope = client.post_scenario(spec)
+                latencies.append(time.perf_counter() - t0)
+                assert envelope["cached"] is True
+
+            def hammer(_index: int) -> None:
+                worker = ServiceClient(server.url)
+                for _ in range(per_client):
+                    worker.post_scenario(spec)
+
+            with ThreadPoolExecutor(max_workers=clients) as pool:
+                t0 = time.perf_counter()
+                list(pool.map(hammer, range(clients)))
+                elapsed = time.perf_counter() - t0
+
+    return {
+        "service_warm_hit_ms": round(statistics.median(latencies) * 1e3, 3),
+        "service_warm_hit_rps": round(clients * per_client / elapsed, 1),
+    }
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -28,6 +28,8 @@ Subpackages:
 * ``repro.sim``       — transaction-level system simulator;
 * ``repro.store``     — persistent content-addressed result cache
   (fingerprint-keyed; memory / JSONL / SQLite backends);
+* ``repro.service``   — HTTP frontend serving stored results
+  (``repro serve``; ``ServiceClient`` is the matching client);
 * ``repro.workloads`` — synthetic SPLASH-2 suite;
 * ``repro.analysis``  — energy/EDP and per-figure experiment harness.
 """
@@ -89,6 +91,22 @@ from repro.analysis import (
 
 __version__ = "1.0.0"
 
+#: Lazy top-level exports (PEP 562): the service stack (http.server,
+#: urllib) loads only when asked for — `import repro` in spawned sweep
+#: workers and non-serve CLI paths must not pay for it.
+_LAZY_EXPORTS = {"ScenarioServer": "server", "ServiceClient": "client"}
+
+
+def __getattr__(name: str):
+    submodule = _LAZY_EXPORTS.get(name)
+    if submodule is not None:
+        import importlib
+
+        return getattr(
+            importlib.import_module(f"repro.service.{submodule}"), name
+        )
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
 __all__ = [
     "ClusterConfig",
     "DEFAULT_CONFIG",
@@ -103,6 +121,8 @@ __all__ = [
     "JsonlStore",
     "SqliteStore",
     "open_store",
+    "ScenarioServer",
+    "ServiceClient",
     "register_dram_preset",
     "register_interconnect",
     "register_workload",

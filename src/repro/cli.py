@@ -32,6 +32,13 @@ results`` inspects such a store:
     python -m repro results export results.sqlite --out results.json
     python -m repro results gc results.sqlite
 
+``serve`` fronts such a store with a threaded HTTP service: hits are
+answered from the store with zero simulation, misses are computed once
+(batched, deduplicated) and persisted for every later request:
+
+    python -m repro serve --store results.sqlite --port 8321
+    curl -X POST localhost:8321/scenario -d '{"workload": "fft"}'
+
 Scale 1.0 is the reference run (minutes for fig6-fig8); smaller scales
 trade fidelity of the capacity effects for speed.
 """
@@ -57,7 +64,12 @@ from repro.mot.power_state import power_state_by_name
 from repro.mot.visualize import render_fabric
 from repro.errors import ConfigurationError
 from repro.scenario import Scenario, SweepGrid, resolve_dram
-from repro.sim.session import ScenarioResult, run_scenario, run_sweep
+from repro.sim.session import (
+    RESULT_SCHEMA,
+    ScenarioResult,
+    run_scenario,
+    run_sweep,
+)
 from repro.store import ResultStore, open_store
 from repro.workloads.characteristics import SPLASH2_NAMES
 
@@ -159,6 +171,20 @@ def build_parser() -> argparse.ArgumentParser:
                    help="power state name (e.g. 'PC4-MB8')")
     p.add_argument("--core", type=int, default=None,
                    help="core whose routing tree to draw")
+
+    p = sub.add_parser("serve", help="serve scenario results over HTTP "
+                                     "from a result store")
+    p.add_argument("--store", required=True, metavar="PATH",
+                   help="result store backing the service (see --store "
+                        "on run/sweep for the path dispatch)")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default: 127.0.0.1)")
+    p.add_argument("--port", type=int, default=8321,
+                   help="TCP port (default: 8321; 0 = ephemeral)")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker processes for cold scenarios (default: "
+                        "compute serially in the batch thread; -1 = one "
+                        "per CPU)")
 
     p = sub.add_parser("results", help="inspect a persistent result store")
     rsub = p.add_subparsers(dest="results_command", required=True)
@@ -291,6 +317,20 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import ScenarioServer
+
+    with ScenarioServer(args.store, jobs=args.jobs,
+                        host=args.host, port=args.port) as server:
+        print(f"serving {args.store} on {server.url} "
+              f"(jobs={server.jobs or 1}); Ctrl-C to stop", flush=True)
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            print("shutting down")
+    return 0
+
+
 def _results_filters(args: argparse.Namespace) -> dict:
     """Column filters of a ``results list``/``export`` invocation."""
     filters = {
@@ -302,21 +342,6 @@ def _results_filters(args: argparse.Namespace) -> dict:
         "scale": args.scale,
     }
     return {key: value for key, value in filters.items() if value is not None}
-
-
-def _match_fingerprint(store: ResultStore, prefix: str) -> str:
-    """Resolve a full fingerprint or a unique prefix."""
-    matches = [fp for fp in store.fingerprints() if fp.startswith(prefix)]
-    if not matches:
-        raise ConfigurationError(
-            f"no stored result matches fingerprint {prefix!r}"
-        )
-    if len(matches) > 1:
-        raise ConfigurationError(
-            f"fingerprint prefix {prefix!r} is ambiguous "
-            f"({len(matches)} matches); give more characters"
-        )
-    return matches[0]
 
 
 def _render_results_table(records: List[dict]) -> str:
@@ -347,12 +372,18 @@ def _cmd_results(args: argparse.Namespace) -> int:
             print(_render_results_table(records))
             print(f"{len(records)} result(s) in {args.store}")
         elif args.results_command == "show":
-            fingerprint = _match_fingerprint(store, args.fingerprint)
+            fingerprint = store.resolve_prefix(args.fingerprint)
             payload = store.get(fingerprint)
             if payload is None:
+                # The prefix matched a real record, but its schema tag
+                # predates the current engine — distinguish that from
+                # "no stored result" and say how to clean it up.
+                tag = store.schema_tag(fingerprint)
                 raise ConfigurationError(
-                    f"record {fingerprint} has a stale schema; rerun the "
-                    f"scenario or `repro results gc` the store"
+                    f"record {fingerprint} has stale schema {tag!r} "
+                    f"(current: {RESULT_SCHEMA!r}); run "
+                    f"`repro results gc {args.store}` to drop it, or "
+                    f"rerun the scenario to recompute it"
                 )
             print(f"fingerprint: {fingerprint}")
             print(_render_result(ScenarioResult.from_dict(payload)))
@@ -380,6 +411,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_run(args)
     elif args.command == "sweep":
         return _cmd_sweep(args)
+    elif args.command == "serve":
+        return _cmd_serve(args)
     elif args.command == "results":
         return _cmd_results(args)
     elif args.command == "table1":

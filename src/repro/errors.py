@@ -52,3 +52,16 @@ class SimulationError(ReproError):
 
 class WorkloadError(ReproError):
     """A workload generator was asked for an impossible trace."""
+
+
+class ServiceError(ReproError):
+    """A scenario-service request failed.
+
+    Carries the HTTP status the server answered with (``status``;
+    ``None`` when the server was unreachable) so callers can tell a
+    rejected spec (400) from a server-side failure (500).
+    """
+
+    def __init__(self, message: str, status: "int | None" = None) -> None:
+        super().__init__(message)
+        self.status = status

@@ -122,6 +122,15 @@ def _interconnect_key(name: str) -> str:
         ) from None
 
 
+def interconnect_key(name: str) -> str:
+    """Canonical registry key of ``name`` (resolves aliases).
+
+    Raises :class:`~repro.errors.ConfigurationError` for unknown
+    names — cheap spec validation without building a fabric.
+    """
+    return _interconnect_key(name)
+
+
 def build_interconnect(
     name: str,
     power_state: Optional[PowerState] = None,

@@ -1,0 +1,30 @@
+"""repro.service — HTTP frontend serving scenario results from a store.
+
+The first layer of the production-serving architecture: a threaded,
+stdlib-only HTTP server (:class:`ScenarioServer`, CLI ``repro serve``)
+that answers any previously seen scenario straight from a
+:mod:`repro.store` backend with zero simulation, and funnels every
+cold scenario through one background batching executor
+(:class:`~repro.service.executor.BatchingExecutor`) so concurrent
+requests for the same cell simulate it exactly once and only one
+thread ever writes the store.
+
+:class:`~repro.service.client.ServiceClient` is the matching urllib
+client: ``client.run(scenario)`` / ``client.run_sweep(grid)`` mirror
+the local executor API against a remote server.
+"""
+
+from __future__ import annotations
+
+from repro.service.client import ServiceClient
+from repro.service.executor import BatchingExecutor
+from repro.service.server import ScenarioServer
+from repro.service.spec import scenario_from_request, validate_scenario
+
+__all__ = [
+    "BatchingExecutor",
+    "ScenarioServer",
+    "ServiceClient",
+    "scenario_from_request",
+    "validate_scenario",
+]

@@ -1,0 +1,128 @@
+"""urllib client for the scenario service: point sweeps at a server.
+
+:class:`ServiceClient` speaks the service's JSON protocol and hands
+back the same objects the local API does —
+:meth:`ServiceClient.run` returns a rehydrated
+:class:`~repro.sim.session.ScenarioResult`, so swapping
+``run_scenario(s)`` for ``client.run(s)`` (or ``run_sweep(grid)`` for
+``client.run_sweep(grid)``) moves the computation to the server
+without touching anything downstream::
+
+    client = ServiceClient("http://localhost:8321")
+    result = client.run(Scenario(workload="fft", power_state="PC4-MB8"))
+    warm = client.run_sweep(grid, jobs=8)   # concurrent POSTs
+
+Stdlib only (``urllib``); errors surface as
+:class:`~repro.errors.ServiceError` carrying the HTTP status and the
+server's message.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+from typing import TYPE_CHECKING, Dict, Iterable, List, Mapping, Optional, Union
+from urllib.parse import urlencode
+
+from repro.errors import ServiceError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.scenario import Scenario, SweepGrid
+    from repro.sim.session import ScenarioResult
+
+
+class ServiceClient:
+    """JSON-over-HTTP client of one :class:`ScenarioServer`."""
+
+    def __init__(self, base_url: str, timeout: float = 600.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Mapping[str, object]] = None,
+    ) -> Dict[str, object]:
+        data = None if payload is None else json.dumps(payload).encode("utf-8")
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            body = exc.read().decode("utf-8", "replace")
+            try:
+                message = json.loads(body).get("error", body)
+            except ValueError:
+                message = body
+            raise ServiceError(
+                f"{method} {path} -> {exc.code}: {message}", status=exc.code
+            ) from None
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"{method} {path} failed: {exc.reason}"
+            ) from None
+        except OSError as exc:
+            # Timeouts/resets while reading the response body bypass
+            # urllib's URLError wrapping; honor the ServiceError
+            # contract anyway (status=None = no server answer).
+            raise ServiceError(f"{method} {path} failed: {exc}") from None
+
+    # ------------------------------------------------------------------
+    def healthz(self) -> Dict[str, object]:
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> Dict[str, object]:
+        return self._request("GET", "/stats")
+
+    def post_scenario(self, spec: Mapping[str, object]) -> Dict[str, object]:
+        """Raw ``POST /scenario`` (full spec or CLI-style shorthand);
+        returns the ``{"fingerprint", "cached", "result"}`` envelope."""
+        return self._request("POST", "/scenario", spec)
+
+    def run(self, scenario: "Scenario") -> "ScenarioResult":
+        """Execute one scenario on the server; rehydrated result."""
+        from repro.sim.session import ScenarioResult
+
+        envelope = self.post_scenario({"scenario": scenario.to_dict()})
+        return ScenarioResult.from_dict(envelope["result"])
+
+    def run_sweep(
+        self,
+        sweep: Union["SweepGrid", Iterable["Scenario"]],
+        jobs: Optional[int] = None,
+    ) -> List["ScenarioResult"]:
+        """Execute every cell against the server; results in cell order.
+
+        ``jobs=N`` POSTs concurrently from N client threads — the
+        server batches whatever arrives together and still computes
+        each distinct cold cell exactly once.
+        """
+        from repro.scenario import SweepGrid
+
+        scenarios = list(
+            sweep.scenarios() if isinstance(sweep, SweepGrid) else sweep
+        )
+        if not scenarios:
+            return []
+        if jobs is None or jobs <= 1:
+            return [self.run(scenario) for scenario in scenarios]
+        with ThreadPoolExecutor(max_workers=jobs) as pool:
+            return list(pool.map(self.run, scenarios))
+
+    def query(self, **filters: object) -> List[Dict[str, object]]:
+        """``GET /results`` — column-filtered record listing."""
+        suffix = f"?{urlencode(filters)}" if filters else ""
+        return self._request("GET", f"/results{suffix}")["records"]
+
+    def result(self, fingerprint: str) -> Dict[str, object]:
+        """``GET /results/<prefix>`` — one stored result payload."""
+        return self._request("GET", f"/results/{fingerprint}")["result"]

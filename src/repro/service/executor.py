@@ -1,0 +1,250 @@
+"""Batched miss execution: one background sweep loop for the service.
+
+HTTP handler threads never simulate.  A store miss is submitted here
+and the caller blocks on a :class:`~concurrent.futures.Future`; a
+single background thread drains everything queued since the last
+batch, runs it as one memoized sweep
+(:func:`repro.sim.session.run_sweep` with ``store=``), and resolves
+the futures.  That design buys three properties at once:
+
+* *Batching.*  Concurrent cold requests become one ``run_sweep`` call
+  — serial requests share trace-block reuse, and with ``jobs=N`` one
+  batch fans out across worker processes.
+* *Deduplication.*  A pending-map hands every concurrent request for
+  one fingerprint the same future, and ``run_sweep`` dedupes misses
+  by fingerprint and re-checks the store per batch — so a scenario in
+  flight (or persisted by an earlier batch after the caller's miss)
+  is never simulated twice.
+* *Single-writer discipline.*  Only the batch thread persists
+  (``run_sweep``'s parent role); handler threads are pure readers,
+  which under SQLite WAL never block.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue
+import signal
+import threading
+from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.scenario import Scenario
+    from repro.sim.session import ScenarioResult
+    from repro.store.base import ResultStore
+
+
+def _worker_init() -> None:  # pragma: no cover - runs in worker processes
+    """Worker processes ignore Ctrl-C; the parent coordinates shutdown
+    (otherwise every worker dumps a KeyboardInterrupt traceback when a
+    terminal signals the whole foreground group)."""
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+
+
+class BatchingExecutor:
+    """Single background ``run_sweep`` loop with in-flight dedup."""
+
+    def __init__(
+        self,
+        store: "ResultStore",
+        jobs: Optional[int] = None,
+        name: str = "repro-service-executor",
+    ) -> None:
+        self.store = store
+        if jobs is not None and jobs < 0:
+            jobs = os.cpu_count() or 1
+        #: Effective worker count (negative inputs already resolved).
+        self.jobs = jobs
+        # One long-lived worker pool for every batch (workers spawn on
+        # first use): paying process startup per cold batch would sit
+        # directly on the serving path.
+        self._max_workers = jobs if jobs is not None and jobs > 1 else None
+        self._pool = self._new_pool()
+        #: Batches dispatched / scenarios computed through them.
+        self.batches = 0
+        self.batched_scenarios = 0
+        self._queue: "queue.SimpleQueue[Optional[Tuple[str, Scenario]]]" = (
+            queue.SimpleQueue()
+        )
+        self._pending: Dict[str, Future] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+        self._thread = threading.Thread(target=self._run, name=name, daemon=True)
+        self._thread.start()
+
+    def _new_pool(self) -> Optional[ProcessPoolExecutor]:
+        if self._max_workers is None:
+            return None
+        # Spawned (not forked) workers: this pool lives inside a
+        # multithreaded server, and forking while handler threads hold
+        # locks can deadlock the children.
+        return ProcessPoolExecutor(
+            max_workers=self._max_workers,
+            mp_context=multiprocessing.get_context("spawn"),
+            initializer=_worker_init,
+        )
+
+    # ------------------------------------------------------------------
+    def submit(self, scenario: "Scenario") -> Future:
+        """Queue one scenario; returns the future of its result.
+
+        Concurrent submissions of the same fingerprint share one
+        future (and therefore one computation).
+        """
+        from repro.scenario import scenario_fingerprint
+
+        fingerprint = scenario_fingerprint(scenario)
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("executor is closed")
+            future = self._pending.get(fingerprint)
+            if future is None:
+                future = Future()
+                self._pending[fingerprint] = future
+                self._queue.put((fingerprint, scenario))
+        return future
+
+    def compute(
+        self, scenario: "Scenario", timeout: Optional[float] = None
+    ) -> "ScenarioResult":
+        """Blocking :meth:`submit` (what a request handler calls)."""
+        return self.submit(scenario).result(timeout)
+
+    def pending(self) -> int:
+        """Number of in-flight fingerprints."""
+        with self._lock:
+            return len(self._pending)
+
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        while True:
+            first = self._queue.get()
+            if first is None:
+                return
+            batch = [first]
+            shutdown = False
+            while True:
+                try:
+                    item = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if item is None:
+                    shutdown = True
+                    break
+                batch.append(item)
+            self._process(batch)
+            if shutdown:
+                return
+
+    def _process(self, batch: List[Tuple[str, "Scenario"]]) -> None:
+        from repro.sim.session import run_sweep
+
+        fingerprints = [fingerprint for fingerprint, _scenario in batch]
+        scenarios = [scenario for _fingerprint, scenario in batch]
+        self.batches += 1
+        self.batched_scenarios += len(scenarios)
+        try:
+            # run_sweep re-checks the store (a cell persisted since the
+            # caller's miss is a hit, not a resimulation), computes the
+            # rest, and persists — this thread is the single writer.
+            results = run_sweep(scenarios, store=self.store, pool=self._pool)
+        except BaseException as exc:
+            # A crashed worker process poisons the whole pool: rebuild
+            # it, or every later batch would raise BrokenProcessPool
+            # and the service would silently degrade to serial forever.
+            if isinstance(exc, BrokenProcessPool) and self._pool is not None:
+                self._pool.shutdown(wait=False)
+                self._pool = self._new_pool()
+            self._retry_per_cell(batch)
+            return
+        self._resolve(fingerprints, results=results)
+
+    def _retry_per_cell(self, batch: List[Tuple[str, "Scenario"]]) -> None:
+        """Error fallback: one independent outcome per cell.
+
+        ``run_sweep`` aborts a batch wholesale on the first failure,
+        discarding everything computed before it — one bad cell must
+        not poison (or re-bill) its co-batched requests.  Retries keep
+        the worker pool's parallelism when there is one; this thread
+        still does every store write.
+        """
+        from repro.sim.session import run_scenario, run_sweep
+
+        if self._pool is None:
+            for fingerprint, scenario in batch:
+                try:
+                    result = run_sweep([scenario], store=self.store)[0]
+                except BaseException as exc:
+                    self._resolve([fingerprint], error=exc)
+                else:
+                    self._resolve([fingerprint], results=[result])
+            return
+        # Everything per-cell stays inside its own try: an exception
+        # escaping here would kill the batch thread and hang every
+        # later cold request.
+        pending: List[Tuple[str, Future]] = []
+        for fingerprint, scenario in batch:
+            try:
+                cached = self.store.load(scenario)
+                if cached is None:
+                    pending.append(
+                        (fingerprint, self._pool.submit(run_scenario, scenario))
+                    )
+                    continue
+            except BaseException as exc:
+                self._resolve([fingerprint], error=exc)
+                continue
+            self._resolve([fingerprint], results=[cached])
+        for fingerprint, future in pending:
+            try:
+                result = future.result()
+                self.store.save(result)
+            except BaseException as exc:
+                self._resolve([fingerprint], error=exc)
+            else:
+                self._resolve([fingerprint], results=[result])
+
+    def _resolve(
+        self,
+        fingerprints: List[str],
+        results: Optional[List["ScenarioResult"]] = None,
+        error: Optional[BaseException] = None,
+    ) -> None:
+        with self._lock:
+            futures = [self._pending.pop(fp, None) for fp in fingerprints]
+        for index, future in enumerate(futures):
+            if future is None or future.done():  # pragma: no cover - race guard
+                continue
+            if error is not None:
+                future.set_exception(error)
+            else:
+                future.set_result(results[index])
+
+    # ------------------------------------------------------------------
+    def close(self, timeout: float = 10.0) -> None:
+        """Stop the batch thread; fail anything still pending."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._queue.put(None)
+        self._thread.join(timeout)
+        if self._pool is not None:
+            # Don't block on in-flight simulations (a scale-1.0 cell
+            # runs for minutes): drop queued work and let the workers
+            # die with this daemonized process.
+            self._pool.shutdown(wait=False, cancel_futures=True)
+        with self._lock:
+            pending, self._pending = self._pending, {}
+        for future in pending.values():
+            if not future.done():
+                future.set_exception(RuntimeError("executor closed"))
+
+    def __enter__(self) -> "BatchingExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,318 @@
+"""Threaded HTTP frontend: serve sweep results from a result store.
+
+``repro serve --store results.sqlite --port 8321`` answers scenario
+traffic with zero simulation for anything previously seen:
+
+* ``POST /scenario`` — a spec (full ``Scenario.to_dict()`` or CLI-style
+  shorthand, see :mod:`repro.service.spec`); a store hit is answered
+  straight from the archive, a miss is computed through the single
+  background :class:`~repro.service.executor.BatchingExecutor` and
+  persisted for every later request.
+* ``GET /results`` — column-filtered listing (``?workload=fft&seed=7``),
+  the store's indexed :meth:`~repro.store.base.ResultStore.query`.
+* ``GET /results/<fingerprint-prefix>`` — one stored payload.
+* ``GET /healthz`` — liveness + record count.
+* ``GET /stats`` — service hit/miss counters, executor batching
+  counters, store accounting.
+
+Everything is stdlib (``http.server`` + ``json``); responses are JSON
+with correct ``Content-Length``, so HTTP/1.1 keep-alive works and a
+warm request costs one round-trip.  Handler threads only read the
+store; the executor's batch thread is the single writer — the
+discipline the store backends are built around.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Union
+from urllib.parse import parse_qsl, urlsplit
+
+from repro.errors import ConfigurationError, ReproError
+from repro.scenario import Scenario, scenario_fingerprint
+from repro.service.executor import BatchingExecutor
+from repro.service.spec import scenario_from_request
+from repro.store import ResultStore, open_store
+
+#: Query keys of ``GET /results`` that need numeric coercion (query
+#: strings are text; the store's columns are typed).
+_NUMERIC_FILTERS = {"dram_ns": float, "scale": float, "seed": int}
+
+#: Largest accepted ``POST /scenario`` body.  Full specs are a few KB;
+#: anything near this bound is garbage, refused with 413 before a
+#: single body byte is buffered.
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+
+class ScenarioServer:
+    """The service frontend: store + batch executor + HTTP listener.
+
+    ``store`` is a path-like spec (as ``open_store`` takes) or an
+    existing :class:`ResultStore`; ``jobs`` is forwarded to the batch
+    executor (``None`` = compute misses serially in the batch thread,
+    ``N`` = fan each batch out to worker processes).  ``port=0`` binds
+    an ephemeral port (tests, benchmarks).
+    """
+
+    def __init__(
+        self,
+        store: Union[str, ResultStore],
+        jobs: Optional[int] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        request_timeout: float = 600.0,
+    ) -> None:
+        self._owns_store = not isinstance(store, ResultStore)
+        self.store = open_store(store)
+        self.request_timeout = request_timeout
+        self.executor = BatchingExecutor(self.store, jobs=jobs)
+        self.jobs = self.executor.jobs  # effective (jobs=-1 resolved)
+        self.requests = 0
+        self.hits = 0
+        self.misses = 0
+        self._stats_lock = threading.Lock()
+        try:
+            self._httpd = _ServiceHTTPServer((host, port), _ServiceHandler)
+        except OSError:
+            # Bind failed (port in use, bad host): release what
+            # __init__ already started, or a caller retrying ports
+            # leaks one batch thread + store connection per attempt.
+            self.executor.close()
+            if self._owns_store:
+                self.store.close()
+            raise
+        self._httpd.service = self
+        self._thread: Optional[threading.Thread] = None
+        self._serving = False
+
+    # ------------------------------------------------------------------
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def serve_forever(self) -> None:
+        """Block serving requests (the ``repro serve`` foreground)."""
+        self._serving = True
+        self._httpd.serve_forever()
+
+    def start(self) -> "ScenarioServer":
+        """Serve on a background thread (tests, benchmarks, embedding)."""
+        self._serving = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-service-listener",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def close(self) -> None:
+        """Stop listening, drain the executor, release the store."""
+        if self._serving:
+            # shutdown() waits on an event only serve_forever() sets;
+            # calling it on a never-started server deadlocks forever.
+            self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        self.executor.close()
+        if self._owns_store:
+            self.store.close()
+
+    def __enter__(self) -> "ScenarioServer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Request logic (handlers call these; HTTP plumbing stays below)
+    # ------------------------------------------------------------------
+    def handle_scenario(self, scenario: Scenario) -> Dict[str, object]:
+        """Serve one scenario: store hit, or batched computation."""
+        fingerprint = scenario_fingerprint(scenario)
+        payload = self.store.get(fingerprint)
+        if payload is not None:
+            with self._stats_lock:
+                self.hits += 1
+            return {"fingerprint": fingerprint, "cached": True,
+                    "result": payload}
+        with self._stats_lock:
+            self.misses += 1
+        result = self.executor.compute(scenario, timeout=self.request_timeout)
+        return {"fingerprint": fingerprint, "cached": False,
+                "result": result.to_dict()}
+
+    def handle_query(self, query: str) -> Dict[str, object]:
+        """``GET /results`` — the store's column-filtered listing."""
+        filters: Dict[str, object] = {}
+        for key, value in parse_qsl(query):
+            coerce = _NUMERIC_FILTERS.get(key)
+            if coerce is not None:
+                try:
+                    value = coerce(value)
+                except ValueError:
+                    raise ConfigurationError(
+                        f"filter {key!r} needs a number, got {value!r}"
+                    ) from None
+            filters[key] = value
+        records = self.store.query(**filters)
+        return {"count": len(records), "records": records}
+
+    def handle_result(self, prefix: str) -> Dict[str, object]:
+        """``GET /results/<prefix>`` — one stored payload."""
+        fingerprint = self.store.resolve_prefix(prefix)
+        payload = self.store.get(fingerprint)
+        if payload is None:
+            tag = self.store.schema_tag(fingerprint)
+            raise ConfigurationError(
+                f"record {fingerprint} has stale schema {tag!r}; "
+                f"run `repro results gc` on the store"
+            )
+        return {"fingerprint": fingerprint, "result": payload}
+
+    def handle_stats(self) -> Dict[str, object]:
+        with self._stats_lock:
+            requests, hits, misses = self.requests, self.hits, self.misses
+        return {
+            "requests": requests,
+            "hits": hits,
+            "misses": misses,
+            "pending": self.executor.pending(),
+            "batches": self.executor.batches,
+            "batched_scenarios": self.executor.batched_scenarios,
+            "jobs": self.jobs or 1,
+            "store": {
+                "records": len(self.store),
+                "hits": self.store.hits,
+                "misses": self.store.misses,
+                "path": getattr(self.store, "path", None)
+                and str(self.store.path),
+            },
+        }
+
+    def handle_healthz(self) -> Dict[str, object]:
+        return {"status": "ok", "records": len(self.store)}
+
+    def count_request(self) -> None:
+        with self._stats_lock:
+            self.requests += 1
+
+
+class _ServiceHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+    service: ScenarioServer  # attached by ScenarioServer.__init__
+
+
+class _ServiceHandler(BaseHTTPRequestHandler):
+    server_version = "repro-service/1"
+    protocol_version = "HTTP/1.1"  # keep-alive (every reply sets Content-Length)
+
+    def log_message(self, format: str, *args: object) -> None:
+        pass  # no per-request stderr chatter; GET /stats has the counters
+
+    # ------------------------------------------------------------------
+    def _send_json(self, status: int, payload: Dict[str, object]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error(self, status: int, message: str) -> None:
+        try:
+            self._send_json(status, {"error": message})
+        except OSError:  # pragma: no cover - client gone mid-response
+            self.close_connection = True
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:
+        service = self.server.service
+        service.count_request()
+        url = urlsplit(self.path)
+        try:
+            if url.path == "/healthz":
+                self._send_json(200, service.handle_healthz())
+            elif url.path == "/stats":
+                self._send_json(200, service.handle_stats())
+            elif url.path == "/results":
+                try:
+                    self._send_json(200, service.handle_query(url.query))
+                except ConfigurationError as exc:
+                    self._send_error(400, str(exc))
+            elif url.path.startswith("/results/"):
+                prefix = url.path[len("/results/"):]
+                try:
+                    self._send_json(200, service.handle_result(prefix))
+                except ConfigurationError as exc:
+                    self._send_error(404, str(exc))
+            else:
+                self._send_error(404, f"no route {url.path!r}")
+        except OSError:  # pragma: no cover - client went away
+            self.close_connection = True
+        except Exception as exc:  # pragma: no cover - defensive 500
+            self._send_error(500, f"{type(exc).__name__}: {exc}")
+
+    def do_POST(self) -> None:
+        service = self.server.service
+        service.count_request()
+        url = urlsplit(self.path)
+        try:
+            # Always drain the body first: on keep-alive connections an
+            # unread body would be parsed as the next request line.
+            if "chunked" in (self.headers.get("Transfer-Encoding") or "").lower():
+                # No Content-Length to drain by — the chunk framing
+                # would desynchronize the connection.
+                self.close_connection = True
+                self._send_error(411, "chunked bodies not supported; "
+                                      "send Content-Length")
+                return
+            try:
+                length = int(self.headers.get("Content-Length") or 0)
+            except ValueError:
+                self.close_connection = True
+                self._send_error(400, "bad Content-Length header")
+                return
+            if length > MAX_BODY_BYTES or length < 0:
+                self.close_connection = True  # body stays unread
+                self._send_error(
+                    413, f"request body over {MAX_BODY_BYTES} bytes"
+                )
+                return
+            raw = self.rfile.read(length)
+            if url.path != "/scenario":
+                self._send_error(404, f"no route {url.path!r}")
+                return
+            try:
+                body = json.loads(raw or b"")
+            except ValueError as exc:
+                self._send_error(400, f"request body is not JSON: {exc}")
+                return
+            try:
+                scenario = scenario_from_request(body)
+            except ReproError as exc:
+                self._send_error(400, str(exc))
+                return
+            try:
+                self._send_json(200, service.handle_scenario(scenario))
+            except OSError:  # pragma: no cover - client went away
+                self.close_connection = True
+            except Exception as exc:
+                # The spec was valid but execution failed (engine error,
+                # executor shutdown, timeout): the server's fault class.
+                self._send_error(500, f"{type(exc).__name__}: {exc}")
+        except OSError:  # pragma: no cover - client went away
+            self.close_connection = True

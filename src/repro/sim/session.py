@@ -207,50 +207,74 @@ def run_sweep(
     sweep: Union["SweepGrid", Iterable["Scenario"]],
     jobs: Optional[int] = None,
     store: Optional["ResultStore"] = None,
+    pool: Optional[ProcessPoolExecutor] = None,
 ) -> List[ScenarioResult]:
     """Execute every cell of a sweep; results in cell order.
 
     ``jobs=None``/``0``/``1`` runs serially in-process (with trace-block
     reuse across cells sharing a workload); ``jobs=N`` ships pickled
     scenarios to N worker processes; ``jobs<0`` uses one worker per
-    CPU.  Results are bit-identical across all modes.
+    CPU.  ``pool`` supplies a live :class:`ProcessPoolExecutor` to use
+    instead (long-running callers — the service's batch executor —
+    amortize worker startup across many sweeps this way; it overrides
+    ``jobs``).  Results are bit-identical across all modes.
 
     ``store`` memoizes the sweep: cells already present are rehydrated
     without simulating, only the misses run (serially or in workers),
-    and every miss is persisted.  Workers compute, the parent writes —
-    each miss is stored exactly once from this process, so the store
-    needs no cross-process locking.  A sweep run against a cold store,
-    a warm store, or no store at all returns bit-identical results.
+    and every miss is persisted.  Misses are deduplicated by
+    fingerprint before dispatch — a sweep naming the same cell twice
+    simulates and persists it once, with every duplicate index sharing
+    the computed result (the service batcher leans on this too).
+    Workers compute, the parent writes — each miss is stored exactly
+    once from this process, so the store needs no cross-process
+    locking.  A sweep run against a cold store, a warm store, or no
+    store at all returns bit-identical results.
     """
-    from repro.scenario import SweepGrid
+    from repro.scenario import SweepGrid, scenario_fingerprint
 
     scenarios = list(sweep.scenarios() if isinstance(sweep, SweepGrid) else sweep)
     if not scenarios:
         return []
     if jobs is not None and jobs < 0:
         jobs = os.cpu_count() or 1
-    serial = jobs is None or jobs <= 1
+    serial = pool is None and (jobs is None or jobs <= 1)
+
+    def _in_workers(cells: List["Scenario"]) -> List[ScenarioResult]:
+        if pool is not None:
+            return list(pool.map(run_scenario, cells))
+        with ProcessPoolExecutor(max_workers=jobs) as fresh_pool:
+            return list(fresh_pool.map(run_scenario, cells))
 
     if store is None:
         if serial:
             cache = SweepTraceCache()
             return [run_scenario(s, traces=cache.traces(s)) for s in scenarios]
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            return list(pool.map(run_scenario, scenarios))
+        return _in_workers(scenarios)
 
-    results: List[Optional[ScenarioResult]] = [
-        store.load(s) for s in scenarios
-    ]
-    miss_indices = [i for i, r in enumerate(results) if r is None]
-    misses = [scenarios[i] for i in miss_indices]
+    # Fingerprint each cell once, driving both the store lookup and
+    # the miss grouping (store.load would hash every cell again).
+    fingerprints = [scenario_fingerprint(s) for s in scenarios]
+    results: List[Optional[ScenarioResult]] = []
+    for fingerprint in fingerprints:
+        payload = store.get(fingerprint)
+        results.append(
+            None if payload is None else ScenarioResult.from_dict(payload)
+        )
+    # One computation per distinct missing cell: fingerprint -> every
+    # sweep index waiting on it, in first-miss order.
+    miss_groups: Dict[str, List[int]] = {}
+    for index, result in enumerate(results):
+        if result is None:
+            miss_groups.setdefault(fingerprints[index], []).append(index)
+    misses = [scenarios[indices[0]] for indices in miss_groups.values()]
     if misses:
         if serial:
             cache = SweepTraceCache()
             computed = [run_scenario(s, traces=cache.traces(s)) for s in misses]
         else:
-            with ProcessPoolExecutor(max_workers=jobs) as pool:
-                computed = list(pool.map(run_scenario, misses))
-        for index, result in zip(miss_indices, computed):
+            computed = _in_workers(misses)
+        for indices, result in zip(miss_groups.values(), computed):
             store.save(result)
-            results[index] = result
+            for index in indices:
+                results[index] = result
     return results

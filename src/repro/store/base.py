@@ -28,6 +28,7 @@ Safety properties shared by all backends:
 
 from __future__ import annotations
 
+import threading
 from abc import ABC, abstractmethod
 from typing import Dict, List, Optional, Tuple
 
@@ -71,6 +72,9 @@ class ResultStore(ABC):
     def __init__(self) -> None:
         self.hits = 0
         self.misses = 0
+        # The service reads through one store from many handler
+        # threads; += on a plain int would lose counts under races.
+        self._counters_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Backend primitives
@@ -124,10 +128,11 @@ class ResultStore(ABC):
         payload = self._get(fingerprint)
         if payload is not None and payload.get("schema") != RESULT_SCHEMA:
             payload = None
-        if payload is None:
-            self.misses += 1
-        else:
-            self.hits += 1
+        with self._counters_lock:
+            if payload is None:
+                self.misses += 1
+            else:
+                self.hits += 1
         return payload
 
     def put(
@@ -153,6 +158,51 @@ class ResultStore(ABC):
     def delete(self, fingerprint: str) -> bool:
         """Remove one record; ``True`` if it existed."""
         return self._delete(fingerprint)
+
+    def schema_tag(self, fingerprint: str) -> Optional[str]:
+        """The stored record's schema tag, or ``None`` if absent.
+
+        Unlike :meth:`get` this also reads stale records (and never
+        touches the hit/miss counters), so error paths can tell the
+        user *which* schema a refused record carries.
+        """
+        meta = self._record_meta(fingerprint)
+        return None if meta is None else meta[0]
+
+    def _prefix_matches(self, prefix: str, limit: int) -> List[str]:
+        """Up to ``limit`` fingerprints starting with ``prefix``.
+
+        The default scans :meth:`fingerprints`; indexed backends
+        override this so prefix lookups don't materialize the whole
+        key set.
+        """
+        matches = []
+        for fingerprint in self.fingerprints():
+            if fingerprint.startswith(prefix):
+                matches.append(fingerprint)
+                if len(matches) >= limit:
+                    break
+        return matches
+
+    def resolve_prefix(self, prefix: str) -> str:
+        """Expand a full fingerprint or a unique prefix.
+
+        The CLI (``repro results show``) and the service
+        (``GET /results/<prefix>``) both resolve user-supplied
+        prefixes through this; ambiguity and no-match are
+        :class:`~repro.errors.ConfigurationError`\\ s.
+        """
+        matches = self._prefix_matches(prefix, limit=2)
+        if not matches:
+            raise ConfigurationError(
+                f"no stored result matches fingerprint {prefix!r}"
+            )
+        if len(matches) > 1:
+            raise ConfigurationError(
+                f"fingerprint prefix {prefix!r} is ambiguous; "
+                f"give more characters"
+            )
+        return matches[0]
 
     def __contains__(self, fingerprint: str) -> bool:
         """Whether :meth:`get` would serve this fingerprint.

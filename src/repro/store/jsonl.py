@@ -151,7 +151,21 @@ class JsonlStore(ResultStore):
 
     def gc(self) -> int:
         """Drop stale-schema records, then compact away tombstones and
-        superseded duplicates."""
-        removed = super().gc()
+        superseded duplicates.
+
+        Stale records are dropped from the in-memory index only — the
+        base-class pass would append one tombstone line per stale
+        record immediately before :meth:`compact` rewrites the file
+        without them, so gc'ing N records would cost N appends plus
+        the rewrite instead of just the rewrite.
+        """
+        from repro.sim.session import RESULT_SCHEMA
+
+        removed = 0
+        for fingerprint, (schema, _columns) in list(self._meta.items()):
+            if schema != RESULT_SCHEMA:
+                del self._index[fingerprint]
+                del self._meta[fingerprint]
+                removed += 1
         self.compact()
         return removed

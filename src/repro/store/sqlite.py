@@ -9,14 +9,21 @@ WAL journaling is enabled, so any number of concurrent reader
 connections (other processes included) proceed while the single writer
 appends — which is exactly the executor's discipline: workers compute,
 the parent writes.
+
+One instance is safe to share across threads, which is how the service
+frontend uses it (handler threads read, the batch executor writes):
+every thread reads through its own lazily opened connection, so WAL
+readers never block each other or the writer, while all writes go
+through one shared connection serialized by a lock.
 """
 
 from __future__ import annotations
 
-import json
 import sqlite3
+import json
+import threading
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.scenario import canonical_json
 from repro.store.base import RECORD_COLUMNS, ResultStore
@@ -49,14 +56,48 @@ class SqliteStore(ResultStore):
         super().__init__()
         self.path = str(path)
         Path(self.path).parent.mkdir(parents=True, exist_ok=True)
-        self._conn = sqlite3.connect(self.path)
-        with self._conn:
-            self._conn.executescript(_SCHEMA_SQL)
-        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._local = threading.local()
+        self._readers: List[Tuple[threading.Thread, sqlite3.Connection]] = []
+        self._readers_lock = threading.Lock()
+        self._write_lock = threading.Lock()
+        self._write_conn = self._connect()
+        with self._write_conn:
+            self._write_conn.executescript(_SCHEMA_SQL)
+        self._write_conn.execute("PRAGMA journal_mode=WAL")
+
+    def _connect(self) -> sqlite3.Connection:
+        # check_same_thread=False because close() (and dead-reader
+        # reaping) tears connections down from another thread; each
+        # connection is otherwise used only by its owning thread
+        # (reads) or under the write lock (writes).
+        return sqlite3.connect(self.path, check_same_thread=False)
+
+    @property
+    def _read_conn(self) -> sqlite3.Connection:
+        """The calling thread's own reader connection (lazily opened).
+
+        Opening one also reaps connections whose threads have exited —
+        a threaded HTTP frontend retires one handler thread per client
+        connection, so without reaping the pool would grow one file
+        descriptor per request for the life of the store.
+        """
+        conn = getattr(self._local, "conn", None)
+        if conn is None:
+            conn = self._local.conn = self._connect()
+            with self._readers_lock:
+                live = []
+                for thread, reader in self._readers:
+                    if thread.is_alive():
+                        live.append((thread, reader))
+                    else:
+                        reader.close()
+                live.append((threading.current_thread(), conn))
+                self._readers = live
+        return conn
 
     # ------------------------------------------------------------------
     def _get(self, fingerprint: str) -> Optional[Dict[str, object]]:
-        row = self._conn.execute(
+        row = self._read_conn.execute(
             "SELECT payload FROM results WHERE fingerprint = ?",
             (fingerprint,),
         ).fetchone()
@@ -68,8 +109,8 @@ class SqliteStore(ResultStore):
         payload: Dict[str, object],
         columns: Dict[str, object],
     ) -> None:
-        with self._conn:
-            self._conn.execute(
+        with self._write_lock, self._write_conn:
+            self._write_conn.execute(
                 "INSERT OR REPLACE INTO results "
                 "(fingerprint, schema, workload, interconnect, power_state, "
                 " dram_ns, seed, scale, payload) "
@@ -88,25 +129,75 @@ class SqliteStore(ResultStore):
             )
 
     def _delete(self, fingerprint: str) -> bool:
-        with self._conn:
-            cursor = self._conn.execute(
+        with self._write_lock, self._write_conn:
+            cursor = self._write_conn.execute(
                 "DELETE FROM results WHERE fingerprint = ?", (fingerprint,)
             )
         return cursor.rowcount > 0
 
+    def _prefix_matches(self, prefix: str, limit: int) -> List[str]:
+        """Indexed prefix lookup: a range scan on the primary key
+        instead of materializing every fingerprint.
+
+        ``[prefix, prefix-with-last-char-incremented)`` is exactly the
+        set of keys starting with ``prefix`` (UTF-8 byte order equals
+        codepoint order, which is how SQLite's BINARY collation and
+        Python's ``startswith`` both compare) — LIKE would bypass the
+        index (case-insensitive by default, and escaping user wildcards
+        disables the LIKE optimization outright).
+        """
+        sql = "SELECT fingerprint FROM results"
+        values: List[object] = []
+        if prefix:
+            sql += " WHERE fingerprint >= ?"
+            values.append(prefix)
+            for i in range(len(prefix) - 1, -1, -1):
+                if prefix[i] != "\U0010ffff":
+                    sql += " AND fingerprint < ?"
+                    values.append(prefix[:i] + chr(ord(prefix[i]) + 1))
+                    break
+        sql += " ORDER BY fingerprint LIMIT ?"
+        values.append(limit)
+        return [row[0] for row in self._read_conn.execute(sql, values)]
+
+    def _record_meta(
+        self, fingerprint: str
+    ) -> Optional[Tuple[Optional[str], Dict[str, object]]]:
+        """One indexed row read — the base class would parse the whole
+        payload just to reach fields the columns already hold."""
+        from repro.sim.session import RESULT_SCHEMA
+
+        row = self._read_conn.execute(
+            "SELECT schema, " + ", ".join(RECORD_COLUMNS)
+            + " FROM results WHERE fingerprint = ?",
+            (fingerprint,),
+        ).fetchone()
+        if row is None:
+            return None
+        schema = row[0]
+        if schema != RESULT_SCHEMA:
+            return schema, {}
+        return schema, dict(zip(RECORD_COLUMNS, row[1:]))
+
     def fingerprints(self) -> List[str]:
         return [
             row[0]
-            for row in self._conn.execute(
+            for row in self._read_conn.execute(
                 "SELECT fingerprint FROM results ORDER BY rowid"
             )
         ]
 
     def __len__(self) -> int:
-        return self._conn.execute("SELECT COUNT(*) FROM results").fetchone()[0]
+        return self._read_conn.execute(
+            "SELECT COUNT(*) FROM results"
+        ).fetchone()[0]
 
     def close(self) -> None:
-        self._conn.close()
+        with self._readers_lock:
+            readers, self._readers = self._readers, []
+        for _thread, conn in readers:
+            conn.close()
+        self._write_conn.close()
 
     # ------------------------------------------------------------------
     def query(self, **filters: object) -> List[Dict[str, object]]:
@@ -129,7 +220,7 @@ class SqliteStore(ResultStore):
         sql += " ORDER BY rowid"
         return [
             dict(zip(("fingerprint",) + RECORD_COLUMNS, row))
-            for row in self._conn.execute(sql, values)
+            for row in self._read_conn.execute(sql, values)
         ]
 
     def gc(self) -> int:
@@ -141,9 +232,11 @@ class SqliteStore(ResultStore):
         """
         from repro.sim.session import RESULT_SCHEMA
 
-        with self._conn:
-            cursor = self._conn.execute(
-                "DELETE FROM results WHERE schema IS NOT ?", (RESULT_SCHEMA,)
-            )
-        self._conn.execute("VACUUM")
+        with self._write_lock:
+            with self._write_conn:
+                cursor = self._write_conn.execute(
+                    "DELETE FROM results WHERE schema IS NOT ?",
+                    (RESULT_SCHEMA,),
+                )
+            self._write_conn.execute("VACUUM")
         return cursor.rowcount

@@ -1,0 +1,126 @@
+"""Tests of request-body -> Scenario parsing (the service's 400 gate)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.scenario import Scenario, resolve_dram, scenario_fingerprint
+from repro.service.spec import scenario_from_request, validate_scenario
+
+
+class TestFullSpecForm:
+    def test_wrapped_scenario_round_trips(self):
+        scenario = Scenario(workload="fft", power_state="PC4-MB8", seed=7)
+        parsed = scenario_from_request({"scenario": scenario.to_dict()})
+        assert parsed == scenario
+
+    def test_bare_to_dict_recognized_by_schema_tag(self):
+        scenario = Scenario(workload="volrend")
+        assert scenario_from_request(scenario.to_dict()) == scenario
+
+    def test_sibling_keys_next_to_full_spec_rejected(self):
+        """Shorthand keys mixed into the full-spec form must 400, not
+        be silently ignored (the embedded spec would win and the
+        caller would get an answer for the wrong scenario)."""
+        scenario = Scenario(workload="fft")
+        with pytest.raises(ConfigurationError, match="unexpected keys"):
+            scenario_from_request(
+                {"scenario": scenario.to_dict(), "seed": 99}
+            )
+
+    def test_scenario_must_be_an_object(self):
+        with pytest.raises(ConfigurationError):
+            scenario_from_request({"scenario": "fft"})
+
+    def test_bad_schema_rejected(self):
+        payload = Scenario(workload="fft").to_dict()
+        payload["schema"] = "repro-scenario/999"
+        with pytest.raises(ConfigurationError):
+            scenario_from_request(payload)
+
+    def test_full_spec_engine_mode_validated(self):
+        """Full specs must be gated like shorthand ones: a bad engine
+        mode fails at request time, not as a 500 inside the batch."""
+        payload = Scenario(workload="fft").to_dict()
+        payload["engine_mode"] = "warp"
+        with pytest.raises(ConfigurationError, match="engine_mode"):
+            scenario_from_request({"scenario": payload})
+
+    @pytest.mark.parametrize("field, value", [
+        ("max_cycles", "lots"),       # TypeError in __post_init__
+        ("power_state", 5),           # AttributeError at resolution
+        ("interconnect_params", 5),   # TypeError normalizing params
+        ("config", "tiny"),           # AttributeError rebuilding config
+    ])
+    def test_wrong_typed_fields_are_config_errors(self, field, value):
+        """Plain TypeError/AttributeError from Scenario construction
+        must surface as ConfigurationError (the server's 400), not
+        escape as a 500/dropped connection."""
+        payload = Scenario(workload="fft").to_dict()
+        payload[field] = value
+        with pytest.raises(ConfigurationError):
+            scenario_from_request({"scenario": payload})
+
+
+class TestShorthandForm:
+    def test_cli_style_shorthand(self):
+        parsed = scenario_from_request(
+            {"workload": "fft", "state": "PC4-MB8", "dram_ns": 63,
+             "scale": 0.25, "seed": 7, "engine_mode": "fast"}
+        )
+        expected = Scenario(
+            workload="fft", power_state="PC4-MB8", dram=resolve_dram(63),
+            scale=0.25, seed=7, engine_mode="fast",
+        )
+        assert parsed == expected
+        assert scenario_fingerprint(parsed) == scenario_fingerprint(expected)
+
+    def test_defaults_match_scenario_defaults(self):
+        assert scenario_from_request({"workload": "fft"}) == Scenario(
+            workload="fft"
+        )
+
+    def test_dram_preset_name(self):
+        parsed = scenario_from_request({"workload": "fft", "dram": "wide-io"})
+        assert parsed.resolved_dram().access_latency_ns == 63
+
+    @pytest.mark.parametrize("body", [
+        "fft",                                       # not an object
+        {},                                          # no workload
+        {"workload": "linpack"},                     # unknown workload
+        {"workload": "fft", "bogus": 1},             # unknown key
+        {"workload": "fft", "interconnect": "ring"},  # unknown fabric
+        {"workload": "fft", "state": 4},             # non-string state
+        {"workload": "fft", "dram_ns": -5},          # bad latency
+        {"workload": "fft", "dram": "hbm9"},         # unknown preset
+        {"workload": "fft", "dram_ns": True},        # bool is not a latency
+        {"workload": "fft", "seed": True},           # ... nor a seed
+        {"workload": "fft", "scale": True},          # ... nor a scale
+        {"workload": "fft", "max_cycles": True},     # ... nor a cycle count
+        {"workload": "fft", "scale": "big"},         # non-numeric scale
+        {"workload": "fft", "scale": 0},             # non-positive scale
+        {"workload": "fft", "engine_mode": "warp"},  # unknown mode
+        {"workload": "fft", "state": "PC4-MB8", "power_state": "PC8-MB16"},
+        {"workload": "fft", "dram": "ddr3", "dram_ns": 63},
+    ])
+    def test_malformed_specs_rejected(self, body):
+        with pytest.raises(ConfigurationError):
+            scenario_from_request(body)
+
+    def test_unknown_power_state_rejected(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            scenario_from_request({"workload": "fft", "state": "PC3-MB7"})
+
+
+class TestValidateScenario:
+    def test_defers_to_registries(self):
+        # Scenario construction itself accepts unknown names (lookups
+        # are lazy); the service gate must not.
+        scenario = Scenario(workload="linpack")
+        with pytest.raises(ConfigurationError):
+            validate_scenario(scenario)
+
+    def test_valid_scenario_passes_through(self):
+        scenario = Scenario(workload="fft")
+        assert validate_scenario(scenario) is scenario

@@ -77,6 +77,39 @@ class TestSweepMemoization:
         assert cold == plain_results
         assert warm == plain_results
 
+    def test_duplicate_cells_simulate_and_persist_once(self, monkeypatch):
+        """Regression: a sweep naming the same cell twice used to miss
+        twice, simulate twice and save twice.  Misses are deduplicated
+        by fingerprint, so it simulates and persists once and every
+        duplicate index shares the bit-identical result."""
+        import repro.sim.session as session
+
+        scenario = Scenario(workload="volrend", scale=SCALE)
+        reference = run_scenario(scenario)
+
+        simulated = []
+        original_run = session.run_scenario
+
+        def counting_run(s, *args, **kwargs):
+            simulated.append(s)
+            return original_run(s, *args, **kwargs)
+
+        monkeypatch.setattr(session, "run_scenario", counting_run)
+        store = MemoryStore()
+        saves = []
+        original_save = store.save
+        monkeypatch.setattr(
+            store, "save",
+            lambda result: (saves.append(result), original_save(result))[1],
+        )
+
+        results = run_sweep([scenario, scenario, scenario], store=store)
+        assert len(simulated) == 1
+        assert len(saves) == 1
+        assert len(store) == 1
+        assert (store.hits, store.misses) == (0, 3)
+        assert results == [reference, reference, reference]
+
     def test_hit_serves_without_simulating(self, monkeypatch):
         """A stored cell never touches the engine again."""
         scenario = Scenario(workload="volrend", scale=SCALE)

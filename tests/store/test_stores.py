@@ -168,6 +168,34 @@ class TestJsonlStore:
             assert len(path.read_text().splitlines()) == 1  # ... but compacted
             assert store.load(volrend_result.scenario) == volrend_result
 
+    def test_gc_drops_stale_records_without_tombstones(
+        self, tmp_path, volrend_result, fft_result, monkeypatch
+    ):
+        """Regression: gc used to append one tombstone line per stale
+        record immediately before compact() rewrote the file without
+        them — N wasted appends.  Now it only rewrites."""
+        path = tmp_path / "store.jsonl"
+        with JsonlStore(path) as store:
+            store.save(volrend_result)
+            stale = fft_result.to_dict()
+            stale["schema"] = "repro-result/0"
+            store.put(scenario_fingerprint(fft_result.scenario), stale)
+
+            appended = []
+            original_append = store._append
+            monkeypatch.setattr(
+                store, "_append",
+                lambda record: (appended.append(record), original_append(record))[1],
+            )
+            assert store.gc() == 1
+            assert appended == []  # gc never appends, it only rewrites
+        text = path.read_text()
+        assert '"deleted"' not in text
+        assert "repro-result/0" not in text
+        with JsonlStore(path) as reopened:
+            assert len(reopened) == 1
+            assert reopened.load(volrend_result.scenario) == volrend_result
+
     def test_lines_are_plain_json(self, tmp_path, volrend_result):
         path = tmp_path / "store.jsonl"
         with JsonlStore(path) as store:
@@ -216,3 +244,118 @@ class TestSqliteStore:
         assert late_reader.load(fft_result.scenario) == fft_result
         late_reader.close()
         writer.close()
+
+    def test_usable_from_second_thread(self, tmp_path, volrend_result):
+        """Regression: the connection used to be bound to the opening
+        thread (``check_same_thread``), so any access from another
+        thread raised ``sqlite3.ProgrammingError``."""
+        with SqliteStore(tmp_path / "store.sqlite") as store:
+            store.save(volrend_result)
+            outcome = []
+
+            def read():
+                try:
+                    outcome.append(store.load(volrend_result.scenario))
+                except Exception as exc:  # pragma: no cover - fail path
+                    outcome.append(exc)
+
+            thread = threading.Thread(target=read)
+            thread.start()
+            thread.join()
+            assert outcome == [volrend_result]
+
+    def test_record_meta_reads_the_columns(self, tmp_path, volrend_result):
+        """schema_tag/_record_meta come from the indexed columns, with
+        the base-class contract: live = (tag, columns), stale =
+        (tag, {}), absent = None."""
+        from repro.store.base import record_columns
+
+        with SqliteStore(tmp_path / "store.sqlite") as store:
+            fingerprint = store.save(volrend_result)
+            schema, columns = store._record_meta(fingerprint)
+            assert schema == "repro-result/1"
+            assert columns == record_columns(volrend_result.scenario)
+            assert store.schema_tag(fingerprint) == schema
+
+            stale = volrend_result.to_dict()
+            stale["schema"] = "repro-result/0"
+            store.put(fingerprint, stale)
+            assert store._record_meta(fingerprint) == ("repro-result/0", {})
+            assert store._record_meta("f" * 64) is None
+
+    def test_resolve_prefix_uses_key_range(
+        self, tmp_path, volrend_result, fft_result
+    ):
+        """The indexed override matches the base-class semantics:
+        literal prefixes only (LIKE wildcards must not act as
+        wildcards), same no-match/ambiguity errors."""
+        with SqliteStore(tmp_path / "store.sqlite") as store:
+            fp_a = store.save(volrend_result)
+            fp_b = store.save(fft_result)
+            assert store.resolve_prefix(fp_a[:16]) == fp_a
+            assert store.resolve_prefix(fp_b) == fp_b
+            with pytest.raises(ConfigurationError, match="no stored result"):
+                store.resolve_prefix("zzzz")
+            with pytest.raises(ConfigurationError, match="no stored result"):
+                store.resolve_prefix("%")  # literal, not a wildcard
+            with pytest.raises(ConfigurationError, match="ambiguous"):
+                store.resolve_prefix("")  # matches both
+            plan = store._read_conn.execute(
+                "EXPLAIN QUERY PLAN SELECT fingerprint FROM results "
+                "WHERE fingerprint >= ? AND fingerprint < ? "
+                "ORDER BY fingerprint LIMIT 2",
+                (fp_a[:8], fp_a[:8] + "g"),
+            ).fetchall()
+            detail = " ".join(row[-1].upper() for row in plan)
+            assert "SEARCH" in detail and "INDEX" in detail, detail
+
+    def test_reader_connections_of_dead_threads_are_reaped(
+        self, tmp_path, volrend_result
+    ):
+        """Regression: a store serving short-lived handler threads
+        must not keep one connection (and fd) per retired thread."""
+        with SqliteStore(tmp_path / "store.sqlite") as store:
+            store.save(volrend_result)
+            for _ in range(20):
+                thread = threading.Thread(
+                    target=lambda: store.load(volrend_result.scenario)
+                )
+                thread.start()
+                thread.join()
+            # trigger a reap from a fresh thread and count what's left
+            final = threading.Thread(target=lambda: len(store))
+            final.start()
+            final.join()
+            assert len(store._readers) <= 3  # main + final thread, not 21
+
+    def test_shared_instance_concurrent_readers_and_writer(
+        self, tmp_path, volrend_result, fft_result
+    ):
+        """One instance shared by reader threads while another thread
+        writes — the service frontend's access pattern (handler
+        threads read, the batch executor persists)."""
+        with SqliteStore(tmp_path / "store.sqlite") as store:
+            store.save(volrend_result)
+            errors = []
+
+            def read_loop():
+                try:
+                    for _ in range(50):
+                        if store.load(volrend_result.scenario) != volrend_result:
+                            errors.append("reader saw a wrong/missing record")
+                            return
+                        store.query(workload="volrend")
+                        len(store)
+                except Exception as exc:
+                    errors.append(exc)
+
+            readers = [threading.Thread(target=read_loop) for _ in range(4)]
+            for thread in readers:
+                thread.start()
+            for _ in range(25):
+                store.save(fft_result)  # concurrent writes, same instance
+            for thread in readers:
+                thread.join()
+            assert errors == []
+            assert store.load(fft_result.scenario) == fft_result
+            assert len(store) == 2

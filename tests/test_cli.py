@@ -205,6 +205,37 @@ class TestStoreCLI:
         with pytest.raises(ConfigurationError):
             main(["results", "show", store, "ffffffffffff"])
 
+    def test_parser_accepts_serve(self):
+        args = build_parser().parse_args(
+            ["serve", "--store", "s.sqlite", "--port", "0", "--jobs", "2"]
+        )
+        assert args.store == "s.sqlite"
+        assert args.port == 0 and args.jobs == 2
+        assert args.host == "127.0.0.1"
+        with pytest.raises(SystemExit):  # --store is required
+            build_parser().parse_args(["serve"])
+
+    def test_results_show_stale_schema_names_tag_and_gc(self, tmp_path):
+        """A prefix matching a stale-schema record must say which tag
+        the record carries and point at `repro results gc` — not claim
+        there is no stored result."""
+        from repro.errors import ConfigurationError
+        from repro.store import open_store
+
+        store_path = str(tmp_path / "store.sqlite")
+        assert main(self.SWEEP + ["--store", store_path]) == 0
+        with open_store(store_path) as store:
+            fingerprint = store.fingerprints()[0]
+            stale = store.get(fingerprint)
+            stale["schema"] = "repro-result/0"
+            store.put(fingerprint, stale)
+        with pytest.raises(ConfigurationError) as excinfo:
+            main(["results", "show", store_path, fingerprint[:12]])
+        message = str(excinfo.value)
+        assert "stale schema 'repro-result/0'" in message
+        assert "results gc" in message
+        assert "no stored result" not in message
+
     def test_results_refuses_missing_store_path(self, tmp_path):
         """A typo'd path must error, not fabricate an empty store."""
         from repro.errors import ConfigurationError
