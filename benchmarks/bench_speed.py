@@ -32,7 +32,10 @@ frontend's serving-path numbers: ``service_warm_hit_ms`` (median
 warm ``POST /scenario`` latency over HTTP) and ``service_warm_hit_rps``
 (aggregate warm-request throughput from concurrent clients) — every
 timed service request is a store hit, so these measure the HTTP + store
-path, not the engine.
+path, not the engine.  ``distributed_sweep_seconds`` times a 2-worker
+drain of the fig7 grid at smoke scale through the work queue
+(submit -> lease -> push -> collect), tracking the distributed
+coordination overhead as the queue grows features.
 """
 
 from __future__ import annotations
@@ -96,7 +99,62 @@ def run(scale: float, jobs: int | None) -> dict:
     results["fig7_warm_store_seconds"] = round(warm_s, 4)
     results["fig7_warm_store_speedup"] = round(cold_s / warm_s, 1)
     results.update(bench_service())
+    results.update(bench_distributed())
     return results
+
+
+def bench_distributed(workers: int = 2, scale: float = 0.05) -> dict:
+    """Time a 2-worker distributed drain of the fig7 grid (smoke scale).
+
+    A coordinator server with no local compute, ``workers`` in-process
+    :class:`SweepWorker` loops (the exact ``repro worker`` loop), one
+    ``submit_sweep`` of the fig7-shaped grid — timed from submission to
+    collected results.  Fixed at smoke scale so the number tracks the
+    queue/lease/push overhead trend, not engine throughput.
+    """
+    import threading
+
+    from repro.mot.power_state import PAPER_POWER_STATES
+    from repro.scenario import Scenario, SweepGrid
+    from repro.service import ScenarioServer, ServiceClient, SweepWorker
+    from repro.workloads.characteristics import SPLASH2_NAMES
+
+    grid = SweepGrid.over(
+        Scenario(workload=SPLASH2_NAMES[0], scale=scale),
+        workload=list(SPLASH2_NAMES),
+        power_state=[state.name for state in PAPER_POWER_STATES],
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-bench-dist-") as tmp:
+        with ScenarioServer(
+            os.path.join(tmp, "dist.sqlite"), port=0, local_compute=False
+        ) as server:
+            server.start()
+            client = ServiceClient(server.url)
+            fleet = [
+                SweepWorker(server.url, poll_s=0.02, name=f"bench-w{i}")
+                for i in range(workers)
+            ]
+            t0 = time.perf_counter()
+            job = client.submit_sweep(grid)
+            threads = [
+                threading.Thread(target=worker.drain, daemon=True)
+                for worker in fleet
+            ]
+            for thread in threads:
+                thread.start()
+            client.wait(job["job"], poll_s=0.05)
+            results = client.sweep_results(job["fingerprints"])
+            elapsed = time.perf_counter() - t0
+            for thread in threads:
+                thread.join()
+            assert len(results) == len(grid)
+            stats = server.queue.stats()
+            assert stats["completed"] == len(grid), stats
+    return {
+        "distributed_sweep_seconds": round(elapsed, 3),
+        "distributed_sweep_cells": len(grid),
+        "distributed_sweep_workers": workers,
+    }
 
 
 def bench_service(

@@ -19,9 +19,15 @@ EDP for a couple of programs.
 Run:  python examples/adaptive_governor.py
 """
 
+import os
+
 from repro.analysis import run_benchmark
 from repro.mot.governor import PowerStateGovernor
 from repro.workloads import SPLASH2_NAMES, SPLASH2_PROFILES
+
+#: Work multiplier: 1.0 = the example's reference size; CI smoke runs
+#: every example with REPRO_BENCH_SCALE=0.05.
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
 
 
 def main() -> None:
@@ -39,7 +45,7 @@ def main() -> None:
 
     print("\nOnline selection (profiling epoch -> state):")
     for name in ("volrend", "ocean_contiguous"):
-        epoch, _ = run_benchmark(name, scale=0.15)
+        epoch, _ = run_benchmark(name, scale=0.15 * BENCH_SCALE)
         state = governor.select_from_counters(epoch)
         barrier_frac = sum(c.barrier_cycles for c in epoch.cores) / max(
             1, sum(c.total_cycles for c in epoch.cores)
@@ -49,9 +55,9 @@ def main() -> None:
 
     print("\nDoes the chosen state pay off? (EDP vs Full connection)")
     for name in ("volrend", "fmm"):
-        _, e_full = run_benchmark(name, scale=0.4)
+        _, e_full = run_benchmark(name, scale=0.4 * BENCH_SCALE)
         _, e_chosen = run_benchmark(
-            name, power_state=chosen[name], scale=0.4
+            name, power_state=chosen[name], scale=0.4 * BENCH_SCALE
         )
         gain = 100 * (1 - e_chosen.edp / e_full.edp)
         print(f"  {name:18s} {chosen[name].name:10s} "

@@ -15,6 +15,8 @@ which appears in the paper.
 Run:  python examples/custom_scenario.py
 """
 
+import os
+
 from repro import (
     Scenario,
     SweepGrid,
@@ -22,6 +24,10 @@ from repro import (
     run_sweep,
 )
 from repro.mem.dram import DRAMTimings
+
+#: Work multiplier: 1.0 = the example's reference size; CI smoke runs
+#: every example with REPRO_BENCH_SCALE=0.05.
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
 
 # A named operating point: resolvable as "hybrid-stack" from specs and
 # as `--dram-ns 100` from the CLI (any non-preset latency also works
@@ -39,7 +45,7 @@ HYBRID_STACK = register_dram_preset(
 
 def main() -> None:
     grid = SweepGrid.over(
-        Scenario(workload="volrend", scale=0.3),
+        Scenario(workload="volrend", scale=0.3 * BENCH_SCALE),
         dram=["ddr3", "hybrid-stack", "wide-io"],
         power_state=["Full connection", "PC8-MB16", "PC4-MB8"],
     )

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Distributed sweep, end to end, in one process.
+
+The full rung-4 deployment (see docs/scaling.md) without leaving this
+script: an in-process coordinator server with **no local compute**, two
+worker threads running the exact loop `repro worker` runs, one sweep
+submitted through the asynchronous job API — and a final assertion
+that the distributed results are bit-identical to a local `run_sweep`
+of the same grid, with every cell simulated exactly once.
+
+In production the three pieces are three commands on three machines:
+
+    repro serve --store results.sqlite --port 8321 --no-local
+    repro worker --server http://host:8321 --jobs 4
+    repro worker --server http://host:8321 --jobs 4
+
+Run:  python examples/distributed_sweep.py
+      REPRO_BENCH_SCALE=0.05 python examples/distributed_sweep.py  # smoke
+"""
+
+import os
+import threading
+
+from repro import Scenario, ServiceClient, SweepGrid, SweepWorker, run_sweep
+from repro.service import ScenarioServer
+
+#: Work multiplier: 1.0 = the reference inputs; CI smoke uses 0.05.
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def main() -> None:
+    scale = 0.1 * BENCH_SCALE
+    grid = SweepGrid.over(                     # a small fig7-shaped sweep
+        Scenario(workload="fft", scale=scale),
+        workload=["fft", "volrend"],
+        power_state=["Full connection", "PC4-MB8"],
+        seed=[1, 2],
+    )
+    print(f"grid: {len(grid)} cells at scale {scale:g}\n")
+
+    # The coordinator: store + work queue + HTTP endpoints, but no
+    # local executor — every cell waits for a worker to lease it.
+    with ScenarioServer(":memory:", port=0, local_compute=False) as server:
+        server.start()
+        client = ServiceClient(server.url)
+
+        # Submit the sweep as one asynchronous job.
+        job = client.submit_sweep(grid)
+        print(f"submitted {job['job']}: {job['pending']} cells pending")
+
+        # Two workers — the same pull/compute/push loop `repro worker`
+        # runs, here as threads so the example is self-contained.
+        workers = [
+            SweepWorker(server.url, poll_s=0.05, name=f"worker-{i}")
+            for i in range(2)
+        ]
+        threads = [
+            threading.Thread(target=worker.drain, daemon=True)
+            for worker in workers
+        ]
+        for thread in threads:
+            thread.start()
+
+        status = client.wait(job["job"], poll_s=0.1)
+        for thread in threads:
+            thread.join()
+        print(f"drained: {status['done']} done, {status['failed']} failed")
+        for worker in workers:
+            print(f"  {worker.name}: completed {worker.completed} cells")
+
+        # Collect, and verify against a local run of the same grid.
+        remote = client.sweep_results(job["fingerprints"])
+        local = run_sweep(grid)
+        assert remote == local, "distributed results diverged from local!"
+
+        stats = server.queue.stats()
+        assert stats["completed"] == len(grid), stats
+        assert stats["reclaimed"] == 0 and stats["rejected"] == 0, stats
+        print(f"\nqueue: {stats['enqueued']} enqueued, "
+              f"{stats['completed']} completed, "
+              f"{stats['reclaimed']} re-leased, {stats['rejected']} rejected")
+        print("distributed results are bit-identical to local run_sweep ✓")
+
+
+if __name__ == "__main__":
+    main()

@@ -14,12 +14,18 @@ the PC16-MB8 EDP penalty/benefit shrinking/growing as DRAM gets faster.
 Run:  python examples/dram_latency_sensitivity.py
 """
 
+import os
+
 from repro import Scenario, SweepGrid, run_sweep
 from repro.mem.dram import PAPER_DRAM_TIMINGS
 
+#: Work multiplier: 1.0 = the example's reference size; CI smoke runs
+#: every example with REPRO_BENCH_SCALE=0.05.
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
 
 def main() -> None:
-    bench, scale = "radix", 0.5
+    bench, scale = "radix", 0.5 * BENCH_SCALE
     # One declarative grid: (DRAM technology x power state).  The same
     # sweep runs from the CLI as
     #   repro sweep --workloads radix --state "Full connection" PC16-MB8 \

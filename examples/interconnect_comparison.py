@@ -13,8 +13,14 @@ For the full-figure regeneration use:
 Run:  python examples/interconnect_comparison.py
 """
 
+import os
+
 from repro.analysis import experiment_fig6
 from repro.noc import paper_interconnects
+
+#: Work multiplier: 1.0 = the example's reference size; CI smoke runs
+#: every example with REPRO_BENCH_SCALE=0.05.
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
 
 
 def main() -> None:
@@ -30,7 +36,7 @@ def main() -> None:
     # thin preset over the scenario API; the equivalent free-form sweep
     # is `repro sweep --workloads fft volrend --interconnect mesh mot`.
     result = experiment_fig6(
-        scale=0.4, benchmarks=("fft", "volrend", "water-nsquared")
+        scale=0.4 * BENCH_SCALE, benchmarks=("fft", "volrend", "water-nsquared")
     )
     print(result.render())
     print()

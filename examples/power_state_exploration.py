@@ -14,8 +14,14 @@ then names each program's best state.
 Run:  python examples/power_state_exploration.py
 """
 
+import os
+
 from repro import Scenario, SweepGrid, run_sweep
 from repro.mot.power_state import PAPER_POWER_STATES
+
+#: Work multiplier: 1.0 = the example's reference size; CI smoke runs
+#: every example with REPRO_BENCH_SCALE=0.05.
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
 
 
 def sweep(bench: str, scale: float) -> None:
@@ -44,8 +50,8 @@ def sweep(bench: str, scale: float) -> None:
 
 def main() -> None:
     print("Power-state exploration (DRAM 200 ns, reduced work scale)")
-    sweep("volrend", scale=0.5)
-    sweep("ocean_contiguous", scale=0.5)
+    sweep("volrend", scale=0.5 * BENCH_SCALE)
+    sweep("ocean_contiguous", scale=0.5 * BENCH_SCALE)
     print("\nThe right state depends on the program: limited-scalability,"
           "\nsmall-footprint code wants PC4-MB8; scalable, cache-hungry"
           "\ncode wants Full connection — hence a *reconfigurable* fabric.")

@@ -13,12 +13,19 @@ Walks through the library's three layers in ~40 lines:
 Run:  python examples/quickstart.py
 """
 
+import os
+
 from repro import (
     PC16_MB8,
     MoTFabric,
     Scenario,
     experiment_table1,
 )
+
+#: Work multiplier: 1.0 = the example's reference size; CI smoke runs
+#: every example with REPRO_BENCH_SCALE=0.05.
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
 
 def main() -> None:
     # ------------------------------------------------------------------
@@ -49,7 +56,7 @@ def main() -> None:
     #    runs from the CLI (`repro run fft --scale 0.3`) or ships to
     #    worker processes in a sweep.
     # ------------------------------------------------------------------
-    result = Scenario(workload="fft", scale=0.3).run()
+    result = Scenario(workload="fft", scale=0.3 * BENCH_SCALE).run()
     report, energy = result.report, result.energy
     print(f"fft on {report.interconnect_name} @ {report.power_state_name}:")
     print(f"  execution    : {report.execution_cycles} cycles")

@@ -28,8 +28,9 @@ Subpackages:
 * ``repro.sim``       — transaction-level system simulator;
 * ``repro.store``     — persistent content-addressed result cache
   (fingerprint-keyed; memory / JSONL / SQLite backends);
-* ``repro.service``   — HTTP frontend serving stored results
-  (``repro serve``; ``ServiceClient`` is the matching client);
+* ``repro.service``   — HTTP frontend + distributed sweep coordination
+  (``repro serve`` / ``repro worker``; ``ServiceClient`` is the
+  matching client, ``WorkQueue`` the lease/complete coordinator);
 * ``repro.workloads`` — synthetic SPLASH-2 suite;
 * ``repro.analysis``  — energy/EDP and per-figure experiment harness.
 """
@@ -94,7 +95,12 @@ __version__ = "1.0.0"
 #: Lazy top-level exports (PEP 562): the service stack (http.server,
 #: urllib) loads only when asked for — `import repro` in spawned sweep
 #: workers and non-serve CLI paths must not pay for it.
-_LAZY_EXPORTS = {"ScenarioServer": "server", "ServiceClient": "client"}
+_LAZY_EXPORTS = {
+    "ScenarioServer": "server",
+    "ServiceClient": "client",
+    "SweepWorker": "worker",
+    "WorkQueue": "queue",
+}
 
 
 def __getattr__(name: str):
@@ -123,6 +129,8 @@ __all__ = [
     "open_store",
     "ScenarioServer",
     "ServiceClient",
+    "SweepWorker",
+    "WorkQueue",
     "register_dram_preset",
     "register_interconnect",
     "register_workload",

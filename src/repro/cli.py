@@ -39,6 +39,16 @@ answered from the store with zero simulation, misses are computed once
     python -m repro serve --store results.sqlite --port 8321
     curl -X POST localhost:8321/scenario -d '{"workload": "fft"}'
 
+``worker`` turns any machine into extra capacity for a running
+service: it leases queued sweep cells over HTTP, simulates them
+locally (``--jobs N`` for a process pool), and pushes the results
+home — submit sweeps with ``ServiceClient.submit_sweep`` or
+``POST /queue``:
+
+    python -m repro serve --store results.sqlite --no-local   # coordinator
+    python -m repro worker --server http://host:8321 --jobs 4
+    python -m repro worker --server http://host:8321 --jobs 4
+
 Scale 1.0 is the reference run (minutes for fig6-fig8); smaller scales
 trade fidelity of the capacity effects for speed.
 """
@@ -185,6 +195,35 @@ def build_parser() -> argparse.ArgumentParser:
                    help="worker processes for cold scenarios (default: "
                         "compute serially in the batch thread; -1 = one "
                         "per CPU)")
+    p.add_argument("--no-local", action="store_true",
+                   help="run as a pure coordinator: no local compute, "
+                        "every cold cell waits for a remote "
+                        "`repro worker`")
+    p.add_argument("--lease-seconds", type=float, default=60.0,
+                   help="remote lease expiry; a crashed worker's cells "
+                        "are re-leased after this long (default: 60)")
+
+    p = sub.add_parser("worker", help="distributed sweep worker: lease "
+                                      "cells from a server, push results "
+                                      "home")
+    p.add_argument("--server", required=True, metavar="URL",
+                   help="the `repro serve` endpoint to drain "
+                        "(e.g. http://host:8321)")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker processes per leased batch (default: "
+                        "serial in-process; -1 = one per CPU)")
+    p.add_argument("--poll-ms", type=int, default=500,
+                   help="idle sleep between empty lease responses "
+                        "(default: 500)")
+    p.add_argument("--lease", type=int, default=None, metavar="N",
+                   help="cells pulled per lease call (default: --jobs, "
+                        "so the local pool stays full)")
+    p.add_argument("--name", default=None,
+                   help="worker name reported to the server "
+                        "(default: host:pid)")
+    p.add_argument("--drain", action="store_true",
+                   help="exit when the queue is empty instead of "
+                        "polling forever")
 
     p = sub.add_parser("results", help="inspect a persistent result store")
     rsub = p.add_subparsers(dest="results_command", required=True)
@@ -321,13 +360,41 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import ScenarioServer
 
     with ScenarioServer(args.store, jobs=args.jobs,
-                        host=args.host, port=args.port) as server:
+                        host=args.host, port=args.port,
+                        local_compute=not args.no_local,
+                        lease_seconds=args.lease_seconds) as server:
+        compute = "remote workers only" if args.no_local \
+            else f"jobs={server.jobs or 1}"
         print(f"serving {args.store} on {server.url} "
-              f"(jobs={server.jobs or 1}); Ctrl-C to stop", flush=True)
+              f"({compute}); Ctrl-C to stop", flush=True)
         try:
             server.serve_forever()
         except KeyboardInterrupt:
             print("shutting down")
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.service.worker import SweepWorker
+
+    worker = SweepWorker(
+        args.server,
+        jobs=args.jobs,
+        poll_s=args.poll_ms / 1000.0,
+        lease_n=args.lease,
+        name=args.name,
+    )
+    mode = "drain" if args.drain else f"poll every {args.poll_ms} ms"
+    print(f"worker {worker.name} -> {args.server} "
+          f"(jobs={worker.jobs or 1}, lease={worker.lease_n}, {mode}); "
+          f"Ctrl-C to stop", flush=True)
+    try:
+        worker.run(drain=args.drain)
+    except KeyboardInterrupt:
+        pass
+    print(f"worker {worker.name}: leased {worker.leased}, "
+          f"completed {worker.completed}, failed {worker.failed}, "
+          f"rejected {worker.rejected}")
     return 0
 
 
@@ -413,6 +480,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_sweep(args)
     elif args.command == "serve":
         return _cmd_serve(args)
+    elif args.command == "worker":
+        return _cmd_worker(args)
     elif args.command == "results":
         return _cmd_results(args)
     elif args.command == "table1":

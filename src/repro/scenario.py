@@ -7,9 +7,11 @@ mode — as plain data.  The spec is frozen, fully picklable, and
 round-trips through :meth:`Scenario.to_dict` / :meth:`Scenario.from_dict`,
 so the same object drives the CLI (``repro run`` / ``repro sweep``),
 the experiment harness (``experiment_fig6/7/8`` are thin presets over
-it), and the parallel executor (:mod:`repro.sim.parallel` ships whole
-serialized scenarios to worker processes — arbitrary DRAM timings and
-custom configs parallelize, not just the Table I presets).
+it), the parallel executor (:func:`repro.sim.session.run_sweep` ships
+whole serialized scenarios to worker processes — arbitrary DRAM
+timings and custom configs parallelize, not just the Table I presets),
+and the distributed sweep workers (``repro worker`` rebuilds cells
+from the serialized spec alone on any machine).
 
 String-keyed registries make the spec open for extension:
 

@@ -1,30 +1,44 @@
-"""repro.service — HTTP frontend serving scenario results from a store.
+"""repro.service — HTTP frontend + distributed sweep coordination.
 
-The first layer of the production-serving architecture: a threaded,
+The serving layer of the production architecture: a threaded,
 stdlib-only HTTP server (:class:`ScenarioServer`, CLI ``repro serve``)
 that answers any previously seen scenario straight from a
 :mod:`repro.store` backend with zero simulation, and funnels every
-cold scenario through one background batching executor
-(:class:`~repro.service.executor.BatchingExecutor`) so concurrent
-requests for the same cell simulate it exactly once and only one
-thread ever writes the store.
+cold cell through one :class:`~repro.service.queue.WorkQueue` so it is
+simulated exactly once no matter how many requests, jobs or machines
+name it.
+
+Two kinds of consumer drain the queue:
+
+* the in-process :class:`~repro.service.executor.BatchingExecutor`
+  (``repro serve --jobs N`` — the standalone deployment);
+* remote :class:`~repro.service.worker.SweepWorker` loops
+  (``repro worker --server URL`` — the distributed deployment), which
+  pull serialized scenarios over ``GET /queue/lease`` and push
+  ``(fingerprint, payload)`` pairs home over ``POST /queue/complete``.
 
 :class:`~repro.service.client.ServiceClient` is the matching urllib
 client: ``client.run(scenario)`` / ``client.run_sweep(grid)`` mirror
-the local executor API against a remote server.
+the local executor API remotely, and ``client.submit_sweep(grid)`` /
+``client.wait(job_id)`` drive asynchronous distributed sweeps.
 """
 
 from __future__ import annotations
 
 from repro.service.client import ServiceClient
 from repro.service.executor import BatchingExecutor
+from repro.service.queue import Lease, WorkQueue
 from repro.service.server import ScenarioServer
 from repro.service.spec import scenario_from_request, validate_scenario
+from repro.service.worker import SweepWorker
 
 __all__ = [
     "BatchingExecutor",
+    "Lease",
     "ScenarioServer",
     "ServiceClient",
+    "SweepWorker",
+    "WorkQueue",
     "scenario_from_request",
     "validate_scenario",
 ]

@@ -12,6 +12,15 @@ without touching anything downstream::
     result = client.run(Scenario(workload="fft", power_state="PC4-MB8"))
     warm = client.run_sweep(grid, jobs=8)   # concurrent POSTs
 
+Sweeps too large for synchronous POSTs go through the asynchronous
+work-queue API — submit once, let the server's consumers (its local
+executor and any ``repro worker`` processes) drain the cells, collect
+when done::
+
+    job = client.submit_sweep(grid)                  # returns at once
+    client.wait(job["job"])                          # poll to completion
+    results = client.sweep_results(job["fingerprints"])
+
 Stdlib only (``urllib``); errors surface as
 :class:`~repro.errors.ServiceError` carrying the HTTP status and the
 server's message.
@@ -20,6 +29,7 @@ server's message.
 from __future__ import annotations
 
 import json
+import time
 import urllib.error
 import urllib.request
 from concurrent.futures import ThreadPoolExecutor
@@ -126,3 +136,124 @@ class ServiceClient:
     def result(self, fingerprint: str) -> Dict[str, object]:
         """``GET /results/<prefix>`` — one stored result payload."""
         return self._request("GET", f"/results/{fingerprint}")["result"]
+
+    # ------------------------------------------------------------------
+    # Distributed sweeps (the work-queue protocol)
+    # ------------------------------------------------------------------
+    def submit_sweep(
+        self, sweep: Union["SweepGrid", Iterable["Scenario"]]
+    ) -> Dict[str, object]:
+        """``POST /queue`` — submit a sweep as one asynchronous job.
+
+        Returns the job status envelope: ``job`` (the id to poll),
+        ``total``/``pending``/``leased``/``done``/``failed`` counts and
+        ``fingerprints`` in cell order (what :meth:`sweep_results`
+        collects once the job finishes).  Cells already stored are done
+        on arrival; nothing is ever computed twice.
+        """
+        from repro.scenario import SweepGrid
+
+        scenarios = (
+            sweep.scenarios() if isinstance(sweep, SweepGrid) else sweep
+        )
+        return self._request(
+            "POST", "/queue",
+            {"scenarios": [scenario.to_dict() for scenario in scenarios]},
+        )
+
+    def job_status(self, job_id: str) -> Dict[str, object]:
+        """``GET /queue/jobs/<id>`` — progress of one submitted job."""
+        return self._request("GET", f"/queue/jobs/{job_id}")
+
+    def wait(
+        self,
+        job_id: str,
+        poll_s: float = 0.5,
+        timeout: Optional[float] = None,
+    ) -> Dict[str, object]:
+        """Poll a job until every cell is done; returns its final status.
+
+        Raises :class:`~repro.errors.ServiceError` if any cell failed
+        (carrying the per-cell error messages) or if ``timeout``
+        elapses first.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            status = self.job_status(job_id)
+            if status["finished"]:
+                if status["failed"]:
+                    raise ServiceError(
+                        f"job {job_id} finished with {status['failed']} "
+                        f"failed cell(s): {status['errors']}"
+                    )
+                return status
+            if deadline is not None and time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"job {job_id} still has {status['pending']} pending / "
+                    f"{status['leased']} leased cell(s) after {timeout} s"
+                )
+            time.sleep(poll_s)
+
+    def sweep_results(
+        self, fingerprints: Iterable[str]
+    ) -> List["ScenarioResult"]:
+        """Rehydrated results for the given fingerprints, in order.
+
+        The collection step after :meth:`wait`: every fingerprint of a
+        finished job is in the store, so this is pure reads — zero
+        simulation."""
+        from repro.sim.session import ScenarioResult
+
+        return [
+            ScenarioResult.from_dict(self.result(fingerprint))
+            for fingerprint in fingerprints
+        ]
+
+    def run_sweep_distributed(
+        self,
+        sweep: Union["SweepGrid", Iterable["Scenario"]],
+        poll_s: float = 0.5,
+        timeout: Optional[float] = None,
+    ) -> List["ScenarioResult"]:
+        """Submit, wait, collect: the asynchronous analogue of
+        :meth:`run_sweep` — cells are drained by whatever consumers the
+        server has (its local executor and/or remote ``repro worker``
+        processes), and the results come back in cell order,
+        bit-identical to a local ``run_sweep`` of the same cells."""
+        job = self.submit_sweep(sweep)
+        self.wait(job["job"], poll_s=poll_s, timeout=timeout)
+        return self.sweep_results(job["fingerprints"])
+
+    def lease(self, n: int = 1, worker: str = "") -> List[Dict[str, object]]:
+        """``GET /queue/lease`` — pull up to ``n`` cells to compute.
+
+        Each entry carries ``fingerprint``, the serialized ``scenario``
+        (rebuild with :meth:`Scenario.from_dict`), the ``lease`` token
+        to complete with, and ``expires_s``."""
+        query = urlencode({"n": n, "worker": worker})
+        return self._request("GET", f"/queue/lease?{query}")["leases"]
+
+    def complete(
+        self, results: List[Dict[str, object]]
+    ) -> Dict[str, object]:
+        """``POST /queue/complete`` — push computed cells home.
+
+        ``results`` entries are ``{"fingerprint", "lease", "payload"}``
+        (a ``ScenarioResult.to_dict()``) or ``{"fingerprint", "lease",
+        "error"}``; returns per-item ``statuses`` and the ``accepted``
+        count."""
+        return self._request("POST", "/queue/complete", {"results": results})
+
+    def renew(
+        self, leases: List[Dict[str, object]]
+    ) -> Dict[str, object]:
+        """``POST /queue/renew`` — keep live leases from expiring.
+
+        ``leases`` entries need ``fingerprint`` and ``lease``; returns
+        per-item ``statuses`` and the ``renewed`` count.  Workers call
+        this on a heartbeat while a long batch computes."""
+        entries = [
+            {"fingerprint": item["fingerprint"], "lease": item["lease"]}
+            for item in leases
+        ]
+        return self._request("POST", "/queue/renew", {"leases": entries})

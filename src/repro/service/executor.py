@@ -1,35 +1,45 @@
-"""Batched miss execution: one background sweep loop for the service.
+"""Batched miss execution: the work queue's local consumer.
 
-HTTP handler threads never simulate.  A store miss is submitted here
-and the caller blocks on a :class:`~concurrent.futures.Future`; a
-single background thread drains everything queued since the last
-batch, runs it as one memoized sweep
-(:func:`repro.sim.session.run_sweep` with ``store=``), and resolves
-the futures.  That design buys three properties at once:
+HTTP handler threads never simulate.  A store miss becomes a cell in
+the service's :class:`~repro.service.queue.WorkQueue` and the caller
+blocks on its :class:`~concurrent.futures.Future`; this executor's
+single background thread leases every ready cell as one batch, runs
+the batch through :func:`repro.sim.session.run_sweep`, and pushes each
+result home through the queue's completion path.  That design buys
+three properties at once:
 
 * *Batching.*  Concurrent cold requests become one ``run_sweep`` call
   — serial requests share trace-block reuse, and with ``jobs=N`` one
   batch fans out across worker processes.
-* *Deduplication.*  A pending-map hands every concurrent request for
-  one fingerprint the same future, and ``run_sweep`` dedupes misses
-  by fingerprint and re-checks the store per batch — so a scenario in
-  flight (or persisted by an earlier batch after the caller's miss)
-  is never simulated twice.
-* *Single-writer discipline.*  Only the batch thread persists
-  (``run_sweep``'s parent role); handler threads are pure readers,
-  which under SQLite WAL never block.
+* *Deduplication.*  The queue hands every concurrent request for one
+  fingerprint the same cell (and therefore the same future), and the
+  store-backed submit dedup means a scenario computed earlier is never
+  simulated twice.
+* *Single-writer discipline.*  Results land through
+  :meth:`WorkQueue.complete_local`, which serializes every store write
+  behind one lock; handler threads are pure readers.
+
+The executor is *one consumer* of the queue, not its owner: remote
+sweep workers (``repro worker``) lease from the same queue over HTTP,
+so a served deployment can mix local compute and remote drain — or run
+with no local compute at all (``repro serve --no-local``).  The local
+consumer takes non-expiring leases: an in-process thread cannot crash
+without taking the whole queue with it, and a long local batch must
+not expire into a remote worker's hands mid-computation.
 """
 
 from __future__ import annotations
 
+import math
 import multiprocessing
 import os
-import queue
 import signal
 import threading
 from concurrent.futures import Future, ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.service.queue import Lease, WorkQueue
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.scenario import Scenario
@@ -45,19 +55,39 @@ def _worker_init() -> None:  # pragma: no cover - runs in worker processes
 
 
 class BatchingExecutor:
-    """Single background ``run_sweep`` loop with in-flight dedup."""
+    """Single background ``run_sweep`` loop draining a work queue.
+
+    ``queue`` attaches the executor to an existing
+    :class:`WorkQueue` (the service passes the one its HTTP endpoints
+    feed); ``None`` creates a private queue over ``store`` — the
+    standalone embedding, where :meth:`submit`/:meth:`compute` are the
+    only producers.
+    """
 
     def __init__(
         self,
         store: "ResultStore",
         jobs: Optional[int] = None,
+        queue: Optional[WorkQueue] = None,
         name: str = "repro-service-executor",
+        poll_seconds: float = 0.25,
+        batch_max: Optional[int] = None,
     ) -> None:
         self.store = store
+        self._owns_queue = queue is None
+        self.queue = WorkQueue(store) if queue is None else queue
         if jobs is not None and jobs < 0:
             jobs = os.cpu_count() or 1
         #: Effective worker count (negative inputs already resolved).
         self.jobs = jobs
+        # Cells leased per batch.  Bounded so the local consumer does
+        # not swallow a whole submitted sweep in one non-expiring lease
+        # and starve remote workers in a mixed deployment; large enough
+        # to keep the batching/dedup/trace-reuse wins for request
+        # bursts.  The loop re-leases immediately after each batch, so
+        # with no remote workers throughput is unchanged.
+        self.batch_max = batch_max if batch_max is not None \
+            else max(16, 4 * (jobs or 1))
         # One long-lived worker pool for every batch (workers spawn on
         # first use): paying process startup per cold batch would sit
         # directly on the serving path.
@@ -66,10 +96,7 @@ class BatchingExecutor:
         #: Batches dispatched / scenarios computed through them.
         self.batches = 0
         self.batched_scenarios = 0
-        self._queue: "queue.SimpleQueue[Optional[Tuple[str, Scenario]]]" = (
-            queue.SimpleQueue()
-        )
-        self._pending: Dict[str, Future] = {}
+        self._poll_seconds = poll_seconds
         self._lock = threading.Lock()
         self._closed = False
         self._thread = threading.Thread(target=self._run, name=name, daemon=True)
@@ -92,20 +119,13 @@ class BatchingExecutor:
         """Queue one scenario; returns the future of its result.
 
         Concurrent submissions of the same fingerprint share one
-        future (and therefore one computation).
+        future (and therefore one computation); a scenario already in
+        the store resolves immediately without queuing.
         """
-        from repro.scenario import scenario_fingerprint
-
-        fingerprint = scenario_fingerprint(scenario)
         with self._lock:
             if self._closed:
                 raise RuntimeError("executor is closed")
-            future = self._pending.get(fingerprint)
-            if future is None:
-                future = Future()
-                self._pending[fingerprint] = future
-                self._queue.put((fingerprint, scenario))
-        return future
+        return self.queue.submit_scenario(scenario)
 
     def compute(
         self, scenario: "Scenario", timeout: Optional[float] = None
@@ -114,43 +134,38 @@ class BatchingExecutor:
         return self.submit(scenario).result(timeout)
 
     def pending(self) -> int:
-        """Number of in-flight fingerprints."""
-        with self._lock:
-            return len(self._pending)
+        """Number of in-flight cells in the queue."""
+        return self.queue.in_flight()
 
     # ------------------------------------------------------------------
     def _run(self) -> None:
         while True:
-            first = self._queue.get()
-            if first is None:
-                return
-            batch = [first]
-            shutdown = False
-            while True:
-                try:
-                    item = self._queue.get_nowait()
-                except queue.Empty:
-                    break
-                if item is None:
-                    shutdown = True
-                    break
-                batch.append(item)
-            self._process(batch)
-            if shutdown:
+            with self._lock:
+                if self._closed:
+                    return
+            batch = self.queue.lease_wait(
+                n=self.batch_max,
+                timeout=self._poll_seconds,
+                worker=self._thread.name,
+                lease_seconds=math.inf,
+            )
+            if batch:
+                self._process(batch)
+            elif self.queue.closed:
                 return
 
-    def _process(self, batch: List[Tuple[str, "Scenario"]]) -> None:
+    def _process(self, batch: List[Lease]) -> None:
         from repro.sim.session import run_sweep
 
-        fingerprints = [fingerprint for fingerprint, _scenario in batch]
-        scenarios = [scenario for _fingerprint, scenario in batch]
+        scenarios = [lease.scenario for lease in batch]
         self.batches += 1
         self.batched_scenarios += len(scenarios)
         try:
-            # run_sweep re-checks the store (a cell persisted since the
-            # caller's miss is a hit, not a resimulation), computes the
-            # rest, and persists — this thread is the single writer.
-            results = run_sweep(scenarios, store=self.store, pool=self._pool)
+            # The queue already deduplicated against the store and
+            # in-flight cells, so every leased cell is a real miss;
+            # results land through complete_local (the single-writer
+            # completion path remote workers also funnel through).
+            results = run_sweep(scenarios, pool=self._pool)
         except BaseException as exc:
             # A crashed worker process poisons the whole pool: rebuild
             # it, or every later batch would raise BrokenProcessPool
@@ -160,88 +175,72 @@ class BatchingExecutor:
                 self._pool = self._new_pool()
             self._retry_per_cell(batch)
             return
-        self._resolve(fingerprints, results=results)
+        for lease, result in zip(batch, results):
+            self.queue.complete_local(lease.fingerprint, lease.token, result)
 
-    def _retry_per_cell(self, batch: List[Tuple[str, "Scenario"]]) -> None:
+    def _retry_per_cell(self, batch: List[Lease]) -> None:
         """Error fallback: one independent outcome per cell.
 
         ``run_sweep`` aborts a batch wholesale on the first failure,
         discarding everything computed before it — one bad cell must
         not poison (or re-bill) its co-batched requests.  Retries keep
-        the worker pool's parallelism when there is one; this thread
-        still does every store write.
+        the worker pool's parallelism when there is one; completions
+        and failures still settle through the queue.
         """
         from repro.sim.session import run_scenario, run_sweep
 
         if self._pool is None:
-            for fingerprint, scenario in batch:
+            for lease in batch:
                 try:
-                    result = run_sweep([scenario], store=self.store)[0]
+                    result = run_sweep([lease.scenario])[0]
                 except BaseException as exc:
-                    self._resolve([fingerprint], error=exc)
+                    self.queue.fail(lease.fingerprint, lease.token, exc)
                 else:
-                    self._resolve([fingerprint], results=[result])
+                    self.queue.complete_local(
+                        lease.fingerprint, lease.token, result
+                    )
             return
         # Everything per-cell stays inside its own try: an exception
         # escaping here would kill the batch thread and hang every
         # later cold request.
-        pending: List[Tuple[str, Future]] = []
-        for fingerprint, scenario in batch:
+        futures: List[Optional[Future]] = []
+        for lease in batch:
             try:
-                cached = self.store.load(scenario)
-                if cached is None:
-                    pending.append(
-                        (fingerprint, self._pool.submit(run_scenario, scenario))
-                    )
-                    continue
+                futures.append(self._pool.submit(run_scenario, lease.scenario))
             except BaseException as exc:
-                self._resolve([fingerprint], error=exc)
+                futures.append(None)
+                self.queue.fail(lease.fingerprint, lease.token, exc)
+        for lease, future in zip(batch, futures):
+            if future is None:
                 continue
-            self._resolve([fingerprint], results=[cached])
-        for fingerprint, future in pending:
             try:
                 result = future.result()
-                self.store.save(result)
             except BaseException as exc:
-                self._resolve([fingerprint], error=exc)
+                self.queue.fail(lease.fingerprint, lease.token, exc)
             else:
-                self._resolve([fingerprint], results=[result])
-
-    def _resolve(
-        self,
-        fingerprints: List[str],
-        results: Optional[List["ScenarioResult"]] = None,
-        error: Optional[BaseException] = None,
-    ) -> None:
-        with self._lock:
-            futures = [self._pending.pop(fp, None) for fp in fingerprints]
-        for index, future in enumerate(futures):
-            if future is None or future.done():  # pragma: no cover - race guard
-                continue
-            if error is not None:
-                future.set_exception(error)
-            else:
-                future.set_result(results[index])
+                self.queue.complete_local(lease.fingerprint, lease.token, result)
 
     # ------------------------------------------------------------------
     def close(self, timeout: float = 10.0) -> None:
-        """Stop the batch thread; fail anything still pending."""
+        """Stop the batch thread; fail anything still pending.
+
+        A queue passed in by the service is left open (the service
+        coordinates its shutdown — remote workers may still be
+        draining it); a privately owned queue is shut down, failing
+        every waiter.
+        """
         with self._lock:
             if self._closed:
                 return
             self._closed = True
-        self._queue.put(None)
+        if self._owns_queue:
+            self.queue.shutdown("executor closed")
         self._thread.join(timeout)
         if self._pool is not None:
             # Don't block on in-flight simulations (a scale-1.0 cell
             # runs for minutes): drop queued work and let the workers
             # die with this daemonized process.
             self._pool.shutdown(wait=False, cancel_futures=True)
-        with self._lock:
-            pending, self._pending = self._pending, {}
-        for future in pending.values():
-            if not future.done():
-                future.set_exception(RuntimeError("executor closed"))
 
     def __enter__(self) -> "BatchingExecutor":
         return self

@@ -1,0 +1,612 @@
+"""Distributed work queue: sweep cells leased out, results pushed home.
+
+The :class:`WorkQueue` is the server-side coordination point that turns
+the scenario service into a distributed sweep engine.  Everything the
+previous layers established is load-bearing here:
+
+* a cell is a pure ``(fingerprint, payload)`` pair (replay determinism,
+  ROADMAP invariant 4), so *any* worker may compute it and the result
+  is bit-identical;
+* workers rebuild cells from serialized :class:`~repro.scenario.Scenario`
+  specs alone (the Scenario API contract), so a lease ships plain JSON;
+* the store's single-writer discipline matches a push-results-home
+  loop — every completion funnels through one write lock, so backends
+  need no cross-process coordination.
+
+Life of a cell::
+
+    submit ──> pending ──lease──> leased ──complete──> store (done)
+                  ^                  │
+                  └────── expiry ────┘   (crashed worker: re-leased)
+
+Dedup is store-backed (:meth:`~repro.store.base.ResultStore.missing`):
+submitting a fingerprint that is already stored finishes immediately
+without a cell, and submitting one that is already pending or leased
+attaches to the in-flight cell — a cell is simulated at most once no
+matter how many jobs or synchronous requests name it.
+
+Consumers are symmetric: the service's local
+:class:`~repro.service.executor.BatchingExecutor` leases batches through
+the same :meth:`lease` API remote workers use over
+``GET /queue/lease`` (the local consumer takes non-expiring leases — an
+in-process thread cannot crash without taking the queue with it).
+Completions with a stale token — the cell expired and was re-leased —
+are rejected without touching the store; the replacement worker's
+result is the one that lands.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.errors import ConfigurationError
+from repro.scenario import Scenario, scenario_fingerprint
+from repro.sim.session import RESULT_SCHEMA, ScenarioResult
+from repro.store.base import ResultStore
+
+#: Cell states (internal; job status reports aggregate counts).
+_PENDING, _LEASED, _WRITING = "pending", "leased", "writing"
+
+#: Finished jobs retained for `GET /queue/jobs/<id>` after completion.
+KEEP_FINISHED_JOBS = 256
+
+
+@dataclass(frozen=True)
+class Lease:
+    """One leased cell: what a worker needs to compute and return it."""
+
+    fingerprint: str
+    scenario: Scenario
+    token: str
+    #: Seconds until the lease expires and the cell is re-leased;
+    #: ``None`` for the local consumer (no expiry).
+    expires_s: Optional[float]
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON shape of ``GET /queue/lease`` entries."""
+        return {
+            "fingerprint": self.fingerprint,
+            "scenario": self.scenario.to_dict(),
+            "lease": self.token,
+            "expires_s": self.expires_s,
+        }
+
+
+@dataclass
+class _Cell:
+    fingerprint: str
+    scenario: Scenario
+    state: str = _PENDING
+    token: Optional[str] = None
+    expiry: Optional[float] = None  # monotonic deadline; None = no expiry
+    jobs: Set[str] = field(default_factory=set)
+    future: Future = field(default_factory=Future)
+
+
+@dataclass
+class _Job:
+    id: str
+    total: int
+    fingerprints: Tuple[str, ...]
+    cells: Set[str] = field(default_factory=set)  # still in flight
+    done: int = 0
+    failed: int = 0
+    errors: List[str] = field(default_factory=list)
+
+
+class WorkQueue:
+    """Store-deduplicated queue of sweep cells with leased execution.
+
+    ``store`` is the archive completions land in (and the dedup
+    source); ``lease_seconds`` is the default expiry of remote leases;
+    ``clock`` is injectable for expiry tests (monotonic seconds).
+
+    Thread-safe: submissions, leases and completions may arrive
+    concurrently from HTTP handler threads and the local executor.
+    All store writes are serialized through one internal lock — the
+    queue *is* the single writer the store backends assume.
+    """
+
+    def __init__(
+        self,
+        store: ResultStore,
+        lease_seconds: float = 60.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if lease_seconds <= 0:
+            raise ConfigurationError(
+                f"lease_seconds must be positive, got {lease_seconds}"
+            )
+        self.store = store
+        self.lease_seconds = lease_seconds
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._ready = threading.Condition(self._lock)
+        self._write_lock = threading.Lock()
+        self._cells: Dict[str, _Cell] = {}
+        self._ready_fps: "deque[str]" = deque()
+        self._jobs: Dict[str, _Job] = {}
+        self._job_ids = itertools.count(1)
+        self._lease_ids = itertools.count(1)
+        self._closed = False
+        #: Monotonic counters (mirrored into ``GET /stats``).
+        self.enqueued = 0      # cells that entered the queue
+        self.deduped = 0       # submissions answered by store/in-flight
+        self.completed = 0     # cells finished successfully
+        self.failed = 0        # cells finished with an error
+        self.reclaimed = 0     # expired leases returned to pending
+        self.rejected = 0      # stale/unknown completions refused
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit_scenario(self, scenario: Scenario) -> Future:
+        """Queue one cell for the synchronous path; returns its future.
+
+        A fingerprint already stored resolves immediately (rehydrated);
+        one already in flight shares the existing cell's future.
+        """
+        fingerprint = scenario_fingerprint(scenario)
+        cached = self.store.load(scenario)
+        if cached is not None:
+            future: Future = Future()
+            future.set_result(cached)
+            return future
+        with self._lock:
+            self._check_open()
+            cell = self._cells.get(fingerprint)
+            if cell is not None:
+                self.deduped += 1
+                return cell.future
+            cell = self._enqueue_locked(fingerprint, scenario)
+            return cell.future
+
+    def submit_job(self, scenarios: Sequence[Scenario]) -> Dict[str, object]:
+        """Queue a sweep as one tracked job; returns its status dict.
+
+        Dedup is two-level: cells already in the store count as done
+        immediately (no cell is created), and cells already pending or
+        leased — from another job or the synchronous path — are shared,
+        not duplicated.  The returned status carries the job id and the
+        full fingerprint list in cell order, so a client can poll
+        ``GET /queue/jobs/<id>`` and then fetch every result by
+        fingerprint.
+        """
+        scenarios = list(scenarios)
+        fingerprints = [scenario_fingerprint(s) for s in scenarios]
+        # Snapshot the in-flight set under the lock (iterating the live
+        # dict would race concurrent completions), then do the store
+        # probes outside it — they may touch disk.
+        with self._lock:
+            pending = set(self._cells)
+        fresh = set(self.store.missing(fingerprints, pending=pending))
+        with self._lock:
+            self._check_open()
+            job = _Job(
+                id=f"job-{next(self._job_ids):06d}",
+                total=len(scenarios),
+                fingerprints=tuple(fingerprints),
+            )
+            seen: Set[str] = set()
+            for fingerprint, scenario in zip(fingerprints, scenarios):
+                if fingerprint in seen:           # duplicate inside the job
+                    continue
+                seen.add(fingerprint)
+                cell = self._cells.get(fingerprint)
+                if cell is None and fingerprint in fresh:
+                    cell = self._enqueue_locked(fingerprint, scenario)
+                elif cell is not None:            # shared with an in-flight cell
+                    self.deduped += 1
+                elif fingerprint not in self.store:
+                    # Settled between the dedup snapshot and this lock —
+                    # as a *failure* (completions write the store before
+                    # dropping their cell, failures write nothing).  A
+                    # fresh submission asks for a retry, not a phantom
+                    # "done" the collection step would 404 on.
+                    cell = self._enqueue_locked(fingerprint, scenario)
+                if cell is None:                  # already stored: done
+                    job.done += 1
+                    self.deduped += 1
+                    continue
+                cell.jobs.add(job.id)
+                job.cells.add(fingerprint)
+            # Duplicates inside one job collapse onto one cell; the
+            # job's `total` counts distinct cells so progress adds up.
+            job.total = job.done + len(job.cells)
+            self._jobs[job.id] = job
+            self._prune_finished_jobs_locked()
+            return self._job_status_locked(job)
+
+    def _enqueue_locked(self, fingerprint: str, scenario: Scenario) -> _Cell:
+        cell = _Cell(fingerprint=fingerprint, scenario=scenario)
+        self._cells[fingerprint] = cell
+        self._ready_fps.append(fingerprint)
+        self.enqueued += 1
+        self._ready.notify_all()
+        return cell
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("work queue is closed")
+
+    # ------------------------------------------------------------------
+    # Leasing
+    # ------------------------------------------------------------------
+    def lease(
+        self,
+        n: int = 1,
+        worker: str = "",
+        lease_seconds: Optional[float] = None,
+    ) -> List[Lease]:
+        """Lease up to ``n`` pending cells to ``worker``.
+
+        ``lease_seconds`` overrides the queue default; ``math.inf``
+        takes a non-expiring lease (the local executor — an in-process
+        consumer cannot crash independently of the queue).  Expired
+        leases are reclaimed first, so a crashed worker's cells are
+        handed to the next caller.
+        """
+        if n < 1:
+            return []
+        with self._lock:
+            if self._closed:
+                return []
+            now = self._clock()
+            self._reclaim_expired_locked(now)
+            leases: List[Lease] = []
+            while self._ready_fps and len(leases) < n:
+                fingerprint = self._ready_fps.popleft()
+                cell = self._cells.get(fingerprint)
+                if cell is None or cell.state != _PENDING:
+                    continue  # reclaim/dedup left a stale ready entry
+                seconds = self.lease_seconds if lease_seconds is None \
+                    else lease_seconds
+                cell.state = _LEASED
+                cell.token = f"lease-{next(self._lease_ids):08d}"
+                cell.expiry = None if math.isinf(seconds) else now + seconds
+                leases.append(Lease(
+                    fingerprint=fingerprint,
+                    scenario=cell.scenario,
+                    token=cell.token,
+                    expires_s=None if math.isinf(seconds) else seconds,
+                ))
+            return leases
+
+    def lease_wait(
+        self,
+        n: int = 1,
+        timeout: float = 0.25,
+        worker: str = "",
+        lease_seconds: Optional[float] = None,
+    ) -> List[Lease]:
+        """Blocking :meth:`lease`: wait up to ``timeout`` for work.
+
+        Returns immediately once at least one cell is ready (then
+        leases up to ``n``); an empty list means the timeout elapsed or
+        the queue closed.  This is the local executor's idle loop — no
+        polling interval shows up on the serving path.
+        """
+        deadline = self._clock() + timeout
+        while True:
+            leases = self.lease(n, worker=worker, lease_seconds=lease_seconds)
+            if leases:
+                return leases
+            with self._ready:
+                if self._closed:
+                    return []
+                remaining = deadline - self._clock()
+                if remaining <= 0:
+                    return []
+                # Wake early for the nearest lease expiry so reclaims
+                # do not wait out the full timeout.
+                expiries = [
+                    cell.expiry - self._clock()
+                    for cell in self._cells.values()
+                    if cell.state == _LEASED and cell.expiry is not None
+                ]
+                wait_s = min([remaining] + [max(e, 0.01) for e in expiries])
+                self._ready.wait(wait_s)
+
+    def renew(
+        self,
+        fingerprint: str,
+        token: str,
+        lease_seconds: Optional[float] = None,
+    ) -> str:
+        """Extend a live lease (``POST /queue/renew``).
+
+        Workers renew while computing, so a cell whose simulation
+        outlives one lease window is not reclaimed out from under a
+        *healthy* worker (which would livelock two workers rejecting
+        each other's completions as stale).  A crashed worker stops
+        renewing and its cells re-lease after expiry, as before.
+        Returns ``"renewed"``, or the same rejection statuses as
+        :meth:`complete` (``"stale-lease"`` / ``"already-done"`` /
+        ``"unknown"``).
+        """
+        with self._lock:
+            cell = self._cells.get(fingerprint)
+            if cell is None:
+                return "already-done" if fingerprint in self.store \
+                    else "unknown"
+            if cell.state != _LEASED or cell.token != token:
+                return "stale-lease"
+            if cell.expiry is not None:
+                seconds = self.lease_seconds if lease_seconds is None \
+                    else lease_seconds
+                cell.expiry = self._clock() + seconds
+            return "renewed"
+
+    def _reclaim_expired_locked(self, now: float) -> None:
+        for cell in self._cells.values():
+            if (
+                cell.state == _LEASED
+                and cell.expiry is not None
+                and cell.expiry <= now
+            ):
+                cell.state = _PENDING
+                cell.token = None   # the old lease is now stale
+                cell.expiry = None
+                self._ready_fps.append(cell.fingerprint)
+                self.reclaimed += 1
+                self._ready.notify_all()
+
+    # ------------------------------------------------------------------
+    # Completion
+    # ------------------------------------------------------------------
+    def complete(
+        self,
+        fingerprint: str,
+        token: str,
+        payload: Mapping[str, object],
+    ) -> str:
+        """Push one computed payload home (``POST /queue/complete``).
+
+        Returns a status string:
+
+        * ``"done"`` — accepted and persisted;
+        * ``"already-done"`` — the cell finished earlier (idempotent
+          duplicate; nothing written);
+        * ``"stale-lease"`` — the lease expired and was re-issued, or
+          the token never matched; the store is untouched;
+        * ``"bad-payload"`` — the payload fails validation (wrong
+          schema tag, or its spec does not hash to ``fingerprint``);
+          the cell returns to pending for another worker;
+        * ``"unknown"`` — no such cell was ever queued.
+        """
+        claim = self._claim_for_completion(fingerprint, token)
+        if claim is not None:
+            return claim
+        error = self._validate_payload(fingerprint, payload)
+        if error is not None:
+            self._requeue_after_bad_payload(fingerprint)
+            return error
+        result: Optional[ScenarioResult] = None
+        return self._land(fingerprint, payload=dict(payload), result=result)
+
+    def complete_local(
+        self, fingerprint: str, token: str, result: ScenarioResult
+    ) -> str:
+        """In-process completion (the executor's path): trusted result."""
+        claim = self._claim_for_completion(fingerprint, token)
+        if claim is not None:
+            return claim
+        return self._land(fingerprint, payload=None, result=result)
+
+    def fail(self, fingerprint: str, token: str, error: object) -> str:
+        """Record a deterministic failure for a leased cell.
+
+        The waiting futures raise, jobs count the cell as failed, and
+        nothing is written to the store (failures are never cached).
+        """
+        claim = self._claim_for_completion(fingerprint, token)
+        if claim is not None:
+            return claim
+        with self._lock:
+            cell = self._cells[fingerprint]
+        return self._fail_claimed(cell, error)
+
+    def _fail_claimed(self, cell: _Cell, error: object) -> str:
+        """Settle an already-claimed (state ``writing``) cell as failed."""
+        exc = error if isinstance(error, BaseException) \
+            else RuntimeError(str(error))
+        with self._lock:
+            self._cells.pop(cell.fingerprint, None)
+            self.failed += 1
+            self._settle_jobs_locked(cell, error=str(exc))
+        if not cell.future.done():
+            cell.future.set_exception(exc)
+        return "failed"
+
+    def _claim_for_completion(
+        self, fingerprint: str, token: str
+    ) -> Optional[str]:
+        """Atomically move a leased cell to ``writing``; ``None`` on
+        success, else the rejection status."""
+        with self._lock:
+            cell = self._cells.get(fingerprint)
+            if cell is None:
+                if fingerprint in self.store:
+                    return "already-done"
+                self.rejected += 1
+                return "unknown"
+            if cell.state != _LEASED or cell.token != token:
+                self.rejected += 1
+                return "stale-lease"
+            cell.state = _WRITING
+        return None
+
+    def _validate_payload(
+        self, fingerprint: str, payload: Mapping[str, object]
+    ) -> Optional[str]:
+        """``None`` if the payload is storable under ``fingerprint``."""
+        if not isinstance(payload, Mapping):
+            return "bad-payload"
+        if payload.get("schema") != RESULT_SCHEMA:
+            return "bad-payload"
+        try:
+            spec = Scenario.from_dict(payload["scenario"])
+        except Exception:
+            return "bad-payload"
+        if scenario_fingerprint(spec) != fingerprint:
+            # A worker answering for the wrong cell would poison the
+            # content-addressed archive for every later reader.
+            return "bad-payload"
+        return None
+
+    def _requeue_after_bad_payload(self, fingerprint: str) -> None:
+        with self._lock:
+            self.rejected += 1
+            cell = self._cells.get(fingerprint)
+            if cell is not None and cell.state == _WRITING:
+                cell.state = _PENDING
+                cell.token = None
+                cell.expiry = None
+                self._ready_fps.append(fingerprint)
+                self._ready.notify_all()
+
+    def _land(
+        self,
+        fingerprint: str,
+        payload: Optional[Dict[str, object]],
+        result: Optional[ScenarioResult],
+    ) -> str:
+        """Persist and settle one claimed cell (state ``writing``)."""
+        with self._lock:
+            cell = self._cells[fingerprint]
+        try:
+            with self._write_lock:  # the queue is the single writer
+                if payload is not None:
+                    self.store.put(fingerprint, payload, scenario=cell.scenario)
+                else:
+                    self.store.save(result)
+        except BaseException as exc:
+            # The store refused the write (disk full, closed backend):
+            # surface it to every waiter rather than wedging the cell.
+            return self._fail_claimed(cell, exc)
+        with self._lock:
+            self._cells.pop(fingerprint, None)
+            self.completed += 1
+            self._settle_jobs_locked(cell, error=None)
+        if not cell.future.done():
+            if result is None:
+                result = ScenarioResult.from_dict(payload)
+            cell.future.set_result(result)
+        return "done"
+
+    def _settle_jobs_locked(self, cell: _Cell, error: Optional[str]) -> None:
+        for job_id in cell.jobs:
+            job = self._jobs.get(job_id)
+            if job is None:
+                continue
+            job.cells.discard(cell.fingerprint)
+            if error is None:
+                job.done += 1
+            else:
+                job.failed += 1
+                job.errors.append(f"{cell.fingerprint[:12]}: {error}")
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def job_status(self, job_id: str) -> Dict[str, object]:
+        """Progress of one job (``GET /queue/jobs/<id>``)."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                raise ConfigurationError(f"unknown job {job_id!r}")
+            return self._job_status_locked(job)
+
+    def _job_status_locked(self, job: _Job) -> Dict[str, object]:
+        leased = sum(
+            1
+            for fingerprint in job.cells
+            if self._cells.get(fingerprint) is not None
+            and self._cells[fingerprint].state in (_LEASED, _WRITING)
+        )
+        pending = len(job.cells) - leased
+        return {
+            "job": job.id,
+            "total": job.total,
+            "pending": pending,
+            "leased": leased,
+            "done": job.done,
+            "failed": job.failed,
+            "errors": list(job.errors),
+            "finished": job.done + job.failed >= job.total,
+            "fingerprints": list(job.fingerprints),
+        }
+
+    def jobs(self) -> List[Dict[str, object]]:
+        """Status of every retained job, oldest first."""
+        with self._lock:
+            return [self._job_status_locked(job) for job in self._jobs.values()]
+
+    def in_flight(self) -> int:
+        """Cells not yet finished (pending + leased)."""
+        with self._lock:
+            return len(self._cells)
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            leased = sum(
+                1 for c in self._cells.values()
+                if c.state in (_LEASED, _WRITING)
+            )
+            return {
+                "pending": len(self._cells) - leased,
+                "leased": leased,
+                "jobs": len(self._jobs),
+                "enqueued": self.enqueued,
+                "deduped": self.deduped,
+                "completed": self.completed,
+                "failed": self.failed,
+                "reclaimed": self.reclaimed,
+                "rejected": self.rejected,
+            }
+
+    def _prune_finished_jobs_locked(self) -> None:
+        finished = [
+            job_id for job_id, job in self._jobs.items()
+            if job.done + job.failed >= job.total
+        ]
+        for job_id in finished[: max(0, len(finished) - KEEP_FINISHED_JOBS)]:
+            del self._jobs[job_id]
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+    def shutdown(self, reason: str = "work queue is closed") -> None:
+        """Refuse new work and fail every in-flight future."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            cells, self._cells = self._cells, {}
+            self._ready_fps.clear()
+            for cell in cells.values():
+                self._settle_jobs_locked(cell, error=reason)
+            self._ready.notify_all()
+        for cell in cells.values():
+            if not cell.future.done():
+                cell.future.set_exception(RuntimeError(reason))
+
+    @property
+    def closed(self) -> bool:
+        return self._closed

@@ -1,25 +1,39 @@
-"""Threaded HTTP frontend: serve sweep results from a result store.
+"""Threaded HTTP frontend: serve sweep results, coordinate workers.
 
 ``repro serve --store results.sqlite --port 8321`` answers scenario
-traffic with zero simulation for anything previously seen:
+traffic with zero simulation for anything previously seen, and fronts
+the distributed work queue that fans cold sweeps out across machines:
 
 * ``POST /scenario`` — a spec (full ``Scenario.to_dict()`` or CLI-style
   shorthand, see :mod:`repro.service.spec`); a store hit is answered
-  straight from the archive, a miss is computed through the single
-  background :class:`~repro.service.executor.BatchingExecutor` and
-  persisted for every later request.
+  straight from the archive, a miss becomes a work-queue cell and the
+  request blocks until the local executor or a remote worker lands it.
+* ``POST /queue`` — submit a sweep (``{"scenarios": [spec, ...]}``) as
+  one asynchronous job; returns the job id and per-cell fingerprints.
+  Cells already stored are done on arrival; in-flight duplicates are
+  shared, never recomputed.
+* ``GET /queue/lease?n=K&worker=NAME`` — a worker pulls up to K
+  serialized scenarios, each with a lease token + expiry; cells of
+  crashed workers are re-leased after expiry.
+* ``POST /queue/complete`` — a worker pushes computed
+  ``(fingerprint, lease, payload)`` triples home through the queue's
+  single-writer path; stale leases are rejected without touching the
+  store.
+* ``POST /queue/renew`` — a worker extends its live leases while a
+  long batch computes, so only *crashed* workers' cells expire.
+* ``GET /queue/jobs/<id>`` — job progress: pending/leased/done/failed.
 * ``GET /results`` — column-filtered listing (``?workload=fft&seed=7``),
   the store's indexed :meth:`~repro.store.base.ResultStore.query`.
 * ``GET /results/<fingerprint-prefix>`` — one stored payload.
 * ``GET /healthz`` — liveness + record count.
 * ``GET /stats`` — service hit/miss counters, executor batching
-  counters, store accounting.
+  counters, queue counters, store accounting.
 
 Everything is stdlib (``http.server`` + ``json``); responses are JSON
 with correct ``Content-Length``, so HTTP/1.1 keep-alive works and a
 warm request costs one round-trip.  Handler threads only read the
-store; the executor's batch thread is the single writer — the
-discipline the store backends are built around.
+store; every write funnels through the work queue's completion path —
+the single-writer discipline the store backends are built around.
 """
 
 from __future__ import annotations
@@ -27,12 +41,13 @@ from __future__ import annotations
 import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Dict, Optional, Union
+from typing import Dict, List, Optional, Union
 from urllib.parse import parse_qsl, urlsplit
 
 from repro.errors import ConfigurationError, ReproError
 from repro.scenario import Scenario, scenario_fingerprint
 from repro.service.executor import BatchingExecutor
+from repro.service.queue import WorkQueue
 from repro.service.spec import scenario_from_request
 from repro.store import ResultStore, open_store
 
@@ -40,20 +55,30 @@ from repro.store import ResultStore, open_store
 #: strings are text; the store's columns are typed).
 _NUMERIC_FILTERS = {"dram_ns": float, "scale": float, "seed": int}
 
-#: Largest accepted ``POST /scenario`` body.  Full specs are a few KB;
-#: anything near this bound is garbage, refused with 413 before a
-#: single body byte is buffered.
-MAX_BODY_BYTES = 4 * 1024 * 1024
+#: Largest accepted POST body.  Full specs are a few KB and worker
+#: completion batches a few hundred KB; anything near this bound is
+#: garbage, refused with 413 before a single body byte is buffered.
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+#: Most cells accepted in one ``POST /queue`` submission.
+MAX_JOB_CELLS = 10_000
+
+#: Most cells leased by one ``GET /queue/lease`` call.
+MAX_LEASE_N = 1_000
 
 
 class ScenarioServer:
-    """The service frontend: store + batch executor + HTTP listener.
+    """The service frontend: store + work queue + executor + listener.
 
     ``store`` is a path-like spec (as ``open_store`` takes) or an
     existing :class:`ResultStore`; ``jobs`` is forwarded to the batch
     executor (``None`` = compute misses serially in the batch thread,
-    ``N`` = fan each batch out to worker processes).  ``port=0`` binds
-    an ephemeral port (tests, benchmarks).
+    ``N`` = fan each batch out to worker processes);
+    ``local_compute=False`` starts no executor at all — the server is a
+    pure coordinator and every cell waits for a remote ``repro worker``.
+    ``lease_seconds`` bounds how long a remote worker may sit on a cell
+    before it is re-leased.  ``port=0`` binds an ephemeral port (tests,
+    benchmarks).
     """
 
     def __init__(
@@ -63,12 +88,19 @@ class ScenarioServer:
         host: str = "127.0.0.1",
         port: int = 0,
         request_timeout: float = 600.0,
+        local_compute: bool = True,
+        lease_seconds: float = 60.0,
     ) -> None:
         self._owns_store = not isinstance(store, ResultStore)
         self.store = open_store(store)
         self.request_timeout = request_timeout
-        self.executor = BatchingExecutor(self.store, jobs=jobs)
-        self.jobs = self.executor.jobs  # effective (jobs=-1 resolved)
+        self.queue = WorkQueue(self.store, lease_seconds=lease_seconds)
+        self.executor: Optional[BatchingExecutor] = None
+        if local_compute:
+            self.executor = BatchingExecutor(
+                self.store, jobs=jobs, queue=self.queue
+            )
+        self.jobs = self.executor.jobs if self.executor else 0
         self.requests = 0
         self.hits = 0
         self.misses = 0
@@ -79,7 +111,9 @@ class ScenarioServer:
             # Bind failed (port in use, bad host): release what
             # __init__ already started, or a caller retrying ports
             # leaks one batch thread + store connection per attempt.
-            self.executor.close()
+            if self.executor is not None:
+                self.executor.close()
+            self.queue.shutdown()
             if self._owns_store:
                 self.store.close()
             raise
@@ -126,7 +160,9 @@ class ScenarioServer:
         if self._thread is not None:
             self._thread.join(timeout=10.0)
             self._thread = None
-        self.executor.close()
+        if self.executor is not None:
+            self.executor.close()
+        self.queue.shutdown("service closed")
         if self._owns_store:
             self.store.close()
 
@@ -140,7 +176,7 @@ class ScenarioServer:
     # Request logic (handlers call these; HTTP plumbing stays below)
     # ------------------------------------------------------------------
     def handle_scenario(self, scenario: Scenario) -> Dict[str, object]:
-        """Serve one scenario: store hit, or batched computation."""
+        """Serve one scenario: store hit, or a queued computation."""
         fingerprint = scenario_fingerprint(scenario)
         payload = self.store.get(fingerprint)
         if payload is not None:
@@ -150,9 +186,124 @@ class ScenarioServer:
                     "result": payload}
         with self._stats_lock:
             self.misses += 1
-        result = self.executor.compute(scenario, timeout=self.request_timeout)
+        future = self.queue.submit_scenario(scenario)
+        result = future.result(self.request_timeout)
         return {"fingerprint": fingerprint, "cached": False,
                 "result": result.to_dict()}
+
+    def parse_queue_submit(self, body: object) -> List[Scenario]:
+        """Validate a ``POST /queue`` body into its scenario cells."""
+        if not isinstance(body, dict) or "scenarios" not in body:
+            raise ConfigurationError(
+                'queue submissions need {"scenarios": [spec, ...]}'
+            )
+        extras = set(body) - {"scenarios"}
+        if extras:
+            raise ConfigurationError(
+                f"unexpected keys {sorted(extras)} next to 'scenarios'"
+            )
+        specs = body["scenarios"]
+        if not isinstance(specs, list) or not specs:
+            raise ConfigurationError(
+                "'scenarios' must be a non-empty list of scenario specs"
+            )
+        if len(specs) > MAX_JOB_CELLS:
+            raise ConfigurationError(
+                f"job too large: {len(specs)} cells (max {MAX_JOB_CELLS})"
+            )
+        return [scenario_from_request(spec) for spec in specs]
+
+    def handle_lease(self, query: str) -> Dict[str, object]:
+        """``GET /queue/lease`` — hand cells to a pulling worker."""
+        params = dict(parse_qsl(query))
+        try:
+            n = int(params.get("n", "1"))
+        except ValueError:
+            raise ConfigurationError(
+                f"lease count 'n' needs an integer, got {params['n']!r}"
+            ) from None
+        if n < 1 or n > MAX_LEASE_N:
+            raise ConfigurationError(
+                f"lease count must be 1..{MAX_LEASE_N}, got {n}"
+            )
+        leases = self.queue.lease(n, worker=params.get("worker", ""))
+        return {"leases": [lease.to_dict() for lease in leases]}
+
+    def parse_completions(self, body: object) -> List[Dict[str, object]]:
+        """Validate a ``POST /queue/complete`` body (shape only)."""
+        if not isinstance(body, dict) or "results" not in body:
+            raise ConfigurationError(
+                'completions need {"results": [{"fingerprint", "lease", '
+                '"payload"|"error"}, ...]}'
+            )
+        items = body["results"]
+        if not isinstance(items, list):
+            raise ConfigurationError("'results' must be a list")
+        for item in items:
+            if not isinstance(item, dict) or "fingerprint" not in item \
+                    or "lease" not in item:
+                raise ConfigurationError(
+                    "every completion needs 'fingerprint' and 'lease'"
+                )
+            if "payload" not in item and "error" not in item:
+                raise ConfigurationError(
+                    "every completion needs a 'payload' or an 'error'"
+                )
+        return items
+
+    def apply_completions(
+        self, items: List[Dict[str, object]]
+    ) -> Dict[str, object]:
+        """Push validated completions into the queue.
+
+        Per-item outcomes (one bad entry must not void a worker's whole
+        batch): each status is ``done`` / ``already-done`` /
+        ``stale-lease`` / ``bad-payload`` / ``failed`` / ``unknown``.
+        """
+        statuses: List[str] = []
+        for item in items:
+            fingerprint = str(item["fingerprint"])
+            token = str(item["lease"])
+            if "error" in item:
+                statuses.append(
+                    self.queue.fail(fingerprint, token, str(item["error"]))
+                )
+            else:
+                statuses.append(
+                    self.queue.complete(fingerprint, token, item["payload"])
+                )
+        accepted = sum(1 for status in statuses if status == "done")
+        return {"statuses": statuses, "accepted": accepted}
+
+    def parse_renewals(self, body: object) -> List[Dict[str, object]]:
+        """Validate a ``POST /queue/renew`` body (shape only)."""
+        if not isinstance(body, dict) or "leases" not in body \
+                or not isinstance(body["leases"], list):
+            raise ConfigurationError(
+                'renewals need {"leases": [{"fingerprint", "lease"}, ...]}'
+            )
+        for item in body["leases"]:
+            if not isinstance(item, dict) or "fingerprint" not in item \
+                    or "lease" not in item:
+                raise ConfigurationError(
+                    "every renewal needs 'fingerprint' and 'lease'"
+                )
+        return body["leases"]
+
+    def apply_renewals(
+        self, items: List[Dict[str, object]]
+    ) -> Dict[str, object]:
+        """Extend the given leases; per-item statuses."""
+        statuses = [
+            self.queue.renew(str(item["fingerprint"]), str(item["lease"]))
+            for item in items
+        ]
+        return {"statuses": statuses,
+                "renewed": sum(1 for s in statuses if s == "renewed")}
+
+    def handle_job(self, job_id: str) -> Dict[str, object]:
+        """``GET /queue/jobs/<id>`` — progress of one job."""
+        return self.queue.job_status(job_id)
 
     def handle_query(self, query: str) -> Dict[str, object]:
         """``GET /results`` — the store's column-filtered listing."""
@@ -185,14 +336,17 @@ class ScenarioServer:
     def handle_stats(self) -> Dict[str, object]:
         with self._stats_lock:
             requests, hits, misses = self.requests, self.hits, self.misses
+        executor = self.executor
         return {
             "requests": requests,
             "hits": hits,
             "misses": misses,
-            "pending": self.executor.pending(),
-            "batches": self.executor.batches,
-            "batched_scenarios": self.executor.batched_scenarios,
-            "jobs": self.jobs or 1,
+            "pending": self.queue.in_flight(),
+            "batches": executor.batches if executor else 0,
+            "batched_scenarios": executor.batched_scenarios if executor else 0,
+            "jobs": self.jobs or (1 if executor else 0),
+            "local_compute": executor is not None,
+            "queue": self.queue.stats(),
             "store": {
                 "records": len(self.store),
                 "hits": self.store.hits,
@@ -248,6 +402,19 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                 self._send_json(200, service.handle_healthz())
             elif url.path == "/stats":
                 self._send_json(200, service.handle_stats())
+            elif url.path == "/queue/lease":
+                try:
+                    self._send_json(200, service.handle_lease(url.query))
+                except ConfigurationError as exc:
+                    self._send_error(400, str(exc))
+            elif url.path.startswith("/queue/jobs/"):
+                job_id = url.path[len("/queue/jobs/"):]
+                try:
+                    self._send_json(200, service.handle_job(job_id))
+                except ConfigurationError as exc:
+                    self._send_error(404, str(exc))
+            elif url.path == "/queue/jobs":
+                self._send_json(200, {"jobs": service.queue.jobs()})
             elif url.path == "/results":
                 try:
                     self._send_json(200, service.handle_query(url.query))
@@ -293,7 +460,8 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                 )
                 return
             raw = self.rfile.read(length)
-            if url.path != "/scenario":
+            if url.path not in ("/scenario", "/queue", "/queue/complete",
+                                "/queue/renew"):
                 self._send_error(404, f"no route {url.path!r}")
                 return
             try:
@@ -301,13 +469,26 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             except ValueError as exc:
                 self._send_error(400, f"request body is not JSON: {exc}")
                 return
+            # Stage 1: validation (the caller's fault class -> 400).
             try:
-                scenario = scenario_from_request(body)
+                if url.path == "/scenario":
+                    scenario = scenario_from_request(body)
+                    execute = lambda: service.handle_scenario(scenario)
+                elif url.path == "/queue":
+                    scenarios = service.parse_queue_submit(body)
+                    execute = lambda: service.queue.submit_job(scenarios)
+                elif url.path == "/queue/renew":
+                    renewals = service.parse_renewals(body)
+                    execute = lambda: service.apply_renewals(renewals)
+                else:
+                    completions = service.parse_completions(body)
+                    execute = lambda: service.apply_completions(completions)
             except ReproError as exc:
                 self._send_error(400, str(exc))
                 return
+            # Stage 2: execution (the server's fault class -> 500).
             try:
-                self._send_json(200, service.handle_scenario(scenario))
+                self._send_json(200, execute())
             except OSError:  # pragma: no cover - client went away
                 self.close_connection = True
             except Exception as exc:

@@ -1,0 +1,241 @@
+"""Distributed sweep worker: lease cells, simulate, push results home.
+
+``repro worker --server http://host:8321 --jobs 4`` turns any machine
+into extra sweep capacity for a running scenario service.  The loop is
+deliberately dumb — all coordination lives in the server's
+:class:`~repro.service.queue.WorkQueue`:
+
+1. ``GET /queue/lease?n=K`` — pull up to K serialized scenarios (each
+   with a lease token; an expired lease means the server hands the
+   cell to someone else, so a crashed worker costs one lease window,
+   never a lost cell);
+2. rebuild each cell with :meth:`Scenario.from_dict` and run the batch
+   through the same memoization-free :func:`~repro.sim.session.run_sweep`
+   machinery local sweeps use (``--jobs N`` fans a leased batch across
+   worker processes; replay determinism makes the result bit-identical
+   to any other machine's);
+3. ``POST /queue/complete`` — push ``(fingerprint, lease, payload)``
+   triples home; the server validates each payload against its
+   fingerprint and persists through the store's single-writer path.
+
+Workers never open the store and never talk to each other; the queue's
+lease tokens make duplicate or stale completions harmless (they are
+rejected, not written).  Run as many workers against one server as you
+have machines.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+from typing import Dict, List, Optional
+
+from repro.errors import ServiceError
+from repro.scenario import Scenario
+from repro.service.client import ServiceClient
+
+
+class SweepWorker:
+    """One pull/compute/push loop against a scenario service.
+
+    ``jobs`` fans each leased batch across local worker processes
+    (``None`` = serial in-process, with trace-block reuse; ``-1`` = one
+    per CPU); ``lease_n`` is how many cells to pull per round (default:
+    the process parallelism, so the pool stays full); ``poll_s`` is the
+    idle sleep between empty lease responses.
+    """
+
+    def __init__(
+        self,
+        server_url: str,
+        jobs: Optional[int] = None,
+        poll_s: float = 0.5,
+        lease_n: Optional[int] = None,
+        name: Optional[str] = None,
+        timeout: float = 600.0,
+    ) -> None:
+        self.client = ServiceClient(server_url, timeout=timeout)
+        if jobs is not None and jobs < 0:
+            jobs = os.cpu_count() or 1
+        self.jobs = jobs
+        self.lease_n = lease_n if lease_n is not None else max(1, jobs or 1)
+        self.poll_s = poll_s
+        self.name = name or f"{socket.gethostname()}:{os.getpid()}"
+        # One long-lived process pool across lease rounds (lazily
+        # spawned): a round is only ~lease_n cells, so paying pool
+        # startup per round would dominate small-cell sweeps.
+        self._pool = None
+        #: Loop counters (printed by ``repro worker`` on exit).
+        self.leased = 0
+        self.completed = 0
+        self.failed = 0
+        self.rejected = 0
+
+    # ------------------------------------------------------------------
+    def step(self) -> int:
+        """One lease/compute/push round; returns the cells leased.
+
+        Zero means the queue had nothing for us — the caller decides
+        whether to sleep and retry (:meth:`run`) or stop
+        (:meth:`drain`).  While the batch computes, a heartbeat thread
+        renews the leases, so a batch that outlives one lease window is
+        not reclaimed out from under us (only *crashed* workers stop
+        renewing).
+        """
+        leases = self.client.lease(n=self.lease_n, worker=self.name)
+        if not leases:
+            return 0
+        self.leased += len(leases)
+        heartbeat_stop = threading.Event()
+        heartbeat = self._start_heartbeat(leases, heartbeat_stop)
+        try:
+            completions = self._compute(leases)
+        finally:
+            heartbeat_stop.set()
+            if heartbeat is not None:
+                heartbeat.join(timeout=10.0)
+        ack = self.client.complete(completions)
+        for status in ack["statuses"]:
+            if status == "done":
+                self.completed += 1
+            elif status == "failed":
+                self.failed += 1
+            else:  # stale-lease / already-done / unknown: wasted work,
+                self.rejected += 1  # but never wrong results
+        return len(leases)
+
+    def _start_heartbeat(
+        self, leases: List[Dict[str, object]], stop: threading.Event
+    ) -> Optional[threading.Thread]:
+        """Renew the given leases on a timer until ``stop`` is set."""
+        windows = [
+            lease["expires_s"] for lease in leases
+            if lease.get("expires_s") is not None
+        ]
+        if not windows:
+            return None  # non-expiring leases: nothing to keep alive
+        interval = max(0.05, min(windows) * 0.4)
+
+        def beat() -> None:
+            while not stop.wait(interval):
+                try:
+                    self.client.renew(leases)
+                except ServiceError:
+                    pass  # server briefly away: the next beat retries
+
+        thread = threading.Thread(
+            target=beat, name=f"{self.name}-heartbeat", daemon=True
+        )
+        thread.start()
+        return thread
+
+    def _compute(
+        self, leases: List[Dict[str, object]]
+    ) -> List[Dict[str, object]]:
+        """Run one leased batch; one completion entry per lease.
+
+        A batch failure falls back to per-cell execution so one broken
+        cell reports an ``error`` entry instead of voiding its
+        co-leased cells (mirroring the server-side executor's retry)."""
+        from repro.sim.session import run_sweep
+
+        scenarios = [
+            Scenario.from_dict(lease["scenario"]) for lease in leases
+        ]
+        try:
+            results = run_sweep(scenarios, pool=self._ensure_pool())
+        except BaseException:
+            self._reset_broken_pool()
+            completions = []
+            for lease, scenario in zip(leases, scenarios):
+                entry: Dict[str, object] = {
+                    "fingerprint": lease["fingerprint"],
+                    "lease": lease["lease"],
+                }
+                try:
+                    entry["payload"] = run_sweep([scenario])[0].to_dict()
+                except BaseException as exc:
+                    entry["error"] = f"{type(exc).__name__}: {exc}"
+                completions.append(entry)
+            return completions
+        return [
+            {
+                "fingerprint": lease["fingerprint"],
+                "lease": lease["lease"],
+                "payload": result.to_dict(),
+            }
+            for lease, result in zip(leases, results)
+        ]
+
+    # ------------------------------------------------------------------
+    def _ensure_pool(self):
+        """The lazily spawned long-lived process pool (None = serial)."""
+        if self.jobs is None or self.jobs <= 1:
+            return None
+        if self._pool is None:
+            import multiprocessing
+            from concurrent.futures import ProcessPoolExecutor
+
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.jobs,
+                mp_context=multiprocessing.get_context("spawn"),
+            )
+        return self._pool
+
+    def _reset_broken_pool(self) -> None:
+        """Drop a possibly poisoned pool (a crashed worker process
+        breaks the whole executor); the next round respawns it."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    def close(self) -> None:
+        """Release the process pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    def __enter__(self) -> "SweepWorker":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        stop: Optional[threading.Event] = None,
+        drain: bool = False,
+    ) -> None:
+        """The worker loop: lease, compute, push, repeat.
+
+        ``drain=True`` exits on the first empty lease response (batch
+        jobs, CI); otherwise the loop idles on ``poll_s`` until
+        ``stop`` is set (or forever — the ``repro worker`` foreground,
+        ended by Ctrl-C).  The process pool is released on exit."""
+        try:
+            while stop is None or not stop.is_set():
+                try:
+                    processed = self.step()
+                except ServiceError as exc:
+                    if exc.status is not None and exc.status < 500:
+                        raise  # our requests are malformed: a real bug
+                    # Server restarting / unreachable: back off, retry.
+                    processed = 0
+                if processed == 0:
+                    if drain:
+                        return
+                    if stop is not None and stop.wait(self.poll_s):
+                        return
+                    if stop is None:
+                        time.sleep(self.poll_s)
+        finally:
+            self.close()
+
+    def drain(self) -> int:
+        """Run until the queue is empty; returns cells completed."""
+        before = self.completed
+        self.run(drain=True)
+        return self.completed - before

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import threading
 from abc import ABC, abstractmethod
-from typing import Dict, List, Optional, Tuple
+from typing import Collection, Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.scenario import Scenario, scenario_fingerprint
@@ -203,6 +203,31 @@ class ResultStore(ABC):
                 f"give more characters"
             )
         return matches[0]
+
+    def missing(
+        self,
+        fingerprints: Iterable[str],
+        pending: Collection[str] = (),
+    ) -> List[str]:
+        """Fingerprints that still need computing, in input order.
+
+        The dedup primitive of the distributed work queue
+        (:class:`repro.service.queue.WorkQueue`): a fingerprint is
+        *missing* only if it is not served by this store (same
+        schema-tag rule as :meth:`get`), not in ``pending`` (cells
+        already queued or leased elsewhere), and not an earlier
+        duplicate within ``fingerprints`` itself.  Never touches the
+        hit/miss counters — dedup probes are not cache traffic.
+        """
+        seen = set(pending)
+        out: List[str] = []
+        for fingerprint in fingerprints:
+            if fingerprint in seen:
+                continue
+            seen.add(fingerprint)
+            if fingerprint not in self:
+                out.append(fingerprint)
+        return out
 
     def __contains__(self, fingerprint: str) -> bool:
         """Whether :meth:`get` would serve this fingerprint.

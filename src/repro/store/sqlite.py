@@ -179,6 +179,35 @@ class SqliteStore(ResultStore):
             return schema, {}
         return schema, dict(zip(RECORD_COLUMNS, row[1:]))
 
+    def missing(
+        self,
+        fingerprints,
+        pending=(),
+    ) -> List[str]:
+        """Chunked ``IN`` probes instead of one SELECT per fingerprint
+        (the work queue dedups whole sweep submissions through this)."""
+        from repro.sim.session import RESULT_SCHEMA
+
+        seen = set(pending)
+        candidates: List[str] = []
+        for fingerprint in fingerprints:
+            if fingerprint not in seen:
+                seen.add(fingerprint)
+                candidates.append(fingerprint)
+        stored = set()
+        for start in range(0, len(candidates), 500):
+            chunk = candidates[start:start + 500]
+            placeholders = ", ".join("?" for _ in chunk)
+            stored.update(
+                row[0]
+                for row in self._read_conn.execute(
+                    "SELECT fingerprint FROM results WHERE schema = ? "
+                    f"AND fingerprint IN ({placeholders})",
+                    [RESULT_SCHEMA, *chunk],
+                )
+            )
+        return [fp for fp in candidates if fp not in stored]
+
     def fingerprints(self) -> List[str]:
         return [
             row[0]

@@ -1,0 +1,550 @@
+"""Distributed sweep tests: the work queue and its worker protocol.
+
+Two layers:
+
+* :class:`WorkQueue` unit tests drive the queue directly with a fake
+  clock and an in-memory store, pinning the lease/complete state
+  machine (expiry re-leases exactly once, stale leases are rejected
+  without touching the store, stored fingerprints are done on arrival);
+* end-to-end tests run a real server and drain submitted sweeps with
+  in-process :class:`SweepWorker` threads and with actual
+  ``repro worker`` subprocesses, asserting the acceptance contract:
+  results bit-identical to a local ``run_sweep``, each cell simulated
+  exactly once.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import threading
+import time
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+import repro
+import repro.sim.session as session
+from repro.errors import ConfigurationError, ServiceError
+from repro.scenario import Scenario, SweepGrid, scenario_fingerprint
+from repro.service import (
+    ScenarioServer,
+    ServiceClient,
+    SweepWorker,
+    WorkQueue,
+)
+from repro.sim.session import RESULT_SCHEMA, run_scenario, run_sweep
+from repro.store import MemoryStore
+
+SCALE = 0.02
+
+
+def _scenario(seed: int = 2016, **kwargs) -> Scenario:
+    return Scenario(workload="fft", scale=SCALE, seed=seed, **kwargs)
+
+
+class FakeClock:
+    """Injectable monotonic time for lease-expiry tests."""
+
+    def __init__(self) -> None:
+        self.now = 1000.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture()
+def queue(clock):
+    return WorkQueue(MemoryStore(), lease_seconds=30.0, clock=clock)
+
+
+class TestWorkQueueLifecycle:
+    def test_submit_lease_complete_roundtrip(self, queue):
+        status = queue.submit_job([_scenario(seed=1), _scenario(seed=2)])
+        assert status["total"] == 2
+        assert status["pending"] == 2 and status["done"] == 0
+        assert not status["finished"]
+
+        leases = queue.lease(n=10, worker="w1")
+        assert len(leases) == 2
+        assert queue.job_status(status["job"])["leased"] == 2
+        assert queue.lease(n=10) == []  # nothing left to hand out
+
+        for lease in leases:
+            result = run_scenario(lease.scenario)
+            assert queue.complete(
+                lease.fingerprint, lease.token, result.to_dict()
+            ) == "done"
+        final = queue.job_status(status["job"])
+        assert final["done"] == 2 and final["finished"]
+        assert len(queue.store) == 2
+        assert queue.in_flight() == 0
+
+    def test_stored_fingerprint_is_done_on_arrival(self, queue):
+        """Duplicate submission of an already-stored cell never queues."""
+        scenario = _scenario(seed=3)
+        queue.store.save(run_scenario(scenario))
+        status = queue.submit_job([scenario])
+        assert status == {**status, "total": 1, "done": 1, "pending": 0,
+                          "finished": True}
+        assert queue.in_flight() == 0
+        assert queue.lease(n=10) == []
+        assert queue.deduped == 1
+
+    def test_inflight_cell_is_shared_not_duplicated(self, queue):
+        scenario = _scenario(seed=4)
+        first = queue.submit_job([scenario])
+        future = queue.submit_scenario(scenario)   # sync path joins too
+        second = queue.submit_job([scenario])
+        assert queue.in_flight() == 1
+        assert queue.enqueued == 1 and queue.deduped >= 2
+
+        [lease] = queue.lease(n=10)
+        result = run_scenario(scenario)
+        assert queue.complete(
+            lease.fingerprint, lease.token, result.to_dict()
+        ) == "done"
+        assert queue.job_status(first["job"])["finished"]
+        assert queue.job_status(second["job"])["finished"]
+        assert future.result(timeout=1) == result
+
+    def test_duplicate_cells_within_one_job_collapse(self, queue):
+        scenario = _scenario(seed=5)
+        status = queue.submit_job([scenario, scenario, scenario])
+        assert status["total"] == 1
+        assert len(status["fingerprints"]) == 3  # order preserved for collection
+        assert queue.in_flight() == 1
+
+    def test_submit_scenario_resolves_from_store(self, queue):
+        scenario = _scenario(seed=6)
+        result = run_scenario(scenario)
+        queue.store.save(result)
+        future = queue.submit_scenario(scenario)
+        assert future.done() and future.result() == result
+        assert queue.in_flight() == 0
+
+    def test_unknown_job_raises(self, queue):
+        with pytest.raises(ConfigurationError):
+            queue.job_status("job-999999")
+
+
+class TestLeaseExpiry:
+    def test_expired_lease_is_reclaimed_exactly_once(self, queue, clock):
+        """A crashed worker's cell returns to pending once per expiry —
+        no duplicate ready entries, no double hand-out."""
+        queue.submit_job([_scenario(seed=7)])
+        [first] = queue.lease(n=10, worker="crasher")
+
+        clock.advance(31.0)  # past lease_seconds=30
+        releases = queue.lease(n=10, worker="successor")
+        assert [l.fingerprint for l in releases] == [first.fingerprint]
+        assert queue.reclaimed == 1
+        # exactly once: the reclaim didn't leave a second ready entry
+        assert queue.lease(n=10) == []
+        assert queue.in_flight() == 1
+
+    def test_stale_completion_rejected_without_corrupting_store(
+        self, queue, clock
+    ):
+        """The crashed worker comes back after its cell was re-leased:
+        its completion is refused, the store stays untouched, and only
+        the replacement's completion lands."""
+        scenario = _scenario(seed=8)
+        queue.submit_job([scenario])
+        [stale] = queue.lease(n=1, worker="crasher")
+        clock.advance(31.0)
+        [fresh] = queue.lease(n=1, worker="successor")
+        assert fresh.token != stale.token
+
+        payload = run_scenario(scenario).to_dict()
+        assert queue.complete(
+            stale.fingerprint, stale.token, payload
+        ) == "stale-lease"
+        assert len(queue.store) == 0
+        assert queue.rejected == 1
+
+        assert queue.complete(
+            fresh.fingerprint, fresh.token, payload
+        ) == "done"
+        assert len(queue.store) == 1
+        # and a second (duplicate) push of the finished cell is a no-op
+        assert queue.complete(
+            fresh.fingerprint, fresh.token, payload
+        ) == "already-done"
+        assert len(queue.store) == 1
+
+    def test_renewal_keeps_a_live_lease_from_expiring(self, queue, clock):
+        """A healthy worker heartbeating stays leased past the window;
+        once it stops renewing, the cell re-leases as before."""
+        queue.submit_job([_scenario(seed=91)])
+        [lease] = queue.lease(n=1, worker="slow-but-alive")
+        for _ in range(3):
+            clock.advance(20.0)  # each renewal lands inside the window
+            assert queue.renew(lease.fingerprint, lease.token) == "renewed"
+        assert queue.lease(n=10) == [] and queue.reclaimed == 0
+        # its completion is still accepted long after the original window
+        payload = run_scenario(lease.scenario).to_dict()
+        assert queue.complete(
+            lease.fingerprint, lease.token, payload
+        ) == "done"
+
+    def test_renewal_with_stale_token_is_rejected(self, queue, clock):
+        queue.submit_job([_scenario(seed=92)])
+        [stale] = queue.lease(n=1)
+        clock.advance(31.0)
+        [fresh] = queue.lease(n=1)
+        assert queue.renew(stale.fingerprint, stale.token) == "stale-lease"
+        assert queue.renew(fresh.fingerprint, fresh.token) == "renewed"
+        assert queue.renew("f" * 64, "lease-0") == "unknown"
+
+    def test_local_infinite_lease_never_expires(self, queue, clock):
+        import math
+
+        queue.submit_job([_scenario(seed=9)])
+        [lease] = queue.lease(n=1, lease_seconds=math.inf)
+        assert lease.expires_s is None
+        clock.advance(1e9)
+        assert queue.lease(n=10) == []
+        assert queue.reclaimed == 0
+
+
+class TestCompletionValidation:
+    def test_wrong_fingerprint_payload_rejected_and_requeued(self, queue):
+        """A worker answering for the wrong cell must not poison the
+        content-addressed store; the cell goes back to pending."""
+        queue.submit_job([_scenario(seed=10)])
+        [lease] = queue.lease(n=1)
+        imposter = run_scenario(_scenario(seed=11))  # different cell!
+        assert queue.complete(
+            lease.fingerprint, lease.token, imposter.to_dict()
+        ) == "bad-payload"
+        assert len(queue.store) == 0
+        # the cell is leasable again (by a hopefully saner worker)
+        [again] = queue.lease(n=1)
+        assert again.fingerprint == lease.fingerprint
+
+    def test_stale_schema_payload_rejected(self, queue):
+        queue.submit_job([_scenario(seed=12)])
+        [lease] = queue.lease(n=1)
+        payload = run_scenario(lease.scenario).to_dict()
+        payload["schema"] = "repro-result/0"  # a worker on an old build
+        assert queue.complete(
+            lease.fingerprint, lease.token, payload
+        ) == "bad-payload"
+        assert len(queue.store) == 0
+
+    def test_unknown_fingerprint_completion(self, queue):
+        assert queue.complete("f" * 64, "lease-1", {}) == "unknown"
+
+    def test_failed_cell_fails_waiters_and_is_not_cached(self, queue):
+        scenario = _scenario(seed=13)
+        future = queue.submit_scenario(scenario)
+        status = queue.submit_job([scenario])
+        [lease] = queue.lease(n=1)
+        assert queue.fail(
+            lease.fingerprint, lease.token, "engine exploded"
+        ) == "failed"
+        with pytest.raises(RuntimeError, match="engine exploded"):
+            future.result(timeout=1)
+        job = queue.job_status(status["job"])
+        assert job["failed"] == 1 and job["finished"]
+        assert "engine exploded" in job["errors"][0]
+        assert len(queue.store) == 0
+
+    def test_resubmitting_a_failed_cell_retries_it(self, queue):
+        """A cell that failed must not count as 'done' in a later job —
+        the new submission re-enqueues it for a retry."""
+        scenario = _scenario(seed=16)
+        queue.submit_job([scenario])
+        [lease] = queue.lease(n=1)
+        queue.fail(lease.fingerprint, lease.token, "engine exploded")
+
+        retry = queue.submit_job([scenario])
+        assert retry["pending"] == 1 and retry["done"] == 0
+        [lease] = queue.lease(n=1)
+        result = run_scenario(scenario)
+        assert queue.complete(
+            lease.fingerprint, lease.token, result.to_dict()
+        ) == "done"
+        assert queue.job_status(retry["job"])["done"] == 1
+
+    def test_shutdown_fails_in_flight_futures(self, queue):
+        future = queue.submit_scenario(_scenario(seed=14))
+        queue.shutdown("service closed")
+        with pytest.raises(RuntimeError, match="service closed"):
+            future.result(timeout=1)
+        with pytest.raises(RuntimeError):
+            queue.submit_scenario(_scenario(seed=15))
+
+
+# ---------------------------------------------------------------------------
+# End-to-end over HTTP
+# ---------------------------------------------------------------------------
+@pytest.fixture()
+def coordinator(tmp_path):
+    """A server with no local compute: every cell waits for workers."""
+    with ScenarioServer(
+        str(tmp_path / "dist.sqlite"), port=0,
+        local_compute=False, lease_seconds=30.0,
+    ) as srv:
+        srv.start()
+        yield srv
+
+
+def _drain_with_workers(url, n_workers=2, jobs=None):
+    workers = [
+        SweepWorker(url, jobs=jobs, poll_s=0.05, name=f"w{i}")
+        for i in range(n_workers)
+    ]
+    threads = [
+        threading.Thread(target=worker.drain, daemon=True)
+        for worker in workers
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=300)
+    return workers
+
+
+class TestDistributedEndToEnd:
+    def test_two_workers_drain_a_sweep_bit_identical(
+        self, coordinator, monkeypatch
+    ):
+        """The acceptance flow: submit via ServiceClient.submit_sweep,
+        drain with two workers, collect results bit-identical to a
+        local run_sweep, every cell simulated exactly once."""
+        grid = SweepGrid.over(
+            _scenario(),
+            seed=[1, 2, 3, 4],
+            power_state=["Full connection", "PC4-MB8"],
+        )
+        local = run_sweep(grid)  # the reference, before counting starts
+        simulated = []
+        original = session.run_scenario
+
+        def counting_run(scenario, *args, **kwargs):
+            simulated.append(scenario_fingerprint(scenario))
+            return original(scenario, *args, **kwargs)
+
+        monkeypatch.setattr(session, "run_scenario", counting_run)
+        client = ServiceClient(coordinator.url, timeout=300.0)
+        job = client.submit_sweep(grid)
+        assert job["total"] == len(grid) == 8
+
+        workers = _drain_with_workers(coordinator.url)
+        status = client.wait(job["job"], poll_s=0.1, timeout=300)
+        assert status["done"] == 8 and not status["failed"]
+
+        remote = client.sweep_results(job["fingerprints"])
+        assert remote == local
+        # exactly once: 8 distinct cells, 8 simulations, none re-leased
+        assert len(simulated) == 8 and len(set(simulated)) == 8
+        stats = coordinator.queue.stats()
+        assert stats["enqueued"] == 8 and stats["completed"] == 8
+        assert stats["reclaimed"] == 0 and stats["rejected"] == 0
+        assert sum(w.completed for w in workers) == 8
+
+    def test_repro_worker_subprocesses_drain_the_queue(
+        self, coordinator, monkeypatch
+    ):
+        """Two actual `repro worker` processes drain one job; the
+        server itself never simulates (its engine is booby-trapped)."""
+        grid = SweepGrid.over(_scenario(), seed=[21, 22, 23, 24])
+        local = run_sweep(grid)  # computed before the booby trap
+
+        def boom(self, *args, **kwargs):
+            raise AssertionError("server-side simulation in worker mode")
+
+        monkeypatch.setattr(Scenario, "build_cluster", boom)
+        client = ServiceClient(coordinator.url, timeout=300.0)
+        job = client.submit_sweep(grid)
+
+        src_dir = str(Path(repro.__file__).parents[1])
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [src_dir] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+        )
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-m", "repro", "worker",
+                 "--server", coordinator.url, "--drain", "--poll-ms", "50"],
+                env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+                text=True,
+            )
+            for _ in range(2)
+        ]
+        try:
+            status = client.wait(job["job"], poll_s=0.2, timeout=300)
+        finally:
+            outs = [proc.communicate(timeout=120) for proc in procs]
+        for proc, (out, err) in zip(procs, outs):
+            assert proc.returncode == 0, err
+            assert "completed" in out
+        assert status["done"] == len(grid)
+        assert client.sweep_results(job["fingerprints"]) == local
+        stats = coordinator.queue.stats()
+        assert stats["completed"] == len(grid)
+        assert stats["reclaimed"] == 0 and stats["rejected"] == 0
+
+    def test_sync_request_is_served_by_a_remote_worker(self, coordinator):
+        """POST /scenario on a coordinator-only server blocks until a
+        worker lands the cell — the sync and queue paths share cells."""
+        scenario = _scenario(seed=31)
+        client = ServiceClient(coordinator.url, timeout=300.0)
+        responses = []
+        poster = threading.Thread(
+            target=lambda: responses.append(client.run(scenario)),
+            daemon=True,
+        )
+        poster.start()
+        deadline = time.time() + 30
+        while coordinator.queue.in_flight() == 0 and time.time() < deadline:
+            time.sleep(0.01)  # wait for the POST to enqueue its cell
+        _drain_with_workers(coordinator.url, n_workers=1)
+        poster.join(timeout=300)
+        assert responses and responses[0] == run_scenario(scenario)
+
+    def test_local_executor_drains_queue_jobs(self, tmp_path):
+        """`repro serve` without workers still finishes submitted jobs:
+        the in-process executor is a consumer of the same queue."""
+        with ScenarioServer(str(tmp_path / "local.sqlite"), port=0) as srv:
+            srv.start()
+            client = ServiceClient(srv.url, timeout=300.0)
+            grid = SweepGrid.over(_scenario(), seed=[41, 42])
+            results = client.run_sweep_distributed(
+                grid, poll_s=0.1, timeout=300
+            )
+            assert results == run_sweep(grid)
+            assert srv.queue.stats()["completed"] == 2
+
+    def test_worker_reports_engine_failure_as_failed_cell(
+        self, coordinator, monkeypatch
+    ):
+        """A deterministic engine error surfaces in the job status (and
+        client.wait raises); nothing is cached."""
+        original = session.run_scenario
+
+        def flaky_run(scenario, *args, **kwargs):
+            if scenario.seed == 666:
+                raise RuntimeError("engine exploded")
+            return original(scenario, *args, **kwargs)
+
+        monkeypatch.setattr(session, "run_scenario", flaky_run)
+        client = ServiceClient(coordinator.url, timeout=300.0)
+        job = client.submit_sweep([_scenario(seed=51), _scenario(seed=666)])
+        _drain_with_workers(coordinator.url, n_workers=1)
+        with pytest.raises(ServiceError, match="engine exploded"):
+            client.wait(job["job"], poll_s=0.1, timeout=300)
+        status = client.job_status(job["job"])
+        assert status["done"] == 1 and status["failed"] == 1
+        assert len(coordinator.store) == 1  # the survivor only
+
+    def test_heartbeat_outlives_a_short_lease_window(
+        self, tmp_path, monkeypatch
+    ):
+        """A batch slower than one lease window completes anyway: the
+        worker's heartbeat renews, so nothing is reclaimed and nothing
+        recomputed — the finding that motivated /queue/renew."""
+        original = session.run_scenario
+        simulated = []
+
+        def slow_run(scenario, *args, **kwargs):
+            simulated.append(scenario)
+            time.sleep(2.5)  # >> lease_seconds below
+            return original(scenario, *args, **kwargs)
+
+        monkeypatch.setattr(session, "run_scenario", slow_run)
+        with ScenarioServer(
+            str(tmp_path / "hb.sqlite"), port=0,
+            local_compute=False, lease_seconds=1.0,
+        ) as server:
+            server.start()
+            client = ServiceClient(server.url, timeout=300.0)
+            job = client.submit_sweep([_scenario(seed=101)])
+            _drain_with_workers(server.url, n_workers=1)
+            status = client.wait(job["job"], poll_s=0.1, timeout=300)
+            assert status["done"] == 1 and not status["failed"]
+            stats = server.queue.stats()
+            assert stats["reclaimed"] == 0 and stats["rejected"] == 0
+            assert len(simulated) == 1
+
+    def test_resubmitting_a_finished_sweep_is_all_hits(self, coordinator):
+        grid = SweepGrid.over(_scenario(), seed=[61, 62])
+        client = ServiceClient(coordinator.url, timeout=300.0)
+        job = client.submit_sweep(grid)
+        _drain_with_workers(coordinator.url, n_workers=1)
+        client.wait(job["job"], poll_s=0.1, timeout=300)
+
+        again = client.submit_sweep(grid)
+        assert again["finished"] and again["done"] == 2
+        assert again["fingerprints"] == job["fingerprints"]
+        assert coordinator.queue.stats()["enqueued"] == 2  # never re-queued
+
+
+class TestQueueEndpointValidation:
+    @pytest.mark.parametrize("body", [
+        b"{}",
+        b'{"scenarios": []}',
+        b'{"scenarios": "fft"}',
+        b'{"scenarios": [{"workload": "linpack"}]}',
+        b'{"scenarios": [{"workload": "fft"}], "extra": 1}',
+    ])
+    def test_bad_queue_submissions_are_400(self, coordinator, body):
+        request = urllib.request.Request(
+            coordinator.url + "/queue", data=body, method="POST",
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=30)
+        assert excinfo.value.code == 400
+
+    @pytest.mark.parametrize("body", [
+        b"{}",
+        b'{"results": {}}',
+        b'{"results": [{"fingerprint": "ab"}]}',
+        b'{"results": [{"fingerprint": "ab", "lease": "x"}]}',
+    ])
+    def test_bad_completions_are_400(self, coordinator, body):
+        request = urllib.request.Request(
+            coordinator.url + "/queue/complete", data=body, method="POST",
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=30)
+        assert excinfo.value.code == 400
+
+    def test_bad_lease_counts_are_400(self, coordinator):
+        client = ServiceClient(coordinator.url)
+        for suffix in ("?n=0", "?n=-3", "?n=fifty", "?n=99999999"):
+            with pytest.raises(ServiceError) as excinfo:
+                client._request("GET", "/queue/lease" + suffix)
+            assert excinfo.value.status == 400
+
+    def test_unknown_job_is_404(self, coordinator):
+        with pytest.raises(ServiceError) as excinfo:
+            ServiceClient(coordinator.url).job_status("job-424242")
+        assert excinfo.value.status == 404
+
+    def test_jobs_listing(self, coordinator):
+        client = ServiceClient(coordinator.url)
+        job = client.submit_sweep([_scenario(seed=71)])
+        listing = client._request("GET", "/queue/jobs")["jobs"]
+        assert [j["job"] for j in listing] == [job["job"]]
+
+    def test_stats_carry_queue_counters(self, coordinator):
+        client = ServiceClient(coordinator.url)
+        client.submit_sweep([_scenario(seed=81)])
+        stats = client.stats()
+        assert stats["local_compute"] is False
+        assert stats["queue"]["pending"] == 1
+        assert stats["queue"]["enqueued"] == 1

@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Docs health check: resolve every relative link, run every example.
+
+Two independent checks (CI runs both; each can run alone):
+
+``python tools/check_docs.py``
+    Scan ``README.md`` and ``docs/*.md`` for Markdown links and inline
+    code references to repo paths, and fail if any *relative* target
+    does not exist.  External links (``http://``, ``https://``,
+    ``mailto:``) and pure in-page anchors are skipped; a relative link
+    with an ``#anchor`` is checked for the file part only.
+
+``python tools/check_docs.py --run-examples``
+    Additionally execute every ``examples/*.py`` as a subprocess
+    (honoring ``REPRO_BENCH_SCALE`` — CI sets 0.05 so the whole suite
+    is a smoke pass) and fail on any non-zero exit.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Markdown inline links: [text](target)
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+#: Schemes that are not filesystem targets.
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def iter_doc_files() -> List[Path]:
+    docs = sorted((REPO_ROOT / "docs").glob("*.md"))
+    return [REPO_ROOT / "README.md", *docs]
+
+
+def check_links() -> List[str]:
+    """Every broken relative link as ``file: target`` strings."""
+    problems: List[str] = []
+    for doc in iter_doc_files():
+        text = doc.read_text()
+        for match in _LINK.finditer(text):
+            target = match.group(1)
+            if target.startswith(_EXTERNAL):
+                continue
+            path_part, _, _anchor = target.partition("#")
+            if not path_part:      # pure in-page anchor
+                continue
+            resolved = (doc.parent / path_part).resolve()
+            if not resolved.exists():
+                problems.append(
+                    f"{doc.relative_to(REPO_ROOT)}: broken link -> {target}"
+                )
+    return problems
+
+
+def run_examples() -> List[Tuple[str, int, float]]:
+    """Run every example; returns (name, returncode, seconds) rows."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(REPO_ROOT / "src")]
+        + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    rows: List[Tuple[str, int, float]] = []
+    for example in sorted((REPO_ROOT / "examples").glob("*.py")):
+        start = time.perf_counter()
+        proc = subprocess.run(
+            [sys.executable, str(example)],
+            env=env, cwd=str(REPO_ROOT),
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        )
+        elapsed = time.perf_counter() - start
+        rows.append((example.name, proc.returncode, elapsed))
+        status = "ok" if proc.returncode == 0 else f"FAILED ({proc.returncode})"
+        print(f"  {example.name:32s} {status:12s} {elapsed:6.1f}s", flush=True)
+        if proc.returncode != 0:
+            print(proc.stdout)
+    return rows
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--run-examples", action="store_true",
+                        help="also execute every examples/*.py "
+                             "(REPRO_BENCH_SCALE scales the work)")
+    args = parser.parse_args(argv)
+
+    problems = check_links()
+    checked = len(iter_doc_files())
+    if problems:
+        print(f"link check: {len(problems)} broken link(s) "
+              f"in {checked} file(s):")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print(f"link check: OK ({checked} files)")
+
+    if args.run_examples:
+        scale = os.environ.get("REPRO_BENCH_SCALE", "1.0")
+        print(f"running examples (REPRO_BENCH_SCALE={scale}):")
+        rows = run_examples()
+        failed = [name for name, code, _s in rows if code != 0]
+        if failed:
+            print(f"examples: {len(failed)} failed: {failed}")
+            return 1
+        print(f"examples: OK ({len(rows)} ran)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
