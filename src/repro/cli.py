@@ -202,6 +202,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--lease-seconds", type=float, default=60.0,
                    help="remote lease expiry; a crashed worker's cells "
                         "are re-leased after this long (default: 60)")
+    p.add_argument("--max-attempts", type=int, default=5,
+                   help="per-cell attempt budget; a cell whose every "
+                        "attempt fails (crashes, bad payloads, engine "
+                        "errors) is dead-lettered with its error "
+                        "history instead of re-leasing forever "
+                        "(default: 5)")
 
     p = sub.add_parser("worker", help="distributed sweep worker: lease "
                                       "cells from a server, push results "
@@ -224,6 +230,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--drain", action="store_true",
                    help="exit when the queue is empty instead of "
                         "polling forever")
+    p.add_argument("--connect-retries", type=int, default=10,
+                   help="consecutive failed rounds against an "
+                        "unreachable server before exiting nonzero "
+                        "(default: 10)")
 
     p = sub.add_parser("results", help="inspect a persistent result store")
     rsub = p.add_subparsers(dest="results_command", required=True)
@@ -356,46 +366,93 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _on_terminate(handler) -> None:
+    """Route SIGTERM (and SIGINT where supported) through ``handler``.
+
+    ``repro serve`` and ``repro worker`` run under process managers
+    (systemd, docker, CI) whose stop signal is SIGTERM, not Ctrl-C —
+    without this they die mid-write instead of draining.  Signal
+    support is best-effort: non-main threads and exotic platforms fall
+    back to KeyboardInterrupt-only handling.
+    """
+    import signal
+
+    try:
+        signal.signal(signal.SIGTERM, handler)
+        signal.signal(signal.SIGINT, handler)
+    except (ValueError, OSError, AttributeError):  # pragma: no cover
+        pass  # not the main thread / no signals here
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import ScenarioServer
 
+    def terminate(signum, frame):
+        # serve_forever blocks the main thread; raising here unwinds
+        # it so the `with` block runs the graceful drain (stop
+        # listening -> finish the in-flight batch -> flush the store).
+        raise KeyboardInterrupt
+
+    _on_terminate(terminate)
     with ScenarioServer(args.store, jobs=args.jobs,
                         host=args.host, port=args.port,
                         local_compute=not args.no_local,
-                        lease_seconds=args.lease_seconds) as server:
+                        lease_seconds=args.lease_seconds,
+                        max_attempts=args.max_attempts) as server:
         compute = "remote workers only" if args.no_local \
             else f"jobs={server.jobs or 1}"
         print(f"serving {args.store} on {server.url} "
-              f"({compute}); Ctrl-C to stop", flush=True)
+              f"({compute}); Ctrl-C or SIGTERM to drain and stop",
+              flush=True)
         try:
             server.serve_forever()
         except KeyboardInterrupt:
-            print("shutting down")
+            print("draining: refusing new work, finishing in-flight "
+                  "cells, flushing the store", flush=True)
+    print("shutdown complete")
     return 0
 
 
 def _cmd_worker(args: argparse.Namespace) -> int:
+    import threading
+
+    from repro.errors import ServiceError
     from repro.service.worker import SweepWorker
 
+    stop = threading.Event()
+
+    def terminate(signum, frame):
+        if stop.is_set():
+            raise KeyboardInterrupt  # second signal: stop waiting
+        print("draining: finishing the in-flight batch, then exiting "
+              "(signal again to abort)", flush=True)
+        stop.set()
+
+    _on_terminate(terminate)
     worker = SweepWorker(
         args.server,
         jobs=args.jobs,
         poll_s=args.poll_ms / 1000.0,
         lease_n=args.lease,
         name=args.name,
+        connect_retries=args.connect_retries,
     )
     mode = "drain" if args.drain else f"poll every {args.poll_ms} ms"
     print(f"worker {worker.name} -> {args.server} "
           f"(jobs={worker.jobs or 1}, lease={worker.lease_n}, {mode}); "
-          f"Ctrl-C to stop", flush=True)
+          f"Ctrl-C or SIGTERM to drain and stop", flush=True)
+    code = 0
     try:
-        worker.run(drain=args.drain)
+        worker.run(stop=stop, drain=args.drain)
     except KeyboardInterrupt:
         pass
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr, flush=True)
+        code = 1
     print(f"worker {worker.name}: leased {worker.leased}, "
           f"completed {worker.completed}, failed {worker.failed}, "
           f"rejected {worker.rejected}")
-    return 0
+    return code
 
 
 def _results_filters(args: argparse.Namespace) -> dict:

@@ -25,7 +25,7 @@ the local executor API remotely, and ``client.submit_sweep(grid)`` /
 
 from __future__ import annotations
 
-from repro.service.client import ServiceClient
+from repro.service.client import RetryPolicy, ServiceClient
 from repro.service.executor import BatchingExecutor
 from repro.service.queue import Lease, WorkQueue
 from repro.service.server import ScenarioServer
@@ -35,6 +35,7 @@ from repro.service.worker import SweepWorker
 __all__ = [
     "BatchingExecutor",
     "Lease",
+    "RetryPolicy",
     "ScenarioServer",
     "ServiceClient",
     "SweepWorker",

@@ -21,6 +21,16 @@ when done::
     client.wait(job["job"])                          # poll to completion
     results = client.sweep_results(job["fingerprints"])
 
+Transient failures are retried: every request runs under a
+:class:`RetryPolicy` (jittered exponential backoff), so a dropped
+response, a connection reset or a 5xx from a restarting server costs a
+short pause, not a failed sweep.  Retries honor idempotency — GETs and
+fingerprint-keyed POSTs (``/scenario``, ``/queue``, ``/queue/renew``)
+simply re-send, while :meth:`complete` re-resolves which cells already
+landed before re-sending the rest (see its docstring).  When the
+budget is spent the last error surfaces as a terminal
+:class:`~repro.errors.ServiceError` naming the attempt count.
+
 Stdlib only (``urllib``); errors surface as
 :class:`~repro.errors.ServiceError` carrying the HTTP status and the
 server's message.
@@ -29,34 +39,124 @@ server's message.
 from __future__ import annotations
 
 import json
+import random
 import time
 import urllib.error
 import urllib.request
 from concurrent.futures import ThreadPoolExecutor
-from typing import TYPE_CHECKING, Dict, Iterable, List, Mapping, Optional, Union
+from dataclasses import dataclass, field
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Union,
+)
 from urllib.parse import urlencode
 
-from repro.errors import ServiceError
+from repro.errors import ConfigurationError, ServiceError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults import FaultPlan
     from repro.scenario import Scenario, SweepGrid
     from repro.sim.session import ScenarioResult
 
 
-class ServiceClient:
-    """JSON-over-HTTP client of one :class:`ScenarioServer`."""
+@dataclass
+class RetryPolicy:
+    """Jittered-exponential retry budget for service requests.
 
-    def __init__(self, base_url: str, timeout: float = 600.0) -> None:
+    ``attempts`` bounds total tries (1 = no retries); the sleep before
+    retry ``k`` (k = 1, 2, ...) is drawn uniformly from
+    ``[base_s * multiplier**(k-1) * (1 - jitter), base_s *
+    multiplier**(k-1)]``, capped at ``cap_s`` — full jitter by default,
+    so a fleet of clients hitting one restarting server de-synchronizes
+    instead of stampeding it in lockstep.  ``sleep`` and ``rng`` are
+    injectable for deterministic tests.
+    """
+
+    attempts: int = 4
+    base_s: float = 0.1
+    cap_s: float = 2.0
+    multiplier: float = 2.0
+    jitter: float = 1.0
+    sleep: Callable[[float], None] = time.sleep
+    rng: random.Random = field(default_factory=random.Random)
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ConfigurationError(
+                f"retry attempts must be >= 1, got {self.attempts}"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ConfigurationError(
+                f"jitter must be in [0, 1], got {self.jitter}"
+            )
+
+    def backoff_s(self, retry: int) -> float:
+        """The jittered pause before retry number ``retry`` (1-based)."""
+        ceiling = min(self.cap_s, self.base_s * self.multiplier ** (retry - 1))
+        floor = ceiling * (1.0 - self.jitter)
+        return floor + (ceiling - floor) * self.rng.random()
+
+    def pause(self, retry: int) -> None:
+        self.sleep(self.backoff_s(retry))
+
+
+#: Retryable = the server may not have seen (or finished) the request:
+#: no HTTP answer at all, or a 5xx.  4xx means the request itself is
+#: wrong and will be wrong again.
+def _retryable(exc: ServiceError) -> bool:
+    return exc.status is None or exc.status >= 500
+
+
+class ServiceClient:
+    """JSON-over-HTTP client of one :class:`ScenarioServer`.
+
+    ``retry`` is the transport retry budget (``RetryPolicy(attempts=1)``
+    disables retries); ``faults`` is a test-only
+    :class:`~repro.faults.FaultPlan` injecting transport failures at
+    the ``client.request`` site, one eligible event per HTTP attempt.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 600.0,
+        retry: Optional[RetryPolicy] = None,
+        faults: Optional["FaultPlan"] = None,
+    ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.faults = faults
 
     # ------------------------------------------------------------------
-    def _request(
+    def _request_once(
         self,
         method: str,
         path: str,
         payload: Optional[Mapping[str, object]] = None,
     ) -> Dict[str, object]:
+        """One HTTP attempt (the retry loop wraps this)."""
+        fault = None if self.faults is None else self.faults.fire(
+            "client.request", method=method, path=path
+        )
+        if fault is not None:
+            if fault.kind == "drop-request":
+                raise ServiceError(
+                    f"{method} {path} failed: injected request drop"
+                )
+            if fault.kind == "http-500":
+                raise ServiceError(
+                    f"{method} {path} -> 500: injected server error",
+                    status=500,
+                )
+            if fault.kind == "delay":
+                time.sleep(fault.delay_s)
         data = None if payload is None else json.dumps(payload).encode("utf-8")
         request = urllib.request.Request(
             self.base_url + path,
@@ -66,13 +166,13 @@ class ServiceClient:
         )
         try:
             with urllib.request.urlopen(request, timeout=self.timeout) as response:
-                return json.loads(response.read().decode("utf-8"))
+                body = json.loads(response.read().decode("utf-8"))
         except urllib.error.HTTPError as exc:
-            body = exc.read().decode("utf-8", "replace")
+            raw = exc.read().decode("utf-8", "replace")
             try:
-                message = json.loads(body).get("error", body)
+                message = json.loads(raw).get("error", raw)
             except ValueError:
-                message = body
+                message = raw
             raise ServiceError(
                 f"{method} {path} -> {exc.code}: {message}", status=exc.code
             ) from None
@@ -85,6 +185,45 @@ class ServiceClient:
             # urllib's URLError wrapping; honor the ServiceError
             # contract anyway (status=None = no server answer).
             raise ServiceError(f"{method} {path} failed: {exc}") from None
+        if fault is not None and fault.kind == "drop-response":
+            # The server processed the request; the answer never made
+            # it back — the ambiguous failure class retries must handle.
+            raise ServiceError(
+                f"{method} {path} failed: injected response drop"
+            )
+        return body
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Mapping[str, object]] = None,
+    ) -> Dict[str, object]:
+        """An idempotent request under the retry policy.
+
+        Everything routed through here is safe to re-send verbatim:
+        GETs, and POSTs whose effect is keyed by content fingerprints
+        (``/scenario`` computes-or-serves one fingerprint; ``/queue``
+        submissions dedupe against the store and in-flight cells, so a
+        duplicate job re-observes the same cells; ``/queue/renew`` is a
+        timestamp refresh).  :meth:`complete` does NOT go through this
+        re-send path — see its re-resolution logic.
+        """
+        last: Optional[ServiceError] = None
+        for attempt in range(1, self.retry.attempts + 1):
+            try:
+                return self._request_once(method, path, payload)
+            except ServiceError as exc:
+                if not _retryable(exc):
+                    raise
+                last = exc
+                if attempt < self.retry.attempts:
+                    self.retry.pause(attempt)
+        raise ServiceError(
+            f"{method} {path} still failing after {self.retry.attempts} "
+            f"attempt(s): {last}",
+            status=last.status,
+        ) from None
 
     # ------------------------------------------------------------------
     def healthz(self) -> Dict[str, object]:
@@ -109,24 +248,60 @@ class ServiceClient:
         self,
         sweep: Union["SweepGrid", Iterable["Scenario"]],
         jobs: Optional[int] = None,
+        fallback: Optional[str] = None,
     ) -> List["ScenarioResult"]:
         """Execute every cell against the server; results in cell order.
 
         ``jobs=N`` POSTs concurrently from N client threads — the
         server batches whatever arrives together and still computes
         each distinct cold cell exactly once.
+
+        ``fallback="local"`` is the graceful-degradation mode: a cell
+        whose request exhausts the retry budget on *transport-class*
+        failures (unreachable server, 5xx) is computed locally through
+        the same memoized :func:`~repro.sim.session.run_sweep` path
+        instead of failing the sweep — replay determinism makes the
+        locally computed result bit-identical to what the server would
+        have returned.  Spec rejections (4xx) still raise: a bad
+        scenario is bad everywhere.
         """
         from repro.scenario import SweepGrid
 
+        if fallback not in (None, "local"):
+            raise ConfigurationError(
+                f"fallback must be None or 'local', got {fallback!r}"
+            )
         scenarios = list(
             sweep.scenarios() if isinstance(sweep, SweepGrid) else sweep
         )
         if not scenarios:
             return []
+
+        def attempt(scenario: "Scenario"):
+            try:
+                return self.run(scenario)
+            except ServiceError as exc:
+                if fallback == "local" and _retryable(exc):
+                    return exc  # degrade this cell to local compute
+                raise
+
         if jobs is None or jobs <= 1:
-            return [self.run(scenario) for scenario in scenarios]
-        with ThreadPoolExecutor(max_workers=jobs) as pool:
-            return list(pool.map(self.run, scenarios))
+            outcomes = [attempt(scenario) for scenario in scenarios]
+        else:
+            with ThreadPoolExecutor(max_workers=jobs) as pool:
+                outcomes = list(pool.map(attempt, scenarios))
+        missing = [
+            i for i, outcome in enumerate(outcomes)
+            if isinstance(outcome, ServiceError)
+        ]
+        if missing:
+            from repro.sim import session
+
+            # One batch keeps run_sweep's serial trace-block reuse.
+            computed = session.run_sweep([scenarios[i] for i in missing])
+            for i, result in zip(missing, computed):
+                outcomes[i] = result
+        return outcomes
 
     def query(self, **filters: object) -> List[Dict[str, object]]:
         """``GET /results`` — column-filtered record listing."""
@@ -170,14 +345,24 @@ class ServiceClient:
         job_id: str,
         poll_s: float = 0.5,
         timeout: Optional[float] = None,
+        max_poll_s: Optional[float] = None,
     ) -> Dict[str, object]:
         """Poll a job until every cell is done; returns its final status.
+
+        The poll interval starts at ``poll_s`` and backs off
+        exponentially (jittered, via the client's retry policy RNG) up
+        to ``max_poll_s`` (default ``16 * poll_s``) — hundreds of
+        clients waiting on one server spread out instead of
+        synchronize-hammering ``GET /queue/jobs`` on a fixed beat.
 
         Raises :class:`~repro.errors.ServiceError` if any cell failed
         (carrying the per-cell error messages) or if ``timeout``
         elapses first.
         """
+        cap = max_poll_s if max_poll_s is not None else poll_s * 16.0
+        cap = max(cap, poll_s)
         deadline = None if timeout is None else time.monotonic() + timeout
+        interval = poll_s
         while True:
             status = self.job_status(job_id)
             if status["finished"]:
@@ -192,7 +377,11 @@ class ServiceClient:
                     f"job {job_id} still has {status['pending']} pending / "
                     f"{status['leased']} leased cell(s) after {timeout} s"
                 )
-            time.sleep(poll_s)
+            pause = interval * (0.5 + 0.5 * self.retry.rng.random())
+            if deadline is not None:
+                pause = min(pause, max(0.0, deadline - time.monotonic()))
+            self.retry.sleep(pause)
+            interval = min(cap, interval * 1.6)
 
     def sweep_results(
         self, fingerprints: Iterable[str]
@@ -241,8 +430,72 @@ class ServiceClient:
         ``results`` entries are ``{"fingerprint", "lease", "payload"}``
         (a ``ScenarioResult.to_dict()``) or ``{"fingerprint", "lease",
         "error"}``; returns per-item ``statuses`` and the ``accepted``
-        count."""
-        return self._request("POST", "/queue/complete", {"results": results})
+        count.
+
+        Completion is the one *non-idempotent* call: when an attempt
+        fails ambiguously (the response dropped — the server may or may
+        not have applied the batch), blind re-sending would double-count
+        and re-ship megabytes of payload.  So before each retry the
+        client re-resolves: any fingerprint now served by
+        ``GET /results/<fp>`` landed, is reported as ``already-done``
+        and stripped from the re-send; only genuinely unresolved cells
+        go back on the wire.  (The queue's lease tokens make even a
+        blind duplicate harmless — it would be answered
+        ``already-done`` — this just avoids the waste.)
+        """
+        remaining = list(results)
+        resolved: Dict[str, str] = {}  # fingerprint -> status
+        last: Optional[ServiceError] = None
+        for attempt in range(1, self.retry.attempts + 1):
+            if not remaining:
+                break
+            try:
+                ack = self._request_once(
+                    "POST", "/queue/complete", {"results": remaining}
+                )
+            except ServiceError as exc:
+                if not _retryable(exc):
+                    raise
+                last = exc
+                if attempt >= self.retry.attempts:
+                    raise ServiceError(
+                        f"POST /queue/complete still failing after "
+                        f"{self.retry.attempts} attempt(s): {last}",
+                        status=last.status,
+                    ) from None
+                self.retry.pause(attempt)
+                remaining = self._unresolved_completions(remaining, resolved)
+                continue
+            for item, status in zip(remaining, ack["statuses"]):
+                resolved[str(item["fingerprint"])] = status
+            remaining = []
+        statuses = [
+            resolved.get(str(item["fingerprint"]), "unknown")
+            for item in results
+        ]
+        accepted = sum(1 for status in statuses if status == "done")
+        return {"statuses": statuses, "accepted": accepted}
+
+    def _unresolved_completions(
+        self,
+        items: List[Dict[str, object]],
+        resolved: Dict[str, str],
+    ) -> List[Dict[str, object]]:
+        """Strip completions the server already landed (retry path)."""
+        unresolved = []
+        for item in items:
+            fingerprint = str(item["fingerprint"])
+            if "payload" in item:
+                try:
+                    self.result(fingerprint)
+                except ServiceError as exc:
+                    if exc.status != 404:
+                        raise
+                else:
+                    resolved[fingerprint] = "already-done"
+                    continue
+            unresolved.append(item)
+        return unresolved
 
     def renew(
         self, leases: List[Dict[str, object]]

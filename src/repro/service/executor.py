@@ -72,10 +72,17 @@ class BatchingExecutor:
         name: str = "repro-service-executor",
         poll_seconds: float = 0.25,
         batch_max: Optional[int] = None,
+        faults: Optional[object] = None,
     ) -> None:
         self.store = store
         self._owns_queue = queue is None
         self.queue = WorkQueue(store) if queue is None else queue
+        #: Test-only :class:`repro.faults.FaultPlan`; a
+        #: ``worker.compute``/``crash`` rule fails one batch wholesale,
+        #: exercising the per-cell retry fallback (an in-process
+        #: consumer cannot die independently of the queue, so a "crash"
+        #: here degrades to a batch error, not a lost lease).
+        self.faults = faults
         if jobs is not None and jobs < 0:
             jobs = os.cpu_count() or 1
         #: Effective worker count (negative inputs already resolved).
@@ -161,6 +168,15 @@ class BatchingExecutor:
         self.batches += 1
         self.batched_scenarios += len(scenarios)
         try:
+            if self.faults is not None:
+                rule = self.faults.fire(
+                    "worker.compute", stage="leased", worker="executor",
+                    fingerprints=[lease.fingerprint for lease in batch],
+                )
+                if rule is not None:
+                    from repro.faults import InjectedFault
+
+                    raise InjectedFault("injected local batch failure")
             # The queue already deduplicated against the store and
             # in-flight cells, so every leased cell is a real miss;
             # results land through complete_local (the single-writer

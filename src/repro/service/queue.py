@@ -17,7 +17,27 @@ Life of a cell::
 
     submit ──> pending ──lease──> leased ──complete──> store (done)
                   ^                  │
-                  └────── expiry ────┘   (crashed worker: re-leased)
+                  └── expiry/error ──┤   (crashed worker, bad payload,
+                                     │    engine or store failure:
+                                     │    re-queued with its error
+                                     │    recorded, until...)
+                                     └──> dead-lettered (attempt budget
+                                          spent: the cell fails its
+                                          jobs with the full error
+                                          history instead of cycling
+                                          forever)
+
+Every cell carries an *attempt budget* (``max_attempts`` lease
+grants).  Transient trouble — an expired lease, a payload that fails
+validation, an engine error, a store write that raises — sends the
+cell back to pending with the error recorded, so one crashed worker or
+one flaky write never loses a sweep.  A *poison* cell, whose every
+attempt fails, cannot cycle forever: when the budget is spent it is
+dead-lettered — removed from circulation, its jobs count it failed,
+its waiters raise, and its recorded history is surfaced through
+``GET /queue/jobs/<id>`` and ``GET /stats`` (see :meth:`dead_letters`).
+Resubmitting a dead-lettered fingerprint starts a fresh cell with a
+fresh budget (deliberate: the operator's retry lever).
 
 Dedup is store-backed (:meth:`~repro.store.base.ResultStore.missing`):
 submitting a fingerprint that is already stored finishes immediately
@@ -66,6 +86,12 @@ _PENDING, _LEASED, _WRITING = "pending", "leased", "writing"
 #: Finished jobs retained for `GET /queue/jobs/<id>` after completion.
 KEEP_FINISHED_JOBS = 256
 
+#: Dead-lettered cells retained for post-mortem (`GET /stats`).
+KEEP_DEAD_LETTERS = 256
+
+#: Default per-cell attempt budget (lease grants before dead-letter).
+DEFAULT_MAX_ATTEMPTS = 5
+
 
 @dataclass(frozen=True)
 class Lease:
@@ -97,6 +123,8 @@ class _Cell:
     expiry: Optional[float] = None  # monotonic deadline; None = no expiry
     jobs: Set[str] = field(default_factory=set)
     future: Future = field(default_factory=Future)
+    attempts: int = 0               # lease grants so far (the budget)
+    errors: List[str] = field(default_factory=list)  # per-attempt history
 
 
 @dataclass
@@ -115,7 +143,10 @@ class WorkQueue:
 
     ``store`` is the archive completions land in (and the dedup
     source); ``lease_seconds`` is the default expiry of remote leases;
-    ``clock`` is injectable for expiry tests (monotonic seconds).
+    ``clock`` is injectable for expiry tests and fault harnesses
+    (monotonic seconds — :class:`repro.faults.FaultClock` jumps it
+    forward to force expiries); ``max_attempts`` is the per-cell
+    attempt budget before a failing cell is dead-lettered.
 
     Thread-safe: submissions, leases and completions may arrive
     concurrently from HTTP handler threads and the local executor.
@@ -128,13 +159,19 @@ class WorkQueue:
         store: ResultStore,
         lease_seconds: float = 60.0,
         clock: Callable[[], float] = time.monotonic,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
     ) -> None:
         if lease_seconds <= 0:
             raise ConfigurationError(
                 f"lease_seconds must be positive, got {lease_seconds}"
             )
+        if max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {max_attempts}"
+            )
         self.store = store
         self.lease_seconds = lease_seconds
+        self.max_attempts = max_attempts
         self._clock = clock
         self._lock = threading.Lock()
         self._ready = threading.Condition(self._lock)
@@ -145,6 +182,8 @@ class WorkQueue:
         self._job_ids = itertools.count(1)
         self._lease_ids = itertools.count(1)
         self._closed = False
+        #: fingerprint -> dead-letter record (bounded post-mortem log).
+        self._dead: Dict[str, Dict[str, object]] = {}
         #: Monotonic counters (mirrored into ``GET /stats``).
         self.enqueued = 0      # cells that entered the queue
         self.deduped = 0       # submissions answered by store/in-flight
@@ -152,6 +191,8 @@ class WorkQueue:
         self.failed = 0        # cells finished with an error
         self.reclaimed = 0     # expired leases returned to pending
         self.rejected = 0      # stale/unknown completions refused
+        self.requeued = 0      # failed attempts sent back to pending
+        self.dead = 0          # cells dead-lettered (budget spent)
 
     # ------------------------------------------------------------------
     # Submission
@@ -268,7 +309,7 @@ class WorkQueue:
             if self._closed:
                 return []
             now = self._clock()
-            self._reclaim_expired_locked(now)
+            dead = self._reclaim_expired_locked(now)
             leases: List[Lease] = []
             while self._ready_fps and len(leases) < n:
                 fingerprint = self._ready_fps.popleft()
@@ -280,13 +321,15 @@ class WorkQueue:
                 cell.state = _LEASED
                 cell.token = f"lease-{next(self._lease_ids):08d}"
                 cell.expiry = None if math.isinf(seconds) else now + seconds
+                cell.attempts += 1
                 leases.append(Lease(
                     fingerprint=fingerprint,
                     scenario=cell.scenario,
                     token=cell.token,
                     expires_s=None if math.isinf(seconds) else seconds,
                 ))
-            return leases
+        self._settle_dead(dead)
+        return leases
 
     def lease_wait(
         self,
@@ -353,19 +396,33 @@ class WorkQueue:
                 cell.expiry = self._clock() + seconds
             return "renewed"
 
-    def _reclaim_expired_locked(self, now: float) -> None:
-        for cell in self._cells.values():
+    def _reclaim_expired_locked(self, now: float) -> List[_Cell]:
+        """Return expired cells to pending; dead-letter budget-spent
+        ones.  Returns the cells to settle (futures must be resolved
+        *outside* the queue lock — the caller runs
+        :meth:`_settle_dead` after releasing it)."""
+        dead: List[_Cell] = []
+        for cell in list(self._cells.values()):
             if (
                 cell.state == _LEASED
                 and cell.expiry is not None
                 and cell.expiry <= now
             ):
+                cell.errors.append(
+                    f"attempt {cell.attempts}: lease expired "
+                    f"(worker crashed or stopped renewing)"
+                )
+                self.reclaimed += 1
+                if cell.attempts >= self.max_attempts:
+                    self._dead_letter_locked(cell)
+                    dead.append(cell)
+                    continue
                 cell.state = _PENDING
                 cell.token = None   # the old lease is now stale
                 cell.expiry = None
                 self._ready_fps.append(cell.fingerprint)
-                self.reclaimed += 1
                 self._ready.notify_all()
+        return dead
 
     # ------------------------------------------------------------------
     # Completion
@@ -387,7 +444,8 @@ class WorkQueue:
           the token never matched; the store is untouched;
         * ``"bad-payload"`` — the payload fails validation (wrong
           schema tag, or its spec does not hash to ``fingerprint``);
-          the cell returns to pending for another worker;
+          the cell returns to pending for another worker (or is
+          dead-lettered once its attempt budget is spent);
         * ``"unknown"`` — no such cell was ever queued.
         """
         claim = self._claim_for_completion(fingerprint, token)
@@ -410,29 +468,78 @@ class WorkQueue:
         return self._land(fingerprint, payload=None, result=result)
 
     def fail(self, fingerprint: str, token: str, error: object) -> str:
-        """Record a deterministic failure for a leased cell.
+        """Record a failed attempt for a leased cell.
 
-        The waiting futures raise, jobs count the cell as failed, and
-        nothing is written to the store (failures are never cached).
+        The failure is appended to the cell's error history and the
+        cell returns to pending for another attempt (``"requeued"``) —
+        a transient worker-side error must not fail a sweep.  Once the
+        attempt budget is spent the cell is dead-lettered instead
+        (``"failed"``): its jobs count it failed with the full history,
+        its waiting futures raise, and nothing is ever written to the
+        store (failures are never cached).
         """
         claim = self._claim_for_completion(fingerprint, token)
         if claim is not None:
             return claim
         with self._lock:
             cell = self._cells[fingerprint]
-        return self._fail_claimed(cell, error)
+        return self._settle_failed_attempt(cell, error)
 
-    def _fail_claimed(self, cell: _Cell, error: object) -> str:
-        """Settle an already-claimed (state ``writing``) cell as failed."""
-        exc = error if isinstance(error, BaseException) \
-            else RuntimeError(str(error))
+    def _settle_failed_attempt(self, cell: _Cell, error: object) -> str:
+        """Requeue or dead-letter an already-claimed (state ``writing``)
+        cell whose attempt just failed."""
+        message = str(error) if not isinstance(error, BaseException) \
+            else str(error) or type(error).__name__
+        dead: Optional[_Cell] = None
         with self._lock:
-            self._cells.pop(cell.fingerprint, None)
-            self.failed += 1
-            self._settle_jobs_locked(cell, error=str(exc))
-        if not cell.future.done():
-            cell.future.set_exception(exc)
-        return "failed"
+            cell.errors.append(f"attempt {cell.attempts}: {message}")
+            if cell.attempts >= self.max_attempts:
+                self._dead_letter_locked(cell)
+                dead = cell
+            else:
+                cell.state = _PENDING
+                cell.token = None
+                cell.expiry = None
+                self._ready_fps.append(cell.fingerprint)
+                self.requeued += 1
+                self._ready.notify_all()
+        if dead is not None:
+            self._settle_dead([dead])
+            return "failed"
+        return "requeued"
+
+    def _dead_letter_locked(self, cell: _Cell) -> None:
+        """Take a poison cell out of circulation (lock held).
+
+        The caller must pass the cell to :meth:`_settle_dead` *after*
+        releasing the lock — resolving a future runs arbitrary waiter
+        callbacks, which must never happen inside the queue lock.
+        """
+        self._cells.pop(cell.fingerprint, None)
+        self.failed += 1
+        self.dead += 1
+        self._dead[cell.fingerprint] = {
+            "fingerprint": cell.fingerprint,
+            "attempts": cell.attempts,
+            "errors": list(cell.errors),
+        }
+        while len(self._dead) > KEEP_DEAD_LETTERS:
+            self._dead.pop(next(iter(self._dead)))
+        self._settle_jobs_locked(cell, error=self._poison_summary(cell))
+
+    @staticmethod
+    def _poison_summary(cell: _Cell) -> str:
+        history = "; ".join(cell.errors)
+        return (
+            f"dead-lettered after {cell.attempts} attempt(s): {history}"
+        )
+
+    def _settle_dead(self, dead: List[_Cell]) -> None:
+        for cell in dead:
+            if not cell.future.done():
+                cell.future.set_exception(
+                    RuntimeError(self._poison_summary(cell))
+                )
 
     def _claim_for_completion(
         self, fingerprint: str, token: str
@@ -471,15 +578,27 @@ class WorkQueue:
         return None
 
     def _requeue_after_bad_payload(self, fingerprint: str) -> None:
+        dead: Optional[_Cell] = None
         with self._lock:
             self.rejected += 1
             cell = self._cells.get(fingerprint)
             if cell is not None and cell.state == _WRITING:
-                cell.state = _PENDING
-                cell.token = None
-                cell.expiry = None
-                self._ready_fps.append(fingerprint)
-                self._ready.notify_all()
+                cell.errors.append(
+                    f"attempt {cell.attempts}: completion payload failed "
+                    f"validation (wrong fingerprint or schema)"
+                )
+                if cell.attempts >= self.max_attempts:
+                    self._dead_letter_locked(cell)
+                    dead = cell
+                else:
+                    cell.state = _PENDING
+                    cell.token = None
+                    cell.expiry = None
+                    self._ready_fps.append(fingerprint)
+                    self.requeued += 1
+                    self._ready.notify_all()
+        if dead is not None:
+            self._settle_dead([dead])
 
     def _land(
         self,
@@ -497,9 +616,15 @@ class WorkQueue:
                 else:
                     self.store.save(result)
         except BaseException as exc:
-            # The store refused the write (disk full, closed backend):
-            # surface it to every waiter rather than wedging the cell.
-            return self._fail_claimed(cell, exc)
+            # The store refused the write (transient lock, disk full,
+            # closed backend): the computed payload is lost, but the
+            # cell is not — it requeues for another attempt (recompute
+            # + rewrite) and only dead-letters once the budget is
+            # spent.  The store itself retries transient errors first
+            # (see SqliteStore), so reaching here is already rare.
+            return self._settle_failed_attempt(
+                cell, f"store write failed: {exc}"
+            )
         with self._lock:
             self._cells.pop(fingerprint, None)
             self.completed += 1
@@ -563,6 +688,20 @@ class WorkQueue:
         with self._lock:
             return len(self._cells)
 
+    def dead_letters(self) -> List[Dict[str, object]]:
+        """The retained dead-letter records, oldest first.
+
+        Each entry carries the fingerprint, the attempt count and the
+        full per-attempt error history — the post-mortem an operator
+        reads before deciding whether to fix and resubmit (a fresh
+        submission of a dead fingerprint starts a fresh cell).
+        """
+        with self._lock:
+            return [
+                {**record, "errors": list(record["errors"])}
+                for record in self._dead.values()
+            ]
+
     def stats(self) -> Dict[str, object]:
         with self._lock:
             leased = sum(
@@ -579,6 +718,17 @@ class WorkQueue:
                 "failed": self.failed,
                 "reclaimed": self.reclaimed,
                 "rejected": self.rejected,
+                "requeued": self.requeued,
+                "dead": self.dead,
+                "dead_letters": [
+                    {
+                        "fingerprint": record["fingerprint"],
+                        "attempts": record["attempts"],
+                        "last_error": record["errors"][-1]
+                        if record["errors"] else None,
+                    }
+                    for record in self._dead.values()
+                ],
             }
 
     def _prune_finished_jobs_locked(self) -> None:

@@ -77,8 +77,10 @@ class ScenarioServer:
     ``local_compute=False`` starts no executor at all — the server is a
     pure coordinator and every cell waits for a remote ``repro worker``.
     ``lease_seconds`` bounds how long a remote worker may sit on a cell
-    before it is re-leased.  ``port=0`` binds an ephemeral port (tests,
-    benchmarks).
+    before it is re-leased; ``max_attempts`` is the per-cell attempt
+    budget before a poison cell is dead-lettered (see
+    :class:`~repro.service.queue.WorkQueue`).  ``port=0`` binds an
+    ephemeral port (tests, benchmarks).
     """
 
     def __init__(
@@ -90,15 +92,20 @@ class ScenarioServer:
         request_timeout: float = 600.0,
         local_compute: bool = True,
         lease_seconds: float = 60.0,
+        max_attempts: int = 5,
+        faults: Optional[object] = None,
     ) -> None:
         self._owns_store = not isinstance(store, ResultStore)
         self.store = open_store(store)
         self.request_timeout = request_timeout
-        self.queue = WorkQueue(self.store, lease_seconds=lease_seconds)
+        self.queue = WorkQueue(
+            self.store, lease_seconds=lease_seconds,
+            max_attempts=max_attempts,
+        )
         self.executor: Optional[BatchingExecutor] = None
         if local_compute:
             self.executor = BatchingExecutor(
-                self.store, jobs=jobs, queue=self.queue
+                self.store, jobs=jobs, queue=self.queue, faults=faults
             )
         self.jobs = self.executor.jobs if self.executor else 0
         self.requests = 0
@@ -150,8 +157,21 @@ class ScenarioServer:
         self._thread.start()
         return self
 
-    def close(self) -> None:
-        """Stop listening, drain the executor, release the store."""
+    def close(self, drain_s: float = 10.0) -> None:
+        """Graceful shutdown: refuse new work, drain, release the store.
+
+        The ordered drain a SIGTERM (``repro serve``) triggers:
+
+        1. stop the listener — no new requests are accepted;
+        2. drain the local executor for up to ``drain_s`` seconds — an
+           in-flight batch finishes and its results land through the
+           queue's single-writer path (never a torn write mid-result);
+        3. shut the queue down — every still-unfinished cell fails its
+           waiters with a clear "service closed" instead of hanging
+           them, and later completions from remote workers are
+           answered ``unknown``/``already-done``, never half-applied;
+        4. flush and close the store (when this server opened it).
+        """
         if self._serving:
             # shutdown() waits on an event only serve_forever() sets;
             # calling it on a never-started server deadlocks forever.
@@ -161,7 +181,7 @@ class ScenarioServer:
             self._thread.join(timeout=10.0)
             self._thread = None
         if self.executor is not None:
-            self.executor.close()
+            self.executor.close(timeout=drain_s)
         self.queue.shutdown("service closed")
         if self._owns_store:
             self.store.close()

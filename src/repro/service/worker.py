@@ -30,11 +30,14 @@ import os
 import socket
 import threading
 import time
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.errors import ServiceError
 from repro.scenario import Scenario
 from repro.service.client import ServiceClient
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults import FaultPlan
 
 
 class SweepWorker:
@@ -45,6 +48,16 @@ class SweepWorker:
     per CPU); ``lease_n`` is how many cells to pull per round (default:
     the process parallelism, so the pool stays full); ``poll_s`` is the
     idle sleep between empty lease responses.
+
+    ``connect_retries`` bounds *consecutive* transport-class failures
+    (unreachable server, 5xx) in :meth:`run` — beyond the client's own
+    per-request retries — after which the loop raises a terminal
+    :class:`~repro.errors.ServiceError` instead of silently polling an
+    unreachable server forever (``repro worker`` turns that into a
+    nonzero exit).  ``faults`` is a test-only
+    :class:`~repro.faults.FaultPlan`; a ``worker.compute``/``crash``
+    rule makes :meth:`step` die holding its leases (stage ``"leased"``
+    or ``"computed"``), exactly like a SIGKILLed machine.
     """
 
     def __init__(
@@ -55,6 +68,8 @@ class SweepWorker:
         lease_n: Optional[int] = None,
         name: Optional[str] = None,
         timeout: float = 600.0,
+        connect_retries: int = 10,
+        faults: Optional["FaultPlan"] = None,
     ) -> None:
         self.client = ServiceClient(server_url, timeout=timeout)
         if jobs is not None and jobs < 0:
@@ -62,6 +77,8 @@ class SweepWorker:
         self.jobs = jobs
         self.lease_n = lease_n if lease_n is not None else max(1, jobs or 1)
         self.poll_s = poll_s
+        self.connect_retries = connect_retries
+        self.faults = faults
         self.name = name or f"{socket.gethostname()}:{os.getpid()}"
         # One long-lived process pool across lease rounds (lazily
         # spawned): a round is only ~lease_n cells, so paying pool
@@ -88,6 +105,7 @@ class SweepWorker:
         if not leases:
             return 0
         self.leased += len(leases)
+        self._maybe_crash("leased", leases)
         heartbeat_stop = threading.Event()
         heartbeat = self._start_heartbeat(leases, heartbeat_stop)
         try:
@@ -96,15 +114,35 @@ class SweepWorker:
             heartbeat_stop.set()
             if heartbeat is not None:
                 heartbeat.join(timeout=10.0)
+        self._maybe_crash("computed", leases)
         ack = self.client.complete(completions)
         for status in ack["statuses"]:
-            if status == "done":
-                self.completed += 1
-            elif status == "failed":
-                self.failed += 1
-            else:  # stale-lease / already-done / unknown: wasted work,
+            if status in ("done", "already-done"):
+                self.completed += 1  # landed (here or via a retry race)
+            elif status in ("failed", "requeued"):
+                self.failed += 1  # our computation errored
+            else:  # stale-lease / bad-payload / unknown: wasted work,
                 self.rejected += 1  # but never wrong results
         return len(leases)
+
+    def _maybe_crash(
+        self, stage: str, leases: List[Dict[str, object]]
+    ) -> None:
+        """Fault hook: die holding the batch (site ``worker.compute``)."""
+        if self.faults is None:
+            return
+        rule = self.faults.fire(
+            "worker.compute", stage=stage, worker=self.name,
+            fingerprints=[lease["fingerprint"] for lease in leases],
+        )
+        if rule is not None and rule.kind == "crash":
+            from repro.faults import WorkerCrashed
+
+            self.close()
+            raise WorkerCrashed(
+                f"worker {self.name} crashed ({stage}) holding "
+                f"{len(leases)} lease(s)"
+            )
 
     def _start_heartbeat(
         self, leases: List[Dict[str, object]], stop: threading.Event
@@ -214,18 +252,40 @@ class SweepWorker:
         ``drain=True`` exits on the first empty lease response (batch
         jobs, CI); otherwise the loop idles on ``poll_s`` until
         ``stop`` is set (or forever — the ``repro worker`` foreground,
-        ended by Ctrl-C).  The process pool is released on exit."""
+        ended by Ctrl-C/SIGTERM, which set ``stop`` so the in-flight
+        batch finishes and pushes home before the loop exits).
+
+        Transport-class failures (server restarting or unreachable)
+        are retried with the idle backoff, but only
+        ``connect_retries`` times *consecutively*: a worker pointed at
+        a dead server raises a terminal
+        :class:`~repro.errors.ServiceError` instead of looping
+        silently forever.  Any successful round resets the budget.
+        The process pool is released on exit."""
+        consecutive_failures = 0
+        last_error: Optional[ServiceError] = None
         try:
             while stop is None or not stop.is_set():
                 try:
                     processed = self.step()
+                    consecutive_failures = 0
                 except ServiceError as exc:
                     if exc.status is not None and exc.status < 500:
                         raise  # our requests are malformed: a real bug
-                    # Server restarting / unreachable: back off, retry.
+                    # Server restarting / unreachable: back off, retry
+                    # — but not forever.
+                    consecutive_failures += 1
+                    last_error = exc
+                    if consecutive_failures >= self.connect_retries:
+                        raise ServiceError(
+                            f"server {self.client.base_url} unreachable: "
+                            f"{consecutive_failures} consecutive failed "
+                            f"round(s), giving up (last: {last_error})",
+                            status=exc.status,
+                        ) from None
                     processed = 0
                 if processed == 0:
-                    if drain:
+                    if drain and consecutive_failures == 0:
                         return
                     if stop is not None and stop.wait(self.poll_s):
                         return

@@ -32,9 +32,18 @@ class JsonlStore(ResultStore):
     writing instance per file.
     """
 
-    def __init__(self, path: Union[str, Path]) -> None:
+    def __init__(
+        self,
+        path: Union[str, Path],
+        faults: Optional[object] = None,
+    ) -> None:
         super().__init__()
         self.path = Path(path)
+        #: Test-only :class:`repro.faults.FaultPlan`; a
+        #: ``store.write``/``torn-write`` rule makes :meth:`_append`
+        #: leave a half-written final line on disk and raise — the
+        #: damage a crash mid-append does, on demand.
+        self.faults = faults
         self._index: Dict[str, str] = {}  # fingerprint -> raw record line
         #: fingerprint -> (schema tag, columns); built alongside the
         #: index so query() never re-parses full result payloads.
@@ -90,7 +99,21 @@ class JsonlStore(ResultStore):
 
     def _append(self, record: Dict[str, object]) -> str:
         line = canonical_json(record)
-        self._file.write(line.encode("utf-8") + b"\n")
+        encoded = line.encode("utf-8")
+        if self.faults is not None:
+            rule = self.faults.fire("store.write", backend="jsonl")
+            if rule is not None:
+                if rule.kind == "torn-write":
+                    # Crash mid-append: some bytes land, the newline
+                    # never does.  _recover() must drop exactly this.
+                    self._file.write(encoded[: max(1, len(encoded) // 2)])
+                    self._file.flush()
+                    raise OSError(
+                        "injected torn write (process died mid-append)"
+                    )
+                if rule.kind == "io-error":
+                    raise OSError("injected I/O error (disk away)")
+        self._file.write(encoded + b"\n")
         self._file.flush()
         return line
 

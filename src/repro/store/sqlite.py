@@ -22,11 +22,31 @@ from __future__ import annotations
 import sqlite3
 import json
 import threading
+import time
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Callable, Dict, List, Optional, Tuple, TypeVar, Union
 
 from repro.scenario import canonical_json
 from repro.store.base import RECORD_COLUMNS, ResultStore
+
+_T = TypeVar("_T")
+
+#: How long a connection waits on a foreign lock before raising
+#: ``database is locked`` (ms).  Zero by default in sqlite3 — one
+#: external reader holding the file mid-checkpoint would fail writes
+#: instantly without this.
+BUSY_TIMEOUT_MS = 5_000
+
+#: Writer-path retry budget for *transient* OperationalErrors that
+#: survive the busy timeout (lock contention from external processes,
+#: NFS hiccups) — backoff doubles from ``RETRY_BASE_S`` per attempt.
+WRITE_RETRIES = 5
+RETRY_BASE_S = 0.02
+
+
+def _transient(exc: sqlite3.OperationalError) -> bool:
+    message = str(exc).lower()
+    return "locked" in message or "busy" in message
 
 _SCHEMA_SQL = """
 CREATE TABLE IF NOT EXISTS results (
@@ -52,9 +72,20 @@ CREATE INDEX IF NOT EXISTS idx_results_scale ON results (scale);
 class SqliteStore(ResultStore):
     """Indexed ``.sqlite`` backend (the default persistent store)."""
 
-    def __init__(self, path: Union[str, Path]) -> None:
+    def __init__(
+        self,
+        path: Union[str, Path],
+        faults: Optional[object] = None,
+    ) -> None:
         super().__init__()
         self.path = str(path)
+        #: Test-only :class:`repro.faults.FaultPlan`; a
+        #: ``store.write``/``sqlite-locked`` rule raises a transient
+        #: OperationalError inside the retried writer section, driving
+        #: the same path real lock contention would.
+        self.faults = faults
+        #: Transient-lock retries actually taken (observable in tests).
+        self.write_retries = 0
         Path(self.path).parent.mkdir(parents=True, exist_ok=True)
         self._local = threading.local()
         self._readers: List[Tuple[threading.Thread, sqlite3.Connection]] = []
@@ -70,7 +101,37 @@ class SqliteStore(ResultStore):
         # reaping) tears connections down from another thread; each
         # connection is otherwise used only by its owning thread
         # (reads) or under the write lock (writes).
-        return sqlite3.connect(self.path, check_same_thread=False)
+        conn = sqlite3.connect(self.path, check_same_thread=False)
+        conn.execute(f"PRAGMA busy_timeout={BUSY_TIMEOUT_MS}")
+        return conn
+
+    def _write(self, operation: Callable[[], _T]) -> _T:
+        """Run one writer-path operation, retrying transient lock errors.
+
+        The busy timeout already absorbs sub-5s contention inside
+        SQLite; this loop covers what leaks past it (an external
+        process holding the file across a checkpoint, injected faults)
+        with ``WRITE_RETRIES`` attempts and doubling backoff.  Anything
+        non-transient — schema errors, disk full — raises immediately.
+        """
+        retry = 0
+        while True:
+            try:
+                if self.faults is not None:
+                    rule = self.faults.fire(
+                        "store.write", backend="sqlite", retry=retry
+                    )
+                    if rule is not None and rule.kind == "sqlite-locked":
+                        raise sqlite3.OperationalError(
+                            "database is locked (injected)"
+                        )
+                return operation()
+            except sqlite3.OperationalError as exc:
+                if not _transient(exc) or retry >= WRITE_RETRIES:
+                    raise
+                retry += 1
+                self.write_retries += 1
+                time.sleep(RETRY_BASE_S * (2 ** (retry - 1)))
 
     @property
     def _read_conn(self) -> sqlite3.Connection:
@@ -109,30 +170,38 @@ class SqliteStore(ResultStore):
         payload: Dict[str, object],
         columns: Dict[str, object],
     ) -> None:
-        with self._write_lock, self._write_conn:
-            self._write_conn.execute(
-                "INSERT OR REPLACE INTO results "
-                "(fingerprint, schema, workload, interconnect, power_state, "
-                " dram_ns, seed, scale, payload) "
-                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
-                (
-                    fingerprint,
-                    payload.get("schema"),
-                    columns["workload"],
-                    columns["interconnect"],
-                    columns["power_state"],
-                    columns["dram_ns"],
-                    columns["seed"],
-                    columns["scale"],
-                    canonical_json(payload),
-                ),
-            )
+        def insert() -> None:
+            with self._write_conn:
+                self._write_conn.execute(
+                    "INSERT OR REPLACE INTO results "
+                    "(fingerprint, schema, workload, interconnect, power_state, "
+                    " dram_ns, seed, scale, payload) "
+                    "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                    (
+                        fingerprint,
+                        payload.get("schema"),
+                        columns["workload"],
+                        columns["interconnect"],
+                        columns["power_state"],
+                        columns["dram_ns"],
+                        columns["seed"],
+                        columns["scale"],
+                        canonical_json(payload),
+                    ),
+                )
+
+        with self._write_lock:
+            self._write(insert)
 
     def _delete(self, fingerprint: str) -> bool:
-        with self._write_lock, self._write_conn:
-            cursor = self._write_conn.execute(
-                "DELETE FROM results WHERE fingerprint = ?", (fingerprint,)
-            )
+        def delete() -> sqlite3.Cursor:
+            with self._write_conn:
+                return self._write_conn.execute(
+                    "DELETE FROM results WHERE fingerprint = ?", (fingerprint,)
+                )
+
+        with self._write_lock:
+            cursor = self._write(delete)
         return cursor.rowcount > 0
 
     def _prefix_matches(self, prefix: str, limit: int) -> List[str]:
@@ -261,11 +330,15 @@ class SqliteStore(ResultStore):
         """
         from repro.sim.session import RESULT_SCHEMA
 
-        with self._write_lock:
+        def sweep() -> sqlite3.Cursor:
             with self._write_conn:
                 cursor = self._write_conn.execute(
                     "DELETE FROM results WHERE schema IS NOT ?",
                     (RESULT_SCHEMA,),
                 )
             self._write_conn.execute("VACUUM")
+            return cursor
+
+        with self._write_lock:
+            cursor = self._write(sweep)
         return cursor.rowcount

@@ -1,0 +1,374 @@
+"""Chaos suite: the distributed stack under injected faults.
+
+The acceptance test of the fault-tolerance work: a full sweep driven
+to completion while workers crash mid-batch, HTTP responses drop, the
+server answers 500s and the store's writes hit transient lock errors —
+and the collected results are bit-identical to a clean local
+``run_sweep``, with every cell written exactly once and simulated at
+most once per successful attempt.
+
+Around the flagship run: poison cells dead-letter within their attempt
+budget instead of cycling forever (in-process and through repeated
+lease expiry), store-write failures requeue rather than lose cells,
+workers pointed at a dead server give up with a terminal error
+(in-process and as a nonzero ``repro worker`` exit), and ``repro
+serve`` / ``repro worker`` drain gracefully on SIGTERM.
+"""
+
+import os
+import random
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+import repro
+import repro.sim.session as session
+from repro.errors import ServiceError
+from repro.faults import (
+    CLIENT_REQUEST,
+    STORE_WRITE,
+    WORKER_COMPUTE,
+    FaultClock,
+    FaultPlan,
+    FaultRule,
+    WorkerCrashed,
+)
+from repro.scenario import Scenario, SweepGrid, scenario_fingerprint
+from repro.service import (
+    RetryPolicy,
+    ScenarioServer,
+    ServiceClient,
+    SweepWorker,
+    WorkQueue,
+)
+from repro.sim.session import run_scenario, run_sweep
+from repro.store import MemoryStore, SqliteStore
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.02"))
+
+
+def _scenario(seed: int = 2016, **kwargs) -> Scenario:
+    return Scenario(workload="fft", scale=SCALE, seed=seed, **kwargs)
+
+
+def _subprocess_env():
+    src_dir = str(Path(repro.__file__).parents[1])
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [src_dir] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    return env
+
+
+# ---------------------------------------------------------------------------
+# The flagship chaos run
+# ---------------------------------------------------------------------------
+class TestChaosSweep:
+    def test_sweep_survives_crashes_drops_and_locked_writes(
+        self, tmp_path, monkeypatch
+    ):
+        grid = SweepGrid.over(
+            _scenario(),
+            seed=[1, 2, 3, 4],
+            power_state=["Full connection", "PC4-MB8"],
+        )
+        local = run_sweep(grid)  # the clean reference, before counting
+        simulated = []
+        original_run = session.run_scenario
+
+        def counting_run(scenario, *args, **kwargs):
+            simulated.append(scenario_fingerprint(scenario))
+            return original_run(scenario, *args, **kwargs)
+
+        monkeypatch.setattr(session, "run_scenario", counting_run)
+
+        store_faults = FaultPlan(
+            [FaultRule(STORE_WRITE, "sqlite-locked", times=2)], seed=11
+        )
+        store = SqliteStore(tmp_path / "chaos.sqlite", faults=store_faults)
+        puts = []
+        original_put = store.put
+
+        def counting_put(fingerprint, *args, **kwargs):
+            puts.append(fingerprint)
+            return original_put(fingerprint, *args, **kwargs)
+
+        monkeypatch.setattr(store, "put", counting_put)
+
+        crash_on_lease = FaultPlan([
+            FaultRule(WORKER_COMPUTE, "crash", times=1,
+                      when=lambda ctx: ctx.get("stage") == "leased"),
+        ])
+        crash_on_compute = FaultPlan([
+            FaultRule(WORKER_COMPUTE, "crash", times=1,
+                      when=lambda ctx: ctx.get("stage") == "computed"),
+        ])
+        client_faults = FaultPlan([
+            FaultRule(CLIENT_REQUEST, "http-500", times=1),
+            FaultRule(CLIENT_REQUEST, "drop-response", times=1),
+        ], seed=12)
+
+        with ScenarioServer(
+            store, port=0, local_compute=False, lease_seconds=1.0
+        ) as server:
+            server.start()
+            client = ServiceClient(
+                server.url, timeout=120.0,
+                retry=RetryPolicy(
+                    attempts=4, base_s=0.01, rng=random.Random(5)
+                ),
+                faults=client_faults,
+            )
+            job = client.submit_sweep(grid)
+            assert job["total"] == len(grid) == 8
+
+            stop = threading.Event()
+
+            def crashing(worker):
+                try:
+                    worker.run(stop=stop)
+                except WorkerCrashed:
+                    pass  # the machine died; it does not come back
+
+            crashers = [
+                SweepWorker(server.url, poll_s=0.05, name="w-crash-lease",
+                            faults=crash_on_lease),
+                SweepWorker(server.url, poll_s=0.05, name="w-crash-compute",
+                            faults=crash_on_compute),
+            ]
+            threads = [
+                threading.Thread(target=crashing, args=(w,), daemon=True)
+                for w in crashers
+            ]
+            for thread in threads:
+                thread.start()
+            # Both crashes must actually happen before the survivor is
+            # allowed to drain, or a fast healthy worker would leave
+            # nothing to crash on.
+            deadline = time.time() + 60
+            while (
+                not (crash_on_lease.exhausted()
+                     and crash_on_compute.exhausted())
+                and time.time() < deadline
+            ):
+                time.sleep(0.01)
+            assert crash_on_lease.exhausted()
+            assert crash_on_compute.exhausted()
+
+            survivor = SweepWorker(server.url, poll_s=0.05, name="w-healthy")
+            threads.append(threading.Thread(
+                target=survivor.run, kwargs={"stop": stop}, daemon=True
+            ))
+            threads[-1].start()
+            try:
+                status = client.wait(job["job"], poll_s=0.1, timeout=180)
+            finally:
+                stop.set()
+                for thread in threads:
+                    thread.join(timeout=30)
+
+            assert status["done"] == 8 and not status["failed"]
+            remote = client.sweep_results(job["fingerprints"])
+            assert remote == local  # bit-identical despite the chaos
+
+            # every injected fault class actually happened
+            assert client_faults.exhausted()
+            assert store_faults.fired(STORE_WRITE, "sqlite-locked") == 2
+            assert store.write_retries >= 2
+
+            # every cell written exactly once, simulated at most once
+            # per successful attempt: 8 landed computations plus the
+            # one the crashed-after-compute worker threw away
+            assert sorted(puts) == sorted(set(job["fingerprints"]))
+            assert set(simulated) == set(job["fingerprints"])
+            assert len(simulated) == 9
+
+            stats = server.queue.stats()
+            assert stats["completed"] == 8 and stats["dead"] == 0
+            assert stats["reclaimed"] == 2   # one lease per crashed worker
+            assert stats["rejected"] == 0    # no stale completion landed
+        for worker in crashers + [survivor]:
+            worker.close()
+
+
+# ---------------------------------------------------------------------------
+# Poison cells and attempt budgets
+# ---------------------------------------------------------------------------
+class TestPoisonCells:
+    def test_poison_cell_dead_letters_within_budget(
+        self, tmp_path, monkeypatch
+    ):
+        """A cell whose every attempt fails is retried up to
+        max_attempts, then dead-lettered: the sweep finishes (with the
+        failure surfaced), the worker's drain terminates, and the
+        post-mortem carries the whole history."""
+        original_run = session.run_scenario
+
+        def flaky_run(scenario, *args, **kwargs):
+            if scenario.seed == 666:
+                raise RuntimeError("engine exploded")
+            return original_run(scenario, *args, **kwargs)
+
+        monkeypatch.setattr(session, "run_scenario", flaky_run)
+        with ScenarioServer(
+            str(tmp_path / "poison.sqlite"), port=0,
+            local_compute=False, lease_seconds=30.0, max_attempts=3,
+        ) as server:
+            server.start()
+            client = ServiceClient(server.url, timeout=60.0)
+            job = client.submit_sweep(
+                [_scenario(seed=51), _scenario(seed=666)]
+            )
+            worker = SweepWorker(server.url, poll_s=0.05, name="w-poison")
+            worker.drain()  # terminates: the poison cell leaves the queue
+            with pytest.raises(ServiceError, match="engine exploded"):
+                client.wait(job["job"], poll_s=0.05, timeout=60)
+
+            status = client.job_status(job["job"])
+            assert status["done"] == 1 and status["failed"] == 1
+            assert "dead-lettered after 3 attempt" in status["errors"][0]
+            assert len(server.store) == 1  # the survivor only
+
+            [dead] = server.queue.dead_letters()
+            assert dead["attempts"] == 3
+            assert len(dead["errors"]) == 3
+            assert all("engine exploded" in line for line in dead["errors"])
+            stats = server.queue.stats()
+            assert stats["dead"] == 1 and stats["requeued"] == 2
+            assert "engine exploded" in \
+                stats["dead_letters"][0]["last_error"]
+
+    def test_repeated_lease_expiry_dead_letters(self):
+        """A cell that only ever lands on crashing workers spends its
+        budget through lease expiries and dead-letters too — driven by
+        the harness clock instead of real waiting."""
+        base = [1000.0]
+        clock = FaultClock(base=lambda: base[0])
+        queue = WorkQueue(
+            MemoryStore(), lease_seconds=5.0, clock=clock, max_attempts=2
+        )
+        future = queue.submit_scenario(_scenario(seed=61))
+        [first] = queue.lease(n=1, worker="crasher-1")
+        clock.jump(6.0)
+        [second] = queue.lease(n=1, worker="crasher-2")  # reclaim + re-lease
+        assert second.fingerprint == first.fingerprint
+        clock.jump(6.0)
+        assert queue.lease(n=1, worker="crasher-3") == []  # dead, not cycled
+        with pytest.raises(RuntimeError, match="lease expired"):
+            future.result(timeout=1)
+        stats = queue.stats()
+        assert stats["reclaimed"] == 2 and stats["dead"] == 1
+
+    def test_store_write_failure_requeues_not_loses(self, monkeypatch):
+        """A store that throws on the landing write costs a recompute,
+        never a lost or phantom cell."""
+        store = MemoryStore()
+        queue = WorkQueue(store, lease_seconds=30.0)
+        queue.submit_job([_scenario(seed=71)])
+        [lease] = queue.lease(n=1)
+        payload = run_scenario(lease.scenario).to_dict()
+        original_put = store.put
+        calls = []
+
+        def flaky_put(*args, **kwargs):
+            calls.append(1)
+            if len(calls) == 1:
+                raise OSError("disk went away")
+            return original_put(*args, **kwargs)
+
+        monkeypatch.setattr(store, "put", flaky_put)
+        assert queue.complete(
+            lease.fingerprint, lease.token, payload
+        ) == "requeued"
+        assert len(store) == 0 and queue.stats()["requeued"] == 1
+
+        [again] = queue.lease(n=1)
+        assert again.fingerprint == lease.fingerprint
+        assert queue.complete(
+            again.fingerprint, again.token, payload
+        ) == "done"
+        assert len(store) == 1
+
+
+# ---------------------------------------------------------------------------
+# Giving up cleanly: connect budgets and graceful drains
+# ---------------------------------------------------------------------------
+class TestTerminalFailures:
+    def test_worker_gives_up_after_connect_budget(self):
+        worker = SweepWorker(
+            "http://127.0.0.1:1", poll_s=0.01, connect_retries=3,
+            timeout=5.0,
+        )
+        worker.client.retry = RetryPolicy(attempts=1)  # no inner retries
+        with pytest.raises(ServiceError, match="unreachable"):
+            worker.run()
+
+    def test_repro_worker_exits_nonzero_when_server_unreachable(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "worker",
+             "--server", "http://127.0.0.1:1",
+             "--connect-retries", "2", "--poll-ms", "10"],
+            env=_subprocess_env(), capture_output=True, text=True,
+            timeout=120,
+        )
+        assert proc.returncode == 1
+        [error_line] = [
+            line for line in proc.stderr.splitlines() if line.strip()
+        ]
+        assert error_line.startswith("error:")
+        assert "unreachable" in error_line
+
+
+class TestGracefulShutdown:
+    def test_repro_serve_drains_on_sigterm(self, tmp_path):
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve",
+             "--store", str(tmp_path / "serve.sqlite"), "--port", "0"],
+            env=_subprocess_env(),
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        )
+        try:
+            banner = proc.stdout.readline()
+            match = re.search(r"on (http://\S+)", banner)
+            assert match, banner
+            with urllib.request.urlopen(
+                match.group(1) + "/healthz", timeout=30
+            ) as response:
+                assert response.status == 200
+            proc.send_signal(signal.SIGTERM)
+            out, err = proc.communicate(timeout=60)
+        finally:
+            proc.kill()
+        assert proc.returncode == 0, err
+        assert "draining" in out
+        assert "shutdown complete" in out
+
+    def test_repro_worker_drains_on_sigterm(self, tmp_path):
+        with ScenarioServer(
+            str(tmp_path / "drain.sqlite"), port=0,
+            local_compute=False, lease_seconds=30.0,
+        ) as server:
+            server.start()
+            proc = subprocess.Popen(
+                [sys.executable, "-m", "repro", "worker",
+                 "--server", server.url, "--poll-ms", "20"],
+                env=_subprocess_env(),
+                stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+            )
+            try:
+                banner = proc.stdout.readline()
+                assert "worker" in banner, banner
+                proc.send_signal(signal.SIGTERM)
+                out, err = proc.communicate(timeout=60)
+            finally:
+                proc.kill()
+        assert proc.returncode == 0, err
+        assert "draining" in out
+        assert "completed 0" in out  # the exit summary still prints

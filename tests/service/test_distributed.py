@@ -245,20 +245,38 @@ class TestCompletionValidation:
     def test_unknown_fingerprint_completion(self, queue):
         assert queue.complete("f" * 64, "lease-1", {}) == "unknown"
 
-    def test_failed_cell_fails_waiters_and_is_not_cached(self, queue):
+    def test_failed_cell_requeues_then_dead_letters(self, queue):
+        """A failing cell is retried up to the attempt budget; once the
+        budget is spent it is dead-lettered — waiters fail with the
+        full error history and the store stays clean."""
         scenario = _scenario(seed=13)
         future = queue.submit_scenario(scenario)
         status = queue.submit_job([scenario])
-        [lease] = queue.lease(n=1)
-        assert queue.fail(
-            lease.fingerprint, lease.token, "engine exploded"
-        ) == "failed"
+        for attempt in range(1, queue.max_attempts + 1):
+            [lease] = queue.lease(n=1)
+            verdict = queue.fail(
+                lease.fingerprint, lease.token, "engine exploded"
+            )
+            expected = (
+                "failed" if attempt == queue.max_attempts else "requeued"
+            )
+            assert verdict == expected
         with pytest.raises(RuntimeError, match="engine exploded"):
             future.result(timeout=1)
         job = queue.job_status(status["job"])
         assert job["failed"] == 1 and job["finished"]
         assert "engine exploded" in job["errors"][0]
         assert len(queue.store) == 0
+        assert queue.requeued == queue.max_attempts - 1
+        assert queue.dead == 1
+        [entry] = queue.dead_letters()
+        assert entry["fingerprint"] == lease.fingerprint
+        assert entry["attempts"] == queue.max_attempts
+        assert len(entry["errors"]) == queue.max_attempts
+        # the dead letter is surfaced through stats() for operators
+        [surfaced] = queue.stats()["dead_letters"]
+        assert surfaced["fingerprint"] == lease.fingerprint
+        assert "engine exploded" in surfaced["last_error"]
 
     def test_resubmitting_a_failed_cell_retries_it(self, queue):
         """A cell that failed must not count as 'done' in a later job —

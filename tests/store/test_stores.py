@@ -359,3 +359,92 @@ class TestSqliteStore:
             assert errors == []
             assert store.load(fft_result.scenario) == fft_result
             assert len(store) == 2
+
+
+class TestStoreFaultInjection:
+    """The fault harness driving the stores' own failure paths."""
+
+    def test_jsonl_recovers_from_injected_torn_write(
+        self, tmp_path, volrend_result, fft_result
+    ):
+        """A harness-driven crash mid-append: bytes land, the newline
+        never does.  Recovery must keep every complete record, drop the
+        torn tail, and leave the file appendable."""
+        from repro.faults import STORE_WRITE, FaultPlan, FaultRule
+
+        path = tmp_path / "torn.jsonl"
+        plan = FaultPlan(
+            [FaultRule(STORE_WRITE, "torn-write", times=1, after=1)]
+        )
+        store = JsonlStore(path, faults=plan)
+        store.save(volrend_result)          # first append: clean
+        with pytest.raises(OSError, match="torn write"):
+            store.save(fft_result)          # second: dies mid-line
+        store.close()
+        assert plan.exhausted()
+        assert not path.read_bytes().endswith(b"\n")  # really torn
+
+        with JsonlStore(path) as recovered:
+            assert len(recovered) == 1
+            assert recovered.load(volrend_result.scenario) == volrend_result
+            assert recovered.load(fft_result.scenario) is None
+            recovered.save(fft_result)      # lands on a clean boundary
+            assert recovered.load(fft_result.scenario) == fft_result
+
+    def test_jsonl_injected_io_error_leaves_file_intact(
+        self, tmp_path, volrend_result, fft_result
+    ):
+        from repro.faults import STORE_WRITE, FaultPlan, FaultRule
+
+        path = tmp_path / "io.jsonl"
+        plan = FaultPlan(
+            [FaultRule(STORE_WRITE, "io-error", times=1, after=1)]
+        )
+        with JsonlStore(path, faults=plan) as store:
+            store.save(volrend_result)
+            before = path.read_bytes()
+            with pytest.raises(OSError, match="I/O error"):
+                store.save(fft_result)
+            assert path.read_bytes() == before  # nothing half-written
+            store.save(fft_result)              # budget spent: works now
+            assert store.load(fft_result.scenario) == fft_result
+
+    def test_sqlite_retries_transient_locked_writes(
+        self, tmp_path, volrend_result
+    ):
+        """Regression: transient `database is locked` on the writer
+        path is retried (with backoff) instead of failing the write."""
+        from repro.faults import STORE_WRITE, FaultPlan, FaultRule
+
+        plan = FaultPlan(
+            [FaultRule(STORE_WRITE, "sqlite-locked", times=3)]
+        )
+        with SqliteStore(tmp_path / "locked.sqlite", faults=plan) as store:
+            store.save(volrend_result)  # survives 3 injected lock errors
+            assert store.load(volrend_result.scenario) == volrend_result
+            assert store.write_retries == 3 and plan.exhausted()
+
+    def test_sqlite_gives_up_after_retry_budget(
+        self, tmp_path, volrend_result
+    ):
+        import sqlite3
+
+        from repro.faults import STORE_WRITE, FaultPlan, FaultRule
+        from repro.store.sqlite import WRITE_RETRIES
+
+        plan = FaultPlan([FaultRule(STORE_WRITE, "sqlite-locked")])
+        with SqliteStore(tmp_path / "stuck.sqlite", faults=plan) as store:
+            with pytest.raises(sqlite3.OperationalError, match="locked"):
+                store.save(volrend_result)
+            assert store.write_retries == WRITE_RETRIES  # bounded, not forever
+
+    def test_sqlite_connections_carry_busy_timeout(self, tmp_path):
+        from repro.store.sqlite import BUSY_TIMEOUT_MS
+
+        with SqliteStore(tmp_path / "busy.sqlite") as store:
+            assert store._write_conn.execute(
+                "PRAGMA busy_timeout"
+            ).fetchone()[0] == BUSY_TIMEOUT_MS
+            assert store._read_conn.execute(
+                "PRAGMA busy_timeout"
+            ).fetchone()[0] == BUSY_TIMEOUT_MS
