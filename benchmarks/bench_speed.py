@@ -36,6 +36,10 @@ path, not the engine.  ``distributed_sweep_seconds`` times a 2-worker
 drain of the fig7 grid at smoke scale through the work queue
 (submit -> lease -> push -> collect), tracking the distributed
 coordination overhead as the queue grows features.
+``paper_cold_build_seconds``/``paper_warm_build_ms`` time the paper
+generator over the full default manifest at smoke scale: one
+``repro paper run`` + first build against an empty store vs the warm
+rebuild (store reads and rendering only).
 """
 
 from __future__ import annotations
@@ -100,7 +104,40 @@ def run(scale: float, jobs: int | None) -> dict:
     results["fig7_warm_store_speedup"] = round(cold_s / warm_s, 1)
     results.update(bench_service())
     results.update(bench_distributed())
+    results.update(bench_paper())
     return results
+
+
+def bench_paper(scale: float = 0.05) -> dict:
+    """Time the paper generator: cold run+build vs warm rebuild.
+
+    The full default manifest (every figure, 128 cells) at smoke scale:
+    ``paper_cold_build_seconds`` is one ``repro paper run`` plus the
+    first ``build`` against an empty store; ``paper_warm_build_ms`` is
+    the rebuild — pure store reads and rendering, zero simulation.
+    Fixed at smoke scale so the number tracks the generator's own
+    overhead trend, not engine throughput.
+    """
+    from repro.paper import build_paper, default_manifest, run_paper
+    from repro.store import SqliteStore
+
+    manifest = default_manifest(scale=scale)
+    with tempfile.TemporaryDirectory(prefix="repro-bench-paper-") as tmp:
+        with SqliteStore(os.path.join(tmp, "paper.sqlite")) as store:
+            t0 = time.perf_counter()
+            run_paper(manifest, store, pin=False)
+            build_paper(manifest, store, out_dir=os.path.join(tmp, "a"))
+            cold_s = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            report = build_paper(
+                manifest, store, out_dir=os.path.join(tmp, "b")
+            )
+            warm_s = time.perf_counter() - t0
+            assert report.misses == 0, "warm rebuild hit the engine"
+    return {
+        "paper_cold_build_seconds": round(cold_s, 3),
+        "paper_warm_build_ms": round(warm_s * 1e3, 2),
+    }
 
 
 def bench_distributed(workers: int = 2, scale: float = 0.05) -> dict:

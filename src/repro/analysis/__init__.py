@@ -25,7 +25,14 @@ from repro.analysis.experiments import (
     headline_edp,
     run_benchmark,
 )
-from repro.analysis.export import export_fig6, export_power_sweep, rows_to_csv
+from repro.analysis.export import (
+    export_fig5,
+    export_fig6,
+    export_power_sweep,
+    export_result,
+    export_table1,
+    rows_to_csv,
+)
 from repro.analysis.sweeps import (
     SeedStudyResult,
     seed_study,
@@ -54,8 +61,11 @@ __all__ = [
     "experiment_table1",
     "headline_edp",
     "run_benchmark",
+    "export_fig5",
     "export_fig6",
     "export_power_sweep",
+    "export_result",
+    "export_table1",
     "rows_to_csv",
     "SeedStudyResult",
     "seed_study",

@@ -240,6 +240,50 @@ class Fig6Result:
         return f"{part_a}\n\n{part_b}\n\n{summary}"
 
 
+def fig6_grid(
+    scale: float = 1.0,
+    benchmarks: Sequence[str] = SPLASH2_NAMES,
+    dram: DRAMTimings = DDR3_OFFCHIP,
+    seed: int = 2016,
+) -> SweepGrid:
+    """The (benchmark x interconnect) grid behind Fig 6.
+
+    Exposed so the paper generator's manifest can pin the *same* cells
+    (and therefore the same fingerprints) the figure preset runs — a
+    store warmed through either path serves the other.
+    """
+    return SweepGrid.over(
+        Scenario(
+            workload=benchmarks[0],
+            dram=resolve_dram(dram),
+            scale=scale,
+            seed=seed,
+        ),
+        workload=list(benchmarks),
+        interconnect=list(INTERCONNECT_FACTORIES),
+    )
+
+
+def fig6_from_results(
+    benchmarks: Sequence[str], results: Sequence["object"]
+) -> Fig6Result:
+    """Assemble a :class:`Fig6Result` from cells in grid (row-major)
+    order: ``benchmarks`` outermost, the four paper interconnects
+    innermost.  ``run_sweep`` output and store-rehydrated payloads are
+    interchangeable here (replay determinism)."""
+    cells = iter(results)
+    latency: Dict[str, Dict[str, float]] = {}
+    execution: Dict[str, Dict[str, int]] = {}
+    for bench in benchmarks:
+        latency[bench] = {}
+        execution[bench] = {}
+        for ic_name in INTERCONNECT_FACTORIES:
+            cell = next(cells)
+            latency[bench][ic_name] = cell.report.mean_l2_latency_cycles
+            execution[bench][ic_name] = cell.report.execution_cycles
+    return Fig6Result(latency_cycles=latency, execution_cycles=execution)
+
+
 def experiment_fig6(
     scale: float = 1.0,
     benchmarks: Sequence[str] = SPLASH2_NAMES,
@@ -259,27 +303,10 @@ def experiment_fig6(
     """
     if not benchmarks:
         return Fig6Result(latency_cycles={}, execution_cycles={})
-    grid = SweepGrid.over(
-        Scenario(
-            workload=benchmarks[0],
-            dram=resolve_dram(dram),
-            scale=scale,
-            seed=seed,
-        ),
-        workload=list(benchmarks),
-        interconnect=list(INTERCONNECT_FACTORIES),
+    grid = fig6_grid(scale=scale, benchmarks=benchmarks, dram=dram, seed=seed)
+    return fig6_from_results(
+        benchmarks, run_sweep(grid, jobs=jobs, store=store)
     )
-    results = iter(run_sweep(grid, jobs=jobs, store=store))
-    latency: Dict[str, Dict[str, float]] = {}
-    execution: Dict[str, Dict[str, int]] = {}
-    for bench in benchmarks:
-        latency[bench] = {}
-        execution[bench] = {}
-        for ic_name in INTERCONNECT_FACTORIES:
-            cell = next(results)
-            latency[bench][ic_name] = cell.report.mean_l2_latency_cycles
-            execution[bench][ic_name] = cell.report.execution_cycles
-    return Fig6Result(latency_cycles=latency, execution_cycles=execution)
 
 
 # ---------------------------------------------------------------------------
@@ -332,6 +359,51 @@ class PowerStateSweepResult:
         return f"{part_a}\n\n{part_b}\n\n{summary}"
 
 
+def fig7_grid(
+    scale: float = 1.0,
+    benchmarks: Sequence[str] = SPLASH2_NAMES,
+    dram: DRAMTimings = DDR3_OFFCHIP,
+    seed: int = 2016,
+) -> SweepGrid:
+    """The (benchmark x power state) grid behind Fig 7 (and Fig 8 at
+    other DRAM operating points) — see :func:`fig6_grid` on why this
+    is exposed."""
+    return SweepGrid.over(
+        Scenario(
+            workload=benchmarks[0],
+            dram=resolve_dram(dram),
+            scale=scale,
+            seed=seed,
+        ),
+        workload=list(benchmarks),
+        power_state=[state.name for state in PAPER_POWER_STATES],
+    )
+
+
+def power_sweep_from_results(
+    benchmarks: Sequence[str],
+    dram: DRAMTimings,
+    results: Sequence["object"],
+) -> PowerStateSweepResult:
+    """Assemble a :class:`PowerStateSweepResult` from cells in grid
+    (row-major) order: ``benchmarks`` outermost, the four paper power
+    states innermost."""
+    cells = iter(results)
+    edp: Dict[str, Dict[str, float]] = {}
+    execution: Dict[str, Dict[str, int]] = {}
+    energy: Dict[str, Dict[str, float]] = {}
+    for bench in benchmarks:
+        edp[bench], execution[bench], energy[bench] = {}, {}, {}
+        for state in PAPER_POWER_STATES:
+            cell = next(cells)
+            edp[bench][state.name] = cell.energy.edp
+            execution[bench][state.name] = cell.report.execution_cycles
+            energy[bench][state.name] = cell.energy.total_j
+    return PowerStateSweepResult(
+        dram=dram, edp=edp, execution_cycles=execution, energy=energy
+    )
+
+
 def experiment_fig7(
     scale: float = 1.0,
     benchmarks: Sequence[str] = SPLASH2_NAMES,
@@ -353,29 +425,9 @@ def experiment_fig7(
         return PowerStateSweepResult(
             dram=dram, edp={}, execution_cycles={}, energy={}
         )
-    grid = SweepGrid.over(
-        Scenario(
-            workload=benchmarks[0],
-            dram=resolve_dram(dram),
-            scale=scale,
-            seed=seed,
-        ),
-        workload=list(benchmarks),
-        power_state=[state.name for state in PAPER_POWER_STATES],
-    )
-    results = iter(run_sweep(grid, jobs=jobs, store=store))
-    edp: Dict[str, Dict[str, float]] = {}
-    execution: Dict[str, Dict[str, int]] = {}
-    energy: Dict[str, Dict[str, float]] = {}
-    for bench in benchmarks:
-        edp[bench], execution[bench], energy[bench] = {}, {}, {}
-        for state in PAPER_POWER_STATES:
-            cell = next(results)
-            edp[bench][state.name] = cell.energy.edp
-            execution[bench][state.name] = cell.report.execution_cycles
-            energy[bench][state.name] = cell.energy.total_j
-    return PowerStateSweepResult(
-        dram=dram, edp=edp, execution_cycles=execution, energy=energy
+    grid = fig7_grid(scale=scale, benchmarks=benchmarks, dram=dram, seed=seed)
+    return power_sweep_from_results(
+        benchmarks, dram, run_sweep(grid, jobs=jobs, store=store)
     )
 
 

@@ -11,9 +11,15 @@ from __future__ import annotations
 import csv
 import io
 from pathlib import Path
-from typing import Dict, Mapping, Sequence, Union
+from typing import Dict, Mapping, Optional, Sequence, Union
 
-from repro.analysis.experiments import Fig6Result, PowerStateSweepResult
+from repro.analysis.experiments import (
+    Fig5Result,
+    Fig6Result,
+    PowerStateSweepResult,
+    Table1Result,
+)
+from repro.mot.power_state import PAPER_POWER_STATES
 
 PathLike = Union[str, Path]
 
@@ -37,17 +43,60 @@ def rows_to_csv(
     return buffer.getvalue()
 
 
-def export_fig6(result: Fig6Result, directory: PathLike) -> Dict[str, Path]:
+def export_table1(
+    result: Table1Result, directory: PathLike, prefix: str = "table1"
+) -> Dict[str, Path]:
+    """Write the Table I configuration rows (cores/banks/latency) CSV."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    rows = {
+        state.name: [
+            float(state.n_active_cores),
+            float(state.n_active_banks),
+            float(result.latencies[state.name]),
+        ]
+        for state in PAPER_POWER_STATES
+    }
+    path = directory / f"{prefix}_configuration.csv"
+    path.write_text(rows_to_csv(
+        ["active cores", "active banks", "L2 latency (cycles)"],
+        rows,
+        row_header="power state",
+    ))
+    return {path.name: path}
+
+
+def export_fig5(
+    result: Fig5Result, directory: PathLike, prefix: str = "fig5"
+) -> Dict[str, Path]:
+    """Write the per-state wire-length CSV."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    rows = {
+        name: list(values) for name, values in result.spans_mm.items()
+    }
+    path = directory / f"{prefix}_wire_lengths_mm.csv"
+    path.write_text(rows_to_csv(
+        ["horizontal", "vertical", "longest path"],
+        rows,
+        row_header="power state",
+    ))
+    return {path.name: path}
+
+
+def export_fig6(
+    result: Fig6Result, directory: PathLike, prefix: str = "fig6"
+) -> Dict[str, Path]:
     """Write fig6a (latency) and fig6b (execution) CSVs; returns paths."""
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     cols = result.interconnects
     artifacts = {
-        "fig6a_latency_cycles.csv": {
+        f"{prefix}a_latency_cycles.csv": {
             b: [result.latency_cycles[b][c] for c in cols]
             for b in result.latency_cycles
         },
-        "fig6b_execution_cycles.csv": {
+        f"{prefix}b_execution_cycles.csv": {
             b: [float(result.execution_cycles[b][c]) for c in cols]
             for b in result.execution_cycles
         },
@@ -85,3 +134,35 @@ def export_power_sweep(
         path.write_text(rows_to_csv(cols, rows))
         written[filename] = path
     return written
+
+
+#: Result type -> (exporter, default filename prefix).  The dispatch
+#: table behind :func:`export_result`; extend it alongside new result
+#: classes.
+_EXPORTERS = {
+    Table1Result: (export_table1, "table1"),
+    Fig5Result: (export_fig5, "fig5"),
+    Fig6Result: (export_fig6, "fig6"),
+    PowerStateSweepResult: (export_power_sweep, "fig7"),
+}
+
+
+def export_result(
+    result: object, directory: PathLike, prefix: Optional[str] = None
+) -> Dict[str, Path]:
+    """Write the CSV artifacts of any experiment result; returns paths.
+
+    Dispatches on the result's type (exact match — these are frozen
+    dataclasses, not hierarchies).  ``prefix`` overrides the default
+    figure-derived filename prefix; the paper generator passes each
+    artifact's manifest name here so fig8a/fig8b land in distinct
+    files.
+    """
+    try:
+        exporter, default_prefix = _EXPORTERS[type(result)]
+    except KeyError:
+        raise TypeError(
+            f"no exporter for {type(result).__name__}; "
+            f"exportable: {sorted(c.__name__ for c in _EXPORTERS)}"
+        ) from None
+    return exporter(result, directory, prefix=prefix or default_prefix)

@@ -49,6 +49,18 @@ home — submit sweeps with ``ServiceClient.submit_sweep`` or
     python -m repro worker --server http://host:8321 --jobs 4
     python -m repro worker --server http://host:8321 --jobs 4
 
+``paper`` regenerates every artifact of the paper from the manifest
+(``paper.json``) and a result store — ``plan`` reports which cells a
+store already holds, ``run`` computes exactly the missing ones
+(``--server URL`` delegates the compute to a sweep service) and pins
+the resolved fingerprints into the manifest, ``build`` renders the
+artifact directory from store reads alone (zero simulation,
+byte-identical across rebuilds):
+
+    python -m repro paper plan
+    python -m repro paper run --jobs 4
+    python -m repro paper build --out paper_artifacts
+
 Scale 1.0 is the reference run (minutes for fig6-fig8); smaller scales
 trade fidelity of the capacity effects for speed.
 """
@@ -234,6 +246,50 @@ def build_parser() -> argparse.ArgumentParser:
                    help="consecutive failed rounds against an "
                         "unreachable server before exiting nonzero "
                         "(default: 10)")
+
+    p = sub.add_parser("paper", help="regenerate the paper's artifacts "
+                                     "from a manifest and a result store")
+    psub = p.add_subparsers(dest="paper_command", required=True)
+
+    def _add_paper_arguments(pp: argparse.ArgumentParser) -> None:
+        pp.add_argument("--manifest", default="paper.json", metavar="PATH",
+                        help="paper manifest (default: paper.json)")
+        pp.add_argument("--store", default=None, metavar="PATH",
+                        help="result store (default: the manifest's "
+                             "`store` entry, relative to the manifest)")
+        pp.add_argument("--scale", type=float, default=None,
+                        help="override the grids' work scale (default: "
+                             "the manifest's; REPRO_BENCH_SCALE in the "
+                             "environment also overrides)")
+        pp.add_argument("--seed", type=int, default=None,
+                        help="override the grids' trace seed")
+
+    pp = psub.add_parser("plan", help="report stored vs missing cells; "
+                                      "computes nothing")
+    _add_paper_arguments(pp)
+    pp.add_argument("--server", default=None, metavar="URL",
+                    help="diff against a running `repro serve` store "
+                         "instead of a local one")
+
+    pp = psub.add_parser("run", help="compute the missing cells and pin "
+                                     "the manifest")
+    _add_paper_arguments(pp)
+    pp.add_argument("--server", default=None, metavar="URL",
+                    help="compute through a running `repro serve` "
+                         "(results are saved into the local store too)")
+    pp.add_argument("--jobs", type=int, default=None,
+                    help="worker processes for local compute (default: "
+                         "serial in-process; -1 = one per CPU)")
+    pp.add_argument("--no-pin", action="store_true",
+                    help="do not write resolved fingerprints back into "
+                         "the manifest")
+
+    pp = psub.add_parser("build", help="render every artifact from the "
+                                       "store; never simulates")
+    _add_paper_arguments(pp)
+    pp.add_argument("--out", type=Path, default=None, metavar="DIR",
+                    help="artifact directory (default: the manifest's "
+                         "`output` entry, relative to the manifest)")
 
     p = sub.add_parser("results", help="inspect a persistent result store")
     rsub = p.add_subparsers(dest="results_command", required=True)
@@ -455,6 +511,60 @@ def _cmd_worker(args: argparse.Namespace) -> int:
     return code
 
 
+def _cmd_paper(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.paper import build_paper, load_manifest, plan_paper, run_paper
+
+    manifest = load_manifest(args.manifest)
+    scale = args.scale
+    if scale is None and os.environ.get("REPRO_BENCH_SCALE"):
+        # The same smoke knob the examples honor: CI regenerates the
+        # whole paper at a fraction of the reference work.
+        scale = float(os.environ["REPRO_BENCH_SCALE"])
+    client = None
+    if getattr(args, "server", None):
+        from repro.service.client import ServiceClient
+
+        client = ServiceClient(args.server)
+    store_spec = args.store if args.store is not None \
+        else str(manifest.store_path())
+
+    if args.paper_command == "plan":
+        # Planning is pure reads; never materialize a store file for
+        # it.  A store that does not exist yet simply has every cell
+        # missing.
+        if client is not None:
+            print(plan_paper(manifest, client=client,
+                             scale=scale, seed=args.seed).render())
+        elif store_spec != ":memory:" and not Path(store_spec).exists():
+            print(f"store {store_spec} does not exist yet; "
+                  f"every cell is missing")
+            print(plan_paper(manifest, scale=scale,
+                             seed=args.seed).render())
+        else:
+            with open_store(store_spec) as store:
+                print(plan_paper(manifest, store=store,
+                                 scale=scale, seed=args.seed).render())
+        return 0
+
+    with open_store(store_spec) as store:
+        if args.paper_command == "run":
+            report = run_paper(
+                manifest, store, client=client, jobs=args.jobs,
+                scale=scale, seed=args.seed, pin=not args.no_pin,
+            )
+            print(report.render())
+            print(f"store: hits: {store.hits}, misses: {store.misses}")
+        elif args.paper_command == "build":
+            report = build_paper(
+                manifest, store, out_dir=args.out,
+                scale=scale, seed=args.seed,
+            )
+            print(report.render())
+    return 0
+
+
 def _results_filters(args: argparse.Namespace) -> dict:
     """Column filters of a ``results list``/``export`` invocation."""
     filters = {
@@ -539,6 +649,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_serve(args)
     elif args.command == "worker":
         return _cmd_worker(args)
+    elif args.command == "paper":
+        return _cmd_paper(args)
     elif args.command == "results":
         return _cmd_results(args)
     elif args.command == "table1":

@@ -54,6 +54,17 @@ class WorkloadError(ReproError):
     """A workload generator was asked for an impossible trace."""
 
 
+class PaperError(ReproError):
+    """The paper generator cannot produce an artifact.
+
+    Raised when a manifest's pinned fingerprints disagree with its
+    resolved grids, or when ``repro paper build`` finds cells missing
+    (or schema-stale) in the result store — the message always names
+    the command that repairs the situation (``repro paper run`` /
+    ``repro results gc``).
+    """
+
+
 class ServiceError(ReproError):
     """A scenario-service request failed.
 

@@ -1,0 +1,53 @@
+"""Store-driven paper generator.
+
+The layer above the result store that regenerates every artifact of
+the reproduced paper — Table I, Figs 5-8, and the data-driven prose —
+from a declarative manifest (``paper.json``):
+
+* :mod:`repro.paper.manifest` — artifacts mapped to scenario grids and
+  pinned fingerprints;
+* :mod:`repro.paper.generate` — ``repro paper plan`` / ``run``: diff
+  the manifest against a store and compute exactly the missing cells
+  (locally or through the sweep service);
+* :mod:`repro.paper.build`    — ``repro paper build``: render the full
+  artifact directory from store reads alone; zero simulation,
+  byte-identical across rebuilds.
+"""
+
+from repro.paper.build import BUILD_SCHEMA, BuildReport, build_paper
+from repro.paper.generate import (
+    ArtifactPlan,
+    PlanReport,
+    RunReport,
+    plan_paper,
+    run_paper,
+)
+from repro.paper.manifest import (
+    ARTIFACT_KINDS,
+    MANIFEST_SCHEMA,
+    ArtifactSpec,
+    PaperManifest,
+    PinnedCells,
+    ResolvedArtifact,
+    default_manifest,
+    load_manifest,
+)
+
+__all__ = [
+    "ARTIFACT_KINDS",
+    "BUILD_SCHEMA",
+    "MANIFEST_SCHEMA",
+    "ArtifactPlan",
+    "ArtifactSpec",
+    "BuildReport",
+    "PaperManifest",
+    "PinnedCells",
+    "PlanReport",
+    "ResolvedArtifact",
+    "RunReport",
+    "build_paper",
+    "default_manifest",
+    "load_manifest",
+    "plan_paper",
+    "run_paper",
+]

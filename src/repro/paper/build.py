@@ -1,0 +1,368 @@
+"""``repro paper build``: render every artifact from the store.
+
+The consumer half of the paper pipeline.  :func:`build_paper` reads a
+manifest's cells back from a :class:`~repro.store.base.ResultStore`
+(one :meth:`~repro.store.base.ResultStore.get_many` batch per
+artifact), reassembles the figure results, and writes the artifact
+directory:
+
+* ``<name>.txt``          — the rendered table/figure, one per artifact;
+* ``<name>*.csv``         — machine-readable rows via
+  :func:`repro.analysis.export.export_result`;
+* ``PAPER_GENERATED.md``  — the paper's data-driven prose with every
+  computed number interpolated (headline EDP reduction, Fig 6 speedups,
+  Table I latencies) next to the value the paper reports;
+* ``MANIFEST.json``       — file names, SHA-256 digests and the
+  fingerprints each artifact was assembled from.
+
+Building **never simulates**.  A fingerprint the store cannot serve is
+a :class:`~repro.errors.PaperError` naming the repair command: missing
+cells point at ``repro paper run``, schema-stale records at
+``repro results gc``.  Everything written is a pure function of the
+stored payloads — two builds from the same store are byte-identical
+(no timestamps, no environment), which CI asserts with a directory
+diff.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING, Union
+
+from repro.analysis.edp import best_state_stats
+from repro.analysis.experiments import (
+    Fig6Result,
+    PowerStateSweepResult,
+    Table1Result,
+    experiment_fig5,
+    experiment_table1,
+    fig6_from_results,
+    power_sweep_from_results,
+)
+from repro.analysis.export import export_result
+from repro.errors import PaperError
+from repro.mot.power_state import PAPER_POWER_STATES
+from repro.paper.manifest import PaperManifest, ResolvedArtifact
+from repro.sim.session import RESULT_SCHEMA, ScenarioResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.store.base import ResultStore
+
+#: Schema tag of the build manifest written next to the artifacts.
+BUILD_SCHEMA = "repro-paper-build/1"
+
+#: The three Fig 6 baselines with the paper's reported average
+#: execution-time reduction of the MoT against each.
+_FIG6_PAPER_REDUCTIONS = (
+    ("True 3-D Mesh", 13.01),
+    ("3-D Hybrid Bus-Mesh", 11.16),
+    ("3-D Hybrid Bus-Tree", 13.34),
+)
+
+
+@dataclass(frozen=True)
+class BuildReport:
+    """What one ``repro paper build`` wrote, and what it cost."""
+
+    out_dir: str
+    files: Tuple[str, ...]
+    #: Store reads served / refused during this build (a successful
+    #: build always shows ``misses: 0`` — anything else raised).
+    hits: int
+    misses: int
+
+    def render(self) -> str:
+        lines = [f"wrote {self.out_dir}/{name}" for name in self.files]
+        lines.append(f"store: hits: {self.hits}, misses: {self.misses}")
+        return "\n".join(lines)
+
+
+def _fetch_cells(
+    artifact: ResolvedArtifact, store: "ResultStore"
+) -> List[ScenarioResult]:
+    """Rehydrate one artifact's cells from the store, in grid order.
+
+    Every fingerprint must be servable; the error message for a bad
+    one distinguishes *absent* (compute it: ``repro paper run``) from
+    *schema-stale* (an engine change orphaned it: ``repro results
+    gc``, then rerun).
+    """
+    payloads = store.get_many(artifact.fingerprints)
+    bad: List[str] = []
+    stale: List[str] = []
+    for fingerprint in artifact.fingerprints:
+        if fingerprint in payloads:
+            continue
+        tag = store.schema_tag(fingerprint)
+        if tag is not None and tag != RESULT_SCHEMA:
+            stale.append(f"{fingerprint[:12]} (schema {tag!r})")
+        else:
+            bad.append(fingerprint[:12])
+    if stale:
+        raise PaperError(
+            f"artifact {artifact.name!r}: {len(stale)} stored cells "
+            f"carry a stale result schema (current: {RESULT_SCHEMA!r}): "
+            f"{', '.join(stale[:4])}{'...' if len(stale) > 4 else ''}; "
+            f"run `repro results gc` to drop them, then "
+            f"`repro paper run` to recompute"
+        )
+    if bad:
+        raise PaperError(
+            f"artifact {artifact.name!r}: {len(bad)} of "
+            f"{len(artifact.fingerprints)} cells are not in the store "
+            f"({', '.join(bad[:4])}{'...' if len(bad) > 4 else ''}); "
+            f"run `repro paper run` to compute them"
+        )
+    return [
+        ScenarioResult.from_dict(payloads[fp])
+        for fp in artifact.fingerprints
+    ]
+
+
+def _assemble(
+    artifact: ResolvedArtifact, store: "ResultStore"
+) -> object:
+    """The artifact's result object, from analytics or store reads."""
+    if artifact.kind == "table1":
+        return experiment_table1()
+    if artifact.kind == "fig5":
+        return experiment_fig5()
+    cells = _fetch_cells(artifact, store)
+    if artifact.kind == "interconnect-sweep":
+        return fig6_from_results(artifact.benchmarks, cells)
+    if artifact.kind == "power-sweep":
+        return power_sweep_from_results(
+            artifact.benchmarks, artifact.dram, cells
+        )
+    raise PaperError(
+        f"artifact {artifact.name!r}: kind {artifact.kind!r} has no "
+        f"assembler"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Prose
+# ---------------------------------------------------------------------------
+def _headline(sweep: PowerStateSweepResult) -> Tuple[float, float]:
+    """(max, mean) best-state EDP reduction of a power sweep, %."""
+    return best_state_stats(sweep.comparisons())
+
+
+def _prose_markdown(
+    title: str,
+    scale: float,
+    seed: int,
+    sources: Dict[str, object],
+) -> str:
+    """``PAPER_GENERATED.md``: computed numbers interpolated into the
+    paper's claims, each next to the value the paper reports.
+
+    ``sources`` maps prose roles (``table1``/``fig5``/``fig6``/
+    ``fig7``/``fig8a``/``fig8b``) to assembled result objects; roles a
+    small manifest omits are skipped, so test manifests with two
+    benchmarks still build prose.
+    """
+    lines = [
+        f"# {title}",
+        "",
+        f"Every number in this document was regenerated from the "
+        f"experiment store (scale {scale:g}, seed {seed}); rebuilding "
+        f"from the same store is byte-identical.",
+    ]
+    fig7 = sources.get("fig7")
+    if isinstance(fig7, PowerStateSweepResult):
+        best_max, best_avg = _headline(fig7)
+        lines += [
+            "",
+            "## Headline",
+            "",
+            f"Letting each SPLASH-2 program pick its best power state "
+            f"reduces the energy-delay product by up to "
+            f"{best_max:.0f}% ({best_avg:.0f}% on average) at DRAM "
+            f"{fig7.dram.access_latency_ns:.0f} ns — the paper reports "
+            f"up to 77% (48% on average).",
+        ]
+    table1 = sources.get("table1")
+    if isinstance(table1, Table1Result):
+        derived = ", ".join(
+            f"{state.name} {table1.latencies[state.name]}"
+            for state in PAPER_POWER_STATES
+        )
+        lines += [
+            "",
+            "## Table I — architecture configuration",
+            "",
+            f"Derived L2 hit latencies (cycles): {derived} "
+            f"(paper: 12, 9, 9, 7).",
+            "",
+            "```",
+            table1.render(),
+            "```",
+        ]
+    fig5 = sources.get("fig5")
+    if fig5 is not None:
+        lines += [
+            "",
+            "## Fig 5 — wire lengths per power state",
+            "",
+            "Gating cores and banks shortens the longest repeated "
+            "wire path the reconfigured MoT must drive:",
+            "",
+            "```",
+            fig5.render(),
+            "```",
+        ]
+    fig6 = sources.get("fig6")
+    if isinstance(fig6, Fig6Result):
+        reductions = ", ".join(
+            f"{fig6.mot_reduction_vs(base):.2f}% vs {base} "
+            f"(paper {paper:.2f}%)"
+            for base, paper in _FIG6_PAPER_REDUCTIONS
+        )
+        lines += [
+            "",
+            "## Fig 6 — interconnect comparison",
+            "",
+            f"The 3-D MoT reduces average execution time by "
+            f"{reductions}.",
+            "",
+            "```",
+            fig6.render(),
+            "```",
+        ]
+    if isinstance(fig7, PowerStateSweepResult):
+        lines += [
+            "",
+            "## Fig 7 — power states at DRAM "
+            f"{fig7.dram.access_latency_ns:.0f} ns",
+            "",
+            "```",
+            fig7.render(),
+            "```",
+        ]
+    fig8 = [
+        (role, sources[role])
+        for role in ("fig8a", "fig8b")
+        if isinstance(sources.get(role), PowerStateSweepResult)
+    ]
+    if fig8:
+        lines += ["", "## Fig 8 — faster DRAM shrinks the gap", ""]
+        for _, sweep in fig8:
+            best_max, best_avg = _headline(sweep)
+            lines.append(
+                f"At DRAM {sweep.dram.access_latency_ns:.0f} ns the "
+                f"best-state EDP reduction reaches up to "
+                f"{best_max:.0f}% ({best_avg:.0f}% on average)."
+            )
+        for _, sweep in fig8:
+            lines += ["", "```", sweep.render(), "```"]
+    lines.append("")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Build
+# ---------------------------------------------------------------------------
+def build_paper(
+    manifest: PaperManifest,
+    store: "ResultStore",
+    out_dir: Optional[Union[str, Path]] = None,
+    scale: Optional[float] = None,
+    seed: Optional[int] = None,
+) -> BuildReport:
+    """Render the full artifact directory from the store; never
+    simulates.
+
+    ``out_dir`` defaults to the manifest's ``output`` path;
+    ``scale``/``seed`` override the grids exactly as in ``repro paper
+    run`` (the pair must then match a run made with the same
+    overrides, or the cells won't be in the store).
+    """
+    out = Path(out_dir) if out_dir is not None else manifest.output_path()
+    out.mkdir(parents=True, exist_ok=True)
+    hits0, misses0 = store.hits, store.misses
+
+    resolved = manifest.resolve(scale=scale, seed=seed)
+    for artifact in resolved:
+        artifact.check_pin()
+    by_name = {artifact.name: artifact for artifact in resolved}
+
+    results: Dict[str, object] = {}
+    files: List[str] = []
+    build_entries: List[Dict[str, object]] = []
+    # The scale/seed the prose and build manifest report: taken from
+    # the first artifact with actual cells (analytic artifacts carry
+    # defaults, not the grids' values).
+    gridded = [a for a in resolved if a.scenarios]
+    effective = gridded[0] if gridded else resolved[0]
+
+    for artifact in resolved:
+        if artifact.kind == "prose":
+            continue
+        result = _assemble(artifact, store)
+        results[artifact.name] = result
+        artifact_files: List[str] = []
+        text_path = out / f"{artifact.name}.txt"
+        text_path.write_text(result.render() + "\n")
+        artifact_files.append(text_path.name)
+        written = export_result(result, out, prefix=artifact.name)
+        artifact_files.extend(sorted(written))
+        files.extend(artifact_files)
+        build_entries.append({
+            "name": artifact.name,
+            "kind": artifact.kind,
+            "fingerprints": list(artifact.fingerprints),
+            "files": artifact_files,
+        })
+
+    for artifact in resolved:
+        if artifact.kind != "prose":
+            continue
+        sources = {
+            role: results[source]
+            for role, source in artifact.spec.sources
+            if source in results
+        }
+        prose_path = out / "PAPER_GENERATED.md"
+        prose_path.write_text(_prose_markdown(
+            manifest.title, effective.scale, effective.seed, sources
+        ))
+        files.append(prose_path.name)
+        build_entries.append({
+            "name": artifact.name,
+            "kind": artifact.kind,
+            "fingerprints": [],
+            "files": [prose_path.name],
+        })
+
+    for entry in build_entries:
+        entry["files"] = [
+            {
+                "name": name,
+                "sha256": hashlib.sha256(
+                    (out / name).read_bytes()
+                ).hexdigest(),
+            }
+            for name in entry["files"]
+        ]
+    (out / "MANIFEST.json").write_text(json.dumps(
+        {
+            "schema": BUILD_SCHEMA,
+            "title": manifest.title,
+            "scale": effective.scale,
+            "seed": effective.seed,
+            "artifacts": build_entries,
+        },
+        indent=2,
+    ) + "\n")
+    files.append("MANIFEST.json")
+
+    return BuildReport(
+        out_dir=str(out),
+        files=tuple(files),
+        hits=store.hits - hits0,
+        misses=store.misses - misses0,
+    )

@@ -1,0 +1,208 @@
+"""``repro paper plan`` / ``repro paper run``: fill the store.
+
+The generator half of the paper pipeline.  :func:`plan_paper` resolves
+every artifact of a :class:`~repro.paper.manifest.PaperManifest` to its
+fingerprint set and diffs it against a result store (or a remote sweep
+service) — pure reads, nothing computed.  :func:`run_paper` computes
+exactly the missing cells (locally through the memoized
+:func:`~repro.sim.session.run_sweep`, or remotely through
+:meth:`~repro.service.client.ServiceClient.run_sweep_distributed`) and
+pins the resolved fingerprints back into the manifest, so the
+checked-in ``paper.json`` records precisely which cells every build of
+the paper reads.
+
+Artifacts share cells (Fig 7's grid is a subset of nothing here, but
+duplicate fingerprints across artifacts are common in edited
+manifests); the run path dedups by fingerprint so each distinct cell
+is computed once, whatever the manifest shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
+
+from repro.paper.manifest import PaperManifest, ResolvedArtifact
+from repro.scenario import Scenario
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guards
+    from repro.service.client import ServiceClient
+    from repro.store.base import ResultStore
+
+
+@dataclass(frozen=True)
+class ArtifactPlan:
+    """Hit/miss census of one artifact against a store."""
+
+    name: str
+    kind: str
+    cells: int
+    missing: int
+
+    @property
+    def hits(self) -> int:
+        return self.cells - self.missing
+
+
+@dataclass(frozen=True)
+class PlanReport:
+    """What a ``repro paper run`` would have to compute."""
+
+    artifacts: Tuple[ArtifactPlan, ...]
+    #: Distinct fingerprints across all artifacts (cells shared between
+    #: artifacts count once).
+    total_cells: int
+    total_missing: int
+
+    @property
+    def total_hits(self) -> int:
+        return self.total_cells - self.total_missing
+
+    def render(self) -> str:
+        lines = []
+        for plan in self.artifacts:
+            status = (
+                "analytic (no cells)" if plan.cells == 0 else
+                f"{plan.cells} cells: {plan.hits} stored, "
+                f"{plan.missing} to compute"
+            )
+            lines.append(f"{plan.name:<8} {plan.kind:<19} {status}")
+        lines.append(
+            f"total    {self.total_cells} distinct cells: "
+            f"{self.total_hits} stored, {self.total_missing} to compute"
+        )
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class RunReport:
+    """What a ``repro paper run`` actually computed."""
+
+    plan: PlanReport
+    computed: int
+    pinned: bool
+    manifest_path: Optional[str]
+
+    def render(self) -> str:
+        lines = [self.plan.render(), f"computed: {self.computed} cells"]
+        if self.pinned:
+            lines.append(f"pinned:   {self.manifest_path}")
+        return "\n".join(lines)
+
+
+def _missing_fingerprints(
+    resolved: Sequence[ResolvedArtifact],
+    store: Optional["ResultStore"],
+    client: Optional["ServiceClient"],
+) -> Dict[str, Scenario]:
+    """Distinct missing fingerprints -> one scenario that produces each.
+
+    Probes the remote store when ``client`` is given, the local one
+    otherwise; neither path touches hit/miss counters (planning is not
+    cache traffic).
+    """
+    cells: Dict[str, Scenario] = {}
+    for artifact in resolved:
+        for fingerprint, scenario in zip(
+            artifact.fingerprints, artifact.scenarios
+        ):
+            cells.setdefault(fingerprint, scenario)
+    if client is not None:
+        served = client.fingerprints()
+        missing = [fp for fp in cells if fp not in served]
+    elif store is not None:
+        missing = store.missing(cells)
+    else:
+        missing = list(cells)
+    return {fp: cells[fp] for fp in missing}
+
+
+def _census(
+    resolved: Sequence[ResolvedArtifact],
+    missing: Dict[str, Scenario],
+) -> PlanReport:
+    distinct = {
+        fp for artifact in resolved for fp in artifact.fingerprints
+    }
+    return PlanReport(
+        artifacts=tuple(
+            ArtifactPlan(
+                name=artifact.name,
+                kind=artifact.kind,
+                cells=len(artifact.fingerprints),
+                missing=sum(
+                    1 for fp in artifact.fingerprints if fp in missing
+                ),
+            )
+            for artifact in resolved
+        ),
+        total_cells=len(distinct),
+        total_missing=len(missing),
+    )
+
+
+def plan_paper(
+    manifest: PaperManifest,
+    store: Optional["ResultStore"] = None,
+    client: Optional["ServiceClient"] = None,
+    scale: Optional[float] = None,
+    seed: Optional[int] = None,
+) -> PlanReport:
+    """Resolve every artifact and report stored vs missing cells.
+
+    Pure reads — nothing is computed, no counters move, the manifest
+    file is untouched.
+    """
+    resolved = manifest.resolve(scale=scale, seed=seed)
+    return _census(
+        resolved, _missing_fingerprints(resolved, store, client)
+    )
+
+
+def run_paper(
+    manifest: PaperManifest,
+    store: "ResultStore",
+    client: Optional["ServiceClient"] = None,
+    jobs: Optional[int] = None,
+    scale: Optional[float] = None,
+    seed: Optional[int] = None,
+    pin: bool = True,
+) -> RunReport:
+    """Compute every missing cell and pin the manifest.
+
+    Local mode runs the missing scenarios through the memoized
+    :func:`~repro.sim.session.run_sweep` (which writes them into
+    ``store``).  With ``client`` the cells are computed by the remote
+    sweep service instead — and then saved into the *local* ``store``
+    too, so a subsequent ``repro paper build`` against it is warm.
+    Replay determinism makes both paths bit-identical.
+
+    With ``pin`` (the default) the resolved fingerprints are written
+    back into the manifest file, provided it has a path.
+    """
+    from repro.sim.session import run_sweep
+
+    resolved = manifest.resolve(scale=scale, seed=seed)
+    # The missing set is always probed against the *local* store — it
+    # is what `repro paper build` will read.  A remote client is only
+    # the compute engine: the server dedups submitted cells against
+    # its own store (stored cells are pure reads there), and every
+    # returned result is saved locally.
+    missing = _missing_fingerprints(resolved, store, None)
+    plan = _census(resolved, missing)
+    scenarios: List[Scenario] = list(missing.values())
+    if scenarios:
+        if client is not None:
+            for result in client.run_sweep_distributed(scenarios):
+                store.save(result)
+        else:
+            run_sweep(scenarios, jobs=jobs, store=store)
+    manifest_path = None
+    if pin and manifest.path is not None:
+        manifest_path = str(manifest.with_pins(resolved).save())
+    return RunReport(
+        plan=plan,
+        computed=len(scenarios),
+        pinned=manifest_path is not None,
+        manifest_path=manifest_path,
+    )

@@ -1,0 +1,515 @@
+"""Declarative paper manifest: every artifact mapped to its cells.
+
+A :class:`PaperManifest` (``paper.json`` at the repo root) names each
+artifact of the reproduced paper — Table I, Fig 5, Fig 6, Fig 7,
+Fig 8a/8b, and the data-driven prose — and maps the simulated ones to
+a serialized :class:`~repro.scenario.SweepGrid` (base scenario + axis
+lists, via :meth:`SweepGrid.to_dict`).  Resolving the manifest expands
+every grid into its scenario cells and content-addressed fingerprints,
+which is all the generator needs:
+
+* ``repro paper plan``  — fingerprints diffed against a store;
+* ``repro paper run``   — missing fingerprints computed (locally or
+  through a sweep service) and *pinned* back into the manifest;
+* ``repro paper build`` — payloads read back and rendered, zero
+  simulation.
+
+Artifact **kinds** bind a grid shape to a renderer:
+
+=====================  ==============================================
+``table1``             analytic — derived L2 latencies (no cells)
+``fig5``               analytic — wire spans per power state
+``interconnect-sweep`` (workload x interconnect) grid -> Fig 6 tables
+``power-sweep``        (workload x power_state) grid -> Fig 7/8 tables
+``prose``              interpolates other artifacts' numbers into
+                       ``PAPER_GENERATED.md``
+=====================  ==============================================
+
+The default manifest (:func:`default_manifest`) builds its grids with
+the *same* helpers the ``experiment_fig6/7/8`` presets use
+(:func:`~repro.analysis.experiments.fig6_grid` / ``fig7_grid``), so
+the pinned fingerprints are identical to what ``repro fig6 --store``
+would compute — one warm store serves both paths.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.errors import ConfigurationError, PaperError
+from repro.mem.dram import DRAMTimings
+from repro.mot.power_state import PAPER_POWER_STATES
+from repro.scenario import (
+    FINGERPRINT_SCHEMA,
+    Scenario,
+    SweepGrid,
+    interconnect_key,
+    PAPER_INTERCONNECT_KEYS,
+    scenario_fingerprint,
+)
+from repro.workloads.characteristics import SPLASH2_NAMES
+
+#: Manifest schema tag; bump on layout changes so stale files fail
+#: loudly instead of misparsing.
+MANIFEST_SCHEMA = "repro-paper/1"
+
+#: The paper's power-state column order (render contract of
+#: ``PowerStateSweepResult``).
+_PAPER_STATE_NAMES = tuple(state.name for state in PAPER_POWER_STATES)
+
+#: kind -> (needs a grid, required axis fields in order).
+ARTIFACT_KINDS: Dict[str, Tuple[bool, Tuple[str, ...]]] = {
+    "table1": (False, ()),
+    "fig5": (False, ()),
+    "interconnect-sweep": (True, ("workload", "interconnect")),
+    "power-sweep": (True, ("workload", "power_state")),
+    "prose": (False, ()),
+}
+
+
+@dataclass(frozen=True)
+class PinnedCells:
+    """What ``repro paper run`` resolved an artifact to, recorded for
+    reproducibility.
+
+    ``fingerprint_schema``/``scale``/``seed``/``engine_mode`` name the
+    context the pin was taken in; a pin only *binds* (is checked
+    against a fresh resolution) when the context matches — a smoke
+    build at scale 0.05 neither trips nor overwrites the meaning of
+    reference-scale pins until it re-pins.
+    """
+
+    fingerprint_schema: str
+    scale: float
+    seed: int
+    engine_mode: str
+    fingerprints: Tuple[str, ...]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "fingerprint_schema": self.fingerprint_schema,
+            "scale": self.scale,
+            "seed": self.seed,
+            "engine_mode": self.engine_mode,
+            "fingerprints": list(self.fingerprints),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "PinnedCells":
+        try:
+            return cls(
+                fingerprint_schema=str(data["fingerprint_schema"]),
+                scale=float(data["scale"]),
+                seed=int(data["seed"]),
+                engine_mode=str(data["engine_mode"]),
+                fingerprints=tuple(str(f) for f in data["fingerprints"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigurationError(f"bad pinned block: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class ArtifactSpec:
+    """One artifact of the paper, as plain data."""
+
+    name: str
+    kind: str
+    grid: Optional[SweepGrid] = None
+    #: prose only: role -> artifact name to pull numbers from.
+    sources: Tuple[Tuple[str, str], ...] = ()
+    pinned: Optional[PinnedCells] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ARTIFACT_KINDS:
+            raise ConfigurationError(
+                f"artifact {self.name!r} has unknown kind {self.kind!r}; "
+                f"known kinds: {sorted(ARTIFACT_KINDS)}"
+            )
+        needs_grid, axes = ARTIFACT_KINDS[self.kind]
+        if needs_grid and self.grid is None:
+            raise ConfigurationError(
+                f"artifact {self.name!r} ({self.kind}) needs a grid"
+            )
+        if not needs_grid and self.grid is not None:
+            raise ConfigurationError(
+                f"artifact {self.name!r} ({self.kind}) takes no grid"
+            )
+        if self.grid is not None:
+            if self.grid.axis_names != axes:
+                raise ConfigurationError(
+                    f"artifact {self.name!r} ({self.kind}) needs axes "
+                    f"{axes}, got {self.grid.axis_names}"
+                )
+            self._check_columns()
+
+    def _check_columns(self) -> None:
+        """The render layer's column contract, enforced at load time.
+
+        ``Fig6Result``/``PowerStateSweepResult`` render the paper's
+        fixed column sets, so the inner axis must be exactly those
+        four fabrics (any alias spelling) / four power states.
+        """
+        axis_name, values = self.grid.axes[-1]
+        if axis_name == "interconnect":
+            keys = tuple(interconnect_key(str(v)) for v in values)
+            if keys != PAPER_INTERCONNECT_KEYS:
+                raise ConfigurationError(
+                    f"artifact {self.name!r}: interconnect axis must "
+                    f"resolve to {PAPER_INTERCONNECT_KEYS} in order, "
+                    f"got {keys}"
+                )
+        elif axis_name == "power_state":
+            names = tuple(
+                v if isinstance(v, str) else v.name for v in values
+            )
+            if names != _PAPER_STATE_NAMES:
+                raise ConfigurationError(
+                    f"artifact {self.name!r}: power-state axis must be "
+                    f"{_PAPER_STATE_NAMES} in order, got {names}"
+                )
+
+    def to_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {"name": self.name, "kind": self.kind}
+        if self.grid is not None:
+            payload["grid"] = self.grid.to_dict()
+        if self.sources:
+            payload["sources"] = dict(self.sources)
+        if self.pinned is not None:
+            payload["pinned"] = self.pinned.to_dict()
+        return payload
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "ArtifactSpec":
+        known = {"name", "kind", "grid", "sources", "pinned"}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown artifact keys {sorted(unknown)}; "
+                f"expected a subset of {sorted(known)}"
+            )
+        try:
+            name, kind = str(data["name"]), str(data["kind"])
+        except KeyError as exc:
+            raise ConfigurationError(
+                f"artifact entry missing {exc}"
+            ) from exc
+        grid = data.get("grid")
+        sources = data.get("sources") or {}
+        pinned = data.get("pinned")
+        return cls(
+            name=name,
+            kind=kind,
+            grid=None if grid is None else SweepGrid.from_dict(grid),
+            sources=tuple(sorted(
+                (str(k), str(v)) for k, v in sources.items()
+            )),
+            pinned=None if pinned is None else PinnedCells.from_dict(pinned),
+        )
+
+
+@dataclass(frozen=True)
+class ResolvedArtifact:
+    """An artifact expanded to its cells under effective overrides."""
+
+    spec: ArtifactSpec
+    scenarios: Tuple[Scenario, ...]
+    fingerprints: Tuple[str, ...]
+    scale: float
+    seed: int
+    engine_mode: str
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def kind(self) -> str:
+        return self.spec.kind
+
+    @property
+    def benchmarks(self) -> Tuple[str, ...]:
+        """The workload axis values (row order of the rendered table)."""
+        if self.spec.grid is None:
+            return ()
+        return tuple(str(v) for v in dict(self.spec.grid.axes)["workload"])
+
+    @property
+    def dram(self) -> Optional[DRAMTimings]:
+        """The sweep's DRAM operating point (power-sweep render title)."""
+        if not self.scenarios:
+            return None
+        return self.scenarios[0].resolved_dram()
+
+    def pin(self) -> PinnedCells:
+        """The pinned block a ``repro paper run`` records for this
+        resolution."""
+        return PinnedCells(
+            fingerprint_schema=FINGERPRINT_SCHEMA,
+            scale=self.scale,
+            seed=self.seed,
+            engine_mode=self.engine_mode,
+            fingerprints=self.fingerprints,
+        )
+
+    def pin_binds(self) -> bool:
+        """Whether the stored pin was taken in this exact context (and
+        must therefore agree with the fresh resolution)."""
+        pinned = self.spec.pinned
+        return (
+            pinned is not None
+            and pinned.fingerprint_schema == FINGERPRINT_SCHEMA
+            and pinned.scale == self.scale
+            and pinned.seed == self.seed
+            and pinned.engine_mode == self.engine_mode
+        )
+
+    def check_pin(self) -> None:
+        """Fail if a binding pin disagrees with the fresh resolution.
+
+        That can only mean the manifest (or a registry the grid depends
+        on) changed after the pin was taken — the recorded provenance
+        no longer describes these cells.
+        """
+        if not self.pin_binds():
+            return
+        if self.spec.pinned.fingerprints != self.fingerprints:
+            raise PaperError(
+                f"artifact {self.name!r}: pinned fingerprints disagree "
+                f"with the resolved grid (manifest or registries changed "
+                f"since the pin); rerun `repro paper run` to recompute "
+                f"and re-pin"
+            )
+
+
+@dataclass(frozen=True)
+class PaperManifest:
+    """The whole paper as data: artifacts + defaults."""
+
+    title: str
+    artifacts: Tuple[ArtifactSpec, ...]
+    store: str = "paper_results.sqlite"
+    output: str = "paper_artifacts"
+    path: Optional[Path] = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        names = [artifact.name for artifact in self.artifacts]
+        dupes = sorted({n for n in names if names.count(n) > 1})
+        if dupes:
+            raise ConfigurationError(
+                f"duplicate artifact names in manifest: {dupes}"
+            )
+        known = set(names)
+        for artifact in self.artifacts:
+            for role, source in artifact.sources:
+                if source not in known:
+                    raise ConfigurationError(
+                        f"artifact {artifact.name!r} sources "
+                        f"{role}={source!r}, which is not in the manifest"
+                    )
+
+    # ------------------------------------------------------------------
+    def artifact(self, name: str) -> ArtifactSpec:
+        for artifact in self.artifacts:
+            if artifact.name == name:
+                return artifact
+        raise ConfigurationError(f"no artifact named {name!r} in manifest")
+
+    def store_path(self) -> Path:
+        """The default store, relative to the manifest's directory."""
+        return self._relative(self.store)
+
+    def output_path(self) -> Path:
+        """The default artifact directory, manifest-relative."""
+        return self._relative(self.output)
+
+    def _relative(self, spec: str) -> Path:
+        path = Path(spec)
+        if path.is_absolute() or self.path is None:
+            return path
+        return self.path.parent / path
+
+    # ------------------------------------------------------------------
+    def resolve(
+        self,
+        scale: Optional[float] = None,
+        seed: Optional[int] = None,
+    ) -> List[ResolvedArtifact]:
+        """Expand every artifact into cells and fingerprints.
+
+        ``scale``/``seed`` override the grids' own values on every
+        cell (the smoke knob: `REPRO_BENCH_SCALE=0.05 repro paper run`
+        regenerates the whole paper at a fraction of the work).
+        """
+        resolved: List[ResolvedArtifact] = []
+        for spec in self.artifacts:
+            if spec.grid is None:
+                resolved.append(ResolvedArtifact(
+                    spec=spec, scenarios=(), fingerprints=(),
+                    scale=scale if scale is not None else 1.0,
+                    seed=seed if seed is not None else 2016,
+                    engine_mode="auto",
+                ))
+                continue
+            overrides: Dict[str, object] = {}
+            if scale is not None:
+                overrides["scale"] = scale
+            if seed is not None:
+                overrides["seed"] = seed
+            scenarios = tuple(
+                replace(s, **overrides) if overrides else s
+                for s in spec.grid.scenarios()
+            )
+            resolved.append(ResolvedArtifact(
+                spec=spec,
+                scenarios=scenarios,
+                fingerprints=tuple(
+                    scenario_fingerprint(s) for s in scenarios
+                ),
+                scale=scenarios[0].scale,
+                seed=scenarios[0].seed,
+                engine_mode=scenarios[0].engine_mode,
+            ))
+        return resolved
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema": MANIFEST_SCHEMA,
+            "title": self.title,
+            "store": self.store,
+            "output": self.output,
+            "artifacts": [a.to_dict() for a in self.artifacts],
+        }
+
+    @classmethod
+    def from_dict(
+        cls, data: Mapping[str, object], path: Optional[Path] = None
+    ) -> "PaperManifest":
+        schema = data.get("schema", MANIFEST_SCHEMA)
+        if schema != MANIFEST_SCHEMA:
+            raise ConfigurationError(
+                f"unsupported paper manifest schema {schema!r} "
+                f"(expected {MANIFEST_SCHEMA!r})"
+            )
+        known = {"schema", "title", "store", "output", "artifacts"}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown manifest keys {sorted(unknown)}; "
+                f"expected a subset of {sorted(known)}"
+            )
+        artifacts = data.get("artifacts")
+        if not artifacts:
+            raise ConfigurationError("manifest has no artifacts")
+        return cls(
+            title=str(data.get("title", "Generated paper")),
+            store=str(data.get("store", "paper_results.sqlite")),
+            output=str(data.get("output", "paper_artifacts")),
+            artifacts=tuple(
+                ArtifactSpec.from_dict(entry) for entry in artifacts
+            ),
+            path=path,
+        )
+
+    def save(self, path: Optional[Union[str, Path]] = None) -> Path:
+        """Write the manifest as indented JSON; returns the path."""
+        target = Path(path) if path is not None else self.path
+        if target is None:
+            raise ConfigurationError(
+                "manifest has no path; pass one to save()"
+            )
+        target.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+        return target
+
+    def with_pins(
+        self, resolved: Sequence[ResolvedArtifact]
+    ) -> "PaperManifest":
+        """A copy with each simulated artifact's pin block replaced by
+        the given resolution (what ``repro paper run`` writes back)."""
+        pins = {r.name: r for r in resolved}
+        artifacts = tuple(
+            replace(spec, pinned=pins[spec.name].pin())
+            if spec.name in pins and pins[spec.name].fingerprints
+            else spec
+            for spec in self.artifacts
+        )
+        return replace(self, artifacts=artifacts)
+
+
+def load_manifest(path: Union[str, Path]) -> PaperManifest:
+    """Load and validate a ``paper.json`` manifest."""
+    path = Path(path)
+    if not path.exists():
+        raise ConfigurationError(f"no paper manifest at {path}")
+    try:
+        data = json.loads(path.read_text())
+    except ValueError as exc:
+        raise ConfigurationError(
+            f"manifest {path} is not valid JSON: {exc}"
+        ) from exc
+    return PaperManifest.from_dict(data, path=path)
+
+
+def default_manifest(
+    benchmarks: Sequence[str] = SPLASH2_NAMES,
+    scale: float = 1.0,
+    seed: int = 2016,
+    title: str = (
+        "A Power-Efficient 3-D On-Chip Interconnect for Multi-Core "
+        "Accelerators with Stacked L2 Cache (DATE 2016) - generated "
+        "artifacts"
+    ),
+    store: str = "paper_results.sqlite",
+    output: str = "paper_artifacts",
+) -> PaperManifest:
+    """The reproduced paper's manifest, built programmatically.
+
+    The checked-in ``paper.json`` is exactly this function's output
+    (a regression test keeps them in sync); ``benchmarks``/``scale``
+    let tests and examples build small true-to-shape manifests.
+    """
+    from repro.analysis.experiments import fig6_grid, fig7_grid
+
+    fig8_kwargs = dict(scale=scale, benchmarks=benchmarks, seed=seed)
+    prose_sources = {
+        "table1": "table1",
+        "fig5": "fig5",
+        "fig6": "fig6",
+        "fig7": "fig7",
+        "fig8a": "fig8a",
+        "fig8b": "fig8b",
+    }
+    return PaperManifest(
+        title=title,
+        store=store,
+        output=output,
+        artifacts=(
+            ArtifactSpec(name="table1", kind="table1"),
+            ArtifactSpec(name="fig5", kind="fig5"),
+            ArtifactSpec(
+                name="fig6", kind="interconnect-sweep",
+                grid=fig6_grid(scale=scale, benchmarks=benchmarks,
+                               seed=seed),
+            ),
+            ArtifactSpec(
+                name="fig7", kind="power-sweep",
+                grid=fig7_grid(scale=scale, benchmarks=benchmarks,
+                               seed=seed),
+            ),
+            ArtifactSpec(
+                name="fig8a", kind="power-sweep",
+                grid=fig7_grid(dram="wide-io", **fig8_kwargs),
+            ),
+            ArtifactSpec(
+                name="fig8b", kind="power-sweep",
+                grid=fig7_grid(dram="weis", **fig8_kwargs),
+            ),
+            ArtifactSpec(
+                name="prose", kind="prose",
+                sources=tuple(sorted(prose_sources.items())),
+            ),
+        ),
+    )

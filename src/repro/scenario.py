@@ -322,6 +322,33 @@ def resolve_power_state(
 _SCENARIO_SCHEMA = "repro-scenario/1"
 
 
+def _power_state_to_dict(state: PowerState) -> Dict[str, object]:
+    """JSON-able form of an explicit power state (sorted active sets)."""
+    return {
+        "name": state.name,
+        "total_cores": state.total_cores,
+        "total_banks": state.total_banks,
+        "active_cores": sorted(state.active_cores),
+        "active_banks": sorted(state.active_banks),
+    }
+
+
+def _power_state_from_dict(data: Mapping[str, object]) -> PowerState:
+    """Inverse of :func:`_power_state_to_dict`."""
+    try:
+        return PowerState(
+            name=data["name"],
+            total_cores=data["total_cores"],
+            total_banks=data["total_banks"],
+            active_cores=frozenset(data["active_cores"]),
+            active_banks=frozenset(data["active_banks"]),
+        )
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"bad power_state payload: missing {exc}"
+        ) from exc
+
+
 @dataclass(frozen=True)
 class Scenario:
     """One fully-specified simulation cell, as plain data.
@@ -453,13 +480,7 @@ class Scenario:
         """JSON-able representation; inverse of :meth:`from_dict`."""
         state = self.power_state
         if isinstance(state, PowerState):
-            state = {
-                "name": state.name,
-                "total_cores": state.total_cores,
-                "total_banks": state.total_banks,
-                "active_cores": sorted(state.active_cores),
-                "active_banks": sorted(state.active_banks),
-            }
+            state = _power_state_to_dict(state)
         return {
             "schema": _SCENARIO_SCHEMA,
             "workload": self.workload,
@@ -499,18 +520,7 @@ class Scenario:
             payload["config"] = ClusterConfig.from_dict(config)
         state = payload.get("power_state")
         if isinstance(state, Mapping):
-            try:
-                payload["power_state"] = PowerState(
-                    name=state["name"],
-                    total_cores=state["total_cores"],
-                    total_banks=state["total_banks"],
-                    active_cores=frozenset(state["active_cores"]),
-                    active_banks=frozenset(state["active_banks"]),
-                )
-            except KeyError as exc:
-                raise ConfigurationError(
-                    f"bad power_state payload: missing {exc}"
-                ) from exc
+            payload["power_state"] = _power_state_from_dict(state)
         return cls(**payload)
 
     def label(self) -> str:
@@ -576,6 +586,11 @@ _SWEEPABLE_FIELDS = (
     "seed",
     "engine_mode",
 )
+
+
+#: Schema tag of serialized grids (:meth:`SweepGrid.to_dict`); bump on
+#: layout changes so stale manifests fail loudly instead of misparsing.
+_GRID_SCHEMA = "repro-sweepgrid/1"
 
 
 @dataclass(frozen=True)
@@ -644,3 +659,79 @@ class SweepGrid:
         names = self.axis_names
         for combo in itertools.product(*(values for _name, values in self.axes)):
             yield replace(self.base, **dict(zip(names, combo)))
+
+    # ------------------------------------------------------------------
+    # Serialization (paper manifests pin grids as plain JSON)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _serialize_axis_value(field_name: str, value: object) -> object:
+        if field_name == "dram" and isinstance(value, DRAMTimings):
+            return value.to_dict()
+        if field_name == "power_state" and isinstance(value, PowerState):
+            return _power_state_to_dict(value)
+        return value
+
+    @staticmethod
+    def _deserialize_axis_value(field_name: str, value: object) -> object:
+        if field_name == "dram" and isinstance(value, Mapping):
+            return DRAMTimings.from_dict(value)
+        if field_name == "power_state" and isinstance(value, Mapping):
+            return _power_state_from_dict(value)
+        return value
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-able representation; inverse of :meth:`from_dict`.
+
+        The base scenario serializes through
+        :meth:`Scenario.to_dict`; axis values serialize by field
+        (DRAM timings and explicit power states become their dict
+        forms, plain strings/numbers pass through), so a grid
+        round-trips to the *same* cells — and therefore the same
+        :func:`scenario_fingerprint` set — on any machine.
+        """
+        return {
+            "schema": _GRID_SCHEMA,
+            "base": self.base.to_dict(),
+            "axes": [
+                {
+                    "field": name,
+                    "values": [
+                        self._serialize_axis_value(name, v) for v in values
+                    ],
+                }
+                for name, values in self.axes
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "SweepGrid":
+        """Rebuild a grid from :meth:`to_dict` output."""
+        schema = data.get("schema", _GRID_SCHEMA)
+        if schema != _GRID_SCHEMA:
+            raise ConfigurationError(
+                f"unsupported sweep-grid schema {schema!r} "
+                f"(expected {_GRID_SCHEMA!r})"
+            )
+        if "base" not in data:
+            raise ConfigurationError("sweep-grid payload missing 'base'")
+        base = Scenario.from_dict(data["base"])
+        axes: List[Tuple[str, Tuple[object, ...]]] = []
+        for axis in data.get("axes", ()):
+            try:
+                name, values = axis["field"], axis["values"]
+            except (KeyError, TypeError) as exc:
+                raise ConfigurationError(
+                    f"bad sweep-grid axis {axis!r}: {exc}"
+                ) from exc
+            if name not in _SWEEPABLE_FIELDS:
+                raise ConfigurationError(
+                    f"cannot sweep over {name!r}; sweepable fields: "
+                    f"{_SWEEPABLE_FIELDS}"
+                )
+            if not values:
+                raise ConfigurationError(f"axis {name!r} has no values")
+            axes.append((
+                name,
+                tuple(cls._deserialize_axis_value(name, v) for v in values),
+            ))
+        return cls(base=base, axes=tuple(axes))

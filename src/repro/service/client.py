@@ -308,6 +308,16 @@ class ServiceClient:
         suffix = f"?{urlencode(filters)}" if filters else ""
         return self._request("GET", f"/results{suffix}")["records"]
 
+    def fingerprints(self) -> set:
+        """Every fingerprint the server's store currently serves.
+
+        One ``GET /results`` listing instead of a round-trip per
+        fingerprint — ``repro paper plan --server`` diffs an artifact's
+        resolved fingerprint set against this to report hits/misses
+        without touching a local store.
+        """
+        return {str(record["fingerprint"]) for record in self.query()}
+
     def result(self, fingerprint: str) -> Dict[str, object]:
         """``GET /results/<prefix>`` — one stored result payload."""
         return self._request("GET", f"/results/{fingerprint}")["result"]

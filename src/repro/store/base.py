@@ -204,6 +204,30 @@ class ResultStore(ABC):
             )
         return matches[0]
 
+    def get_many(
+        self, fingerprints: Iterable[str]
+    ) -> Dict[str, Dict[str, object]]:
+        """Servable payloads for ``fingerprints``: fingerprint -> payload.
+
+        The batch read behind ``repro paper build``: a whole artifact's
+        cell set resolves in one call instead of one :meth:`get` per
+        fingerprint.  Absent and stale-schema records are simply left
+        out of the mapping (the caller sees which by set difference);
+        hit/miss accounting matches ``len(fingerprints)`` calls to
+        :meth:`get` — duplicates count once.  Indexed backends override
+        this with a chunked server-side lookup.
+        """
+        out: Dict[str, Dict[str, object]] = {}
+        seen = set()
+        for fingerprint in fingerprints:
+            if fingerprint in seen:
+                continue
+            seen.add(fingerprint)
+            payload = self.get(fingerprint)
+            if payload is not None:
+                out[fingerprint] = payload
+        return out
+
     def missing(
         self,
         fingerprints: Iterable[str],

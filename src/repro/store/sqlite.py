@@ -248,6 +248,35 @@ class SqliteStore(ResultStore):
             return schema, {}
         return schema, dict(zip(RECORD_COLUMNS, row[1:]))
 
+    def get_many(self, fingerprints) -> Dict[str, Dict[str, object]]:
+        """Chunked ``IN`` payload reads instead of one SELECT per
+        fingerprint (``repro paper build`` resolves whole artifacts
+        through this).  Hit/miss accounting matches the per-``get``
+        base implementation: one hit or miss per distinct fingerprint.
+        """
+        from repro.sim.session import RESULT_SCHEMA
+
+        distinct: List[str] = []
+        seen = set()
+        for fingerprint in fingerprints:
+            if fingerprint not in seen:
+                seen.add(fingerprint)
+                distinct.append(fingerprint)
+        out: Dict[str, Dict[str, object]] = {}
+        for start in range(0, len(distinct), 500):
+            chunk = distinct[start:start + 500]
+            placeholders = ", ".join("?" for _ in chunk)
+            for row in self._read_conn.execute(
+                "SELECT fingerprint, payload FROM results "
+                f"WHERE schema = ? AND fingerprint IN ({placeholders})",
+                [RESULT_SCHEMA, *chunk],
+            ):
+                out[row[0]] = json.loads(row[1])
+        with self._counters_lock:
+            self.hits += len(out)
+            self.misses += len(distinct) - len(out)
+        return out
+
     def missing(
         self,
         fingerprints,

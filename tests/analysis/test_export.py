@@ -4,8 +4,20 @@ import csv
 
 import pytest
 
-from repro.analysis.experiments import Fig6Result, PowerStateSweepResult
-from repro.analysis.export import export_fig6, export_power_sweep, rows_to_csv
+from repro.analysis.experiments import (
+    Fig6Result,
+    PowerStateSweepResult,
+    experiment_fig5,
+    experiment_table1,
+)
+from repro.analysis.export import (
+    export_fig5,
+    export_fig6,
+    export_power_sweep,
+    export_result,
+    export_table1,
+    rows_to_csv,
+)
 from repro.mem.dram import DDR3_OFFCHIP
 
 
@@ -76,3 +88,49 @@ class TestExportPowerSweep:
         target = tmp_path / "nested" / "dir"
         export_power_sweep(sweep_result, target)
         assert target.exists()
+
+
+class TestExportAnalytic:
+    def test_table1_rows_are_the_paper_states(self, tmp_path):
+        written = export_table1(experiment_table1(), tmp_path)
+        assert set(written) == {"table1_configuration.csv"}
+        rows = list(csv.reader(
+            written["table1_configuration.csv"].read_text().splitlines()
+        ))
+        assert rows[0] == ["power state", "active cores", "active banks",
+                           "L2 latency (cycles)"]
+        assert [r[0] for r in rows[1:]] == [
+            "Full connection", "PC16-MB8", "PC4-MB32", "PC4-MB8"
+        ]
+
+    def test_fig5_spans(self, tmp_path):
+        written = export_fig5(experiment_fig5(), tmp_path)
+        assert set(written) == {"fig5_wire_lengths_mm.csv"}
+        header = written["fig5_wire_lengths_mm.csv"].read_text() \
+            .splitlines()[0]
+        assert header == "power state,horizontal,vertical,longest path"
+
+
+class TestExportResult:
+    def test_dispatches_on_type(self, fig6_result, sweep_result, tmp_path):
+        assert set(export_result(fig6_result, tmp_path)) == {
+            "fig6a_latency_cycles.csv", "fig6b_execution_cycles.csv",
+        }
+        assert set(export_result(sweep_result, tmp_path)) == {
+            "fig7_edp_js.csv", "fig7_execution_cycles.csv",
+            "fig7_energy_j.csv",
+        }
+        assert set(export_result(experiment_table1(), tmp_path)) == {
+            "table1_configuration.csv",
+        }
+        assert set(export_result(experiment_fig5(), tmp_path)) == {
+            "fig5_wire_lengths_mm.csv",
+        }
+
+    def test_prefix_override(self, sweep_result, tmp_path):
+        written = export_result(sweep_result, tmp_path, prefix="fig8b")
+        assert all(name.startswith("fig8b") for name in written)
+
+    def test_unknown_type_rejected(self, tmp_path):
+        with pytest.raises(TypeError, match="no exporter"):
+            export_result(object(), tmp_path)

@@ -1,0 +1,40 @@
+"""Fixtures for the paper-generator tests.
+
+A tiny but true-to-shape manifest (two benchmarks, reduced scale) is
+computed once per session into a warm store; tests that only read copy
+nothing, tests that mutate copy the directory first.
+"""
+
+from __future__ import annotations
+
+import shutil
+
+import pytest
+
+from repro.paper import default_manifest, load_manifest, run_paper
+from repro.store import open_store
+
+#: Keyword arguments of every tiny manifest in this package.
+TINY = dict(benchmarks=("fft", "radix"), scale=0.02)
+
+
+@pytest.fixture(scope="session")
+def warm_paper_dir(tmp_path_factory):
+    """A directory holding a pinned tiny ``paper.json`` and the warm
+    store its cells live in.  Session-scoped: simulate once, read
+    everywhere.  Treat as read-only — mutating tests use
+    ``paper_dir``."""
+    base = tmp_path_factory.mktemp("paper")
+    default_manifest(**TINY).save(base / "paper.json")
+    manifest = load_manifest(base / "paper.json")
+    with open_store(str(manifest.store_path())) as store:
+        run_paper(manifest, store)
+    return base
+
+
+@pytest.fixture()
+def paper_dir(warm_paper_dir, tmp_path):
+    """A per-test mutable copy of :func:`warm_paper_dir`."""
+    target = tmp_path / "paper"
+    shutil.copytree(warm_paper_dir, target)
+    return target

@@ -1,0 +1,136 @@
+"""Build tests: rendering from the store only.
+
+Pins the subsystem's two hard promises: a build never simulates (every
+cell is a store read, every failure names the repair command), and two
+builds from the same store are byte-identical, file for file.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro.sim.session as session
+from repro.errors import PaperError
+from repro.paper import BUILD_SCHEMA, build_paper, load_manifest
+from repro.store import MemoryStore, open_store
+
+
+def _tree(directory):
+    """relative path -> bytes for every file under ``directory``."""
+    return {
+        str(path.relative_to(directory)): path.read_bytes()
+        for path in sorted(directory.rglob("*")) if path.is_file()
+    }
+
+
+@pytest.fixture()
+def warm_store(paper_dir):
+    manifest = load_manifest(paper_dir / "paper.json")
+    with open_store(str(manifest.store_path())) as store:
+        yield manifest, store
+
+
+class TestBuild:
+    def test_renders_every_artifact(self, warm_store, tmp_path):
+        manifest, store = warm_store
+        report = build_paper(manifest, store, out_dir=tmp_path / "out")
+        names = set(report.files)
+        for expected in ("table1.txt", "fig5.txt", "fig6.txt", "fig7.txt",
+                         "fig8a.txt", "fig8b.txt", "PAPER_GENERATED.md",
+                         "MANIFEST.json", "fig6a_latency_cycles.csv",
+                         "fig8b_edp_js.csv"):
+            assert expected in names
+        assert report.misses == 0
+
+    def test_never_simulates(self, warm_store, tmp_path, monkeypatch):
+        """A warm build must not touch the engine at all."""
+        manifest, store = warm_store
+
+        def boom(*args, **kwargs):  # pragma: no cover - the assertion
+            raise AssertionError("build_paper ran the simulator")
+
+        monkeypatch.setattr(session, "run_scenario", boom)
+        monkeypatch.setattr(session, "run_sweep", boom)
+        build_paper(manifest, store, out_dir=tmp_path / "out")
+
+    def test_two_builds_byte_identical(self, warm_store, tmp_path):
+        """The regression test behind CI's `diff -r`: rendering is a
+        pure function of the stored payloads."""
+        manifest, store = warm_store
+        build_paper(manifest, store, out_dir=tmp_path / "a")
+        build_paper(manifest, store, out_dir=tmp_path / "b")
+        assert _tree(tmp_path / "a") == _tree(tmp_path / "b")
+
+    def test_cold_vs_warm_builds_identical(self, warm_store, tmp_path):
+        """A store populated by a fresh run renders the same bytes as
+        the session's warm one (replay determinism end to end)."""
+        from repro.paper import run_paper
+
+        manifest, store = warm_store
+        build_paper(manifest, store, out_dir=tmp_path / "warm")
+        fresh = MemoryStore()
+        run_paper(manifest, fresh, pin=False)
+        build_paper(manifest, fresh, out_dir=tmp_path / "cold")
+        assert _tree(tmp_path / "warm") == _tree(tmp_path / "cold")
+
+    def test_prose_interpolates_computed_numbers(self, warm_store,
+                                                 tmp_path):
+        manifest, store = warm_store
+        build_paper(manifest, store, out_dir=tmp_path / "out")
+        prose = (tmp_path / "out" / "PAPER_GENERATED.md").read_text()
+        assert "up to 77% (48% on average)" in prose  # the paper's claim
+        assert "scale 0.02, seed 2016" in prose
+        assert "paper 13.01%" in prose
+        assert "DRAM 63 ns" in prose and "DRAM 42 ns" in prose
+
+    def test_build_manifest_records_digests(self, warm_store, tmp_path):
+        import hashlib
+
+        manifest, store = warm_store
+        build_paper(manifest, store, out_dir=tmp_path / "out")
+        data = json.loads((tmp_path / "out" / "MANIFEST.json").read_text())
+        assert data["schema"] == BUILD_SCHEMA
+        for entry in data["artifacts"]:
+            for item in entry["files"]:
+                digest = hashlib.sha256(
+                    (tmp_path / "out" / item["name"]).read_bytes()
+                ).hexdigest()
+                assert digest == item["sha256"]
+
+
+class TestBuildErrors:
+    def test_cold_store_points_at_paper_run(self, paper_dir, tmp_path):
+        manifest = load_manifest(paper_dir / "paper.json")
+        with pytest.raises(PaperError, match="repro paper run"):
+            build_paper(manifest, MemoryStore(), out_dir=tmp_path / "out")
+
+    def test_scale_mismatch_points_at_paper_run(self, warm_store,
+                                                tmp_path):
+        manifest, store = warm_store
+        with pytest.raises(PaperError, match="repro paper run"):
+            build_paper(manifest, store, out_dir=tmp_path / "out",
+                        scale=0.5)
+
+    def test_stale_schema_points_at_results_gc(self, warm_store,
+                                               tmp_path):
+        """An engine change that bumps RESULT_SCHEMA orphans stored
+        cells; the build error names the tag and `repro results gc`."""
+        manifest, store = warm_store
+        artifact = next(
+            r for r in manifest.resolve() if r.name == "fig6"
+        )
+        fp = artifact.fingerprints[0]
+        payload = store.get(fp)
+        payload["schema"] = "repro-result/0-ancient"
+        store.put(fp, payload, scenario=artifact.scenarios[0])
+        try:
+            with pytest.raises(PaperError) as excinfo:
+                build_paper(manifest, store, out_dir=tmp_path / "out")
+            assert "repro results gc" in str(excinfo.value)
+            assert "repro-result/0-ancient" in str(excinfo.value)
+        finally:
+            # The store fixture is shared via paper_dir's copy; no
+            # cleanup needed beyond the copy itself.
+            pass

@@ -1,0 +1,154 @@
+"""plan/run lifecycle tests: censuses, memoization, pinning, remote.
+
+The acceptance contract under test: ``plan`` never computes or moves
+cache counters, ``run`` computes each distinct missing cell exactly
+once and pins what it resolved, and a run through a sweep service is
+bit-identical to a local one.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.paper import load_manifest, plan_paper, run_paper
+from repro.scenario import FINGERPRINT_SCHEMA
+from repro.store import MemoryStore, open_store
+from repro.sim.session import run_sweep
+from repro.analysis.experiments import fig6_grid
+
+from tests.paper.conftest import TINY
+
+
+class TestPlan:
+    def test_cold_store_everything_missing(self, paper_dir):
+        manifest = load_manifest(paper_dir / "paper.json")
+        report = plan_paper(manifest, MemoryStore())
+        assert report.total_missing == report.total_cells == 4 * 8
+        assert report.total_hits == 0
+
+    def test_plan_is_pure(self, paper_dir):
+        manifest = load_manifest(paper_dir / "paper.json")
+        store = MemoryStore()
+        plan_paper(manifest, store)
+        assert store.hits == 0 and store.misses == 0
+        assert len(store) == 0
+
+    def test_warm_store_nothing_missing(self, paper_dir):
+        manifest = load_manifest(paper_dir / "paper.json")
+        with open_store(str(manifest.store_path())) as store:
+            report = plan_paper(manifest, store)
+        assert report.total_missing == 0
+        assert report.render().endswith("0 to compute")
+
+    def test_preset_warmed_store_serves_manifest_cells(self, tmp_path):
+        """Cells warmed through the ``experiment_fig6`` preset path are
+        hits for the manifest — same grids, same fingerprints."""
+        from repro.paper import default_manifest
+
+        manifest = default_manifest(**TINY)
+        store = MemoryStore()
+        run_sweep(
+            fig6_grid(scale=TINY["scale"], benchmarks=TINY["benchmarks"]),
+            store=store,
+        )
+        by_name = {p.name: p for p in plan_paper(manifest, store).artifacts}
+        assert by_name["fig6"].missing == 0
+        assert by_name["fig7"].missing == 8
+
+
+class TestRun:
+    def test_second_run_computes_nothing(self, paper_dir):
+        manifest = load_manifest(paper_dir / "paper.json")
+        with open_store(str(manifest.store_path())) as store:
+            report = run_paper(manifest, store)
+        assert report.computed == 0
+        assert report.plan.total_missing == 0
+
+    def test_run_pins_resolved_fingerprints(self, paper_dir):
+        """plan -> run -> pin round-trip: what the manifest pins is
+        exactly what resolving it again computes."""
+        manifest = load_manifest(paper_dir / "paper.json")
+        with open_store(str(manifest.store_path())) as store:
+            run_paper(manifest, store)
+        pinned = load_manifest(paper_dir / "paper.json")
+        resolved = {r.name: r for r in pinned.resolve()}
+        for spec in pinned.artifacts:
+            if spec.grid is None:
+                assert spec.pinned is None
+                continue
+            assert spec.pinned is not None
+            assert spec.pinned.fingerprint_schema == FINGERPRINT_SCHEMA
+            assert spec.pinned.scale == TINY["scale"]
+            assert spec.pinned.fingerprints == \
+                resolved[spec.name].fingerprints
+
+    def test_no_pin_leaves_manifest_untouched(self, paper_dir):
+        path = paper_dir / "paper.json"
+        # Strip the fixture's pins so any write-back would show.
+        data = json.loads(path.read_text())
+        for entry in data["artifacts"]:
+            entry.pop("pinned", None)
+        path.write_text(json.dumps(data, indent=2) + "\n")
+        before = path.read_bytes()
+        manifest = load_manifest(path)
+        with open_store(str(manifest.store_path())) as store:
+            run_paper(manifest, store, pin=False)
+        assert path.read_bytes() == before
+
+    def test_run_dedups_cells_shared_between_artifacts(self, paper_dir):
+        """A fingerprint two artifacts share is computed once."""
+        import dataclasses
+
+        manifest = load_manifest(paper_dir / "paper.json")
+        # Duplicate fig6 under another name: same grid, same cells.
+        twin = dataclasses.replace(
+            manifest,
+            artifacts=manifest.artifacts + (dataclasses.replace(
+                manifest.artifact("fig6"), name="fig6-twin", pinned=None
+            ),),
+        )
+        store = MemoryStore()
+        report = run_paper(twin, store, pin=False)
+        assert report.plan.total_cells == 4 * 8
+        assert report.computed == 4 * 8
+        assert len(store) == 4 * 8
+
+
+class TestRemote:
+    def test_remote_run_matches_local_and_lands_locally(self, paper_dir,
+                                                        tmp_path):
+        """``repro paper run --server URL``: bit-identical to a local
+        run, and the local store ends up warm enough to build from."""
+        from repro.service import ScenarioServer, ServiceClient
+
+        manifest = load_manifest(paper_dir / "paper.json")
+        local = MemoryStore()
+        with ScenarioServer(str(tmp_path / "server.sqlite"),
+                            port=0) as server:
+            server.start()
+            client = ServiceClient(server.url, timeout=300.0)
+            report = run_paper(manifest, local, client=client, pin=False)
+        assert report.computed == 4 * 8
+        # Bit-identical to the session-scoped local run of the same
+        # manifest: every payload equals the warm store's.
+        with open_store(str(manifest.store_path())) as warm:
+            for artifact in manifest.resolve():
+                for fp in artifact.fingerprints:
+                    assert local.get(fp) == warm.get(fp)
+
+    def test_remote_run_skips_locally_stored_cells(self, paper_dir):
+        """The server is only asked for cells the local store lacks."""
+        from repro.service import ScenarioServer, ServiceClient
+
+        manifest = load_manifest(paper_dir / "paper.json")
+        with open_store(str(manifest.store_path())) as warm_local:
+            with ScenarioServer(":memory:", port=0,
+                                local_compute=False) as server:
+                server.start()
+                # No local compute and an empty server store: any cell
+                # reaching the server would hang, so completing proves
+                # nothing was submitted.
+                client = ServiceClient(server.url, timeout=300.0)
+                report = run_paper(manifest, warm_local, client=client,
+                                   pin=False)
+        assert report.computed == 0

@@ -1,0 +1,216 @@
+"""Manifest tests: schema, validation, resolution, pins.
+
+The load-time contract matters because ``paper.json`` is hand-editable:
+every way a manifest can silently drift from what the renderers assume
+(wrong axis order, alias that resolves elsewhere, misspelled key) must
+fail at load/resolve time with a message naming the fix, never at
+render time with a shifted column.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.experiments import fig6_grid, fig7_grid
+from repro.errors import ConfigurationError, PaperError
+from repro.paper import (
+    ArtifactSpec,
+    PaperManifest,
+    default_manifest,
+    load_manifest,
+)
+from repro.scenario import scenario_fingerprint
+
+from tests.paper.conftest import TINY
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _strip_pins(manifest: PaperManifest) -> PaperManifest:
+    return dataclasses.replace(manifest, artifacts=tuple(
+        dataclasses.replace(spec, pinned=None)
+        for spec in manifest.artifacts
+    ))
+
+
+class TestRoundTrip:
+    def test_to_dict_from_dict_identity(self):
+        manifest = default_manifest(**TINY)
+        rebuilt = PaperManifest.from_dict(
+            json.loads(json.dumps(manifest.to_dict()))
+        )
+        assert rebuilt == manifest
+
+    def test_checked_in_manifest_is_the_default(self):
+        """``paper.json`` at the repo root is exactly
+        ``default_manifest()`` (modulo pins, which only a run adds)."""
+        checked_in = load_manifest(REPO_ROOT / "paper.json")
+        assert _strip_pins(checked_in) == dataclasses.replace(
+            _strip_pins(default_manifest()), path=checked_in.path
+        )
+
+    def test_save_load_keeps_pins(self, paper_dir):
+        manifest = load_manifest(paper_dir / "paper.json")
+        fig6 = manifest.artifact("fig6")
+        assert fig6.pinned is not None
+        assert len(fig6.pinned.fingerprints) == len(
+            tuple(fig6.grid.scenarios())
+        )
+
+
+class TestSharedFingerprints:
+    def test_manifest_cells_equal_preset_cells(self):
+        """The manifest's fig6/fig7 cells are the exact cells the
+        ``experiment_fig6``/``fig7`` presets run — one warm store
+        serves both paths."""
+        manifest = default_manifest(**TINY)
+        by_name = {r.name: r for r in manifest.resolve()}
+        assert by_name["fig6"].fingerprints == tuple(
+            scenario_fingerprint(s)
+            for s in fig6_grid(scale=TINY["scale"],
+                               benchmarks=TINY["benchmarks"]).scenarios()
+        )
+        assert by_name["fig7"].fingerprints == tuple(
+            scenario_fingerprint(s)
+            for s in fig7_grid(scale=TINY["scale"],
+                               benchmarks=TINY["benchmarks"]).scenarios()
+        )
+
+
+class TestValidation:
+    def test_unknown_kind(self):
+        with pytest.raises(ConfigurationError, match="unknown kind"):
+            ArtifactSpec(name="x", kind="scatterplot")
+
+    def test_analytic_kind_refuses_grid(self):
+        grid = fig6_grid(scale=0.02, benchmarks=("fft",))
+        with pytest.raises(ConfigurationError, match="takes no grid"):
+            ArtifactSpec(name="t", kind="table1", grid=grid)
+
+    def test_sweep_kind_requires_grid(self):
+        with pytest.raises(ConfigurationError, match="needs a grid"):
+            ArtifactSpec(name="f", kind="power-sweep")
+
+    def test_wrong_axes_for_kind(self):
+        grid = fig6_grid(scale=0.02, benchmarks=("fft",))
+        with pytest.raises(ConfigurationError, match="needs axes"):
+            ArtifactSpec(name="f", kind="power-sweep", grid=grid)
+
+    def test_interconnect_axis_must_match_paper_columns(self):
+        data = fig6_grid(scale=0.02, benchmarks=("fft",)).to_dict()
+        data["axes"][1]["values"] = ["mot", "mesh", "bus-mesh", "bus-tree"]
+        from repro.scenario import SweepGrid
+
+        with pytest.raises(ConfigurationError, match="in order"):
+            ArtifactSpec(
+                name="fig6", kind="interconnect-sweep",
+                grid=SweepGrid.from_dict(data),
+            )
+
+    def test_interconnect_axis_accepts_aliases(self):
+        """Display-name spellings resolve through the registry; the
+        default manifest itself uses them."""
+        spec = default_manifest(**TINY).artifact("fig6")
+        values = dict(spec.grid.axes)["interconnect"]
+        assert "True 3-D Mesh" in values
+
+    def test_duplicate_artifact_names(self):
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            PaperManifest(title="t", artifacts=(
+                ArtifactSpec(name="a", kind="table1"),
+                ArtifactSpec(name="a", kind="fig5"),
+            ))
+
+    def test_prose_source_must_exist(self):
+        with pytest.raises(ConfigurationError, match="not in the manifest"):
+            PaperManifest(title="t", artifacts=(
+                ArtifactSpec(name="p", kind="prose",
+                             sources=(("fig6", "fig6"),)),
+            ))
+
+    def test_unknown_manifest_key(self, tmp_path):
+        data = default_manifest(**TINY).to_dict()
+        data["artifcats"] = data.pop("artifacts")
+        path = tmp_path / "paper.json"
+        path.write_text(json.dumps(data))
+        with pytest.raises(ConfigurationError, match="unknown manifest keys"):
+            load_manifest(path)
+
+    def test_unsupported_schema(self, tmp_path):
+        data = default_manifest(**TINY).to_dict()
+        data["schema"] = "repro-paper/99"
+        path = tmp_path / "paper.json"
+        path.write_text(json.dumps(data))
+        with pytest.raises(ConfigurationError, match="repro-paper/99"):
+            load_manifest(path)
+
+    def test_missing_manifest_path(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="no paper manifest"):
+            load_manifest(tmp_path / "nope.json")
+
+
+class TestPaths:
+    def test_store_and_output_resolve_relative_to_manifest(self, tmp_path):
+        manifest = default_manifest(**TINY)
+        nested = tmp_path / "sub"
+        nested.mkdir()
+        manifest.save(nested / "paper.json")
+        loaded = load_manifest(nested / "paper.json")
+        assert loaded.store_path() == nested / "paper_results.sqlite"
+        assert loaded.output_path() == nested / "paper_artifacts"
+
+    def test_absolute_store_spec_wins(self, tmp_path):
+        manifest = dataclasses.replace(
+            default_manifest(**TINY), store="/var/store.sqlite",
+            path=tmp_path / "paper.json",
+        )
+        assert manifest.store_path() == Path("/var/store.sqlite")
+
+
+class TestResolveAndPins:
+    def test_scale_seed_overrides_apply_to_every_cell(self):
+        manifest = default_manifest(**TINY)
+        for artifact in manifest.resolve(scale=0.5, seed=7):
+            for scenario in artifact.scenarios:
+                assert scenario.scale == 0.5 and scenario.seed == 7
+
+    def test_override_changes_fingerprints(self):
+        manifest = default_manifest(**TINY)
+        base = manifest.resolve()[2]
+        other = manifest.resolve(seed=7)[2]
+        assert set(base.fingerprints).isdisjoint(other.fingerprints)
+
+    def test_pin_binds_only_in_matching_context(self):
+        manifest = default_manifest(**TINY)
+        resolved = {r.name: r for r in manifest.resolve()}
+        pinned = manifest.with_pins(manifest.resolve())
+        same = {r.name: r for r in pinned.resolve()}
+        assert same["fig6"].pin_binds()
+        same["fig6"].check_pin()  # agrees: no error
+        other_seed = {r.name: r for r in pinned.resolve(seed=7)}
+        assert not other_seed["fig6"].pin_binds()
+        other_seed["fig6"].check_pin()  # ignored, not an error
+        assert resolved["fig6"].fingerprints == same["fig6"].fingerprints
+
+    def test_stale_pin_fails_with_repair_command(self):
+        manifest = default_manifest(**TINY)
+        pinned = manifest.with_pins(manifest.resolve())
+        doctored = dataclasses.replace(pinned, artifacts=tuple(
+            dataclasses.replace(spec, pinned=dataclasses.replace(
+                spec.pinned,
+                fingerprints=("0" * 64,) + spec.pinned.fingerprints[1:],
+            )) if spec.name == "fig6" else spec
+            for spec in pinned.artifacts
+        ))
+        bad = {r.name: r for r in doctored.resolve()}
+        with pytest.raises(PaperError, match="repro paper run"):
+            bad["fig6"].check_pin()
+
+    def test_analytic_artifacts_have_no_cells(self):
+        for artifact in default_manifest(**TINY).resolve():
+            if artifact.kind in ("table1", "fig5", "prose"):
+                assert artifact.fingerprints == ()

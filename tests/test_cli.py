@@ -244,3 +244,74 @@ class TestStoreCLI:
         with pytest.raises(ConfigurationError):
             main(["results", "list", str(missing)])
         assert not missing.exists()
+
+
+class TestPaperCli:
+    def _manifest(self, tmp_path):
+        from repro.paper import default_manifest
+
+        path = tmp_path / "paper.json"
+        default_manifest(benchmarks=("fft",), scale=0.02).save(path)
+        return str(path)
+
+    def test_parser_accepts_paper_commands(self):
+        args = build_parser().parse_args(
+            ["paper", "run", "--manifest", "m.json", "--jobs", "2",
+             "--scale", "0.05", "--no-pin"]
+        )
+        assert args.paper_command == "run"
+        assert args.manifest == "m.json" and args.jobs == 2
+        assert args.scale == 0.05 and args.no_pin
+        args = build_parser().parse_args(
+            ["paper", "build", "--out", "artifacts"]
+        )
+        assert args.paper_command == "build"
+        assert str(args.out) == "artifacts"
+        with pytest.raises(SystemExit):  # subcommand is required
+            build_parser().parse_args(["paper"])
+
+    def test_plan_run_build_lifecycle(self, capsys, tmp_path):
+        manifest = self._manifest(tmp_path)
+
+        assert main(["paper", "plan", "--manifest", manifest]) == 0
+        out = capsys.readouterr().out
+        assert "does not exist yet" in out and "16 to compute" in out
+
+        assert main(["paper", "run", "--manifest", manifest]) == 0
+        out = capsys.readouterr().out
+        assert "computed: 16 cells" in out and "pinned:" in out
+
+        assert main(["paper", "plan", "--manifest", manifest]) == 0
+        assert "0 to compute" in capsys.readouterr().out
+
+        out_a, out_b = tmp_path / "a", tmp_path / "b"
+        for out_dir in (out_a, out_b):
+            assert main(["paper", "build", "--manifest", manifest,
+                         "--out", str(out_dir)]) == 0
+            printed = capsys.readouterr().out
+            assert "misses: 0" in printed
+            assert "PAPER_GENERATED.md" in printed
+        files_a = {p.name: p.read_bytes() for p in out_a.iterdir()}
+        files_b = {p.name: p.read_bytes() for p in out_b.iterdir()}
+        assert files_a == files_b
+
+    def test_build_cold_store_errors(self, capsys, tmp_path):
+        from repro.errors import PaperError
+
+        manifest = self._manifest(tmp_path)
+        with pytest.raises(PaperError, match="repro paper run"):
+            main(["paper", "build", "--manifest", manifest,
+                  "--out", str(tmp_path / "out")])
+
+    def test_scale_env_override(self, capsys, tmp_path, monkeypatch):
+        """REPRO_BENCH_SCALE rescales the whole manifest, as it does
+        the examples — the CI smoke knob."""
+        manifest = self._manifest(tmp_path)
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.01")
+        assert main(["paper", "run", "--manifest", manifest]) == 0
+        capsys.readouterr()
+        monkeypatch.delenv("REPRO_BENCH_SCALE")
+        # Without the env the manifest's own scale (0.02) applies, and
+        # those cells were never computed.
+        assert main(["paper", "plan", "--manifest", manifest]) == 0
+        assert "16 to compute" in capsys.readouterr().out

@@ -14,6 +14,11 @@ Two independent checks (CI runs both; each can run alone):
     Additionally execute every ``examples/*.py`` as a subprocess
     (honoring ``REPRO_BENCH_SCALE`` — CI sets 0.05 so the whole suite
     is a smoke pass) and fail on any non-zero exit.
+
+The link pass also validates the checked-in paper manifest
+(``paper.json``): it must load, resolve every artifact, and agree with
+its own pinned fingerprints — so a registry or grid change that would
+orphan the pins fails here, not at the next ``repro paper build``.
 """
 
 from __future__ import annotations
@@ -61,6 +66,32 @@ def check_links() -> List[str]:
     return problems
 
 
+def check_manifest() -> List[str]:
+    """Problems with the checked-in ``paper.json``, as strings.
+
+    Loads it through the real manifest layer (``src`` on the path, no
+    install needed), resolves every artifact, and checks the pinned
+    fingerprints still describe the resolved grids.
+    """
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    try:
+        from repro.errors import ReproError
+        from repro.paper import load_manifest
+    except Exception as exc:  # pragma: no cover - broken checkout
+        return [f"paper.json: cannot import repro.paper ({exc})"]
+    try:
+        manifest = load_manifest(REPO_ROOT / "paper.json")
+        resolved = manifest.resolve()
+        for artifact in resolved:
+            artifact.check_pin()
+    except ReproError as exc:
+        return [f"paper.json: {exc}"]
+    cells = sum(len(r.fingerprints) for r in resolved)
+    print(f"paper manifest: OK ({len(resolved)} artifacts, "
+          f"{cells} cells, pins consistent)")
+    return []
+
+
 def run_examples() -> List[Tuple[str, int, float]]:
     """Run every example; returns (name, returncode, seconds) rows."""
     env = dict(os.environ)
@@ -101,6 +132,12 @@ def main(argv: List[str] | None = None) -> int:
             print(f"  {problem}")
         return 1
     print(f"link check: OK ({checked} files)")
+
+    manifest_problems = check_manifest()
+    if manifest_problems:
+        for problem in manifest_problems:
+            print(problem)
+        return 1
 
     if args.run_examples:
         scale = os.environ.get("REPRO_BENCH_SCALE", "1.0")
