@@ -1,0 +1,169 @@
+"""Serving-path load benchmark -> serve_p50_ms/p99/rps in BENCH_speed.json.
+
+Drives concurrent *mixed* hit/miss traffic at a live in-process
+:class:`~repro.service.server.ScenarioServer` and records tail
+latency, the number an operator actually pages on:
+
+    python benchmarks/bench_serve.py                    # reference run
+    REPRO_BENCH_SCALE=0.05 python benchmarks/bench_serve.py   # smoke
+
+Unlike ``bench_speed.py``'s ``service_warm_hit_ms`` (median, hits
+only), this benchmark measures the realistic mixture: most requests
+are warm store hits, but a deterministic fraction are cold cells that
+hit the engine, so the p99 captures hit latency *under* miss-induced
+contention — the shape a production scrape of
+``repro_service_request_seconds`` would show.  The traffic schedule is
+fixed per run (every ``MISS_EVERY``-th request per client is a unique
+cold cell), so runs are comparable.
+
+``REPRO_BENCH_SCALE`` multiplies the per-client request count, not the
+scenario cost (cells are pinned at a small engine scale) — the number
+tracks serving overhead, not simulator throughput.
+
+Results are *merged* into ``BENCH_speed.json`` (keys ``serve_p50_ms``,
+``serve_p99_ms``, ``serve_rps``) so one file keeps the whole perf
+trajectory; run ``bench_speed.py`` first for the sweep numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+#: Concurrent client threads (each with its own HTTP connection).
+CLIENTS = 8
+#: Requests per client at REPRO_BENCH_SCALE=1.0.
+PER_CLIENT = 64
+#: Every Nth request per client is a unique cold cell (a store miss).
+MISS_EVERY = 8
+#: Engine scale of each cell — pinned small so misses cost tens of
+#: milliseconds and the benchmark measures serving, not simulation.
+CELL_SCALE = 0.02
+
+
+def bench_scale() -> float:
+    """Request-count multiplier (same knob as bench_speed.py)."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def percentile(sorted_vals: list, q: float) -> float:
+    """Nearest-rank percentile of an ascending list (q in [0, 1])."""
+    if not sorted_vals:
+        raise ValueError("no samples")
+    rank = min(len(sorted_vals) - 1, max(0, round(q * (len(sorted_vals) - 1))))
+    return sorted_vals[rank]
+
+
+def run(scale: float) -> dict:
+    """Drive the mixed load; returns the serve_* results dict."""
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.service import ScenarioServer, ServiceClient
+
+    per_client = max(2, round(PER_CLIENT * scale))
+    with tempfile.TemporaryDirectory(prefix="repro-bench-serve-") as tmp:
+        with ScenarioServer(os.path.join(tmp, "serve.sqlite"), port=0) as server:
+            server.start()
+            warm = ServiceClient(server.url)
+            # Pre-warm the hit set: one cell per client so the hot
+            # path is a pure store lookup for non-miss requests.
+            hit_specs = [
+                {"workload": "fft", "scale": CELL_SCALE, "seed": 2016 + i}
+                for i in range(CLIENTS)
+            ]
+            for spec in hit_specs:
+                warm.post_scenario(spec)
+
+            # Smoke runs shorter than MISS_EVERY still get one miss
+            # per client, so the mixture is always exercised.
+            stride = min(MISS_EVERY, per_client)
+
+            def drive(index: int) -> list:
+                client = ServiceClient(server.url, timeout=120.0)
+                latencies = []
+                for i in range(per_client):
+                    if i % stride == stride - 1:
+                        # Unique cold cell: a fingerprint nobody else
+                        # requests, forced through the engine.
+                        spec = {
+                            "workload": "radix",
+                            "scale": CELL_SCALE
+                            + (index * per_client + i + 1) * 1e-5,
+                        }
+                    else:
+                        spec = hit_specs[index % len(hit_specs)]
+                    t0 = time.perf_counter()
+                    client.post_scenario(spec)
+                    latencies.append(time.perf_counter() - t0)
+                return latencies
+
+            with ThreadPoolExecutor(max_workers=CLIENTS) as pool:
+                t0 = time.perf_counter()
+                per_thread = list(pool.map(drive, range(CLIENTS)))
+                elapsed = time.perf_counter() - t0
+
+            metrics = warm.metrics(prefix="repro_service")
+            requests_total = metrics["repro_service_requests_total"]["value"]
+
+    latencies = sorted(lat for chunk in per_thread for lat in chunk)
+    total = len(latencies)
+    assert requests_total >= total, (requests_total, total)
+    return {
+        "serve_p50_ms": round(percentile(latencies, 0.50) * 1e3, 3),
+        "serve_p99_ms": round(percentile(latencies, 0.99) * 1e3, 3),
+        "serve_rps": round(total / elapsed, 1),
+        "serve_requests": total,
+        "serve_clients": CLIENTS,
+        "serve_miss_every": stride,
+    }
+
+
+def merge(out: Path, results: dict, scale: float, note: str | None) -> dict:
+    """Fold the serve_* keys into BENCH_speed.json (create if absent)."""
+    if out.exists():
+        payload = json.loads(out.read_text())
+    else:
+        payload = {
+            "schema": "repro-bench-speed/1",
+            "seed_baseline": {},
+            "results": {},
+        }
+    payload["timestamp"] = time.strftime("%Y-%m-%dT%H:%M:%S")
+    payload["python"] = platform.python_version()
+    payload.setdefault("results", {}).update(results)
+    payload["results"]["serve_scale"] = scale
+    if note:
+        payload["results"]["serve_note"] = note
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", type=Path,
+                        default=REPO_ROOT / "BENCH_speed.json",
+                        help="BENCH_speed.json to merge serve_* keys into")
+    parser.add_argument("--note", default=None,
+                        help="free-form context recorded with the run")
+    args = parser.parse_args(argv)
+
+    scale = bench_scale()
+    print(f"bench_serve: scale={scale} clients={CLIENTS} ...", flush=True)
+    results = run(scale)
+    payload = merge(args.out, results, scale, args.note)
+    print(json.dumps({"results": results}, indent=2))
+    print(f"merged into {args.out} (schema {payload['schema']})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Observability tour: instruments, /metrics, spans, structured logs.
+
+Spins up an in-process scenario service, drives a little mixed
+hit/miss traffic, and then reads the telemetry back three ways:
+
+1. ``ServiceClient.metrics()`` — the JSON scrape, with prefix
+   filtering (the programmatic twin of ``GET /metrics?format=json``);
+2. the raw Prometheus text exposition (what a real scraper ingests);
+3. the in-process side: :func:`repro.obs.trace` spans around local
+   work and a :class:`~repro.obs.StructuredLogger` JSON line.
+
+The same numbers are visible from a shell::
+
+    repro serve --store /tmp/svc.sqlite --port 8321 --access-log &
+    curl http://127.0.0.1:8321/metrics          # Prometheus text
+    repro stats --server http://127.0.0.1:8321  # human summary
+
+Run:  python examples/metrics_scrape.py
+"""
+
+import json
+import os
+import sys
+import tempfile
+import time
+import urllib.request
+
+from repro.obs import StructuredLogger, default_registry, default_tracer, trace
+from repro.service import ScenarioServer, ServiceClient
+
+#: Work multiplier: 1.0 = the example's reference size; CI smoke runs
+#: every example with REPRO_BENCH_SCALE=0.05.
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. Serve, drive traffic, scrape the JSON view.
+    # ------------------------------------------------------------------
+    with tempfile.TemporaryDirectory(prefix="repro-metrics-demo-") as tmp:
+        with ScenarioServer(os.path.join(tmp, "svc.sqlite"), port=0) as server:
+            server.start()
+            client = ServiceClient(server.url)
+            spec = {"workload": "fft", "scale": 0.05 * BENCH_SCALE}
+            client.post_scenario(spec)   # miss: simulated + persisted
+            client.post_scenario(spec)   # hit: pure store lookup
+
+            service = client.metrics(prefix="repro_service")
+            print("service counters (JSON scrape, prefix-filtered):")
+            for name in ("repro_service_requests_total",
+                         "repro_service_hits_total",
+                         "repro_service_misses_total"):
+                print(f"  {name:34s} {service[name]['value']}")
+            latency = service["repro_service_request_seconds"]
+            print(f"  request latency: n={latency['count']}  "
+                  f"p50={latency['p50'] * 1e3:.2f} ms  "
+                  f"p99={latency['p99'] * 1e3:.2f} ms")
+            print()
+
+            # ----------------------------------------------------------
+            # 2. The Prometheus text format — one GET, no client needed.
+            # ----------------------------------------------------------
+            text = urllib.request.urlopen(
+                f"{server.url}/metrics?prefix=repro_store"
+            ).read().decode()
+            print("store family (Prometheus text exposition):")
+            for line in text.splitlines():
+                if not line.startswith("#"):
+                    print(f"  {line}")
+            print()
+
+    # ------------------------------------------------------------------
+    # 3. In-process: spans time local phases; every span also feeds a
+    #    histogram on the process registry.
+    # ------------------------------------------------------------------
+    with trace("demo.phase", step="warmup"):
+        time.sleep(0.01)
+    with trace("demo.phase", step="work"):
+        time.sleep(0.02)
+    for span in default_tracer().recent(2):
+        print(f"span {span.name} ({span.tags['step']}): "
+              f"{span.duration_s * 1e3:.1f} ms")
+    hist = default_registry().get("repro_demo_phase_seconds")
+    print(f"histogram repro_demo_phase_seconds: "
+          f"n={hist.snapshot()['count']}  p50={hist.quantile(0.5) * 1e3:.1f} ms")
+    print()
+
+    # ------------------------------------------------------------------
+    # 4. Structured logs: one JSON object per line, machine-greppable.
+    # ------------------------------------------------------------------
+    log = StructuredLogger("demo", stream=sys.stdout, json_lines=True)
+    log.log("sweep_finished", cells=2, hits=1, misses=1)
+    print(json.dumps({"demo": "done"}))
+
+
+if __name__ == "__main__":
+    main()

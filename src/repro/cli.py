@@ -220,6 +220,26 @@ def build_parser() -> argparse.ArgumentParser:
                         "errors) is dead-lettered with its error "
                         "history instead of re-leasing forever "
                         "(default: 5)")
+    p.add_argument("--access-log", action="store_true",
+                   help="log one structured line per request to stderr "
+                        "(method, path, status, duration; off by "
+                        "default so benchmarks stay clean)")
+    p.add_argument("--log-json", action="store_true",
+                   help="render the access log as JSON lines instead "
+                        "of key=value text")
+
+    p = sub.add_parser("stats", help="operator view of a running "
+                                     "service's /stats + /metrics")
+    p.add_argument("--server", required=True, metavar="URL",
+                   help="the `repro serve` endpoint to inspect "
+                        "(e.g. http://host:8321)")
+    p.add_argument("--watch", action="store_true",
+                   help="refresh every --interval seconds until Ctrl-C")
+    p.add_argument("--interval", type=float, default=2.0,
+                   help="refresh period with --watch (default: 2.0)")
+    p.add_argument("--json", action="store_true",
+                   help="print the raw /stats and /metrics JSON "
+                        "instead of the rendered summary")
 
     p = sub.add_parser("worker", help="distributed sweep worker: lease "
                                       "cells from a server, push results "
@@ -454,7 +474,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                         host=args.host, port=args.port,
                         local_compute=not args.no_local,
                         lease_seconds=args.lease_seconds,
-                        max_attempts=args.max_attempts) as server:
+                        max_attempts=args.max_attempts,
+                        access_log=args.access_log,
+                        log_json=args.log_json) as server:
         compute = "remote workers only" if args.no_local \
             else f"jobs={server.jobs or 1}"
         print(f"serving {args.store} on {server.url} "
@@ -509,6 +531,65 @@ def _cmd_worker(args: argparse.Namespace) -> int:
           f"completed {worker.completed}, failed {worker.failed}, "
           f"rejected {worker.rejected}")
     return code
+
+
+def _render_server_stats(stats: dict, metrics: dict) -> str:
+    """The operator one-pager (``repro stats``): counters + latency."""
+    served = stats["hits"] + stats["misses"]
+    ratio = stats["hits"] / served if served else 0.0
+    queue = stats["queue"]
+    store = stats["store"]
+    lines = [
+        f"requests {stats['requests']}  scenario hits {stats['hits']}  "
+        f"misses {stats['misses']}  hit ratio {ratio:.1%}",
+        f"queue    pending {queue['pending']}  leased {queue['leased']}  "
+        f"completed {queue['completed']}  requeued {queue['requeued']}  "
+        f"dead {queue['dead']}",
+        f"store    records {store['records']}  hits {store['hits']}  "
+        f"misses {store['misses']}",
+    ]
+    latency = metrics.get("repro_service_request_seconds")
+    if latency and latency.get("count"):
+        lines.append(
+            f"latency  p50 {latency['p50'] * 1e3:.2f} ms  "
+            f"p90 {latency['p90'] * 1e3:.2f} ms  "
+            f"p99 {latency['p99'] * 1e3:.2f} ms  (n={latency['count']})"
+        )
+    oldest = metrics.get("repro_queue_oldest_lease_age_seconds")
+    if oldest and oldest.get("value"):
+        lines.append(f"leases   oldest {oldest['value']:.1f} s")
+    return "\n".join(lines)
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.errors import ServiceError
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient(args.server, timeout=10.0)
+
+    def report() -> None:
+        stats = client.stats()
+        metrics = client.metrics()
+        if args.json:
+            print(json.dumps({"stats": stats, "metrics": metrics},
+                             indent=2))
+        else:
+            print(_render_server_stats(stats, metrics))
+
+    try:
+        report()
+        while args.watch:
+            time.sleep(args.interval)
+            print(flush=True)
+            report()
+    except KeyboardInterrupt:
+        pass
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr, flush=True)
+        return 1
+    return 0
 
 
 def _cmd_paper(args: argparse.Namespace) -> int:
@@ -649,6 +730,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_serve(args)
     elif args.command == "worker":
         return _cmd_worker(args)
+    elif args.command == "stats":
+        return _cmd_stats(args)
     elif args.command == "paper":
         return _cmd_paper(args)
     elif args.command == "results":

@@ -50,6 +50,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError, ReproError
+from repro.obs.metrics import default_registry
 
 #: The instrumented sites (free-form strings; these are the ones the
 #: shipped layers consult).
@@ -137,6 +138,12 @@ class FaultPlan:
         self._lock = threading.Lock()
         #: Every firing, in order: ``(site, kind, context)`` tuples.
         self.log: List[Tuple[str, str, Dict[str, object]]] = []
+        # Process-wide firing counter: chaos runs show up on /metrics
+        # next to the recovery counters they are supposed to drive.
+        self._fired_total = default_registry().counter(
+            "repro_faults_injected_total",
+            help="fault-plan rule firings across every site",
+        )
 
     def fire(self, site: str, **context: object) -> Optional[FaultRule]:
         """The rule firing for this event, or ``None`` (no fault).
@@ -160,6 +167,7 @@ class FaultPlan:
                     continue
                 rule.fired += 1
                 self.log.append((site, rule.kind, dict(context)))
+                self._fired_total.inc()
                 return rule
         return None
 

@@ -1,0 +1,62 @@
+"""repro.obs — unified metrics, tracing and structured logging.
+
+The observability subsystem every layer of the stack records into:
+
+* :mod:`repro.obs.metrics` — a thread-safe :class:`MetricsRegistry` of
+  counters, gauges and fixed-bucket histograms (p50/p90/p99 derivable),
+  with Prometheus text and JSON expositions.  A process-wide default
+  registry (:func:`default_registry`) backs ``GET /metrics``.
+* :mod:`repro.obs.tracing` — ``with trace("engine.simulate"):`` spans,
+  a bounded ring buffer of recent spans, and automatic
+  ``repro_<name>_seconds`` duration histograms.
+* :mod:`repro.obs.logs` — opt-in JSON-lines structured logging with
+  per-component loggers (the service's ``--access-log`` uses it).
+
+Design constraints the rest of the stack relies on:
+
+* stdlib only, importable in spawned worker processes;
+* an increment is sub-microsecond and never blocks on I/O, so
+  instruments are always on — no "observability enabled" mode whose
+  absence would make the measured system a different system;
+* recording never touches simulation state or RNG streams, so a traced
+  sweep is bit-identical to an untraced one (ROADMAP invariant 4
+  survives instrumentation).
+"""
+
+from __future__ import annotations
+
+from repro.obs.logs import StructuredLogger, configure, get_logger
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    CallbackInstrument,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+)
+from repro.obs.tracing import (
+    Span,
+    Tracer,
+    default_tracer,
+    span_metric_name,
+    trace,
+)
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "CallbackInstrument",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "StructuredLogger",
+    "Tracer",
+    "configure",
+    "default_registry",
+    "default_tracer",
+    "get_logger",
+    "span_metric_name",
+    "trace",
+]

@@ -1,0 +1,111 @@
+"""Structured (JSON-lines) logging with per-component loggers.
+
+One event is one line; machine-first (``--log-json``) or a terse
+human-readable key=value rendering.  Everything is opt-in and silent
+by default — the serving fast path and the benchmarks must stay free
+of per-request stderr chatter unless an operator asks for it
+(``repro serve --access-log``).
+
+Two ways in:
+
+* an explicit :class:`StructuredLogger` — own stream, own format; the
+  service's access log holds one of these;
+* :func:`get_logger`\\ ("component") — process-wide per-component
+  loggers that stay disabled until :func:`configure` turns them on,
+  for ad-hoc debugging of any layer without plumbing a logger through.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from typing import Dict, IO, Optional
+
+__all__ = ["StructuredLogger", "configure", "get_logger"]
+
+
+class StructuredLogger:
+    """One event stream for one component.
+
+    ``json_lines=True`` writes ``{"ts": ..., "component": ...,
+    "event": ..., **fields}`` per line; ``False`` writes
+    ``ts component event key=value ...``.  ``enabled=False`` turns
+    :meth:`log` into one attribute check.  Writes are serialized by a
+    lock so concurrent handler threads never interleave half-lines;
+    a broken stream (closed pipe) disables the logger instead of
+    taking the request path down.
+    """
+
+    def __init__(
+        self,
+        component: str,
+        stream: Optional[IO[str]] = None,
+        json_lines: bool = True,
+        enabled: bool = True,
+    ) -> None:
+        self.component = component
+        self.stream = stream if stream is not None else sys.stderr
+        self.json_lines = json_lines
+        self.enabled = enabled
+        self._lock = threading.Lock()
+
+    def log(self, event: str, **fields: object) -> None:
+        if not self.enabled:
+            return
+        timestamp = time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime())
+        if self.json_lines:
+            record: Dict[str, object] = {
+                "ts": timestamp, "component": self.component, "event": event,
+            }
+            record.update(fields)
+            line = json.dumps(record, default=str)
+        else:
+            rendered = " ".join(f"{k}={v}" for k, v in fields.items())
+            line = f"{timestamp} {self.component} {event} {rendered}".rstrip()
+        try:
+            with self._lock:
+                self.stream.write(line + "\n")
+                self.stream.flush()
+        except (OSError, ValueError):
+            self.enabled = False  # stream gone: stop trying, keep serving
+
+
+_REGISTRY_LOCK = threading.Lock()
+_LOGGERS: Dict[str, StructuredLogger] = {}
+_CONFIG = {"stream": None, "json_lines": True, "enabled": False}
+
+
+def configure(
+    stream: Optional[IO[str]] = None,
+    json_lines: bool = True,
+    enabled: bool = True,
+) -> None:
+    """Turn the process's per-component loggers on (or off).
+
+    Applies to every logger :func:`get_logger` has handed out and every
+    future one.  Default state is everything off.
+    """
+    with _REGISTRY_LOCK:
+        _CONFIG.update(stream=stream, json_lines=json_lines, enabled=enabled)
+        for logger in _LOGGERS.values():
+            logger.stream = stream if stream is not None else sys.stderr
+            logger.json_lines = json_lines
+            logger.enabled = enabled
+
+
+def get_logger(component: str) -> StructuredLogger:
+    """The process-wide logger of one component (disabled until
+    :func:`configure` enables logging)."""
+    with _REGISTRY_LOCK:
+        logger = _LOGGERS.get(component)
+        if logger is None:
+            logger = StructuredLogger(
+                component,
+                stream=_CONFIG["stream"],
+                json_lines=bool(_CONFIG["json_lines"]),
+                enabled=bool(_CONFIG["enabled"]),
+            )
+            _LOGGERS[component] = logger
+        return logger

@@ -1,0 +1,136 @@
+"""Span timing: ``with trace("engine.simulate"): ...``.
+
+A :class:`Span` is one timed region with free-form tags; a
+:class:`Tracer` keeps a bounded ring buffer of recent spans (the
+flight recorder an operator or a test reads back) and mirrors every
+span's duration into a histogram on a :class:`MetricsRegistry` — so
+tracing automatically produces the ``repro_<name>_seconds``
+percentile instruments ``GET /metrics`` exposes.
+
+Dots in span names become underscores in the metric name:
+``trace("engine.simulate")`` feeds ``repro_engine_simulate_seconds``.
+
+Tracing never touches simulation state or any RNG — a sweep runs
+bit-identically with spans on every phase or none
+(``tests/obs/test_tracing.py`` asserts it); the cost per span is two
+``perf_counter`` calls, one deque append and one histogram
+observation.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from repro.obs.metrics import Histogram, MetricsRegistry, default_registry
+
+#: Spans retained in a tracer's ring buffer.
+DEFAULT_KEEP_SPANS = 256
+
+_SANITIZE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def span_metric_name(name: str) -> str:
+    """The histogram a span's durations land in."""
+    return f"repro_{_SANITIZE.sub('_', name)}_seconds"
+
+
+@dataclass(frozen=True)
+class Span:
+    """One finished timed region."""
+
+    name: str
+    start_s: float          # time.monotonic() at entry
+    duration_s: float
+    tags: Dict[str, object] = field(default_factory=dict)
+
+
+class Tracer:
+    """Ring buffer of recent spans + per-span-name duration histograms.
+
+    ``registry=None`` mirrors durations into the process default
+    registry; ``keep`` bounds the ring buffer.  Thread-safe.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        keep: int = DEFAULT_KEEP_SPANS,
+    ) -> None:
+        self.registry = registry if registry is not None else default_registry()
+        self._lock = threading.Lock()
+        self._spans: "deque[Span]" = deque(maxlen=keep)
+        self._histograms: Dict[str, Histogram] = {}
+
+    def _histogram(self, name: str) -> Histogram:
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self.registry.histogram(
+                span_metric_name(name), help=f"duration of {name!r} spans"
+            )
+            with self._lock:
+                self._histograms[name] = histogram
+        return histogram
+
+    @contextmanager
+    def trace(self, name: str, **tags: object) -> Iterator[None]:
+        """Time the enclosed block as one span (records even on error)."""
+        start = time.monotonic()
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            duration = time.perf_counter() - t0
+            span = Span(name=name, start_s=start, duration_s=duration,
+                        tags=tags)
+            with self._lock:
+                self._spans.append(span)
+            self._histogram(name).observe(duration)
+
+    def record(self, name: str, duration_s: float, **tags: object) -> None:
+        """Record an externally timed duration as a span."""
+        span = Span(name=name, start_s=time.monotonic(),
+                    duration_s=duration_s, tags=tags)
+        with self._lock:
+            self._spans.append(span)
+        self._histogram(name).observe(duration_s)
+
+    def recent(self, n: Optional[int] = None) -> List[Span]:
+        """The most recent spans, oldest first (all by default)."""
+        with self._lock:
+            spans = list(self._spans)
+        return spans if n is None else spans[-n:]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+
+
+#: Process-wide tracer over the process-wide registry.
+_DEFAULT_TRACER = Tracer()
+
+
+def default_tracer() -> Tracer:
+    return _DEFAULT_TRACER
+
+
+@contextmanager
+def trace(name: str, **tags: object) -> Iterator[None]:
+    """``with trace("engine.simulate"): ...`` on the default tracer."""
+    with _DEFAULT_TRACER.trace(name, **tags):
+        yield
+
+
+__all__ = [
+    "DEFAULT_KEEP_SPANS",
+    "Span",
+    "Tracer",
+    "default_tracer",
+    "span_metric_name",
+    "trace",
+]

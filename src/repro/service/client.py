@@ -232,6 +232,21 @@ class ServiceClient:
     def stats(self) -> Dict[str, object]:
         return self._request("GET", "/stats")
 
+    def metrics(self, prefix: Optional[str] = None) -> Dict[str, object]:
+        """``GET /metrics?format=json`` — the structured registry snapshot.
+
+        Returns ``{instrument name: snapshot}`` — counters and gauges as
+        ``{"type", "value"}``, histograms with cumulative ``buckets``
+        and derived ``p50``/``p90``/``p99``.  ``prefix`` filters by
+        instrument name server-side (``prefix="repro_queue"`` is how a
+        worker or the adaptive-sweep driver polls queue pressure
+        without pulling the whole registry or parsing exposition text).
+        """
+        params: Dict[str, object] = {"format": "json"}
+        if prefix:
+            params["prefix"] = prefix
+        return self._request("GET", f"/metrics?{urlencode(params)}")
+
     def post_scenario(self, spec: Mapping[str, object]) -> Dict[str, object]:
         """Raw ``POST /scenario`` (full spec or CLI-style shorthand);
         returns the ``{"fingerprint", "cached", "result"}`` envelope."""

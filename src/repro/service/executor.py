@@ -35,11 +35,17 @@ import multiprocessing
 import os
 import signal
 import threading
+import time
 from concurrent.futures import Future, ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from typing import TYPE_CHECKING, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
+from repro.obs.metrics import MetricsRegistry, default_registry
 from repro.service.queue import Lease, WorkQueue
+
+#: Bucket bounds of ``repro_executor_batch_size`` (cells per batch;
+#: powers of two up to the default ``batch_max`` scale).
+BATCH_SIZE_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.scenario import Scenario
@@ -73,10 +79,13 @@ class BatchingExecutor:
         poll_seconds: float = 0.25,
         batch_max: Optional[int] = None,
         faults: Optional[object] = None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         self.store = store
+        self.registry = registry if registry is not None else default_registry()
         self._owns_queue = queue is None
-        self.queue = WorkQueue(store) if queue is None else queue
+        self.queue = WorkQueue(store, registry=self.registry) \
+            if queue is None else queue
         #: Test-only :class:`repro.faults.FaultPlan`; a
         #: ``worker.compute``/``crash`` rule fails one batch wholesale,
         #: exercising the per-cell retry fallback (an in-process
@@ -103,6 +112,27 @@ class BatchingExecutor:
         #: Batches dispatched / scenarios computed through them.
         self.batches = 0
         self.batched_scenarios = 0
+        # Guards the two batch counters: /stats snapshots them as one
+        # consistent pair while the batch thread increments.
+        self._stats_lock = threading.Lock()
+        self._batch_size = self.registry.histogram(
+            "repro_executor_batch_size",
+            buckets=BATCH_SIZE_BUCKETS,
+            help="cells leased per local batch",
+        )
+        self._batch_seconds = self.registry.histogram(
+            "repro_executor_batch_seconds",
+            help="wall time of one local batch (lease to completion push)",
+        )
+        self.registry.bind(
+            "repro_executor_batches_total", lambda: self.batches,
+            kind="counter", help="local batches dispatched",
+        )
+        self.registry.bind(
+            "repro_executor_batched_scenarios_total",
+            lambda: self.batched_scenarios,
+            kind="counter", help="scenarios computed through local batches",
+        )
         self._poll_seconds = poll_seconds
         self._lock = threading.Lock()
         self._closed = False
@@ -144,6 +174,14 @@ class BatchingExecutor:
         """Number of in-flight cells in the queue."""
         return self.queue.in_flight()
 
+    def snapshot(self) -> Dict[str, int]:
+        """Mutually consistent batch counters (one lock acquisition)."""
+        with self._stats_lock:
+            return {
+                "batches": self.batches,
+                "batched_scenarios": self.batched_scenarios,
+            }
+
     # ------------------------------------------------------------------
     def _run(self) -> None:
         while True:
@@ -165,8 +203,11 @@ class BatchingExecutor:
         from repro.sim.session import run_sweep
 
         scenarios = [lease.scenario for lease in batch]
-        self.batches += 1
-        self.batched_scenarios += len(scenarios)
+        with self._stats_lock:
+            self.batches += 1
+            self.batched_scenarios += len(scenarios)
+        self._batch_size.observe(len(scenarios))
+        started = time.perf_counter()
         try:
             if self.faults is not None:
                 rule = self.faults.fire(
@@ -190,9 +231,13 @@ class BatchingExecutor:
                 self._pool.shutdown(wait=False)
                 self._pool = self._new_pool()
             self._retry_per_cell(batch)
-            return
-        for lease, result in zip(batch, results):
-            self.queue.complete_local(lease.fingerprint, lease.token, result)
+        else:
+            for lease, result in zip(batch, results):
+                self.queue.complete_local(
+                    lease.fingerprint, lease.token, result
+                )
+        finally:
+            self._batch_seconds.observe(time.perf_counter() - started)
 
     def _retry_per_cell(self, batch: List[Lease]) -> None:
         """Error fallback: one independent outcome per cell.

@@ -76,6 +76,7 @@ from typing import (
 )
 
 from repro.errors import ConfigurationError
+from repro.obs.metrics import MetricsRegistry, default_registry
 from repro.scenario import Scenario, scenario_fingerprint
 from repro.sim.session import RESULT_SCHEMA, ScenarioResult
 from repro.store.base import ResultStore
@@ -125,6 +126,8 @@ class _Cell:
     future: Future = field(default_factory=Future)
     attempts: int = 0               # lease grants so far (the budget)
     errors: List[str] = field(default_factory=list)  # per-attempt history
+    enqueued_at: float = 0.0        # clock() when it (re-)entered pending
+    leased_at: Optional[float] = None  # clock() of the live lease grant
 
 
 @dataclass
@@ -160,6 +163,7 @@ class WorkQueue:
         lease_seconds: float = 60.0,
         clock: Callable[[], float] = time.monotonic,
         max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if lease_seconds <= 0:
             raise ConfigurationError(
@@ -193,6 +197,57 @@ class WorkQueue:
         self.rejected = 0      # stale/unknown completions refused
         self.requeued = 0      # failed attempts sent back to pending
         self.dead = 0          # cells dead-lettered (budget spent)
+        # /metrics instruments.  The plain ints above stay the single
+        # source of truth (/stats reads them directly); the registry
+        # reads the very same attributes through callbacks at
+        # exposition time, so /stats and /metrics can never disagree.
+        self.registry = registry if registry is not None else default_registry()
+        self._wait_seconds = self.registry.histogram(
+            "repro_queue_wait_seconds",
+            help="time a cell spent pending before its lease was granted",
+        )
+        self.registry.bind(
+            "repro_queue_depth", lambda: self._depths()[0], kind="gauge",
+            help="cells pending (ready to lease)",
+        )
+        self.registry.bind(
+            "repro_queue_leased", lambda: self._depths()[1], kind="gauge",
+            help="cells leased or being written",
+        )
+        self.registry.bind(
+            "repro_queue_oldest_lease_age_seconds",
+            lambda: self._depths()[2], kind="gauge",
+            help="age of the oldest live lease (0 when none)",
+        )
+        for name, doc in (
+            ("enqueued", "cells that entered the queue"),
+            ("deduped", "submissions answered by store/in-flight dedup"),
+            ("completed", "cells finished successfully"),
+            ("failed", "cells finished with an error"),
+            ("reclaimed", "expired leases returned to pending"),
+            ("rejected", "stale/unknown completions refused"),
+            ("requeued", "failed attempts sent back to pending"),
+            ("dead", "cells dead-lettered (attempt budget spent)"),
+        ):
+            self.registry.bind(
+                f"repro_queue_{name}_total",
+                (lambda attr=name: getattr(self, attr)),
+                kind="counter",
+                help=doc,
+            )
+
+    def _depths(self) -> Tuple[int, int, float]:
+        """``(pending, leased, oldest lease age)`` in one acquisition."""
+        with self._lock:
+            now = self._clock()
+            leased = 0
+            oldest = 0.0
+            for cell in self._cells.values():
+                if cell.state in (_LEASED, _WRITING):
+                    leased += 1
+                    if cell.leased_at is not None:
+                        oldest = max(oldest, now - cell.leased_at)
+            return len(self._cells) - leased, leased, oldest
 
     # ------------------------------------------------------------------
     # Submission
@@ -275,7 +330,11 @@ class WorkQueue:
             return self._job_status_locked(job)
 
     def _enqueue_locked(self, fingerprint: str, scenario: Scenario) -> _Cell:
-        cell = _Cell(fingerprint=fingerprint, scenario=scenario)
+        cell = _Cell(
+            fingerprint=fingerprint,
+            scenario=scenario,
+            enqueued_at=self._clock(),
+        )
         self._cells[fingerprint] = cell
         self._ready_fps.append(fingerprint)
         self.enqueued += 1
@@ -322,6 +381,8 @@ class WorkQueue:
                 cell.token = f"lease-{next(self._lease_ids):08d}"
                 cell.expiry = None if math.isinf(seconds) else now + seconds
                 cell.attempts += 1
+                cell.leased_at = now
+                self._wait_seconds.observe(max(0.0, now - cell.enqueued_at))
                 leases.append(Lease(
                     fingerprint=fingerprint,
                     scenario=cell.scenario,
@@ -420,6 +481,8 @@ class WorkQueue:
                 cell.state = _PENDING
                 cell.token = None   # the old lease is now stale
                 cell.expiry = None
+                cell.leased_at = None
+                cell.enqueued_at = now
                 self._ready_fps.append(cell.fingerprint)
                 self._ready.notify_all()
         return dead
@@ -500,6 +563,8 @@ class WorkQueue:
                 cell.state = _PENDING
                 cell.token = None
                 cell.expiry = None
+                cell.leased_at = None
+                cell.enqueued_at = self._clock()
                 self._ready_fps.append(cell.fingerprint)
                 self.requeued += 1
                 self._ready.notify_all()
@@ -594,6 +659,8 @@ class WorkQueue:
                     cell.state = _PENDING
                     cell.token = None
                     cell.expiry = None
+                    cell.leased_at = None
+                    cell.enqueued_at = self._clock()
                     self._ready_fps.append(fingerprint)
                     self.requeued += 1
                     self._ready.notify_all()

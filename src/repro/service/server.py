@@ -28,6 +28,11 @@ the distributed work queue that fans cold sweeps out across machines:
 * ``GET /healthz`` — liveness + record count.
 * ``GET /stats`` — service hit/miss counters, executor batching
   counters, queue counters, store accounting.
+* ``GET /metrics`` — the full observability registry: Prometheus text
+  exposition by default, ``?format=json`` for structured snapshots,
+  ``?prefix=repro_queue`` to filter.  The counters ``/stats`` reports
+  are exposed here through callback instruments reading the *same*
+  variables, so the two endpoints can never disagree.
 
 Everything is stdlib (``http.server`` + ``json``); responses are JSON
 with correct ``Content-Length``, so HTTP/1.1 keep-alive works and a
@@ -40,11 +45,15 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Tuple, Union
 from urllib.parse import parse_qsl, urlsplit
 
 from repro.errors import ConfigurationError, ReproError
+from repro.obs.logs import StructuredLogger
+from repro.obs.metrics import MetricsRegistry, default_registry
+from repro.obs.tracing import span_metric_name
 from repro.scenario import Scenario, scenario_fingerprint
 from repro.service.executor import BatchingExecutor
 from repro.service.queue import WorkQueue
@@ -94,24 +103,34 @@ class ScenarioServer:
         lease_seconds: float = 60.0,
         max_attempts: int = 5,
         faults: Optional[object] = None,
+        registry: Optional[MetricsRegistry] = None,
+        access_log: bool = False,
+        log_json: bool = False,
     ) -> None:
         self._owns_store = not isinstance(store, ResultStore)
         self.store = open_store(store)
         self.request_timeout = request_timeout
+        self.registry = registry if registry is not None else default_registry()
         self.queue = WorkQueue(
             self.store, lease_seconds=lease_seconds,
-            max_attempts=max_attempts,
+            max_attempts=max_attempts, registry=self.registry,
         )
         self.executor: Optional[BatchingExecutor] = None
         if local_compute:
             self.executor = BatchingExecutor(
-                self.store, jobs=jobs, queue=self.queue, faults=faults
+                self.store, jobs=jobs, queue=self.queue, faults=faults,
+                registry=self.registry,
             )
         self.jobs = self.executor.jobs if self.executor else 0
         self.requests = 0
         self.hits = 0
         self.misses = 0
         self._stats_lock = threading.Lock()
+        #: Opt-in structured request log (``repro serve --access-log``).
+        self.access_logger = StructuredLogger(
+            "service.access", json_lines=log_json, enabled=access_log,
+        )
+        self._wire_metrics()
         try:
             self._httpd = _ServiceHTTPServer((host, port), _ServiceHandler)
         except OSError:
@@ -191,6 +210,114 @@ class ScenarioServer:
 
     def __exit__(self, *exc_info: object) -> None:
         self.close()
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def _wire_metrics(self) -> None:
+        """Attach every serving instrument to the registry.
+
+        The per-instance ints (``requests``/``hits``/``misses``, the
+        queue and store counters) remain the single source of truth —
+        ``/stats`` reads them directly and ``/metrics`` reads the same
+        attributes through callbacks at exposition time, so the two
+        endpoints can never disagree.  Native instruments (latency
+        histograms, the in-flight gauge) accumulate process-wide.
+        """
+        registry = self.registry
+        self._request_seconds = registry.histogram(
+            "repro_service_request_seconds",
+            help="HTTP request latency (all routes)",
+        )
+        self._inflight = registry.gauge(
+            "repro_service_inflight_requests",
+            help="HTTP requests currently being handled",
+        )
+        registry.bind(
+            "repro_service_requests_total", lambda: self.requests,
+            kind="counter", help="HTTP requests received",
+        )
+        registry.bind(
+            "repro_service_hits_total", lambda: self.hits,
+            kind="counter", help="POST /scenario answered from the store",
+        )
+        registry.bind(
+            "repro_service_misses_total", lambda: self.misses,
+            kind="counter", help="POST /scenario that had to compute",
+        )
+        # The serving store's accounting (rebinds whatever an earlier
+        # store instance registered — the served store wins).
+        registry.bind(
+            "repro_store_hits_total", lambda: self.store.hits,
+            kind="counter", help="store lookups served from the archive",
+        )
+        registry.bind(
+            "repro_store_misses_total", lambda: self.store.misses,
+            kind="counter",
+            help="store lookups that found nothing servable",
+        )
+        registry.bind(
+            "repro_store_records", lambda: len(self.store), kind="gauge",
+            help="records in the serving result store",
+        )
+        # Pre-register the worker and engine-phase families so a scrape
+        # sees the full instrument set (zero-count histograms) even
+        # before the first batch computes.  With the default registry
+        # these are the very objects the worker loop and the engine
+        # tracer record into.
+        for name, doc in (
+            ("repro_worker_compute_seconds",
+             "wall time of one leased batch's computation"),
+            ("repro_worker_push_seconds",
+             "wall time pushing one batch's completions home"),
+            (span_metric_name("engine.trace_gen"),
+             "duration of 'engine.trace_gen' spans"),
+            (span_metric_name("engine.simulate"),
+             "duration of 'engine.simulate' spans"),
+            (span_metric_name("engine.persist"),
+             "duration of 'engine.persist' spans"),
+        ):
+            registry.histogram(name, help=doc)
+
+    def begin_request(self) -> None:
+        self.count_request()
+        self._inflight.inc()
+
+    def finish_request(
+        self, method: str, path: str, status: int, duration_s: float
+    ) -> None:
+        self._inflight.dec()
+        self._request_seconds.observe(duration_s)
+        self.access_logger.log(
+            "request",
+            method=method,
+            path=path,
+            status=status,
+            duration_ms=round(duration_s * 1000.0, 3),
+            worker=threading.current_thread().name,
+        )
+
+    def handle_metrics(self, query: str) -> Tuple[str, str]:
+        """``GET /metrics`` — ``(content type, body)`` of the registry.
+
+        Prometheus text exposition by default; ``?format=json`` returns
+        the structured snapshot (what :meth:`ServiceClient.metrics`
+        parses); ``?prefix=`` filters either form by instrument name.
+        """
+        params = dict(parse_qsl(query))
+        prefix = params.get("prefix") or None
+        fmt = params.get("format", "text")
+        if fmt == "json":
+            body = json.dumps(self.registry.snapshot(prefix=prefix))
+            return "application/json", body
+        if fmt != "text":
+            raise ConfigurationError(
+                f"unknown metrics format {fmt!r} (use 'text' or 'json')"
+            )
+        return (
+            "text/plain; version=0.0.4; charset=utf-8",
+            self.registry.render_prometheus(prefix=prefix),
+        )
 
     # ------------------------------------------------------------------
     # Request logic (handlers call these; HTTP plumbing stays below)
@@ -354,23 +481,31 @@ class ScenarioServer:
         return {"fingerprint": fingerprint, "result": payload}
 
     def handle_stats(self) -> Dict[str, object]:
+        # One lock acquisition per component: each counter family is
+        # snapshotted atomically (service under _stats_lock, executor
+        # under its stats lock, the queue under its own lock, the store
+        # under its counters lock), so the numbers within a family are
+        # always mutually consistent — no interleaved reads mid-batch.
         with self._stats_lock:
             requests, hits, misses = self.requests, self.hits, self.misses
         executor = self.executor
+        batching = executor.snapshot() if executor \
+            else {"batches": 0, "batched_scenarios": 0}
+        queue_stats = self.queue.stats()
+        store_counters = self.store.counters()
         return {
             "requests": requests,
             "hits": hits,
             "misses": misses,
-            "pending": self.queue.in_flight(),
-            "batches": executor.batches if executor else 0,
-            "batched_scenarios": executor.batched_scenarios if executor else 0,
+            "pending": queue_stats["pending"] + queue_stats["leased"],
+            "batches": batching["batches"],
+            "batched_scenarios": batching["batched_scenarios"],
             "jobs": self.jobs or (1 if executor else 0),
             "local_compute": executor is not None,
-            "queue": self.queue.stats(),
+            "queue": queue_stats,
             "store": {
                 "records": len(self.store),
-                "hits": self.store.hits,
-                "misses": self.store.misses,
+                **store_counters,
                 "path": getattr(self.store, "path", None)
                 and str(self.store.path),
             },
@@ -395,13 +530,25 @@ class _ServiceHandler(BaseHTTPRequestHandler):
     protocol_version = "HTTP/1.1"  # keep-alive (every reply sets Content-Length)
 
     def log_message(self, format: str, *args: object) -> None:
-        pass  # no per-request stderr chatter; GET /stats has the counters
+        # BaseHTTPRequestHandler's stderr chatter stays off; the opt-in
+        # structured access log (``repro serve --access-log``) is
+        # emitted by ScenarioServer.finish_request instead.
+        pass
+
+    def send_response(self, code: int, message: Optional[str] = None) -> None:
+        self._status = code  # captured for the access log / histogram
+        super().send_response(code, message)
 
     # ------------------------------------------------------------------
     def _send_json(self, status: int, payload: Dict[str, object]) -> None:
         body = json.dumps(payload).encode("utf-8")
+        self._send_body(status, "application/json", body)
+
+    def _send_body(
+        self, status: int, content_type: str, body: bytes
+    ) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
@@ -414,14 +561,48 @@ class _ServiceHandler(BaseHTTPRequestHandler):
 
     # ------------------------------------------------------------------
     def do_GET(self) -> None:
+        self._observed(self._route_get)
+
+    def do_POST(self) -> None:
+        self._observed(self._route_post)
+
+    def _observed(self, route) -> None:
+        """Run one routed request under the serving instruments.
+
+        Counts it, tracks it in the in-flight gauge, observes its
+        latency, and (when enabled) emits one structured access-log
+        line with the captured response status.
+        """
         service = self.server.service
-        service.count_request()
+        service.begin_request()
+        self._status = 0  # stays 0 if the connection dies pre-response
+        started = time.perf_counter()
+        try:
+            route(service)
+        finally:
+            service.finish_request(
+                self.command,
+                self.path,
+                self._status,
+                time.perf_counter() - started,
+            )
+
+    def _route_get(self, service: ScenarioServer) -> None:
         url = urlsplit(self.path)
         try:
             if url.path == "/healthz":
                 self._send_json(200, service.handle_healthz())
             elif url.path == "/stats":
                 self._send_json(200, service.handle_stats())
+            elif url.path == "/metrics":
+                try:
+                    content_type, text = service.handle_metrics(url.query)
+                except ConfigurationError as exc:
+                    self._send_error(400, str(exc))
+                else:
+                    self._send_body(
+                        200, content_type, text.encode("utf-8")
+                    )
             elif url.path == "/queue/lease":
                 try:
                     self._send_json(200, service.handle_lease(url.query))
@@ -453,9 +634,7 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         except Exception as exc:  # pragma: no cover - defensive 500
             self._send_error(500, f"{type(exc).__name__}: {exc}")
 
-    def do_POST(self) -> None:
-        service = self.server.service
-        service.count_request()
+    def _route_post(self, service: ScenarioServer) -> None:
         url = urlsplit(self.path)
         try:
             # Always drain the body first: on keep-alive connections an

@@ -33,6 +33,7 @@ import time
 from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.errors import ServiceError
+from repro.obs.metrics import default_registry
 from repro.scenario import Scenario
 from repro.service.client import ServiceClient
 
@@ -89,6 +90,27 @@ class SweepWorker:
         self.completed = 0
         self.failed = 0
         self.rejected = 0
+        registry = default_registry()
+        self._compute_seconds = registry.histogram(
+            "repro_worker_compute_seconds",
+            help="wall time of one leased batch's computation",
+        )
+        self._push_seconds = registry.histogram(
+            "repro_worker_push_seconds",
+            help="wall time pushing one batch's completions home",
+        )
+        for counter, doc in (
+            ("leased", "cells leased by this process's workers"),
+            ("completed", "cells this process's workers landed"),
+            ("failed", "cells whose computation errored here"),
+            ("rejected", "completions the server refused (stale/invalid)"),
+        ):
+            registry.bind(
+                f"repro_worker_{counter}_total",
+                (lambda attr=counter: getattr(self, attr)),
+                kind="counter",
+                help=doc,
+            )
 
     # ------------------------------------------------------------------
     def step(self) -> int:
@@ -108,14 +130,18 @@ class SweepWorker:
         self._maybe_crash("leased", leases)
         heartbeat_stop = threading.Event()
         heartbeat = self._start_heartbeat(leases, heartbeat_stop)
+        started = time.perf_counter()
         try:
             completions = self._compute(leases)
         finally:
+            self._compute_seconds.observe(time.perf_counter() - started)
             heartbeat_stop.set()
             if heartbeat is not None:
                 heartbeat.join(timeout=10.0)
         self._maybe_crash("computed", leases)
+        started = time.perf_counter()
         ack = self.client.complete(completions)
+        self._push_seconds.observe(time.perf_counter() - started)
         for status in ack["statuses"]:
             if status in ("done", "already-done"):
                 self.completed += 1  # landed (here or via a retry race)

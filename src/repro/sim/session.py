@@ -32,6 +32,7 @@ from dataclasses import asdict, dataclass
 from typing import TYPE_CHECKING, Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
 from repro.errors import ConfigurationError
+from repro.obs.tracing import trace
 from repro.sim.stats import SimReport
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guards (scenario
@@ -140,20 +141,23 @@ def run_scenario(
 
     cluster = scenario.build_cluster()
     if traces is None:
-        traces = scenario.build_traces()
-    report = cluster.run(
-        traces,
-        workload_name=scenario.workload,
-        max_cycles=scenario.max_cycles,
-        engine_mode=scenario.engine_mode,
-    )
-    energy = EnergyModel(
-        dram=scenario.resolved_dram(),
-        frequency_hz=scenario.config.frequency_hz,
-    ).breakdown(report, cluster.interconnect.leakage_w())
+        with trace("engine.trace_gen", workload=scenario.workload):
+            traces = scenario.build_traces()
+    with trace("engine.simulate", workload=scenario.workload):
+        report = cluster.run(
+            traces,
+            workload_name=scenario.workload,
+            max_cycles=scenario.max_cycles,
+            engine_mode=scenario.engine_mode,
+        )
+        energy = EnergyModel(
+            dram=scenario.resolved_dram(),
+            frequency_hz=scenario.config.frequency_hz,
+        ).breakdown(report, cluster.interconnect.leakage_w())
     result = ScenarioResult(scenario=scenario, report=report, energy=energy)
     if store is not None:
-        store.save(result)
+        with trace("engine.persist", workload=scenario.workload):
+            store.save(result)
     return result
 
 
@@ -203,6 +207,16 @@ class SweepTraceCache:
         return {core: iter(items) for core, items in blocks.items()}
 
 
+def _cached_traces(cache: SweepTraceCache, scenario: "Scenario") -> Dict[int, object]:
+    """Cache lookup timed as the sweep's trace-generation phase.
+
+    Hits replay in microseconds, misses pay full generation — the
+    ``repro_engine_trace_gen_seconds`` histogram shows both modes.
+    """
+    with trace("engine.trace_gen", workload=scenario.workload):
+        return cache.traces(scenario)
+
+
 def run_sweep(
     sweep: Union["SweepGrid", Iterable["Scenario"]],
     jobs: Optional[int] = None,
@@ -248,7 +262,10 @@ def run_sweep(
     if store is None:
         if serial:
             cache = SweepTraceCache()
-            return [run_scenario(s, traces=cache.traces(s)) for s in scenarios]
+            return [
+                run_scenario(s, traces=_cached_traces(cache, s))
+                for s in scenarios
+            ]
         return _in_workers(scenarios)
 
     # Fingerprint each cell once, driving both the store lookup and
@@ -270,11 +287,15 @@ def run_sweep(
     if misses:
         if serial:
             cache = SweepTraceCache()
-            computed = [run_scenario(s, traces=cache.traces(s)) for s in misses]
+            computed = [
+                run_scenario(s, traces=_cached_traces(cache, s))
+                for s in misses
+            ]
         else:
             computed = _in_workers(misses)
         for indices, result in zip(miss_groups.values(), computed):
-            store.save(result)
+            with trace("engine.persist", workload=result.scenario.workload):
+                store.save(result)
             for index in indices:
                 results[index] = result
     return results

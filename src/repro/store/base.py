@@ -29,10 +29,12 @@ Safety properties shared by all backends:
 from __future__ import annotations
 
 import threading
+import time
 from abc import ABC, abstractmethod
 from typing import Collection, Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import ConfigurationError
+from repro.obs.metrics import default_registry
 from repro.scenario import Scenario, scenario_fingerprint
 from repro.sim.session import RESULT_SCHEMA, ScenarioResult
 
@@ -75,6 +77,30 @@ class ResultStore(ABC):
         # The service reads through one store from many handler
         # threads; += on a plain int would lose counts under races.
         self._counters_lock = threading.Lock()
+        # Process-wide latency instruments; the per-instance ints above
+        # stay the source of truth for hit/miss (exposed to /metrics as
+        # callbacks by whoever owns the serving store).
+        registry = default_registry()
+        self._get_seconds = registry.histogram(
+            "repro_store_get_seconds", help="result store get() latency"
+        )
+        self._put_seconds = registry.histogram(
+            "repro_store_put_seconds", help="result store put() latency"
+        )
+        registry.bind(
+            "repro_store_hits_total", lambda: self.hits, kind="counter",
+            help="store lookups served from the archive",
+        )
+        registry.bind(
+            "repro_store_misses_total", lambda: self.misses, kind="counter",
+            help="store lookups that found nothing servable",
+        )
+
+    def counters(self) -> Dict[str, int]:
+        """Mutually consistent ``{"hits", "misses"}`` snapshot
+        (one lock acquisition)."""
+        with self._counters_lock:
+            return {"hits": self.hits, "misses": self.misses}
 
     # ------------------------------------------------------------------
     # Backend primitives
@@ -125,7 +151,9 @@ class ResultStore(ABC):
         after an engine change bumps the tag, stale results are
         recomputed, never served.
         """
+        started = time.perf_counter()
         payload = self._get(fingerprint)
+        self._get_seconds.observe(time.perf_counter() - started)
         if payload is not None and payload.get("schema") != RESULT_SCHEMA:
             payload = None
         with self._counters_lock:
@@ -153,7 +181,9 @@ class ResultStore(ABC):
                 raise ConfigurationError(
                     f"payload carries no rebuildable scenario: {exc}"
                 ) from exc
+        started = time.perf_counter()
         self._put(fingerprint, payload, record_columns(scenario))
+        self._put_seconds.observe(time.perf_counter() - started)
 
     def delete(self, fingerprint: str) -> bool:
         """Remove one record; ``True`` if it existed."""

@@ -26,6 +26,7 @@ import time
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple, TypeVar, Union
 
+from repro.obs.metrics import default_registry
 from repro.scenario import canonical_json
 from repro.store.base import RECORD_COLUMNS, ResultStore
 
@@ -86,6 +87,12 @@ class SqliteStore(ResultStore):
         self.faults = faults
         #: Transient-lock retries actually taken (observable in tests).
         self.write_retries = 0
+        default_registry().bind(
+            "repro_store_write_retries_total",
+            lambda: self.write_retries,
+            kind="counter",
+            help="transient sqlite lock retries taken on the writer path",
+        )
         Path(self.path).parent.mkdir(parents=True, exist_ok=True)
         self._local = threading.local()
         self._readers: List[Tuple[threading.Thread, sqlite3.Connection]] = []

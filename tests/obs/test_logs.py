@@ -1,0 +1,83 @@
+"""Structured-logging tests: formats, opt-in default, broken streams."""
+
+import io
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.obs.logs import StructuredLogger, configure, get_logger
+
+
+class TestStructuredLogger:
+    def test_json_lines_format(self):
+        stream = io.StringIO()
+        log = StructuredLogger("svc", stream=stream, json_lines=True)
+        log.log("request", path="/stats", status=200)
+        record = json.loads(stream.getvalue())
+        assert record["component"] == "svc"
+        assert record["event"] == "request"
+        assert record["path"] == "/stats"
+        assert record["status"] == 200
+        assert "ts" in record
+
+    def test_key_value_format(self):
+        stream = io.StringIO()
+        log = StructuredLogger("svc", stream=stream, json_lines=False)
+        log.log("request", path="/stats", status=200)
+        line = stream.getvalue().strip()
+        assert line.endswith("svc request path=/stats status=200")
+
+    def test_disabled_logger_writes_nothing(self):
+        stream = io.StringIO()
+        log = StructuredLogger("svc", stream=stream, enabled=False)
+        log.log("request", path="/stats")
+        assert stream.getvalue() == ""
+
+    def test_unserializable_field_falls_back_to_str(self):
+        stream = io.StringIO()
+        StructuredLogger("svc", stream=stream).log("e", obj=object())
+        assert "object object at" in json.loads(stream.getvalue())["obj"]
+
+    def test_broken_stream_disables_instead_of_raising(self):
+        class Broken(io.StringIO):
+            def write(self, _s):
+                raise OSError("pipe closed")
+
+        log = StructuredLogger("svc", stream=Broken())
+        log.log("request")  # must not raise
+        assert log.enabled is False
+        log.log("request")  # and stays silent afterwards
+
+    def test_concurrent_writes_never_interleave(self):
+        stream = io.StringIO()
+        log = StructuredLogger("svc", stream=stream)
+        barrier = threading.Barrier(8)
+
+        def spin(i):
+            barrier.wait()
+            for j in range(50):
+                log.log("tick", thread=i, j=j)
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(spin, range(8)))
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 8 * 50
+        for line in lines:  # every line parses: no torn writes
+            assert json.loads(line)["event"] == "tick"
+
+
+class TestProcessLoggers:
+    def test_disabled_by_default_then_configured(self):
+        log = get_logger("test_obs.component")
+        assert log is get_logger("test_obs.component")
+        stream = io.StringIO()
+        log.log("ignored")
+        try:
+            configure(stream=stream, json_lines=True, enabled=True)
+            log.log("seen", n=1)
+        finally:
+            configure(enabled=False)
+        lines = stream.getvalue().splitlines()
+        assert [json.loads(line)["event"] for line in lines] == ["seen"]
+        log.log("ignored-again")
+        assert len(stream.getvalue().splitlines()) == 1

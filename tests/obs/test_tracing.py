@@ -1,0 +1,137 @@
+"""Tracing tests: spans, the ring buffer, and the replay invariant.
+
+The load-bearing assertion is the last class: a sweep runs
+bit-identically with tracing layered on every phase or none — the
+observability layer must never perturb simulation state or RNG streams
+(ROADMAP invariant 4 survives instrumentation).
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import (
+    DEFAULT_KEEP_SPANS,
+    Span,
+    Tracer,
+    default_tracer,
+    span_metric_name,
+    trace,
+)
+
+
+class TestSpanMetricName:
+    def test_dots_become_underscores(self):
+        assert span_metric_name("engine.simulate") == (
+            "repro_engine_simulate_seconds"
+        )
+
+    def test_arbitrary_punctuation_sanitized(self):
+        assert span_metric_name("a.b-c d/e") == "repro_a_b_c_d_e_seconds"
+
+
+class TestTracer:
+    def test_trace_records_span_and_histogram(self):
+        registry = MetricsRegistry()
+        tracer = Tracer(registry=registry)
+        with tracer.trace("phase.one", workload="fft"):
+            pass
+        (span,) = tracer.recent()
+        assert span.name == "phase.one"
+        assert span.tags == {"workload": "fft"}
+        assert span.duration_s >= 0.0
+        hist = registry.get("repro_phase_one_seconds")
+        assert hist is not None and hist.count == 1
+
+    def test_span_recorded_even_when_block_raises(self):
+        tracer = Tracer(registry=MetricsRegistry())
+        with pytest.raises(ValueError):
+            with tracer.trace("boom"):
+                raise ValueError("inside the span")
+        assert [span.name for span in tracer.recent()] == ["boom"]
+
+    def test_record_external_duration(self):
+        registry = MetricsRegistry()
+        tracer = Tracer(registry=registry)
+        tracer.record("push", 0.25, batch=4)
+        (span,) = tracer.recent()
+        assert span.duration_s == 0.25
+        assert registry.get("repro_push_seconds").sum == pytest.approx(0.25)
+
+    def test_ring_buffer_keeps_newest(self):
+        tracer = Tracer(registry=MetricsRegistry(), keep=3)
+        for i in range(10):
+            tracer.record("s", 0.0, i=i)
+        spans = tracer.recent()
+        assert [span.tags["i"] for span in spans] == [7, 8, 9]
+        assert [span.tags["i"] for span in tracer.recent(2)] == [8, 9]
+        tracer.clear()
+        assert tracer.recent() == []
+        # But the histogram keeps the full count: the ring buffer is a
+        # flight recorder, not the source of the metrics.
+        assert tracer.registry.get("repro_s_seconds").count == 10
+
+    def test_default_keep_bound(self):
+        tracer = Tracer(registry=MetricsRegistry())
+        for _ in range(DEFAULT_KEEP_SPANS + 10):
+            tracer.record("s", 0.0)
+        assert len(tracer.recent()) == DEFAULT_KEEP_SPANS
+
+    def test_module_level_trace_uses_default_tracer(self):
+        before = len(default_tracer().recent())
+        with trace("test_obs.module_span"):
+            pass
+        spans = default_tracer().recent()
+        assert len(spans) >= min(before + 1, DEFAULT_KEEP_SPANS)
+        assert spans[-1].name == "test_obs.module_span"
+
+    def test_span_is_frozen(self):
+        span = Span(name="s", start_s=0.0, duration_s=0.0)
+        with pytest.raises(AttributeError):
+            span.name = "other"
+
+
+class TestReplayInvariant:
+    def test_sweep_bit_identical_with_and_without_extra_tracing(self):
+        """Tracing on every phase never changes a result byte.
+
+        The engine phases already trace unconditionally; this wraps the
+        whole sweep in additional spans, interleaves foreign spans
+        between cells, and compares the serialized results against an
+        unwrapped run of the same grid.
+        """
+        from repro.scenario import Scenario
+        from repro.sim.session import run_sweep
+
+        cells = [
+            Scenario(workload="fft", scale=0.02),
+            Scenario(workload="radix", scale=0.02, power_state="PC4-MB8"),
+        ]
+        baseline = [result.to_dict() for result in run_sweep(cells)]
+
+        tracer = Tracer(registry=MetricsRegistry())
+        traced = []
+        with tracer.trace("test.sweep", cells=len(cells)):
+            for cell in cells:
+                with tracer.trace("test.cell", workload=cell.workload):
+                    traced.append(run_sweep([cell])[0].to_dict())
+                tracer.record("test.between", 0.001)
+
+        assert traced == baseline
+
+    def test_engine_phases_feed_default_registry(self):
+        from repro.obs.metrics import default_registry
+        from repro.scenario import Scenario
+        from repro.sim.session import run_sweep
+
+        simulate = default_registry().histogram(
+            span_metric_name("engine.simulate")
+        )
+        trace_gen = default_registry().histogram(
+            span_metric_name("engine.trace_gen")
+        )
+        before = (simulate.count, trace_gen.count)
+        run_sweep([Scenario(workload="fft", scale=0.02)])
+        assert simulate.count > before[0]
+        assert trace_gen.count > before[1]
+        assert simulate.sum > 0.0
