@@ -207,6 +207,25 @@ def build_parser() -> argparse.ArgumentParser:
                    help="worker processes for cold scenarios (default: "
                         "compute serially in the batch thread; -1 = one "
                         "per CPU)")
+    p.add_argument("--shards", type=int, default=None,
+                   help="open/create --store as a sharded directory of "
+                        "N sqlite backends routed by fingerprint "
+                        "(required on first open of a sharded store; "
+                        "pinned in its shards.json afterwards)")
+    p.add_argument("--procs", type=int, default=1,
+                   help="pre-fork K serving processes sharing the port "
+                        "via SO_REUSEPORT; each owns the write path of "
+                        "its shard subset (default: 1)")
+    p.add_argument("--max-records", type=int, default=None,
+                   help="evict least-recently-accessed records beyond "
+                        "this count (LRU; default: unbounded)")
+    p.add_argument("--max-mb", type=float, default=None,
+                   help="evict least-recently-accessed records beyond "
+                        "this many MB of live payload (default: "
+                        "unbounded)")
+    p.add_argument("--ttl-s", type=float, default=None,
+                   help="evict records not accessed for this many "
+                        "seconds (default: never)")
     p.add_argument("--no-local", action="store_true",
                    help="run as a pure coordinator: no local compute, "
                         "every cold cell waits for a remote "
@@ -460,8 +479,45 @@ def _on_terminate(handler) -> None:
         pass  # not the main thread / no signals here
 
 
+def _serve_policy(args: argparse.Namespace):
+    """The :class:`EvictionPolicy` of ``repro serve``'s cap flags."""
+    if args.max_records is None and args.max_mb is None \
+            and args.ttl_s is None:
+        return None
+    from repro.store import EvictionPolicy
+
+    return EvictionPolicy(max_records=args.max_records,
+                          max_mb=args.max_mb, ttl_s=args.ttl_s)
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
+    policy = _serve_policy(args)
+    caps = f", {policy.describe()}" if policy is not None else ""
+    if args.procs > 1:
+        from repro.service.prefork import PreforkServer
+
+        if args.no_local:
+            print("error: --procs requires local compute (drop --no-local)",
+                  file=sys.stderr)
+            return 2
+        with PreforkServer(args.store, procs=args.procs,
+                           shards=args.shards, policy=policy,
+                           host=args.host, port=args.port or 0,
+                           jobs=args.jobs if args.jobs is not None else 2,
+                           lease_seconds=args.lease_seconds) as group:
+            print(f"serving {args.store} on {group.url} "
+                  f"(procs={group.procs}{caps}); "
+                  f"Ctrl-C or SIGTERM to drain and stop", flush=True)
+            group.serve_forever()
+        print("shutdown complete")
+        return 0
+
     from repro.service import ScenarioServer
+
+    # Favor handler threads over a compute-bound batch thread: the
+    # interpreter's default 5 ms switch interval lets one cold batch
+    # convoy every warm hit on the GIL.  Serving-process only.
+    sys.setswitchinterval(0.001)
 
     def terminate(signum, frame):
         # serve_forever blocks the main thread; raising here unwinds
@@ -476,11 +532,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                         lease_seconds=args.lease_seconds,
                         max_attempts=args.max_attempts,
                         access_log=args.access_log,
-                        log_json=args.log_json) as server:
+                        log_json=args.log_json,
+                        shards=args.shards,
+                        policy=policy) as server:
         compute = "remote workers only" if args.no_local \
             else f"jobs={server.jobs or 1}"
         print(f"serving {args.store} on {server.url} "
-              f"({compute}); Ctrl-C or SIGTERM to drain and stop",
+              f"({compute}{caps}); Ctrl-C or SIGTERM to drain and stop",
               flush=True)
         try:
             server.serve_forever()
@@ -546,8 +604,20 @@ def _render_server_stats(stats: dict, metrics: dict) -> str:
         f"completed {queue['completed']}  requeued {queue['requeued']}  "
         f"dead {queue['dead']}",
         f"store    records {store['records']}  hits {store['hits']}  "
-        f"misses {store['misses']}",
+        f"misses {store['misses']}"
+        + (f"  evictions {store['evictions']}"
+           if store.get("evictions") else "")
+        + (f"  bytes {store['bytes']}" if store.get("bytes") else "")
+        + (f"  [{store['policy']}]" if store.get("policy") else ""),
     ]
+    for row in store.get("shards") or []:
+        served = row["hits"] + row["misses"]
+        ratio = row["hits"] / served if served else 0.0
+        lines.append(
+            f"  shard {row['shard']:>3}  records {row['records']:>7}  "
+            f"bytes {row['bytes'] if row['bytes'] is not None else '-':>10}  "
+            f"evictions {row['evictions']:>6}  hit ratio {ratio:.1%}"
+        )
     latency = metrics.get("repro_service_request_seconds")
     if latency and latency.get("count"):
         lines.append(

@@ -179,10 +179,18 @@ def run_paper(
 
     With ``pin`` (the default) the resolved fingerprints are written
     back into the manifest file, provided it has a path.
+
+    The resolved cells are also pinned *in the store* (evict-exempt):
+    if ``store`` carries an :class:`~repro.store.evict.EvictionPolicy`,
+    open-ended serving traffic must not churn the paper's own data
+    between this run and the ``repro paper build`` that reads it.
     """
     from repro.sim.session import run_sweep
 
     resolved = manifest.resolve(scale=scale, seed=seed)
+    for artifact in resolved:
+        for fingerprint in artifact.fingerprints:
+            store.pin(fingerprint)
     # The missing set is always probed against the *local* store — it
     # is what `repro paper build` will read.  A remote client is only
     # the compute engine: the server dedups submitted cells against

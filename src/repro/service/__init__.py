@@ -17,6 +17,11 @@ Two kinds of consumer drain the queue:
   pull serialized scenarios over ``GET /queue/lease`` and push
   ``(fingerprint, payload)`` pairs home over ``POST /queue/complete``.
 
+For multi-core serving, :class:`~repro.service.prefork.PreforkServer`
+(``repro serve --procs K``) runs K ScenarioServer processes behind one
+``SO_REUSEPORT`` port, each owning the write path of its shard subset
+of a :class:`~repro.store.sharded.ShardedStore`.
+
 :class:`~repro.service.client.ServiceClient` is the matching urllib
 client: ``client.run(scenario)`` / ``client.run_sweep(grid)`` mirror
 the local executor API remotely, and ``client.submit_sweep(grid)`` /
@@ -27,6 +32,7 @@ from __future__ import annotations
 
 from repro.service.client import RetryPolicy, ServiceClient
 from repro.service.executor import BatchingExecutor
+from repro.service.prefork import PreforkServer
 from repro.service.queue import Lease, WorkQueue
 from repro.service.server import ScenarioServer
 from repro.service.spec import scenario_from_request, validate_scenario
@@ -35,6 +41,7 @@ from repro.service.worker import SweepWorker
 __all__ = [
     "BatchingExecutor",
     "Lease",
+    "PreforkServer",
     "RetryPolicy",
     "ScenarioServer",
     "ServiceClient",

@@ -1,4 +1,4 @@
-"""urllib client for the scenario service: point sweeps at a server.
+"""Keep-alive HTTP client for the scenario service.
 
 :class:`ServiceClient` speaks the service's JSON protocol and hands
 back the same objects the local API does —
@@ -21,6 +21,16 @@ when done::
     client.wait(job["job"])                          # poll to completion
     results = client.sweep_results(job["fingerprints"])
 
+Transport: each client thread keeps one persistent HTTP/1.1
+connection to the server (``http.client``, ``Connection: keep-alive``)
+and reuses it across requests — connection setup is the dominant cost
+of a warm hit, so reuse is what makes thousands of requests per second
+per client possible.  A connection the server has since closed is
+discarded and the failure surfaces as a retryable
+:class:`~repro.errors.ServiceError`; nothing is ever silently re-sent
+on a fresh socket, so the retry semantics below see every failure.
+``connections_opened`` counts real socket opens (tests assert reuse).
+
 Transient failures are retried: every request runs under a
 :class:`RetryPolicy` (jittered exponential backoff), so a dropped
 response, a connection reset or a 5xx from a restarting server costs a
@@ -31,18 +41,18 @@ landed before re-sending the rest (see its docstring).  When the
 budget is spent the last error surfaces as a terminal
 :class:`~repro.errors.ServiceError` naming the attempt count.
 
-Stdlib only (``urllib``); errors surface as
+Stdlib only (``http.client``); errors surface as
 :class:`~repro.errors.ServiceError` carrying the HTTP status and the
 server's message.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
 import random
+import threading
 import time
-import urllib.error
-import urllib.request
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import (
@@ -55,7 +65,7 @@ from typing import (
     Optional,
     Union,
 )
-from urllib.parse import urlencode
+from urllib.parse import urlencode, urlsplit
 
 from repro.errors import ConfigurationError, ServiceError
 
@@ -133,6 +143,73 @@ class ServiceClient:
         self.timeout = timeout
         self.retry = retry if retry is not None else RetryPolicy()
         self.faults = faults
+        split = urlsplit(self.base_url)
+        if split.scheme not in ("http", "https"):
+            raise ConfigurationError(
+                f"service URL must be http(s), got {base_url!r}"
+            )
+        if split.hostname is None:
+            raise ConfigurationError(f"service URL has no host: {base_url!r}")
+        self._scheme = split.scheme
+        self._host = split.hostname
+        self._port = split.port  # None -> scheme default
+        self._base_path = split.path.rstrip("/")
+        #: Sockets actually opened (reuse means this stays at the
+        #: number of client *threads*, not the number of requests).
+        self.connections_opened = 0
+        self._local = threading.local()
+        self._conns_lock = threading.Lock()
+        self._conns: List[http.client.HTTPConnection] = []
+
+    # ------------------------------------------------------------------
+    # Connection management (one keep-alive connection per thread)
+    # ------------------------------------------------------------------
+    def _open_connection(self) -> http.client.HTTPConnection:
+        factory = (
+            http.client.HTTPSConnection
+            if self._scheme == "https"
+            else http.client.HTTPConnection
+        )
+        conn = factory(self._host, self._port, timeout=self.timeout)
+        with self._conns_lock:
+            self.connections_opened += 1
+            self._conns.append(conn)
+        return conn
+
+    def _connection(self) -> http.client.HTTPConnection:
+        conn = getattr(self._local, "conn", None)
+        if conn is None:
+            conn = self._local.conn = self._open_connection()
+        return conn
+
+    def _discard_connection(self, conn: http.client.HTTPConnection) -> None:
+        self._local.conn = None
+        with self._conns_lock:
+            try:
+                self._conns.remove(conn)
+            except ValueError:
+                pass
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+    def close(self) -> None:
+        """Close every connection this client (any thread) opened."""
+        with self._conns_lock:
+            conns, self._conns = self._conns, []
+        for conn in conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        self._local.conn = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     def _request_once(
@@ -141,7 +218,16 @@ class ServiceClient:
         path: str,
         payload: Optional[Mapping[str, object]] = None,
     ) -> Dict[str, object]:
-        """One HTTP attempt (the retry loop wraps this)."""
+        """One HTTP attempt (the retry loop wraps this).
+
+        A failure on a *reused* keep-alive connection is
+        indistinguishable from a server that died mid-request, so it is
+        never silently re-sent here — the connection is discarded and
+        the error surfaces as a retryable (status ``None``)
+        :class:`~repro.errors.ServiceError` for the normal retry
+        machinery, whose idempotency rules know which requests may be
+        re-sent blind.
+        """
         fault = None if self.faults is None else self.faults.fire(
             "client.request", method=method, path=path
         )
@@ -158,40 +244,48 @@ class ServiceClient:
             if fault.kind == "delay":
                 time.sleep(fault.delay_s)
         data = None if payload is None else json.dumps(payload).encode("utf-8")
-        request = urllib.request.Request(
-            self.base_url + path,
-            data=data,
-            method=method,
-            headers={"Content-Type": "application/json"},
-        )
+        conn = self._connection()
         try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as response:
-                body = json.loads(response.read().decode("utf-8"))
-        except urllib.error.HTTPError as exc:
-            raw = exc.read().decode("utf-8", "replace")
+            conn.request(
+                method,
+                self._base_path + path,
+                body=data,
+                headers={
+                    "Content-Type": "application/json",
+                    "Connection": "keep-alive",
+                },
+            )
+            response = conn.getresponse()
+            body = response.read()
+            if response.will_close:
+                self._discard_connection(conn)
+        except (http.client.HTTPException, OSError) as exc:
+            # Covers RemoteDisconnected / resets / timeouts / protocol
+            # desync; the socket's state is unknown either way.
+            self._discard_connection(conn)
+            raise ServiceError(f"{method} {path} failed: {exc}") from None
+        if response.status >= 400:
+            raw = body.decode("utf-8", "replace")
             try:
                 message = json.loads(raw).get("error", raw)
-            except ValueError:
+            except (ValueError, AttributeError):
                 message = raw
             raise ServiceError(
-                f"{method} {path} -> {exc.code}: {message}", status=exc.code
+                f"{method} {path} -> {response.status}: {message}",
+                status=response.status,
             ) from None
-        except urllib.error.URLError as exc:
-            raise ServiceError(
-                f"{method} {path} failed: {exc.reason}"
-            ) from None
-        except OSError as exc:
-            # Timeouts/resets while reading the response body bypass
-            # urllib's URLError wrapping; honor the ServiceError
-            # contract anyway (status=None = no server answer).
-            raise ServiceError(f"{method} {path} failed: {exc}") from None
         if fault is not None and fault.kind == "drop-response":
             # The server processed the request; the answer never made
             # it back — the ambiguous failure class retries must handle.
             raise ServiceError(
                 f"{method} {path} failed: injected response drop"
             )
-        return body
+        try:
+            return json.loads(body.decode("utf-8"))
+        except ValueError as exc:
+            raise ServiceError(
+                f"{method} {path} returned unparseable body: {exc}"
+            ) from None
 
     def _request(
         self,

@@ -138,6 +138,25 @@ class BatchingExecutor:
         self._closed = False
         self._thread = threading.Thread(target=self._run, name=name, daemon=True)
         self._thread.start()
+        if self._pool is not None:
+            # Spawned pool workers cost ~a second of interpreter
+            # startup each; spin them up now, off-thread, so the first
+            # cold batch doesn't pay it on the serving path.
+            threading.Thread(
+                target=self._warm_pool, name=f"{name}-warm", daemon=True
+            ).start()
+
+    def _warm_pool(self) -> None:
+        pool, workers = self._pool, self._max_workers or 0
+        try:
+            # Overlapping sleeps force the pool to its full worker
+            # count (idle pools spawn lazily, one per pending task).
+            for future in [
+                pool.submit(time.sleep, 0.2) for _ in range(workers)
+            ]:
+                future.result(timeout=60.0)
+        except BaseException:  # pragma: no cover - warmup is best-effort
+            pass
 
     def _new_pool(self) -> Optional[ProcessPoolExecutor]:
         if self._max_workers is None:

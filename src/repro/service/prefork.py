@@ -1,0 +1,271 @@
+"""Pre-fork frontend: K serving processes behind one shared port.
+
+One CPython process serves warm hits brilliantly until a cold batch
+computes — then the GIL convoys every handler thread behind the
+simulation.  ``repro serve --procs K`` sidesteps the GIL entirely:
+K worker *processes* all bind the same frontend port with
+``SO_REUSEPORT`` (the kernel load-balances accepted connections), and
+each worker also listens on a private ephemeral *internal* port for
+peer-to-peer traffic.
+
+Ownership keeps the single-writer discipline across processes.  With a
+:class:`~repro.store.sharded.ShardedStore` of N shards, worker
+``shard % K`` owns each shard's write path: a worker that takes a cold
+request for a shard it does not own proxies the request to the owner's
+internal listener (one keep-alive connection per handler thread, see
+:meth:`ScenarioServer.forward_request`) instead of writing the shard
+itself.  Worker 0 is additionally the queue coordinator — ``/queue``
+traffic landing on any worker is proxied there, so distributed sweeps
+see exactly one queue.  Warm hits are always answered locally: every
+worker opens the whole sharded directory and readers are free.
+
+Process layout (all spawn, no fork — the workers run thread pools and
+subprocess compute pools of their own)::
+
+    parent (PreforkServer)
+      ├─ worker 0: frontend :P (SO_REUSEPORT) + internal :i0, queue owner
+      ├─ worker 1: frontend :P (SO_REUSEPORT) + internal :i1
+      └─ ...
+
+Startup handshake: each worker reports ``(index, internal port)`` on a
+queue once it is listening; the parent collects all K, then sends every
+worker the full peer URL list over its pipe; workers call
+:meth:`ScenarioServer.set_peers` and start serving.  SIGTERM to the
+parent (or :meth:`PreforkServer.close`) forwards termination to every
+worker, which drains through :meth:`ScenarioServer.close`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import signal
+import socket
+import sys
+import threading
+import time
+from typing import List, Optional
+
+from repro.errors import ConfigurationError
+from repro.store.evict import EvictionPolicy
+
+#: Seconds the parent waits for every worker to report its internal
+#: port before declaring the group dead on arrival.
+STARTUP_TIMEOUT_S = 60.0
+
+
+def _pick_port(host: str) -> int:
+    """A currently free TCP port on ``host``.
+
+    Closed before use, so strictly racy — but prefork needs one number
+    every worker can bind *with* ``SO_REUSEPORT`` before any traffic
+    arrives, and an ephemeral port just vacated is as good as it gets.
+    """
+    with socket.socket() as probe:
+        probe.bind((host, 0))
+        return probe.getsockname()[1]
+
+
+def _worker_main(
+    index: int,
+    store: str,
+    shards: Optional[int],
+    policy: Optional[EvictionPolicy],
+    host: str,
+    port: int,
+    jobs: Optional[int],
+    lease_seconds: float,
+    request_timeout: float,
+    report: "multiprocessing.Queue",
+    peer_pipe: "multiprocessing.connection.Connection",
+) -> None:  # pragma: no cover - exercised via spawned processes
+    """One prefork worker (spawned process entry point)."""
+    # Favor the handler threads: the default 5 ms switch interval lets
+    # a compute-bound thread hold the GIL long enough to convoy every
+    # warm hit behind it.  Scoped to serving workers only — library
+    # callers keep the interpreter default.
+    sys.setswitchinterval(0.001)
+    from repro.service.server import ScenarioServer
+
+    server = ScenarioServer(
+        store,
+        jobs=jobs,
+        host=host,
+        port=port,
+        request_timeout=request_timeout,
+        lease_seconds=lease_seconds,
+        shards=shards,
+        policy=policy,
+        reuse_port=True,
+        internal=True,
+        proc_index=index,
+    )
+    try:
+        report.put((index, server.internal_port))
+        peers = peer_pipe.recv()
+        server.set_peers(peers, proc_index=index)
+
+        def _terminate(signum: int, frame: object) -> None:
+            raise SystemExit(0)
+
+        signal.signal(signal.SIGTERM, _terminate)
+        signal.signal(signal.SIGINT, signal.SIG_IGN)  # parent coordinates
+        server.serve_forever()
+    except (SystemExit, KeyboardInterrupt):
+        pass
+    finally:
+        server.close()
+
+
+class PreforkServer:
+    """K :class:`ScenarioServer` processes sharing one frontend port.
+
+    ``store`` must be a path-like spec (each worker opens it itself —
+    live store objects don't cross process boundaries); ``shards``/
+    ``policy`` are forwarded to every worker's
+    :func:`~repro.store.open_store`.  ``jobs`` is the per-worker
+    compute-pool size; the default 2 keeps simulation in subprocesses
+    so a cold batch never convoys a worker's handler threads on the
+    GIL.  ``port=0`` picks a free port (tests, benchmarks).
+    """
+
+    def __init__(
+        self,
+        store: str,
+        procs: int,
+        shards: Optional[int] = None,
+        policy: Optional[EvictionPolicy] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        jobs: Optional[int] = 2,
+        lease_seconds: float = 60.0,
+        request_timeout: float = 600.0,
+    ) -> None:
+        if procs < 1:
+            raise ConfigurationError(f"procs must be >= 1, got {procs}")
+        if not isinstance(store, (str, bytes)) and not hasattr(
+            store, "__fspath__"
+        ):
+            raise ConfigurationError(
+                "PreforkServer needs a store *path* — worker processes "
+                "cannot share a live store object"
+            )
+        if not hasattr(socket, "SO_REUSEPORT"):
+            raise ConfigurationError(
+                "this platform has no SO_REUSEPORT; serve with --procs 1"
+            )
+        self.host = host
+        self.procs = procs
+        self.port = port or _pick_port(host)
+        # Create the store layout (sharded manifest, schema) once, up
+        # front — K workers racing the first-open mkdir/manifest write
+        # would be a needless startup hazard.
+        from repro.store import open_store
+
+        open_store(store, shards=shards, policy=policy).close()
+
+        ctx = multiprocessing.get_context("spawn")
+        self._report: "multiprocessing.Queue" = ctx.Queue()
+        self._workers: List[multiprocessing.Process] = []
+        pipes = []
+        try:
+            for index in range(procs):
+                parent_end, child_end = ctx.Pipe()
+                worker = ctx.Process(
+                    target=_worker_main,
+                    args=(
+                        index, str(store), shards, policy, host, self.port,
+                        jobs, lease_seconds, request_timeout,
+                        self._report, child_end,
+                    ),
+                    name=f"repro-serve-{index}",
+                )
+                worker.start()
+                child_end.close()
+                self._workers.append(worker)
+                pipes.append(parent_end)
+            internal = self._collect_internal_ports()
+            peers = [
+                f"http://{host}:{internal[index]}" for index in range(procs)
+            ]
+            for pipe in pipes:
+                pipe.send(peers)
+        except BaseException:
+            self.close(graceful_s=0.0)
+            raise
+        finally:
+            for pipe in pipes:
+                pipe.close()
+        self.internal_ports = [internal[index] for index in range(procs)]
+
+    def _collect_internal_ports(self) -> dict:
+        import queue as queue_mod
+
+        internal: dict = {}
+        deadline = time.monotonic() + STARTUP_TIMEOUT_S
+        while len(internal) < self.procs:
+            if any(not worker.is_alive() and worker.exitcode not in (None, 0)
+                   for worker in self._workers):
+                raise ConfigurationError(
+                    "a prefork worker died during startup "
+                    "(bind failure or store error; see its stderr)"
+                )
+            try:
+                index, port = self._report.get(timeout=0.5)
+            except queue_mod.Empty:
+                if time.monotonic() >= deadline:
+                    raise ConfigurationError(
+                        f"prefork workers failed to start within "
+                        f"{STARTUP_TIMEOUT_S:g}s"
+                    ) from None
+                continue
+            internal[index] = port
+        return internal
+
+    # ------------------------------------------------------------------
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def alive(self) -> int:
+        """Number of worker processes currently running."""
+        return sum(1 for worker in self._workers if worker.is_alive())
+
+    def serve_forever(self) -> None:
+        """Block until SIGTERM/SIGINT (the ``repro serve --procs K``
+        foreground), then drain every worker."""
+        stop = threading.Event()
+
+        def _handler(signum: int, frame: object) -> None:
+            stop.set()
+
+        previous = {
+            signum: signal.signal(signum, _handler)
+            for signum in (signal.SIGTERM, signal.SIGINT)
+        }
+        try:
+            while not stop.is_set() and self.alive():
+                stop.wait(0.5)
+        finally:
+            for signum, handler in previous.items():
+                signal.signal(signum, handler)
+            self.close()
+
+    def close(self, graceful_s: float = 15.0) -> None:
+        """Terminate every worker (SIGTERM first, SIGKILL stragglers)."""
+        for worker in self._workers:
+            if worker.is_alive():
+                worker.terminate()
+        deadline = time.monotonic() + graceful_s
+        for worker in self._workers:
+            worker.join(timeout=max(0.0, deadline - time.monotonic()))
+        for worker in self._workers:
+            if worker.is_alive():
+                worker.kill()
+                worker.join(timeout=5.0)
+        self._report.close()
+
+    def __enter__(self) -> "PreforkServer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -269,8 +269,13 @@ class WorkQueue:
             cell = self._cells.get(fingerprint)
             if cell is not None:
                 self.deduped += 1
+                if cell.state == _PENDING:
+                    # An interactive caller is now blocked on this
+                    # batch-queued cell: promote it.  The stale back
+                    # entry is skipped at lease time.
+                    self._ready_fps.appendleft(fingerprint)
                 return cell.future
-            cell = self._enqueue_locked(fingerprint, scenario)
+            cell = self._enqueue_locked(fingerprint, scenario, interactive=True)
             return cell.future
 
     def submit_job(self, scenarios: Sequence[Scenario]) -> Dict[str, object]:
@@ -329,14 +334,27 @@ class WorkQueue:
             self._prune_finished_jobs_locked()
             return self._job_status_locked(job)
 
-    def _enqueue_locked(self, fingerprint: str, scenario: Scenario) -> _Cell:
+    def _enqueue_locked(
+        self, fingerprint: str, scenario: Scenario, interactive: bool = False
+    ) -> _Cell:
         cell = _Cell(
             fingerprint=fingerprint,
             scenario=scenario,
             enqueued_at=self._clock(),
         )
         self._cells[fingerprint] = cell
-        self._ready_fps.append(fingerprint)
+        # In-flight cells are evict-exempt: a bounded store must never
+        # drop the record this cell is about to write (the single-writer
+        # put would race its own eviction).  Unpinned when the cell
+        # settles — landed, dead-lettered, or shut down.
+        self.store.pin(fingerprint)
+        if interactive:
+            # A synchronous caller is blocked on this future; it jumps
+            # the batch backlog so interactive traffic never waits out
+            # a cold sweep.
+            self._ready_fps.appendleft(fingerprint)
+        else:
+            self._ready_fps.append(fingerprint)
         self.enqueued += 1
         self._ready.notify_all()
         return cell
@@ -581,6 +599,7 @@ class WorkQueue:
         callbacks, which must never happen inside the queue lock.
         """
         self._cells.pop(cell.fingerprint, None)
+        self.store.unpin(cell.fingerprint)
         self.failed += 1
         self.dead += 1
         self._dead[cell.fingerprint] = {
@@ -694,6 +713,7 @@ class WorkQueue:
             )
         with self._lock:
             self._cells.pop(fingerprint, None)
+            self.store.unpin(fingerprint)
             self.completed += 1
             self._settle_jobs_locked(cell, error=None)
         if not cell.future.done():
@@ -818,6 +838,7 @@ class WorkQueue:
             cells, self._cells = self._cells, {}
             self._ready_fps.clear()
             for cell in cells.values():
+                self.store.unpin(cell.fingerprint)
                 self._settle_jobs_locked(cell, error=reason)
             self._ready.notify_all()
         for cell in cells.values():

@@ -43,11 +43,13 @@ the single-writer discipline the store backends are built around.
 
 from __future__ import annotations
 
+import http.client
 import json
+import socket
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 from urllib.parse import parse_qsl, urlsplit
 
 from repro.errors import ConfigurationError, ReproError
@@ -58,7 +60,7 @@ from repro.scenario import Scenario, scenario_fingerprint
 from repro.service.executor import BatchingExecutor
 from repro.service.queue import WorkQueue
 from repro.service.spec import scenario_from_request
-from repro.store import ResultStore, open_store
+from repro.store import EvictionPolicy, ResultStore, open_store
 
 #: Query keys of ``GET /results`` that need numeric coercion (query
 #: strings are text; the store's columns are typed).
@@ -90,6 +92,15 @@ class ScenarioServer:
     budget before a poison cell is dead-lettered (see
     :class:`~repro.service.queue.WorkQueue`).  ``port=0`` binds an
     ephemeral port (tests, benchmarks).
+
+    ``shards``/``policy`` are forwarded to :func:`~repro.store.open_store`
+    (sharded directory, eviction caps).  ``reuse_port``/``internal``/
+    ``proc_index`` are the prefork wiring
+    (:class:`repro.service.prefork.PreforkServer`): K workers bind the
+    same frontend port with ``SO_REUSEPORT``, each also listens on an
+    ephemeral *internal* port, and :meth:`set_peers` tells every worker
+    where the others are so cold fingerprints are proxied to the worker
+    owning their shard.
     """
 
     def __init__(
@@ -106,9 +117,14 @@ class ScenarioServer:
         registry: Optional[MetricsRegistry] = None,
         access_log: bool = False,
         log_json: bool = False,
+        shards: Optional[int] = None,
+        policy: Optional[EvictionPolicy] = None,
+        reuse_port: bool = False,
+        internal: bool = False,
+        proc_index: int = 0,
     ) -> None:
         self._owns_store = not isinstance(store, ResultStore)
-        self.store = open_store(store)
+        self.store = open_store(store, shards=shards, policy=policy)
         self.request_timeout = request_timeout
         self.registry = registry if registry is not None else default_registry()
         self.queue = WorkQueue(
@@ -125,27 +141,53 @@ class ScenarioServer:
         self.requests = 0
         self.hits = 0
         self.misses = 0
+        #: ``POST /scenario`` misses proxied to the owning prefork peer.
+        self.forwarded = 0
         self._stats_lock = threading.Lock()
+        #: Prefork group wiring (set by :meth:`set_peers`): index i is
+        #: (host, port) of worker i's internal listener.
+        self.proc_index = proc_index
+        self._peers: List[Tuple[str, int]] = []
+        self._peer_local = threading.local()
+        self._peer_conns: List[http.client.HTTPConnection] = []
+        self._peer_conns_lock = threading.Lock()
         #: Opt-in structured request log (``repro serve --access-log``).
         self.access_logger = StructuredLogger(
             "service.access", json_lines=log_json, enabled=access_log,
         )
         self._wire_metrics()
+        self._internal_httpd: Optional[_ServiceHTTPServer] = None
+        self._internal_thread: Optional[threading.Thread] = None
         try:
-            self._httpd = _ServiceHTTPServer((host, port), _ServiceHandler)
-        except OSError:
+            self._httpd = _ServiceHTTPServer(
+                (host, port), _ServiceHandler, reuse_port=reuse_port
+            )
+        except (OSError, ConfigurationError):
             # Bind failed (port in use, bad host): release what
             # __init__ already started, or a caller retrying ports
             # leaks one batch thread + store connection per attempt.
-            if self.executor is not None:
-                self.executor.close()
-            self.queue.shutdown()
-            if self._owns_store:
-                self.store.close()
+            self._release_components()
             raise
+        if internal:
+            try:
+                self._internal_httpd = _ServiceHTTPServer(
+                    (host, 0), _ServiceHandler
+                )
+            except OSError:
+                self._httpd.server_close()
+                self._release_components()
+                raise
+            self._internal_httpd.service = self
         self._httpd.service = self
         self._thread: Optional[threading.Thread] = None
         self._serving = False
+
+    def _release_components(self) -> None:
+        if self.executor is not None:
+            self.executor.close()
+        self.queue.shutdown()
+        if self._owns_store:
+            self.store.close()
 
     # ------------------------------------------------------------------
     @property
@@ -160,14 +202,28 @@ class ScenarioServer:
     def url(self) -> str:
         return f"http://{self.host}:{self.port}"
 
+    @property
+    def internal_port(self) -> Optional[int]:
+        """Port of the internal (peer-to-peer) listener, if any."""
+        if self._internal_httpd is None:
+            return None
+        return self._internal_httpd.server_address[1]
+
+    @property
+    def internal_url(self) -> Optional[str]:
+        port = self.internal_port
+        return None if port is None else f"http://{self.host}:{port}"
+
     def serve_forever(self) -> None:
         """Block serving requests (the ``repro serve`` foreground)."""
         self._serving = True
+        self._start_internal()
         self._httpd.serve_forever()
 
     def start(self) -> "ScenarioServer":
         """Serve on a background thread (tests, benchmarks, embedding)."""
         self._serving = True
+        self._start_internal()
         self._thread = threading.Thread(
             target=self._httpd.serve_forever,
             name="repro-service-listener",
@@ -175,6 +231,15 @@ class ScenarioServer:
         )
         self._thread.start()
         return self
+
+    def _start_internal(self) -> None:
+        if self._internal_httpd is not None and self._internal_thread is None:
+            self._internal_thread = threading.Thread(
+                target=self._internal_httpd.serve_forever,
+                name="repro-service-internal",
+                daemon=True,
+            )
+            self._internal_thread.start()
 
     def close(self, drain_s: float = 10.0) -> None:
         """Graceful shutdown: refuse new work, drain, release the store.
@@ -195,10 +260,24 @@ class ScenarioServer:
             # shutdown() waits on an event only serve_forever() sets;
             # calling it on a never-started server deadlocks forever.
             self._httpd.shutdown()
+        if self._internal_thread is not None:
+            self._internal_httpd.shutdown()
         self._httpd.server_close()
+        if self._internal_httpd is not None:
+            self._internal_httpd.server_close()
         if self._thread is not None:
             self._thread.join(timeout=10.0)
             self._thread = None
+        if self._internal_thread is not None:
+            self._internal_thread.join(timeout=10.0)
+            self._internal_thread = None
+        with self._peer_conns_lock:
+            conns, self._peer_conns = self._peer_conns, []
+        for conn in conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
         if self.executor is not None:
             self.executor.close(timeout=drain_s)
         self.queue.shutdown("service closed")
@@ -210,6 +289,107 @@ class ScenarioServer:
 
     def __exit__(self, *exc_info: object) -> None:
         self.close()
+
+    # ------------------------------------------------------------------
+    # Prefork peer wiring
+    # ------------------------------------------------------------------
+    def set_peers(
+        self, urls: Sequence[str], proc_index: Optional[int] = None
+    ) -> None:
+        """Wire this server into a prefork group.
+
+        ``urls[i]`` is the internal listener of worker ``i`` (this
+        worker's own entry included).  A cold fingerprint is proxied to
+        the worker owning its shard (``shard % len(urls)``) so each
+        shard keeps exactly one writing queue; batch/queue traffic is
+        proxied to worker 0, the group's single coordinator.
+        """
+        parsed: List[Tuple[str, int]] = []
+        for url in urls:
+            split = urlsplit(url)
+            if split.hostname is None or split.port is None:
+                raise ConfigurationError(
+                    f"peer URL needs host:port, got {url!r}"
+                )
+            parsed.append((split.hostname, split.port))
+        self._peers = parsed
+        if proc_index is not None:
+            self.proc_index = proc_index
+
+    def forwards_queue(self) -> bool:
+        """Whether queue traffic is proxied to the group coordinator."""
+        return bool(self._peers) and self.proc_index != 0
+
+    def owner_of(self, fingerprint: str) -> int:
+        """Index of the prefork peer whose queue owns ``fingerprint``."""
+        if not self._peers:
+            return self.proc_index
+        shard_of = getattr(self.store, "shard_of", None)
+        if shard_of is None:
+            return 0  # unsharded group: worker 0 is the only writer
+        return shard_of(fingerprint) % len(self._peers)
+
+    def _peer_connection(self, index: int) -> http.client.HTTPConnection:
+        conns = getattr(self._peer_local, "conns", None)
+        if conns is None:
+            conns = self._peer_local.conns = {}
+        conn = conns.get(index)
+        if conn is None:
+            host, port = self._peers[index]
+            conn = http.client.HTTPConnection(
+                host, port, timeout=self.request_timeout
+            )
+            conns[index] = conn
+            with self._peer_conns_lock:
+                self._peer_conns.append(conn)
+        return conn
+
+    def _drop_peer_connection(self, index: int) -> None:
+        conns = getattr(self._peer_local, "conns", None) or {}
+        conn = conns.pop(index, None)
+        if conn is None:
+            return
+        with self._peer_conns_lock:
+            try:
+                self._peer_conns.remove(conn)
+            except ValueError:
+                pass
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+    def forward_request(
+        self,
+        index: int,
+        method: str,
+        path: str,
+        body: Optional[bytes] = None,
+    ) -> Tuple[int, bytes]:
+        """Proxy one request to peer ``index``; ``(status, body bytes)``.
+
+        One keep-alive connection per (handler thread, peer); a
+        connection-level failure retries once on a fresh socket —
+        every proxied route is idempotent (fingerprint-keyed POSTs and
+        pure reads), so a blind re-send is safe.
+        """
+        last: Optional[Exception] = None
+        for _attempt in (1, 2):
+            conn = self._peer_connection(index)
+            try:
+                conn.request(method, path, body=body, headers={
+                    "Content-Type": "application/json",
+                    "Connection": "keep-alive",
+                })
+                response = conn.getresponse()
+                data = response.read()
+                if response.will_close:
+                    self._drop_peer_connection(index)
+                return response.status, data
+            except (http.client.HTTPException, OSError) as exc:
+                self._drop_peer_connection(index)
+                last = exc
+        raise ConnectionError(f"peer {index} unreachable: {last}")
 
     # ------------------------------------------------------------------
     # Observability
@@ -259,6 +439,21 @@ class ScenarioServer:
         registry.bind(
             "repro_store_records", lambda: len(self.store), kind="gauge",
             help="records in the serving result store",
+        )
+        registry.bind(
+            "repro_store_evictions_total",
+            lambda: self.store.counters()["evictions"], kind="counter",
+            help="records dropped by the eviction policy",
+        )
+        registry.bind(
+            "repro_store_bytes",
+            lambda: self.store.bytes_used() or 0, kind="gauge",
+            help="live payload bytes in the serving result store",
+        )
+        registry.bind(
+            "repro_service_forwarded_total", lambda: self.forwarded,
+            kind="counter",
+            help="POST /scenario proxied to the owning prefork worker",
         )
         # Pre-register the worker and engine-phase families so a scrape
         # sees the full instrument set (zero-count histograms) even
@@ -322,21 +517,60 @@ class ScenarioServer:
     # ------------------------------------------------------------------
     # Request logic (handlers call these; HTTP plumbing stays below)
     # ------------------------------------------------------------------
-    def handle_scenario(self, scenario: Scenario) -> Dict[str, object]:
-        """Serve one scenario: store hit, or a queued computation."""
+    def serve_scenario(
+        self, scenario: Scenario, raw_body: Optional[bytes] = None
+    ) -> bytes:
+        """``POST /scenario`` fast path: the response body, as bytes.
+
+        A warm hit is answered from the store's raw payload text — one
+        indexed point read, no JSON parse or re-serialization on the
+        hot path.  A miss owned by a prefork peer is proxied to that
+        peer (each shard keeps exactly one writing queue); a miss owned
+        here becomes a work-queue cell and the request blocks until it
+        lands.
+        """
         fingerprint = scenario_fingerprint(scenario)
-        payload = self.store.get(fingerprint)
-        if payload is not None:
+        raw = self.store.get_raw(fingerprint)
+        if raw is not None:
             with self._stats_lock:
                 self.hits += 1
-            return {"fingerprint": fingerprint, "cached": True,
-                    "result": payload}
+            return (
+                f'{{"fingerprint": "{fingerprint}", "cached": true, '
+                f'"result": {raw}}}'
+            ).encode("utf-8")
+        owner = self.owner_of(fingerprint)
+        if self._peers and owner != self.proc_index:
+            if raw_body is None:
+                raw_body = json.dumps(
+                    {"scenario": scenario.to_dict()}
+                ).encode("utf-8")
+            try:
+                status, body = self.forward_request(
+                    owner, "POST", "/scenario", raw_body
+                )
+            except OSError:
+                # Owner down: compute here — replay determinism makes
+                # the result identical, it just isn't the shard's
+                # usual writer.
+                pass
+            else:
+                if status == 200:
+                    with self._stats_lock:
+                        self.forwarded += 1
+                    return body
         with self._stats_lock:
             self.misses += 1
         future = self.queue.submit_scenario(scenario)
         result = future.result(self.request_timeout)
-        return {"fingerprint": fingerprint, "cached": False,
-                "result": result.to_dict()}
+        return json.dumps({
+            "fingerprint": fingerprint,
+            "cached": False,
+            "result": result.to_dict(),
+        }).encode("utf-8")
+
+    def handle_scenario(self, scenario: Scenario) -> Dict[str, object]:
+        """Serve one scenario; the parsed response envelope."""
+        return json.loads(self.serve_scenario(scenario).decode("utf-8"))
 
     def parse_queue_submit(self, body: object) -> List[Scenario]:
         """Validate a ``POST /queue`` body into its scenario cells."""
@@ -488,27 +722,38 @@ class ScenarioServer:
         # always mutually consistent — no interleaved reads mid-batch.
         with self._stats_lock:
             requests, hits, misses = self.requests, self.hits, self.misses
+            forwarded = self.forwarded
         executor = self.executor
         batching = executor.snapshot() if executor \
             else {"batches": 0, "batched_scenarios": 0}
         queue_stats = self.queue.stats()
         store_counters = self.store.counters()
+        store_block: Dict[str, object] = {
+            "records": len(self.store),
+            **store_counters,
+            "bytes": self.store.bytes_used(),
+            "path": getattr(self.store, "path", None)
+            and str(self.store.path),
+        }
+        if self.store.policy is not None:
+            store_block["policy"] = self.store.policy.describe()
+        shard_stats = getattr(self.store, "shard_stats", None)
+        if shard_stats is not None:
+            store_block["shards"] = shard_stats()
         return {
             "requests": requests,
             "hits": hits,
             "misses": misses,
+            "forwarded": forwarded,
             "pending": queue_stats["pending"] + queue_stats["leased"],
             "batches": batching["batches"],
             "batched_scenarios": batching["batched_scenarios"],
             "jobs": self.jobs or (1 if executor else 0),
             "local_compute": executor is not None,
+            "proc_index": self.proc_index,
+            "procs": len(self._peers) or 1,
             "queue": queue_stats,
-            "store": {
-                "records": len(self.store),
-                **store_counters,
-                "path": getattr(self.store, "path", None)
-                and str(self.store.path),
-            },
+            "store": store_block,
         }
 
     def handle_healthz(self) -> Dict[str, object]:
@@ -524,10 +769,35 @@ class _ServiceHTTPServer(ThreadingHTTPServer):
     allow_reuse_address = True
     service: ScenarioServer  # attached by ScenarioServer.__init__
 
+    def __init__(
+        self,
+        server_address: Tuple[str, int],
+        RequestHandlerClass: type,
+        reuse_port: bool = False,
+    ) -> None:
+        self._reuse_port = reuse_port
+        super().__init__(server_address, RequestHandlerClass)
+
+    def server_bind(self) -> None:
+        if self._reuse_port:
+            # The prefork frontend: K worker processes bind the same
+            # port and the kernel load-balances accepted connections.
+            if not hasattr(socket, "SO_REUSEPORT"):
+                raise ConfigurationError(
+                    "this platform has no SO_REUSEPORT; serve with --procs 1"
+                )
+            self.socket.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        super().server_bind()
+
 
 class _ServiceHandler(BaseHTTPRequestHandler):
     server_version = "repro-service/1"
     protocol_version = "HTTP/1.1"  # keep-alive (every reply sets Content-Length)
+    # Responses go out as two writes (header flush, then body).  On a
+    # kept-alive connection Nagle holds the second write until the
+    # client ACKs the first, and the client's delayed ACK turns every
+    # warm hit into a ~40 ms stall — so no Nagle here.
+    disable_nagle_algorithm = True
 
     def log_message(self, format: str, *args: object) -> None:
         # BaseHTTPRequestHandler's stderr chatter stays off; the opt-in
@@ -587,8 +857,31 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                 time.perf_counter() - started,
             )
 
+    def _proxy(
+        self,
+        service: ScenarioServer,
+        method: str,
+        path: str,
+        body: Optional[bytes] = None,
+    ) -> None:
+        """Pass one request through to the group's queue coordinator."""
+        try:
+            status, data = service.forward_request(0, method, path, body)
+        except OSError as exc:
+            self._send_error(503, f"queue coordinator unreachable: {exc}")
+            return
+        try:
+            self._send_body(status, "application/json", data)
+        except OSError:  # pragma: no cover - client went away
+            self.close_connection = True
+
     def _route_get(self, service: ScenarioServer) -> None:
         url = urlsplit(self.path)
+        if url.path.startswith("/queue") and service.forwards_queue():
+            # The queue lives on worker 0; every other prefork worker
+            # proxies queue reads there.
+            self._proxy(service, "GET", self.path)
+            return
         try:
             if url.path == "/healthz":
                 self._send_json(200, service.handle_healthz())
@@ -663,6 +956,11 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                                 "/queue/renew"):
                 self._send_error(404, f"no route {url.path!r}")
                 return
+            if url.path.startswith("/queue") and service.forwards_queue():
+                # Body drained above, so the keep-alive connection
+                # stays in sync; hand the queue write to worker 0.
+                self._proxy(service, "POST", self.path, raw)
+                return
             try:
                 body = json.loads(raw or b"")
             except ValueError as exc:
@@ -672,7 +970,7 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             try:
                 if url.path == "/scenario":
                     scenario = scenario_from_request(body)
-                    execute = lambda: service.handle_scenario(scenario)
+                    execute = lambda: service.serve_scenario(scenario, raw)
                 elif url.path == "/queue":
                     scenarios = service.parse_queue_submit(body)
                     execute = lambda: service.queue.submit_job(scenarios)
@@ -687,7 +985,13 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                 return
             # Stage 2: execution (the server's fault class -> 500).
             try:
-                self._send_json(200, execute())
+                out = execute()
+                if isinstance(out, (bytes, bytearray)):
+                    # /scenario's zero-parse fast path hands back the
+                    # response body directly.
+                    self._send_body(200, "application/json", bytes(out))
+                else:
+                    self._send_json(200, out)
             except OSError:  # pragma: no cover - client went away
                 self.close_connection = True
             except Exception as exc:

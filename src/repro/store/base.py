@@ -31,12 +31,13 @@ from __future__ import annotations
 import threading
 import time
 from abc import ABC, abstractmethod
-from typing import Collection, Dict, Iterable, List, Optional, Tuple
+from typing import Collection, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.errors import ConfigurationError
 from repro.obs.metrics import default_registry
-from repro.scenario import Scenario, scenario_fingerprint
+from repro.scenario import Scenario, canonical_json, scenario_fingerprint
 from repro.sim.session import RESULT_SCHEMA, ScenarioResult
+from repro.store.evict import EvictionPolicy
 
 #: Queryable columns every backend records alongside the payload.
 RECORD_COLUMNS = (
@@ -71,12 +72,31 @@ class ResultStore(ABC):
     on top.  Stores are context managers (``with open_store(p) as s:``).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, policy: Optional[EvictionPolicy] = None) -> None:
         self.hits = 0
         self.misses = 0
+        #: Records dropped by the eviction policy (never by gc/delete).
+        self.evictions = 0
+        #: Optional :class:`~repro.store.evict.EvictionPolicy`; when
+        #: set, every write enforces the caps (LRU by last access).
+        self.policy = policy
         # The service reads through one store from many handler
         # threads; += on a plain int would lose counts under races.
         self._counters_lock = threading.Lock()
+        # Evict-exempt fingerprints, refcounted: the queue pins every
+        # in-flight cell, paper runs pin their manifest.  Per-instance
+        # and in-memory only — pins protect a *serving process's*
+        # live window, they are not durable metadata.
+        self._pins: Dict[str, int] = {}
+        # fingerprint -> last-access stamp (policy.clock()), kept only
+        # while a policy is attached; protected by _counters_lock.
+        self._access: Dict[str, float] = {}
+        # Stamps touched since the backend last persisted them
+        # (SqliteStore flushes these to its accessed_at column).
+        self._dirty_access: Set[str] = set()
+        # One enforcement at a time; concurrent writers queue up here
+        # rather than double-evicting.
+        self._evict_lock = threading.Lock()
         # Process-wide latency instruments; the per-instance ints above
         # stay the source of truth for hit/miss (exposed to /metrics as
         # callbacks by whoever owns the serving store).
@@ -95,12 +115,142 @@ class ResultStore(ABC):
             "repro_store_misses_total", lambda: self.misses, kind="counter",
             help="store lookups that found nothing servable",
         )
+        registry.bind(
+            "repro_store_evictions_total", lambda: self.evictions,
+            kind="counter",
+            help="records dropped by the eviction policy",
+        )
 
     def counters(self) -> Dict[str, int]:
-        """Mutually consistent ``{"hits", "misses"}`` snapshot
-        (one lock acquisition)."""
+        """Mutually consistent ``{"hits", "misses", "evictions"}``
+        snapshot (one lock acquisition)."""
         with self._counters_lock:
-            return {"hits": self.hits, "misses": self.misses}
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
+
+    # ------------------------------------------------------------------
+    # Pins and access tracking (eviction support)
+    # ------------------------------------------------------------------
+    def pin(self, fingerprint: str) -> None:
+        """Exempt ``fingerprint`` from eviction (refcounted).
+
+        Pinning a fingerprint that is not (yet) stored is fine — the
+        work queue pins cells *before* they compute, so the landing
+        write can never race an eviction of its own result.
+        """
+        with self._counters_lock:
+            self._pins[fingerprint] = self._pins.get(fingerprint, 0) + 1
+
+    def unpin(self, fingerprint: str) -> None:
+        """Drop one pin reference; unpinning an unpinned key is a no-op."""
+        with self._counters_lock:
+            count = self._pins.get(fingerprint, 0) - 1
+            if count <= 0:
+                self._pins.pop(fingerprint, None)
+            else:
+                self._pins[fingerprint] = count
+
+    def pinned(self) -> frozenset:
+        """The currently evict-exempt fingerprints."""
+        with self._counters_lock:
+            return frozenset(self._pins)
+
+    def _touch(self, fingerprint: str) -> None:
+        """Record an access for LRU ordering (no-op without a policy)."""
+        if self.policy is None:
+            return
+        with self._counters_lock:
+            self._access[fingerprint] = self.policy.clock()
+            self._dirty_access.add(fingerprint)
+
+    def bytes_used(self) -> Optional[int]:
+        """Live payload bytes, or ``None`` if the backend can't say.
+
+        "Live" means the canonical-JSON payload bytes of servable
+        records — what ``max_mb`` caps — not the physical file size
+        (a JSONL log carries dead lines until compaction, SQLite has
+        page overhead).
+        """
+        return None
+
+    def _flush_access(self) -> None:
+        """Persist dirty access stamps (backend hook; default no-op)."""
+        self._dirty_access.clear()
+
+    def _evict_one(self, fingerprint: str, cutoff: float) -> bool:
+        """Evict one record unless it was touched after ``cutoff``.
+
+        The re-check under the counters lock closes the race with a
+        concurrent ``put``/``get`` of the same fingerprint: a record
+        refreshed after the enforcement pass snapshotted its stamps is
+        no longer the LRU victim the snapshot thought it was.
+        """
+        with self._counters_lock:
+            stamp = self._access.get(fingerprint)
+            if stamp is not None and stamp > cutoff:
+                return False
+            if self._pins.get(fingerprint, 0) > 0:
+                return False
+        if not self._delete(fingerprint):
+            return False
+        with self._counters_lock:
+            self._access.pop(fingerprint, None)
+            self._dirty_access.discard(fingerprint)
+            self.evictions += 1
+        return True
+
+    def enforce_policy(self) -> int:
+        """Apply the eviction policy now; returns records evicted.
+
+        Runs automatically after every :meth:`put`; exposed so ``gc``
+        and operators can force a pass (e.g. after attaching a policy
+        to a store that grew without one).
+        """
+        policy = self.policy
+        if policy is None:
+            return 0
+        with self._evict_lock:
+            self._flush_access()
+            cutoff = policy.clock()
+            with self._counters_lock:
+                stamps = sorted(self._access.items(), key=lambda kv: kv[1])
+                pinned = set(self._pins)
+            evicted = 0
+            # TTL pass: age out untouched records regardless of size.
+            if policy.ttl_s is not None:
+                horizon = cutoff - policy.ttl_s
+                for fingerprint, stamp in stamps:
+                    if stamp > horizon:
+                        break  # stamps ascend; the rest are fresh
+                    if fingerprint in pinned:
+                        continue
+                    if self._evict_one(fingerprint, cutoff):
+                        evicted += 1
+            # Size pass: drop LRU records until within the caps.
+            max_records = policy.max_records
+            max_bytes = policy.max_bytes
+            if max_records is not None or max_bytes is not None:
+                count = len(self)
+                victims = iter(stamps)
+                while True:
+                    over = max_records is not None and count > max_records
+                    if not over and max_bytes is not None:
+                        used = self.bytes_used()
+                        over = used is not None and used > max_bytes
+                    if not over:
+                        break
+                    fingerprint = next(
+                        (fp for fp, _ in victims if fp not in pinned), None
+                    )
+                    if fingerprint is None:
+                        break  # everything left is pinned or fresh
+                    if self._evict_one(fingerprint, cutoff):
+                        count -= 1
+                        evicted += 1
+            return evicted
 
     # ------------------------------------------------------------------
     # Backend primitives
@@ -161,7 +311,21 @@ class ResultStore(ABC):
                 self.misses += 1
             else:
                 self.hits += 1
+                if self.policy is not None:
+                    self._access[fingerprint] = self.policy.clock()
+                    self._dirty_access.add(fingerprint)
         return payload
+
+    def get_raw(self, fingerprint: str) -> Optional[str]:
+        """The stored payload as canonical JSON text, or ``None``.
+
+        Same semantics and hit/miss accounting as :meth:`get`; exists
+        so the serving hot path can answer a warm hit without parsing
+        and re-serializing the payload.  Indexed backends override
+        this to return the stored text directly.
+        """
+        payload = self.get(fingerprint)
+        return None if payload is None else canonical_json(payload)
 
     def put(
         self,
@@ -182,12 +346,20 @@ class ResultStore(ABC):
                     f"payload carries no rebuildable scenario: {exc}"
                 ) from exc
         started = time.perf_counter()
+        self._touch(fingerprint)  # stamp before write: never its own victim
         self._put(fingerprint, payload, record_columns(scenario))
         self._put_seconds.observe(time.perf_counter() - started)
+        if self.policy is not None:
+            self.enforce_policy()
 
     def delete(self, fingerprint: str) -> bool:
         """Remove one record; ``True`` if it existed."""
-        return self._delete(fingerprint)
+        removed = self._delete(fingerprint)
+        if removed:
+            with self._counters_lock:
+                self._access.pop(fingerprint, None)
+                self._dirty_access.discard(fingerprint)
+        return removed
 
     def schema_tag(self, fingerprint: str) -> Optional[str]:
         """The stored record's schema tag, or ``None`` if absent.

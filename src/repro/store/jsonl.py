@@ -16,11 +16,13 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
 from repro.scenario import canonical_json
 from repro.store.base import RECORD_COLUMNS, ResultStore
+from repro.store.evict import EvictionPolicy
 
 
 class JsonlStore(ResultStore):
@@ -30,26 +32,56 @@ class JsonlStore(ResultStore):
     memory; the file is the durable log.  Follows the single-writer
     discipline of :class:`~repro.store.base.ResultStore` — open one
     writing instance per file.
+
+    With an :class:`~repro.store.evict.EvictionPolicy` attached,
+    eviction drops records from the index immediately (so
+    ``len``/``bytes_used`` — what the caps bound — never exceed the
+    policy), while the log itself shrinks at compaction: evictions
+    append tombstones like deletes, and once the dead weight passes
+    :data:`AUTOCOMPACT_SLACK_BYTES` plus the live size, the store
+    compacts itself.
     """
+
+    #: Auto-compaction trigger: rewrite the log when dead bytes exceed
+    #: ``max(this, live bytes)``.  Class attribute so tests (and
+    #: unusual deployments) can lower it.
+    AUTOCOMPACT_SLACK_BYTES = 64 * 1024
 
     def __init__(
         self,
         path: Union[str, Path],
         faults: Optional[object] = None,
+        policy: Optional[EvictionPolicy] = None,
     ) -> None:
-        super().__init__()
+        super().__init__(policy=policy)
         self.path = Path(path)
         #: Test-only :class:`repro.faults.FaultPlan`; a
         #: ``store.write``/``torn-write`` rule makes :meth:`_append`
         #: leave a half-written final line on disk and raise — the
         #: damage a crash mid-append does, on demand.
         self.faults = faults
+        #: Serializes log mutations (appends vs the compaction rewrite
+        #: that swaps the file handle out from under them).  Reentrant:
+        #: an eviction pass inside ``_put`` re-enters via ``_delete``.
+        self._write_lock = threading.RLock()
         self._index: Dict[str, str] = {}  # fingerprint -> raw record line
         #: fingerprint -> (schema tag, columns); built alongside the
         #: index so query() never re-parses full result payloads.
         self._meta: Dict[str, Tuple[Optional[str], Dict[str, object]]] = {}
         self._recover()
         self._file = open(self.path, "ab")
+        #: Bytes of live (indexed) record lines — what ``max_mb`` caps.
+        self._live_bytes = sum(len(raw) + 1 for raw in self._index.values())
+        #: Bytes currently in the log file (live + superseded + tombstones).
+        self._file_bytes = self.path.stat().st_size
+        if policy is not None:
+            # Seed LRU stamps from the persisted accessed_at fields;
+            # records written before eviction existed count as
+            # accessed now (aging them from zero would mass-evict).
+            now = policy.clock()
+            for fingerprint, raw in self._index.items():
+                stamp = json.loads(raw).get("accessed_at")
+                self._access[fingerprint] = now if stamp is None else stamp
 
     @staticmethod
     def _meta_of(record: Dict[str, object]) -> Tuple[Optional[str], Dict[str, object]]:
@@ -130,19 +162,53 @@ class JsonlStore(ResultStore):
         payload: Dict[str, object],
         columns: Dict[str, object],
     ) -> None:
-        line = self._append(
-            {"fingerprint": fingerprint, **columns, "result": payload}
-        )
-        self._index[fingerprint] = line
-        self._meta[fingerprint] = (payload.get("schema"), dict(columns))
+        record = {"fingerprint": fingerprint, **columns, "result": payload}
+        if self.policy is not None:
+            record["accessed_at"] = self._access.get(
+                fingerprint
+            ) or self.policy.clock()
+        with self._write_lock:
+            line = self._append(record)
+            old = self._index.get(fingerprint)
+            self._index[fingerprint] = line
+            self._meta[fingerprint] = (payload.get("schema"), dict(columns))
+            self._live_bytes += len(line) + 1 - (
+                0 if old is None else len(old) + 1
+            )
+            self._file_bytes += len(line) + 1
+            self._maybe_autocompact()
 
     def _delete(self, fingerprint: str) -> bool:
-        if fingerprint not in self._index:
-            return False
-        del self._index[fingerprint]
-        self._meta.pop(fingerprint, None)
-        self._append({"fingerprint": fingerprint, "deleted": True})
-        return True
+        with self._write_lock:
+            raw = self._index.pop(fingerprint, None)
+            if raw is None:
+                return False
+            self._meta.pop(fingerprint, None)
+            self._live_bytes -= len(raw) + 1
+            tombstone = self._append(
+                {"fingerprint": fingerprint, "deleted": True}
+            )
+            self._file_bytes += len(tombstone) + 1
+            self._maybe_autocompact()
+            return True
+
+    def bytes_used(self) -> int:
+        return max(0, self._live_bytes)
+
+    def _maybe_autocompact(self) -> None:
+        """Compact once dead log weight dwarfs the live data.
+
+        Only armed when an eviction policy is attached — steady-state
+        eviction appends a tombstone per evicted record, so without
+        this the log would grow forever even though the *store* is
+        bounded.  Unpoliced stores keep the explicit ``gc``/``compact``
+        behavior (appends are never interrupted by a rewrite).
+        """
+        if self.policy is None:
+            return
+        dead = self._file_bytes - self._live_bytes
+        if dead > max(self.AUTOCOMPACT_SLACK_BYTES, self._live_bytes):
+            self.compact()
 
     def fingerprints(self) -> List[str]:
         return list(self._index)
@@ -161,16 +227,40 @@ class JsonlStore(ResultStore):
 
     # ------------------------------------------------------------------
     def compact(self) -> None:
-        """Rewrite the log with only the live records (atomic)."""
-        tmp = self.path.with_suffix(self.path.suffix + ".compact")
-        with open(tmp, "wb") as handle:
-            for raw in self._index.values():
-                handle.write(raw.encode("utf-8") + b"\n")
-            handle.flush()
-            os.fsync(handle.fileno())
-        self._file.close()
-        os.replace(tmp, self.path)
-        self._file = open(self.path, "ab")
+        """Rewrite the log with only the live records (atomic).
+
+        Under an eviction policy the rewrite also refreshes each
+        record's persisted ``accessed_at`` from the in-memory LRU
+        stamp, so compaction doubles as the stamp flush (reads never
+        write; this is the JSONL analogue of SqliteStore's batched
+        accessed_at UPDATE).
+        """
+        with self._write_lock:
+            if self.policy is not None:
+                with self._counters_lock:
+                    stamps = dict(self._access)
+                    self._dirty_access.clear()
+                for fingerprint, raw in list(self._index.items()):
+                    stamp = stamps.get(fingerprint)
+                    if stamp is None:
+                        continue
+                    record = json.loads(raw)
+                    if record.get("accessed_at") != stamp:
+                        record["accessed_at"] = stamp
+                        self._index[fingerprint] = canonical_json(record)
+            tmp = self.path.with_suffix(self.path.suffix + ".compact")
+            with open(tmp, "wb") as handle:
+                for raw in self._index.values():
+                    handle.write(raw.encode("utf-8") + b"\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            self._file.close()
+            os.replace(tmp, self.path)
+            self._file = open(self.path, "ab")
+            self._live_bytes = sum(
+                len(raw) + 1 for raw in self._index.values()
+            )
+            self._file_bytes = self._live_bytes
 
     def gc(self) -> int:
         """Drop stale-schema records, then compact away tombstones and

@@ -6,7 +6,9 @@ import json
 from typing import Dict, List, Optional, Tuple
 
 from repro.scenario import canonical_json
+from repro.sim.session import RESULT_SCHEMA
 from repro.store.base import ResultStore
+from repro.store.evict import EvictionPolicy
 
 
 class MemoryStore(ResultStore):
@@ -18,16 +20,34 @@ class MemoryStore(ResultStore):
     faithful payload, never a shared mutable reference.
     """
 
-    def __init__(self) -> None:
-        super().__init__()
+    def __init__(self, policy: Optional[EvictionPolicy] = None) -> None:
+        super().__init__(policy=policy)
         self._records: Dict[str, str] = {}  # fingerprint -> canonical JSON
         #: fingerprint -> (schema tag, columns); lets query() skip
         #: payload parsing entirely.
         self._meta: Dict[str, Tuple[Optional[str], Dict[str, object]]] = {}
+        self._bytes = 0  # live payload bytes (what max_mb caps)
 
     def _get(self, fingerprint: str) -> Optional[Dict[str, object]]:
         raw = self._records.get(fingerprint)
         return None if raw is None else json.loads(raw)
+
+    def get_raw(self, fingerprint: str) -> Optional[str]:
+        """Stored canonical JSON, no parse/re-dump round trip."""
+        raw = self._records.get(fingerprint)
+        if raw is not None:
+            meta = self._meta.get(fingerprint)
+            if meta is None or meta[0] != RESULT_SCHEMA:
+                raw = None
+        with self._counters_lock:
+            if raw is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+                if self.policy is not None:
+                    self._access[fingerprint] = self.policy.clock()
+                    self._dirty_access.add(fingerprint)
+        return raw
 
     def _put(
         self,
@@ -35,12 +55,22 @@ class MemoryStore(ResultStore):
         payload: Dict[str, object],
         columns: Dict[str, object],
     ) -> None:
-        self._records[fingerprint] = canonical_json(payload)
+        raw = canonical_json(payload)
+        old = self._records.get(fingerprint)
+        self._records[fingerprint] = raw
         self._meta[fingerprint] = (payload.get("schema"), dict(columns))
+        self._bytes += len(raw) - (0 if old is None else len(old))
 
     def _delete(self, fingerprint: str) -> bool:
         self._meta.pop(fingerprint, None)
-        return self._records.pop(fingerprint, None) is not None
+        raw = self._records.pop(fingerprint, None)
+        if raw is None:
+            return False
+        self._bytes -= len(raw)
+        return True
+
+    def bytes_used(self) -> int:
+        return self._bytes
 
     def _record_meta(
         self, fingerprint: str

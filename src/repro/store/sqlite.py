@@ -29,6 +29,7 @@ from typing import Callable, Dict, List, Optional, Tuple, TypeVar, Union
 from repro.obs.metrics import default_registry
 from repro.scenario import canonical_json
 from repro.store.base import RECORD_COLUMNS, ResultStore
+from repro.store.evict import EvictionPolicy
 
 _T = TypeVar("_T")
 
@@ -59,7 +60,8 @@ CREATE TABLE IF NOT EXISTS results (
     dram_ns      REAL NOT NULL,
     seed         INTEGER NOT NULL,
     scale        REAL NOT NULL,
-    payload      TEXT NOT NULL
+    payload      TEXT NOT NULL,
+    accessed_at  REAL
 );
 CREATE INDEX IF NOT EXISTS idx_results_workload ON results (workload);
 CREATE INDEX IF NOT EXISTS idx_results_interconnect ON results (interconnect);
@@ -77,8 +79,9 @@ class SqliteStore(ResultStore):
         self,
         path: Union[str, Path],
         faults: Optional[object] = None,
+        policy: Optional[EvictionPolicy] = None,
     ) -> None:
-        super().__init__()
+        super().__init__(policy=policy)
         self.path = str(path)
         #: Test-only :class:`repro.faults.FaultPlan`; a
         #: ``store.write``/``sqlite-locked`` rule raises a transient
@@ -101,7 +104,43 @@ class SqliteStore(ResultStore):
         self._write_conn = self._connect()
         with self._write_conn:
             self._write_conn.executescript(_SCHEMA_SQL)
+        # Pre-eviction databases predate the accessed_at column; add it
+        # in place (NULL = "age unknown", treated as fresh-at-open).
+        columns = {
+            row[1]
+            for row in self._write_conn.execute("PRAGMA table_info(results)")
+        }
+        if "accessed_at" not in columns:
+            with self._write_conn:
+                self._write_conn.execute(
+                    "ALTER TABLE results ADD COLUMN accessed_at REAL"
+                )
+        with self._write_conn:
+            self._write_conn.execute(
+                "CREATE INDEX IF NOT EXISTS idx_results_accessed_at "
+                "ON results (accessed_at)"
+            )
         self._write_conn.execute("PRAGMA journal_mode=WAL")
+        # Byte accounting for max_mb is kept as a running total (a
+        # SUM() scan per write would be O(records) on the hot path),
+        # seeded here and resynced by gc().
+        self._track_bytes = policy is not None
+        self._bytes = self._sum_payload_bytes() if self._track_bytes else 0
+        if policy is not None:
+            # Seed LRU stamps from the persisted column so eviction
+            # ordering survives restarts; NULL stamps (records written
+            # before a policy was attached) count as accessed now —
+            # aging them out from zero would mass-evict at open.
+            now = policy.clock()
+            for fingerprint, stamp in self._write_conn.execute(
+                "SELECT fingerprint, accessed_at FROM results"
+            ):
+                self._access[fingerprint] = now if stamp is None else stamp
+
+    def _sum_payload_bytes(self) -> int:
+        return self._write_conn.execute(
+            "SELECT COALESCE(SUM(LENGTH(payload)), 0) FROM results"
+        ).fetchone()[0]
 
     def _connect(self) -> sqlite3.Connection:
         # check_same_thread=False because close() (and dead-reader
@@ -177,13 +216,25 @@ class SqliteStore(ResultStore):
         payload: Dict[str, object],
         columns: Dict[str, object],
     ) -> None:
+        raw = canonical_json(payload)
+        stamp = None
+        if self.policy is not None:
+            stamp = self._access.get(fingerprint) or self.policy.clock()
+
         def insert() -> None:
+            replaced = 0
+            if self._track_bytes:
+                row = self._write_conn.execute(
+                    "SELECT LENGTH(payload) FROM results WHERE fingerprint = ?",
+                    (fingerprint,),
+                ).fetchone()
+                replaced = row[0] if row is not None else 0
             with self._write_conn:
                 self._write_conn.execute(
                     "INSERT OR REPLACE INTO results "
                     "(fingerprint, schema, workload, interconnect, power_state, "
-                    " dram_ns, seed, scale, payload) "
-                    "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                    " dram_ns, seed, scale, payload, accessed_at) "
+                    "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
                     (
                         fingerprint,
                         payload.get("schema"),
@@ -193,23 +244,99 @@ class SqliteStore(ResultStore):
                         columns["dram_ns"],
                         columns["seed"],
                         columns["scale"],
-                        canonical_json(payload),
+                        raw,
+                        stamp,
                     ),
                 )
+            if self._track_bytes:
+                self._bytes += len(raw) - replaced
 
         with self._write_lock:
             self._write(insert)
 
     def _delete(self, fingerprint: str) -> bool:
         def delete() -> sqlite3.Cursor:
+            freed = 0
+            if self._track_bytes:
+                row = self._write_conn.execute(
+                    "SELECT LENGTH(payload) FROM results WHERE fingerprint = ?",
+                    (fingerprint,),
+                ).fetchone()
+                freed = row[0] if row is not None else 0
             with self._write_conn:
-                return self._write_conn.execute(
+                cursor = self._write_conn.execute(
                     "DELETE FROM results WHERE fingerprint = ?", (fingerprint,)
                 )
+            if self._track_bytes and cursor.rowcount > 0:
+                self._bytes -= freed
+            return cursor
 
         with self._write_lock:
             cursor = self._write(delete)
         return cursor.rowcount > 0
+
+    def bytes_used(self) -> int:
+        if self._track_bytes:
+            return max(0, self._bytes)
+        return self._read_conn.execute(
+            "SELECT COALESCE(SUM(LENGTH(payload)), 0) FROM results"
+        ).fetchone()[0]
+
+    def _flush_access(self) -> None:
+        """Persist dirty LRU stamps to the accessed_at column.
+
+        Reads never write (a get stays one indexed SELECT); stamps
+        accumulate in memory and land in one batched UPDATE on the
+        next enforcement pass or close, which is plenty fresh for
+        cross-restart eviction ordering.
+        """
+        with self._counters_lock:
+            if not self._dirty_access:
+                return
+            batch = [
+                (self._access[fp], fp)
+                for fp in self._dirty_access
+                if fp in self._access
+            ]
+            self._dirty_access.clear()
+        if not batch:
+            return
+
+        def flush() -> None:
+            with self._write_conn:
+                self._write_conn.executemany(
+                    "UPDATE results SET accessed_at = ? WHERE fingerprint = ?",
+                    batch,
+                )
+
+        with self._write_lock:
+            self._write(flush)
+
+    def get_raw(self, fingerprint: str) -> Optional[str]:
+        """Warm-hit fast path: return the stored payload text directly.
+
+        The schema check runs on the indexed column, so a hit costs
+        one point SELECT and zero JSON parsing — the serving frontend
+        streams the text straight into the response body.
+        """
+        from repro.sim.session import RESULT_SCHEMA
+
+        started = time.perf_counter()
+        row = self._read_conn.execute(
+            "SELECT schema, payload FROM results WHERE fingerprint = ?",
+            (fingerprint,),
+        ).fetchone()
+        self._get_seconds.observe(time.perf_counter() - started)
+        raw = row[1] if row is not None and row[0] == RESULT_SCHEMA else None
+        with self._counters_lock:
+            if raw is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+                if self.policy is not None:
+                    self._access[fingerprint] = self.policy.clock()
+                    self._dirty_access.add(fingerprint)
+        return raw
 
     def _prefix_matches(self, prefix: str, limit: int) -> List[str]:
         """Indexed prefix lookup: a range scan on the primary key
@@ -282,6 +409,11 @@ class SqliteStore(ResultStore):
         with self._counters_lock:
             self.hits += len(out)
             self.misses += len(distinct) - len(out)
+            if self.policy is not None and out:
+                now = self.policy.clock()
+                for fingerprint in out:
+                    self._access[fingerprint] = now
+                    self._dirty_access.add(fingerprint)
         return out
 
     def missing(
@@ -327,6 +459,11 @@ class SqliteStore(ResultStore):
         ).fetchone()[0]
 
     def close(self) -> None:
+        if self.policy is not None:
+            try:
+                self._flush_access()
+            except sqlite3.Error:
+                pass  # stamps are advisory; never fail a close over them
         with self._readers_lock:
             readers, self._readers = self._readers, []
         for _thread, conn in readers:
@@ -377,4 +514,6 @@ class SqliteStore(ResultStore):
 
         with self._write_lock:
             cursor = self._write(sweep)
+            if self._track_bytes:
+                self._bytes = self._sum_payload_bytes()
         return cursor.rowcount

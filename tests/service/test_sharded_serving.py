@@ -1,0 +1,241 @@
+"""Sharded + bounded serving: keep-alive, bit-identity, tail latency.
+
+The service-layer half of the sharding/eviction stack: a
+:class:`ScenarioServer` over a sharded store must answer exactly what
+the single-store server answers, client connections must actually be
+reused, in-flight queue cells must be evict-exempt, and a cold batch
+must not convoy warm hits into a fat tail.
+"""
+
+import statistics
+import threading
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.scenario import Scenario, canonical_json, scenario_fingerprint
+from repro.service import ScenarioServer, ServiceClient
+from repro.service.queue import WorkQueue
+from repro.sim.session import run_scenario
+from repro.store import EvictionPolicy, MemoryStore, open_store
+
+SCALE = 0.02
+
+# Seeds picked to land on four distinct shards of a 4-way store (the
+# routing is a pure function of the fingerprint, so this is stable).
+SPECS = [
+    {"workload": "fft", "scale": SCALE, "seed": seed}
+    for seed in (5, 6, 8, 11)
+] + [{"workload": "volrend", "scale": SCALE}]
+
+
+@pytest.fixture()
+def sharded_server(tmp_path):
+    """A service over a 4-way sharded store directory."""
+    with ScenarioServer(
+        str(tmp_path / "sharded"), port=0, shards=4
+    ) as srv:
+        srv.start()
+        yield srv
+
+
+class TestKeepAlive:
+    def test_sequential_requests_share_one_connection(self, sharded_server):
+        client = ServiceClient(sharded_server.url, timeout=120.0)
+        client.post_scenario(SPECS[0])
+        for _ in range(8):
+            client.post_scenario(SPECS[0])
+            client.healthz()
+        assert client.connections_opened == 1
+
+    def test_sweep_opens_at_most_one_connection_per_job(self,
+                                                        sharded_server):
+        client = ServiceClient(sharded_server.url, timeout=120.0)
+        grid = [Scenario(**{k: v for k, v in spec.items()})
+                for spec in SPECS[:4]]
+        client.run_sweep(grid, jobs=2)
+        # Four requests, two worker threads: one connection per thread,
+        # never one per request.
+        assert 1 <= client.connections_opened <= 2
+
+    def test_discarded_connection_is_replaced(self, sharded_server):
+        client = ServiceClient(sharded_server.url, timeout=120.0)
+        client.healthz()
+        assert client.connections_opened == 1
+        # The failure path drops the pooled connection; the next
+        # request must open (and count) a fresh socket, not die.
+        client._discard_connection(client._connection())
+        client.healthz()
+        assert client.connections_opened == 2
+
+
+class TestShardedBitIdentity:
+    def test_sharded_serving_matches_single_store(self, tmp_path):
+        with ScenarioServer(
+            str(tmp_path / "single.sqlite"), port=0
+        ) as single:
+            single.start()
+            flat = ServiceClient(single.url, timeout=120.0)
+            plain = {spec["workload"] + str(spec.get("seed")):
+                     flat.post_scenario(spec) for spec in SPECS}
+
+        with ScenarioServer(
+            str(tmp_path / "sharded"), port=0, shards=4
+        ) as srv:
+            srv.start()
+            client = ServiceClient(srv.url, timeout=120.0)
+            for spec in SPECS:
+                key = spec["workload"] + str(spec.get("seed"))
+                cold = client.post_scenario(spec)
+                warm = client.post_scenario(spec)
+                assert cold["cached"] is False and warm["cached"] is True
+                for envelope in (cold, warm):
+                    assert envelope["fingerprint"] \
+                        == plain[key]["fingerprint"]
+                    assert canonical_json(envelope["result"]) \
+                        == canonical_json(plain[key]["result"])
+            # The records really spread over the backend shards.
+            spread = {srv.store.shard_of(fp)
+                      for fp in srv.store.fingerprints()}
+            assert len(spread) > 1
+
+    def test_warm_hit_fast_path_matches_engine(self, sharded_server):
+        scenario = Scenario(workload="fft", scale=SCALE, seed=1)
+        client = ServiceClient(sharded_server.url, timeout=120.0)
+        client.run(scenario)
+        assert client.run(scenario) == run_scenario(scenario)
+        assert sharded_server.store.counters()["hits"] >= 1
+
+
+class TestInFlightPins:
+    def test_queued_cells_are_evict_exempt_until_settled(self):
+        store = MemoryStore(policy=EvictionPolicy(max_records=1))
+        queue = WorkQueue(store)
+        scenario = Scenario(workload="fft", scale=SCALE, seed=9)
+        fingerprint = scenario_fingerprint(scenario)
+        future = queue.submit_scenario(scenario)
+        assert fingerprint in store.pinned()  # pending cell: pinned
+
+        (lease,) = queue.lease(1, worker="w0")
+        assert lease.fingerprint == fingerprint
+        assert fingerprint in store.pinned()  # leased: still pinned
+
+        queue.complete_local(fingerprint, lease.token, run_scenario(scenario))
+        assert future.result(timeout=5).scenario == scenario
+        assert fingerprint not in store.pinned()  # settled: unpinned
+        assert fingerprint in store  # landed before anything could evict
+        queue.shutdown()
+        store.close()
+
+    def test_shutdown_releases_pins(self):
+        store = MemoryStore(policy=EvictionPolicy(max_records=4))
+        queue = WorkQueue(store)
+        scenario = Scenario(workload="fft", scale=SCALE, seed=11)
+        fingerprint = scenario_fingerprint(scenario)
+        queue.submit_scenario(scenario)
+        assert fingerprint in store.pinned()
+        queue.shutdown()
+        assert fingerprint not in store.pinned()
+        store.close()
+
+
+class TestStatsCliSharded:
+    def test_per_shard_columns_and_evictions(self, tmp_path, capsys):
+        policy = EvictionPolicy(max_records=4)
+        with ScenarioServer(
+            str(tmp_path / "sharded"), port=0, shards=4, policy=policy
+        ) as srv:
+            srv.start()
+            client = ServiceClient(srv.url, timeout=120.0)
+            for spec in SPECS:
+                client.post_scenario(spec)
+            client.post_scenario(SPECS[0])  # one warm hit
+
+            stats = client.stats()
+            store_block = stats["store"]
+            assert store_block["policy"] == policy.describe()
+            rows = store_block["shards"]
+            assert [row["shard"] for row in rows] == [0, 1, 2, 3]
+            assert sum(row["records"] for row in rows) <= 4
+            # max_records=4 splits to 1 per shard; five distinct cells
+            # over four shards must have evicted at least one.
+            assert srv.store.counters()["evictions"] > 0
+
+            assert main(["stats", "--server", srv.url]) == 0
+            out = capsys.readouterr().out
+            assert "shard   0" in out and "shard   3" in out
+            assert "evictions" in out and "hit ratio" in out
+            assert policy.describe() in out
+
+
+class TestWarmTailLatency:
+    def test_warm_p99_stays_near_p50_under_mixed_load(self, tmp_path):
+        """The PR-8 regression: a cold batch computing in-process held
+        the GIL and convoyed every warm hit (p99 ~ 50x p50).  With
+        subprocess compute + the raw fast path + queue priority, warm
+        hits must keep a tight tail while cold cells simulate."""
+        with ScenarioServer(
+            str(tmp_path / "sharded"), port=0, shards=4, jobs=2
+        ) as srv:
+            srv.start()
+            warm_client = ServiceClient(srv.url, timeout=120.0)
+            warm_specs = SPECS[:3]
+            for spec in warm_specs:
+                warm_client.post_scenario(spec)
+
+            stop = threading.Event()
+
+            def cold_stream():
+                cold = ServiceClient(srv.url, timeout=120.0)
+                seed = 1000
+                while not stop.is_set():
+                    seed += 1
+                    try:
+                        cold.post_scenario(
+                            {"workload": "fft", "scale": SCALE,
+                             "seed": seed}
+                        )
+                    except Exception:
+                        return
+
+            churn = threading.Thread(target=cold_stream, daemon=True)
+            churn.start()
+            time.sleep(0.3)  # let the cold batches start computing
+
+            latencies = []
+            lock = threading.Lock()
+
+            def hammer():
+                client = ServiceClient(srv.url, timeout=120.0)
+                samples = []
+                deadline = time.monotonic() + 2.5
+                index = 0
+                while time.monotonic() < deadline:
+                    spec = warm_specs[index % len(warm_specs)]
+                    index += 1
+                    started = time.perf_counter()
+                    envelope = client.post_scenario(spec)
+                    samples.append(time.perf_counter() - started)
+                    assert envelope["cached"] is True
+                with lock:
+                    latencies.extend(samples)
+
+            threads = [threading.Thread(target=hammer) for _ in range(3)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            stop.set()
+            churn.join(timeout=30)
+
+        assert len(latencies) >= 100
+        ordered = sorted(latencies)
+        p50 = statistics.median(ordered)
+        p99 = ordered[int(0.99 * (len(ordered) - 1))]
+        # 5x p50 is the regression bound; the absolute floor keeps a
+        # loaded CI runner from flaking the test on scheduler noise.
+        assert p99 <= max(5 * p50, 0.25), (
+            f"warm tail regressed: p50={p50 * 1e3:.1f}ms "
+            f"p99={p99 * 1e3:.1f}ms over {len(ordered)} samples"
+        )
